@@ -1,0 +1,25 @@
+"""Regenerates the design-choice ablations (extensions beyond the paper)."""
+
+from conftest import run_once
+
+
+def test_ablation_hostlo_thread(benchmark, config):
+    result = run_once(benchmark, "ablation_hostlo_thread", config)
+    rows = sorted(result.rows, key=lambda r: r["reflect_cores"])
+    assert rows[-1]["throughput_mbps"] > 2 * rows[0]["throughput_mbps"]
+
+
+def test_ablation_netfilter_cost(benchmark, config):
+    result = run_once(benchmark, "ablation_netfilter_cost", config)
+    nat_4x = result.value("throughput_mbps", mode="nat", netfilter_scale=4.0)
+    nat_half = result.value("throughput_mbps", mode="nat", netfilter_scale=0.5)
+    assert nat_4x < nat_half
+
+
+def test_ablation_no_batching(benchmark, config):
+    result = run_once(benchmark, "ablation_no_batching", config)
+    for mode in ("nocont", "overlay", "hostlo"):
+        unbatched = result.value("throughput_mbps", variant="unbatched",
+                                 mode=mode)
+        batched = result.value("throughput_mbps", variant="batched", mode=mode)
+        assert unbatched <= batched

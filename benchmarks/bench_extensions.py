@@ -1,0 +1,22 @@
+"""Regenerates the extension experiments (analytic check, rule bloat)."""
+
+from conftest import run_once
+
+
+def test_analytic_check(benchmark, config):
+    result = run_once(benchmark, "analytic_check", config)
+    for row in result.rows:
+        assert 0.6 <= row["thr_agreement"] <= 1.2
+
+
+def test_ablation_rule_bloat(benchmark, config):
+    result = run_once(benchmark, "ablation_rule_bloat", config)
+    nat_0 = result.value("throughput_mbps", mode="nat", neighbor_pods=0)
+    nat_19 = result.value("throughput_mbps", mode="nat", neighbor_pods=19)
+    assert nat_19 < nat_0
+
+
+def test_ablation_scheduler_policy(benchmark, config):
+    result = run_once(benchmark, "ablation_scheduler_policy", config)
+    for row in result.rows:
+        assert row["hostlo_cost_per_h"] <= row["kubernetes_cost_per_h"]

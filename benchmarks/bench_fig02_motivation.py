@@ -1,0 +1,14 @@
+"""Regenerates fig 2: nested (NAT) vs single-level (NoCont) netperf."""
+
+from conftest import run_once
+
+
+def test_fig02_motivation(benchmark, config):
+    result = run_once(benchmark, "fig02", config)
+    nat = result.value("throughput_mbps", mode="nat")
+    nocont = result.value("throughput_mbps", mode="nocont")
+    # Paper: ~68 % throughput degradation, ~31 % latency increase.
+    assert nat < 0.6 * nocont
+    assert result.value("latency_us", mode="nat") > result.value(
+        "latency_us", mode="nocont"
+    )

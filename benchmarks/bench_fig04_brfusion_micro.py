@@ -1,0 +1,13 @@
+"""Regenerates fig 4: BrFusion micro-benchmark sweep."""
+
+from conftest import run_once
+
+
+def test_fig04_brfusion_micro(benchmark, config):
+    result = run_once(benchmark, "fig04", config)
+    brf = result.value("throughput_mbps", mode="brfusion", size_B=1280)
+    nat = result.value("throughput_mbps", mode="nat", size_B=1280)
+    nocont = result.value("throughput_mbps", mode="nocont", size_B=1280)
+    # Paper: BrFusion ≈ NoCont (within 3.5 %), ≥ 2× NAT.
+    assert abs(brf / nocont - 1) < 0.05
+    assert brf > 1.8 * nat

@@ -1,0 +1,13 @@
+"""Regenerates fig 5: BrFusion macro-benchmarks (Kafka, NGINX, Memcached)."""
+
+from conftest import run_once
+
+
+def test_fig05_brfusion_macro(benchmark, config):
+    result = run_once(benchmark, "fig05", config)
+    # Paper: BrFusion improves Kafka latency ~11.8 % over NAT and NGINX
+    # latency ~30.1 % over NAT.
+    for app in ("kafka", "nginx"):
+        brf = result.value("latency_us", app=app, mode="brfusion")
+        nat = result.value("latency_us", app=app, mode="nat")
+        assert brf < nat

@@ -1,0 +1,16 @@
+"""Regenerates fig 6: CPU usage breakdown under Kafka."""
+
+from conftest import run_once
+
+
+def test_fig06_cpu_kafka(benchmark, config):
+    result = run_once(benchmark, "fig06", config)
+
+    def soft(mode):
+        return next(
+            r["soft_cores"] for r in result.rows
+            if r["mode"] == mode and r["entity"].startswith("vm:")
+        )
+
+    # Paper: BrFusion removes ~67 % of the guest's softirq CPU time.
+    assert soft("brfusion") < 0.6 * soft("nat")

@@ -1,0 +1,16 @@
+"""Regenerates fig 7: CPU usage breakdown under NGINX."""
+
+from conftest import run_once
+
+
+def test_fig07_cpu_nginx(benchmark, config):
+    result = run_once(benchmark, "fig07", config)
+
+    def soft(mode):
+        return next(
+            r["soft_cores"] for r in result.rows
+            if r["mode"] == mode and r["entity"].startswith("vm:")
+        )
+
+    # Same observation as fig 6, "of higher magnitude".
+    assert soft("brfusion") < soft("nat")

@@ -1,0 +1,14 @@
+"""Regenerates fig 8: container start-up time, NAT vs BrFusion."""
+
+from conftest import run_once
+
+
+def test_fig08_boot_time(benchmark, config):
+    result = run_once(benchmark, "fig08", config)
+    quantile_rows = [r for r in result.rows if r["quantile"] != "mean"]
+    wins = sum(r["brfusion_better"] for r in quantile_rows)
+    # Paper: ~75 % of start-up times slightly better with BrFusion.
+    assert wins >= len(quantile_rows) // 2
+    nat_mean = result.value("nat_ms", quantile="mean")
+    brf_mean = result.value("brfusion_ms", quantile="mean")
+    assert abs(brf_mean / nat_mean - 1) < 0.3  # "no overhead"

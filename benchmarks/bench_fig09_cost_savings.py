@@ -1,0 +1,12 @@
+"""Regenerates fig 9: Hostlo cost savings on the synthetic traces."""
+
+from conftest import run_once
+
+
+def test_fig09_cost_savings(benchmark, config):
+    result = run_once(benchmark, "fig09", config)
+    savers = result.value("value", metric="users saving money (%)")
+    # Paper: "more than 11 % of cloud clients see their cost reduced".
+    assert 8.0 <= savers <= 18.0
+    max_rel = result.value("value", metric="max relative saving (%)")
+    assert 30.0 <= max_rel <= 55.0  # paper ≈ 40 %

@@ -1,0 +1,14 @@
+"""Regenerates fig 10: Hostlo overhead micro-benchmark."""
+
+from conftest import run_once
+
+
+def test_fig10_hostlo_micro(benchmark, config):
+    result = run_once(benchmark, "fig10", config)
+    hostlo = result.value("latency_us", mode="hostlo", size_B=1024)
+    nat = result.value("latency_us", mode="nat_cross", size_B=1024)
+    samenode = result.value("throughput_mbps", mode="samenode", size_B=1024)
+    hostlo_thr = result.value("throughput_mbps", mode="hostlo", size_B=1024)
+    # Paper: hostlo latency 87.3 % below NAT; SameNode ≈ 5.3× throughput.
+    assert hostlo < 0.3 * nat
+    assert 4.0 <= samenode / hostlo_thr <= 7.0

@@ -1,0 +1,17 @@
+"""Regenerates figs 11–12: Memcached over Hostlo."""
+
+from conftest import run_once
+
+
+def test_fig11_12_hostlo_memcached(benchmark, config):
+    result = run_once(benchmark, "fig11_12", config)
+    hostlo = result.value("latency_us", mode="hostlo")
+    samenode = result.value("latency_us", mode="samenode")
+    nat = result.value("latency_us", mode="nat_cross")
+    # Paper: hostlo "unexpectedly reaches the levels of SameNode" and
+    # beats NAT/Overlay comfortably.
+    assert hostlo < 1.6 * samenode
+    assert hostlo < nat
+    hostlo_cv = result.value("latency_cv", mode="hostlo")
+    nat_cv = result.value("latency_cv", mode="nat_cross")
+    assert hostlo_cv < nat_cv  # stable latencies

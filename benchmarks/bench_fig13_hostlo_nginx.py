@@ -1,0 +1,12 @@
+"""Regenerates fig 13: NGINX over Hostlo."""
+
+from conftest import run_once
+
+
+def test_fig13_hostlo_nginx(benchmark, config):
+    result = run_once(benchmark, "fig13", config)
+    hostlo = result.value("latency_us", mode="hostlo")
+    nat = result.value("latency_us", mode="nat_cross")
+    overlay = result.value("latency_us", mode="overlay")
+    # Paper: hostlo performs much better than NAT and Overlay.
+    assert hostlo < nat and hostlo < overlay

@@ -1,0 +1,16 @@
+"""Regenerates fig 14: CPU usage of Memcached over Hostlo."""
+
+from conftest import run_once
+
+
+def test_fig14_cpu_memcached(benchmark, config):
+    result = run_once(benchmark, "fig14", config)
+    # The hostlo kernel module's CPU time shows up host-side, like
+    # vhost's (§5.3.4 attribution discussion).
+    hostlo_host_sys = result.value("sys_cores", mode="hostlo", entity="host")
+    assert hostlo_host_sys > 0.1
+    # Two VMs must be busy under hostlo.
+    vm_rows = [r for r in result.rows
+               if r["mode"] == "hostlo" and r["entity"].startswith("vm:")]
+    assert len(vm_rows) == 2
+    assert all(r["total_cores"] > 0 for r in vm_rows)

@@ -1,0 +1,17 @@
+"""Regenerates fig 15: CPU usage of NGINX over Hostlo."""
+
+from conftest import run_once
+
+
+def test_fig15_cpu_nginx(benchmark, config):
+    result = run_once(benchmark, "fig15", config)
+
+    def total(mode):
+        return sum(
+            r["total_cores"] for r in result.rows
+            if r["mode"] == mode and r["entity"].startswith("vm:")
+        )
+
+    # Paper: NGINX's CPU increase under hostlo is modest (+17.1 %).
+    assert total("hostlo") >= total("samenode") * 0.95
+    assert total("hostlo") <= total("samenode") * 1.6

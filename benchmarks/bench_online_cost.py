@@ -1,0 +1,12 @@
+"""Regenerates the online-churn cost extension."""
+
+from conftest import run_once
+
+
+def test_online_cost(benchmark, config):
+    result = run_once(benchmark, "online_cost", config)
+    k8s = result.value("cost_dollar_h",
+                       scheduler="kubernetes (whole pods)")
+    hostlo = result.value("cost_dollar_h",
+                          scheduler="hostlo (split + consolidate)")
+    assert hostlo < k8s

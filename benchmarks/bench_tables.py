@@ -1,0 +1,16 @@
+"""Regenerates tables 1 and 2 (configuration tables)."""
+
+from conftest import run_once
+
+
+def test_table01_macro_parameters(benchmark, config):
+    result = run_once(benchmark, "table01", config)
+    assert {r["application"] for r in result.rows} == {
+        "Memcached", "NGINX", "Kafka",
+    }
+
+
+def test_table02_m5_catalog(benchmark, config):
+    result = run_once(benchmark, "table02", config)
+    assert result.value("price_per_h", model="large") == 0.112
+    assert result.value("vCPU", model="24xlarge") == 96

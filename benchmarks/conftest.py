@@ -1,0 +1,45 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every module regenerates one of the paper's tables/figures; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the regenerated rows (use ``-s`` to see them) and
+asserts the figure's headline shape.
+"""
+
+import pytest
+
+from repro.harness import ExperimentConfig
+
+# Scaled for benchmark runs: big enough to keep ratios stable, small
+# enough that the whole harness regenerates in a couple of minutes.
+BENCH_CONFIG = ExperimentConfig(
+    stream_duration_s=0.008,
+    rr_transactions=120,
+    message_sizes=(1024, 1280),
+    macro_duration_s=0.01,
+    memtier_threads=2,
+    memtier_connections_per_thread=15,
+    wrk2_rate_per_s=5000.0,
+    wrk2_connections=50,
+    boot_runs=40,
+    trace_users=492,
+)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return BENCH_CONFIG
+
+
+def run_once(benchmark, experiment, config):
+    """Run *experiment* exactly once under pytest-benchmark timing."""
+    from repro.harness import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment, config), iterations=1, rounds=1
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,42 @@
+"""The container object."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.containers.image import ContainerImage
+from repro.net.namespace import NetworkNamespace
+
+ContainerState = t.Literal["created", "running", "stopped"]
+
+
+@dataclasses.dataclass
+class Container:
+    """One container inside a VM.
+
+    ``netns`` may be private or shared with other containers of the
+    same pod (the Kubernetes pod model); ``network_mode`` records how it
+    was wired (``bridge``, ``provided-nic``, ``pod``, ``hostlo``,
+    ``overlay``, ``none``).
+    """
+
+    name: str
+    image: ContainerImage
+    netns: NetworkNamespace
+    network_mode: str = "none"
+    cpu_request: float = 1.0
+    memory_gb: float = 0.5
+    state: ContainerState = "created"
+    started_at: float | None = None
+
+    def mark_running(self, now: float) -> None:
+        self.state = "running"
+        self.started_at = now
+
+    def mark_stopped(self) -> None:
+        self.state = "stopped"
+
+    @property
+    def is_running(self) -> bool:
+        return self.state == "running"

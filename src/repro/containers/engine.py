@@ -1,0 +1,203 @@
+"""The per-VM container engine (Docker-like).
+
+The engine wires container network namespaces according to the modes
+the paper compares:
+
+* ``bridge`` — Docker's default: a ``docker0`` bridge in the guest,
+  veth pair into the container, DNAT publish rules and masquerade.
+  This is the "NAT" baseline whose duplicated virtualization layer
+  BrFusion removes.
+* ``provided-nic`` — BrFusion: an existing (hot-plugged) NIC is moved
+  into the container namespace and configured there; no guest bridge,
+  no guest NAT.
+* ``pod`` — the container joins an existing shared pod namespace
+  (SameNode intra-pod communication over the pod's loopback).
+* hostlo endpoints are adopted with the same ``provided-nic``
+  machinery (the agent does not care what backs the NIC).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.containers.container import Container
+from repro.containers.image import ContainerImage, get_image
+from repro.errors import ContainerError, TopologyError
+from repro.net.addresses import (
+    HostAllocator,
+    Ipv4Address,
+    Ipv4Network,
+    cidr,
+)
+from repro.net.bridge import Bridge
+from repro.net.devices import NetDevice, VethPair
+from repro.net.netfilter import DnatRule, MasqueradeRule
+from repro.virt.vm import VirtualMachine
+
+#: Docker's default bridge subnet.
+DOCKER_BRIDGE_CIDR = "172.17.0.0/16"
+
+PublishSpec = t.Sequence[tuple[str, int, int]]  # (proto, host port, container port)
+
+
+class ContainerEngine:
+    """Container lifecycle + network wiring inside one VM."""
+
+    def __init__(self, vm: VirtualMachine, name: str = "docker") -> None:
+        self.vm = vm
+        self.name = name
+        self.containers: dict[str, Container] = {}
+        self._bridge: Bridge | None = None
+        self._bridge_net = cidr(DOCKER_BRIDGE_CIDR)
+        self._addr_alloc = HostAllocator(self._bridge_net)
+        self._veth_seq = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def create_container(
+        self,
+        name: str,
+        image: ContainerImage | str,
+        netns: t.Any = None,
+        cpu_request: float = 1.0,
+        memory_gb: float = 0.5,
+    ) -> Container:
+        """Create a container with a fresh (or shared *netns*) namespace."""
+        if name in self.containers:
+            raise ContainerError(f"container {name!r} already exists in {self.vm.name}")
+        if isinstance(image, str):
+            image = get_image(image)
+        if netns is None:
+            netns = self.vm.create_namespace(f"{self.vm.name}/{name}")
+        container = Container(
+            name=name,
+            image=image,
+            netns=netns,
+            cpu_request=cpu_request,
+            memory_gb=memory_gb,
+        )
+        self.containers[name] = container
+        return container
+
+    def container(self, name: str) -> Container:
+        try:
+            return self.containers[name]
+        except KeyError:
+            raise ContainerError(
+                f"no container {name!r} in {self.vm.name}"
+            ) from None
+
+    def remove_container(self, name: str) -> None:
+        container = self.container(name)
+        container.mark_stopped()
+        if container.network_mode == "bridge":
+            self._teardown_bridge_network(container)
+        del self.containers[name]
+
+    # -- docker0 bridge + NAT (the paper's "NAT" baseline) ---------------------
+    @property
+    def bridge(self) -> Bridge:
+        """The guest ``docker0`` bridge, created on first use."""
+        if self._bridge is None:
+            bridge = Bridge("docker0")
+            bridge.assign_ip(self._bridge_net.host(1), self._bridge_net)
+            self.vm.ns.attach(bridge)
+            self.vm.ns.routes.add_on_link(self._bridge_net, "docker0")
+            self.vm.ns.netfilter.add_masquerade(
+                MasqueradeRule(self._bridge_net, "eth0")
+            )
+            self._bridge = bridge
+        return self._bridge
+
+    def setup_bridge_network(
+        self, container: Container, publish: PublishSpec = ()
+    ) -> Ipv4Address:
+        """Wire *container* in Docker's default bridge+NAT mode."""
+        if container.network_mode != "none":
+            raise ContainerError(
+                f"{container.name} already wired as {container.network_mode!r}"
+            )
+        bridge = self.bridge
+        allocator = self.vm.host.mac_allocator
+        pair = VethPair("eth0", f"veth{self._veth_seq}",
+                        allocator.allocate(), allocator.allocate())
+        self._veth_seq += 1
+        address = self._addr_alloc.allocate()
+        pair.a.assign_ip(address, self._bridge_net)
+        container.netns.attach(pair.a)
+        self.vm.ns.attach(pair.b)
+        bridge.add_port(pair.b)
+        container.netns.routes.add_on_link(self._bridge_net, "eth0")
+        container.netns.routes.add_default("eth0", self._bridge_net.host(1))
+        for proto, host_port, cont_port in publish:
+            self.vm.ns.netfilter.add_dnat(
+                DnatRule(proto, host_port, address, cont_port)
+            )
+        container.network_mode = "bridge"
+        return address
+
+    def _teardown_bridge_network(self, container: Container) -> None:
+        dev = container.netns.devices.get("eth0")
+        if dev is None or dev.peer is None:
+            return
+        peer = dev.peer
+        address = dev.primary_ip
+        if peer.bridge is not None:
+            peer.bridge.remove_port(peer)
+        if peer.namespace is not None:
+            peer.namespace.detach(peer)
+        container.netns.detach(dev)
+        # Retract publish rules that pointed at this container.
+        if address is not None:
+            nf = self.vm.ns.netfilter
+            nf.dnat_rules = [r for r in nf.dnat_rules if r.to_ip != address]
+
+    # -- provided NIC (BrFusion / hostlo endpoint adoption) ----------------------
+    def adopt_nic(
+        self,
+        container: Container,
+        nic: NetDevice,
+        address: Ipv4Address,
+        network: Ipv4Network,
+        gateway: Ipv4Address | None = None,
+        default_route: bool = True,
+    ) -> None:
+        """Move *nic* into the container namespace and configure it.
+
+        This is the VM agent's half of BrFusion §3.1 step 4 (and of
+        Hostlo §4.1 step 4 when *nic* is a hostlo endpoint).
+        """
+        if nic.namespace is None:
+            raise TopologyError(f"{nic.name} is not attached to this VM")
+        if nic.namespace.domain != self.vm.domain:
+            raise TopologyError(
+                f"{nic.name} belongs to {nic.namespace.domain}, not {self.vm.domain}"
+            )
+        container.netns.attach(nic)  # implicit move across namespaces
+        nic.assign_ip(address, network)
+        container.netns.routes.add_on_link(network, nic.name)
+        if default_route and gateway is not None:
+            container.netns.routes.add_default(nic.name, gateway)
+        if container.network_mode == "none":
+            container.network_mode = (
+                "hostlo" if nic.kind == "hostlo_endpoint" else "provided-nic"
+            )
+
+    # -- pod namespaces -----------------------------------------------------------
+    def join_pod_namespace(self, container: Container, pod_ns: t.Any) -> None:
+        """Re-home *container* into a shared pod namespace (SameNode)."""
+        if container.netns.devices and len(container.netns.devices) > 1:
+            raise ContainerError(
+                f"{container.name} already has network devices; "
+                "join the pod namespace before wiring"
+            )
+        container.netns = pod_ns
+        container.network_mode = "pod"
+
+    # -- stats -----------------------------------------------------------------
+    @property
+    def running_count(self) -> int:
+        return sum(1 for c in self.containers.values() if c.is_running)
+
+    def iptables_rule_count(self) -> int:
+        """Visible guest NAT rule count (feeds the fig 8 boot model)."""
+        return self.vm.ns.netfilter.rule_count

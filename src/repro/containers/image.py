@@ -1,0 +1,54 @@
+"""Container images and their application start-up profiles."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ContainerError
+
+
+@dataclasses.dataclass(frozen=True)
+class ContainerImage:
+    """A container image.
+
+    ``app_start_s`` is the mean time from process exec to the
+    application's first outbound TCP message (the fig 8 "started"
+    criterion); ``app_start_sigma`` the lognormal shape of its noise.
+    """
+
+    name: str
+    size_mb: float
+    app_start_s: float
+    app_start_sigma: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ContainerError(f"bad image size {self.size_mb!r}")
+        if self.app_start_s <= 0:
+            raise ContainerError(f"bad app start time {self.app_start_s!r}")
+
+
+#: Images used throughout the experiments (sizes/start times typical of
+#: the public images the paper ran).
+IMAGES: dict[str, ContainerImage] = {
+    img.name: img
+    for img in (
+        ContainerImage("netperf", size_mb=12.0, app_start_s=0.045),
+        ContainerImage("memcached", size_mb=84.0, app_start_s=0.090),
+        ContainerImage("nginx", size_mb=142.0, app_start_s=0.120),
+        ContainerImage("kafka", size_mb=650.0, app_start_s=3.800),
+        ContainerImage("memtier", size_mb=40.0, app_start_s=0.060),
+        ContainerImage("wrk2", size_mb=15.0, app_start_s=0.040),
+        ContainerImage("alpine", size_mb=6.0, app_start_s=0.020),
+    )
+}
+
+
+def get_image(name: str) -> ContainerImage:
+    """Look up a registered image by name."""
+    try:
+        return IMAGES[name]
+    except KeyError:
+        raise ContainerError(
+            f"unknown image {name!r} (have: {sorted(IMAGES)})"
+        ) from None

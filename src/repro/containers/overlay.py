@@ -1,0 +1,94 @@
+"""Docker-overlay-style VXLAN networks spanning several VMs.
+
+One :class:`OverlayNetwork` owns an overlay subnet and a VNI.  Each VM
+that joins gets an overlay bridge plus a VXLAN tunnel device enslaved
+to it; remote VTEP entries are kept full-mesh, mirroring Docker's
+gossip-driven forwarding tables.  Containers connect through veth pairs
+into their VM's overlay bridge.
+"""
+
+from __future__ import annotations
+
+from repro.containers.container import Container
+from repro.errors import TopologyError
+from repro.net.addresses import HostAllocator, Ipv4Address, Ipv4Network
+from repro.net.bridge import Bridge
+from repro.net.devices import VethPair, VxlanTunnel
+from repro.virt.vm import VirtualMachine
+
+
+class OverlayNetwork:
+    """A VXLAN overlay shared by containers across VMs."""
+
+    def __init__(self, name: str, subnet: Ipv4Network, vni: int) -> None:
+        self.name = name
+        self.subnet = subnet
+        self.vni = vni
+        self._alloc = HostAllocator(subnet)
+        self._attachments: dict[str, tuple[VirtualMachine, Bridge, VxlanTunnel]] = {}
+        self._locations: list[tuple[Ipv4Address, str]] = []  # container → VM
+        self._veth_seq = 0
+
+    # -- VM attachment ---------------------------------------------------------
+    def attach_vm(self, vm: VirtualMachine) -> None:
+        """Create this overlay's bridge + VXLAN device inside *vm*."""
+        if vm.name in self._attachments:
+            raise TopologyError(f"{vm.name} already attached to {self.name}")
+        underlay_ip = vm.primary_nic.primary_ip
+        if underlay_ip is None:
+            raise TopologyError(f"{vm.name} has no underlay address")
+        bridge = Bridge(f"ov-{self.name}")
+        vm.ns.attach(bridge)
+        vm.ns.routes.add_on_link(self.subnet, bridge.name)
+        tunnel = VxlanTunnel(f"vx-{self.name}", vni=self.vni,
+                             underlay_ip=underlay_ip)
+        vm.ns.attach(tunnel)
+        bridge.add_port(tunnel)
+        # Docker keeps per-endpoint forwarding entries (gossiped): teach
+        # the new VTEP where every existing container lives.
+        for address, owner in self._locations:
+            if owner != vm.name:
+                owner_vm = self._attachments[owner][0]
+                owner_underlay = owner_vm.primary_nic.primary_ip
+                assert owner_underlay is not None
+                tunnel.add_remote(Ipv4Network(address, 32), owner_underlay)
+        self._attachments[vm.name] = (vm, bridge, tunnel)
+
+    def is_attached(self, vm: VirtualMachine) -> bool:
+        return vm.name in self._attachments
+
+    def bridge_in(self, vm: VirtualMachine) -> Bridge:
+        try:
+            return self._attachments[vm.name][1]
+        except KeyError:
+            raise TopologyError(f"{vm.name} not attached to {self.name}") from None
+
+    # -- container connection ------------------------------------------------------
+    def connect(self, vm: VirtualMachine, container: Container) -> Ipv4Address:
+        """Wire *container* (running in *vm*) onto this overlay."""
+        if not self.is_attached(vm):
+            self.attach_vm(vm)
+        bridge = self.bridge_in(vm)
+        allocator = vm.host.mac_allocator
+        pair = VethPair("eth0", f"ov-veth{self._veth_seq}",
+                        allocator.allocate(), allocator.allocate())
+        self._veth_seq += 1
+        address = self._alloc.allocate()
+        pair.a.assign_ip(address, self.subnet)
+        container.netns.attach(pair.a)
+        vm.ns.attach(pair.b)
+        bridge.add_port(pair.b)
+        container.netns.routes.add_on_link(self.subnet, "eth0")
+        container.network_mode = "overlay"
+        # Announce the new endpoint to every other VTEP.
+        underlay_ip = vm.primary_nic.primary_ip
+        assert underlay_ip is not None
+        for name, (_, _, tunnel) in self._attachments.items():
+            if name != vm.name:
+                tunnel.add_remote(Ipv4Network(address, 32), underlay_ip)
+        self._locations.append((address, vm.name))
+        return address
+
+    @property
+    def attached_vms(self) -> tuple[str, ...]:
+        return tuple(sorted(self._attachments))

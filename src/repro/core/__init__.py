@@ -1,0 +1,23 @@
+"""The public API of the reproduction.
+
+:class:`Testbed` assembles the whole simulated server — physical host,
+VMM, orchestrator, benchmark client, transfer engine — in the shape of
+the paper's §5.1 environment.  :mod:`repro.core.scenario` then builds
+the six deployment configurations the evaluation compares:
+
+===========  ==================================================
+mode         meaning (paper terminology)
+===========  ==================================================
+NAT          nested default: Docker bridge+NAT inside the VM
+BRFUSION     §3: per-pod NIC on the host bridge
+NOCONT       no nested virtualization (app native in the VM)
+SAMENODE     whole pod in one VM, localhost communication
+HOSTLO       §4: pod split across VMs over the hostlo device
+OVERLAY      pod split across VMs over Docker Overlay (VXLAN)
+===========  ==================================================
+"""
+
+from repro.core.scenario import DeploymentMode, Scenario, build_scenario
+from repro.core.testbed import Testbed
+
+__all__ = ["DeploymentMode", "Scenario", "Testbed", "build_scenario"]

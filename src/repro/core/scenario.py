@@ -1,0 +1,233 @@
+"""Scenario builders for the paper's deployment configurations.
+
+Two experiment families exist in §5:
+
+* **client→server** (BrFusion evaluation, figs 2/4/5/6/7): the
+  benchmark client on the host talks to a server either nested behind
+  Docker NAT, behind a BrFusion pod NIC, or running natively in the VM
+  (NoCont).
+* **intra-pod** (Hostlo evaluation, figs 10–15): two containers of one
+  pod talk over the pod's localhost — on the same node (SameNode),
+  split across VMs over hostlo, over Docker Overlay, or over plain NAT
+  between published ports (the paper's cross-VM "NAT" baseline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.core.testbed import Testbed
+from repro.errors import ConfigurationError, SchedulingError
+from repro.net.addresses import Ipv4Address
+from repro.net.namespace import NetworkNamespace
+from repro.net.path import Datapath, resolve_path
+from repro.orchestrator.pod import ContainerSpec, PodSpec
+
+
+class DeploymentMode(enum.Enum):
+    """The configurations compared across §5."""
+
+    NAT = "nat"              # nested default (client→server)
+    BRFUSION = "brfusion"    # §3 (client→server)
+    NOCONT = "nocont"        # single-level virtualization (client→server)
+    SAMENODE = "samenode"    # whole pod, one VM (intra-pod)
+    HOSTLO = "hostlo"        # §4, split pod (intra-pod)
+    OVERLAY = "overlay"      # Docker Overlay, split pod (intra-pod)
+    NAT_CROSS = "nat_cross"  # published ports across VMs (intra-pod)
+
+    @property
+    def is_intra_pod(self) -> bool:
+        return self in (
+            DeploymentMode.SAMENODE,
+            DeploymentMode.HOSTLO,
+            DeploymentMode.OVERLAY,
+            DeploymentMode.NAT_CROSS,
+        )
+
+
+@dataclasses.dataclass
+class Scenario:
+    """A built scenario: who talks to whom, and over which addresses."""
+
+    name: str
+    mode: DeploymentMode
+    testbed: Testbed
+    src_ns: NetworkNamespace
+    src_addr: Ipv4Address
+    dst_ns: NetworkNamespace
+    dst_addr: Ipv4Address
+    dst_port: int
+    src_port: int = 40000
+
+    def paths(self, proto: str = "tcp") -> tuple[Datapath, Datapath]:
+        """(forward request path, reverse response path)."""
+        forward = resolve_path(self.src_ns, self.dst_addr, self.dst_port, proto)
+        reverse = resolve_path(self.dst_ns, self.src_addr, self.src_port, proto)
+        return forward, reverse
+
+    def ack_path(self, proto: str = "tcp") -> Datapath:
+        """The kernel-level reverse path (TCP ACKs never touch the app)."""
+        return resolve_path(
+            self.dst_ns, self.src_addr, self.src_port, proto,
+            include_endpoints=False,
+        )
+
+    @property
+    def server_domain(self) -> str:
+        return self.dst_ns.domain
+
+    @property
+    def client_domain(self) -> str:
+        return self.src_ns.domain
+
+
+def build_scenario(
+    tb: Testbed,
+    mode: DeploymentMode,
+    image: str = "netperf",
+    port: int = 12865,
+) -> Scenario:
+    """Deploy *mode*'s topology on *tb* and return the live scenario."""
+    if mode is DeploymentMode.NOCONT:
+        return _nocont(tb, port)
+    if mode is DeploymentMode.NAT:
+        return _nat(tb, image, port)
+    if mode is DeploymentMode.BRFUSION:
+        return _brfusion(tb, image, port)
+    if mode is DeploymentMode.SAMENODE:
+        return _samenode(tb, image, port)
+    if mode is DeploymentMode.HOSTLO:
+        return _split(tb, image, port, network="hostlo", mode=mode)
+    if mode is DeploymentMode.OVERLAY:
+        return _split(tb, image, port, network="overlay", mode=mode)
+    if mode is DeploymentMode.NAT_CROSS:
+        return _nat_cross(tb, image, port)
+    raise ConfigurationError(f"unknown mode {mode!r}")  # pragma: no cover
+
+
+# -- client→server scenarios ------------------------------------------------
+
+def _first_node(tb: Testbed):
+    nodes = list(tb.orchestrator.nodes.values())
+    if not nodes:
+        raise ConfigurationError("testbed has no enrolled VMs")
+    return nodes[0]
+
+
+def _nocont(tb: Testbed, port: int) -> Scenario:
+    node = _first_node(tb)
+    vm_ip = node.vm.primary_nic.primary_ip
+    assert vm_ip is not None
+    return Scenario(
+        name=tb.unique_name("nocont"), mode=DeploymentMode.NOCONT, testbed=tb,
+        src_ns=tb.client_ns, src_addr=tb.client_address,
+        dst_ns=node.vm.ns, dst_addr=vm_ip, dst_port=port,
+    )
+
+
+def _server_pod(name: str, image: str, port: int) -> PodSpec:
+    return PodSpec(
+        name=name,
+        containers=(
+            ContainerSpec(
+                "server", image, cpu=1, memory_gb=1,
+                publish=(("tcp", port, port), ("udp", port, port)),
+            ),
+        ),
+    )
+
+
+def _nat(tb: Testbed, image: str, port: int) -> Scenario:
+    node = _first_node(tb)
+    dep = tb.deploy(_server_pod(tb.unique_name("nat"), image, port),
+                    network="nat", node=node.name)
+    addr, ext_port = dep.external_endpoints["server"]
+    return Scenario(
+        name=dep.name, mode=DeploymentMode.NAT, testbed=tb,
+        src_ns=tb.client_ns, src_addr=tb.client_address,
+        dst_ns=dep.namespace_of("server"), dst_addr=addr, dst_port=ext_port,
+    )
+
+
+def _brfusion(tb: Testbed, image: str, port: int) -> Scenario:
+    node = _first_node(tb)
+    dep = tb.deploy(_server_pod(tb.unique_name("brf"), image, port),
+                    network="brfusion", node=node.name)
+    addr, ext_port = dep.external_endpoints["server"]
+    return Scenario(
+        name=dep.name, mode=DeploymentMode.BRFUSION, testbed=tb,
+        src_ns=tb.client_ns, src_addr=tb.client_address,
+        dst_ns=dep.namespace_of("server"), dst_addr=addr, dst_port=ext_port,
+    )
+
+
+# -- intra-pod scenarios ----------------------------------------------------
+
+def _pair_pod(name: str, image: str, cpu: float) -> PodSpec:
+    return PodSpec(
+        name=name,
+        containers=(
+            ContainerSpec("peer-a", image, cpu=cpu, memory_gb=1),
+            ContainerSpec("peer-b", image, cpu=cpu, memory_gb=1),
+        ),
+    )
+
+
+def _samenode(tb: Testbed, image: str, port: int) -> Scenario:
+    node = _first_node(tb)
+    dep = tb.deploy(_pair_pod(tb.unique_name("same"), image, cpu=1),
+                    network="nat", node=node.name)
+    return Scenario(
+        name=dep.name, mode=DeploymentMode.SAMENODE, testbed=tb,
+        src_ns=dep.namespace_of("peer-a"), src_addr=dep.intra_address("peer-a"),
+        dst_ns=dep.namespace_of("peer-b"), dst_addr=dep.intra_address("peer-b"),
+        dst_port=port,
+    )
+
+
+def _split(tb: Testbed, image: str, port: int, network: str,
+           mode: DeploymentMode) -> Scenario:
+    if len(tb.orchestrator.nodes) < 2:
+        raise ConfigurationError(f"{mode.value} scenarios need two VMs")
+    # Size containers so no single standard VM can host both: the
+    # scheduler must split the pod (the capability §4 introduces).
+    vcpus = min(n.cpu_capacity for n in tb.orchestrator.nodes.values())
+    cpu = (vcpus // 2) + 1
+    dep = tb.deploy(_pair_pod(tb.unique_name(network), image, cpu=cpu),
+                    network=network, allow_split=True)
+    if not dep.is_split:
+        raise SchedulingError(
+            f"{dep.name}: expected a cross-VM split (got {dep.placement})"
+        )
+    return Scenario(
+        name=dep.name, mode=mode, testbed=tb,
+        src_ns=dep.namespace_of("peer-a"), src_addr=dep.intra_address("peer-a"),
+        dst_ns=dep.namespace_of("peer-b"), dst_addr=dep.intra_address("peer-b"),
+        dst_port=port,
+    )
+
+
+def _nat_cross(tb: Testbed, image: str, port: int, src_port: int = 40000) -> Scenario:
+    """Two single-container pods on different VMs, published ports.
+
+    This is the only way the *default* stack serves a "pod" spanning
+    VMs: talk to the other VM's published port through two NAT layers.
+    """
+    nodes = list(tb.orchestrator.nodes.values())
+    if len(nodes) < 2:
+        raise ConfigurationError("nat_cross scenarios need two VMs")
+    node_a, node_b = nodes[0], nodes[1]
+    dep_a = tb.deploy(_server_pod(tb.unique_name("natx-a"), image, src_port),
+                      network="nat", node=node_a.name)
+    dep_b = tb.deploy(_server_pod(tb.unique_name("natx-b"), image, port),
+                      network="nat", node=node_b.name)
+    addr_b, port_b = dep_b.external_endpoints["server"]
+    addr_a, port_a = dep_a.external_endpoints["server"]
+    return Scenario(
+        name=f"{dep_a.name}->{dep_b.name}", mode=DeploymentMode.NAT_CROSS,
+        testbed=tb,
+        src_ns=dep_a.namespace_of("server"), src_addr=addr_a,
+        dst_ns=dep_b.namespace_of("server"), dst_addr=addr_b,
+        dst_port=port_b, src_port=port_a,
+    )

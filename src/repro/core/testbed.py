@@ -1,0 +1,186 @@
+"""The assembled testbed: one object that owns the whole simulation.
+
+Mirrors §5.1: a 12-core 2.2 GHz host; VMs with 5 vCPUs and 4 GB; the
+benchmark client runs on dedicated host CPUs, attached to the host's
+bridge.  The client gets its own CPU pool so its usr/sys time can be
+reported separately (figs 14–15 show client CPU explicitly).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.metrics.cpu import CpuBreakdown, collect_breakdowns
+from repro.net.addresses import Ipv4Address
+from repro.net.costs import CostModel
+from repro.net.namespace import NetworkNamespace
+from repro.net.path import Datapath, resolve_path
+from repro.net.transfer import TransferEngine
+from repro.orchestrator.cluster import Deployment, Orchestrator
+from repro.orchestrator.node import Node
+from repro.orchestrator.pod import PodSpec
+from repro.sim import CpuResource, Environment
+from repro.virt.host import PhysicalHost
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import Vmm
+
+
+#: Steady background load of one idle guest (timer ticks, kworkers,
+#: agents), in cores.  A pod split across two VMs pays this twice —
+#: part of the guest-CPU increase figs 14/15 report for Hostlo.
+VM_IDLE_CORES = 0.15
+
+
+class Testbed:
+    """The full simulated server plus benchmark client."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(
+        self,
+        seed: int = 0,
+        host_cores: int = 12,
+        client_cores: int = 2,
+        freq_hz: float = 2.2e9,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.env = Environment()
+        self.host = PhysicalHost(
+            self.env, cores=host_cores, freq_hz=freq_hz, seed=seed
+        )
+        self.vmm = Vmm(self.host)
+        self.orchestrator = Orchestrator(self.vmm)
+        self.engine = TransferEngine(self.env, cost_model)
+        self.engine.register_domain("host", self.host.cpu)
+        self.client_cpu = CpuResource(
+            self.env, cores=client_cores, freq_hz=freq_hz, name="client"
+        )
+        self.engine.register_domain("client", self.client_cpu)
+        self.client_ns = self.host.create_attached_namespace(
+            "client", domain="client"
+        )
+        self.rng = self.host.rng
+        self._name_seq = 0
+
+    def unique_name(self, prefix: str) -> str:
+        """A testbed-local unique name (deterministic across runs)."""
+        self._name_seq += 1
+        return f"{prefix}-{self._name_seq}"
+
+    # -- building blocks ---------------------------------------------------
+    @property
+    def client_address(self) -> Ipv4Address:
+        addr = self.client_ns.device("eth0").primary_ip
+        assert addr is not None
+        return addr
+
+    def add_vm(self, name: str, vcpus: int = 5, memory_gb: float = 4.0) -> Node:
+        """Create a VM, enroll it as a node, register its CPU domain."""
+        vm = self.vmm.create_vm(name, vcpus=vcpus, memory_gb=memory_gb)
+        node = self.orchestrator.enroll(vm)
+        self.engine.register_domain(vm.domain, vm.cpu)
+        return node
+
+    def deploy(self, spec: PodSpec, network: str = "nat",
+               allow_split: bool = False, node: str | None = None) -> Deployment:
+        return self.orchestrator.deploy_pod(
+            spec, network=network, allow_split=allow_split, node=node
+        )
+
+    # -- path resolution ------------------------------------------------------
+    def paths_between(
+        self,
+        src_ns: NetworkNamespace,
+        src_addr: Ipv4Address,
+        dst_ns: NetworkNamespace,
+        dst_addr: Ipv4Address,
+        dst_port: int,
+        proto: str = "tcp",
+        src_port: int = 40000,
+    ) -> tuple[Datapath, Datapath]:
+        """(forward, reverse) datapaths for one flow."""
+        forward = resolve_path(src_ns, dst_addr, dst_port, proto)
+        reverse = resolve_path(dst_ns, src_addr, src_port, proto)
+        return forward, reverse
+
+    # -- measurement windows -------------------------------------------------
+    def reset_accounting(self) -> None:
+        self.host.cpu.reset_accounting()
+        self.client_cpu.reset_accounting()
+        for vm in self.vmm.vms.values():
+            vm.cpu.reset_accounting()
+        for cpu in self.engine.kernel_threads().values():
+            cpu.reset_accounting()
+        for cpu in self.engine.softirq_contexts().values():
+            cpu.reset_accounting()
+        self._window_start = self.env.now
+
+    def breakdowns(self) -> dict[str, CpuBreakdown]:
+        """usr/sys/soft/guest per entity since the last reset.
+
+        Host kernel-thread time (vhost workers, hostlo handler) is folded
+        into the host's ``sys`` share, as the paper observes (§5.3.4).
+        """
+        window = self.env.now - getattr(self, "_window_start", 0.0)
+        vm_cpus = {vm.domain: vm.cpu for vm in self.vmm.vms.values()}
+        kthread_sys = sum(
+            cpu.busy_seconds() for cpu in self.engine.kernel_threads().values()
+        )
+        vm_soft_extra = {
+            name.removeprefix("softirq:"): cpu.busy_seconds()
+            for name, cpu in self.engine.softirq_contexts().items()
+        }
+        breakdowns = collect_breakdowns(
+            self.host.cpu, vm_cpus, window,
+            extra={"client": self.client_cpu},
+            host_extra_sys=kthread_sys,
+            vm_soft_extra=vm_soft_extra,
+        )
+        # Idle-guest background load: every running VM keeps
+        # VM_IDLE_CORES busy with housekeeping, billed as guest sys.
+        idle_seconds = VM_IDLE_CORES * window
+        idle_total = 0.0
+        for domain in vm_cpus:
+            bd = breakdowns[domain]
+            breakdowns[domain] = CpuBreakdown(
+                usr=bd.usr, sys=bd.sys + idle_seconds, soft=bd.soft,
+                guest=bd.guest, window_s=bd.window_s, cores=bd.cores,
+            )
+            idle_total += idle_seconds
+        host = breakdowns["host"]
+        breakdowns["host"] = CpuBreakdown(
+            usr=host.usr, sys=host.sys, soft=host.soft,
+            guest=host.guest + idle_total,
+            window_s=host.window_s, cores=host.cores,
+        )
+        return breakdowns
+
+    def vm(self, name: str) -> VirtualMachine:
+        return self.vmm.vm(name)
+
+    def run(self, until: float | None = None) -> None:
+        self.env.run(until=until)
+
+    def spawn(self, generator: t.Generator):
+        return self.env.process(generator)
+
+    def check_domain(self, domain: str) -> None:
+        """Raise unless *domain* has a registered CPU pool."""
+        self.engine.cpu(domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Testbed t={self.env.now:.3f}s vms={sorted(self.vmm.vms)} "
+            f"pods={sorted(self.orchestrator.deployments)}>"
+        )
+
+
+def default_testbed(seed: int = 0, vms: int = 2) -> Testbed:
+    """A ready-to-use testbed with *vms* standard VMs (§5.1 sizing)."""
+    if vms < 1:
+        raise ConfigurationError("need at least one VM")
+    tb = Testbed(seed=seed)
+    for i in range(vms):
+        tb.add_vm(f"vm{i}")
+    return tb

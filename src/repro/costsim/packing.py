@@ -1,0 +1,126 @@
+"""Bought-VM state for the cost simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as t
+
+from repro.errors import CapacityError
+from repro.traces.aws import VmModel, cheapest_fitting
+from repro.traces.google import TraceContainer
+
+_vm_ids = itertools.count()
+
+
+@dataclasses.dataclass(eq=False)
+class PlacedContainer:
+    """A container placed on a VM, remembering its pod.
+
+    Identity semantics (``eq=False``): two containers of one pod may
+    request identical resources yet remain distinct placements; the
+    online simulation tracks them individually across migrations.
+    """
+
+    pod_name: str
+    container: TraceContainer
+    splittable: bool
+
+    @property
+    def cpu(self) -> float:
+        return self.container.cpu
+
+    @property
+    def memory(self) -> float:
+        return self.container.memory
+
+    @property
+    def size_key(self) -> float:
+        return max(self.cpu, self.memory)
+
+
+class BoughtVm:
+    """One VM a user bought, with its placed containers."""
+
+    def __init__(self, model: VmModel, name: str | None = None) -> None:
+        self.model = model
+        self.name = name or f"vm-{next(_vm_ids)}"
+        self.placed: list[PlacedContainer] = []
+        self._used_cpu = 0.0
+        self._used_memory = 0.0
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def used_cpu(self) -> float:
+        return self._used_cpu
+
+    @property
+    def used_memory(self) -> float:
+        return self._used_memory
+
+    @property
+    def free_cpu(self) -> float:
+        return self.model.cpu_rel - self.used_cpu
+
+    @property
+    def free_memory(self) -> float:
+        return self.model.memory_rel - self.used_memory
+
+    @property
+    def waste(self) -> float:
+        """Unused capacity, the quantity the improvement pass targets."""
+        return self.free_cpu + self.free_memory
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.placed
+
+    def fits(self, cpu: float, memory: float) -> bool:
+        return cpu <= self.free_cpu + 1e-12 and memory <= self.free_memory + 1e-12
+
+    def requested_score(self) -> float:
+        """Kubernetes "most requested": mean requested fraction."""
+        return 0.5 * (
+            self.used_cpu / self.model.cpu_rel
+            + self.used_memory / self.model.memory_rel
+        )
+
+    # -- mutation ------------------------------------------------------------
+    def place(self, item: PlacedContainer) -> None:
+        if not self.fits(item.cpu, item.memory):
+            raise CapacityError(
+                f"{self.name} ({self.model.name}): container does not fit"
+            )
+        self.placed.append(item)
+        self._used_cpu += item.cpu
+        self._used_memory += item.memory
+
+    def remove(self, item: PlacedContainer) -> None:
+        self.placed.remove(item)
+        self._used_cpu -= item.cpu
+        self._used_memory -= item.memory
+
+    def shrunk_model(self) -> VmModel:
+        """The cheapest catalog model that still holds this VM's load."""
+        if self.is_empty:
+            raise CapacityError(f"{self.name} is empty; return it instead")
+        return cheapest_fitting(self.used_cpu, self.used_memory)
+
+    def clone(self) -> "BoughtVm":
+        copy = BoughtVm(self.model, name=self.name)
+        copy.placed = list(self.placed)
+        copy._used_cpu = self._used_cpu
+        copy._used_memory = self._used_memory
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<BoughtVm {self.name} {self.model.name} "
+            f"cpu {self.used_cpu:.3f}/{self.model.cpu_rel:.3f} "
+            f"containers={len(self.placed)}>"
+        )
+
+
+def total_cost(vms: t.Iterable[BoughtVm]) -> float:
+    """Hourly cost of a set of bought VMs."""
+    return sum(vm.model.price_per_h for vm in vms)

@@ -1,0 +1,84 @@
+"""Fig 9 report: the distribution of relative cost savings."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.costsim.simulation import UserOutcome
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SavingsReport:
+    """Aggregate view of the per-user outcomes (the fig 9 quantities)."""
+
+    outcomes: tuple[UserOutcome, ...]
+
+    @classmethod
+    def from_outcomes(cls, outcomes: t.Sequence[UserOutcome]) -> "SavingsReport":
+        if not outcomes:
+            raise ConfigurationError("no outcomes to report")
+        return cls(outcomes=tuple(outcomes))
+
+    # -- the paper's headline quantities ---------------------------------
+    @property
+    def user_count(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def saver_fraction(self) -> float:
+        """Fraction of users whose bill shrinks (paper: ≈11.4 %)."""
+        return sum(o.saved for o in self.outcomes) / self.user_count
+
+    @property
+    def savers_above_5pct_fraction(self) -> float:
+        """Among savers, fraction saving more than 5 % (paper: ≈66.7 %)."""
+        savers = [o for o in self.outcomes if o.saved]
+        if not savers:
+            return 0.0
+        return sum(o.relative_saving > 0.05 for o in savers) / len(savers)
+
+    @property
+    def max_relative_saving(self) -> float:
+        """Paper: ≈40 %."""
+        return max(o.relative_saving for o in self.outcomes)
+
+    @property
+    def max_absolute_saving(self) -> float:
+        """Paper: ≈237 $/h (a ≈35 % reduction for that user)."""
+        return max(o.absolute_saving for o in self.outcomes)
+
+    @property
+    def biggest_saver(self) -> UserOutcome:
+        return max(self.outcomes, key=lambda o: o.absolute_saving)
+
+    def histogram(self, bins: t.Sequence[float] = (0.0, 0.05, 0.10, 0.20,
+                                                   0.30, 0.40, 1.0)) -> list[tuple[str, int]]:
+        """Counts of savers per relative-saving bucket (fig 9's bars)."""
+        savings = np.array([o.relative_saving for o in self.outcomes if o.saved])
+        rows: list[tuple[str, int]] = []
+        for low, high in zip(bins[:-1], bins[1:]):
+            count = int(np.count_nonzero((savings > low) & (savings <= high)))
+            rows.append((f"{low:.0%}–{high:.0%}", count))
+        return rows
+
+    def render(self) -> str:
+        """Human-readable fig 9 summary."""
+        lines = [
+            f"users simulated          : {self.user_count}",
+            f"users saving money       : {self.saver_fraction:.1%}"
+            f"  (paper ≈ 11.4%)",
+            f"savers above 5% saving   : {self.savers_above_5pct_fraction:.1%}"
+            f"  (paper ≈ 66.7%)",
+            f"max relative saving      : {self.max_relative_saving:.1%}"
+            f"  (paper ≈ 40%)",
+            f"max absolute saving      : {self.max_absolute_saving:.1f} $/h"
+            f"  (paper ≈ 237 $/h)",
+            "savers per relative-saving bucket:",
+        ]
+        for label, count in self.histogram():
+            lines.append(f"  {label:>9s}: {count}")
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Per-user cost simulation driver."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.costsim.hostlo import improve_assignment, split_pod_names
+from repro.costsim.kubernetes import schedule_user
+from repro.costsim.packing import total_cost
+from repro.traces.google import TraceUser
+
+
+@dataclasses.dataclass(frozen=True)
+class UserOutcome:
+    """Costs of one user under both schedulers."""
+
+    user: str
+    kubernetes_cost: float
+    hostlo_cost: float
+    vms_before: int
+    vms_after: int
+    split_pods: int
+
+    @property
+    def absolute_saving(self) -> float:
+        return self.kubernetes_cost - self.hostlo_cost
+
+    @property
+    def relative_saving(self) -> float:
+        if self.kubernetes_cost <= 0:
+            return 0.0
+        return self.absolute_saving / self.kubernetes_cost
+
+    @property
+    def saved(self) -> bool:
+        return self.absolute_saving > 1e-9
+
+
+def simulate_user(user: TraceUser) -> UserOutcome:
+    """Run the §5.3.1 comparison for one user."""
+    baseline = schedule_user(user.pods)
+    improved = improve_assignment(baseline)
+    return UserOutcome(
+        user=user.name,
+        kubernetes_cost=total_cost(baseline),
+        hostlo_cost=total_cost(improved),
+        vms_before=len(baseline),
+        vms_after=len(improved),
+        split_pods=len(split_pod_names(improved)),
+    )
+
+
+def simulate_costs(users: t.Sequence[TraceUser]) -> list[UserOutcome]:
+    """Run the comparison for every user."""
+    return [simulate_user(user) for user in users]

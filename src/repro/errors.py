@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. running a
+    finished environment, or a process yielded a non-event)."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, workload or cost-model configuration is invalid."""
+
+
+class TopologyError(ReproError):
+    """The network topology is inconsistent (unknown device, duplicate
+    attachment, no route between endpoints, ...)."""
+
+
+class AddressExhaustedError(TopologyError):
+    """An address allocator ran out of MAC/IP addresses."""
+
+
+class SchedulingError(ReproError):
+    """The orchestrator or the cost simulation could not place a pod."""
+
+
+class CapacityError(SchedulingError):
+    """A pod or container does not fit on any available machine."""
+
+
+class HotplugError(ReproError):
+    """The VMM could not hot-plug or hot-unplug a device."""
+
+
+class ContainerError(ReproError):
+    """Container engine failure (unknown image, duplicate name, ...)."""

@@ -1,0 +1,66 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                    # run everything (default preset)
+    python -m repro.harness fig04 fig09        # run a subset
+    python -m repro.harness --preset quick     # fast pass
+    python -m repro.harness --list             # available experiment ids
+    python -m repro.harness fig09 --json out/  # also write out/fig09.json
+    python -m repro.harness fig04 --csv out/   # also write out/fig04.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the paper's evaluation figures/tables.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="ids to run (default: all; see --list)")
+    parser.add_argument("--preset", default="default",
+                        choices=("quick", "default", "full"))
+    parser.add_argument("--list", action="store_true",
+                        help="print available experiment ids and exit")
+    parser.add_argument("--json", metavar="DIR",
+                        help="also write <DIR>/<experiment>.json per result")
+    parser.add_argument("--csv", metavar="DIR",
+                        help="also write <DIR>/<experiment>.csv per result")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment in sorted(EXPERIMENTS):
+            print(experiment)
+        return 0
+
+    config = ExperimentConfig.preset(args.preset)
+    ids = args.experiments or sorted(EXPERIMENTS)
+    for experiment in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment, config)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{experiment} finished in {elapsed:.1f}s]\n")
+        if args.json:
+            path = pathlib.Path(args.json)
+            path.mkdir(parents=True, exist_ok=True)
+            (path / f"{experiment}.json").write_text(result.to_json())
+        if args.csv:
+            path = pathlib.Path(args.csv)
+            path.mkdir(parents=True, exist_ok=True)
+            (path / f"{experiment}.csv").write_text(result.to_csv())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Experiment scaling knobs.
+
+The paper ran 20-second netperf streams and 100 boot repetitions on
+real hardware; the simulator reproduces the same shapes at configurable
+scale.  ``quick`` keeps CI and pytest-benchmark runs fast; ``default``
+is used to produce EXPERIMENTS.md; ``full`` approaches the paper's
+sample counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+#: Message sizes swept by the paper's netperf figures.
+FULL_MESSAGE_SIZES = (64, 256, 512, 1024, 1280, 2048, 4096, 8192, 16384)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale parameters shared by all experiments."""
+
+    seed: int = 2019
+    stream_duration_s: float = 0.02
+    stream_window: int = 128
+    rr_transactions: int = 200
+    message_sizes: tuple[int, ...] = (64, 1024, 1280, 4096, 16384)
+    macro_duration_s: float = 0.03
+    memtier_threads: int = 4
+    memtier_connections_per_thread: int = 50
+    wrk2_rate_per_s: float = 10_000.0
+    wrk2_connections: int = 100
+    boot_runs: int = 100
+    trace_users: int = 492
+
+    def __post_init__(self) -> None:
+        if self.stream_duration_s <= 0 or self.macro_duration_s <= 0:
+            raise ConfigurationError("durations must be positive")
+        if self.rr_transactions < 2 or self.boot_runs < 2:
+            raise ConfigurationError("need at least two samples")
+        if not self.message_sizes:
+            raise ConfigurationError("need at least one message size")
+
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentConfig":
+        """``quick`` | ``default`` | ``full``."""
+        if name == "quick":
+            return cls(
+                stream_duration_s=0.008,
+                rr_transactions=60,
+                message_sizes=(1024, 1280),
+                macro_duration_s=0.01,
+                memtier_threads=2,
+                memtier_connections_per_thread=10,
+                wrk2_rate_per_s=4_000.0,
+                wrk2_connections=40,
+                boot_runs=30,
+                trace_users=120,
+            )
+        if name == "default":
+            return cls()
+        if name == "full":
+            return cls(
+                stream_duration_s=0.05,
+                rr_transactions=600,
+                message_sizes=FULL_MESSAGE_SIZES,
+                macro_duration_s=0.06,
+                boot_runs=100,
+                trace_users=492,
+            )
+        raise ConfigurationError(f"unknown preset {name!r}")

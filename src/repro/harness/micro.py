@@ -1,0 +1,65 @@
+"""Shared netperf sweep runner for the micro-benchmark figures."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.core import DeploymentMode, build_scenario
+from repro.core.testbed import default_testbed
+from repro.harness.config import ExperimentConfig
+from repro.workloads import NetperfTcpStream, NetperfUdpRR
+
+Row = dict[str, t.Any]
+
+
+def run_point(
+    mode: DeploymentMode, size: int, config: ExperimentConfig
+) -> Row:
+    """One (mode, message size) measurement on fresh testbeds.
+
+    Each configuration runs on its own testbed, exactly as the paper
+    tears down and redeploys between runs — no cross-talk between
+    modes.
+    """
+    tb = default_testbed(seed=config.seed, vms=2)
+    scenario = build_scenario(tb, mode)
+    stream = NetperfTcpStream(window=config.stream_window).run(
+        scenario, size, duration_s=config.stream_duration_s
+    )
+
+    tb_lat = default_testbed(seed=config.seed, vms=2)
+    scenario_lat = build_scenario(tb_lat, mode)
+    rr = NetperfUdpRR().run(
+        scenario_lat, size, transactions=config.rr_transactions
+    )
+    stats = rr.latency
+    return {
+        "mode": mode.value,
+        "size_B": size,
+        "throughput_mbps": stream.throughput_mbps,
+        "latency_us": stats.mean * 1e6,
+        "latency_std_us": stats.std * 1e6,
+        "latency_cv": stats.cv,
+    }
+
+
+def run_sweep(
+    modes: t.Sequence[DeploymentMode], config: ExperimentConfig
+) -> list[Row]:
+    rows = []
+    for size in config.message_sizes:
+        for mode in modes:
+            rows.append(run_point(mode, size, config))
+    return rows
+
+
+def ratio(rows: t.Sequence[Row], column: str, size: int,
+          numerator: str, denominator: str) -> float:
+    """Ratio of *column* between two modes at one message size."""
+    def pick(mode: str) -> float:
+        for row in rows:
+            if row["mode"] == mode and row["size_B"] == size:
+                return float(row[column])
+        raise KeyError(f"no row for {mode} @ {size}B")
+
+    return pick(numerator) / pick(denominator)

@@ -1,0 +1,65 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.harness import (
+    ablations,
+    analytic,
+    fig02,
+    fig04,
+    fig05,
+    fig06_07,
+    fig08,
+    fig09,
+    fig10,
+    fig11_13,
+    fig14_15,
+    online,
+    tables,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult
+
+Runner = t.Callable[[ExperimentConfig | None], ExperimentResult]
+
+#: Every figure and table of the paper's evaluation, by experiment id.
+EXPERIMENTS: dict[str, Runner] = {
+    "fig02": fig02.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06_07.run_fig06,
+    "fig07": fig06_07.run_fig07,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11_12": fig11_13.run_fig11_12,
+    "fig13": fig11_13.run_fig13,
+    "fig14": fig14_15.run_fig14,
+    "fig15": fig14_15.run_fig15,
+    "table01": tables.run_table01,
+    "table02": tables.run_table02,
+    # Design-choice ablations (extensions beyond the paper's figures).
+    "ablation_hostlo_thread": ablations.run_hostlo_thread,
+    "ablation_netfilter_cost": ablations.run_netfilter_cost,
+    "ablation_no_batching": ablations.run_no_batching,
+    "ablation_rule_bloat": ablations.run_rule_bloat,
+    "ablation_scheduler_policy": ablations.run_scheduler_policy,
+    "online_cost": online.run,
+    "analytic_check": analytic.run,
+}
+
+
+def run_experiment(
+    experiment: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment!r} (have: {sorted(EXPERIMENTS)})"
+        ) from None
+    return runner(config)

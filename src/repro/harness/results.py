@@ -1,0 +1,105 @@
+"""Experiment results: rows plus text/JSON/CSV renderings."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import typing as t
+
+from repro.errors import ConfigurationError
+
+Row = dict[str, t.Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """Rows for one figure/table, ready to print or assert on."""
+
+    experiment: str
+    title: str
+    rows: tuple[Row, ...]
+    notes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ConfigurationError(f"{self.experiment}: no rows produced")
+
+    def columns(self) -> list[str]:
+        cols: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                cols.setdefault(key, None)
+        return list(cols)
+
+    def select(self, **filters: t.Any) -> list[Row]:
+        """Rows matching all equality filters."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in filters.items()):
+                out.append(row)
+        return out
+
+    def value(self, column: str, **filters: t.Any) -> t.Any:
+        """The single value of *column* in the unique matching row."""
+        rows = self.select(**filters)
+        if len(rows) != 1:
+            raise ConfigurationError(
+                f"{self.experiment}: {filters} matched {len(rows)} rows"
+            )
+        return rows[0][column]
+
+    def render(self) -> str:
+        """An aligned plain-text table with title and notes."""
+        cols = self.columns()
+        header = [str(c) for c in cols]
+        body = [[_fmt(row.get(c)) for c in cols] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body))
+            for i in range(len(cols))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+    def to_json(self) -> str:
+        """A machine-readable dump (experiment, title, rows, notes)."""
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "rows": list(self.rows),
+                "notes": list(self.notes),
+            },
+            indent=2,
+            default=str,
+        )
+
+    def to_csv(self) -> str:
+        """The rows as CSV (notes are not included)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns())
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({k: row.get(k, "") for k in self.columns()})
+        return buffer.getvalue()
+
+
+def _fmt(value: t.Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,61 @@
+"""Tables 1 and 2 — configuration tables, reproduced as experiments."""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult
+from repro.traces.aws import M5_CATALOG
+
+
+def run_table01(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Table 1: macro-benchmark parameters and metrics (as configured)."""
+    config = config or ExperimentConfig()
+    rows = (
+        {
+            "application": "Memcached",
+            "benchmark": "memtier_benchmark",
+            "parameters": f"{config.memtier_threads} threads, "
+                          f"{config.memtier_connections_per_thread} con./thread, "
+                          "SET:GET=1:10",
+            "metrics": "Responses/s, latency",
+        },
+        {
+            "application": "NGINX",
+            "benchmark": "wrk2",
+            "parameters": f"{config.wrk2_connections} con. total, "
+                          f"{config.wrk2_rate_per_s:.0f} req./s on 1kB file",
+            "metrics": "Latency",
+        },
+        {
+            "application": "Kafka",
+            "benchmark": "kafka-producer-perf-test.sh",
+            "parameters": "120000 msg/s, 100B messages, batch size 8192B",
+            "metrics": "Latency",
+        },
+    )
+    return ExperimentResult(
+        experiment="table01",
+        title="Table 1: macro-benchmarks — parameters and metrics",
+        rows=rows,
+    )
+
+
+def run_table02(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Table 2: the AWS EC2 m5 models used by the cost simulation."""
+    del config
+    rows = tuple(
+        {
+            "model": m.name,
+            "vCPU": m.vcpus,
+            "memory_GB": m.memory_gb,
+            "vCPU_rel": round(m.cpu_rel, 4),
+            "memory_rel": round(m.memory_rel, 4),
+            "price_per_h": m.price_per_h,
+        }
+        for m in M5_CATALOG
+    )
+    return ExperimentResult(
+        experiment="table02",
+        title="Table 2: AWS EC2 m5 on-demand models",
+        rows=rows,
+    )

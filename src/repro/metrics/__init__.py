@@ -1,0 +1,7 @@
+"""Measurement utilities: latency/throughput statistics and the
+usr/sys/soft/guest CPU breakdowns the paper's figures report."""
+
+from repro.metrics.cpu import CpuBreakdown, collect_breakdowns
+from repro.metrics.stats import SampleStats, Cdf
+
+__all__ = ["Cdf", "CpuBreakdown", "SampleStats", "collect_breakdowns"]

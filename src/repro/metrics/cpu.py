@@ -1,0 +1,113 @@
+"""CPU-time breakdowns in the paper's categories.
+
+§5.1 defines the categories: ``usr`` (software work), ``sys`` (kernel
+work excluding interrupts), ``soft`` (kernel serving software
+interrupts) and ``guest`` (host CPU time given to a guest VM).  Guest
+vCPU pools accumulate usr/sys/soft directly; the host's ``guest``
+category is the sum of all vCPU busy time, and vhost/QMP work lands in
+the host's ``sys`` — exactly the attribution question §5.3.4 discusses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.sim import CpuResource
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuBreakdown:
+    """Busy seconds per accounting category over a measurement window."""
+
+    usr: float = 0.0
+    sys: float = 0.0
+    soft: float = 0.0
+    guest: float = 0.0
+    window_s: float = 0.0
+    cores: int = 1
+
+    @property
+    def total(self) -> float:
+        return self.usr + self.sys + self.soft + self.guest
+
+    @property
+    def kernel(self) -> float:
+        """Kernel work including softirqs (sys + soft)."""
+        return self.sys + self.soft
+
+    def cores_used(self) -> float:
+        """Average cores kept busy over the window."""
+        if self.window_s <= 0:
+            return 0.0
+        return self.total / self.window_s
+
+    def share(self, category: str) -> float:
+        """Fraction of busy time in *category*."""
+        value = getattr(self, category)
+        return value / self.total if self.total else 0.0
+
+    def scaled(self, factor: float) -> "CpuBreakdown":
+        return CpuBreakdown(
+            usr=self.usr * factor,
+            sys=self.sys * factor,
+            soft=self.soft * factor,
+            guest=self.guest * factor,
+            window_s=self.window_s,
+            cores=self.cores,
+        )
+
+
+def breakdown_of(cpu: CpuResource, window_s: float,
+                 guest_seconds: float = 0.0) -> CpuBreakdown:
+    """Read one CPU pool's accounts into a :class:`CpuBreakdown`."""
+    accounts = cpu.breakdown()
+    return CpuBreakdown(
+        usr=accounts.get("usr", 0.0),
+        sys=accounts.get("sys", 0.0),
+        soft=accounts.get("soft", 0.0),
+        guest=guest_seconds,
+        window_s=window_s,
+        cores=cpu.cores,
+    )
+
+
+def collect_breakdowns(
+    host_cpu: CpuResource,
+    vm_cpus: t.Mapping[str, CpuResource],
+    window_s: float,
+    extra: t.Mapping[str, CpuResource] | None = None,
+    host_extra_sys: float = 0.0,
+    vm_soft_extra: t.Mapping[str, float] | None = None,
+) -> dict[str, CpuBreakdown]:
+    """Breakdowns for the host, each VM and any extra pools (client).
+
+    The host's ``guest`` category is the summed busy time of all vCPU
+    pools, mirroring how the host kernel accounts vCPU thread time.
+    ``host_extra_sys`` adds kernel-thread time (vhost workers, the
+    hostlo handler) into the host's ``sys`` share; ``vm_soft_extra``
+    adds each guest's RX softirq-context time to its ``soft`` share
+    (and to the host's ``guest`` total — softirq cycles run on a vCPU).
+    """
+    result: dict[str, CpuBreakdown] = {}
+    guest_total = 0.0
+    for name, cpu in vm_cpus.items():
+        bd = breakdown_of(cpu, window_s)
+        soft_extra = (vm_soft_extra or {}).get(name, 0.0)
+        if soft_extra:
+            bd = CpuBreakdown(
+                usr=bd.usr, sys=bd.sys, soft=bd.soft + soft_extra,
+                guest=bd.guest, window_s=bd.window_s, cores=bd.cores,
+            )
+        result[name] = bd
+        guest_total += cpu.busy_seconds() + (vm_soft_extra or {}).get(name, 0.0)
+    host = breakdown_of(host_cpu, window_s, guest_seconds=guest_total)
+    if host_extra_sys:
+        host = CpuBreakdown(
+            usr=host.usr, sys=host.sys + host_extra_sys, soft=host.soft,
+            guest=host.guest, window_s=host.window_s, cores=host.cores,
+        )
+    result["host"] = host
+    for name, cpu in (extra or {}).items():
+        result[name] = breakdown_of(cpu, window_s)
+    return result

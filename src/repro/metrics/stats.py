@@ -1,0 +1,78 @@
+"""Sample statistics and empirical CDFs."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleStats:
+    """Summary statistics of a sample (latencies, boot times, ...)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    p50: float
+    p75: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: t.Sequence[float]) -> "SampleStats":
+        if len(samples) == 0:
+            raise ConfigurationError("cannot summarise an empty sample")
+        arr = np.asarray(samples, dtype=float)
+        q = np.quantile(arr, [0.25, 0.50, 0.75, 0.90, 0.99])
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            p25=float(q[0]),
+            p50=float(q[1]),
+            p75=float(q[2]),
+            p90=float(q[3]),
+            p99=float(q[4]),
+            maximum=float(arr.max()),
+        )
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean) — the paper quotes
+        std-dev as a percentage of the average throughout §5."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF (used by the fig 8 boot-time plot)."""
+
+    values: tuple[float, ...]  # sorted
+
+    @classmethod
+    def from_samples(cls, samples: t.Sequence[float]) -> "Cdf":
+        if len(samples) == 0:
+            raise ConfigurationError("cannot build a CDF from no samples")
+        return cls(values=tuple(sorted(float(s) for s in samples)))
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile out of range: {q!r}")
+        return float(np.quantile(np.asarray(self.values), q))
+
+    def fraction_below(self, threshold: float) -> float:
+        arr = np.asarray(self.values)
+        return float(np.count_nonzero(arr <= threshold) / arr.size)
+
+    def points(self) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        n = len(self.values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self.values)]

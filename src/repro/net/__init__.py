@@ -1,0 +1,84 @@
+"""Simulated Linux networking substrate.
+
+This package models the pieces of the Linux network stack that the
+paper's datapaths traverse: Ethernet/IP addressing, network devices
+(NICs, veth pairs, TAP devices, loopbacks, the hostlo multiplexed
+loopback endpoints), learning bridges, netfilter NAT with connection
+tracking, routing tables, network namespaces, and VXLAN overlays.
+
+Two higher-level services tie it together:
+
+* :mod:`repro.net.path` resolves, from the actual topology objects, the
+  ordered list of processing stages a packet traverses between two
+  sockets — the resolver is where BrFusion's "shorter path" physically
+  comes from.
+* :mod:`repro.net.transfer` executes such a path on the discrete-event
+  engine, charging each stage's cycles to the right CPU and account.
+
+All stage costs live in :mod:`repro.net.costs`.
+"""
+
+from repro.net.addresses import (
+    Ipv4Address,
+    Ipv4Network,
+    MacAddress,
+    MacAllocator,
+    SubnetAllocator,
+)
+from repro.net.bridge import Bridge
+from repro.net.costs import CostModel, StageCost
+from repro.net.devices import (
+    HostloEndpoint,
+    HostloTap,
+    Loopback,
+    NetDevice,
+    PhysicalNic,
+    TapDevice,
+    VethPair,
+    VirtioNic,
+    VxlanTunnel,
+)
+from repro.net.forwarding import Delivery, ForwardingEngine, Frame
+from repro.net.links import PhysicalLink, connect_hosts
+from repro.net.namespace import NetworkNamespace
+from repro.net.netfilter import DnatRule, ForwardDropRule, MasqueradeRule, Netfilter
+from repro.net.path import Datapath, PathStage, resolve_path
+from repro.net.routing import Route, RoutingTable
+from repro.net.transfer import StageTiming, TransferEngine
+
+__all__ = [
+    "Bridge",
+    "CostModel",
+    "Datapath",
+    "Delivery",
+    "DnatRule",
+    "ForwardDropRule",
+    "ForwardingEngine",
+    "Frame",
+    "HostloEndpoint",
+    "HostloTap",
+    "Ipv4Address",
+    "Ipv4Network",
+    "Loopback",
+    "MacAddress",
+    "MacAllocator",
+    "MasqueradeRule",
+    "NetDevice",
+    "Netfilter",
+    "NetworkNamespace",
+    "PathStage",
+    "PhysicalLink",
+    "PhysicalNic",
+    "Route",
+    "RoutingTable",
+    "StageCost",
+    "StageTiming",
+    "SubnetAllocator",
+    "TapDevice",
+    "TransferEngine",
+    "connect_hosts",
+    "VethPair",
+    "VirtioNic",
+    "VxlanTunnel",
+    "resolve_path",
+]

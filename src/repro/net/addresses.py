@@ -1,0 +1,214 @@
+"""Ethernet MAC and IPv4 addressing with deterministic allocators."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import AddressExhaustedError, TopologyError
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2**48:
+            raise TopologyError(f"MAC out of range: {self.value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff``."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise TopologyError(f"bad MAC {text!r}")
+        try:
+            octets = [int(p, 16) for p in parts]
+        except ValueError as exc:
+            raise TopologyError(f"bad MAC {text!r}") from exc
+        if any(not 0 <= o <= 255 for o in octets):
+            raise TopologyError(f"bad MAC {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool((self.value >> 40) & 0x01)
+
+    @property
+    def is_locally_administered(self) -> bool:
+        return bool((self.value >> 40) & 0x02)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{o:02x}" for o in octets)
+
+
+BROADCAST_MAC = MacAddress(2**48 - 1)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Ipv4Address:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2**32:
+            raise TopologyError(f"IPv4 out of range: {self.value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise TopologyError(f"bad IPv4 {text!r}")
+        try:
+            octets = [int(p) for p in parts]
+        except ValueError as exc:
+            raise TopologyError(f"bad IPv4 {text!r}") from exc
+        if any(not 0 <= o <= 255 for o in octets):
+            raise TopologyError(f"bad IPv4 {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        return ".".join(
+            str((self.value >> shift) & 0xFF) for shift in range(24, -8, -8)
+        )
+
+
+def ip(text: str) -> Ipv4Address:
+    """Shorthand for :meth:`Ipv4Address.parse`."""
+    return Ipv4Address.parse(text)
+
+
+@dataclasses.dataclass(frozen=True)
+class Ipv4Network:
+    """An IPv4 network in CIDR form (``10.0.0.0/24``)."""
+
+    network: Ipv4Address
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise TopologyError(f"bad prefix length {self.prefix_len!r}")
+        if self.network.value & ~self.netmask_value:
+            raise TopologyError(
+                f"{self.network}/{self.prefix_len} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Network":
+        if "/" not in text:
+            raise TopologyError(f"bad CIDR {text!r}")
+        addr, _, plen = text.partition("/")
+        try:
+            prefix_len = int(plen)
+        except ValueError as exc:
+            raise TopologyError(f"bad CIDR {text!r}") from exc
+        return cls(Ipv4Address.parse(addr), prefix_len)
+
+    @property
+    def netmask_value(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return ((1 << self.prefix_len) - 1) << (32 - self.prefix_len)
+
+    @property
+    def num_hosts(self) -> int:
+        """Usable host addresses (excludes network and broadcast for /30
+        and wider; /31 and /32 follow point-to-point conventions)."""
+        size = 1 << (32 - self.prefix_len)
+        return max(size - 2, 1) if self.prefix_len < 31 else size
+
+    def __contains__(self, addr: object) -> bool:
+        if not isinstance(addr, Ipv4Address):
+            return False
+        return (addr.value & self.netmask_value) == self.network.value
+
+    def host(self, index: int) -> Ipv4Address:
+        """The *index*-th host address (1-based; 1 is usually the gateway)."""
+        size = 1 << (32 - self.prefix_len)
+        if not 1 <= index < size - (1 if self.prefix_len < 31 else 0):
+            raise AddressExhaustedError(
+                f"host index {index} out of range for /{self.prefix_len}"
+            )
+        return Ipv4Address(self.network.value + index)
+
+    def hosts(self) -> t.Iterator[Ipv4Address]:
+        for index in range(1, self.num_hosts + 1):
+            yield self.host(index)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+
+def cidr(text: str) -> Ipv4Network:
+    """Shorthand for :meth:`Ipv4Network.parse`."""
+    return Ipv4Network.parse(text)
+
+
+class MacAllocator:
+    """Allocates locally-administered MACs from a per-allocator OUI."""
+
+    def __init__(self, oui: int = 0x52_54_00) -> None:
+        if not 0 <= oui < 2**24:
+            raise TopologyError(f"OUI out of range: {oui!r}")
+        self._base = (oui | 0x02_00_00) << 24  # set locally-administered bit
+        self._next = 1
+
+    def allocate(self) -> MacAddress:
+        if self._next >= 2**24:
+            raise AddressExhaustedError("MAC allocator exhausted")
+        mac = MacAddress(self._base | self._next)
+        self._next += 1
+        return mac
+
+
+class SubnetAllocator:
+    """Carves fixed-size subnets out of a parent network, in order."""
+
+    def __init__(self, parent: Ipv4Network, prefix_len: int) -> None:
+        if prefix_len < parent.prefix_len:
+            raise TopologyError(
+                f"child /{prefix_len} larger than parent /{parent.prefix_len}"
+            )
+        if prefix_len > 30:
+            raise TopologyError("subnets smaller than /30 are not supported")
+        self.parent = parent
+        self.prefix_len = prefix_len
+        self._next = 0
+        self._count = 1 << (prefix_len - parent.prefix_len)
+
+    def allocate(self) -> Ipv4Network:
+        if self._next >= self._count:
+            raise AddressExhaustedError(
+                f"no more /{self.prefix_len} subnets in {self.parent}"
+            )
+        size = 1 << (32 - self.prefix_len)
+        net = Ipv4Network(
+            Ipv4Address(self.parent.network.value + self._next * size),
+            self.prefix_len,
+        )
+        self._next += 1
+        return net
+
+
+class HostAllocator:
+    """Allocates host addresses within one subnet, starting at ``.2``
+    (``.1`` is conventionally the gateway/bridge)."""
+
+    def __init__(self, network: Ipv4Network, first_index: int = 2) -> None:
+        self.network = network
+        self._next = first_index
+
+    def allocate(self) -> Ipv4Address:
+        addr = self.network.host(self._next)  # raises when exhausted
+        self._next += 1
+        return addr

@@ -1,0 +1,68 @@
+"""A learning Ethernet bridge (Linux ``br0`` style)."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import TopologyError
+from repro.net.addresses import MacAddress
+from repro.net.devices import NetDevice
+
+
+class Bridge(NetDevice):
+    """A software bridge: a set of enslaved ports plus a forwarding DB.
+
+    The bridge is itself a device (it may own an IP and act as the
+    subnet gateway, as both the Docker bridge and libvirt's default
+    bridge do).
+    """
+
+    kind = "bridge"
+
+    def __init__(self, name: str, mac: MacAddress | None = None) -> None:
+        super().__init__(name, mac)
+        self.ports: list[NetDevice] = []
+        self._fdb: dict[MacAddress, NetDevice] = {}
+
+    # -- port management ---------------------------------------------------
+    def add_port(self, device: NetDevice) -> None:
+        """Enslave *device* to this bridge."""
+        if device is self:
+            raise TopologyError("a bridge cannot enslave itself")
+        if device in self.ports:
+            raise TopologyError(f"{device.name} already a port of {self.name}")
+        if device.bridge is not None:
+            raise TopologyError(f"{device.name} already enslaved")
+        self.ports.append(device)
+        device.bridge = self
+
+    def remove_port(self, device: NetDevice) -> None:
+        if device not in self.ports:
+            raise TopologyError(f"{device.name} is not a port of {self.name}")
+        self.ports.remove(device)
+        device.bridge = None
+        # Flush learned entries pointing at the removed port.
+        self._fdb = {mac: port for mac, port in self._fdb.items() if port is not device}
+
+    def has_port(self, device: NetDevice) -> bool:
+        return device in self.ports
+
+    # -- forwarding database -------------------------------------------------
+    def learn(self, mac: MacAddress, port: NetDevice) -> None:
+        """Record that *mac* was seen behind *port*."""
+        if port not in self.ports:
+            raise TopologyError(f"{port.name} is not a port of {self.name}")
+        self._fdb[mac] = port
+
+    def lookup(self, mac: MacAddress) -> NetDevice | None:
+        """The learned port for *mac*, or None (flood)."""
+        return self._fdb.get(mac)
+
+    def fdb_size(self) -> int:
+        return len(self._fdb)
+
+    def flood_ports(self, ingress: NetDevice | None = None) -> t.Iterator[NetDevice]:
+        """All ports except the ingress one (unknown-destination flood)."""
+        for port in self.ports:
+            if port is not ingress:
+                yield port

@@ -1,0 +1,236 @@
+"""Network devices: NICs, veth pairs, TAPs, loopbacks, hostlo, VXLAN.
+
+Devices are data holders plus wiring invariants; traversal logic lives
+in :mod:`repro.net.path`.  A device belongs to exactly one
+:class:`~repro.net.namespace.NetworkNamespace` once attached.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import TopologyError
+from repro.net.addresses import Ipv4Address, Ipv4Network, MacAddress
+from repro.net.costs import ETH_MTU, LOOPBACK_MTU
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.bridge import Bridge
+    from repro.net.namespace import NetworkNamespace
+
+
+class NetDevice:
+    """Base network device.
+
+    Parameters
+    ----------
+    name: interface name (unique within its namespace).
+    mac: Ethernet address.
+    mtu: maximum transmission unit of this device.
+    gso: whether segmentation can be offloaded across this device
+        (large merged frames survive the hop).
+    """
+
+    kind = "generic"
+
+    def __init__(
+        self,
+        name: str,
+        mac: MacAddress | None = None,
+        mtu: int = ETH_MTU,
+        gso: bool = True,
+    ) -> None:
+        if not name:
+            raise TopologyError("device name must be non-empty")
+        if mtu <= 0:
+            raise TopologyError(f"mtu must be positive: {mtu!r}")
+        self.name = name
+        self.mac = mac
+        self.mtu = mtu
+        self.gso = gso
+        self.namespace: "NetworkNamespace | None" = None
+        self.bridge: "Bridge | None" = None  # set when enslaved to a bridge
+        self.addresses: list[tuple[Ipv4Address, Ipv4Network]] = []
+        self.up = True
+
+    # -- addressing -----------------------------------------------------
+    def assign_ip(self, address: Ipv4Address, network: Ipv4Network) -> None:
+        """Add *address* (within *network*) to this interface."""
+        if address not in network:
+            raise TopologyError(f"{address} not inside {network}")
+        if any(a == address for a, _ in self.addresses):
+            raise TopologyError(f"{self.name} already has {address}")
+        self.addresses.append((address, network))
+
+    def owns_ip(self, address: Ipv4Address) -> bool:
+        return any(a == address for a, _ in self.addresses)
+
+    @property
+    def primary_ip(self) -> Ipv4Address | None:
+        return self.addresses[0][0] if self.addresses else None
+
+    @property
+    def primary_network(self) -> Ipv4Network | None:
+        return self.addresses[0][1] if self.addresses else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        where = self.namespace.name if self.namespace else "detached"
+        return f"<{type(self).__name__} {self.name!r} in {where}>"
+
+
+class PhysicalNic(NetDevice):
+    """A physical NIC with a line rate (bits per second).
+
+    Cabling two physical NICs together (``repro.net.links``) extends
+    the L2 segment across hosts.
+    """
+
+    kind = "physical"
+
+    def __init__(self, name: str, mac: MacAddress | None = None,
+                 bandwidth_bps: float = 10e9, mtu: int = ETH_MTU) -> None:
+        super().__init__(name, mac, mtu=mtu, gso=True)
+        if bandwidth_bps <= 0:
+            raise TopologyError(f"bandwidth must be positive: {bandwidth_bps!r}")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.link = None  # set by repro.net.links.PhysicalLink
+
+
+class Loopback(NetDevice):
+    """The ``lo`` device: 64 KiB MTU, reflects within its namespace."""
+
+    kind = "loopback"
+
+    def __init__(self, name: str = "lo") -> None:
+        super().__init__(name, mac=None, mtu=LOOPBACK_MTU, gso=True)
+
+
+class VethEnd(NetDevice):
+    """One end of a veth pair; see :class:`VethPair`."""
+
+    kind = "veth"
+
+    def __init__(self, name: str, mac: MacAddress | None = None) -> None:
+        super().__init__(name, mac, mtu=ETH_MTU, gso=True)
+        self.peer: "VethEnd | None" = None
+
+
+class VethPair:
+    """A connected pair of virtual Ethernet devices.
+
+    ``VethPair("a", "b")`` creates ends ``.a`` and ``.b`` wired to each
+    other; attach each end to a namespace (typically one inside a
+    container, one on a bridge).
+    """
+
+    def __init__(self, name_a: str, name_b: str,
+                 mac_a: MacAddress | None = None,
+                 mac_b: MacAddress | None = None) -> None:
+        if name_a == name_b:
+            raise TopologyError("veth ends must have distinct names")
+        self.a = VethEnd(name_a, mac_a)
+        self.b = VethEnd(name_b, mac_b)
+        self.a.peer = self.b
+        self.b.peer = self.a
+
+
+class TapDevice(NetDevice):
+    """A host TAP device, typically the vhost backend of a guest NIC."""
+
+    kind = "tap"
+
+    def __init__(self, name: str, mac: MacAddress | None = None,
+                 gso: bool = True) -> None:
+        super().__init__(name, mac, mtu=ETH_MTU, gso=gso)
+        self.backs: "VirtioNic | None" = None
+
+
+class VirtioNic(NetDevice):
+    """A guest-side virtio-net device, backed in the host by a TAP (via
+    vhost) or by a hostlo queue."""
+
+    kind = "virtio"
+
+    def __init__(self, name: str, mac: MacAddress | None = None,
+                 gso: bool = True) -> None:
+        super().__init__(name, mac, mtu=ETH_MTU, gso=gso)
+        self.backend: "TapDevice | HostloTap | None" = None
+
+    def attach_backend(self, backend: "TapDevice | HostloTap") -> None:
+        if self.backend is not None:
+            raise TopologyError(f"{self.name} already has a backend")
+        self.backend = backend
+        if isinstance(backend, TapDevice):
+            if backend.backs is not None:
+                raise TopologyError(f"{backend.name} already backs a vNIC")
+            backend.backs = self
+
+
+class HostloEndpoint(VirtioNic):
+    """The in-VM endpoint of a hostlo interface (§4.2).
+
+    It looks like a normal hot-plugged virtio NIC to the guest, but its
+    backend is a shared :class:`HostloTap` queue, and — crucially — the
+    modified TAP driver cannot offload segmentation, so ``gso=False``.
+    """
+
+    kind = "hostlo_endpoint"
+
+    def __init__(self, name: str, mac: MacAddress | None = None) -> None:
+        super().__init__(name, mac, gso=False)
+
+
+class HostloTap(NetDevice):
+    """The host-side multiplexed loopback TAP device (§4.2).
+
+    It provides one RX/TX queue per served VM and reflects every
+    received Ethernet frame to *all* of its queues.
+    """
+
+    kind = "hostlo_tap"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, mac=None, mtu=ETH_MTU, gso=False)
+        self.endpoints: list[HostloEndpoint] = []
+
+    def add_queue(self, endpoint: HostloEndpoint) -> None:
+        """Register one more VM-facing queue (called by the VMM)."""
+        if endpoint in self.endpoints:
+            raise TopologyError(f"{endpoint.name} already queued on {self.name}")
+        self.endpoints.append(endpoint)
+        endpoint.backend = self
+
+    @property
+    def queue_count(self) -> int:
+        return len(self.endpoints)
+
+
+class VxlanTunnel(NetDevice):
+    """A VXLAN tunnel endpoint (Docker overlay style).
+
+    ``add_remote`` teaches the VTEP which remote VTEP serves a given
+    overlay address range.
+    """
+
+    kind = "vxlan"
+
+    def __init__(self, name: str, vni: int,
+                 underlay_ip: Ipv4Address,
+                 mac: MacAddress | None = None) -> None:
+        super().__init__(name, mac, mtu=ETH_MTU, gso=True)
+        if not 0 < vni < 2**24:
+            raise TopologyError(f"VNI out of range: {vni!r}")
+        self.vni = vni
+        self.underlay_ip = underlay_ip
+        self._remotes: list[tuple[Ipv4Network, Ipv4Address]] = []
+
+    def add_remote(self, overlay_net: Ipv4Network, vtep_ip: Ipv4Address) -> None:
+        self._remotes.append((overlay_net, vtep_ip))
+
+    def vtep_for(self, overlay_ip: Ipv4Address) -> Ipv4Address | None:
+        """The remote VTEP serving *overlay_ip*, or None if unknown."""
+        best: tuple[int, Ipv4Address] | None = None
+        for net, vtep in self._remotes:
+            if overlay_ip in net:
+                if best is None or net.prefix_len > best[0]:
+                    best = (net.prefix_len, vtep)
+        return best[1] if best else None

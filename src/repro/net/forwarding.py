@@ -1,0 +1,357 @@
+"""A frame-level forwarding engine: the data plane, frame by frame.
+
+The datapath resolver (:mod:`repro.net.path`) computes paths
+analytically for the performance experiments.  This module is its
+independent cross-check: it moves concrete :class:`Frame` objects
+through the same topology using the mechanisms Linux actually uses —
+ARP resolution, bridge FDB learning, flooding on miss, per-queue hostlo
+reflection, VXLAN encapsulation — and records every hop.
+
+Integration tests assert that what the frames traverse agrees with
+what the resolver predicted, and the learning behaviour (second frame
+is switched, not flooded) is observable through the bridge FDBs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as t
+
+from repro.errors import TopologyError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.bridge import Bridge
+from repro.net.devices import (
+    HostloEndpoint,
+    HostloTap,
+    Loopback,
+    NetDevice,
+    PhysicalNic,
+    TapDevice,
+    VethEnd,
+    VirtioNic,
+    VxlanTunnel,
+)
+from repro.net.namespace import NetworkNamespace
+
+_MAX_HOPS = 128
+
+
+@dataclasses.dataclass
+class Frame:
+    """One Ethernet frame moving through the topology."""
+
+    src_mac: MacAddress | None
+    dst_mac: MacAddress | None
+    src_ip: Ipv4Address
+    dst_ip: Ipv4Address
+    dst_port: int
+    proto: str = "tcp"
+    payload_bytes: int = 64
+    origin: str = ""
+    hops: list[str] = dataclasses.field(default_factory=list)
+
+    def note(self, what: str) -> None:
+        if len(self.hops) >= _MAX_HOPS:
+            raise TopologyError(f"frame forwarding loop: {self.hops[-6:]}")
+        self.hops.append(what)
+
+
+@dataclasses.dataclass(frozen=True)
+class Delivery:
+    """Outcome of one frame walk."""
+
+    delivered: bool
+    namespace: str | None
+    dst_ip: Ipv4Address
+    dst_port: int
+    hops: tuple[str, ...]
+    flooded_ports: int
+    reflected_copies: int
+
+    def visited(self, what: str) -> bool:
+        return any(what in hop for hop in self.hops)
+
+
+class ForwardingEngine:
+    """Walks frames through namespaces, bridges and virtual devices."""
+
+    def __init__(self) -> None:
+        self._arp_count = itertools.count()
+        self.flood_events = 0
+        self.reflect_copies = 0
+
+    # -- public API ---------------------------------------------------------
+    def send(
+        self,
+        src_ns: NetworkNamespace,
+        dst_ip: Ipv4Address,
+        dst_port: int = 0,
+        proto: str = "tcp",
+        payload_bytes: int = 64,
+    ) -> Delivery:
+        """Send one frame from a socket in *src_ns* toward *dst_ip*."""
+        self.flood_events = 0
+        self.reflect_copies = 0
+        frame = Frame(
+            src_mac=None, dst_mac=None,
+            src_ip=self._source_address(src_ns),
+            dst_ip=dst_ip, dst_port=dst_port, proto=proto,
+            payload_bytes=payload_bytes, origin=src_ns.name,
+        )
+        namespace = self._route(src_ns, frame)
+        return Delivery(
+            delivered=namespace is not None,
+            namespace=namespace.name if namespace else None,
+            dst_ip=frame.dst_ip,
+            dst_port=frame.dst_port,
+            hops=tuple(frame.hops),
+            flooded_ports=self.flood_events,
+            reflected_copies=self.reflect_copies,
+        )
+
+    # -- routing ---------------------------------------------------------------
+    def _source_address(self, ns: NetworkNamespace) -> Ipv4Address:
+        for dev in ns.devices.values():
+            if not isinstance(dev, Loopback) and dev.primary_ip is not None:
+                return dev.primary_ip
+        lo = ns.loopback
+        if lo is not None and lo.primary_ip is not None:
+            return lo.primary_ip
+        raise TopologyError(f"{ns.name}: no address to source a frame from")
+
+    def _route(self, ns: NetworkNamespace,
+               frame: Frame) -> NetworkNamespace | None:
+        """IP-layer forwarding within *ns*, recursing across hops."""
+        while True:
+            local = ns.find_device_owning(frame.dst_ip)
+            if local is not None:
+                frame.note(f"deliver:{ns.name}")
+                return ns
+            if (ns.name != frame.origin
+                    and ns.netfilter.forward_dropped(frame.src_ip,
+                                                     frame.dst_ip)):
+                frame.note(f"drop:forward-policy:{ns.name}")
+                return None
+            route = ns.routes.lookup(frame.dst_ip)
+            if route is None:
+                frame.note(f"drop:no-route:{ns.name}")
+                return None
+            egress = ns.device(route.device)
+            if not egress.up:
+                frame.note(f"drop:link-down:{egress.name}")
+                return None
+            next_hop = route.gateway or frame.dst_ip
+            frame.note(f"route:{ns.name}:{egress.name}")
+            landing = self._transmit(ns, egress, next_hop, frame)
+            if landing is None:
+                return None
+            ns = self._ingress(landing, frame)
+            if ns is None:
+                return None
+
+    def _ingress(self, ns: NetworkNamespace,
+                 frame: Frame) -> NetworkNamespace | None:
+        new_ip, new_port, hit = ns.netfilter.apply_dnat(
+            frame.proto, frame.dst_ip, frame.dst_port
+        )
+        if hit:
+            frame.note(f"dnat:{ns.name}:{new_ip}:{new_port}")
+            frame.dst_ip, frame.dst_port = new_ip, new_port
+        return ns
+
+    # -- L2 ---------------------------------------------------------------------
+    def _transmit(self, ns: NetworkNamespace, egress: NetDevice,
+                  next_hop: Ipv4Address,
+                  frame: Frame) -> NetworkNamespace | None:
+        """Push the frame out of *egress* toward *next_hop* at L2."""
+        frame.src_mac = egress.mac
+
+        if isinstance(egress, Loopback):
+            frame.note(f"lo:{ns.name}")
+            return ns
+
+        if isinstance(egress, Bridge):
+            # Routed out of a bridge-owned address: enter the segment.
+            return self._bridge_forward(egress, None, next_hop, frame)
+
+        if isinstance(egress, VethEnd):
+            peer = egress.peer
+            if peer is None or peer.namespace is None:
+                frame.note(f"drop:dangling-veth:{egress.name}")
+                return None
+            frame.note(f"veth:{egress.name}->{peer.name}")
+            if peer.bridge is not None:
+                return self._bridge_forward(peer.bridge, peer, next_hop, frame)
+            return peer.namespace
+
+        if isinstance(egress, HostloEndpoint):
+            return self._hostlo_reflect(egress, next_hop, frame)
+
+        if isinstance(egress, VirtioNic):
+            backend = egress.backend
+            if not isinstance(backend, TapDevice):
+                frame.note(f"drop:no-backend:{egress.name}")
+                return None
+            frame.note(f"virtio:{egress.name}->tap:{backend.name}")
+            if backend.bridge is not None:
+                return self._bridge_forward(backend.bridge, backend,
+                                            next_hop, frame)
+            return backend.namespace
+
+        if isinstance(egress, VxlanTunnel):
+            return self._vxlan(egress, next_hop, frame)
+
+        if isinstance(egress, PhysicalNic):
+            return self._wire(egress, next_hop, frame)
+
+        frame.note(f"drop:unsupported:{egress.kind}")
+        return None
+
+    def _wire(self, egress: PhysicalNic, next_hop: Ipv4Address,
+              frame: Frame) -> NetworkNamespace | None:
+        link = egress.link
+        if link is None:
+            frame.note(f"drop:uncabled:{egress.name}")
+            return None
+        peer = link.peer_of(egress)
+        frame.note(f"wire:{link.name}:{egress.name}->{peer.name}")
+        if peer.bridge is not None:
+            return self._bridge_forward(peer.bridge, peer, next_hop, frame)
+        return peer.namespace
+
+    def _bridge_forward(self, bridge: Bridge, ingress: NetDevice | None,
+                        next_hop: Ipv4Address,
+                        frame: Frame) -> NetworkNamespace | None:
+        """Learning-switch behaviour: learn, look up, forward or flood."""
+        if ingress is not None and frame.src_mac is not None:
+            bridge.learn(frame.src_mac, ingress)
+        frame.note(f"bridge:{bridge.name}")
+
+        if bridge.owns_ip(next_hop):
+            # Frame for the bridge's own stack (it is the gateway).
+            assert bridge.namespace is not None
+            return bridge.namespace
+
+        target_port, target = self._arp(bridge, ingress, next_hop, frame)
+        if target_port is None:
+            # Unknown next hop behind this bridge: check for a VXLAN
+            # port that knows it, then a cabled uplink whose far side
+            # owns it, else hand up to the router.
+            for port in bridge.ports:
+                if port is ingress:
+                    continue
+                if isinstance(port, VxlanTunnel) and \
+                        port.vtep_for(next_hop) is not None:
+                    return self._vxlan(port, next_hop, frame)
+            for port in bridge.ports:
+                if port is ingress:
+                    continue
+                if isinstance(port, PhysicalNic) and port.link is not None:
+                    peer = port.link.peer_of(port)
+                    if peer.bridge is not None and (
+                        peer.bridge.owns_ip(next_hop)
+                        or self._arp(peer.bridge, peer, next_hop,
+                                     frame)[0] is not None
+                    ):
+                        return self._wire(port, next_hop, frame)
+            assert bridge.namespace is not None
+            return bridge.namespace
+
+        dst_mac = target.mac
+        learned = dst_mac is not None and bridge.lookup(dst_mac) is target_port
+        if not learned:
+            # Destination unknown to the FDB: flood all other ports.
+            self.flood_events += max(0, len(bridge.ports) - 1)
+            frame.note(f"flood:{bridge.name}")
+            if dst_mac is not None:
+                bridge.learn(dst_mac, target_port)
+        frame.dst_mac = dst_mac
+        return self._cross_port(target_port, target, next_hop, frame)
+
+    def _arp(self, bridge: Bridge, ingress: NetDevice | None,
+             next_hop: Ipv4Address, frame: Frame
+             ) -> tuple[NetDevice | None, NetDevice | None]:
+        """Who on this segment owns *next_hop*? (port, owning device)."""
+        del frame
+        for port in bridge.ports:
+            if port is ingress:
+                continue
+            if isinstance(port, VethEnd):
+                peer = port.peer
+                if peer is not None and peer.owns_ip(next_hop):
+                    return port, peer
+            elif isinstance(port, TapDevice):
+                backed = port.backs
+                if backed is not None and backed.owns_ip(next_hop):
+                    return port, backed
+            elif port.owns_ip(next_hop):
+                return port, port
+        return None, None
+
+    def _cross_port(self, port: NetDevice, target: NetDevice,
+                    next_hop: Ipv4Address,
+                    frame: Frame) -> NetworkNamespace | None:
+        del next_hop
+        if isinstance(port, VethEnd):
+            frame.note(f"veth:{port.name}->{target.name}")
+            return target.namespace
+        if isinstance(port, TapDevice):
+            frame.note(f"tap:{port.name}->virtio:{target.name}")
+            return target.namespace
+        frame.note(f"drop:unsupported-port:{port.kind}")
+        return None
+
+    def _hostlo_reflect(self, endpoint: HostloEndpoint,
+                        next_hop: Ipv4Address,
+                        frame: Frame) -> NetworkNamespace | None:
+        """§4.2 semantics: the frame is copied to *every* queue; only
+        the endpoint owning the destination consumes it."""
+        tap = endpoint.backend
+        if not isinstance(tap, HostloTap):
+            frame.note(f"drop:no-hostlo-backend:{endpoint.name}")
+            return None
+        self.reflect_copies += tap.queue_count
+        frame.note(f"hostlo:{tap.name}:x{tap.queue_count}")
+        for other in tap.endpoints:
+            if other.owns_ip(next_hop):
+                frame.note(f"hostlo-rx:{other.name}")
+                frame.dst_mac = other.mac
+                return other.namespace
+        frame.note(f"drop:hostlo-no-owner:{next_hop}")
+        return None
+
+    def _vxlan(self, tunnel: VxlanTunnel, next_hop: Ipv4Address,
+               frame: Frame) -> NetworkNamespace | None:
+        """Encapsulate, walk the underlay, decapsulate at the far VTEP."""
+        vtep_ip = tunnel.vtep_for(next_hop)
+        if vtep_ip is None:
+            frame.note(f"drop:no-vtep:{tunnel.name}")
+            return None
+        assert tunnel.namespace is not None
+        frame.note(f"vxlan-encap:{tunnel.name}->{vtep_ip}")
+
+        outer = Frame(
+            src_mac=None, dst_mac=None,
+            src_ip=tunnel.underlay_ip, dst_ip=vtep_ip, dst_port=4789,
+            proto="udp", payload_bytes=frame.payload_bytes + 50,
+            origin=tunnel.namespace.name,
+        )
+        landing = self._route(tunnel.namespace, outer)
+        frame.hops.extend(f"underlay:{hop}" for hop in outer.hops)
+        if landing is None:
+            frame.note("drop:underlay-unreachable")
+            return None
+
+        remote = next(
+            (dev for dev in landing.devices.values()
+             if isinstance(dev, VxlanTunnel) and dev.vni == tunnel.vni),
+            None,
+        )
+        if remote is None:
+            frame.note(f"drop:no-remote-vtep:{landing.name}")
+            return None
+        frame.note(f"vxlan-decap:{remote.name}")
+        if remote.bridge is not None:
+            return self._bridge_forward(remote.bridge, remote, next_hop, frame)
+        return landing

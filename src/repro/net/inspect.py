@@ -1,0 +1,105 @@
+"""Topology inspection: render namespaces and devices as text.
+
+The simulated topology can get intricate (pods, fragments, hostlo
+queues, overlays, tenant bridges); these helpers print it the way an
+operator would read ``ip addr`` / ``brctl show`` output — one block per
+namespace, devices with their addresses and wiring, routes and NAT
+rules below.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.net.bridge import Bridge
+from repro.net.devices import (
+    HostloEndpoint,
+    HostloTap,
+    NetDevice,
+    PhysicalNic,
+    TapDevice,
+    VethEnd,
+    VirtioNic,
+    VxlanTunnel,
+)
+from repro.net.namespace import NetworkNamespace
+
+
+def describe_device(dev: NetDevice) -> str:
+    """One line: name, kind, addresses, wiring."""
+    parts = [f"{dev.name} <{dev.kind}>"]
+    for address, network in dev.addresses:
+        parts.append(f"{address}/{network.prefix_len}")
+    if dev.mac is not None:
+        parts.append(f"mac={dev.mac}")
+    if not dev.up:
+        parts.append("DOWN")
+    wiring = _wiring(dev)
+    if wiring:
+        parts.append(wiring)
+    return " ".join(parts)
+
+
+def _wiring(dev: NetDevice) -> str:
+    if isinstance(dev, VethEnd) and dev.peer is not None:
+        where = dev.peer.namespace.name if dev.peer.namespace else "?"
+        return f"peer={dev.peer.name}@{where}"
+    if isinstance(dev, HostloEndpoint):
+        backend = dev.backend.name if dev.backend is not None else "?"
+        return f"hostlo={backend}"
+    if isinstance(dev, VirtioNic):
+        backend = dev.backend.name if dev.backend is not None else "?"
+        return f"backend={backend}"
+    if isinstance(dev, HostloTap):
+        queues = ",".join(e.name for e in dev.endpoints)
+        return f"queues=[{queues}]"
+    if isinstance(dev, TapDevice):
+        backs = dev.backs.name if dev.backs is not None else "?"
+        bridged = f" bridge={dev.bridge.name}" if dev.bridge else ""
+        return f"backs={backs}{bridged}"
+    if isinstance(dev, VxlanTunnel):
+        return f"vni={dev.vni} underlay={dev.underlay_ip}"
+    if isinstance(dev, Bridge):
+        ports = ",".join(p.name for p in dev.ports)
+        return f"ports=[{ports}]"
+    if isinstance(dev, PhysicalNic) and dev.link is not None:
+        return f"link={dev.link.name}"
+    return ""
+
+
+def describe_namespace(ns: NetworkNamespace) -> str:
+    """A readable block for one namespace."""
+    lines = [f"namespace {ns.name} (kind={ns.kind}, domain={ns.domain})"]
+    for name in sorted(ns.devices):
+        lines.append(f"  dev   {describe_device(ns.devices[name])}")
+    for route in ns.routes:
+        via = f" via {route.gateway}" if route.gateway else ""
+        lines.append(f"  route {route.destination} dev {route.device}{via}")
+    for rule in ns.netfilter.dnat_rules:
+        lines.append(
+            f"  dnat  {rule.proto}/{rule.match_port} -> "
+            f"{rule.to_ip}:{rule.to_port}"
+        )
+    for rule in ns.netfilter.masq_rules:
+        lines.append(f"  masq  {rule.source_net} out {rule.out_device}")
+    for rule in ns.netfilter.forward_drop_rules:
+        lines.append(f"  drop  {rule.source_net} -> {rule.dest_net}")
+    return "\n".join(lines)
+
+
+def describe_topology(namespaces: t.Iterable[NetworkNamespace]) -> str:
+    """Blocks for several namespaces, in the given order."""
+    return "\n\n".join(describe_namespace(ns) for ns in namespaces)
+
+
+def testbed_namespaces(testbed) -> list[NetworkNamespace]:
+    """Every namespace a testbed owns (host, client, VMs, pods)."""
+    spaces: list[NetworkNamespace] = [testbed.host.ns, testbed.client_ns]
+    for vm in testbed.vmm.vms.values():
+        spaces.extend(vm.namespaces)
+    return spaces
+
+
+def describe_testbed(testbed) -> str:
+    """The whole testbed as text (see ``examples/topology_tour.py``)."""
+    return describe_topology(testbed_namespaces(testbed))

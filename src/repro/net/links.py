@@ -1,0 +1,94 @@
+"""Physical links between hosts.
+
+The paper's testbed is a single server; hostlo is by construction a
+single-host device (its queues are host-kernel queues).  This module
+adds the missing piece for multi-host topologies — a wire between two
+physical NICs — so the repository can also demonstrate *where hostlo's
+reach ends*: a pod split across hosts has no hostlo option and must use
+an overlay.
+
+A link's capacity is modeled as a single-server resource whose "clock"
+is the line rate: a ``wire`` stage with 8 cycles/byte then costs
+``bytes × 8 / bandwidth_bps`` seconds of link time, so serialization
+delay *and* congestion between flows sharing the wire emerge from the
+same queueing machinery as CPU contention.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.net.devices import PhysicalNic
+from repro.sim import CpuResource, Environment
+
+
+class PhysicalLink:
+    """A cable between two physical NICs (same L2 segment)."""
+
+    def __init__(
+        self,
+        name: str,
+        nic_a: PhysicalNic,
+        nic_b: PhysicalNic,
+        bandwidth_bps: float = 10e9,
+        propagation_s: float = 2.0e-6,
+    ) -> None:
+        if nic_a is nic_b:
+            raise TopologyError("a link needs two distinct NICs")
+        for nic in (nic_a, nic_b):
+            if nic.link is not None:
+                raise TopologyError(f"{nic.name} is already cabled")
+        if bandwidth_bps <= 0 or propagation_s < 0:
+            raise TopologyError("bad link parameters")
+        self.name = name
+        self.nic_a = nic_a
+        self.nic_b = nic_b
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_s = float(propagation_s)
+        nic_a.link = self
+        nic_b.link = self
+
+    @property
+    def domain(self) -> str:
+        """The transfer-engine domain carrying this link's wire time."""
+        return f"link:{self.name}"
+
+    def peer_of(self, nic: PhysicalNic) -> PhysicalNic:
+        if nic is self.nic_a:
+            return self.nic_b
+        if nic is self.nic_b:
+            return self.nic_a
+        raise TopologyError(f"{nic.name} is not an end of link {self.name}")
+
+    def make_pool(self, env: Environment) -> CpuResource:
+        """The link's capacity resource (1 'core' clocked at line rate).
+
+        Register it under :attr:`domain` on the transfer engine; the
+        ``wire`` stage's 8 cycles/byte then yield byte-accurate
+        serialization times.
+        """
+        return CpuResource(env, cores=1, freq_hz=self.bandwidth_bps,
+                           name=self.domain)
+
+
+def connect_hosts(name: str, host_a, host_b,
+                  bandwidth_bps: float = 10e9,
+                  propagation_s: float = 2.0e-6) -> PhysicalLink:
+    """Cable two :class:`~repro.virt.host.PhysicalHost` default bridges.
+
+    Creates an uplink NIC on each host, enslaves it to the host's
+    default bridge (extending the L2 segment across the wire) and
+    returns the link.  The caller must register ``link.make_pool(env)``
+    under ``link.domain`` on any transfer engine that will carry
+    traffic over it.
+    """
+    nic_a = PhysicalNic(f"uplink-{name}", host_a.mac_allocator.allocate(),
+                        bandwidth_bps=bandwidth_bps)
+    nic_b = PhysicalNic(f"uplink-{name}", host_b.mac_allocator.allocate(),
+                        bandwidth_bps=bandwidth_bps)
+    host_a.ns.attach(nic_a)
+    host_b.ns.attach(nic_b)
+    host_a.default_bridge.add_port(nic_a)
+    host_b.default_bridge.add_port(nic_b)
+    return PhysicalLink(name, nic_a, nic_b,
+                        bandwidth_bps=bandwidth_bps,
+                        propagation_s=propagation_s)

@@ -1,0 +1,159 @@
+"""Netfilter hooks: DNAT port-forwarding, masquerade, conntrack.
+
+Only the pieces the paper's datapaths exercise are modeled: the
+PREROUTING DNAT table (port-forwards set up by Docker/libvirt for
+inbound traffic), the POSTROUTING masquerade table (source NAT toward
+the outside), and a connection-tracking table whose size is observable
+(rule and flow churn contributes to container start-up time in the
+fig 8 experiment).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import TopologyError
+from repro.net.addresses import Ipv4Address, Ipv4Network
+
+
+@dataclasses.dataclass(frozen=True)
+class DnatRule:
+    """PREROUTING rule: (proto, dst ip?, dst port) → (to_ip, to_port).
+
+    ``match_ip=None`` matches any destination address (typical Docker
+    ``-p`` publish rules match on the port alone).
+    """
+
+    proto: str
+    match_port: int
+    to_ip: Ipv4Address
+    to_port: int
+    match_ip: Ipv4Address | None = None
+
+    def __post_init__(self) -> None:
+        if self.proto not in ("tcp", "udp"):
+            raise TopologyError(f"bad proto {self.proto!r}")
+        for port in (self.match_port, self.to_port):
+            if not 0 < port < 65536:
+                raise TopologyError(f"bad port {port!r}")
+
+    def matches(self, proto: str, dst_ip: Ipv4Address, dst_port: int) -> bool:
+        if proto != self.proto or dst_port != self.match_port:
+            return False
+        return self.match_ip is None or dst_ip == self.match_ip
+
+
+@dataclasses.dataclass(frozen=True)
+class MasqueradeRule:
+    """POSTROUTING rule: source-NAT traffic from *source_net* leaving
+    through *out_device* (by name)."""
+
+    source_net: Ipv4Network
+    out_device: str
+
+    def matches(self, src_ip: Ipv4Address, out_device: str) -> bool:
+        return out_device == self.out_device and src_ip in self.source_net
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowKey:
+    proto: str
+    src_ip: Ipv4Address
+    src_port: int
+    dst_ip: Ipv4Address
+    dst_port: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ForwardDropRule:
+    """FORWARD-chain drop: packets from *source_net* to *dest_net* that
+    merely transit this namespace are discarded (tenant isolation)."""
+
+    source_net: Ipv4Network
+    dest_net: Ipv4Network
+
+    def matches(self, src_ip: Ipv4Address, dst_ip: Ipv4Address) -> bool:
+        return src_ip in self.source_net and dst_ip in self.dest_net
+
+
+class Netfilter:
+    """Per-namespace netfilter state."""
+
+    def __init__(self) -> None:
+        self.dnat_rules: list[DnatRule] = []
+        self.masq_rules: list[MasqueradeRule] = []
+        self.forward_drop_rules: list[ForwardDropRule] = []
+        self._conntrack: dict[FlowKey, FlowKey] = {}
+
+    # -- rule management ---------------------------------------------------
+    def add_dnat(self, rule: DnatRule) -> None:
+        for existing in self.dnat_rules:
+            if (existing.proto, existing.match_ip, existing.match_port) == (
+                rule.proto, rule.match_ip, rule.match_port,
+            ):
+                raise TopologyError(
+                    f"duplicate DNAT for {rule.proto}/{rule.match_port}"
+                )
+        self.dnat_rules.append(rule)
+
+    def add_masquerade(self, rule: MasqueradeRule) -> None:
+        self.masq_rules.append(rule)
+
+    def remove_dnat(self, proto: str, match_port: int) -> None:
+        before = len(self.dnat_rules)
+        self.dnat_rules = [
+            r for r in self.dnat_rules
+            if not (r.proto == proto and r.match_port == match_port)
+        ]
+        if len(self.dnat_rules) == before:
+            raise TopologyError(f"no DNAT rule for {proto}/{match_port}")
+
+    def add_forward_drop(self, source_net: Ipv4Network,
+                         dest_net: Ipv4Network) -> None:
+        self.forward_drop_rules.append(ForwardDropRule(source_net, dest_net))
+
+    def forward_dropped(self, src_ip: Ipv4Address,
+                        dst_ip: Ipv4Address) -> bool:
+        """Would the FORWARD chain discard this transiting flow?"""
+        return any(
+            r.matches(src_ip, dst_ip) for r in self.forward_drop_rules
+        )
+
+    @property
+    def rule_count(self) -> int:
+        return (len(self.dnat_rules) + len(self.masq_rules)
+                + len(self.forward_drop_rules))
+
+    @property
+    def active(self) -> bool:
+        """True when any NAT processing is configured (hooks engaged)."""
+        return bool(self.dnat_rules or self.masq_rules)
+
+    # -- packet-time operations ----------------------------------------------
+    def apply_dnat(
+        self, proto: str, dst_ip: Ipv4Address, dst_port: int
+    ) -> tuple[Ipv4Address, int, bool]:
+        """PREROUTING: translated (ip, port, hit?) for an inbound packet."""
+        for rule in self.dnat_rules:
+            if rule.matches(proto, dst_ip, dst_port):
+                return rule.to_ip, rule.to_port, True
+        return dst_ip, dst_port, False
+
+    def masquerades(self, src_ip: Ipv4Address, out_device: str) -> bool:
+        """POSTROUTING: would this flow be source-NATted?"""
+        return any(r.matches(src_ip, out_device) for r in self.masq_rules)
+
+    def track(self, key: FlowKey, translated: FlowKey) -> None:
+        """Record a conntrack entry for an established flow."""
+        self._conntrack[key] = translated
+
+    def tracked(self, key: FlowKey) -> FlowKey | None:
+        return self._conntrack.get(key)
+
+    @property
+    def conntrack_size(self) -> int:
+        return len(self._conntrack)
+
+    def flush_conntrack(self) -> None:
+        self._conntrack.clear()

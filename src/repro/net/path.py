@@ -1,0 +1,617 @@
+"""Datapath resolution: from topology objects to an ordered stage list.
+
+:func:`resolve_path` walks the actual simulated topology — namespaces,
+routing tables, netfilter rules, bridges, veth pairs, virtio/vhost
+backends, hostlo queues, VXLAN tunnels — from a source namespace to a
+destination IP and records every processing stage a packet traverses.
+
+This module is where the paper's structural argument lives: BrFusion's
+path is shorter than NAT's *because the resolver finds fewer stages*,
+not because anyone hard-coded a speedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import TopologyError
+from repro.net.addresses import Ipv4Address
+from repro.net.bridge import Bridge
+from repro.net.devices import (
+    HostloEndpoint,
+    HostloTap,
+    Loopback,
+    NetDevice,
+    PhysicalNic,
+    TapDevice,
+    VethEnd,
+    VirtioNic,
+    VxlanTunnel,
+)
+from repro.net.namespace import NetworkNamespace
+
+#: Bytes of L3/L4 headers subtracted from the device MTU per segment.
+SEGMENT_HEADER_BYTES = 52
+#: Extra per-segment overhead added by each level of VXLAN encapsulation.
+VXLAN_HEADER_BYTES = 50
+
+_MAX_HOPS = 64
+
+#: Netfilter hook cost grows with the rule list: every packet walks the
+#: chains, so each additional published port / masquerade entry adds a
+#: slice of work.  (The same growth shows up in the fig 8 boot-time
+#: model, where *programming* the rules slows down as the list grows.)
+NETFILTER_RULE_SCALING = 0.04
+
+
+def _netfilter_multiplier(ns: NetworkNamespace) -> float:
+    extra_rules = max(0, ns.netfilter.rule_count - 1)
+    return 1.0 + NETFILTER_RULE_SCALING * extra_rules
+
+#: Stages executed in softirq context.  Inside a guest, a single flow's
+#: RX processing runs in one NAPI context on one vCPU, so these stages
+#: are routed to the guest's single-core ``softirq:`` domain — the
+#: serialization that makes the duplicated NAT layer a throughput
+#: bottleneck (and not merely added work).  Kept in sync with the
+#: ``soft``-account stages of :class:`repro.net.costs.CostModel` by a
+#: unit test.
+SOFTIRQ_STAGES = frozenset({
+    "stack_rx",
+    "bridge_fwd",
+    "netfilter_nat",
+    "veth_xmit",
+    "loopback_xmit",
+    "virtio_rx",
+    "vxlan_encap",
+    "vxlan_decap",
+    "hostlo_rx",
+})
+
+
+def softirq_domain(stage: str, domain: str) -> str:
+    """The executing domain after softirq routing (guest domains only)."""
+    if stage in SOFTIRQ_STAGES and domain.startswith("vm:"):
+        return f"softirq:{domain}"
+    return domain
+
+
+@dataclasses.dataclass(frozen=True)
+class PathStage:
+    """One processing stage of a resolved datapath.
+
+    ``stage`` keys into the :class:`~repro.net.costs.CostModel`;
+    ``domain`` names the CPU that executes it; ``multiplier`` scales the
+    cycles (used by the hostlo reflect stage, which copies each frame to
+    every VM queue).
+    """
+
+    stage: str
+    domain: str
+    label: str = ""
+    multiplier: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Datapath:
+    """A resolved path: ordered stages plus segmentation metadata."""
+
+    stages: tuple[PathStage, ...]
+    segment_payload: int
+    jitter_class: str
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if self.segment_payload <= 0:
+            raise TopologyError(
+                f"path {self.src}->{self.dst} has non-positive payload "
+                f"({self.segment_payload}); MTU too small for encapsulation?"
+            )
+
+    def segments_for(self, nbytes: int) -> int:
+        """Wire segments needed to carry an *nbytes* message."""
+        if nbytes <= 0:
+            return 1
+        return -(-nbytes // self.segment_payload)  # ceil division
+
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(s.stage for s in self.stages)
+
+    def domains(self) -> tuple[str, ...]:
+        """Distinct CPU domains traversed, in first-seen order."""
+        seen: dict[str, None] = {}
+        for s in self.stages:
+            seen.setdefault(s.domain, None)
+        return tuple(seen)
+
+    def count(self, stage_name: str) -> int:
+        return sum(1 for s in self.stages if s.stage == stage_name)
+
+
+class _Walk:
+    """Mutable state of one resolution walk."""
+
+    def __init__(self, src_ip: Ipv4Address | None = None,
+                 source_ns: str | None = None) -> None:
+        self.stages: list[PathStage] = []
+        self.min_mtu = 65536
+        self.vxlan_depth = 0
+        self.flavors: set[str] = set()
+        self.hops = 0
+        self.src_ip = src_ip
+        self.source_ns = source_ns
+
+    def add(self, stage: str, ns_or_domain: "NetworkNamespace | str",
+            label: str = "", multiplier: float = 1.0) -> None:
+        domain = (
+            ns_or_domain if isinstance(ns_or_domain, str) else ns_or_domain.domain
+        )
+        domain = softirq_domain(stage, domain)
+        self.stages.append(PathStage(stage, domain, label, multiplier))
+
+    def see_device(self, device: NetDevice) -> None:
+        self.min_mtu = min(self.min_mtu, device.mtu)
+
+    def tick(self, what: str) -> None:
+        self.hops += 1
+        if self.hops > _MAX_HOPS:
+            raise TopologyError(f"path resolution loop detected at {what}")
+
+
+def resolve_path(
+    src_ns: NetworkNamespace,
+    dst_ip: Ipv4Address,
+    dst_port: int = 0,
+    proto: str = "tcp",
+    include_endpoints: bool = True,
+) -> Datapath:
+    """Resolve the datapath from a socket in *src_ns* to *dst_ip*.
+
+    Raises :class:`TopologyError` when no route exists or the walk
+    cannot reach a device owning the (possibly DNAT-translated)
+    destination address.
+    """
+    walk = _Walk(src_ip=_source_ip(src_ns), source_ns=src_ns.name)
+
+    if include_endpoints:
+        walk.add("app_send", src_ns, "app")
+        walk.add("syscall_send", src_ns, "socket")
+
+    dest_ns = _route_until_delivered(src_ns, dst_ip, dst_port, proto, walk)
+
+    if include_endpoints:
+        walk.add("syscall_recv", dest_ns, "socket")
+        walk.add("app_recv", dest_ns, "app")
+    payload = (
+        walk.min_mtu - SEGMENT_HEADER_BYTES - walk.vxlan_depth * VXLAN_HEADER_BYTES
+    )
+    return Datapath(
+        stages=tuple(walk.stages),
+        segment_payload=payload,
+        jitter_class=_jitter_class(walk),
+        src=src_ns.name,
+        dst=f"{dst_ip}:{dst_port}",
+    )
+
+
+def _source_ip(ns: NetworkNamespace) -> Ipv4Address | None:
+    """The address a socket in *ns* would source from (best effort)."""
+    for dev in ns.devices.values():
+        if dev.kind != "loopback" and dev.primary_ip is not None:
+            return dev.primary_ip
+    lo = ns.loopback
+    return lo.primary_ip if lo is not None else None
+
+
+def _host_domain_of(device: NetDevice) -> str:
+    """The CPU domain of the host kernel owning *device*."""
+    ns = device.namespace
+    return ns.domain if ns is not None else "host"
+
+
+def _jitter_class(walk: _Walk) -> str:
+    if "overlay" in walk.flavors:
+        return "overlay"
+    if "hostlo" in walk.flavors:
+        return "hostlo"
+    if "nat" in walk.flavors:
+        return "nat"
+    if walk.flavors == {"loopback"} or not walk.flavors:
+        return "clean"
+    return "virt"
+
+
+def _route_until_delivered(
+    ns: NetworkNamespace,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> NetworkNamespace:
+    """Forward from *ns* until a namespace owning *dst_ip* is reached.
+
+    Emits TX-side stack stages in the source namespace and RX-side
+    stages in the destination namespace; returns the destination ns.
+    """
+    walk.add("stack_tx", ns, "stack")
+
+    while True:
+        walk.tick(f"route in {ns.name}")
+        # FORWARD chain: a transiting packet may be dropped by policy
+        # (tenant isolation between host bridges).
+        if (
+            walk.src_ip is not None
+            and ns.name != walk.source_ns
+            and not ns.is_local(dst_ip)
+            and ns.netfilter.forward_dropped(walk.src_ip, dst_ip)
+        ):
+            raise TopologyError(
+                f"{ns.name}: FORWARD policy drops {walk.src_ip} -> {dst_ip}"
+            )
+        # Local delivery?
+        local_dev = ns.find_device_owning(dst_ip)
+        if local_dev is not None:
+            lo = ns.loopback
+            if lo is not None:
+                walk.see_device(lo)
+            walk.flavors.add("loopback")
+            walk.add("loopback_xmit", ns, "lo")
+            walk.add("stack_rx", ns, "stack")
+            return ns
+
+        route = ns.routes.lookup(dst_ip)
+        if route is None:
+            raise TopologyError(f"{ns.name}: no route to {dst_ip}")
+        egress = ns.device(route.device)
+        if not egress.up:
+            raise TopologyError(f"{ns.name}: egress {egress.name} is down")
+        walk.see_device(egress)
+
+        # POSTROUTING masquerade hook (source NAT) on the way out.
+        if ns.netfilter.masq_rules and any(
+            r.out_device == egress.name for r in ns.netfilter.masq_rules
+        ):
+            walk.flavors.add("nat")
+            walk.add("netfilter_nat", ns, f"snat:{egress.name}",
+                     multiplier=_netfilter_multiplier(ns))
+
+        ns, dst_ip, dst_port, delivered = _cross(
+            ns, egress, dst_ip, dst_port, proto, walk
+        )
+        if delivered:
+            walk.add("stack_rx", ns, "stack")
+            return ns
+        # else: keep routing inside the new namespace.
+
+
+def _ingress(
+    ns: NetworkNamespace,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """A packet arrived in *ns*: PREROUTING DNAT, then local or forward."""
+    new_ip, new_port, hit = ns.netfilter.apply_dnat(proto, dst_ip, dst_port)
+    if hit:
+        walk.flavors.add("nat")
+        walk.add("netfilter_nat", ns, f"dnat:{dst_ip}:{dst_port}",
+                 multiplier=_netfilter_multiplier(ns))
+        dst_ip, dst_port = new_ip, new_port
+    if ns.is_local(dst_ip):
+        return ns, dst_ip, dst_port, True
+    return ns, dst_ip, dst_port, False
+
+
+def _cross(
+    ns: NetworkNamespace,
+    egress: NetDevice,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Transmit through *egress* and land wherever the frame goes next.
+
+    Returns (namespace, dst_ip, dst_port, delivered).
+    """
+    walk.tick(f"cross {egress.name}")
+
+    if isinstance(egress, Loopback):
+        walk.flavors.add("loopback")
+        walk.add("loopback_xmit", ns, egress.name)
+        return _ingress(ns, dst_ip, dst_port, proto, walk)
+
+    if isinstance(egress, VethEnd):
+        peer = egress.peer
+        if peer is None or peer.namespace is None:
+            raise TopologyError(f"veth {egress.name} has no attached peer")
+        walk.add("veth_xmit", ns, egress.name)
+        walk.see_device(peer)
+        if peer.bridge is not None:
+            return _bridge_recv(peer.bridge, peer, dst_ip, dst_port, proto, walk)
+        return _ingress(peer.namespace, dst_ip, dst_port, proto, walk)
+
+    if isinstance(egress, VxlanTunnel):
+        return _vxlan_encap(ns, egress, dst_ip, dst_port, proto, walk)
+
+    if isinstance(egress, HostloEndpoint):
+        return _hostlo_cross(ns, egress, dst_ip, dst_port, proto, walk)
+
+    if isinstance(egress, VirtioNic):
+        return _virtio_tx(ns, egress, dst_ip, dst_port, proto, walk)
+
+    if isinstance(egress, Bridge):
+        # Sending out of a bridge-owned address: the bridge is the L2
+        # segment itself; find the device owning dst in its domain.
+        return _bridge_recv(egress, None, dst_ip, dst_port, proto, walk)
+
+    if isinstance(egress, PhysicalNic):
+        return _wire_cross(egress, dst_ip, dst_port, proto, walk)
+
+    raise TopologyError(f"cannot forward through device kind {egress.kind!r}")
+
+
+def _virtio_tx(
+    ns: NetworkNamespace,
+    nic: VirtioNic,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Guest → host through virtio/vhost."""
+    backend = nic.backend
+    if backend is None:
+        raise TopologyError(f"virtio NIC {nic.name} has no backend")
+    if isinstance(backend, HostloTap):  # pragma: no cover - guarded earlier
+        raise TopologyError("hostlo endpoints must use HostloEndpoint")
+    walk.flavors.add("virt")
+    walk.add("virtio_tx", ns, nic.name)
+    host_domain = _host_domain_of(backend)
+    # vhost-net runs one kernel thread per device queue; the thread is a
+    # serialization point shared by both directions of the flow.
+    walk.add("vhost_tx", f"kthread:{host_domain}:vhost:{backend.name}",
+             f"vhost:{nic.name}")
+    walk.see_device(backend)
+    walk.add("tap_xmit", host_domain, backend.name)
+    if backend.bridge is not None:
+        return _bridge_recv(backend.bridge, backend, dst_ip, dst_port, proto, walk)
+    if backend.namespace is None:
+        raise TopologyError(f"tap {backend.name} is detached")
+    return _ingress(backend.namespace, dst_ip, dst_port, proto, walk)
+
+
+def _virtio_rx(
+    nic: VirtioNic,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Host → guest through vhost/virtio into the NIC's namespace."""
+    if nic.namespace is None:
+        raise TopologyError(f"virtio NIC {nic.name} is detached")
+    walk.flavors.add("virt")
+    backend = nic.backend
+    backend_name = backend.name if backend is not None else nic.name
+    host_domain = _host_domain_of(backend) if backend is not None else "host"
+    walk.add("vhost_rx", f"kthread:{host_domain}:vhost:{backend_name}",
+             f"vhost:{nic.name}")
+    walk.add("virtio_rx", nic.namespace, nic.name)
+    walk.see_device(nic)
+    return _ingress(nic.namespace, dst_ip, dst_port, proto, walk)
+
+
+def _bridge_recv(
+    bridge: Bridge,
+    ingress_port: NetDevice | None,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """A frame reached *bridge*: switch it, or hand it up the stack."""
+    ns = bridge.namespace
+    if ns is None:
+        raise TopologyError(f"bridge {bridge.name} is detached")
+    walk.tick(f"bridge {bridge.name}")
+    walk.add("bridge_fwd", ns, bridge.name)
+    walk.see_device(bridge)
+
+    # Towards the bridge's own address → up the local stack.
+    if bridge.owns_ip(dst_ip):
+        return _ingress(ns, dst_ip, dst_port, proto, walk)
+
+    # L2 switch to the port behind which dst lives.
+    found = _find_in_l2_domain(bridge, ingress_port, dst_ip)
+    if found is not None:
+        port, target = found
+        if isinstance(port, VethEnd):
+            walk.add("veth_xmit", ns, port.name)
+            walk.see_device(target)
+            assert target.namespace is not None
+            return _ingress(target.namespace, dst_ip, dst_port, proto, walk)
+        if isinstance(port, TapDevice):
+            walk.add("tap_xmit", _host_domain_of(port), port.name)
+            assert isinstance(target, VirtioNic)
+            return _virtio_rx(target, dst_ip, dst_port, proto, walk)
+        raise TopologyError(
+            f"bridge {bridge.name}: unsupported port kind {port.kind!r}"
+        )
+
+    # A VXLAN port that knows a remote VTEP for dst switches the frame
+    # into the tunnel (Docker overlay programs the bridge FDB this way).
+    for port in bridge.ports:
+        if port is ingress_port:
+            continue
+        if isinstance(port, VxlanTunnel) and port.vtep_for(dst_ip) is not None:
+            return _vxlan_encap(ns, port, dst_ip, dst_port, proto, walk)
+
+    # A cabled uplink port extends the segment to another host.
+    for port in bridge.ports:
+        if port is ingress_port:
+            continue
+        if isinstance(port, PhysicalNic) and port.link is not None:
+            peer = port.link.peer_of(port)
+            if peer.bridge is not None and _l2_owns(peer.bridge, peer, dst_ip):
+                return _wire_cross(port, dst_ip, dst_port, proto, walk)
+
+    # Not on this segment: hand up to the bridge namespace's router
+    # (PREROUTING may DNAT toward a VM/container).
+    return _ingress(ns, dst_ip, dst_port, proto, walk)
+
+
+def _wire_cross(
+    egress: PhysicalNic,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Cross a physical cable to the peer host's segment."""
+    link = egress.link
+    if link is None:
+        raise TopologyError(
+            f"{egress.name}: physical NIC is not cabled to another host"
+        )
+    peer = link.peer_of(egress)
+    if peer.namespace is None:
+        raise TopologyError(f"{peer.name} is detached")
+    walk.tick(f"wire {link.name}")
+    walk.see_device(egress)
+    walk.see_device(peer)
+    walk.add("nic_xmit", _host_domain_of(egress), egress.name)
+    walk.add("wire", link.domain, link.name)
+    if peer.bridge is not None:
+        return _bridge_recv(peer.bridge, peer, dst_ip, dst_port, proto, walk)
+    return _ingress(peer.namespace, dst_ip, dst_port, proto, walk)
+
+
+def _l2_owns(bridge: Bridge, ingress_port: NetDevice | None,
+             dst_ip: Ipv4Address) -> bool:
+    """Does *dst_ip* live on this bridge segment (one wire hop deep)?"""
+    if bridge.owns_ip(dst_ip):
+        return True
+    if _find_in_l2_domain(bridge, ingress_port, dst_ip) is not None:
+        return True
+    for port in bridge.ports:
+        if port is ingress_port:
+            continue
+        if isinstance(port, PhysicalNic) and port.link is not None:
+            peer = port.link.peer_of(port)
+            if peer.bridge is not None and (
+                peer.bridge.owns_ip(dst_ip)
+                or _find_in_l2_domain(peer.bridge, peer, dst_ip) is not None
+            ):
+                return True
+    return False
+
+
+def _find_in_l2_domain(
+    bridge: Bridge,
+    ingress_port: NetDevice | None,
+    dst_ip: Ipv4Address,
+) -> tuple[NetDevice, NetDevice] | None:
+    """Find (port, owning device) for *dst_ip* behind one of the ports."""
+    for port in bridge.ports:
+        if port is ingress_port:
+            continue
+        if isinstance(port, VethEnd):
+            peer = port.peer
+            if peer is not None and peer.owns_ip(dst_ip):
+                return port, peer
+        elif isinstance(port, TapDevice):
+            backed = port.backs
+            if backed is not None and backed.owns_ip(dst_ip):
+                return port, backed
+        elif port.owns_ip(dst_ip):
+            return port, port
+    return None
+
+
+def _hostlo_cross(
+    ns: NetworkNamespace,
+    endpoint: HostloEndpoint,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Pod-fragment → hostlo TAP → reflected to the destination fragment."""
+    tap = endpoint.backend
+    if not isinstance(tap, HostloTap):
+        raise TopologyError(f"{endpoint.name} is not backed by a hostlo TAP")
+    walk.flavors.add("hostlo")
+    walk.see_device(endpoint)
+    walk.see_device(tap)
+    kthread = f"kthread:{_host_domain_of(tap)}:{tap.name}"
+    walk.add("virtio_tx", ns, endpoint.name)
+    # The whole hostlo datapath — vhost TX, the reflect copies, delivery
+    # into the destination queue — runs in the device's single kernel
+    # thread (§4.2): a serialization point, but a short one.
+    walk.add("vhost_tx", kthread, f"vhost:{endpoint.name}")
+    walk.add(
+        "hostlo_reflect", kthread, tap.name,
+        multiplier=float(max(tap.queue_count, 1)),
+    )
+    target = None
+    for other in tap.endpoints:
+        if other.owns_ip(dst_ip):
+            target = other
+            break
+    if target is None:
+        raise TopologyError(
+            f"hostlo {tap.name}: no endpoint owns {dst_ip} "
+            f"(queues: {[e.name for e in tap.endpoints]})"
+        )
+    if target.namespace is None:
+        raise TopologyError(f"hostlo endpoint {target.name} is detached")
+    walk.add("hostlo_deliver", kthread, target.name)
+    walk.add("hostlo_rx", target.namespace, target.name)
+    walk.see_device(target)
+    return _ingress(target.namespace, dst_ip, dst_port, proto, walk)
+
+
+def _vxlan_encap(
+    ns: NetworkNamespace,
+    tunnel: VxlanTunnel,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Encapsulate, traverse the underlay to the remote VTEP, decapsulate."""
+    walk.flavors.add("overlay")
+    walk.vxlan_depth += 1
+    walk.see_device(tunnel)
+    walk.add("vxlan_encap", ns, tunnel.name)
+
+    vtep_ip = tunnel.vtep_for(dst_ip)
+    if vtep_ip is None:
+        raise TopologyError(f"{tunnel.name}: no VTEP for {dst_ip}")
+
+    # Underlay traversal: a UDP packet from this namespace to the VTEP.
+    underlay_dest = _route_until_delivered(ns, vtep_ip, 4789, "udp", walk)
+
+    # Find the matching tunnel device in the remote namespace.
+    remote_tunnel = None
+    for dev in underlay_dest.devices.values():
+        if isinstance(dev, VxlanTunnel) and dev.vni == tunnel.vni:
+            remote_tunnel = dev
+            break
+    if remote_tunnel is None:
+        raise TopologyError(
+            f"VTEP {vtep_ip} ({underlay_dest.name}) has no VXLAN device "
+            f"with VNI {tunnel.vni}"
+        )
+    walk.add("vxlan_decap", underlay_dest, remote_tunnel.name)
+    walk.see_device(remote_tunnel)
+
+    # The inner frame now continues inside the remote namespace.
+    if remote_tunnel.bridge is not None:
+        return _bridge_recv(
+            remote_tunnel.bridge, remote_tunnel, dst_ip, dst_port, proto, walk
+        )
+    return _ingress(underlay_dest, dst_ip, dst_port, proto, walk)

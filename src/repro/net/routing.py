@@ -1,0 +1,73 @@
+"""Per-namespace routing tables with longest-prefix matching."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import TopologyError
+from repro.net.addresses import Ipv4Address, Ipv4Network, cidr
+
+DEFAULT_ROUTE = cidr("0.0.0.0/0")
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """One routing entry.
+
+    ``gateway=None`` means the destination is on-link through *device*.
+    """
+
+    destination: Ipv4Network
+    device: str
+    gateway: Ipv4Address | None = None
+    metric: int = 0
+
+    def __post_init__(self) -> None:
+        if self.metric < 0:
+            raise TopologyError(f"negative metric: {self.metric!r}")
+
+
+class RoutingTable:
+    """Longest-prefix-match table (lowest metric breaks prefix ties)."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, route: Route) -> None:
+        self._routes.append(route)
+
+    def add_on_link(self, network: Ipv4Network, device: str) -> None:
+        self.add(Route(network, device))
+
+    def add_default(self, device: str, gateway: Ipv4Address, metric: int = 0) -> None:
+        self.add(Route(DEFAULT_ROUTE, device, gateway, metric))
+
+    def remove_for_device(self, device: str) -> int:
+        """Drop all routes through *device*; returns how many were dropped."""
+        before = len(self._routes)
+        self._routes = [r for r in self._routes if r.device != device]
+        return before - len(self._routes)
+
+    def lookup(self, destination: Ipv4Address) -> Route | None:
+        """Best route for *destination*, or None if unroutable."""
+        best: Route | None = None
+        for route in self._routes:
+            if destination not in route.destination:
+                continue
+            if best is None:
+                best = route
+                continue
+            if route.destination.prefix_len > best.destination.prefix_len:
+                best = route
+            elif (
+                route.destination.prefix_len == best.destination.prefix_len
+                and route.metric < best.metric
+            ):
+                best = route
+        return best
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self):
+        return iter(self._routes)

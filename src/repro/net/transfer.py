@@ -1,0 +1,226 @@
+"""Execute resolved datapaths on the discrete-event engine.
+
+The :class:`TransferEngine` owns the mapping from CPU *domains*
+(``"host"``, ``"vm:xyz"``, ``"client"``) to
+:class:`~repro.sim.CpuResource` pools and plays a message through a
+:class:`~repro.net.path.Datapath`: every stage charges its cycles to
+the right CPU under the right account, and deferral points add their
+wakeup latency.
+
+Contention is emergent: when several in-flight messages (a TCP stream
+window, or concurrent clients) hit the same CPU, they queue, and the
+busiest stage becomes the throughput bottleneck — exactly the mechanism
+behind the paper's fig 4/fig 10 curves.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.net.costs import CostModel
+from repro.net.path import Datapath
+from repro.sim import CpuResource, Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class StageTiming:
+    """One stage's slice of a traced message timeline."""
+
+    stage: str
+    domain: str
+    label: str
+    started_at: float
+    cpu_done_at: float
+    finished_at: float
+    cycles: float
+
+    @property
+    def service_s(self) -> float:
+        return self.cpu_done_at - self.started_at
+
+    @property
+    def deferral_s(self) -> float:
+        return self.finished_at - self.cpu_done_at
+
+
+class TransferEngine:
+    """Plays datapaths on CPUs.
+
+    Parameters
+    ----------
+    env: the simulation environment.
+    cost_model: stage costs (defaults to the calibrated model).
+    """
+
+    def __init__(self, env: Environment, cost_model: CostModel | None = None) -> None:
+        self.env = env
+        self.cost_model = cost_model or CostModel.default()
+        self._domains: dict[str, CpuResource] = {}
+
+    # -- domain management ---------------------------------------------------
+    def register_domain(self, name: str, cpu: CpuResource) -> None:
+        """Bind CPU *domain* ``name`` to a CPU pool."""
+        if name in self._domains:
+            raise ConfigurationError(f"domain {name!r} already registered")
+        self._domains[name] = cpu
+
+    def cpu(self, domain: str) -> CpuResource:
+        cpu = self._domains.get(domain)
+        if cpu is not None:
+            return cpu
+        if domain.startswith(("kthread:", "softirq:")):
+            # Kernel threads (vhost workers, the hostlo handler) and
+            # per-guest RX softirq contexts are single-core
+            # serialization points, created on first use.
+            cpu = CpuResource(
+                self.env, cores=1, freq_hz=self.cost_model.freq_hz,
+                name=domain,
+            )
+            self._domains[domain] = cpu
+            return cpu
+        raise ConfigurationError(
+            f"no CPU registered for domain {domain!r} "
+            f"(have: {sorted(self._domains)})"
+        )
+
+    def domains(self) -> dict[str, CpuResource]:
+        return dict(self._domains)
+
+    def kernel_threads(self) -> dict[str, CpuResource]:
+        """The lazily-created host kernel-thread pools (vhost, hostlo).
+
+        Their busy time belongs to the host kernel's ``sys`` share in
+        CPU breakdowns — the attribution §5.3.4 discusses.
+        """
+        return {
+            name: cpu
+            for name, cpu in self._domains.items()
+            if name.startswith("kthread:")
+        }
+
+    def softirq_contexts(self) -> dict[str, CpuResource]:
+        """Per-guest RX softirq pools; busy time belongs to the guest's
+        ``soft`` share (one NAPI context per guest NIC queue)."""
+        return {
+            name: cpu
+            for name, cpu in self._domains.items()
+            if name.startswith("softirq:")
+        }
+
+    # -- execution -----------------------------------------------------------
+    def transfer(
+        self, path: Datapath, nbytes: int, stream: bool = False
+    ) -> t.Generator:
+        """Process generator: carry one *nbytes* message along *path*.
+
+        ``stream=True`` enables the batch amortisation of batchable
+        stages (back-to-back frames, NAPI polling/GRO); request/response
+        traffic must leave it off.
+        """
+        segments = path.segments_for(nbytes)
+        for st in path.stages:
+            cost = self.cost_model[st.stage]
+            packets = 1 if cost.per_message else segments
+            cycles = cost.cycles(packets, nbytes, batched=stream) * st.multiplier
+            if cycles > 0.0:
+                yield self.cpu(st.domain).execute(cycles, account=cost.account)
+            wakeup = cost.wakeup_s
+            if stream and cost.batch_factor > 1.0:
+                # Under back-to-back traffic, interrupt coalescing and
+                # NAPI polling amortise the deferral the same way they
+                # amortise the per-packet cycles.
+                wakeup = wakeup / cost.batch_factor
+            if wakeup > 0.0:
+                yield self.env.timeout(wakeup)
+
+    def round_trip(
+        self,
+        forward: Datapath,
+        reverse: Datapath,
+        request_bytes: int,
+        response_bytes: int,
+    ) -> t.Generator:
+        """One synchronous request/response transaction."""
+        yield from self.transfer(forward, request_bytes, stream=False)
+        yield from self.transfer(reverse, response_bytes, stream=False)
+
+    # -- tracing ----------------------------------------------------------------
+    def trace(self, path: Datapath, nbytes: int,
+              stream: bool = False) -> list["StageTiming"]:
+        """Run one message *now* and return its per-stage timeline.
+
+        Advances the simulation until the message completes; queueing
+        against concurrent traffic shows up as per-stage wait time.
+        """
+        timings: list[StageTiming] = []
+        segments = path.segments_for(nbytes)
+
+        def traced() -> t.Generator:
+            for st in path.stages:
+                cost = self.cost_model[st.stage]
+                packets = 1 if cost.per_message else segments
+                cycles = (
+                    cost.cycles(packets, nbytes, batched=stream)
+                    * st.multiplier
+                )
+                start = self.env.now
+                if cycles > 0.0:
+                    yield self.cpu(st.domain).execute(
+                        cycles, account=cost.account
+                    )
+                cpu_done = self.env.now
+                wakeup = cost.wakeup_s
+                if stream and cost.batch_factor > 1.0:
+                    wakeup = wakeup / cost.batch_factor
+                if wakeup > 0.0:
+                    yield self.env.timeout(wakeup)
+                timings.append(StageTiming(
+                    stage=st.stage, domain=st.domain, label=st.label,
+                    started_at=start, cpu_done_at=cpu_done,
+                    finished_at=self.env.now,
+                    cycles=cycles,
+                ))
+
+        self.env.run(until=self.env.process(traced()))
+        return timings
+
+    # -- analytics -------------------------------------------------------------
+    def latency_estimate(self, path: Datapath, nbytes: int) -> float:
+        """Uncontended one-way latency (seconds): pure service + wakeups.
+
+        Useful for sanity checks and fast parameter sweeps; the DES adds
+        queueing on top of this.
+        """
+        segments = path.segments_for(nbytes)
+        total = 0.0
+        for st in path.stages:
+            cost = self.cost_model[st.stage]
+            packets = 1 if cost.per_message else segments
+            cycles = cost.cycles(packets, nbytes, batched=False) * st.multiplier
+            total += cycles / self.cost_model.freq_hz + cost.wakeup_s
+        return total
+
+    def bottleneck_rate(self, path: Datapath, nbytes: int) -> float:
+        """Upper-bound streaming rate (messages/s) from per-domain work.
+
+        The busiest CPU domain bounds throughput; batchable stages are
+        amortised as they would be under streaming.
+        """
+        per_domain: dict[str, float] = {}
+        segments = path.segments_for(nbytes)
+        for st in path.stages:
+            cost = self.cost_model[st.stage]
+            packets = 1 if cost.per_message else segments
+            cycles = cost.cycles(packets, nbytes, batched=True) * st.multiplier
+            per_domain[st.domain] = per_domain.get(st.domain, 0.0) + cycles
+        worst = max(per_domain.values())
+        if worst <= 0.0:
+            return float("inf")
+        cpu_cores = {d: self.cpu(d).cores for d in per_domain}
+        # A single flow rarely spreads one direction across cores; be
+        # conservative and assume the bottleneck stage set runs on one core.
+        del cpu_cores
+        return self.cost_model.freq_hz / worst

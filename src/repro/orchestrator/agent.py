@@ -1,0 +1,43 @@
+"""The orchestrator's in-VM agent.
+
+The VMM hands device identifiers (MAC addresses) back to the
+orchestrator; the VM agent is the component inside the guest that finds
+the device by MAC and configures it for the scheduled pod
+(§3.1 step 4, §4.1 step 4).
+"""
+
+from __future__ import annotations
+
+from repro.containers.container import Container
+from repro.errors import HotplugError
+from repro.net.addresses import Ipv4Address, Ipv4Network, MacAddress
+from repro.orchestrator.node import Node
+
+
+class VmAgent:
+    """One agent per node (VM)."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.configured: list[MacAddress] = []
+
+    def configure_nic(
+        self,
+        mac: MacAddress,
+        container: Container,
+        address: Ipv4Address,
+        network: Ipv4Network,
+        gateway: Ipv4Address | None = None,
+        default_route: bool = True,
+    ) -> None:
+        """Find the device with *mac* and wire it into the pod."""
+        nic = self.node.vm.find_nic_by_mac(mac)
+        if nic is None:
+            raise HotplugError(
+                f"agent on {self.node.name}: no device with MAC {mac}"
+            )
+        self.node.engine.adopt_nic(
+            container, nic, address, network,
+            gateway=gateway, default_route=default_route,
+        )
+        self.configured.append(mac)

@@ -1,0 +1,256 @@
+"""The orchestrator proper: nodes, deployments, plugin dispatch."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.containers.container import Container
+from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.net.addresses import Ipv4Address, SubnetAllocator, cidr
+from repro.net.namespace import NetworkNamespace
+from repro.orchestrator.agent import VmAgent
+from repro.orchestrator.cni import CniPlugin
+from repro.orchestrator.node import Node
+from repro.orchestrator.pod import PodSpec
+from repro.orchestrator.scheduler import MostRequestedScheduler, Placement
+from repro.virt.mempipe import MempipeManager
+from repro.virt.virtfs import VirtfsManager
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import Vmm
+
+#: Pod-private (hostlo) and overlay address pools.
+POD_SUBNET_POOL = "10.88.0.0/16"
+OVERLAY_SUBNET_POOL = "10.96.0.0/16"
+
+
+@dataclasses.dataclass
+class Deployment:
+    """A deployed pod and everything the experiments need to drive it."""
+
+    spec: PodSpec
+    placement: Placement
+    network: str
+    fragments: dict[str, NetworkNamespace] = dataclasses.field(default_factory=dict)
+    containers: dict[str, Container] = dataclasses.field(default_factory=dict)
+    #: container name → address its peers use over the pod's localhost.
+    intra_addresses: dict[str, Ipv4Address] = dataclasses.field(default_factory=dict)
+    #: container name → (address, port) reachable from outside the pod.
+    external_endpoints: dict[str, tuple[Ipv4Address, int]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: plugin-private resources (hostlo handle, overlay network, ...).
+    plugin_state: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def is_split(self) -> bool:
+        return self.placement.is_split
+
+    def fragment_of(self, container: str) -> NetworkNamespace:
+        return self.fragments[self.placement.node_of(container)]
+
+    def namespace_of(self, container: str) -> NetworkNamespace:
+        return self.containers[container].netns
+
+    def intra_address(self, container: str) -> Ipv4Address:
+        """The address peers use to reach *container* inside the pod."""
+        try:
+            return self.intra_addresses[container]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: no intra-pod address for {container!r}"
+            ) from None
+
+
+class Orchestrator:
+    """Datacenter-global controller with one agent per enrolled VM."""
+
+    def __init__(
+        self,
+        vmm: Vmm,
+        scheduler: MostRequestedScheduler | None = None,
+        virtfs_available: bool = True,
+        mempipe_available: bool = True,
+    ):
+        self.vmm = vmm
+        self.host = vmm.host
+        self.scheduler = scheduler or MostRequestedScheduler()
+        # §4.3 substrates: cross-VM volumes and shared memory.
+        self.virtfs = VirtfsManager(available=virtfs_available)
+        self.mempipe = MempipeManager(available=mempipe_available)
+        self.nodes: dict[str, Node] = {}
+        self.agents: dict[str, VmAgent] = {}
+        self.deployments: dict[str, Deployment] = {}
+        self._plugins: dict[str, CniPlugin] = {}
+        self.pod_subnets = SubnetAllocator(cidr(POD_SUBNET_POOL), 24)
+        self.overlay_subnets = SubnetAllocator(cidr(OVERLAY_SUBNET_POOL), 24)
+        self._vni_seq = 100
+        self._register_default_plugins()
+
+    def _register_default_plugins(self) -> None:
+        from repro.orchestrator.plugins import default_plugins
+
+        for plugin in default_plugins():
+            self.register_plugin(plugin)
+
+    # -- plugins ---------------------------------------------------------
+    def register_plugin(self, plugin: CniPlugin) -> None:
+        if plugin.name in self._plugins:
+            raise ConfigurationError(f"plugin {plugin.name!r} already registered")
+        self._plugins[plugin.name] = plugin
+
+    def plugin(self, name: str) -> CniPlugin:
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no CNI plugin {name!r} (have: {sorted(self._plugins)})"
+            ) from None
+
+    def next_vni(self) -> int:
+        self._vni_seq += 1
+        return self._vni_seq
+
+    # -- nodes ------------------------------------------------------------
+    def enroll(self, vm: VirtualMachine) -> Node:
+        """Register *vm* as a schedulable node."""
+        if vm.name in self.nodes:
+            raise ConfigurationError(f"node {vm.name!r} already enrolled")
+        node = Node(vm)
+        self.nodes[vm.name] = node
+        self.agents[vm.name] = VmAgent(node)
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise SchedulingError(f"no node {name!r}") from None
+
+    def agent(self, name: str) -> VmAgent:
+        return self.agents[name]
+
+    # -- deployment -----------------------------------------------------------
+    def deploy_pod(
+        self,
+        spec: PodSpec,
+        network: str = "nat",
+        allow_split: bool = False,
+        node: str | None = None,
+    ) -> Deployment:
+        """Schedule and wire *spec*; returns the live deployment.
+
+        ``node`` pins the whole pod to one named node (a nodeSelector).
+        """
+        if spec.name in self.deployments:
+            raise SchedulingError(f"pod {spec.name!r} already deployed")
+        plugin = self.plugin(network)
+        if allow_split and not plugin.supports_split:
+            raise SchedulingError(
+                f"plugin {network!r} cannot serve split pods; "
+                "only hostlo/overlay can"
+            )
+        node_list = list(self.nodes.values())
+        if node is not None:
+            target = self.node(node)
+            if not target.fits(spec.cpu, spec.memory_gb):
+                raise CapacityError(
+                    f"pod {spec.name!r} does not fit pinned node {node!r}"
+                )
+            placement = Placement(
+                pod=spec,
+                assignments=tuple((c.name, node) for c in spec.containers),
+            )
+        elif allow_split:
+            # §4.3 feasibility: volumes need VirtFS, shared memory needs
+            # MemPipe; an infeasible pod silently degrades to whole-pod
+            # placement (which may then fail on capacity).
+            effective = spec
+            if not spec.can_split_on(self.virtfs.available,
+                                     self.mempipe.available):
+                effective = dataclasses.replace(spec, splittable=False)
+            placement = self.scheduler.place_split(node_list, effective)
+        else:
+            placement = self.scheduler.place_whole(node_list, spec)
+
+        deployment = Deployment(spec=spec, placement=placement, network=network)
+        # Account resources and create one pod namespace per fragment node.
+        for cname, node_name in placement.assignments:
+            cspec = spec.container(cname)
+            self.node(node_name).allocate(cspec.cpu, cspec.memory_gb)
+        for node_name in placement.node_names:
+            node = self.node(node_name)
+            deployment.fragments[node_name] = node.vm.create_namespace(
+                f"pod:{spec.name}@{node_name}"
+            )
+        # Containers join their fragment's shared namespace.
+        for cspec in spec.containers:
+            node = self.node(placement.node_of(cspec.name))
+            container = node.engine.create_container(
+                f"{spec.name}/{cspec.name}",
+                cspec.image,
+                netns=deployment.fragments[node.name],
+                cpu_request=cspec.cpu,
+                memory_gb=cspec.memory_gb,
+            )
+            deployment.containers[cspec.name] = container
+
+        plugin.attach(self, deployment)
+        if deployment.is_split:
+            self._provision_shared_resources(deployment)
+
+        for container in deployment.containers.values():
+            container.mark_running(self.host.env.now)
+        self.deployments[spec.name] = deployment
+        return deployment
+
+    def _provision_shared_resources(self, deployment: Deployment) -> None:
+        """§4.3: VirtFS mounts and MemPipe channels for a split pod."""
+        spec = deployment.spec
+        vms = [self.node(name).vm for name in deployment.placement.node_names]
+        shares = []
+        for volume in spec.volumes:
+            share = self.virtfs.create_share(
+                f"{spec.name}/{volume}", host_path=f"/srv/pods/{spec.name}/{volume}"
+            )
+            for vm in vms:
+                share.mount_into(vm)
+            shares.append(share)
+        if shares:
+            deployment.plugin_state["virtfs_shares"] = shares
+        if spec.shared_memory:
+            channels = []
+            for i, vm_a in enumerate(vms):
+                for vm_b in vms[i + 1:]:
+                    channels.append(self.mempipe.create_channel(
+                        f"{spec.name}/{vm_a.name}-{vm_b.name}", vm_a, vm_b
+                    ))
+            deployment.plugin_state["mempipe_channels"] = channels
+
+    def remove_pod(self, name: str) -> None:
+        try:
+            deployment = self.deployments.pop(name)
+        except KeyError:
+            raise SchedulingError(f"no deployment {name!r}") from None
+        self.plugin(deployment.network).detach(self, deployment)
+        for share in deployment.plugin_state.get("virtfs_shares", ()):
+            for vm_name in list(share.mounts):
+                share.unmount_from(vm_name)
+            self.virtfs.remove_share(share.name)
+        for channel in deployment.plugin_state.get("mempipe_channels", ()):
+            self.mempipe.remove_channel(channel.name)
+        for cname, node_name in deployment.placement.assignments:
+            cspec = deployment.spec.container(cname)
+            node = self.node(node_name)
+            node.release(cspec.cpu, cspec.memory_gb)
+            node.engine.remove_container(f"{deployment.name}/{cname}")
+
+    def deployment(self, name: str) -> Deployment:
+        try:
+            return self.deployments[name]
+        except KeyError:
+            raise SchedulingError(f"no deployment {name!r}") from None

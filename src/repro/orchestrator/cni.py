@@ -1,0 +1,35 @@
+"""The Container Network Interface plugin contract.
+
+CNI plugins follow a standard specification and are how new networking
+models are added to Kubernetes (§3.2); the BrFusion and Hostlo
+prototypes are CNI plugins that talk to the VMM.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.cluster import Deployment, Orchestrator
+
+
+class CniPlugin(abc.ABC):
+    """One pod-networking model."""
+
+    #: Registry key (``nat``, ``brfusion``, ``hostlo``, ``overlay``).
+    name: str = "abstract"
+    #: Whether the plugin can serve a pod split across several VMs.
+    supports_split: bool = False
+
+    @abc.abstractmethod
+    def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        """Wire the deployed pod's networking.
+
+        Must populate ``deployment.intra_addresses`` (how fragments
+        reach each other over the pod's localhost) and, for published
+        containers, ``deployment.external_endpoints``.
+        """
+
+    def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        """Undo :meth:`attach` (best effort; default: nothing)."""

@@ -1,0 +1,64 @@
+"""Nodes: VMs enrolled as scheduling targets."""
+
+from __future__ import annotations
+
+from repro.containers.engine import ContainerEngine
+from repro.errors import CapacityError
+from repro.virt.vm import VirtualMachine
+
+
+class Node:
+    """One schedulable node (a VM) with tracked resource allocations."""
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+        self.engine = ContainerEngine(vm)
+        self.cpu_capacity = float(vm.vcpus)
+        self.memory_capacity = float(vm.memory_gb)
+        self.cpu_allocated = 0.0
+        self.memory_allocated = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.vm.name
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def cpu_free(self) -> float:
+        return self.cpu_capacity - self.cpu_allocated
+
+    @property
+    def memory_free(self) -> float:
+        return self.memory_capacity - self.memory_allocated
+
+    def fits(self, cpu: float, memory_gb: float) -> bool:
+        return cpu <= self.cpu_free + 1e-9 and memory_gb <= self.memory_free + 1e-9
+
+    def allocate(self, cpu: float, memory_gb: float) -> None:
+        if not self.fits(cpu, memory_gb):
+            raise CapacityError(
+                f"{self.name}: cannot allocate cpu={cpu} mem={memory_gb} "
+                f"(free: cpu={self.cpu_free:.2f} mem={self.memory_free:.2f})"
+            )
+        self.cpu_allocated += cpu
+        self.memory_allocated += memory_gb
+
+    def release(self, cpu: float, memory_gb: float) -> None:
+        self.cpu_allocated = max(0.0, self.cpu_allocated - cpu)
+        self.memory_allocated = max(0.0, self.memory_allocated - memory_gb)
+
+    def requested_score(self) -> float:
+        """Kubernetes "most requested" score: mean requested fraction."""
+        cpu_frac = self.cpu_allocated / self.cpu_capacity if self.cpu_capacity else 0.0
+        mem_frac = (
+            self.memory_allocated / self.memory_capacity
+            if self.memory_capacity else 0.0
+        )
+        return 0.5 * (cpu_frac + mem_frac)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Node {self.name!r} cpu {self.cpu_allocated:.1f}/"
+            f"{self.cpu_capacity:.1f} mem {self.memory_allocated:.1f}/"
+            f"{self.memory_capacity:.1f}>"
+        )

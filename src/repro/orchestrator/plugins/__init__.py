@@ -1,0 +1,31 @@
+"""The CNI plugins the evaluation compares.
+
+* :class:`NatPlugin` — Docker's default bridge+NAT inside the VM (the
+  paper's "NAT" baseline; also the "SameNode" configuration when the
+  pod communicates over its own loopback).
+* :class:`BrFusionPlugin` — §3: per-pod NIC hot-plugged by the VMM and
+  switched by the host bridge.
+* :class:`HostloPlugin` — §4: host-backed multiplexed loopback for
+  cross-VM pods.
+* :class:`OverlayPlugin` — Docker Overlay, the state-of-the-art
+  comparison point for cross-VM pods.
+"""
+
+from repro.orchestrator.plugins.brfusion import BrFusionPlugin
+from repro.orchestrator.plugins.hostlo import HostloPlugin
+from repro.orchestrator.plugins.nat import NatPlugin
+from repro.orchestrator.plugins.overlay import OverlayPlugin
+
+
+def default_plugins():
+    """Fresh instances of the four standard plugins."""
+    return [NatPlugin(), BrFusionPlugin(), HostloPlugin(), OverlayPlugin()]
+
+
+__all__ = [
+    "BrFusionPlugin",
+    "HostloPlugin",
+    "NatPlugin",
+    "OverlayPlugin",
+    "default_plugins",
+]

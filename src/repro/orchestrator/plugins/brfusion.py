@@ -1,0 +1,85 @@
+"""BrFusion CNI plugin (§3).
+
+Implements the §3.1 interaction verbatim:
+
+1. the orchestrator asks the VMM for a new NIC on the scheduled VM
+   (optionally naming the host-level networking domain, i.e. bridge);
+2. the VMM provisions it (TAP on the host bridge, virtio in the VM);
+3. the VMM reports the NIC's MAC address;
+4. the VM agent finds the device by MAC and configures it inside the
+   pod's namespace.
+
+The pod then uses the host-layer network virtualization directly: no
+guest bridge, no guest NAT.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SchedulingError
+from repro.net.addresses import Ipv4Address
+from repro.orchestrator.cni import CniPlugin
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.cluster import Deployment, Orchestrator
+
+LOCALHOST = Ipv4Address.parse("127.0.0.1")
+
+
+class BrFusionPlugin(CniPlugin):
+    """Per-pod hot-plugged NIC, switched by the host bridge.
+
+    §3.1 allows the orchestrator to name the host-level networking
+    domain (the bridge) that owns the new NIC — the common bridge all
+    VMs share, or a tenant-specific bridge.  Register one plugin
+    instance per tenant domain::
+
+        orch.register_plugin(BrFusionPlugin(bridge="tenant-a",
+                                            name="brfusion-tenant-a"))
+    """
+
+    supports_split = False
+
+    def __init__(self, bridge: str | None = None,
+                 name: str | None = None) -> None:
+        #: Host-level networking domain (bridge) new NICs attach to;
+        #: ``None`` means the common bridge shared by all VMs.
+        self.bridge = bridge
+        self.name = name or "brfusion"
+
+    def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        if deployment.is_split:
+            raise SchedulingError(
+                f"{deployment.name}: BrFusion pods are VM-local"
+            )
+        node = orch.node(deployment.placement.node_names[0])
+
+        # Steps 1–2: orchestrator → VMM, VMM provisions the NIC.
+        nic = orch.vmm.add_nic(node.vm, bridge=self.bridge)
+        # Step 3: the VMM reports an identifier — the MAC address.
+        mac = nic.mac
+        assert mac is not None
+        # Step 4: the agent configures the NIC inside the pod.
+        bridge_name = self.bridge or orch.host.default_bridge.name
+        network = orch.host.bridge_network(bridge_name)
+        address = orch.host.allocate_address(bridge_name)
+        carrier = deployment.containers[deployment.spec.containers[0].name]
+        orch.agent(node.name).configure_nic(
+            mac, carrier, address, network, gateway=network.host(1)
+        )
+
+        deployment.plugin_state["pod_nic"] = nic
+        deployment.plugin_state["pod_address"] = address
+        for cspec in deployment.spec.containers:
+            deployment.intra_addresses[cspec.name] = LOCALHOST
+            deployment.containers[cspec.name].network_mode = "provided-nic"
+            for _proto, _host_port, cont_port in cspec.publish:
+                # No guest DNAT: the pod address is directly reachable.
+                deployment.external_endpoints[cspec.name] = (address, cont_port)
+
+    def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        nic = deployment.plugin_state.get("pod_nic")
+        if nic is not None and nic.mac is not None:
+            node = orch.node(deployment.placement.node_names[0])
+            orch.vmm.remove_nic(node.vm, nic.mac)

@@ -1,0 +1,108 @@
+"""Hostlo CNI plugin (§4).
+
+Implements the §4.1 interaction:
+
+1. the orchestrator asks the VMM for a new hostlo for the pod, naming
+   the VMs targeted by the (possibly split) placement;
+2. the VMM creates the multiplexed loopback TAP and inserts one
+   endpoint into each VM;
+3. the VMM reports the endpoints' MAC addresses;
+4. each VM agent configures its endpoint inside the local pod fragment
+   as the pod's localhost interface.
+
+A pod that lands whole on one VM needs no hostlo: its namespace
+loopback is the localhost (the "SameNode" baseline).  Published
+containers additionally get classic NAT wiring on their own fragment —
+hostlo only replaces the *intra-pod* localhost.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.net.addresses import Ipv4Address
+from repro.orchestrator.cni import CniPlugin
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.cluster import Deployment, Orchestrator
+
+LOCALHOST = Ipv4Address.parse("127.0.0.1")
+
+
+class HostloPlugin(CniPlugin):
+    """Host-backed multiplexed loopback for cross-VM pods."""
+
+    name = "hostlo"
+    supports_split = True
+
+    def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        node_names = deployment.placement.node_names
+        if len(node_names) == 1:
+            # Whole pod on one VM: the pod namespace loopback suffices.
+            self._wire_external(orch, deployment)
+            for cspec in deployment.spec.containers:
+                deployment.intra_addresses[cspec.name] = LOCALHOST
+                if deployment.containers[cspec.name].network_mode == "none":
+                    deployment.containers[cspec.name].network_mode = "pod"
+            return
+
+        # Steps 1–3: orchestrator ↔ VMM.
+        vms = [orch.node(name).vm for name in node_names]
+        handle = orch.vmm.create_hostlo(f"hlo-{deployment.name}", vms)
+        macs = handle.endpoint_macs()
+        subnet = orch.pod_subnets.allocate()
+        deployment.plugin_state["hostlo"] = handle
+        deployment.plugin_state["pod_subnet"] = subnet
+
+        # Step 4: each agent wires its fragment's endpoint.
+        fragment_address: dict[str, Ipv4Address] = {}
+        for index, node_name in enumerate(node_names):
+            address = subnet.host(2 + index)
+            fragment_address[node_name] = address
+            carrier = self._fragment_carrier(deployment, node_name)
+            orch.agent(node_name).configure_nic(
+                macs[node_name], carrier, address, subnet,
+                default_route=False,
+            )
+
+        for cspec in deployment.spec.containers:
+            node_name = deployment.placement.node_of(cspec.name)
+            deployment.intra_addresses[cspec.name] = fragment_address[node_name]
+        self._wire_external(orch, deployment)
+
+    def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        handle = deployment.plugin_state.get("hostlo")
+        if handle is not None:
+            orch.vmm.remove_hostlo(handle.name)
+
+    # -- helpers --------------------------------------------------------------
+    @staticmethod
+    def _fragment_carrier(deployment: "Deployment", node_name: str):
+        """The first container placed on *node_name* (shares the
+        fragment namespace with every other local container)."""
+        for cname, assigned in deployment.placement.assignments:
+            if assigned == node_name:
+                return deployment.containers[cname]
+        raise AssertionError(f"no container on {node_name}")  # pragma: no cover
+
+    def _wire_external(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        """Classic NAT wiring for fragments with published containers."""
+        published_nodes: dict[str, list[tuple[str, int, int]]] = {}
+        for cspec in deployment.spec.containers:
+            if not cspec.publish:
+                continue
+            node_name = deployment.placement.node_of(cspec.name)
+            published_nodes.setdefault(node_name, []).extend(cspec.publish)
+        for node_name, publish in published_nodes.items():
+            node = orch.node(node_name)
+            carrier = self._fragment_carrier(deployment, node_name)
+            if carrier.network_mode != "none":
+                continue  # fragment already wired
+            node.engine.setup_bridge_network(carrier, publish=publish)
+            vm_ip = node.vm.primary_nic.primary_ip
+            assert vm_ip is not None
+            for cspec in deployment.spec.containers:
+                if deployment.placement.node_of(cspec.name) != node_name:
+                    continue
+                for _proto, host_port, _cont in cspec.publish:
+                    deployment.external_endpoints[cspec.name] = (vm_ip, host_port)

@@ -1,0 +1,48 @@
+"""The default CNI: Docker bridge + NAT inside the VM."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SchedulingError
+from repro.net.addresses import Ipv4Address
+from repro.orchestrator.cni import CniPlugin
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.cluster import Deployment, Orchestrator
+
+LOCALHOST = Ipv4Address.parse("127.0.0.1")
+
+
+def union_publish(deployment: "Deployment") -> list[tuple[str, int, int]]:
+    """All published ports of the pod, in container order."""
+    ports: list[tuple[str, int, int]] = []
+    for cspec in deployment.spec.containers:
+        ports.extend(cspec.publish)
+    return ports
+
+
+class NatPlugin(CniPlugin):
+    """Pod networking through the guest's docker0 bridge and NAT rules."""
+
+    name = "nat"
+    supports_split = False
+
+    def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        if deployment.is_split:
+            raise SchedulingError(
+                f"{deployment.name}: NAT networking is VM-local; "
+                "cross-VM pods need hostlo or overlay"
+            )
+        node_name = deployment.placement.node_names[0]
+        node = orch.node(node_name)
+        carrier = deployment.containers[deployment.spec.containers[0].name]
+        node.engine.setup_bridge_network(carrier, publish=union_publish(deployment))
+        vm_ip = node.vm.primary_nic.primary_ip
+        assert vm_ip is not None
+        for cspec in deployment.spec.containers:
+            deployment.intra_addresses[cspec.name] = LOCALHOST
+            deployment.containers[cspec.name].network_mode = "bridge"
+            for proto, host_port, _cont_port in cspec.publish:
+                del proto
+                deployment.external_endpoints[cspec.name] = (vm_ip, host_port)

@@ -1,0 +1,54 @@
+"""Docker Overlay CNI plugin — the state-of-the-art comparison point.
+
+Each pod gets its own VXLAN overlay network; every fragment namespace
+is connected to the overlay bridge of its VM through a veth pair, and
+fragments on different VMs talk through VXLAN encapsulation over the
+underlay (the VMs' primary NICs and the host bridge).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.containers.overlay import OverlayNetwork
+from repro.net.addresses import Ipv4Address
+from repro.orchestrator.cni import CniPlugin
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.cluster import Deployment, Orchestrator
+
+
+class OverlayPlugin(CniPlugin):
+    """Cross-VM pod networking over VXLAN."""
+
+    name = "overlay"
+    supports_split = True
+
+    def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        subnet = orch.overlay_subnets.allocate()
+        overlay = OverlayNetwork(
+            f"ov-{deployment.name}", subnet, vni=orch.next_vni()
+        )
+        deployment.plugin_state["overlay"] = overlay
+
+        fragment_address: dict[str, Ipv4Address] = {}
+        for node_name in deployment.placement.node_names:
+            node = orch.node(node_name)
+            carrier = self._fragment_carrier(deployment, node_name)
+            fragment_address[node_name] = overlay.connect(node.vm, carrier)
+
+        for cspec in deployment.spec.containers:
+            node_name = deployment.placement.node_of(cspec.name)
+            deployment.intra_addresses[cspec.name] = fragment_address[node_name]
+            deployment.containers[cspec.name].network_mode = "overlay"
+            vm_ip = orch.node(node_name).vm.primary_nic.primary_ip
+            assert vm_ip is not None
+            for _proto, host_port, _cont in cspec.publish:
+                deployment.external_endpoints[cspec.name] = (vm_ip, host_port)
+
+    @staticmethod
+    def _fragment_carrier(deployment: "Deployment", node_name: str):
+        for cname, assigned in deployment.placement.assignments:
+            if assigned == node_name:
+                return deployment.containers[cname]
+        raise AssertionError(f"no container on {node_name}")  # pragma: no cover

@@ -1,0 +1,108 @@
+"""Pod and container specifications."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ContainerSpec:
+    """One container of a pod: image plus resource requests."""
+
+    name: str
+    image: str
+    cpu: float = 1.0        # vCPUs requested
+    memory_gb: float = 0.5
+    publish: tuple[tuple[str, int, int], ...] = ()  # (proto, host, cont)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("container spec needs a name")
+        if self.cpu <= 0 or self.memory_gb <= 0:
+            raise ConfigurationError(
+                f"container {self.name!r}: requests must be positive"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class PodSpec:
+    """A pod: logically coupled containers sharing a localhost.
+
+    Splitting a pod across VMs needs more than hostlo (§4.3): shared
+    ``volumes`` must be servable by a VirtFS-style multi-guest mount
+    and ``shared_memory`` communication needs a MemPipe-style cross-VM
+    channel.  ``splittable`` is the explicit opt-out; the orchestrator
+    combines it with the platform's capabilities (see
+    :meth:`can_split_on`).
+    """
+
+    name: str
+    containers: tuple[ContainerSpec, ...]
+    splittable: bool = True
+    volumes: tuple[str, ...] = ()
+    shared_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("pod spec needs a name")
+        if not self.containers:
+            raise ConfigurationError(f"pod {self.name!r} has no containers")
+        names = [c.name for c in self.containers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"pod {self.name!r} has duplicate containers")
+        if len(set(self.volumes)) != len(self.volumes):
+            raise ConfigurationError(f"pod {self.name!r} has duplicate volumes")
+
+    def can_split_on(self, virtfs_available: bool,
+                     mempipe_available: bool) -> bool:
+        """§4.3 feasibility: may this pod span VMs on this platform?"""
+        if not self.splittable:
+            return False
+        if self.volumes and not virtfs_available:
+            return False
+        if self.shared_memory and not mempipe_available:
+            return False
+        return True
+
+    @property
+    def cpu(self) -> float:
+        """Total vCPUs requested by the pod."""
+        return sum(c.cpu for c in self.containers)
+
+    @property
+    def memory_gb(self) -> float:
+        """Total memory requested by the pod."""
+        return sum(c.memory_gb for c in self.containers)
+
+    def container(self, name: str) -> ContainerSpec:
+        for spec in self.containers:
+            if spec.name == name:
+                return spec
+        raise ConfigurationError(f"pod {self.name!r} has no container {name!r}")
+
+
+def pod(name: str, *containers: ContainerSpec, splittable: bool = True) -> PodSpec:
+    """Convenience constructor: ``pod("web", ContainerSpec(...), ...)``."""
+    return PodSpec(name=name, containers=tuple(containers), splittable=splittable)
+
+
+def simple_pod(
+    name: str,
+    image: str,
+    containers: int = 1,
+    cpu: float = 1.0,
+    memory_gb: float = 0.5,
+    publish: t.Sequence[tuple[str, int, int]] = (),
+) -> PodSpec:
+    """A pod of *containers* identical containers (handy in tests)."""
+    specs = tuple(
+        ContainerSpec(
+            name=f"c{i}", image=image, cpu=cpu, memory_gb=memory_gb,
+            publish=tuple(publish) if i == 0 else (),
+        )
+        for i in range(containers)
+    )
+    return PodSpec(name=name, containers=specs)

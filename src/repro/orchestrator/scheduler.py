@@ -1,0 +1,138 @@
+"""Pod placement: the "most requested" policy, whole and split.
+
+§5.3.1: among the nodes with enough free resources, the best node is
+the one that currently has the most requested resources (a grouping
+strategy).  Without Hostlo a pod must land whole on one node; with
+Hostlo the scheduler may split it container-by-container.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import CapacityError
+from repro.orchestrator.node import Node
+from repro.orchestrator.pod import ContainerSpec, PodSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """Where each container of a pod goes: container name → node."""
+
+    pod: PodSpec
+    assignments: tuple[tuple[str, str], ...]  # (container, node name)
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for _, node in self.assignments:
+            seen.setdefault(node, None)
+        return tuple(seen)
+
+    @property
+    def is_split(self) -> bool:
+        return len(self.node_names) > 1
+
+    def node_of(self, container: str) -> str:
+        for name, node in self.assignments:
+            if name == container:
+                return node
+        raise CapacityError(f"no assignment for container {container!r}")
+
+
+class MostRequestedScheduler:
+    """Implements whole-pod and (Hostlo) split-pod placement.
+
+    "Most requested" is a *grouping* strategy: new pods land on the
+    fullest feasible node, which concentrates load and leaves whole
+    nodes empty (cheap to release).  The spreading alternative is
+    :class:`LeastRequestedScheduler`.
+    """
+
+    #: +1: prefer the fullest feasible node; -1: prefer the emptiest.
+    direction = 1.0
+
+    def pick_node(self, nodes: t.Sequence[Node], cpu: float,
+                  memory_gb: float) -> Node | None:
+        """The feasible node with the best score, or None."""
+        best: Node | None = None
+        best_score = -float("inf")
+        for node in nodes:
+            if not node.fits(cpu, memory_gb):
+                continue
+            score = self.direction * node.requested_score()
+            if score > best_score:
+                best, best_score = node, score
+        return best
+
+    def place_whole(self, nodes: t.Sequence[Node], pod: PodSpec) -> Placement:
+        """Classic Kubernetes: the whole pod on one node."""
+        node = self.pick_node(nodes, pod.cpu, pod.memory_gb)
+        if node is None:
+            raise CapacityError(
+                f"pod {pod.name!r} (cpu={pod.cpu}, mem={pod.memory_gb}GB) "
+                f"fits on no node"
+            )
+        return Placement(
+            pod=pod,
+            assignments=tuple((c.name, node.name) for c in pod.containers),
+        )
+
+    def place_split(self, nodes: t.Sequence[Node], pod: PodSpec) -> Placement:
+        """Hostlo-enabled placement: containers may spread over nodes.
+
+        Containers are placed biggest-first, each on the most-requested
+        feasible node — the same greedy the cost simulation uses.
+        Falls back to whole-pod placement when the pod is marked
+        non-splittable (§4.3 volumes/shm feasibility).
+        """
+        if not pod.splittable:
+            return self.place_whole(nodes, pod)
+        ordered: list[ContainerSpec] = sorted(
+            pod.containers, key=lambda c: (c.cpu, c.memory_gb), reverse=True
+        )
+        # Tentative allocations so one scheduling pass sees its own placements.
+        tentative: dict[str, tuple[float, float]] = {}
+        assignments: list[tuple[str, str]] = []
+
+        def free(node: Node) -> tuple[float, float]:
+            used_cpu, used_mem = tentative.get(node.name, (0.0, 0.0))
+            return node.cpu_free - used_cpu, node.memory_free - used_mem
+
+        for spec in ordered:
+            best: Node | None = None
+            best_score = -1.0
+            for node in nodes:
+                cpu_free, mem_free = free(node)
+                if spec.cpu > cpu_free + 1e-9 or spec.memory_gb > mem_free + 1e-9:
+                    continue
+                used_cpu, used_mem = tentative.get(node.name, (0.0, 0.0))
+                cpu_frac = (node.cpu_allocated + used_cpu) / node.cpu_capacity
+                mem_frac = (node.memory_allocated + used_mem) / node.memory_capacity
+                score = self.direction * 0.5 * (cpu_frac + mem_frac)
+                if score > best_score:
+                    best, best_score = node, score
+            if best is None:
+                raise CapacityError(
+                    f"container {spec.name!r} of pod {pod.name!r} fits nowhere"
+                )
+            used_cpu, used_mem = tentative.get(best.name, (0.0, 0.0))
+            tentative[best.name] = (used_cpu + spec.cpu, used_mem + spec.memory_gb)
+            assignments.append((spec.name, best.name))
+
+        order = {c.name: i for i, c in enumerate(pod.containers)}
+        assignments.sort(key=lambda pair: order[pair[0]])
+        return Placement(pod=pod, assignments=tuple(assignments))
+
+
+class LeastRequestedScheduler(MostRequestedScheduler):
+    """Kubernetes' spreading alternative: prefer the emptiest node.
+
+    Spreading balances load but fragments capacity — the §5.3.1 cost
+    simulation's grouping choice exists precisely because spreading
+    makes the "return empty VMs" move rare.  Exposed for the scheduler
+    ablation.
+    """
+
+    direction = -1.0

@@ -1,0 +1,131 @@
+"""The discrete-event environment: clock, heap, run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Process, Timeout
+
+# Heap entries are (time, priority, seq, event); priority 0 beats 1 so
+# "urgent" events (process initialization, interrupts) run before
+# ordinary events scheduled at the same instant.
+_NORMAL = 1
+_URGENT = 0
+
+
+class Environment:
+    """Owns the simulated clock and the pending-event heap.
+
+    Typical use::
+
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert env.now == 1.0 and p.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Process | None = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: t.Any = None) -> Timeout:
+        """An event triggering *delay* time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: t.Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, _URGENT if priority else _NORMAL, next(self._seq), event),
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody handled: surface the error.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> t.Any:
+        """Run until the heap empties, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to exhaustion; a number — run to that time;
+            an :class:`Event` — run until it triggers and return its value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            stopped = []
+
+            def _stop(event: Event) -> None:
+                stopped.append(event)
+
+            if sentinel.callbacks is None:
+                return sentinel._value
+            sentinel.callbacks.append(_stop)
+            while self._heap and not stopped:
+                self.step()
+            if not stopped:
+                raise SimulationError("run(until=event): schedule emptied first")
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon} which is before now={self._now}"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,30 @@
+"""The virtualization substrate: host, VMM, VMs, hot-plug, hostlo.
+
+Mirrors the paper's QEMU/KVM testbed:
+
+* :class:`PhysicalHost` — the physical server: host kernel CPU pool,
+  host network namespace, the default bridge all VMs hang off.
+* :class:`VirtualMachine` — a guest: vCPU pool (its busy time is the
+  host's ``guest`` CPU category), guest network namespace, virtio NICs.
+* :class:`Vmm` — the virtual machine manager.  It exposes exactly the
+  management operations the paper's designs need: VM creation, NIC
+  hot-plug through the QMP side channel (§3.2, for BrFusion) and
+  multiplexed-loopback provisioning (§4.2, for Hostlo).
+* :class:`QmpChannel` — the QEMU management protocol side channel, with
+  realistic command latencies (exercised by the fig 8 boot-time
+  experiment).
+"""
+
+from repro.virt.host import PhysicalHost
+from repro.virt.qmp import QmpChannel, QmpCommand
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import HostloHandle, Vmm
+
+__all__ = [
+    "HostloHandle",
+    "PhysicalHost",
+    "QmpChannel",
+    "QmpCommand",
+    "VirtualMachine",
+    "Vmm",
+]

@@ -1,0 +1,127 @@
+"""The physical host: CPUs, host namespace, bridges, allocators."""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.net.addresses import (
+    HostAllocator,
+    Ipv4Network,
+    MacAllocator,
+    cidr,
+)
+from repro.net.bridge import Bridge
+from repro.net.devices import VethPair
+from repro.net.namespace import NetworkNamespace
+from repro.sim import CpuResource, Environment, RngRegistry
+
+#: The libvirt-style default bridge subnet.
+DEFAULT_BRIDGE_CIDR = "192.168.122.0/24"
+
+
+class PhysicalHost:
+    """A physical server in the paper's testbed shape.
+
+    Creates the host network namespace, the host CPU pool (12 cores of
+    a 2.2 GHz Xeon by default, matching §5.1) and the default bridge
+    (``virbr0``) that multiplexes the physical NIC between VMs.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "host",
+        cores: int = 12,
+        freq_hz: float = 2.2e9,
+        seed: int = 0,
+        domain: str | None = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.domain = domain or ("host" if name == "host" else f"host:{name}")
+        self.cpu = CpuResource(env, cores=cores, freq_hz=freq_hz, name=name)
+        self.rng = RngRegistry(seed)
+        self.ns = NetworkNamespace(name, kind="host", domain=self.domain)
+        # Per-host OUI so MACs stay unique across multi-host topologies.
+        from repro.sim.rng import stable_hash
+
+        self.mac_allocator = MacAllocator(
+            oui=(0x52_54_00 ^ (stable_hash(name) & 0x00FFFF))
+        )
+        self._bridges: dict[str, Bridge] = {}
+        self._host_allocators: dict[str, HostAllocator] = {}
+        self.default_bridge = self.add_bridge("virbr0", cidr(DEFAULT_BRIDGE_CIDR))
+
+    # -- bridges --------------------------------------------------------------
+    def add_bridge(self, name: str, network: Ipv4Network) -> Bridge:
+        """Create a host bridge owning the gateway address of *network*."""
+        if name in self._bridges:
+            raise TopologyError(f"bridge {name!r} already exists on {self.name}")
+        bridge = Bridge(name, self.mac_allocator.allocate())
+        bridge.assign_ip(network.host(1), network)
+        self.ns.attach(bridge)
+        self.ns.routes.add_on_link(network, name)
+        self._bridges[name] = bridge
+        self._host_allocators[name] = HostAllocator(network)
+        return bridge
+
+    def bridge(self, name: str) -> Bridge:
+        try:
+            return self._bridges[name]
+        except KeyError:
+            raise TopologyError(f"no bridge {name!r} on {self.name}") from None
+
+    def bridges(self) -> tuple[str, ...]:
+        return tuple(sorted(self._bridges))
+
+    def allocate_address(self, bridge_name: str):
+        """Next free host address on *bridge_name*'s subnet."""
+        try:
+            return self._host_allocators[bridge_name].allocate()
+        except KeyError:
+            raise TopologyError(
+                f"no bridge {bridge_name!r} on {self.name}"
+            ) from None
+
+    def bridge_network(self, bridge_name: str) -> Ipv4Network:
+        net = self.bridge(bridge_name).primary_network
+        assert net is not None  # bridges always get the gateway address
+        return net
+
+    def isolate_tenants(self, bridge_a: str, bridge_b: str) -> None:
+        """Block host-routed forwarding between two tenant bridges.
+
+        §3.1 lets BrFusion place each tenant's pod NICs on a
+        tenant-specific bridge; the FORWARD-drop pair makes the host
+        refuse to route between the two domains (both directions).
+        """
+        net_a = self.bridge_network(bridge_a)
+        net_b = self.bridge_network(bridge_b)
+        self.ns.netfilter.add_forward_drop(net_a, net_b)
+        self.ns.netfilter.add_forward_drop(net_b, net_a)
+
+    # -- auxiliary namespaces ---------------------------------------------------
+    def create_attached_namespace(
+        self, name: str, domain: str, bridge_name: str | None = None
+    ) -> NetworkNamespace:
+        """A namespace (e.g. the benchmark client) wired to a host bridge
+        through a veth pair, with an address from the bridge subnet."""
+        bridge_name = bridge_name or self.default_bridge.name
+        bridge = self.bridge(bridge_name)
+        network = self.bridge_network(bridge_name)
+        ns = NetworkNamespace(name, kind="container", domain=domain)
+        pair = VethPair(
+            "eth0", f"veth-{name}",
+            self.mac_allocator.allocate(), self.mac_allocator.allocate(),
+        )
+        address = self.allocate_address(bridge_name)
+        pair.a.assign_ip(address, network)
+        ns.attach(pair.a)
+        self.ns.attach(pair.b)
+        bridge.add_port(pair.b)
+        ns.routes.add_on_link(network, "eth0")
+        gateway = network.host(1)
+        ns.routes.add_default("eth0", gateway)
+        return ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<PhysicalHost {self.name!r} cores={self.cpu.cores}>"

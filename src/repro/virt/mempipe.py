@@ -1,0 +1,86 @@
+"""MemPipe-style cross-VM shared memory (§4.3.2).
+
+The paper points at Zhang & Liu's MemPipe for intra-pod shared memory
+across VMs: transport-level shared-memory delivery between co-resident
+VMs, transparent to the applications.  This module models the control
+plane — channel setup between VMs on one host, capability checks — and
+a data-plane cost hook the transfer engine can price (a shared-memory
+hop costs a copy plus a doorbell, no virtio round trip).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.virt.vm import VirtualMachine
+
+#: Cost of one message over a MemPipe channel: a cache-coherent copy
+#: plus an event-fd doorbell (cycles per message / per byte).
+MEMPIPE_CYCLES_PER_MSG = 1400
+MEMPIPE_CYCLES_PER_BYTE = 0.5
+MEMPIPE_DOORBELL_S = 2.0e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class MempipeChannel:
+    """A shared-memory ring between two co-resident VMs."""
+
+    name: str
+    vm_a: str
+    vm_b: str
+    size_mb: float = 16.0
+
+    def connects(self, vm_a: str, vm_b: str) -> bool:
+        return {self.vm_a, self.vm_b} == {vm_a, vm_b}
+
+
+class MempipeManager:
+    """Host-side registry of MemPipe channels."""
+
+    def __init__(self, available: bool = True) -> None:
+        self.available = available
+        self._channels: dict[str, MempipeChannel] = {}
+
+    def create_channel(self, name: str, vm_a: VirtualMachine,
+                       vm_b: VirtualMachine,
+                       size_mb: float = 16.0) -> MempipeChannel:
+        if not self.available:
+            raise ConfigurationError(
+                "MemPipe is not available on this platform"
+            )
+        if vm_a.host is not vm_b.host:
+            raise TopologyError(
+                "MemPipe requires co-resident VMs (same physical host)"
+            )
+        if vm_a.name == vm_b.name:
+            raise TopologyError("a MemPipe channel needs two distinct VMs")
+        if name in self._channels:
+            raise TopologyError(f"channel {name!r} already exists")
+        if size_mb <= 0:
+            raise ConfigurationError(f"bad channel size {size_mb!r}")
+        channel = MempipeChannel(name=name, vm_a=vm_a.name, vm_b=vm_b.name,
+                                 size_mb=float(size_mb))
+        self._channels[name] = channel
+        return channel
+
+    def channel(self, name: str) -> MempipeChannel:
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise TopologyError(f"no MemPipe channel {name!r}") from None
+
+    def channel_between(self, vm_a: str, vm_b: str) -> MempipeChannel | None:
+        for channel in self._channels.values():
+            if channel.connects(vm_a, vm_b):
+                return channel
+        return None
+
+    def remove_channel(self, name: str) -> None:
+        self.channel(name)
+        del self._channels[name]
+
+    def message_latency(self, nbytes: int, freq_hz: float) -> float:
+        """One-way latency of an *nbytes* message over a channel."""
+        cycles = MEMPIPE_CYCLES_PER_MSG + MEMPIPE_CYCLES_PER_BYTE * nbytes
+        return cycles / freq_hz + MEMPIPE_DOORBELL_S

@@ -1,0 +1,117 @@
+"""VirtFS: para-virtualized file system shared across guests (§4.3.1).
+
+The paper defers cross-VM volumes to Jujiuri et al.'s VirtFS: a
+VirtIO-based para-virtualized file system that can mount the same
+host-backed file system into multiple guests without the coherence
+problems of sharing a block device.  This module models exactly the
+piece the orchestrator needs: host-backed shares, their per-VM mounts,
+and the capability checks the scheduler consults before splitting a pod
+that uses volumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import ConfigurationError, TopologyError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.vm import VirtualMachine
+
+
+@dataclasses.dataclass(frozen=True)
+class VirtfsMount:
+    """One guest-side mount of a share."""
+
+    share: str
+    vm: str
+    mount_tag: str
+    read_only: bool = False
+
+
+class VirtfsShare:
+    """A host directory exported over VirtIO to one or more guests."""
+
+    def __init__(self, name: str, host_path: str, size_gb: float = 10.0) -> None:
+        if not name or not host_path:
+            raise ConfigurationError("virtfs share needs a name and host path")
+        if size_gb <= 0:
+            raise ConfigurationError(f"bad share size {size_gb!r}")
+        self.name = name
+        self.host_path = host_path
+        self.size_gb = float(size_gb)
+        self.mounts: dict[str, VirtfsMount] = {}
+
+    def mount_into(self, vm: "VirtualMachine", mount_tag: str | None = None,
+                   read_only: bool = False) -> VirtfsMount:
+        """Expose the share to *vm* (multi-guest mounts are the point)."""
+        if vm.name in self.mounts:
+            raise TopologyError(
+                f"share {self.name!r} already mounted in {vm.name}"
+            )
+        mount = VirtfsMount(
+            share=self.name,
+            vm=vm.name,
+            mount_tag=mount_tag or f"virtfs-{self.name}",
+            read_only=read_only,
+        )
+        self.mounts[vm.name] = mount
+        return mount
+
+    def unmount_from(self, vm_name: str) -> None:
+        if vm_name not in self.mounts:
+            raise TopologyError(
+                f"share {self.name!r} is not mounted in {vm_name}"
+            )
+        del self.mounts[vm_name]
+
+    @property
+    def guest_count(self) -> int:
+        return len(self.mounts)
+
+    def mounted_in(self, vm_name: str) -> bool:
+        return vm_name in self.mounts
+
+
+class VirtfsManager:
+    """Host-side registry of shares (the VMM's 9p/virtio-fs exports).
+
+    ``available`` models whether the platform ships the VirtFS stack at
+    all — a derivative cloud without it cannot split pods that mount
+    volumes, which is how §4.3.1 feeds the scheduler's feasibility
+    check.
+    """
+
+    def __init__(self, available: bool = True) -> None:
+        self.available = available
+        self._shares: dict[str, VirtfsShare] = {}
+
+    def create_share(self, name: str, host_path: str,
+                     size_gb: float = 10.0) -> VirtfsShare:
+        if not self.available:
+            raise ConfigurationError(
+                "VirtFS is not available on this platform"
+            )
+        if name in self._shares:
+            raise TopologyError(f"share {name!r} already exists")
+        share = VirtfsShare(name, host_path, size_gb)
+        self._shares[name] = share
+        return share
+
+    def share(self, name: str) -> VirtfsShare:
+        try:
+            return self._shares[name]
+        except KeyError:
+            raise TopologyError(f"no virtfs share {name!r}") from None
+
+    def remove_share(self, name: str) -> None:
+        share = self.share(name)
+        if share.mounts:
+            raise TopologyError(
+                f"share {name!r} still mounted in {sorted(share.mounts)}"
+            )
+        del self._shares[name]
+
+    def shares(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shares))

@@ -1,0 +1,93 @@
+"""Virtual machines: vCPU pool, guest namespace, attached devices."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import TopologyError
+from repro.net.addresses import MacAddress
+from repro.net.devices import NetDevice, VirtioNic
+from repro.net.namespace import NetworkNamespace
+from repro.sim import CpuResource
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.host import PhysicalHost
+
+
+class VirtualMachine:
+    """One guest: its vCPUs, memory size and guest network namespace.
+
+    The vCPU pool is a separate :class:`CpuResource`; time spent there
+    is what the host bills as ``guest`` CPU in the paper's breakdowns.
+    """
+
+    def __init__(
+        self,
+        host: "PhysicalHost",
+        name: str,
+        vcpus: int = 5,
+        memory_gb: float = 4.0,
+    ) -> None:
+        if vcpus < 1:
+            raise TopologyError(f"vcpus must be >= 1: {vcpus!r}")
+        if memory_gb <= 0:
+            raise TopologyError(f"memory must be positive: {memory_gb!r}")
+        self.host = host
+        self.name = name
+        self.vcpus = vcpus
+        self.memory_gb = float(memory_gb)
+        self.domain = f"vm:{name}"
+        self.cpu = CpuResource(
+            host.env, cores=vcpus, freq_hz=host.cpu.freq_hz, name=name
+        )
+        self.ns = NetworkNamespace(name, kind="guest", domain=self.domain)
+        self._extra_namespaces: list[NetworkNamespace] = []
+        self.running = True
+
+    # -- namespaces -------------------------------------------------------------
+    def create_namespace(self, name: str) -> NetworkNamespace:
+        """A container namespace inside this VM (billed to its vCPUs)."""
+        ns = NetworkNamespace(name, kind="container", domain=self.domain)
+        self._extra_namespaces.append(ns)
+        return ns
+
+    @property
+    def namespaces(self) -> tuple[NetworkNamespace, ...]:
+        return (self.ns, *self._extra_namespaces)
+
+    # -- device lookup ------------------------------------------------------------
+    def find_nic_by_mac(self, mac: MacAddress) -> NetDevice | None:
+        """Locate a NIC by MAC across all of the VM's namespaces.
+
+        This is how the orchestrator's VM agent identifies a
+        freshly hot-plugged device (BrFusion step 3→4, §3.1).
+        """
+        for ns in self.namespaces:
+            for dev in ns.devices.values():
+                if dev.mac == mac:
+                    return dev
+        return None
+
+    def virtio_nics(self) -> list[VirtioNic]:
+        nics = []
+        for ns in self.namespaces:
+            for dev in ns.devices.values():
+                if isinstance(dev, VirtioNic):
+                    nics.append(dev)
+        return nics
+
+    @property
+    def primary_nic(self) -> VirtioNic:
+        try:
+            dev = self.ns.device("eth0")
+        except TopologyError:
+            raise TopologyError(f"{self.name} has no primary NIC yet") from None
+        if not isinstance(dev, VirtioNic):
+            raise TopologyError(f"{self.name}: eth0 is not a virtio NIC")
+        return dev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<VirtualMachine {self.name!r} vcpus={self.vcpus} "
+            f"mem={self.memory_gb}GB>"
+        )

@@ -1,0 +1,247 @@
+"""The virtual machine manager.
+
+The VMM is the actor the paper's designs delegate the "hard work" to:
+
+* **BrFusion** (§3): ``add_nic``/``hotplug_nic`` provision a fresh
+  virtio NIC for a target VM, backed by a new TAP enslaved to a host
+  bridge, and return its MAC address so the orchestrator's VM agent can
+  find and configure it inside the guest.
+* **Hostlo** (§4): ``create_hostlo``/``hotplug_hostlo`` create the
+  multiplexed loopback TAP in the host kernel and insert one endpoint
+  (RX/TX queue) into each participating VM.
+
+Instant (``add_nic``) and timed (``hotplug_nic``) variants exist: the
+instant ones mutate topology for steady-state experiments; the timed
+ones run through the QMP channel and guest PCI probing for the fig 8
+boot-time experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import HotplugError, TopologyError
+from repro.net.addresses import MacAddress
+from repro.net.bridge import Bridge
+from repro.net.devices import HostloEndpoint, HostloTap, TapDevice, VirtioNic
+from repro.virt.host import PhysicalHost
+from repro.virt.qmp import QmpChannel
+from repro.virt.vm import VirtualMachine
+
+#: Guest-side device probe after hot-plug: PCI rescan + driver bind +
+#: udev settle (mean seconds, lognormal sigma, guest cycles).
+PCI_PROBE_MEAN_S = 22.0e-3
+PCI_PROBE_SIGMA = 0.95
+PCI_PROBE_CYCLES = 480_000
+
+
+@dataclasses.dataclass(frozen=True)
+class HostloHandle:
+    """Result of provisioning one hostlo interface (§4.1 steps 2–3)."""
+
+    name: str
+    tap: HostloTap
+    endpoints: dict[str, HostloEndpoint]  # vm name → in-VM endpoint
+
+    def endpoint_macs(self) -> dict[str, MacAddress]:
+        """The identifiers the VMM reports back to the orchestrator."""
+        return {
+            vm: ep.mac for vm, ep in self.endpoints.items() if ep.mac is not None
+        }
+
+
+class Vmm:
+    """Manages VMs on one physical host."""
+
+    def __init__(self, host: PhysicalHost) -> None:
+        self.host = host
+        self.vms: dict[str, VirtualMachine] = {}
+        self.qmp: dict[str, QmpChannel] = {}
+        self._tap_seq = 0
+        self._hostlos: dict[str, HostloHandle] = {}
+
+    # -- VM lifecycle --------------------------------------------------------
+    def create_vm(
+        self,
+        name: str,
+        vcpus: int = 5,
+        memory_gb: float = 4.0,
+        bridge: str | None = None,
+    ) -> VirtualMachine:
+        """Boot a VM with one NIC on *bridge* (default ``virbr0``)."""
+        if name in self.vms:
+            raise TopologyError(f"VM {name!r} already exists")
+        vm = VirtualMachine(self.host, name, vcpus=vcpus, memory_gb=memory_gb)
+        self.vms[name] = vm
+        self.qmp[name] = QmpChannel(
+            self.host.env, self.host.cpu,
+            self.host.rng.stream(f"qmp:{name}"), name,
+        )
+        nic = self._provision_nic(vm, bridge, guest_name="eth0")
+        bridge_name = bridge or self.host.default_bridge.name
+        network = self.host.bridge_network(bridge_name)
+        address = self.host.allocate_address(bridge_name)
+        nic.assign_ip(address, network)
+        vm.ns.routes.add_on_link(network, "eth0")
+        vm.ns.routes.add_default("eth0", network.host(1))
+        return vm
+
+    def vm(self, name: str) -> VirtualMachine:
+        try:
+            return self.vms[name]
+        except KeyError:
+            raise TopologyError(f"no VM {name!r}") from None
+
+    def destroy_vm(self, name: str) -> None:
+        vm = self.vm(name)
+        vm.running = False
+        self.qmp[name].disconnect()
+        # Unplug every NIC so host-side taps disappear too.
+        for nic in vm.virtio_nics():
+            backend = nic.backend
+            if isinstance(backend, TapDevice):
+                self._teardown_tap(backend)
+            elif isinstance(backend, HostloTap):
+                backend.endpoints.remove(nic)  # type: ignore[arg-type]
+        del self.vms[name]
+
+    # -- BrFusion: per-pod NIC provisioning ------------------------------------
+    def add_nic(self, vm: VirtualMachine, bridge: str | None = None,
+                guest_name: str | None = None) -> VirtioNic:
+        """Instantly provision a new NIC for *vm* (§3.1 steps 1–3).
+
+        Returns the NIC; its MAC is the identifier handed back to the
+        orchestrator.
+        """
+        return self._provision_nic(vm, bridge, guest_name)
+
+    def hotplug_nic(
+        self, vm: VirtualMachine, bridge: str | None = None,
+        guest_name: str | None = None,
+    ) -> t.Generator:
+        """Timed NIC hot-plug through QMP (process; returns the NIC)."""
+        if not vm.running:
+            raise HotplugError(f"VM {vm.name} is not running")
+        qmp = self.qmp[vm.name]
+        yield from qmp.execute("netdev_add", id=f"net-{self._tap_seq}")
+        nic = self._provision_nic(vm, bridge, guest_name)
+        yield from qmp.execute("device_add", driver="virtio-net-pci",
+                               mac=str(nic.mac))
+        yield from self._guest_probe(vm)
+        return nic
+
+    def remove_nic(self, vm: VirtualMachine, mac: MacAddress) -> None:
+        """Instantly unplug the NIC with *mac* from *vm*."""
+        dev = vm.find_nic_by_mac(mac)
+        if dev is None or not isinstance(dev, VirtioNic):
+            raise HotplugError(f"{vm.name}: no virtio NIC with MAC {mac}")
+        backend = dev.backend
+        ns = dev.namespace
+        if ns is not None:
+            ns.detach(dev)
+        if isinstance(backend, TapDevice):
+            self._teardown_tap(backend)
+
+    # -- Hostlo: multiplexed loopback provisioning -------------------------------
+    def create_hostlo(
+        self, name: str, vms: t.Sequence[VirtualMachine]
+    ) -> HostloHandle:
+        """Instantly provision a hostlo for *vms* (§4.1 steps 1–3)."""
+        if name in self._hostlos:
+            raise TopologyError(f"hostlo {name!r} already exists")
+        if len(vms) < 2:
+            raise TopologyError(
+                f"hostlo {name!r} needs at least two VMs, got {len(vms)}"
+            )
+        seen: set[str] = set()
+        for vm in vms:
+            if vm.name in seen:
+                raise TopologyError(f"duplicate VM {vm.name!r} for hostlo")
+            seen.add(vm.name)
+            if vm.host is not self.host:
+                # The multiplexed loopback's queues are host-kernel
+                # queues: hostlo is by construction a single-host device.
+                raise TopologyError(
+                    f"hostlo {name!r}: VM {vm.name!r} runs on host "
+                    f"{vm.host.name!r}, not {self.host.name!r} — a hostlo "
+                    "cannot span physical hosts (use an overlay)"
+                )
+        tap = HostloTap(name)
+        self.host.ns.attach(tap)
+        endpoints: dict[str, HostloEndpoint] = {}
+        for vm in vms:
+            endpoint = HostloEndpoint(
+                f"{name}-{vm.name}", self.host.mac_allocator.allocate()
+            )
+            tap.add_queue(endpoint)
+            vm.ns.attach(endpoint)
+            endpoints[vm.name] = endpoint
+        handle = HostloHandle(name=name, tap=tap, endpoints=endpoints)
+        self._hostlos[name] = handle
+        return handle
+
+    def hotplug_hostlo(
+        self, name: str, vms: t.Sequence[VirtualMachine]
+    ) -> t.Generator:
+        """Timed hostlo provisioning (process; returns the handle)."""
+        for vm in vms:
+            if not vm.running:
+                raise HotplugError(f"VM {vm.name} is not running")
+        # One ioctl-backed TAP creation, then a device_add per VM.
+        yield from self.qmp[vms[0].name].execute("netdev_add", id=name)
+        handle = self.create_hostlo(name, vms)
+        for vm in vms:
+            yield from self.qmp[vm.name].execute(
+                "device_add", driver="virtio-net-pci",
+                mac=str(handle.endpoints[vm.name].mac),
+            )
+            yield from self._guest_probe(vm)
+        return handle
+
+    def hostlo(self, name: str) -> HostloHandle:
+        try:
+            return self._hostlos[name]
+        except KeyError:
+            raise TopologyError(f"no hostlo {name!r}") from None
+
+    def remove_hostlo(self, name: str) -> None:
+        handle = self.hostlo(name)
+        for endpoint in list(handle.tap.endpoints):
+            if endpoint.namespace is not None:
+                endpoint.namespace.detach(endpoint)
+        handle.tap.endpoints.clear()
+        self.host.ns.detach(handle.tap)
+        del self._hostlos[name]
+
+    # -- internals -----------------------------------------------------------------
+    def _provision_nic(
+        self, vm: VirtualMachine, bridge: str | None, guest_name: str | None
+    ) -> VirtioNic:
+        bridge_name = bridge or self.host.default_bridge.name
+        bridge_dev: Bridge = self.host.bridge(bridge_name)
+        tap = TapDevice(f"tap{self._tap_seq}")
+        self._tap_seq += 1
+        if guest_name is None:
+            guest_name = f"eth{len(vm.virtio_nics())}"
+        nic = VirtioNic(guest_name, self.host.mac_allocator.allocate())
+        nic.attach_backend(tap)
+        self.host.ns.attach(tap)
+        bridge_dev.add_port(tap)
+        vm.ns.attach(nic)
+        return nic
+
+    def _teardown_tap(self, tap: TapDevice) -> None:
+        if tap.bridge is not None:
+            tap.bridge.remove_port(tap)
+        if tap.namespace is not None:
+            tap.namespace.detach(tap)
+
+    def _guest_probe(self, vm: VirtualMachine) -> t.Generator:
+        """PCI rescan + driver bind inside the guest after device_add."""
+        yield vm.cpu.execute(PCI_PROBE_CYCLES, account="sys")
+        rng = self.host.rng.stream(f"pci:{vm.name}")
+        noise = float(
+            rng.lognormal(mean=-0.5 * PCI_PROBE_SIGMA**2, sigma=PCI_PROBE_SIGMA)
+        )
+        yield self.host.env.timeout(PCI_PROBE_MEAN_S * noise)

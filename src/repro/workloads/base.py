@@ -1,0 +1,88 @@
+"""Shared workload plumbing: results, jitter application, run helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.core.scenario import Scenario
+from repro.errors import ConfigurationError
+from repro.metrics.stats import SampleStats
+from repro.net.costs import JITTER
+from repro.net.path import Datapath
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one benchmark run."""
+
+    workload: str
+    mode: str
+    message_size: int
+    duration_s: float
+    messages: int
+    bytes_transferred: int
+    latency_samples: tuple[float, ...] = ()
+
+    @property
+    def throughput_bps(self) -> float:
+        """Application-payload throughput in bits per second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.bytes_transferred * 8.0 / self.duration_s
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+    @property
+    def rate_per_s(self) -> float:
+        """Messages (transactions/requests) per second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.messages / self.duration_s
+
+    @property
+    def latency(self) -> SampleStats:
+        if not self.latency_samples:
+            raise ConfigurationError(
+                f"{self.workload}: no latency samples recorded"
+            )
+        return SampleStats.from_samples(self.latency_samples)
+
+
+class LatencyRecorder:
+    """Applies the path's jitter class to measured samples.
+
+    Queueing delays emerge from the DES; the residual
+    measurement/scheduling noise of the real testbed is modeled by the
+    per-path-flavour lognormal factors of
+    :data:`repro.net.costs.JITTER`.
+    """
+
+    def __init__(self, path: Datapath, rng: t.Any) -> None:
+        self.jitter = JITTER[path.jitter_class]
+        self.rng = rng
+        self.samples: list[float] = []
+
+    def record(self, raw_latency: float) -> float:
+        noisy = raw_latency * self.jitter.sample(self.rng)
+        self.samples.append(noisy)
+        return noisy
+
+
+def workload_rng(scenario: Scenario, workload: str) -> t.Any:
+    """A dedicated random stream for one (testbed, workload) pair.
+
+    Keyed by the workload name (not the scenario) on purpose: two
+    deployment modes measured on equal-seeded testbeds replay the same
+    jitter draw sequence, so mode ratios isolate the datapath effect
+    (common random numbers).
+    """
+    return scenario.testbed.rng.stream(f"{workload}")
+
+
+def require_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value!r}")

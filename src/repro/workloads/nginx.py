@@ -1,0 +1,123 @@
+"""NGINX driven by wrk2 (table 1: 100 connections, 10 k req/s, 1 kB file).
+
+wrk2 is open-loop: requests are issued on a fixed schedule and latency
+is measured from the *intended* send time, which makes the measurement
+free of coordinated omission — queueing behind a slow response is
+charged to latency, as in the paper's fig 5/fig 13 latency numbers.
+
+The paper observes that NGINX latency variance is dominated by the
+software stack itself when containerized (std-dev ≈ 2× the mean for
+both NAT and BrFusion, vs 47 % for NoCont, §5.2.2); we model that as
+heavier-tailed per-request service time inside containers.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario import Scenario
+from repro.sim.events import AllOf
+from repro.sim.resources import Store
+from repro.workloads.base import (
+    LatencyRecorder,
+    WorkloadResult,
+    require_positive,
+    workload_rng,
+)
+
+REQUEST_BYTES = 180
+#: Base per-request server work (parse + sendfile of a cached 1 kB file,
+#: access logging); ~65 µs at 2.2 GHz.
+SERVER_REQ_CYCLES = 180_000
+CLIENT_REQ_CYCLES = 3_000
+#: Service-time lognormal sigma: containerized runtimes show much larger
+#: tail noise than a native process — the paper measures latency std-dev
+#: ≈ 2× the mean for both NAT and BrFusion but only 47 % of the mean for
+#: NoCont, and attributes the difference "to the software itself rather
+#: than to the networking layer" (§5.2.2).  The noise is *not*
+#: mean-normalised: overlayfs/cgroup work genuinely inflates the mean,
+#: which is why even BrFusion stays well above NoCont for NGINX.
+SERVICE_SIGMA_CONTAINER = 1.35
+SERVICE_SIGMA_NATIVE = 0.45
+
+
+class Wrk2Benchmark:
+    """``wrk2 -c 100 -R 10000`` against an NGINX scenario."""
+
+    def __init__(self, connections: int = 100, rate_per_s: float = 10_000.0,
+                 file_bytes: int = 1024) -> None:
+        require_positive(connections=connections, rate_per_s=rate_per_s,
+                         file_bytes=file_bytes)
+        self.connections = connections
+        self.rate_per_s = rate_per_s
+        self.file_bytes = file_bytes
+
+    def run(self, scenario: Scenario, duration_s: float = 0.10) -> WorkloadResult:
+        require_positive(duration_s=duration_s)
+        tb = scenario.testbed
+        engine = tb.engine
+        forward, reverse = scenario.paths("tcp")
+        server_cpu = engine.cpu(scenario.server_domain)
+        client_cpu = engine.cpu(scenario.client_domain)
+        rng = workload_rng(scenario, "wrk2")
+        recorder = LatencyRecorder(forward, rng)
+        # Common random numbers: the service-noise stream is keyed by
+        # the testbed seed only, so every deployment mode replays the
+        # *same* request-cost sequence and mode differences isolate the
+        # networking effect (heavy-tailed noise would otherwise drown
+        # it at simulation-scale sample counts).
+        service_rng = tb.rng.stream("wrk2-service")
+        sigma = (
+            SERVICE_SIGMA_CONTAINER
+            if scenario.dst_ns.kind == "container"
+            else SERVICE_SIGMA_NATIVE
+        )
+        # Connection pool: at most `connections` requests in flight.
+        pool = Store(tb.env)
+        for i in range(self.connections):
+            pool.put(i)
+
+        t_start = tb.env.now
+        total = int(self.rate_per_s * duration_s)
+        interval = 1.0 / self.rate_per_s
+        counters = {"done": 0, "bytes": 0}
+        # Indexed by request number so concurrent completions cannot
+        # permute the draws between modes.  Not mean-normalised: the
+        # container runtime's tail noise raises the average too (see
+        # the sigma constants above).
+        service_noise = service_rng.lognormal(mean=0.0, sigma=sigma, size=total)
+
+        def one_request(index: int, scheduled_at: float):
+            yield pool.get()
+            yield client_cpu.execute(CLIENT_REQ_CYCLES, account="usr")
+            yield from engine.transfer(forward, REQUEST_BYTES, stream=False)
+            yield server_cpu.execute(
+                SERVER_REQ_CYCLES * float(service_noise[index]), account="usr"
+            )
+            yield from engine.transfer(reverse, self.file_bytes, stream=False)
+            # wrk2 convention: latency from the intended schedule time.
+            recorder.record(tb.env.now - scheduled_at)
+            counters["done"] += 1
+            counters["bytes"] += REQUEST_BYTES + self.file_bytes
+            yield pool.put(0)
+
+        def generator_proc():
+            for i in range(total):
+                scheduled = t_start + i * interval
+                if tb.env.now < scheduled:
+                    yield tb.env.timeout(scheduled - tb.env.now)
+                requests.append(tb.env.process(one_request(i, scheduled)))
+
+        requests: list = []
+        gen = tb.env.process(generator_proc())
+        tb.env.run(until=gen)
+        if requests:
+            tb.env.run(until=AllOf(tb.env, requests))
+        elapsed = tb.env.now - t_start
+        return WorkloadResult(
+            workload="wrk2",
+            mode=scenario.mode.value,
+            message_size=self.file_bytes,
+            duration_s=max(elapsed, duration_s),
+            messages=counters["done"],
+            bytes_transferred=counters["bytes"],
+            latency_samples=tuple(recorder.samples),
+        )

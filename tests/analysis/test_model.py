@@ -1,0 +1,85 @@
+"""Analytic model vs discrete-event simulation: they must agree."""
+
+import pytest
+
+from repro.analysis import (
+    predict_rr_latency,
+    predict_stream_throughput,
+    sweep_message_sizes,
+)
+from repro.core import DeploymentMode, build_scenario
+from repro.core.testbed import default_testbed
+from repro.workloads import NetperfTcpStream, NetperfUdpRR
+
+MODES = [
+    DeploymentMode.NOCONT,
+    DeploymentMode.NAT,
+    DeploymentMode.BRFUSION,
+    DeploymentMode.SAMENODE,
+    DeploymentMode.HOSTLO,
+    DeploymentMode.OVERLAY,
+    DeploymentMode.NAT_CROSS,
+]
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+def test_stream_prediction_matches_des(mode):
+    tb = default_testbed(seed=31, vms=2)
+    scenario = build_scenario(tb, mode)
+    forward, _ = scenario.paths("tcp")
+    ack = scenario.ack_path("tcp")
+    prediction = predict_stream_throughput(tb.engine, forward, ack, 1024,
+                                           window=128)
+    result = NetperfTcpStream(window=128).run(scenario, 1024,
+                                              duration_s=0.012)
+    # The DES adds queueing, draining and scheduling slack on top of the
+    # closed form; agreement within 30 % across every mode is the check.
+    ratio = result.throughput_bps / prediction.throughput_bps
+    assert 0.6 <= ratio <= 1.15, (mode, ratio, prediction)
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+def test_rr_prediction_matches_des(mode):
+    tb = default_testbed(seed=31, vms=2)
+    scenario = build_scenario(tb, mode)
+    forward, reverse = scenario.paths("udp")
+    predicted = predict_rr_latency(tb.engine, forward, reverse, 1024)
+    result = NetperfUdpRR().run(scenario, 1024, transactions=150)
+    # The recorded samples carry multiplicative jitter (mean 1).
+    ratio = result.latency.mean / predicted
+    assert 0.8 <= ratio <= 1.25, (mode, ratio)
+
+
+def test_bottleneck_identification():
+    tb = default_testbed(seed=31, vms=2)
+    hostlo = build_scenario(tb, DeploymentMode.HOSTLO)
+    forward, _ = hostlo.paths("tcp")
+    prediction = predict_stream_throughput(
+        tb.engine, forward, hostlo.ack_path("tcp"), 1024
+    )
+    # The hostlo kernel thread is the §4.2 serialization point.
+    assert prediction.bottleneck_domain.startswith("kthread:")
+    assert not prediction.window_bound
+
+
+def test_small_window_becomes_the_bound():
+    tb = default_testbed(seed=31, vms=2)
+    scenario = build_scenario(tb, DeploymentMode.NOCONT)
+    forward, _ = scenario.paths("tcp")
+    prediction = predict_stream_throughput(
+        tb.engine, forward, scenario.ack_path("tcp"), 1024, window=2
+    )
+    assert prediction.window_bound
+
+
+def test_sweep_is_instant_and_monotone_for_nocont():
+    tb = default_testbed(seed=31, vms=2)
+    scenario = build_scenario(tb, DeploymentMode.NOCONT)
+    forward, reverse = scenario.paths("tcp")
+    rows = sweep_message_sizes(
+        tb.engine, forward, reverse, scenario.ack_path("tcp"),
+        sizes=(64, 256, 1024, 4096, 16384),
+    )
+    throughputs = [r["throughput_mbps"] for r in rows]
+    assert throughputs == sorted(throughputs)
+    assert rows[0]["rr_latency_us"] < rows[-1]["rr_latency_us"]

@@ -1,0 +1,136 @@
+"""Tests for the timed container boot pipeline (fig 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.containers import ContainerEngine
+from repro.containers.boot import BootTimer, validate_publish
+from repro.errors import ConfigurationError
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+def make_testbed(seed=0):
+    env = Environment()
+    host = PhysicalHost(env, seed=seed)
+    vmm = Vmm(host)
+    vm = vmm.create_vm("vm1")
+    engine = ContainerEngine(vm)
+    return env, host, vmm, vm, engine
+
+
+class TestBootNat:
+    def test_boot_produces_record(self):
+        env, host, vmm, vm, engine = make_testbed()
+        timer = BootTimer(env, vmm)
+        proc = env.process(timer.boot_nat(engine, "c0", "alpine"))
+        env.run()
+        record = proc.value
+        assert record.network_mode == "bridge"
+        assert record.total_s > 0.2  # runtime init floor
+        assert 0 < record.network_s < record.total_s
+        assert engine.container("c0").is_running
+
+    def test_rule_count_slows_later_boots(self):
+        env, host, vmm, vm, engine = make_testbed()
+        timer = BootTimer(env, vmm)
+
+        def run_all():
+            for i in range(12):
+                yield env.process(
+                    timer.boot_nat(engine, f"c{i}", "alpine",
+                                   publish=[("tcp", 8000 + i, 80)])
+                )
+
+        env.process(run_all())
+        env.run()
+        nets = [r.network_s for r in timer.records]
+        # Later containers see strictly more iptables rules on average.
+        assert np.mean(nets[-4:]) > np.mean(nets[:4]) * 0.9
+
+
+class TestBootBrFusion:
+    def test_boot_produces_record(self):
+        env, host, vmm, vm, engine = make_testbed()
+        timer = BootTimer(env, vmm)
+        proc = env.process(timer.boot_brfusion(engine, "c0", "alpine"))
+        env.run()
+        record = proc.value
+        assert record.network_mode == "provided-nic"
+        assert engine.container("c0").is_running
+        # The hot-plug went through the QMP channel.
+        assert len(vmm.qmp["vm1"].commands("device_add")) == 1
+
+    def test_pod_gets_host_bridge_address(self):
+        env, host, vmm, vm, engine = make_testbed()
+        timer = BootTimer(env, vmm)
+        proc = env.process(timer.boot_brfusion(engine, "c0", "alpine"))
+        env.run()
+        cont = engine.container("c0")
+        nic = cont.netns.device("eth1")
+        assert nic.primary_ip in host.bridge_network("virbr0")
+
+
+class TestBootDistributions:
+    def test_brfusion_wins_most_quantiles(self):
+        """Fig 8a: ~75 % of start-up times slightly better with BrFusion."""
+        env, host, vmm, vm, engine = make_testbed(seed=42)
+        timer = BootTimer(env, vmm)
+        runs = 60
+
+        def nat_runs():
+            for i in range(runs):
+                yield env.process(
+                    timer.boot_nat(engine, f"nat{i}", "alpine")
+                )
+                engine.remove_container(f"nat{i}")
+
+        env.process(nat_runs())
+        env.run()
+        nat_times = np.array(timer.totals("bridge"))
+
+        def brf_runs():
+            for i in range(runs):
+                yield env.process(
+                    timer.boot_brfusion(engine, f"brf{i}", "alpine")
+                )
+
+        env.process(brf_runs())
+        env.run()
+        brf_times = np.array(timer.totals("provided-nic"))
+
+        better = sum(
+            np.quantile(brf_times, q) < np.quantile(nat_times, q)
+            for q in (0.10, 0.25, 0.50, 0.75)
+        )
+        assert better >= 3  # wins at least through the 75th percentile
+
+    def test_means_are_comparable(self):
+        env, host, vmm, vm, engine = make_testbed(seed=7)
+        timer = BootTimer(env, vmm)
+
+        def runs():
+            for i in range(30):
+                yield env.process(timer.boot_nat(engine, f"n{i}", "alpine"))
+                engine.remove_container(f"n{i}")
+            for i in range(30):
+                yield env.process(timer.boot_brfusion(engine, f"b{i}", "alpine"))
+
+        env.process(runs())
+        env.run()
+        nat_mean = np.mean(timer.totals("bridge"))
+        brf_mean = np.mean(timer.totals("provided-nic"))
+        assert 0.7 < brf_mean / nat_mean < 1.1  # "no overhead" claim
+
+
+class TestValidatePublish:
+    def test_good_spec_passes(self):
+        validate_publish([("tcp", 8080, 80), ("udp", 53, 53)])
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_publish([("tcp", 8080)])  # type: ignore[list-item]
+        with pytest.raises(ConfigurationError):
+            validate_publish([("icmp", 1, 1)])
+        with pytest.raises(ConfigurationError):
+            validate_publish([("tcp", 0, 80)])

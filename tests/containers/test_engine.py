@@ -1,0 +1,196 @@
+"""Tests for the container engine, overlay networks and images."""
+
+import pytest
+
+from repro.containers import ContainerEngine, IMAGES, OverlayNetwork
+from repro.containers.image import ContainerImage, get_image
+from repro.errors import ContainerError, TopologyError
+from repro.net import resolve_path
+from repro.net.addresses import cidr, ip
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+@pytest.fixture
+def setup():
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    vm = vmm.create_vm("vm1")
+    engine = ContainerEngine(vm)
+    return host, vmm, vm, engine
+
+
+class TestImages:
+    def test_registry_has_benchmark_images(self):
+        for name in ("netperf", "memcached", "nginx", "kafka"):
+            assert name in IMAGES
+
+    def test_get_image_unknown(self):
+        with pytest.raises(ContainerError):
+            get_image("doom")
+
+    def test_image_validation(self):
+        with pytest.raises(ContainerError):
+            ContainerImage("x", size_mb=0, app_start_s=1)
+        with pytest.raises(ContainerError):
+            ContainerImage("x", size_mb=1, app_start_s=0)
+
+
+class TestLifecycle:
+    def test_create_container(self, setup):
+        _, _, vm, engine = setup
+        cont = engine.create_container("web", "nginx")
+        assert cont.netns.domain == vm.domain
+        assert cont.state == "created"
+        assert engine.container("web") is cont
+
+    def test_duplicate_name_rejected(self, setup):
+        _, _, _, engine = setup
+        engine.create_container("web", "nginx")
+        with pytest.raises(ContainerError):
+            engine.create_container("web", "nginx")
+
+    def test_unknown_container(self, setup):
+        _, _, _, engine = setup
+        with pytest.raises(ContainerError):
+            engine.container("ghost")
+
+    def test_running_count(self, setup):
+        _, _, _, engine = setup
+        cont = engine.create_container("web", "nginx")
+        assert engine.running_count == 0
+        cont.mark_running(0.0)
+        assert engine.running_count == 1
+
+
+class TestBridgeNetwork:
+    def test_wiring_and_address(self, setup):
+        host, _, vm, engine = setup
+        cont = engine.create_container("web", "nginx")
+        address = engine.setup_bridge_network(cont, publish=[("tcp", 8080, 80)])
+        assert address == ip("172.17.0.2")
+        assert vm.ns.device("docker0").owns_ip(ip("172.17.0.1"))
+        assert vm.ns.netfilter.active
+
+    def test_published_port_path_from_client(self, setup):
+        host, _, vm, engine = setup
+        cont = engine.create_container("web", "nginx")
+        engine.setup_bridge_network(cont, publish=[("tcp", 8080, 80)])
+        client = host.create_attached_namespace("client", domain="client")
+        path = resolve_path(client, vm.primary_nic.primary_ip, 8080)
+        assert path.count("netfilter_nat") == 1
+        assert path.stage_names().count("bridge_fwd") == 2
+
+    def test_double_wire_rejected(self, setup):
+        _, _, _, engine = setup
+        cont = engine.create_container("web", "nginx")
+        engine.setup_bridge_network(cont)
+        with pytest.raises(ContainerError):
+            engine.setup_bridge_network(cont)
+
+    def test_sequential_addresses(self, setup):
+        _, _, _, engine = setup
+        a = engine.setup_bridge_network(engine.create_container("c1", "alpine"))
+        b = engine.setup_bridge_network(engine.create_container("c2", "alpine"))
+        assert a != b
+
+    def test_remove_container_cleans_bridge_and_rules(self, setup):
+        _, _, vm, engine = setup
+        cont = engine.create_container("web", "nginx")
+        engine.setup_bridge_network(cont, publish=[("tcp", 8080, 80)])
+        rules_before = vm.ns.netfilter.rule_count
+        engine.remove_container("web")
+        assert vm.ns.netfilter.rule_count < rules_before
+        assert engine.bridge.ports == []
+
+
+class TestAdoptNic:
+    def test_brfusion_adoption(self, setup):
+        host, vmm, vm, engine = setup
+        cont = engine.create_container("pod", "netperf")
+        nic = vmm.add_nic(vm)
+        network = host.bridge_network("virbr0")
+        address = host.allocate_address("virbr0")
+        engine.adopt_nic(cont, nic, address, network, gateway=network.host(1))
+        assert cont.network_mode == "provided-nic"
+        assert nic.namespace is cont.netns
+        client = host.create_attached_namespace("client", domain="client")
+        path = resolve_path(client, address, 80)
+        assert path.count("netfilter_nat") == 0
+
+    def test_hostlo_adoption_sets_mode(self, setup):
+        host, vmm, vm, engine = setup
+        vm2 = vmm.create_vm("vm2")
+        handle = vmm.create_hostlo("hlo", [vm, vm2])
+        cont = engine.create_container("frag", "memcached")
+        net = cidr("10.88.0.0/24")
+        engine.adopt_nic(cont, handle.endpoints["vm1"], net.host(2), net,
+                         default_route=False)
+        assert cont.network_mode == "hostlo"
+
+    def test_foreign_nic_rejected(self, setup):
+        host, vmm, vm, engine = setup
+        vm2 = vmm.create_vm("vm2")
+        nic = vmm.add_nic(vm2)
+        cont = engine.create_container("pod", "netperf")
+        with pytest.raises(TopologyError):
+            engine.adopt_nic(cont, nic, ip("192.168.122.77"),
+                             host.bridge_network("virbr0"))
+
+
+class TestPodNamespace:
+    def test_two_containers_share_pod_ns(self, setup):
+        _, _, vm, engine = setup
+        pod_ns = vm.create_namespace("pod1")
+        c1 = engine.create_container("app", "memcached", netns=pod_ns)
+        c2 = engine.create_container("sidecar", "memtier", netns=pod_ns)
+        assert c1.netns is c2.netns
+        path = resolve_path(pod_ns, ip("127.0.0.1"), 11211)
+        assert "loopback_xmit" in path.stage_names()
+
+
+class TestOverlay:
+    def test_cross_vm_overlay_path(self, setup):
+        host, vmm, vm1, engine1 = setup
+        vm2 = vmm.create_vm("vm2")
+        engine2 = ContainerEngine(vm2)
+        overlay = OverlayNetwork("ov0", cidr("10.0.9.0/24"), vni=256)
+        c1 = engine1.create_container("a", "memcached")
+        c2 = engine2.create_container("b", "memtier")
+        addr1 = overlay.connect(vm1, c1)
+        addr2 = overlay.connect(vm2, c2)
+        assert addr1 != addr2
+        path = resolve_path(c1.netns, addr2, 11211)
+        assert path.count("vxlan_encap") == 1
+        assert path.count("vxlan_decap") == 1
+        assert path.stages[-1].domain == "vm:vm2"
+
+    def test_same_vm_overlay_stays_local(self, setup):
+        host, vmm, vm1, engine1 = setup
+        overlay = OverlayNetwork("ov0", cidr("10.0.9.0/24"), vni=256)
+        c1 = engine1.create_container("a", "alpine")
+        c2 = engine1.create_container("b", "alpine")
+        addr1 = overlay.connect(vm1, c1)
+        addr2 = overlay.connect(vm1, c2)
+        path = resolve_path(c1.netns, addr2, 80)
+        assert path.count("vxlan_encap") == 0
+
+    def test_three_vm_overlay_routes_correctly(self, setup):
+        host, vmm, vm1, engine1 = setup
+        vm2, vm3 = vmm.create_vm("vm2"), vmm.create_vm("vm3")
+        engine2, engine3 = ContainerEngine(vm2), ContainerEngine(vm3)
+        overlay = OverlayNetwork("ov0", cidr("10.0.9.0/24"), vni=256)
+        a1 = overlay.connect(vm1, engine1.create_container("a", "alpine"))
+        a2 = overlay.connect(vm2, engine2.create_container("b", "alpine"))
+        a3 = overlay.connect(vm3, engine3.create_container("c", "alpine"))
+        path = resolve_path(engine1.container("a").netns, a3, 80)
+        assert path.stages[-1].domain == "vm:vm3"
+        path = resolve_path(engine3.container("c").netns, a2, 80)
+        assert path.stages[-1].domain == "vm:vm2"
+
+    def test_double_attach_rejected(self, setup):
+        _, _, vm1, _ = setup
+        overlay = OverlayNetwork("ov0", cidr("10.0.9.0/24"), vni=256)
+        overlay.attach_vm(vm1)
+        with pytest.raises(TopologyError):
+            overlay.attach_vm(vm1)

@@ -1,0 +1,114 @@
+"""Tests for the Testbed facade and the seven scenario builders."""
+
+import pytest
+
+from repro.core import DeploymentMode, Testbed, build_scenario
+from repro.core.testbed import default_testbed
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def tb():
+    return default_testbed(seed=1, vms=2)
+
+
+class TestTestbed:
+    def test_default_testbed_shape(self, tb):
+        assert tb.host.cpu.cores == 12
+        assert tb.vm("vm0").vcpus == 5
+        assert tb.client_cpu.cores == 2
+
+    def test_domains_registered(self, tb):
+        for domain in ("host", "client", "vm:vm0", "vm:vm1"):
+            tb.check_domain(domain)
+
+    def test_client_address_on_bridge_subnet(self, tb):
+        assert tb.client_address in tb.host.bridge_network("virbr0")
+
+    def test_zero_vms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_testbed(vms=0)
+
+    def test_breakdowns_cover_entities(self, tb):
+        tb.reset_accounting()
+        bd = tb.breakdowns()
+        assert set(bd) == {"host", "client", "vm:vm0", "vm:vm1"}
+
+
+EXTERNAL = [DeploymentMode.NAT, DeploymentMode.BRFUSION, DeploymentMode.NOCONT]
+INTRA = [
+    DeploymentMode.SAMENODE,
+    DeploymentMode.HOSTLO,
+    DeploymentMode.OVERLAY,
+    DeploymentMode.NAT_CROSS,
+]
+
+
+class TestScenarioBuilders:
+    @pytest.mark.parametrize("mode", EXTERNAL + INTRA)
+    def test_builds_and_resolves_both_protocols(self, tb, mode):
+        scenario = build_scenario(tb, mode)
+        for proto in ("tcp", "udp"):
+            forward, reverse = scenario.paths(proto)
+            assert forward.stages and reverse.stages
+
+    @pytest.mark.parametrize("mode", EXTERNAL)
+    def test_external_scenarios_start_at_client(self, tb, mode):
+        scenario = build_scenario(tb, mode)
+        assert scenario.client_domain == "client"
+        assert scenario.server_domain.startswith("vm:")
+
+    def test_nat_vs_brfusion_vs_nocont_path_lengths(self):
+        # Fresh testbed per configuration, as in the paper's methodology.
+        lengths = {}
+        for mode in EXTERNAL:
+            scenario = build_scenario(default_testbed(seed=1, vms=2), mode)
+            lengths[mode] = len(scenario.paths()[0].stages)
+        assert (
+            lengths[DeploymentMode.BRFUSION]
+            == lengths[DeploymentMode.NOCONT]
+            < lengths[DeploymentMode.NAT]
+        )
+
+    def test_intra_pod_orderings(self):
+        lengths = {}
+        for mode in INTRA:
+            scenario = build_scenario(default_testbed(seed=1, vms=2), mode)
+            lengths[mode] = len(scenario.paths()[0].stages)
+        assert lengths[DeploymentMode.SAMENODE] < lengths[DeploymentMode.HOSTLO]
+        assert lengths[DeploymentMode.HOSTLO] < lengths[DeploymentMode.NAT_CROSS]
+        assert lengths[DeploymentMode.HOSTLO] < lengths[DeploymentMode.OVERLAY]
+
+    def test_hostlo_scenario_is_cross_vm(self, tb):
+        scenario = build_scenario(tb, DeploymentMode.HOSTLO)
+        assert scenario.src_ns.domain != scenario.dst_ns.domain
+        assert "hostlo_reflect" in scenario.paths()[0].stage_names()
+
+    def test_samenode_scenario_is_loopback(self, tb):
+        scenario = build_scenario(tb, DeploymentMode.SAMENODE)
+        assert "loopback_xmit" in scenario.paths()[0].stage_names()
+        assert scenario.src_ns is scenario.dst_ns
+
+    def test_nat_cross_traverses_two_nat_layers(self, tb):
+        scenario = build_scenario(tb, DeploymentMode.NAT_CROSS)
+        forward, reverse = scenario.paths()
+        assert forward.count("netfilter_nat") >= 2  # masquerade + DNAT
+        assert reverse.count("netfilter_nat") >= 2
+
+    def test_split_scenarios_need_two_vms(self):
+        tb = default_testbed(seed=1, vms=1)
+        with pytest.raises(ConfigurationError):
+            build_scenario(tb, DeploymentMode.HOSTLO)
+
+    def test_multiple_scenarios_coexist_on_distinct_ports(self, tb):
+        first = build_scenario(tb, DeploymentMode.NAT, port=12865)
+        second = build_scenario(tb, DeploymentMode.NAT, port=12866)
+        assert first.name != second.name
+        assert first.dst_port != second.dst_port
+
+    def test_port_collision_is_detected(self, tb):
+        from repro.errors import TopologyError
+
+        build_scenario(tb, DeploymentMode.NAT, port=12865)
+        with pytest.raises(TopologyError):
+            build_scenario(tb, DeploymentMode.NAT, port=12865)

@@ -1,0 +1,100 @@
+"""Tests for the online cost simulation extension."""
+
+import pytest
+
+from repro.costsim.online import (
+    OnlineConfig,
+    PodEvent,
+    generate_events,
+    simulate_online,
+)
+from repro.errors import ConfigurationError
+from repro.traces import TraceConfig
+from repro.traces.google import TraceContainer, TracePod
+
+
+def small_events():
+    return generate_events(OnlineConfig(
+        trace=TraceConfig(users=25, seed=5), seed=5
+    ))
+
+
+class TestEventGeneration:
+    def test_every_pod_gets_a_lifetime(self):
+        config = OnlineConfig(trace=TraceConfig(users=25, seed=5))
+        events = generate_events(config)
+        from repro.traces import generate_trace
+
+        pods = sum(len(u.pods) for u in generate_trace(config.trace))
+        assert len(events) == pods
+        for event in events:
+            assert 0 <= event.arrival_h <= config.horizon_h
+            assert event.duration_h >= 0.1
+            assert event.departure_h > event.arrival_h
+
+    def test_sorted_by_arrival(self):
+        events = small_events()
+        arrivals = [e.arrival_h for e in events]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic(self):
+        assert small_events() == small_events()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnlineConfig(horizon_h=0)
+        with pytest.raises(ConfigurationError):
+            OnlineConfig(mean_duration_h=-1)
+
+
+class TestOnlineSimulation:
+    def test_hostlo_never_costs_more(self):
+        outcome = simulate_online(small_events())
+        assert outcome.hostlo_cost <= outcome.kubernetes_cost + 1e-9
+        assert outcome.relative_saving >= 0.0
+
+    def test_costs_are_positive_and_buys_counted(self):
+        outcome = simulate_online(small_events())
+        assert outcome.kubernetes_cost > 0
+        assert outcome.kubernetes_buys > 0
+        assert outcome.hostlo_peak_vms <= outcome.kubernetes_peak_vms
+
+    def test_split_placements_happen(self):
+        outcome = simulate_online(small_events())
+        assert outcome.split_placements > 0
+
+    def test_single_tiny_pod_stream(self):
+        pod = TracePod("p", (TraceContainer(0.01, 0.01),))
+        events = [PodEvent(pod=pod, arrival_h=0.0, duration_h=2.0)]
+        outcome = simulate_online(events)
+        # One 'large' VM for 2 h under both schedulers.
+        assert outcome.kubernetes_cost == pytest.approx(0.112 * 2)
+        assert outcome.hostlo_cost == pytest.approx(0.112 * 2)
+
+    def test_back_to_back_pods_reuse_the_vm_or_not(self):
+        pod = TracePod("p", (TraceContainer(0.01, 0.01),))
+        # Non-overlapping lifetimes: the VM is released between them.
+        events = [
+            PodEvent(pod=pod, arrival_h=0.0, duration_h=1.0),
+            PodEvent(pod=pod, arrival_h=5.0, duration_h=1.0),
+        ]
+        outcome = simulate_online(events)
+        assert outcome.kubernetes_buys == 2
+        assert outcome.kubernetes_cost == pytest.approx(0.112 * 2)
+
+    def test_straddler_pod_split_avoids_a_big_buy(self):
+        # One big 12xlarge-straddling pod arrives while two half-empty
+        # 12xlarge VMs are running: splitting rides the waste.
+        filler = TracePod("filler", (TraceContainer(0.30, 0.30),))
+        straddler = TracePod("straddler", (
+            TraceContainer(0.18, 0.18), TraceContainer(0.18, 0.18),
+        ))
+        events = [
+            PodEvent(pod=filler, arrival_h=0.0, duration_h=10.0),
+            PodEvent(pod=filler, arrival_h=0.1, duration_h=10.0),
+            PodEvent(pod=straddler, arrival_h=1.0, duration_h=5.0),
+        ]
+        outcome = simulate_online(events)
+        assert outcome.split_placements == 1
+        assert outcome.hostlo_buys < outcome.kubernetes_buys
+        assert outcome.hostlo_cost < outcome.kubernetes_cost

@@ -1,0 +1,113 @@
+"""Tests for the AWS catalog and the synthetic trace generator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.traces import M5_CATALOG, TraceConfig, cheapest_fitting, generate_trace
+from repro.traces.aws import BASE_MEMORY_GB, BASE_VCPUS, VmModel, model
+from repro.traces.google import TraceContainer, TracePod, trace_statistics
+
+
+class TestAwsCatalog:
+    def test_table2_verbatim(self):
+        expected = {
+            "large": (2, 8, 0.112),
+            "xlarge": (4, 16, 0.224),
+            "2xlarge": (8, 32, 0.448),
+            "4xlarge": (16, 64, 0.896),
+            "12xlarge": (48, 192, 2.689),
+            "24xlarge": (96, 384, 5.376),
+        }
+        assert len(M5_CATALOG) == len(expected)
+        for name, (vcpus, mem, price) in expected.items():
+            m = model(name)
+            assert (m.vcpus, m.memory_gb, m.price_per_h) == (vcpus, mem, price)
+
+    def test_relative_resources_match_table2(self):
+        assert model("large").cpu_rel == pytest.approx(0.0208, abs=1e-4)
+        assert model("xlarge").cpu_rel == pytest.approx(0.0417, abs=1e-4)
+        assert model("2xlarge").memory_rel == pytest.approx(0.0833, abs=1e-4)
+        assert model("12xlarge").cpu_rel == pytest.approx(0.5)
+        assert model("24xlarge").cpu_rel == 1.0
+
+    def test_base_resources(self):
+        assert BASE_VCPUS == 96 and BASE_MEMORY_GB == 384
+
+    def test_cheapest_fitting_picks_price_order(self):
+        assert cheapest_fitting(0.01, 0.01).name == "large"
+        assert cheapest_fitting(0.03, 0.01).name == "xlarge"
+        assert cheapest_fitting(0.4, 0.4).name == "12xlarge"
+        assert cheapest_fitting(0.6, 0.1).name == "24xlarge"
+
+    def test_cheapest_fitting_overflow(self):
+        with pytest.raises(CapacityError):
+            cheapest_fitting(1.1, 0.1)
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            model("13xlarge")
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VmModel(name="x", vcpus=0, memory_gb=1, price_per_h=1)
+
+    @given(st.floats(min_value=1e-4, max_value=1.0),
+           st.floats(min_value=1e-4, max_value=1.0))
+    def test_cheapest_fitting_always_fits_property(self, cpu, mem):
+        m = cheapest_fitting(cpu, mem)
+        assert m.fits(cpu, mem)
+        # No cheaper model fits.
+        for other in M5_CATALOG:
+            if other.price_per_h < m.price_per_h:
+                assert not other.fits(cpu, mem)
+
+
+class TestTraceModel:
+    def test_container_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceContainer(cpu=0.0, memory=0.1)
+        with pytest.raises(ConfigurationError):
+            TraceContainer(cpu=0.1, memory=1.5)
+
+    def test_pod_totals(self):
+        pod = TracePod("p", (TraceContainer(0.1, 0.2), TraceContainer(0.3, 0.1)))
+        assert pod.cpu == pytest.approx(0.4)
+        assert pod.memory == pytest.approx(0.3)
+        assert pod.size_key == pytest.approx(0.4)
+
+
+class TestGenerator:
+    def test_default_population_shape(self):
+        users = generate_trace()
+        assert len(users) == 492
+        stats = trace_statistics(users)
+        assert stats["pods"] > 1000
+        assert stats["max_pods_per_user"] > 100  # whales exist
+
+    def test_deterministic(self):
+        a = generate_trace(TraceConfig(seed=7, users=50))
+        b = generate_trace(TraceConfig(seed=7, users=50))
+        assert [u.pods for u in a] == [u.pods for u in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(TraceConfig(seed=1, users=50))
+        b = generate_trace(TraceConfig(seed=2, users=50))
+        assert [u.pods for u in a] != [u.pods for u in b]
+
+    def test_no_pod_exceeds_largest_machine(self):
+        for user in generate_trace(TraceConfig(users=120, seed=3)):
+            for pod in user.pods:
+                assert pod.cpu <= 1.0 and pod.memory <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(users=0)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(small_user_fraction=0.9, medium_user_fraction=0.3)
+
+    def test_some_pods_unsplittable(self):
+        users = generate_trace(TraceConfig(users=200, seed=5))
+        flags = [p.splittable for u in users for p in u.pods]
+        assert any(flags) and not all(flags)

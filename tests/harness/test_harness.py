@@ -1,0 +1,149 @@
+"""Tests for the harness plumbing: config, results, registry, CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import EXPERIMENTS, ExperimentConfig, run_experiment
+from repro.harness.results import ExperimentResult
+
+
+class TestConfig:
+    def test_presets(self):
+        quick = ExperimentConfig.preset("quick")
+        default = ExperimentConfig.preset("default")
+        full = ExperimentConfig.preset("full")
+        assert quick.rr_transactions < default.rr_transactions
+        assert full.rr_transactions > default.rr_transactions
+        assert len(full.message_sizes) >= len(default.message_sizes)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.preset("warp")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(stream_duration_s=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(rr_transactions=1)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(message_sizes=())
+
+
+class TestResults:
+    def make(self):
+        return ExperimentResult(
+            experiment="x",
+            title="T",
+            rows=(
+                {"mode": "a", "v": 1.0},
+                {"mode": "b", "v": 2.0},
+            ),
+            notes=("hello",),
+        )
+
+    def test_select_and_value(self):
+        result = self.make()
+        assert result.select(mode="a") == [{"mode": "a", "v": 1.0}]
+        assert result.value("v", mode="b") == 2.0
+
+    def test_value_requires_unique(self):
+        result = self.make()
+        with pytest.raises(ConfigurationError):
+            result.value("v")
+        with pytest.raises(ConfigurationError):
+            result.value("v", mode="c")
+
+    def test_render_contains_all(self):
+        text = self.make().render()
+        assert "T" in text and "mode" in text and "hello" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentResult(experiment="x", title="T", rows=())
+
+    def test_columns_union(self):
+        result = ExperimentResult(
+            experiment="x", title="T",
+            rows=({"a": 1}, {"b": 2}),
+        )
+        assert result.columns() == ["a", "b"]
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        expected = {
+            "fig02", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11_12", "fig13", "fig14", "fig15",
+            "table01", "table02",
+            "ablation_hostlo_thread", "ablation_netfilter_cost",
+            "ablation_no_batching", "ablation_rule_bloat",
+            "ablation_scheduler_policy",
+            "online_cost", "analytic_check",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_tables_run_instantly(self):
+        t1 = run_experiment("table01")
+        t2 = run_experiment("table02")
+        assert len(t1.rows) == 3
+        assert len(t2.rows) == 6
+        assert t2.value("price_per_h", model="24xlarge") == 5.376
+
+    def test_fig02_quick(self):
+        result = run_experiment("fig02", ExperimentConfig.preset("quick"))
+        assert {r["mode"] for r in result.rows} == {"nat", "nocont"}
+        assert any("degradation" in n for n in result.notes)
+
+
+class TestExport:
+    def make(self):
+        return ExperimentResult(
+            experiment="x", title="T",
+            rows=({"mode": "a", "v": 1.0}, {"mode": "b", "v": 2.0}),
+            notes=("hello",),
+        )
+
+    def test_to_json_roundtrip(self):
+        import json
+
+        data = json.loads(self.make().to_json())
+        assert data["experiment"] == "x"
+        assert data["rows"][1]["v"] == 2.0
+        assert data["notes"] == ["hello"]
+
+    def test_to_csv(self):
+        text = self.make().to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "mode,v"
+        assert lines[1] == "a,1.0"
+
+
+class TestCli:
+    def test_main_runs_tables(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["table01", "table02", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_list_flag(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "ablation_no_batching" in out
+
+    def test_json_and_csv_export(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        assert main([
+            "table02", "--preset", "quick",
+            "--json", str(tmp_path / "j"), "--csv", str(tmp_path / "c"),
+        ]) == 0
+        assert (tmp_path / "j" / "table02.json").exists()
+        csv_text = (tmp_path / "c" / "table02.csv").read_text()
+        assert "24xlarge" in csv_text

@@ -1,0 +1,146 @@
+"""Tests for statistics and CPU breakdown collection."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics import Cdf, CpuBreakdown, SampleStats, collect_breakdowns
+from repro.metrics.cpu import breakdown_of
+from repro.sim import CpuResource, Environment
+
+
+class TestSampleStats:
+    def test_basic_summary(self):
+        stats = SampleStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.p50 == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        stats = SampleStats.from_samples([5.0])
+        assert stats.std == 0.0
+        assert stats.p99 == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SampleStats.from_samples([])
+
+    def test_cv(self):
+        stats = SampleStats.from_samples([1.0, 3.0])
+        assert stats.cv == pytest.approx(stats.std / 2.0)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6),
+                    min_size=2, max_size=50))
+    def test_percentiles_ordered_property(self, samples):
+        stats = SampleStats.from_samples(samples)
+        assert (stats.minimum <= stats.p25 <= stats.p50 <= stats.p75
+                <= stats.p90 <= stats.p99 <= stats.maximum)
+
+
+class TestCdf:
+    def test_quantiles(self):
+        cdf = Cdf.from_samples([3.0, 1.0, 2.0, 4.0])
+        assert cdf.values == (1.0, 2.0, 3.0, 4.0)
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 4.0
+
+    def test_fraction_below(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.5) == pytest.approx(0.5)
+        assert cdf.fraction_below(0.5) == 0.0
+
+    def test_points_monotone(self):
+        cdf = Cdf.from_samples(np.linspace(1, 10, 20))
+        points = cdf.points()
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Cdf.from_samples([])
+        with pytest.raises(ConfigurationError):
+            Cdf.from_samples([1.0]).quantile(1.5)
+
+
+class TestCpuBreakdown:
+    def test_totals_and_shares(self):
+        bd = CpuBreakdown(usr=1.0, sys=2.0, soft=1.0, guest=4.0,
+                          window_s=2.0, cores=4)
+        assert bd.total == 8.0
+        assert bd.kernel == 3.0
+        assert bd.cores_used() == 4.0
+        assert bd.share("usr") == pytest.approx(1 / 8)
+
+    def test_scaled(self):
+        bd = CpuBreakdown(usr=1.0, sys=2.0, window_s=1.0)
+        doubled = bd.scaled(2.0)
+        assert doubled.usr == 2.0 and doubled.sys == 4.0
+
+    def test_zero_window(self):
+        bd = CpuBreakdown(usr=1.0, window_s=0.0)
+        assert bd.cores_used() == 0.0
+
+    def test_breakdown_of_reads_accounts(self):
+        env = Environment()
+        cpu = CpuResource(env, cores=2, freq_hz=1000.0)
+
+        def proc():
+            yield cpu.execute(500, account="usr")
+            yield cpu.execute(1000, account="soft")
+
+        env.process(proc())
+        env.run()
+        bd = breakdown_of(cpu, window_s=env.now)
+        assert bd.usr == pytest.approx(0.5)
+        assert bd.soft == pytest.approx(1.0)
+        assert bd.guest == 0.0
+
+
+class TestCollectBreakdowns:
+    def make(self):
+        env = Environment()
+        host = CpuResource(env, cores=12, freq_hz=1000.0, name="host")
+        vm1 = CpuResource(env, cores=5, freq_hz=1000.0, name="vm1")
+        vm2 = CpuResource(env, cores=5, freq_hz=1000.0, name="vm2")
+
+        def proc():
+            yield host.execute(100, account="sys")
+            yield vm1.execute(200, account="usr")
+            yield vm2.execute(300, account="soft")
+
+        env.process(proc())
+        env.run()
+        return env, host, {"vm:a": vm1, "vm:b": vm2}
+
+    def test_guest_is_sum_of_vm_busy(self):
+        env, host, vms = self.make()
+        result = collect_breakdowns(host, vms, window_s=env.now)
+        assert result["host"].guest == pytest.approx(0.5)
+        assert result["host"].sys == pytest.approx(0.1)
+        assert result["vm:a"].usr == pytest.approx(0.2)
+
+    def test_host_extra_sys_folds_kernel_threads(self):
+        env, host, vms = self.make()
+        result = collect_breakdowns(host, vms, window_s=env.now,
+                                    host_extra_sys=0.25)
+        assert result["host"].sys == pytest.approx(0.35)
+
+    def test_vm_soft_extra_folds_softirq(self):
+        env, host, vms = self.make()
+        result = collect_breakdowns(
+            host, vms, window_s=env.now, vm_soft_extra={"vm:a": 0.4}
+        )
+        assert result["vm:a"].soft == pytest.approx(0.4)
+        # softirq time runs on a vCPU → counted as host guest time too.
+        assert result["host"].guest == pytest.approx(0.9)
+
+    def test_extra_pools_reported(self):
+        env, host, vms = self.make()
+        client = CpuResource(env, cores=2, freq_hz=1000.0, name="client")
+        result = collect_breakdowns(host, vms, window_s=env.now,
+                                    extra={"client": client})
+        assert "client" in result

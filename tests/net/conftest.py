@@ -1,0 +1,216 @@
+"""Hand-built topologies mirroring the paper's six deployment modes.
+
+The production code builds these same shapes through the VMM /
+orchestrator layers; here they are wired by hand so the datapath
+resolver is tested in isolation.
+"""
+
+import pytest
+
+from repro.net import (
+    Bridge,
+    HostloEndpoint,
+    HostloTap,
+    NetworkNamespace,
+    TapDevice,
+    VethPair,
+    VirtioNic,
+    VxlanTunnel,
+)
+from repro.net.addresses import MacAllocator, cidr, ip
+from repro.net.netfilter import DnatRule, MasqueradeRule
+
+_macs = MacAllocator(oui=0x02AA00)
+
+
+def mac():
+    return _macs.allocate()
+
+
+class Topo:
+    """Bag of namespaces/devices for one hand-built topology."""
+
+    def __init__(self, **parts):
+        self.__dict__.update(parts)
+
+
+def build_host_with_client():
+    """Host namespace with virbr0 plus a client namespace on the bridge."""
+    host = NetworkNamespace("host", kind="host")
+    bridge = Bridge("virbr0")
+    bridge.assign_ip(ip("192.168.122.1"), cidr("192.168.122.0/24"))
+    host.attach(bridge)
+    host.routes.add_on_link(cidr("192.168.122.0/24"), "virbr0")
+
+    client = NetworkNamespace("client", kind="container", domain="client")
+    pair = VethPair("eth0", "veth-client", mac(), mac())
+    pair.a.assign_ip(ip("192.168.122.100"), cidr("192.168.122.0/24"))
+    client.attach(pair.a)
+    host.attach(pair.b)
+    bridge.add_port(pair.b)
+    client.routes.add_on_link(cidr("192.168.122.0/24"), "eth0")
+    client.routes.add_default("eth0", ip("192.168.122.1"))
+    return Topo(host=host, bridge=bridge, client=client)
+
+
+def add_vm(base, name, addr):
+    """Attach a VM (guest namespace + virtio NIC on the host bridge)."""
+    guest = NetworkNamespace(name, kind="guest", domain=f"vm:{name}")
+    nic = VirtioNic("eth0", mac())
+    nic.assign_ip(ip(addr), cidr("192.168.122.0/24"))
+    guest.attach(nic)
+    tap = TapDevice(f"tap-{name}")
+    base.host.attach(tap)
+    base.bridge.add_port(tap)
+    nic.attach_backend(tap)
+    guest.routes.add_on_link(cidr("192.168.122.0/24"), "eth0")
+    guest.routes.add_default("eth0", ip("192.168.122.1"))
+    return guest
+
+
+def add_docker_nat(guest, container_name, container_addr, publish=(8080, 80)):
+    """Docker's default bridge+NAT network inside *guest*."""
+    docker0 = Bridge("docker0")
+    docker0.assign_ip(ip("172.17.0.1"), cidr("172.17.0.0/16"))
+    guest.attach(docker0)
+    guest.routes.add_on_link(cidr("172.17.0.0/16"), "docker0")
+
+    cont = NetworkNamespace(
+        container_name, kind="container", domain=guest.domain
+    )
+    pair = VethPair("eth0", f"veth-{container_name}", mac(), mac())
+    pair.a.assign_ip(ip(container_addr), cidr("172.17.0.0/16"))
+    cont.attach(pair.a)
+    guest.attach(pair.b)
+    docker0.add_port(pair.b)
+    cont.routes.add_on_link(cidr("172.17.0.0/16"), "eth0")
+    cont.routes.add_default("eth0", ip("172.17.0.1"))
+
+    host_port, cont_port = publish
+    guest.netfilter.add_dnat(
+        DnatRule("tcp", host_port, ip(container_addr), cont_port)
+    )
+    guest.netfilter.add_dnat(
+        DnatRule("udp", host_port, ip(container_addr), cont_port)
+    )
+    guest.netfilter.add_masquerade(
+        MasqueradeRule(cidr("172.17.0.0/16"), "eth0")
+    )
+    return cont
+
+
+def add_brfusion_pod(base, guest, name, addr):
+    """BrFusion: hot-plugged vNIC on the *host* bridge, moved into the pod."""
+    cont = NetworkNamespace(name, kind="container", domain=guest.domain)
+    nic = VirtioNic(f"brf-{name}", mac())
+    nic.assign_ip(ip(addr), cidr("192.168.122.0/24"))
+    cont.attach(nic)
+    tap = TapDevice(f"tap-{name}")
+    base.host.attach(tap)
+    base.bridge.add_port(tap)
+    nic.attach_backend(tap)
+    cont.routes.add_on_link(cidr("192.168.122.0/24"), f"brf-{name}")
+    cont.routes.add_default(f"brf-{name}", ip("192.168.122.1"))
+    return cont
+
+
+@pytest.fixture
+def nocont_topo():
+    """Single-level virtualization: server runs natively in the VM."""
+    base = build_host_with_client()
+    guest = add_vm(base, "vm1", "192.168.122.11")
+    return Topo(**base.__dict__, guest=guest)
+
+
+@pytest.fixture
+def nat_topo():
+    """Nested default: Docker bridge+NAT inside the VM."""
+    base = build_host_with_client()
+    guest = add_vm(base, "vm1", "192.168.122.11")
+    cont = add_docker_nat(guest, "cont1", "172.17.0.2")
+    return Topo(**base.__dict__, guest=guest, cont=cont)
+
+
+@pytest.fixture
+def brfusion_topo():
+    """BrFusion: per-pod hot-plugged NIC switched by the host bridge."""
+    base = build_host_with_client()
+    guest = add_vm(base, "vm1", "192.168.122.11")
+    pod = add_brfusion_pod(base, guest, "pod1", "192.168.122.50")
+    return Topo(**base.__dict__, guest=guest, pod=pod)
+
+
+@pytest.fixture
+def samenode_topo():
+    """Both pod containers share one namespace in one VM (localhost)."""
+    base = build_host_with_client()
+    guest = add_vm(base, "vm1", "192.168.122.11")
+    pod = NetworkNamespace("pod1", kind="container", domain=guest.domain)
+    return Topo(**base.__dict__, guest=guest, pod=pod)
+
+
+@pytest.fixture
+def hostlo_topo():
+    """Pod split across two VMs joined by a hostlo multiplexed loopback."""
+    base = build_host_with_client()
+    guest_a = add_vm(base, "vm1", "192.168.122.11")
+    guest_b = add_vm(base, "vm2", "192.168.122.12")
+
+    tap = HostloTap("hostlo0")
+    base.host.attach(tap)
+
+    frag_a = NetworkNamespace("pod1-a", kind="container", domain=guest_a.domain)
+    frag_b = NetworkNamespace("pod1-b", kind="container", domain=guest_b.domain)
+    ep_a, ep_b = HostloEndpoint("hlo0", mac()), HostloEndpoint("hlo0b", mac())
+    ep_a.assign_ip(ip("10.88.0.2"), cidr("10.88.0.0/24"))
+    ep_b.assign_ip(ip("10.88.0.3"), cidr("10.88.0.0/24"))
+    tap.add_queue(ep_a)
+    tap.add_queue(ep_b)
+    frag_a.attach(ep_a)
+    frag_b.attach(ep_b)
+    frag_a.routes.add_on_link(cidr("10.88.0.0/24"), "hlo0")
+    frag_b.routes.add_on_link(cidr("10.88.0.0/24"), "hlo0b")
+    return Topo(
+        **base.__dict__,
+        guest_a=guest_a, guest_b=guest_b,
+        frag_a=frag_a, frag_b=frag_b, hostlo=tap,
+    )
+
+
+@pytest.fixture
+def overlay_topo():
+    """Docker overlay: VXLAN tunnels between per-VM overlay bridges."""
+    base = build_host_with_client()
+    guest_a = add_vm(base, "vm1", "192.168.122.11")
+    guest_b = add_vm(base, "vm2", "192.168.122.12")
+
+    def add_overlay(guest, vm_ip, cont_name, cont_addr, remote_vtep):
+        ovbr = Bridge(f"ovbr-{guest.name}")
+        ovbr.assign_ip(
+            ip("10.0.9.1") if guest is guest_a else ip("10.0.9.254"),
+            cidr("10.0.9.0/24"),
+        )
+        guest.attach(ovbr)
+        vx = VxlanTunnel(f"vx-{guest.name}", vni=256, underlay_ip=ip(vm_ip))
+        guest.attach(vx)
+        ovbr.add_port(vx)
+        vx.add_remote(cidr("10.0.9.0/24"), ip(remote_vtep))
+        guest.routes.add_on_link(cidr("10.0.9.0/24"), f"ovbr-{guest.name}")
+
+        cont = NetworkNamespace(cont_name, kind="container", domain=guest.domain)
+        pair = VethPair("eth0", f"veth-{cont_name}", mac(), mac())
+        pair.a.assign_ip(ip(cont_addr), cidr("10.0.9.0/24"))
+        cont.attach(pair.a)
+        guest.attach(pair.b)
+        ovbr.add_port(pair.b)
+        cont.routes.add_on_link(cidr("10.0.9.0/24"), "eth0")
+        return cont
+
+    cont_a = add_overlay(guest_a, "192.168.122.11", "cont-a", "10.0.9.2",
+                         "192.168.122.12")
+    cont_b = add_overlay(guest_b, "192.168.122.12", "cont-b", "10.0.9.3",
+                         "192.168.122.11")
+    return Topo(
+        **base.__dict__,
+        guest_a=guest_a, guest_b=guest_b, cont_a=cont_a, cont_b=cont_b,
+    )

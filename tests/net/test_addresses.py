@@ -1,0 +1,146 @@
+"""Unit and property tests for MAC/IPv4 addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressExhaustedError, TopologyError
+from repro.net.addresses import (
+    BROADCAST_MAC,
+    HostAllocator,
+    Ipv4Address,
+    Ipv4Network,
+    MacAddress,
+    MacAllocator,
+    SubnetAllocator,
+    cidr,
+    ip,
+)
+
+
+class TestMacAddress:
+    def test_parse_roundtrip(self):
+        mac = MacAddress.parse("52:54:00:12:34:56")
+        assert str(mac) == "52:54:00:12:34:56"
+
+    def test_parse_rejects_bad_forms(self):
+        for bad in ("", "52:54:00", "zz:54:00:12:34:56", "52:54:00:12:34:567:89"):
+            with pytest.raises(TopologyError):
+                MacAddress.parse(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            MacAddress(2**48)
+        with pytest.raises(TopologyError):
+            MacAddress(-1)
+
+    def test_broadcast_flags(self):
+        assert BROADCAST_MAC.is_multicast
+
+    def test_ordering(self):
+        assert MacAddress(1) < MacAddress(2)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_str_parse_roundtrip_property(self, value):
+        mac = MacAddress(value)
+        assert MacAddress.parse(str(mac)) == mac
+
+
+class TestIpv4Address:
+    def test_parse_roundtrip(self):
+        assert str(ip("192.168.122.1")) == "192.168.122.1"
+
+    def test_parse_rejects_bad_forms(self):
+        for bad in ("", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"):
+            with pytest.raises(TopologyError):
+                Ipv4Address.parse(bad)
+
+    def test_ordering(self):
+        assert ip("10.0.0.1") < ip("10.0.0.2")
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_str_parse_roundtrip_property(self, value):
+        addr = Ipv4Address(value)
+        assert Ipv4Address.parse(str(addr)) == addr
+
+
+class TestIpv4Network:
+    def test_contains(self):
+        net = cidr("10.0.0.0/24")
+        assert ip("10.0.0.200") in net
+        assert ip("10.0.1.1") not in net
+        assert "not-an-ip" not in net
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(TopologyError):
+            cidr("10.0.0.1/24")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(TopologyError):
+            Ipv4Network(ip("10.0.0.0"), 33)
+
+    def test_host_indexing(self):
+        net = cidr("10.0.0.0/24")
+        assert net.host(1) == ip("10.0.0.1")
+        assert net.host(254) == ip("10.0.0.254")
+        with pytest.raises(AddressExhaustedError):
+            net.host(255)  # broadcast
+        with pytest.raises(AddressExhaustedError):
+            net.host(0)  # network address
+
+    def test_num_hosts(self):
+        assert cidr("10.0.0.0/24").num_hosts == 254
+        assert cidr("10.0.0.0/30").num_hosts == 2
+
+    def test_hosts_iterator(self):
+        hosts = list(cidr("10.0.0.0/30").hosts())
+        assert hosts == [ip("10.0.0.1"), ip("10.0.0.2")]
+
+    def test_str(self):
+        assert str(cidr("172.17.0.0/16")) == "172.17.0.0/16"
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=8, max_value=30))
+    def test_network_contains_own_hosts_property(self, value, plen):
+        mask = ((1 << plen) - 1) << (32 - plen)
+        net = Ipv4Network(Ipv4Address(value & mask), plen)
+        assert net.host(1) in net
+        assert net.host(net.num_hosts) in net
+
+
+class TestAllocators:
+    def test_mac_allocator_unique(self):
+        alloc = MacAllocator()
+        macs = {alloc.allocate() for _ in range(100)}
+        assert len(macs) == 100
+
+    def test_mac_allocator_locally_administered(self):
+        assert MacAllocator().allocate().is_locally_administered
+
+    def test_subnet_allocator(self):
+        alloc = SubnetAllocator(cidr("10.200.0.0/16"), 24)
+        first = alloc.allocate()
+        second = alloc.allocate()
+        assert str(first) == "10.200.0.0/24"
+        assert str(second) == "10.200.1.0/24"
+
+    def test_subnet_allocator_exhaustion(self):
+        alloc = SubnetAllocator(cidr("10.0.0.0/30"), 30)
+        alloc.allocate()
+        with pytest.raises(AddressExhaustedError):
+            alloc.allocate()
+
+    def test_subnet_allocator_rejects_larger_child(self):
+        with pytest.raises(TopologyError):
+            SubnetAllocator(cidr("10.0.0.0/24"), 16)
+
+    def test_host_allocator_starts_at_two(self):
+        alloc = HostAllocator(cidr("10.0.0.0/24"))
+        assert alloc.allocate() == ip("10.0.0.2")
+        assert alloc.allocate() == ip("10.0.0.3")
+
+    def test_host_allocator_exhaustion(self):
+        alloc = HostAllocator(cidr("10.0.0.0/30"))
+        alloc.allocate()
+        with pytest.raises(AddressExhaustedError):
+            alloc.allocate()

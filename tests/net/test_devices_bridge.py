@@ -1,0 +1,248 @@
+"""Unit tests for devices, bridges and namespaces."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import (
+    Bridge,
+    HostloEndpoint,
+    HostloTap,
+    Loopback,
+    NetworkNamespace,
+    PhysicalNic,
+    TapDevice,
+    VethPair,
+    VirtioNic,
+    VxlanTunnel,
+)
+from repro.net.addresses import cidr, ip
+
+
+class TestNetDevice:
+    def test_assign_ip_and_owns(self):
+        nic = VirtioNic("eth0")
+        nic.assign_ip(ip("10.0.0.2"), cidr("10.0.0.0/24"))
+        assert nic.owns_ip(ip("10.0.0.2"))
+        assert not nic.owns_ip(ip("10.0.0.3"))
+        assert nic.primary_ip == ip("10.0.0.2")
+        assert nic.primary_network == cidr("10.0.0.0/24")
+
+    def test_assign_ip_outside_network_rejected(self):
+        nic = VirtioNic("eth0")
+        with pytest.raises(TopologyError):
+            nic.assign_ip(ip("10.0.1.2"), cidr("10.0.0.0/24"))
+
+    def test_duplicate_ip_rejected(self):
+        nic = VirtioNic("eth0")
+        nic.assign_ip(ip("10.0.0.2"), cidr("10.0.0.0/24"))
+        with pytest.raises(TopologyError):
+            nic.assign_ip(ip("10.0.0.2"), cidr("10.0.0.0/24"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            VirtioNic("")
+
+    def test_bad_mtu_rejected(self):
+        from repro.net.devices import NetDevice
+
+        with pytest.raises(TopologyError):
+            NetDevice("x", mtu=0)
+        with pytest.raises(TopologyError):
+            NetDevice("x", mtu=-1500)
+
+
+class TestVeth:
+    def test_pair_is_wired(self):
+        pair = VethPair("a", "b")
+        assert pair.a.peer is pair.b
+        assert pair.b.peer is pair.a
+
+    def test_same_names_rejected(self):
+        with pytest.raises(TopologyError):
+            VethPair("x", "x")
+
+
+class TestVirtioAndTap:
+    def test_attach_backend(self):
+        nic, tap = VirtioNic("eth0"), TapDevice("tap0")
+        nic.attach_backend(tap)
+        assert nic.backend is tap
+        assert tap.backs is nic
+
+    def test_double_backend_rejected(self):
+        nic, tap = VirtioNic("eth0"), TapDevice("tap0")
+        nic.attach_backend(tap)
+        with pytest.raises(TopologyError):
+            nic.attach_backend(TapDevice("tap1"))
+
+    def test_tap_backing_two_nics_rejected(self):
+        tap = TapDevice("tap0")
+        VirtioNic("eth0").attach_backend(tap)
+        with pytest.raises(TopologyError):
+            VirtioNic("eth1").attach_backend(tap)
+
+    def test_physical_nic_bandwidth(self):
+        nic = PhysicalNic("eno1", bandwidth_bps=10e9)
+        assert nic.bandwidth_bps == 10e9
+        with pytest.raises(TopologyError):
+            PhysicalNic("eno2", bandwidth_bps=0)
+
+
+class TestHostlo:
+    def test_endpoint_has_no_gso(self):
+        assert HostloEndpoint("hlo0").gso is False
+
+    def test_add_queue_wires_backend(self):
+        tap = HostloTap("hostlo0")
+        ep1, ep2 = HostloEndpoint("hlo0"), HostloEndpoint("hlo1")
+        tap.add_queue(ep1)
+        tap.add_queue(ep2)
+        assert tap.queue_count == 2
+        assert ep1.backend is tap and ep2.backend is tap
+
+    def test_duplicate_queue_rejected(self):
+        tap = HostloTap("hostlo0")
+        ep = HostloEndpoint("hlo0")
+        tap.add_queue(ep)
+        with pytest.raises(TopologyError):
+            tap.add_queue(ep)
+
+
+class TestVxlan:
+    def test_vtep_longest_prefix(self):
+        tun = VxlanTunnel("vx0", vni=42, underlay_ip=ip("192.168.122.11"))
+        tun.add_remote(cidr("10.0.0.0/16"), ip("192.168.122.12"))
+        tun.add_remote(cidr("10.0.5.0/24"), ip("192.168.122.13"))
+        assert tun.vtep_for(ip("10.0.5.9")) == ip("192.168.122.13")
+        assert tun.vtep_for(ip("10.0.9.9")) == ip("192.168.122.12")
+        assert tun.vtep_for(ip("10.99.0.1")) is None
+
+    def test_bad_vni_rejected(self):
+        with pytest.raises(TopologyError):
+            VxlanTunnel("vx0", vni=0, underlay_ip=ip("1.2.3.4"))
+
+
+class TestBridge:
+    def test_add_remove_ports(self):
+        br = Bridge("br0")
+        tap = TapDevice("tap0")
+        br.add_port(tap)
+        assert br.has_port(tap)
+        assert tap.bridge is br
+        br.remove_port(tap)
+        assert not br.has_port(tap)
+        assert tap.bridge is None
+
+    def test_double_enslave_rejected(self):
+        br1, br2 = Bridge("br0"), Bridge("br1")
+        tap = TapDevice("tap0")
+        br1.add_port(tap)
+        with pytest.raises(TopologyError):
+            br2.add_port(tap)
+        with pytest.raises(TopologyError):
+            br1.add_port(tap)
+
+    def test_self_enslave_rejected(self):
+        br = Bridge("br0")
+        with pytest.raises(TopologyError):
+            br.add_port(br)
+
+    def test_remove_unknown_port_rejected(self):
+        br = Bridge("br0")
+        with pytest.raises(TopologyError):
+            br.remove_port(TapDevice("tap0"))
+
+    def test_fdb_learn_lookup(self):
+        br = Bridge("br0")
+        tap = TapDevice("tap0")
+        br.add_port(tap)
+        mac = __import__("repro.net.addresses", fromlist=["MacAddress"]).MacAddress(7)
+        br.learn(mac, tap)
+        assert br.lookup(mac) is tap
+        assert br.fdb_size() == 1
+
+    def test_fdb_flushed_on_port_removal(self):
+        from repro.net.addresses import MacAddress
+
+        br = Bridge("br0")
+        tap = TapDevice("tap0")
+        br.add_port(tap)
+        br.learn(MacAddress(9), tap)
+        br.remove_port(tap)
+        assert br.lookup(MacAddress(9)) is None
+
+    def test_learn_on_foreign_port_rejected(self):
+        from repro.net.addresses import MacAddress
+
+        br = Bridge("br0")
+        with pytest.raises(TopologyError):
+            br.learn(MacAddress(1), TapDevice("tap0"))
+
+    def test_flood_excludes_ingress(self):
+        br = Bridge("br0")
+        taps = [TapDevice(f"tap{i}") for i in range(3)]
+        for tap in taps:
+            br.add_port(tap)
+        flooded = list(br.flood_ports(ingress=taps[0]))
+        assert taps[0] not in flooded and len(flooded) == 2
+
+
+class TestNamespace:
+    def test_loopback_created_by_default(self):
+        ns = NetworkNamespace("host")
+        assert isinstance(ns.loopback, Loopback)
+
+    def test_guest_requires_domain(self):
+        with pytest.raises(TopologyError):
+            NetworkNamespace("g", kind="guest")
+        ns = NetworkNamespace("g", kind="guest", domain="vm:g")
+        assert ns.domain == "vm:g"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(TopologyError):
+            NetworkNamespace("x", kind="weird")  # type: ignore[arg-type]
+
+    def test_attach_detach(self):
+        ns = NetworkNamespace("host")
+        nic = VirtioNic("eth0")
+        ns.attach(nic)
+        assert ns.device("eth0") is nic
+        assert nic.namespace is ns
+        ns.detach(nic)
+        assert nic.namespace is None
+        with pytest.raises(TopologyError):
+            ns.device("eth0")
+
+    def test_attach_moves_between_namespaces(self):
+        ns1 = NetworkNamespace("a")
+        ns2 = NetworkNamespace("b")
+        nic = VirtioNic("eth0")
+        ns1.attach(nic)
+        ns2.attach(nic)  # implicit move — this is what BrFusion does
+        assert nic.namespace is ns2
+        assert "eth0" not in ns1.devices
+
+    def test_duplicate_name_rejected(self):
+        ns = NetworkNamespace("host")
+        ns.attach(VirtioNic("eth0"))
+        with pytest.raises(TopologyError):
+            ns.attach(VirtioNic("eth0"))
+
+    def test_detach_removes_routes(self):
+        from repro.net.routing import Route
+
+        ns = NetworkNamespace("host")
+        nic = VirtioNic("eth0")
+        ns.attach(nic)
+        ns.routes.add(Route(cidr("10.0.0.0/24"), "eth0"))
+        ns.detach(nic)
+        assert ns.routes.lookup(ip("10.0.0.5")) is None
+
+    def test_find_device_owning(self):
+        ns = NetworkNamespace("host")
+        nic = VirtioNic("eth0")
+        nic.assign_ip(ip("10.0.0.2"), cidr("10.0.0.0/24"))
+        ns.attach(nic)
+        assert ns.find_device_owning(ip("10.0.0.2")) is nic
+        assert ns.is_local(ip("10.0.0.2"))
+        assert not ns.is_local(ip("10.0.0.9"))

@@ -1,0 +1,177 @@
+"""Frame-level forwarding tests: the data plane cross-checks the resolver."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import resolve_path
+from repro.net.addresses import ip
+from repro.net.forwarding import ForwardingEngine
+
+
+@pytest.fixture
+def engine():
+    return ForwardingEngine()
+
+
+class TestDelivery:
+    def test_nocont_frame_reaches_guest(self, engine, nocont_topo):
+        delivery = engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert delivery.delivered
+        assert delivery.namespace == "vm1"
+        assert delivery.visited("bridge:virbr0")
+        assert delivery.visited("tap:tap-vm1")
+
+    def test_nat_frame_is_dnatted_into_container(self, engine, nat_topo):
+        delivery = engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        assert delivery.delivered
+        assert delivery.namespace == "cont1"
+        assert delivery.dst_ip == ip("172.17.0.2")
+        assert delivery.dst_port == 80
+        assert delivery.visited("dnat:vm1")
+        assert delivery.visited("bridge:docker0")
+
+    def test_nat_unpublished_port_stops_in_guest(self, engine, nat_topo):
+        delivery = engine.send(nat_topo.client, ip("192.168.122.11"), 9999)
+        assert delivery.delivered
+        assert delivery.namespace == "vm1"
+
+    def test_brfusion_frame_skips_guest_bridge(self, engine, brfusion_topo):
+        delivery = engine.send(brfusion_topo.client, ip("192.168.122.50"), 80)
+        assert delivery.delivered
+        assert delivery.namespace == "pod1"
+        assert not delivery.visited("docker0")
+        assert not delivery.visited("dnat")
+
+    def test_hostlo_frame_reflected_to_all_queues(self, engine, hostlo_topo):
+        delivery = engine.send(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        assert delivery.delivered
+        assert delivery.namespace == "pod1-b"
+        assert delivery.reflected_copies == 2  # both VM queues get a copy
+        assert delivery.visited("hostlo:hostlo0")
+
+    def test_hostlo_unknown_ip_dropped(self, engine, hostlo_topo):
+        delivery = engine.send(hostlo_topo.frag_a, ip("10.88.0.99"), 6379)
+        assert not delivery.delivered
+        assert delivery.visited("drop:hostlo-no-owner")
+
+    def test_overlay_frame_encapsulated(self, engine, overlay_topo):
+        delivery = engine.send(overlay_topo.cont_a, ip("10.0.9.3"), 6379)
+        assert delivery.delivered
+        assert delivery.namespace == "cont-b"
+        assert delivery.visited("vxlan-encap")
+        assert delivery.visited("vxlan-decap")
+        assert delivery.visited("underlay:")  # rode the real underlay
+
+    def test_no_route_dropped(self, engine, nocont_topo):
+        delivery = engine.send(nocont_topo.guest, ip("203.0.113.9"), 80)
+        # The guest has a default route to the host bridge; the host has
+        # no route beyond — frame dies at the host router.
+        assert not delivery.delivered
+        assert delivery.visited("drop:no-route")
+
+    def test_link_down_dropped(self, engine, nocont_topo):
+        nocont_topo.client.device("eth0").up = False
+        delivery = engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert not delivery.delivered
+        assert delivery.visited("drop:link-down")
+
+    def test_reverse_direction_works(self, engine, nat_topo):
+        delivery = engine.send(nat_topo.cont, ip("192.168.122.100"), 4000)
+        assert delivery.delivered
+        assert delivery.namespace == "client"
+
+
+class TestLearning:
+    def test_second_frame_not_flooded(self, engine, nocont_topo):
+        first = engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert first.flooded_ports > 0
+        second = engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert second.flooded_ports == 0
+        assert not second.visited("flood:")
+
+    def test_fdb_populated_by_traffic(self, engine, nocont_topo):
+        assert nocont_topo.bridge.fdb_size() == 0
+        engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert nocont_topo.bridge.fdb_size() >= 1
+
+    def test_learning_survives_both_directions(self, engine, nocont_topo):
+        engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        back = engine.send(nocont_topo.guest, ip("192.168.122.100"), 4000)
+        assert back.delivered
+        # Reverse traffic learned the client MAC too.
+        again = engine.send(nocont_topo.guest, ip("192.168.122.100"), 4000)
+        assert again.flooded_ports == 0
+
+
+class TestResolverAgreement:
+    """The frame walk and the analytic resolver must agree."""
+
+    CASES = [
+        ("nocont_topo", "client", "192.168.122.11", 8080),
+        ("nat_topo", "client", "192.168.122.11", 8080),
+        ("brfusion_topo", "client", "192.168.122.50", 8080),
+        ("hostlo_topo", "frag_a", "10.88.0.3", 6379),
+        ("overlay_topo", "cont_a", "10.0.9.3", 6379),
+    ]
+
+    @pytest.mark.parametrize("fixture,src,dst,port",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_same_destination_namespace(self, request, engine,
+                                        fixture, src, dst, port):
+        topo = request.getfixturevalue(fixture)
+        src_ns = getattr(topo, src)
+        path = resolve_path(src_ns, ip(dst), port)
+        delivery = engine.send(src_ns, ip(dst), port)
+        assert delivery.delivered
+        # The resolver's final stage domain matches where the frame
+        # actually landed.
+        landed_domain = (
+            "client" if delivery.namespace == "client"
+            else path.stages[-1].domain
+        )
+        assert path.stages[-1].domain == landed_domain
+
+    @pytest.mark.parametrize("fixture,src,dst,port",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_structural_agreement(self, request, engine,
+                                  fixture, src, dst, port):
+        """Bridges/NAT/hostlo/vxlan seen by frames iff the resolver
+        emitted the corresponding stages."""
+        topo = request.getfixturevalue(fixture)
+        src_ns = getattr(topo, src)
+        path = resolve_path(src_ns, ip(dst), port)
+        delivery = engine.send(src_ns, ip(dst), port)
+
+        assert (path.count("netfilter_nat") > 0) == delivery.visited("dnat:") \
+            or path.count("netfilter_nat") > 0  # masquerade has no frame-op
+        assert (path.count("hostlo_reflect") > 0) == delivery.visited("hostlo:")
+        assert (path.count("vxlan_encap") > 0) == delivery.visited("vxlan-encap")
+        bridges_in_path = path.count("bridge_fwd")
+        bridges_visited = sum(
+            1 for hop in delivery.hops if hop.split(":")[0].endswith("bridge")
+        )
+        assert (bridges_in_path > 0) == (bridges_visited > 0)
+
+
+class TestFrameGuards:
+    def test_forwarding_loop_detected(self, engine, nocont_topo):
+        # Create a routing loop: host routes a prefix back at the guest,
+        # guest routes it to the host.
+        from repro.net.routing import Route
+        from repro.net.addresses import cidr
+
+        nocont_topo.host.routes.add(
+            Route(cidr("198.18.0.0/24"), "virbr0")
+        )
+        nocont_topo.guest.routes.add(
+            Route(cidr("198.18.0.0/24"), "eth0", ip("192.168.122.1"))
+        )
+        with pytest.raises(TopologyError):
+            engine.send(nocont_topo.guest, ip("198.18.0.7"), 80)
+
+    def test_source_address_required(self, engine):
+        from repro.net.namespace import NetworkNamespace
+
+        empty = NetworkNamespace("empty", with_loopback=False)
+        with pytest.raises(TopologyError):
+            engine.send(empty, ip("10.0.0.1"), 80)

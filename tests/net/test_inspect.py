@@ -1,0 +1,48 @@
+"""Tests for the topology inspection helpers."""
+
+from repro.core import DeploymentMode, build_scenario
+from repro.core.testbed import default_testbed
+from repro.net.inspect import (
+    describe_device,
+    describe_namespace,
+    describe_testbed,
+)
+
+
+def test_device_lines_cover_wiring(nat_topo):
+    guest_eth0 = nat_topo.guest.device("eth0")
+    line = describe_device(guest_eth0)
+    assert "eth0" in line and "virtio" in line and "backend=tap-vm1" in line
+
+    bridge_line = describe_device(nat_topo.bridge)
+    assert "ports=[" in bridge_line and "virbr0" in bridge_line
+
+
+def test_down_device_marked(nat_topo):
+    dev = nat_topo.client.device("eth0")
+    dev.up = False
+    assert "DOWN" in describe_device(dev)
+
+
+def test_namespace_block_lists_rules(nat_topo):
+    block = describe_namespace(nat_topo.guest)
+    assert "namespace vm1" in block
+    assert "dnat  tcp/8080" in block
+    assert "masq  172.17.0.0/16" in block
+    assert "route 172.17.0.0/16 dev docker0" in block
+
+
+def test_hostlo_queues_visible(hostlo_topo):
+    block = describe_namespace(hostlo_topo.host)
+    assert "queues=[hlo0,hlo0b]" in block
+
+
+def test_testbed_description_covers_everything():
+    tb = default_testbed(seed=2, vms=2)
+    build_scenario(tb, DeploymentMode.HOSTLO)
+    text = describe_testbed(tb)
+    assert "namespace host" in text
+    assert "namespace client" in text
+    assert "namespace vm0" in text
+    assert "pod:" in text  # fragment namespaces
+    assert "hostlo" in text

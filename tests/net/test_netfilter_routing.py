@@ -1,0 +1,138 @@
+"""Unit tests for netfilter NAT and routing tables."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.addresses import cidr, ip
+from repro.net.netfilter import DnatRule, FlowKey, MasqueradeRule, Netfilter
+from repro.net.routing import Route, RoutingTable
+
+
+class TestDnat:
+    def test_rule_matching(self):
+        rule = DnatRule("tcp", 8080, ip("172.17.0.2"), 80)
+        assert rule.matches("tcp", ip("192.168.122.11"), 8080)
+        assert not rule.matches("udp", ip("192.168.122.11"), 8080)
+        assert not rule.matches("tcp", ip("192.168.122.11"), 80)
+
+    def test_rule_with_match_ip(self):
+        rule = DnatRule("tcp", 8080, ip("172.17.0.2"), 80,
+                        match_ip=ip("192.168.122.11"))
+        assert rule.matches("tcp", ip("192.168.122.11"), 8080)
+        assert not rule.matches("tcp", ip("192.168.122.12"), 8080)
+
+    def test_bad_proto_and_ports_rejected(self):
+        with pytest.raises(TopologyError):
+            DnatRule("icmp", 80, ip("1.2.3.4"), 80)
+        with pytest.raises(TopologyError):
+            DnatRule("tcp", 0, ip("1.2.3.4"), 80)
+        with pytest.raises(TopologyError):
+            DnatRule("tcp", 80, ip("1.2.3.4"), 70000)
+
+    def test_apply_dnat(self):
+        nf = Netfilter()
+        nf.add_dnat(DnatRule("tcp", 8080, ip("172.17.0.2"), 80))
+        new_ip, new_port, hit = nf.apply_dnat("tcp", ip("10.0.0.1"), 8080)
+        assert hit and new_ip == ip("172.17.0.2") and new_port == 80
+        same_ip, same_port, miss = nf.apply_dnat("tcp", ip("10.0.0.1"), 9090)
+        assert not miss and same_ip == ip("10.0.0.1") and same_port == 9090
+
+    def test_duplicate_dnat_rejected(self):
+        nf = Netfilter()
+        nf.add_dnat(DnatRule("tcp", 8080, ip("172.17.0.2"), 80))
+        with pytest.raises(TopologyError):
+            nf.add_dnat(DnatRule("tcp", 8080, ip("172.17.0.3"), 81))
+
+    def test_remove_dnat(self):
+        nf = Netfilter()
+        nf.add_dnat(DnatRule("tcp", 8080, ip("172.17.0.2"), 80))
+        nf.remove_dnat("tcp", 8080)
+        assert not nf.active
+        with pytest.raises(TopologyError):
+            nf.remove_dnat("tcp", 8080)
+
+    def test_rule_count_and_active(self):
+        nf = Netfilter()
+        assert not nf.active and nf.rule_count == 0
+        nf.add_masquerade(MasqueradeRule(cidr("172.17.0.0/16"), "eth0"))
+        assert nf.active and nf.rule_count == 1
+
+
+class TestMasquerade:
+    def test_masquerades(self):
+        nf = Netfilter()
+        nf.add_masquerade(MasqueradeRule(cidr("172.17.0.0/16"), "eth0"))
+        assert nf.masquerades(ip("172.17.0.5"), "eth0")
+        assert not nf.masquerades(ip("10.0.0.5"), "eth0")
+        assert not nf.masquerades(ip("172.17.0.5"), "eth1")
+
+
+class TestForwardDrop:
+    def test_drop_rule_matches_direction(self):
+        nf = Netfilter()
+        nf.add_forward_drop(cidr("10.10.0.0/24"), cidr("10.20.0.0/24"))
+        assert nf.forward_dropped(ip("10.10.0.5"), ip("10.20.0.7"))
+        assert not nf.forward_dropped(ip("10.20.0.7"), ip("10.10.0.5"))
+        assert not nf.forward_dropped(ip("10.10.0.5"), ip("10.30.0.7"))
+
+    def test_rule_count_includes_drops(self):
+        nf = Netfilter()
+        nf.add_forward_drop(cidr("10.0.0.0/8"), cidr("172.16.0.0/12"))
+        assert nf.rule_count == 1
+        # FORWARD drops alone do not engage the NAT hooks.
+        assert not nf.active
+
+
+class TestConntrack:
+    def test_track_and_lookup(self):
+        nf = Netfilter()
+        key = FlowKey("tcp", ip("10.0.0.1"), 4000, ip("192.168.122.11"), 8080)
+        translated = FlowKey("tcp", ip("10.0.0.1"), 4000, ip("172.17.0.2"), 80)
+        nf.track(key, translated)
+        assert nf.tracked(key) == translated
+        assert nf.conntrack_size == 1
+        nf.flush_conntrack()
+        assert nf.tracked(key) is None
+
+
+class TestRouting:
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.add(Route(cidr("10.0.0.0/8"), "eth0"))
+        table.add(Route(cidr("10.1.0.0/16"), "eth1"))
+        assert table.lookup(ip("10.1.2.3")).device == "eth1"
+        assert table.lookup(ip("10.2.2.3")).device == "eth0"
+
+    def test_default_route(self):
+        table = RoutingTable()
+        table.add_default("eth0", ip("192.168.122.1"))
+        route = table.lookup(ip("8.8.8.8"))
+        assert route.device == "eth0"
+        assert route.gateway == ip("192.168.122.1")
+
+    def test_metric_breaks_ties(self):
+        table = RoutingTable()
+        table.add(Route(cidr("0.0.0.0/0"), "slow", metric=100))
+        table.add(Route(cidr("0.0.0.0/0"), "fast", metric=10))
+        assert table.lookup(ip("1.1.1.1")).device == "fast"
+
+    def test_no_route_returns_none(self):
+        assert RoutingTable().lookup(ip("1.1.1.1")) is None
+
+    def test_negative_metric_rejected(self):
+        with pytest.raises(TopologyError):
+            Route(cidr("0.0.0.0/0"), "eth0", metric=-1)
+
+    def test_remove_for_device(self):
+        table = RoutingTable()
+        table.add(Route(cidr("10.0.0.0/8"), "eth0"))
+        table.add(Route(cidr("11.0.0.0/8"), "eth1"))
+        assert table.remove_for_device("eth0") == 1
+        assert table.lookup(ip("10.0.0.1")) is None
+        assert table.lookup(ip("11.0.0.1")) is not None
+
+    def test_len_and_iter(self):
+        table = RoutingTable()
+        table.add_on_link(cidr("10.0.0.0/24"), "eth0")
+        assert len(table) == 1
+        assert [r.device for r in table] == ["eth0"]

@@ -1,0 +1,260 @@
+"""Datapath-resolution tests over the six deployment topologies.
+
+These tests pin down the paper's structural claims: the NAT path is
+strictly longer than the NoCont path, the BrFusion path has exactly the
+NoCont shape, hostlo avoids bridges/NAT entirely, and the overlay path
+is the longest of all.
+"""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import resolve_path
+from repro.net.addresses import ip
+from repro.net.namespace import NetworkNamespace
+
+
+def fwd(topo, dst, port=8080, proto="tcp", src=None):
+    return resolve_path(src or topo.client, ip(dst), port, proto)
+
+
+class TestNoContPath:
+    def test_delivers_to_guest(self, nocont_topo):
+        path = fwd(nocont_topo, "192.168.122.11")
+        assert path.stages[-1].domain == "vm:vm1"
+
+    def test_stage_sequence(self, nocont_topo):
+        path = fwd(nocont_topo, "192.168.122.11")
+        assert path.stage_names() == (
+            "app_send", "syscall_send", "stack_tx",
+            "veth_xmit",            # client leg onto the host bridge
+            "bridge_fwd",           # host bridge
+            "tap_xmit", "vhost_rx", "virtio_rx",
+            "stack_rx", "syscall_recv", "app_recv",
+        )
+
+    def test_no_guest_nat_stage(self, nocont_topo):
+        path = fwd(nocont_topo, "192.168.122.11")
+        assert path.count("netfilter_nat") == 0
+
+    def test_domains(self, nocont_topo):
+        path = fwd(nocont_topo, "192.168.122.11")
+        domains = set(path.domains())
+        assert {"client", "host", "vm:vm1"} <= domains
+        # The vhost worker of the VM's NIC is its own kernel thread,
+        # qualified by the host kernel that runs it.
+        assert any(d.startswith("kthread:host:vhost:") for d in domains)
+
+    def test_jitter_class_virt(self, nocont_topo):
+        assert fwd(nocont_topo, "192.168.122.11").jitter_class == "virt"
+
+    def test_segment_payload_is_mtu_derived(self, nocont_topo):
+        path = fwd(nocont_topo, "192.168.122.11")
+        assert path.segment_payload == 1500 - 52
+
+    def test_reverse_path_resolves(self, nocont_topo):
+        back = resolve_path(nocont_topo.guest, ip("192.168.122.100"), 4000)
+        assert back.stages[-1].domain == "client"
+
+
+class TestNatPath:
+    def test_dnat_translates_to_container(self, nat_topo):
+        path = fwd(nat_topo, "192.168.122.11", port=8080)
+        # Delivered in the container namespace (same vm domain).
+        assert path.stages[-1].domain == "vm:vm1"
+        assert path.count("netfilter_nat") == 1
+
+    def test_nat_path_is_longer_than_nocont(self, nat_topo, nocont_topo):
+        nat = fwd(nat_topo, "192.168.122.11")
+        nocont = fwd(nocont_topo, "192.168.122.11")
+        assert len(nat.stages) > len(nocont.stages)
+
+    def test_nat_extra_stages_are_the_duplicated_layer(self, nat_topo):
+        path = fwd(nat_topo, "192.168.122.11")
+        names = path.stage_names()
+        # The guest-level duplicated virtualization: DNAT + docker0 + veth.
+        assert "netfilter_nat" in names
+        assert names.count("bridge_fwd") == 2  # host bridge + docker0
+        assert names.count("veth_xmit") == 2  # client leg + container leg
+
+    def test_jitter_class_nat(self, nat_topo):
+        assert fwd(nat_topo, "192.168.122.11").jitter_class == "nat"
+
+    def test_unpublished_port_lands_in_guest_not_container(self, nat_topo):
+        # No DNAT rule for this port: the packet reaches the VM itself
+        # (where nothing listens), not the container behind docker0.
+        path = fwd(nat_topo, "192.168.122.11", port=9999)
+        assert path.count("netfilter_nat") == 0
+        assert path.stage_names().count("veth_xmit") == 1  # client leg only
+
+    def test_container_egress_masquerades(self, nat_topo):
+        path = resolve_path(nat_topo.cont, ip("192.168.122.100"), 4000)
+        assert path.count("netfilter_nat") == 1  # POSTROUTING masquerade
+        assert path.stages[-1].domain == "client"
+
+    def test_udp_also_forwarded(self, nat_topo):
+        path = fwd(nat_topo, "192.168.122.11", proto="udp")
+        assert path.count("netfilter_nat") == 1
+
+
+class TestBrFusionPath:
+    def test_same_shape_as_nocont(self, brfusion_topo, nocont_topo):
+        brf = fwd(brfusion_topo, "192.168.122.50")
+        nocont = fwd(nocont_topo, "192.168.122.11")
+        assert brf.stage_names() == nocont.stage_names()
+
+    def test_no_guest_bridge_or_nat(self, brfusion_topo):
+        path = fwd(brfusion_topo, "192.168.122.50")
+        assert path.count("netfilter_nat") == 0
+        assert path.count("bridge_fwd") == 1  # only the host bridge
+
+    def test_delivered_in_pod_namespace_of_vm_domain(self, brfusion_topo):
+        path = fwd(brfusion_topo, "192.168.122.50")
+        assert path.stages[-1].domain == "vm:vm1"
+
+    def test_pod_egress_same_shape_as_guest_egress(self, brfusion_topo,
+                                                   nocont_topo):
+        brf = resolve_path(brfusion_topo.pod, ip("192.168.122.100"), 4000)
+        nocont = resolve_path(nocont_topo.guest, ip("192.168.122.100"), 4000)
+        assert brf.stage_names() == nocont.stage_names()
+
+
+class TestSameNodePath:
+    def test_localhost_delivery(self, samenode_topo):
+        path = resolve_path(samenode_topo.pod, ip("127.0.0.1"), 6379)
+        names = path.stage_names()
+        assert "loopback_xmit" in names
+        assert "bridge_fwd" not in names
+        assert "vhost_rx" not in names
+
+    def test_single_domain(self, samenode_topo):
+        path = resolve_path(samenode_topo.pod, ip("127.0.0.1"), 6379)
+        # Everything executes inside the VM: its vCPUs plus its RX
+        # softirq context; no host/client CPU is touched.
+        assert set(path.domains()) == {"vm:vm1", "softirq:vm:vm1"}
+
+    def test_large_segment_payload(self, samenode_topo):
+        path = resolve_path(samenode_topo.pod, ip("127.0.0.1"), 6379)
+        assert path.segment_payload == 65536 - 52
+
+    def test_jitter_class_clean(self, samenode_topo):
+        path = resolve_path(samenode_topo.pod, ip("127.0.0.1"), 6379)
+        assert path.jitter_class == "clean"
+
+
+class TestHostloPath:
+    def test_cross_vm_delivery(self, hostlo_topo):
+        path = resolve_path(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        assert path.stages[-1].domain == "vm:vm2"
+
+    def test_no_bridge_no_nat_no_overlay(self, hostlo_topo):
+        path = resolve_path(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        names = path.stage_names()
+        assert "bridge_fwd" not in names
+        assert "netfilter_nat" not in names
+        assert "vxlan_encap" not in names
+
+    def test_reflect_multiplier_counts_queues(self, hostlo_topo):
+        path = resolve_path(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        reflect = [s for s in path.stages if s.stage == "hostlo_reflect"]
+        assert len(reflect) == 1
+        assert reflect[0].multiplier == 2.0
+
+    def test_mtu_limited_payload(self, hostlo_topo):
+        path = resolve_path(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        assert path.segment_payload == 1500 - 52
+
+    def test_jitter_class_hostlo(self, hostlo_topo):
+        path = resolve_path(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        assert path.jitter_class == "hostlo"
+
+    def test_symmetric(self, hostlo_topo):
+        there = resolve_path(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        back = resolve_path(hostlo_topo.frag_b, ip("10.88.0.2"), 6379)
+        assert there.stage_names() == back.stage_names()
+
+    def test_unknown_ip_rejected(self, hostlo_topo):
+        with pytest.raises(TopologyError):
+            resolve_path(hostlo_topo.frag_a, ip("10.88.0.99"), 6379)
+
+
+class TestOverlayPath:
+    def test_cross_vm_delivery(self, overlay_topo):
+        path = resolve_path(overlay_topo.cont_a, ip("10.0.9.3"), 6379)
+        assert path.stages[-1].domain == "vm:vm2"
+
+    def test_encap_decap_present(self, overlay_topo):
+        path = resolve_path(overlay_topo.cont_a, ip("10.0.9.3"), 6379)
+        assert path.count("vxlan_encap") == 1
+        assert path.count("vxlan_decap") == 1
+
+    def test_underlay_traverses_host_bridge(self, overlay_topo):
+        path = resolve_path(overlay_topo.cont_a, ip("10.0.9.3"), 6379)
+        names = path.stage_names()
+        assert names.count("bridge_fwd") >= 3  # two overlay bridges + host
+        assert "vhost_tx" in names and "vhost_rx" in names
+
+    def test_overlay_longer_than_hostlo(self, overlay_topo, hostlo_topo):
+        overlay = resolve_path(overlay_topo.cont_a, ip("10.0.9.3"), 6379)
+        hostlo = resolve_path(hostlo_topo.frag_a, ip("10.88.0.3"), 6379)
+        assert len(overlay.stages) > len(hostlo.stages)
+
+    def test_vxlan_overhead_shrinks_payload(self, overlay_topo):
+        path = resolve_path(overlay_topo.cont_a, ip("10.0.9.3"), 6379)
+        assert path.segment_payload == 1500 - 52 - 50
+
+    def test_jitter_class_overlay(self, overlay_topo):
+        path = resolve_path(overlay_topo.cont_a, ip("10.0.9.3"), 6379)
+        assert path.jitter_class == "overlay"
+
+    def test_local_overlay_neighbor_stays_on_node(self, overlay_topo):
+        # cont on same bridge as the overlay gateway address: L2-local.
+        path = resolve_path(overlay_topo.cont_a, ip("10.0.9.1"), 80)
+        assert path.count("vxlan_encap") == 0
+
+
+class TestPathHelpers:
+    def test_segments_for(self, nocont_topo):
+        path = fwd(nocont_topo, "192.168.122.11")
+        assert path.segments_for(0) == 1
+        assert path.segments_for(1) == 1
+        assert path.segments_for(1448) == 1
+        assert path.segments_for(1449) == 2
+        assert path.segments_for(14480) == 10
+
+    def test_no_route_raises(self):
+        lonely = NetworkNamespace("lonely", kind="host")
+        with pytest.raises(TopologyError):
+            resolve_path(lonely, ip("8.8.8.8"), 53)
+
+    def test_include_endpoints_false_strips_app_stages(self, nocont_topo):
+        path = resolve_path(
+            nocont_topo.client, ip("192.168.122.11"), 8080,
+            include_endpoints=False,
+        )
+        assert "app_send" not in path.stage_names()
+        assert "syscall_send" not in path.stage_names()
+
+
+class TestNetfilterRuleScaling:
+    def test_multiplier_grows_with_rules(self, nat_topo):
+        from repro.net.netfilter import DnatRule
+        from repro.net.addresses import ip as _ip
+
+        base = resolve_path(nat_topo.client, ip("192.168.122.11"), 8080)
+        base_mult = next(
+            s.multiplier for s in base.stages if s.stage == "netfilter_nat"
+        )
+        for port in range(14000, 14010):
+            nat_topo.guest.netfilter.add_dnat(
+                DnatRule("tcp", port, _ip("172.17.0.2"), port)
+            )
+        loaded = resolve_path(nat_topo.client, ip("192.168.122.11"), 8080)
+        loaded_mult = next(
+            s.multiplier for s in loaded.stages if s.stage == "netfilter_nat"
+        )
+        assert loaded_mult > base_mult
+
+    def test_brfusion_path_untouched_by_rules(self, brfusion_topo):
+        path = resolve_path(brfusion_topo.client, ip("192.168.122.50"), 80)
+        assert path.count("netfilter_nat") == 0

@@ -1,0 +1,238 @@
+"""End-to-end orchestrator tests: deploy pods under each CNI plugin and
+verify the resulting datapaths have the paper's shapes."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.net import resolve_path
+from repro.net.addresses import ip
+from repro.orchestrator import Orchestrator
+from repro.orchestrator.pod import ContainerSpec, pod, simple_pod
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+@pytest.fixture
+def cluster():
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    orch = Orchestrator(vmm)
+    for i in range(2):
+        orch.enroll(vmm.create_vm(f"vm{i}", vcpus=5, memory_gb=4))
+    client = host.create_attached_namespace("client", domain="client")
+    return host, vmm, orch, client
+
+
+def two_tier_pod(name="p", publish=(("tcp", 8080, 80),)):
+    return pod(
+        name,
+        ContainerSpec("app", "nginx", cpu=1, memory_gb=1,
+                      publish=tuple(publish)),
+        ContainerSpec("cache", "memcached", cpu=1, memory_gb=1),
+    )
+
+
+class TestEnrollment:
+    def test_enroll_and_lookup(self, cluster):
+        host, vmm, orch, _ = cluster
+        assert orch.node("vm0").vm.name == "vm0"
+        assert orch.agent("vm0").node is orch.node("vm0")
+
+    def test_double_enroll_rejected(self, cluster):
+        host, vmm, orch, _ = cluster
+        with pytest.raises(ConfigurationError):
+            orch.enroll(vmm.vm("vm0"))
+
+    def test_unknown_node_raises(self, cluster):
+        _, _, orch, _ = cluster
+        with pytest.raises(SchedulingError):
+            orch.node("ghost")
+
+
+class TestNatDeployment:
+    def test_deploy_wires_external_endpoint(self, cluster):
+        host, vmm, orch, client = cluster
+        dep = orch.deploy_pod(two_tier_pod(), network="nat")
+        addr, port = dep.external_endpoints["app"]
+        assert port == 8080
+        path = resolve_path(client, addr, port)
+        assert path.count("netfilter_nat") == 1  # guest DNAT
+        assert path.stage_names().count("bridge_fwd") == 2
+
+    def test_intra_pod_is_localhost(self, cluster):
+        host, vmm, orch, _ = cluster
+        dep = orch.deploy_pod(two_tier_pod(), network="nat")
+        addr = dep.intra_address("cache")
+        path = resolve_path(dep.namespace_of("app"), addr, 11211)
+        assert "loopback_xmit" in path.stage_names()
+
+    def test_containers_share_fragment_namespace(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(two_tier_pod(), network="nat")
+        assert dep.namespace_of("app") is dep.namespace_of("cache")
+
+    def test_split_rejected(self, cluster):
+        _, _, orch, _ = cluster
+        with pytest.raises(SchedulingError):
+            orch.deploy_pod(two_tier_pod(), network="nat", allow_split=True)
+
+    def test_duplicate_pod_rejected(self, cluster):
+        _, _, orch, _ = cluster
+        orch.deploy_pod(two_tier_pod(), network="nat")
+        with pytest.raises(SchedulingError):
+            orch.deploy_pod(two_tier_pod(), network="nat")
+
+    def test_resources_accounted_and_released(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(two_tier_pod(), network="nat")
+        node = orch.node(dep.placement.node_names[0])
+        assert node.cpu_allocated == 2
+        orch.remove_pod("p")
+        assert node.cpu_allocated == 0
+        with pytest.raises(SchedulingError):
+            orch.deployment("p")
+
+
+class TestBrFusionDeployment:
+    def test_path_has_nocont_shape(self, cluster):
+        host, vmm, orch, client = cluster
+        nat_dep = orch.deploy_pod(two_tier_pod("pnat"), network="nat")
+        brf_dep = orch.deploy_pod(two_tier_pod("pbrf"), network="brfusion")
+        addr, port = brf_dep.external_endpoints["app"]
+        brf_path = resolve_path(client, addr, port)
+        assert brf_path.count("netfilter_nat") == 0
+        assert brf_path.stage_names().count("bridge_fwd") == 1
+        nat_addr, nat_port = nat_dep.external_endpoints["app"]
+        nat_path = resolve_path(client, nat_addr, nat_port)
+        assert len(brf_path.stages) < len(nat_path.stages)
+
+    def test_pod_address_on_host_bridge_subnet(self, cluster):
+        host, _, orch, _ = cluster
+        dep = orch.deploy_pod(two_tier_pod(), network="brfusion")
+        assert dep.plugin_state["pod_address"] in host.bridge_network("virbr0")
+
+    def test_agent_configured_by_mac(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(two_tier_pod(), network="brfusion")
+        node_name = dep.placement.node_names[0]
+        nic = dep.plugin_state["pod_nic"]
+        assert nic.mac in orch.agent(node_name).configured
+
+    def test_remove_pod_unplugs_nic(self, cluster):
+        host, _, orch, _ = cluster
+        dep = orch.deploy_pod(two_tier_pod(), network="brfusion")
+        tap = dep.plugin_state["pod_nic"].backend
+        orch.remove_pod("p")
+        assert not host.default_bridge.has_port(tap)
+
+
+class TestHostloDeployment:
+    def split_pod(self, name="p"):
+        # 3 containers of 2 vCPUs each cannot fit a single 5-vCPU VM.
+        return simple_pod(name, "memcached", containers=3, cpu=2, memory_gb=1)
+
+    def test_split_deployment_spans_vms(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(self.split_pod(), network="hostlo",
+                              allow_split=True)
+        assert dep.is_split
+        assert len(dep.placement.node_names) == 2
+
+    def test_intra_pod_path_uses_hostlo(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(self.split_pod(), network="hostlo",
+                              allow_split=True)
+        # Find two containers on different nodes.
+        nodes = {c: dep.placement.node_of(c) for c in dep.containers}
+        c_src = "c0"
+        c_dst = next(c for c, n in nodes.items() if n != nodes[c_src])
+        path = resolve_path(
+            dep.namespace_of(c_src), dep.intra_address(c_dst), 11211
+        )
+        assert "hostlo_reflect" in path.stage_names()
+        assert "bridge_fwd" not in path.stage_names()
+        assert path.jitter_class == "hostlo"
+
+    def test_same_fragment_uses_loopback(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(self.split_pod(), network="hostlo",
+                              allow_split=True)
+        nodes = {c: dep.placement.node_of(c) for c in dep.containers}
+        pairs = [(a, b) for a in nodes for b in nodes
+                 if a != b and nodes[a] == nodes[b]]
+        assert pairs, "expected two containers sharing a fragment"
+        a, b = pairs[0]
+        path = resolve_path(dep.namespace_of(a), dep.intra_address(b), 11211)
+        assert "loopback_xmit" in path.stage_names()
+        assert "hostlo_reflect" not in path.stage_names()
+
+    def test_single_node_pod_falls_back_to_loopback(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(simple_pod("small", "memcached", 2),
+                              network="hostlo", allow_split=True)
+        assert not dep.is_split
+        assert str(dep.intra_address("c0")) == "127.0.0.1"
+        assert "hostlo" not in dep.plugin_state
+
+    def test_remove_pod_removes_hostlo(self, cluster):
+        host, vmm, orch, _ = cluster
+        dep = orch.deploy_pod(self.split_pod(), network="hostlo",
+                              allow_split=True)
+        tap = dep.plugin_state["hostlo"].tap
+        orch.remove_pod("p")
+        assert tap.name not in host.ns.devices
+
+
+class TestOverlayDeployment:
+    def split_pod(self, name="p"):
+        return simple_pod(name, "memcached", containers=3, cpu=2, memory_gb=1)
+
+    def test_cross_vm_path_uses_vxlan(self, cluster):
+        _, _, orch, _ = cluster
+        dep = orch.deploy_pod(self.split_pod(), network="overlay",
+                              allow_split=True)
+        nodes = {c: dep.placement.node_of(c) for c in dep.containers}
+        c_src = "c0"
+        c_dst = next(c for c, n in nodes.items() if n != nodes[c_src])
+        path = resolve_path(
+            dep.namespace_of(c_src), dep.intra_address(c_dst), 11211
+        )
+        assert path.count("vxlan_encap") == 1
+        assert path.jitter_class == "overlay"
+
+    def test_overlay_path_longer_than_hostlo(self, cluster):
+        _, _, orch, _ = cluster
+        ov = orch.deploy_pod(self.split_pod("pov"), network="overlay",
+                             allow_split=True)
+        # fresh cluster for hostlo to keep placements comparable
+        host2 = PhysicalHost(Environment())
+        vmm2 = Vmm(host2)
+        orch2 = Orchestrator(vmm2)
+        for i in range(2):
+            orch2.enroll(vmm2.create_vm(f"vm{i}", vcpus=5, memory_gb=4))
+        hlo = orch2.deploy_pod(self.split_pod("phlo"), network="hostlo",
+                               allow_split=True)
+
+        def cross_path(dep):
+            nodes = {c: dep.placement.node_of(c) for c in dep.containers}
+            c_src = "c0"
+            c_dst = next(c for c, n in nodes.items() if n != nodes[c_src])
+            return resolve_path(
+                dep.namespace_of(c_src), dep.intra_address(c_dst), 11211
+            )
+
+        assert len(cross_path(ov).stages) > len(cross_path(hlo).stages)
+
+
+class TestPluginRegistry:
+    def test_unknown_plugin_rejected(self, cluster):
+        _, _, orch, _ = cluster
+        with pytest.raises(ConfigurationError):
+            orch.deploy_pod(two_tier_pod(), network="quantum")
+
+    def test_duplicate_plugin_rejected(self, cluster):
+        _, _, orch, _ = cluster
+        from repro.orchestrator.plugins import NatPlugin
+
+        with pytest.raises(ConfigurationError):
+            orch.register_plugin(NatPlugin())

@@ -1,0 +1,65 @@
+"""Tests for the spreading scheduler and the policy knob in costsim."""
+
+import pytest
+
+from repro.costsim.kubernetes import schedule_user
+from repro.orchestrator.node import Node
+from repro.orchestrator.pod import simple_pod
+from repro.orchestrator.scheduler import (
+    LeastRequestedScheduler,
+    MostRequestedScheduler,
+)
+from repro.sim import Environment
+from repro.traces.google import TraceContainer, TracePod
+from repro.virt import PhysicalHost, Vmm
+
+
+def make_nodes():
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    nodes = [Node(vmm.create_vm(f"vm{i}", vcpus=5, memory_gb=8))
+             for i in range(2)]
+    nodes[0].allocate(2, 2)  # vm0 is fuller
+    return nodes
+
+
+class TestLeastRequested:
+    def test_prefers_emptiest_node(self):
+        nodes = make_nodes()
+        placement = LeastRequestedScheduler().place_whole(
+            nodes, simple_pod("p", "alpine")
+        )
+        assert placement.node_names == ("vm1",)
+
+    def test_most_requested_prefers_fullest(self):
+        nodes = make_nodes()
+        placement = MostRequestedScheduler().place_whole(
+            nodes, simple_pod("p", "alpine")
+        )
+        assert placement.node_names == ("vm0",)
+
+    def test_split_spreads_too(self):
+        nodes = make_nodes()
+        spec = simple_pod("p", "alpine", containers=2, cpu=1, memory_gb=1)
+        placement = LeastRequestedScheduler().place_split(nodes, spec)
+        # Spreading starts on vm1 and, as vm1 fills, keeps balancing.
+        assert placement.node_of("c0") == "vm1"
+
+
+class TestCostsimPolicy:
+    def pods(self):
+        return [
+            TracePod(f"p{i}", (TraceContainer(0.01, 0.01),))
+            for i in range(6)
+        ]
+
+    def test_policies_give_valid_packings(self):
+        for policy in ("most-requested", "least-requested"):
+            vms = schedule_user(self.pods(), policy=policy)
+            assert sum(len(vm.placed) for vm in vms) == 6
+            for vm in vms:
+                assert vm.used_cpu <= vm.model.cpu_rel + 1e-9
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            schedule_user(self.pods(), policy="random")

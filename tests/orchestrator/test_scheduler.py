@@ -1,0 +1,169 @@
+"""Tests for pod specs, nodes and the most-requested scheduler."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.orchestrator import MostRequestedScheduler, Node
+from repro.orchestrator.pod import ContainerSpec, PodSpec, pod, simple_pod
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+def make_nodes(*sizes):
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    nodes = []
+    for i, (vcpus, mem) in enumerate(sizes):
+        vm = vmm.create_vm(f"vm{i}", vcpus=vcpus, memory_gb=mem)
+        nodes.append(Node(vm))
+    return nodes
+
+
+class TestSpecs:
+    def test_pod_totals(self):
+        spec = pod(
+            "p",
+            ContainerSpec("a", "nginx", cpu=2, memory_gb=4),
+            ContainerSpec("b", "memcached", cpu=1, memory_gb=2),
+        )
+        assert spec.cpu == 3
+        assert spec.memory_gb == 6
+
+    def test_pod_validation(self):
+        with pytest.raises(ConfigurationError):
+            PodSpec("p", containers=())
+        with pytest.raises(ConfigurationError):
+            pod("p", ContainerSpec("a", "x"), ContainerSpec("a", "y"))
+        with pytest.raises(ConfigurationError):
+            ContainerSpec("a", "x", cpu=0)
+        with pytest.raises(ConfigurationError):
+            PodSpec("", containers=(ContainerSpec("a", "x"),))
+
+    def test_container_lookup(self):
+        spec = simple_pod("p", "alpine", containers=3)
+        assert spec.container("c1").name == "c1"
+        with pytest.raises(ConfigurationError):
+            spec.container("ghost")
+
+    def test_simple_pod_publish_on_first(self):
+        spec = simple_pod("p", "nginx", containers=2,
+                          publish=[("tcp", 8080, 80)])
+        assert spec.containers[0].publish == (("tcp", 8080, 80),)
+        assert spec.containers[1].publish == ()
+
+
+class TestNode:
+    def test_allocate_release(self):
+        (node,) = make_nodes((5, 4))
+        node.allocate(2, 1)
+        assert node.cpu_free == 3
+        node.release(2, 1)
+        assert node.cpu_free == 5
+
+    def test_over_allocate_rejected(self):
+        (node,) = make_nodes((5, 4))
+        with pytest.raises(CapacityError):
+            node.allocate(6, 1)
+        with pytest.raises(CapacityError):
+            node.allocate(1, 10)
+
+    def test_requested_score(self):
+        (node,) = make_nodes((4, 8))
+        assert node.requested_score() == 0
+        node.allocate(2, 4)
+        assert node.requested_score() == pytest.approx(0.5)
+
+
+class TestWholePodPlacement:
+    def test_grouping_prefers_fuller_node(self):
+        nodes = make_nodes((5, 8), (5, 8))
+        nodes[1].allocate(2, 2)
+        sched = MostRequestedScheduler()
+        placement = sched.place_whole(nodes, simple_pod("p", "alpine"))
+        assert placement.node_names == ("vm1",)
+        assert not placement.is_split
+
+    def test_skips_full_nodes(self):
+        nodes = make_nodes((5, 8), (5, 8))
+        nodes[1].allocate(5, 8)
+        sched = MostRequestedScheduler()
+        placement = sched.place_whole(nodes, simple_pod("p", "alpine"))
+        assert placement.node_names == ("vm0",)
+
+    def test_no_fit_raises(self):
+        nodes = make_nodes((2, 2))
+        sched = MostRequestedScheduler()
+        big = simple_pod("p", "alpine", containers=4, cpu=1, memory_gb=1)
+        with pytest.raises(CapacityError):
+            sched.place_whole(nodes, big)
+
+    def test_all_containers_same_node(self):
+        nodes = make_nodes((5, 8))
+        sched = MostRequestedScheduler()
+        placement = sched.place_whole(nodes, simple_pod("p", "alpine", 3))
+        assert set(n for _, n in placement.assignments) == {"vm0"}
+
+
+class TestSplitPlacement:
+    def test_split_when_too_big_for_one_node(self):
+        nodes = make_nodes((2, 4), (2, 4))
+        sched = MostRequestedScheduler()
+        spec = simple_pod("p", "alpine", containers=3, cpu=1, memory_gb=1)
+        placement = sched.place_split(nodes, spec)
+        assert placement.is_split
+        assert len(placement.assignments) == 3
+
+    def test_whole_fit_stays_grouped(self):
+        nodes = make_nodes((5, 8), (5, 8))
+        nodes[0].allocate(1, 1)
+        sched = MostRequestedScheduler()
+        spec = simple_pod("p", "alpine", containers=2, cpu=1, memory_gb=1)
+        placement = sched.place_split(nodes, spec)
+        assert placement.node_names == ("vm0",)  # grouping policy
+
+    def test_biggest_first_order(self):
+        nodes = make_nodes((4, 8), (2, 4))
+        sched = MostRequestedScheduler()
+        spec = pod(
+            "p",
+            ContainerSpec("small", "alpine", cpu=1, memory_gb=1),
+            ContainerSpec("big", "alpine", cpu=4, memory_gb=4),
+        )
+        placement = sched.place_split(nodes, spec)
+        # big can only fit on vm0; small follows the most-requested node.
+        assert placement.node_of("big") == "vm0"
+
+    def test_unsplittable_pod_placed_whole(self):
+        nodes = make_nodes((2, 4), (2, 4))
+        sched = MostRequestedScheduler()
+        spec = PodSpec(
+            "p",
+            containers=tuple(
+                ContainerSpec(f"c{i}", "alpine", cpu=1, memory_gb=1)
+                for i in range(3)
+            ),
+            splittable=False,
+        )
+        with pytest.raises(CapacityError):
+            sched.place_split(nodes, spec)  # must go whole, cannot
+
+    def test_split_no_fit_raises(self):
+        nodes = make_nodes((1, 1))
+        sched = MostRequestedScheduler()
+        spec = simple_pod("p", "alpine", containers=3, cpu=1, memory_gb=1)
+        with pytest.raises(CapacityError):
+            sched.place_split(nodes, spec)
+
+    def test_assignments_preserve_container_order(self):
+        nodes = make_nodes((2, 4), (2, 4))
+        sched = MostRequestedScheduler()
+        spec = simple_pod("p", "alpine", containers=3, cpu=1, memory_gb=1)
+        placement = sched.place_split(nodes, spec)
+        assert [c for c, _ in placement.assignments] == ["c0", "c1", "c2"]
+
+    def test_node_of_unknown_raises(self):
+        nodes = make_nodes((5, 8))
+        sched = MostRequestedScheduler()
+        placement = sched.place_whole(nodes, simple_pod("p", "alpine"))
+        with pytest.raises(CapacityError):
+            placement.node_of("ghost")

@@ -1,0 +1,120 @@
+"""§4.3 integration: volumes/shared memory gate and equip split pods."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.orchestrator import Orchestrator
+from repro.orchestrator.pod import ContainerSpec, PodSpec
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+def make_orchestrator(virtfs=True, mempipe=True):
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    orch = Orchestrator(vmm, virtfs_available=virtfs,
+                        mempipe_available=mempipe)
+    for i in range(2):
+        orch.enroll(vmm.create_vm(f"vm{i}", vcpus=5, memory_gb=4))
+    return orch
+
+
+def big_pod(name="p", volumes=(), shared_memory=False, splittable=True):
+    # Two 3-vCPU containers cannot share one 5-vCPU VM: must split.
+    return PodSpec(
+        name,
+        containers=(
+            ContainerSpec("a", "memcached", cpu=3, memory_gb=1),
+            ContainerSpec("b", "memcached", cpu=3, memory_gb=1),
+        ),
+        volumes=tuple(volumes),
+        shared_memory=shared_memory,
+        splittable=splittable,
+    )
+
+
+class TestCanSplitOn:
+    def test_plain_pod_splits(self):
+        assert big_pod().can_split_on(False, False)
+
+    def test_volumes_need_virtfs(self):
+        pod = big_pod(volumes=("data",))
+        assert pod.can_split_on(True, False)
+        assert not pod.can_split_on(False, True)
+
+    def test_shared_memory_needs_mempipe(self):
+        pod = big_pod(shared_memory=True)
+        assert pod.can_split_on(False, True)
+        assert not pod.can_split_on(True, False)
+
+    def test_explicit_opt_out_wins(self):
+        assert not big_pod(splittable=False).can_split_on(True, True)
+
+    def test_duplicate_volumes_rejected(self):
+        with pytest.raises(Exception):
+            big_pod(volumes=("data", "data"))
+
+
+class TestSplitProvisioning:
+    def test_split_pod_gets_virtfs_mounts(self):
+        orch = make_orchestrator()
+        dep = orch.deploy_pod(big_pod(volumes=("data", "logs")),
+                              network="hostlo", allow_split=True)
+        assert dep.is_split
+        shares = dep.plugin_state["virtfs_shares"]
+        assert len(shares) == 2
+        for share in shares:
+            assert share.guest_count == 2
+        assert orch.virtfs.shares() == ("p/data", "p/logs")
+
+    def test_split_pod_gets_mempipe_channel(self):
+        orch = make_orchestrator()
+        dep = orch.deploy_pod(big_pod(shared_memory=True),
+                              network="hostlo", allow_split=True)
+        channels = dep.plugin_state["mempipe_channels"]
+        assert len(channels) == 1
+        names = set(dep.placement.node_names)
+        assert {channels[0].vm_a, channels[0].vm_b} == names
+
+    def test_whole_pod_gets_no_shared_resources(self):
+        orch = make_orchestrator()
+        small = PodSpec(
+            "small",
+            containers=(ContainerSpec("a", "alpine", cpu=1, memory_gb=1),
+                        ContainerSpec("b", "alpine", cpu=1, memory_gb=1)),
+            volumes=("data",),
+        )
+        dep = orch.deploy_pod(small, network="hostlo", allow_split=True)
+        assert not dep.is_split
+        assert "virtfs_shares" not in dep.plugin_state
+        assert orch.virtfs.shares() == ()
+
+    def test_remove_pod_releases_shares_and_channels(self):
+        orch = make_orchestrator()
+        orch.deploy_pod(big_pod(volumes=("data",), shared_memory=True),
+                        network="hostlo", allow_split=True)
+        assert orch.virtfs.shares() == ("p/data",)
+        orch.remove_pod("p")
+        assert orch.virtfs.shares() == ()
+        assert orch.mempipe.channel_between("vm0", "vm1") is None
+
+
+class TestFeasibilityGate:
+    def test_no_virtfs_blocks_split_of_volume_pod(self):
+        orch = make_orchestrator(virtfs=False)
+        # Whole-pod placement is impossible (6 vCPUs on 5-vCPU VMs),
+        # and the split is not legal without VirtFS.
+        with pytest.raises(CapacityError):
+            orch.deploy_pod(big_pod(volumes=("data",)),
+                            network="hostlo", allow_split=True)
+
+    def test_no_mempipe_blocks_split_of_shm_pod(self):
+        orch = make_orchestrator(mempipe=False)
+        with pytest.raises(CapacityError):
+            orch.deploy_pod(big_pod(shared_memory=True),
+                            network="hostlo", allow_split=True)
+
+    def test_plain_pod_splits_without_either(self):
+        orch = make_orchestrator(virtfs=False, mempipe=False)
+        dep = orch.deploy_pod(big_pod(), network="hostlo", allow_split=True)
+        assert dep.is_split

@@ -1,0 +1,130 @@
+"""Property-based tests on the simulation kernel's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CpuResource, Environment, Store
+
+
+class TestEventOrderingProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=40))
+    def test_timeouts_fire_in_sorted_order(self, delays):
+        env = Environment()
+        fired = []
+        for delay in delays:
+            tmo = env.timeout(delay, value=delay)
+            tmo.callbacks.append(lambda ev: fired.append(ev.value))
+        env.run()
+        assert fired == sorted(delays)
+        assert env.now == max(delays)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0),
+                    min_size=1, max_size=20))
+    def test_sequential_process_time_is_the_sum(self, delays):
+        env = Environment()
+
+        def proc():
+            for delay in delays:
+                yield env.timeout(delay)
+
+        env.process(proc())
+        env.run()
+        assert env.now == sum(delays) or abs(env.now - sum(delays)) < 1e-9
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0),
+                    min_size=1, max_size=20))
+    def test_parallel_processes_finish_at_the_max(self, delays):
+        env = Environment()
+
+        def proc(delay):
+            yield env.timeout(delay)
+
+        for delay in delays:
+            env.process(proc(delay))
+        env.run()
+        assert abs(env.now - max(delays)) < 1e-9
+
+
+class TestStoreProperties:
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    def test_fifo_preserved_for_any_sequence(self, items):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                value = yield store.get()
+                got.append(value)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == items
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=5))
+    def test_bounded_store_never_overfills(self, items, capacity):
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        max_seen = {"n": 0}
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+                max_seen["n"] = max(max_seen["n"], len(store))
+
+        def consumer():
+            for _ in items:
+                yield env.timeout(0.01)
+                yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert max_seen["n"] <= capacity
+
+
+class TestCpuConservation:
+    @settings(max_examples=40)
+    @given(st.lists(
+        st.tuples(st.floats(min_value=1.0, max_value=1e6),
+                  st.sampled_from(["usr", "sys", "soft"])),
+        min_size=1, max_size=25,
+    ), st.integers(min_value=1, max_value=4))
+    def test_busy_seconds_equal_submitted_cycles(self, jobs, cores):
+        """Work is conserved: total busy time == Σ cycles / freq,
+        regardless of queueing and core count."""
+        env = Environment()
+        cpu = CpuResource(env, cores=cores, freq_hz=1e6)
+        for cycles, account in jobs:
+            cpu.execute(cycles, account=account)
+        env.run()
+        expected = sum(c for c, _ in jobs) / 1e6
+        assert abs(cpu.busy_seconds() - expected) < 1e-9
+        # Per-account sums also conserve.
+        for account in ("usr", "sys", "soft"):
+            exp = sum(c for c, a in jobs if a == account) / 1e6
+            assert abs(cpu.busy_seconds(account) - exp) < 1e-9
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6),
+                    min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=8))
+    def test_makespan_bounds(self, cycles_list, cores):
+        """Makespan is bounded below by work/cores and the longest job,
+        and above by the serial sum."""
+        env = Environment()
+        cpu = CpuResource(env, cores=cores, freq_hz=1e6)
+        for cycles in cycles_list:
+            cpu.execute(cycles)
+        env.run()
+        total = sum(cycles_list) / 1e6
+        longest = max(cycles_list) / 1e6
+        assert env.now >= max(total / cores, longest) - 1e-9
+        assert env.now <= total + 1e-9

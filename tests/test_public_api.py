@@ -1,0 +1,39 @@
+"""The top-level package surface stays importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_thirty_second_workflow():
+    """The README's 'from Python' snippet, end to end."""
+    tb = repro.default_testbed(vms=2)
+    scenario = repro.build_scenario(tb, repro.DeploymentMode.BRFUSION)
+    from repro.workloads import NetperfTcpStream
+
+    result = NetperfTcpStream(window=16).run(scenario, 1280, duration_s=0.005)
+    assert result.throughput_mbps > 100
+
+
+def test_subpackages_import():
+    import repro.analysis
+    import repro.containers
+    import repro.core
+    import repro.costsim
+    import repro.harness
+    import repro.metrics
+    import repro.net
+    import repro.orchestrator
+    import repro.sim
+    import repro.traces
+    import repro.virt
+    import repro.workloads
+
+    assert repro.net.__doc__ and repro.sim.__doc__

@@ -1,0 +1,225 @@
+"""Tests for the virtualization substrate: host, VMM, hot-plug, hostlo."""
+
+import pytest
+
+from repro.errors import HotplugError, TopologyError
+from repro.net import resolve_path
+from repro.net.addresses import cidr, ip
+from repro.net.devices import HostloTap, TapDevice, VirtioNic
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+@pytest.fixture
+def host():
+    return PhysicalHost(Environment())
+
+
+@pytest.fixture
+def vmm(host):
+    return Vmm(host)
+
+
+class TestPhysicalHost:
+    def test_default_bridge_exists(self, host):
+        br = host.bridge("virbr0")
+        assert br.owns_ip(ip("192.168.122.1"))
+        assert host.bridges() == ("virbr0",)
+
+    def test_duplicate_bridge_rejected(self, host):
+        with pytest.raises(TopologyError):
+            host.add_bridge("virbr0", cidr("10.0.0.0/24"))
+
+    def test_add_tenant_bridge(self, host):
+        br = host.add_bridge("tenant1", cidr("10.10.0.0/24"))
+        assert br.owns_ip(ip("10.10.0.1"))
+        assert host.bridge_network("tenant1") == cidr("10.10.0.0/24")
+
+    def test_allocate_address_sequential(self, host):
+        first = host.allocate_address("virbr0")
+        second = host.allocate_address("virbr0")
+        assert first == ip("192.168.122.2")
+        assert second == ip("192.168.122.3")
+
+    def test_unknown_bridge_raises(self, host):
+        with pytest.raises(TopologyError):
+            host.bridge("nope")
+        with pytest.raises(TopologyError):
+            host.allocate_address("nope")
+
+    def test_client_namespace_wired_to_bridge(self, host):
+        ns = host.create_attached_namespace("client", domain="client")
+        dev = ns.device("eth0")
+        assert dev.primary_ip is not None
+        assert dev.peer.bridge is host.default_bridge
+        assert ns.routes.lookup(ip("192.168.122.9")) is not None
+
+
+class TestVmCreation:
+    def test_create_vm_full_wiring(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        nic = vm.primary_nic
+        assert isinstance(nic, VirtioNic)
+        assert isinstance(nic.backend, TapDevice)
+        assert nic.backend.bridge is host.default_bridge
+        assert nic.primary_ip == ip("192.168.122.2")
+        assert vm.cpu.cores == 5
+
+    def test_duplicate_vm_rejected(self, vmm):
+        vmm.create_vm("vm1")
+        with pytest.raises(TopologyError):
+            vmm.create_vm("vm1")
+
+    def test_vm_reachable_from_client(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        client = host.create_attached_namespace("client", domain="client")
+        path = resolve_path(client, vm.primary_nic.primary_ip, 80)
+        assert path.stages[-1].domain == "vm:vm1"
+
+    def test_two_vms_reach_each_other(self, vmm):
+        vm1 = vmm.create_vm("vm1")
+        vm2 = vmm.create_vm("vm2")
+        path = resolve_path(vm1.ns, vm2.primary_nic.primary_ip, 22)
+        names = path.stage_names()
+        assert "bridge_fwd" in names  # via the host bridge
+        assert path.stages[-1].domain == "vm:vm2"
+
+    def test_destroy_vm_cleans_up(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        tap = vm.primary_nic.backend
+        vmm.destroy_vm("vm1")
+        assert not host.default_bridge.has_port(tap)
+        with pytest.raises(TopologyError):
+            vmm.vm("vm1")
+
+    def test_vm_validation(self, host):
+        from repro.virt.vm import VirtualMachine
+
+        with pytest.raises(TopologyError):
+            VirtualMachine(host, "bad", vcpus=0)
+        with pytest.raises(TopologyError):
+            VirtualMachine(host, "bad", memory_gb=0)
+
+
+class TestBrFusionNicProvisioning:
+    def test_add_nic_lands_on_host_bridge(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        nic = vmm.add_nic(vm)
+        assert nic.namespace is vm.ns
+        assert nic.backend.bridge is host.default_bridge
+        assert nic.mac is not None
+
+    def test_add_nic_on_tenant_bridge(self, vmm, host):
+        host.add_bridge("tenant1", cidr("10.10.0.0/24"))
+        vm = vmm.create_vm("vm1")
+        nic = vmm.add_nic(vm, bridge="tenant1")
+        assert nic.backend.bridge is host.bridge("tenant1")
+
+    def test_agent_finds_nic_by_mac(self, vmm):
+        vm = vmm.create_vm("vm1")
+        nic = vmm.add_nic(vm)
+        assert vm.find_nic_by_mac(nic.mac) is nic
+
+    def test_hotplug_nic_takes_time(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        proc = host.env.process(vmm.hotplug_nic(vm))
+        host.env.run()
+        nic = proc.value
+        assert isinstance(nic, VirtioNic)
+        assert host.env.now > 0.005  # QMP + PCI probe latency
+        assert len(vmm.qmp["vm1"].commands("device_add")) == 1
+
+    def test_hotplug_on_stopped_vm_rejected(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        vm.running = False
+        with pytest.raises(HotplugError):
+            next(vmm.hotplug_nic(vm))
+
+    def test_remove_nic(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        nic = vmm.add_nic(vm)
+        tap = nic.backend
+        vmm.remove_nic(vm, nic.mac)
+        assert not host.default_bridge.has_port(tap)
+        assert vm.find_nic_by_mac(nic.mac) is None
+
+    def test_remove_unknown_nic_rejected(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        from repro.net.addresses import MacAddress
+
+        with pytest.raises(HotplugError):
+            vmm.remove_nic(vm, MacAddress(12345))
+
+    def test_guest_names_are_sequential(self, vmm):
+        vm = vmm.create_vm("vm1")
+        nic1 = vmm.add_nic(vm)
+        nic2 = vmm.add_nic(vm)
+        assert nic1.name == "eth1"
+        assert nic2.name == "eth2"
+
+
+class TestHostloProvisioning:
+    def test_create_hostlo_two_vms(self, vmm, host):
+        vm1, vm2 = vmm.create_vm("vm1"), vmm.create_vm("vm2")
+        handle = vmm.create_hostlo("hostlo0", [vm1, vm2])
+        assert isinstance(handle.tap, HostloTap)
+        assert handle.tap.queue_count == 2
+        assert handle.endpoints["vm1"].namespace is vm1.ns
+        assert set(handle.endpoint_macs()) == {"vm1", "vm2"}
+
+    def test_hostlo_needs_two_vms(self, vmm):
+        vm1 = vmm.create_vm("vm1")
+        with pytest.raises(TopologyError):
+            vmm.create_hostlo("hostlo0", [vm1])
+        with pytest.raises(TopologyError):
+            vmm.create_hostlo("hostlo1", [vm1, vm1])
+
+    def test_duplicate_hostlo_rejected(self, vmm):
+        vm1, vm2 = vmm.create_vm("vm1"), vmm.create_vm("vm2")
+        vmm.create_hostlo("hostlo0", [vm1, vm2])
+        with pytest.raises(TopologyError):
+            vmm.create_hostlo("hostlo0", [vm1, vm2])
+
+    def test_three_vm_hostlo(self, vmm):
+        vms = [vmm.create_vm(f"vm{i}") for i in range(3)]
+        handle = vmm.create_hostlo("hostlo0", vms)
+        assert handle.tap.queue_count == 3
+
+    def test_hotplug_hostlo_takes_time(self, vmm, host):
+        vm1, vm2 = vmm.create_vm("vm1"), vmm.create_vm("vm2")
+        proc = host.env.process(vmm.hotplug_hostlo("hostlo0", [vm1, vm2]))
+        host.env.run()
+        handle = proc.value
+        assert handle.tap.queue_count == 2
+        assert host.env.now > 0.01
+
+    def test_remove_hostlo(self, vmm, host):
+        vm1, vm2 = vmm.create_vm("vm1"), vmm.create_vm("vm2")
+        handle = vmm.create_hostlo("hostlo0", [vm1, vm2])
+        vmm.remove_hostlo("hostlo0")
+        assert "hostlo0" not in host.ns.devices
+        assert vm1.ns.devices.get(handle.endpoints["vm1"].name) is None
+        with pytest.raises(TopologyError):
+            vmm.hostlo("hostlo0")
+
+
+class TestQmp:
+    def test_log_records_commands(self, vmm, host):
+        vm = vmm.create_vm("vm1")
+        host.env.process(vmm.qmp["vm1"].execute("query", what="status"))
+        host.env.run()
+        log = vmm.qmp["vm1"].commands()
+        assert len(log) == 1
+        assert log[0].name == "query"
+        assert log[0].duration > 0
+
+    def test_unknown_command_rejected(self, vmm, host):
+        vmm.create_vm("vm1")
+        with pytest.raises(HotplugError):
+            next(vmm.qmp["vm1"].execute("explode"))
+
+    def test_disconnected_channel_rejected(self, vmm, host):
+        vmm.create_vm("vm1")
+        vmm.qmp["vm1"].disconnect()
+        with pytest.raises(HotplugError):
+            next(vmm.qmp["vm1"].execute("query"))

@@ -1,0 +1,122 @@
+"""Tests for the §4.3 substrates: VirtFS shares and MemPipe channels."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+from repro.virt.mempipe import MempipeManager
+from repro.virt.virtfs import VirtfsManager, VirtfsShare
+
+
+@pytest.fixture
+def vms():
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    return vmm.create_vm("vm1"), vmm.create_vm("vm2")
+
+
+class TestVirtfs:
+    def test_share_mounts_into_multiple_guests(self, vms):
+        vm1, vm2 = vms
+        manager = VirtfsManager()
+        share = manager.create_share("data", "/srv/data")
+        share.mount_into(vm1)
+        share.mount_into(vm2, read_only=True)
+        assert share.guest_count == 2
+        assert share.mounted_in("vm1") and share.mounted_in("vm2")
+        assert share.mounts["vm2"].read_only
+
+    def test_double_mount_rejected(self, vms):
+        vm1, _ = vms
+        share = VirtfsManager().create_share("data", "/srv/data")
+        share.mount_into(vm1)
+        with pytest.raises(TopologyError):
+            share.mount_into(vm1)
+
+    def test_unmount(self, vms):
+        vm1, _ = vms
+        share = VirtfsManager().create_share("data", "/srv/data")
+        share.mount_into(vm1)
+        share.unmount_from("vm1")
+        assert share.guest_count == 0
+        with pytest.raises(TopologyError):
+            share.unmount_from("vm1")
+
+    def test_manager_lifecycle(self, vms):
+        manager = VirtfsManager()
+        manager.create_share("a", "/srv/a")
+        assert manager.shares() == ("a",)
+        with pytest.raises(TopologyError):
+            manager.create_share("a", "/srv/a2")
+        manager.remove_share("a")
+        with pytest.raises(TopologyError):
+            manager.share("a")
+
+    def test_remove_mounted_share_rejected(self, vms):
+        vm1, _ = vms
+        manager = VirtfsManager()
+        share = manager.create_share("a", "/srv/a")
+        share.mount_into(vm1)
+        with pytest.raises(TopologyError):
+            manager.remove_share("a")
+
+    def test_unavailable_platform(self):
+        manager = VirtfsManager(available=False)
+        with pytest.raises(ConfigurationError):
+            manager.create_share("a", "/srv/a")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VirtfsShare("", "/srv/a")
+        with pytest.raises(ConfigurationError):
+            VirtfsShare("a", "/srv/a", size_gb=0)
+
+
+class TestMempipe:
+    def test_channel_between_coresident_vms(self, vms):
+        vm1, vm2 = vms
+        manager = MempipeManager()
+        channel = manager.create_channel("c", vm1, vm2)
+        assert channel.connects("vm1", "vm2")
+        assert channel.connects("vm2", "vm1")
+        assert manager.channel_between("vm2", "vm1") is channel
+        assert manager.channel_between("vm1", "vm3") is None
+
+    def test_same_vm_rejected(self, vms):
+        vm1, _ = vms
+        with pytest.raises(TopologyError):
+            MempipeManager().create_channel("c", vm1, vm1)
+
+    def test_cross_host_rejected(self, vms):
+        vm1, _ = vms
+        other_host = PhysicalHost(Environment(), name="host2")
+        other_vm = Vmm(other_host).create_vm("vmx")
+        with pytest.raises(TopologyError):
+            MempipeManager().create_channel("c", vm1, other_vm)
+
+    def test_duplicate_name_rejected(self, vms):
+        vm1, vm2 = vms
+        manager = MempipeManager()
+        manager.create_channel("c", vm1, vm2)
+        with pytest.raises(TopologyError):
+            manager.create_channel("c", vm1, vm2)
+
+    def test_remove_channel(self, vms):
+        vm1, vm2 = vms
+        manager = MempipeManager()
+        manager.create_channel("c", vm1, vm2)
+        manager.remove_channel("c")
+        with pytest.raises(TopologyError):
+            manager.channel("c")
+
+    def test_unavailable_platform(self, vms):
+        vm1, vm2 = vms
+        with pytest.raises(ConfigurationError):
+            MempipeManager(available=False).create_channel("c", vm1, vm2)
+
+    def test_message_latency_scales_with_size(self, vms):
+        manager = MempipeManager()
+        small = manager.message_latency(64, 2.2e9)
+        big = manager.message_latency(65536, 2.2e9)
+        assert 0 < small < big
