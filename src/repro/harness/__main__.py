@@ -8,6 +8,7 @@ Usage::
     python -m repro.harness --list             # available experiment ids
     python -m repro.harness fig09 --json out/  # also write out/fig09.json
     python -m repro.harness fig04 --csv out/   # also write out/fig04.csv
+    python -m repro.harness fig04 --trace out/ # Perfetto trace + span dump
 """
 
 from __future__ import annotations
@@ -18,7 +19,11 @@ import sys
 import time
 
 from repro.harness.config import ExperimentConfig
-from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.harness.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    run_experiment_traced,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,6 +41,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write <DIR>/<experiment>.json per result")
     parser.add_argument("--csv", metavar="DIR",
                         help="also write <DIR>/<experiment>.csv per result")
+    parser.add_argument("--trace", metavar="DIR",
+                        help="trace the run; write <DIR>/<experiment>"
+                             ".trace.json (Chrome/Perfetto), .spans.jsonl "
+                             "and .metrics.txt")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -47,9 +56,20 @@ def main(argv: list[str] | None = None) -> int:
     ids = args.experiments or sorted(EXPERIMENTS)
     for experiment in ids:
         start = time.perf_counter()
-        result = run_experiment(experiment, config)
+        if args.trace:
+            result, artifacts = run_experiment_traced(
+                experiment, config, trace_dir=args.trace
+            )
+        else:
+            result, artifacts = run_experiment(experiment, config), None
         elapsed = time.perf_counter() - start
         print(result.render())
+        if artifacts is not None:
+            print(artifacts.summary)
+            print(f"[trace: {artifacts.chrome_path} "
+                  f"({artifacts.span_count} spans, "
+                  f"{artifacts.event_count} events) — open in "
+                  f"https://ui.perfetto.dev]")
         print(f"[{experiment} finished in {elapsed:.1f}s]\n")
         if args.json:
             path = pathlib.Path(args.json)

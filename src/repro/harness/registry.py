@@ -1,10 +1,14 @@
-"""Experiment registry and runner."""
+"""Experiment registry and runners (plain and traced)."""
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
 import typing as t
 
+from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs.export import summary, write_chrome_trace, write_spans_jsonl
 from repro.harness import (
     ablations,
     analytic,
@@ -63,3 +67,71 @@ def run_experiment(
             f"unknown experiment {experiment!r} (have: {sorted(EXPERIMENTS)})"
         ) from None
     return runner(config)
+
+
+#: Sampling applied by ``--trace`` unless overridden.  A full-rate
+#: fig04 run records hundreds of thousands of datapath spans (tens of
+#: messages per point, a dozen stages each) — far past what Perfetto
+#: renders comfortably — so the hot categories are thinned
+#: deterministically; everything else (hot-plugs, scheduler decisions,
+#: CNI attaches) is rare and kept at full rate.  Pass ``sampling={}``
+#: to :func:`run_experiment_traced` for a complete trace.
+DEFAULT_TRACE_SAMPLING: dict[str, float] = {
+    "sim.step": 0.002,
+    "datapath.transfer": 0.02,
+    "datapath.stage": 0.02,
+    "forward.send": 0.05,
+    "forward.hop": 0.01,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceArtifacts:
+    """What one traced experiment run left on disk."""
+
+    chrome_path: pathlib.Path
+    spans_path: pathlib.Path
+    metrics_path: pathlib.Path
+    summary: str
+    span_count: int
+    event_count: int
+
+
+def run_experiment_traced(
+    experiment: str,
+    config: ExperimentConfig | None = None,
+    trace_dir: str | pathlib.Path = "out",
+    sampling: t.Mapping[str, float] | None = None,
+) -> tuple[ExperimentResult, TraceArtifacts]:
+    """Run one experiment with tracing on and export the trace.
+
+    Writes ``<trace_dir>/<experiment>.trace.json`` (Chrome
+    ``trace_event`` format — open in Perfetto), ``.spans.jsonl`` (the
+    raw span dump) and ``.metrics.txt`` (the metrics registry).
+    """
+    trace_dir = pathlib.Path(trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    effective = dict(DEFAULT_TRACE_SAMPLING if sampling is None else sampling)
+    with obs.capture(sampling=effective) as (tracer, metrics):
+        result = run_experiment(experiment, config)
+        artifacts = TraceArtifacts(
+            chrome_path=write_chrome_trace(
+                tracer, trace_dir / f"{experiment}.trace.json"
+            ),
+            spans_path=write_spans_jsonl(
+                tracer, trace_dir / f"{experiment}.spans.jsonl"
+            ),
+            metrics_path=_write_metrics(
+                metrics, trace_dir / f"{experiment}.metrics.txt"
+            ),
+            summary=summary(tracer),
+            span_count=len(tracer.spans),
+            event_count=len(tracer.events),
+        )
+    return result, artifacts
+
+
+def _write_metrics(metrics: "obs.MetricsRegistry",
+                   path: pathlib.Path) -> pathlib.Path:
+    path.write_text(metrics.render_text())
+    return path

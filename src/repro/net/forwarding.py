@@ -20,6 +20,7 @@ import typing as t
 
 from repro.errors import TopologyError
 from repro.net.addresses import Ipv4Address, MacAddress
+from repro.obs import tracer as _active_tracer
 from repro.net.bridge import Bridge
 from repro.net.devices import (
     HostloEndpoint,
@@ -100,6 +101,17 @@ class ForwardingEngine:
             payload_bytes=payload_bytes, origin=src_ns.name,
         )
         namespace = self._route(src_ns, frame)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "forward.send", f"{src_ns.name}->{dst_ip}",
+                delivered=namespace is not None,
+                namespace=namespace.name if namespace else None,
+                hops=len(frame.hops), flooded=self.flood_events,
+                reflected=self.reflect_copies,
+            )
+            for hop in frame.hops:
+                tracer.event("forward.hop", hop, origin=src_ns.name)
         return Delivery(
             delivered=namespace is not None,
             namespace=namespace.name if namespace else None,

@@ -22,6 +22,7 @@ import dataclasses
 from repro.errors import ConfigurationError
 from repro.net.costs import CostModel
 from repro.net.path import Datapath
+from repro.obs import metrics as _active_metrics
 from repro.sim import CpuResource, Environment
 
 
@@ -120,11 +121,33 @@ class TransferEngine:
         stages (back-to-back frames, NAPI polling/GRO); request/response
         traffic must leave it off.
         """
+        tracer = self.env.tracer
+        parent = None
+        queue_depth = None
+        if tracer.enabled:
+            parent = tracer.begin(
+                "datapath.transfer", f"{path.src}->{path.dst}",
+                nbytes=nbytes, stream=stream, stages=len(path.stages),
+                jitter=path.jitter_class,
+            )
+            queue_depth = _active_metrics().gauge(
+                "cpu.queue_depth",
+                help="jobs waiting per CPU domain, sampled at stage entry",
+            )
         segments = path.segments_for(nbytes)
         for st in path.stages:
             cost = self.cost_model[st.stage]
             packets = 1 if cost.per_message else segments
             cycles = cost.cycles(packets, nbytes, batched=stream) * st.multiplier
+            span = None
+            if tracer.enabled:
+                cpu = self.cpu(st.domain)
+                span = tracer.begin(
+                    "datapath.stage", st.stage, parent=parent,
+                    domain=st.domain, account=cost.account, cycles=cycles,
+                    label=st.label,
+                )
+                queue_depth.set(cpu.queue_depth, domain=st.domain)
             if cycles > 0.0:
                 yield self.cpu(st.domain).execute(cycles, account=cost.account)
             wakeup = cost.wakeup_s
@@ -135,6 +158,10 @@ class TransferEngine:
                 wakeup = wakeup / cost.batch_factor
             if wakeup > 0.0:
                 yield self.env.timeout(wakeup)
+            if span is not None:
+                tracer.end(span)
+        if parent is not None:
+            tracer.end(parent)
 
     def round_trip(
         self,

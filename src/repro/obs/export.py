@@ -1,0 +1,196 @@
+"""Trace exporters: JSON-Lines, Chrome ``trace_event``, text summary.
+
+* :func:`write_spans_jsonl` — one JSON object per span/event, the
+  machine-readable archive format.
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` JSON object
+  format; the file opens directly in Perfetto (https://ui.perfetto.dev)
+  or ``chrome://tracing``.  Each simulation environment becomes a
+  "process"; each CPU domain (or category, for spans without a domain
+  attribute) becomes a "thread", so concurrent transfers render as
+  parallel tracks.
+* :func:`summary` — a plain-text top-N table by total simulated time,
+  the quick where-did-the-cycles-go answer.
+
+Timestamps are simulated seconds; the Chrome export scales them to the
+format's microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+from repro.obs.trace import NullTracer, Span, Tracer
+
+TracerLike = t.Union[Tracer, NullTracer]
+
+#: Simulated seconds → trace_event microseconds.
+_US = 1e6
+
+
+def span_record(span: Span, kind: str = "span") -> dict[str, t.Any]:
+    """One span/event as a JSON-ready dict."""
+    record: dict[str, t.Any] = {
+        "kind": kind,
+        "sid": span.sid,
+        "cat": span.category,
+        "name": span.name,
+        "ts": span.start,
+        "dur": span.duration,
+        "run": span.run,
+    }
+    if span.parent is not None:
+        record["parent"] = span.parent
+    if span.wall_s is not None and span.wall_s >= 0:
+        record["wall_s"] = span.wall_s
+    if span.attrs:
+        record["attrs"] = span.attrs
+    return record
+
+
+def iter_records(tracer: TracerLike) -> t.Iterator[dict[str, t.Any]]:
+    """All spans and events, ordered by (run, start time, id)."""
+    merged = [(s, "span") for s in tracer.spans]
+    merged.extend((e, "event") for e in tracer.events)
+    merged.sort(key=lambda pair: (pair[0].run, pair[0].start, pair[0].sid))
+    for span, kind in merged:
+        yield span_record(span, kind)
+
+
+def write_spans_jsonl(tracer: TracerLike, path: str | pathlib.Path) -> pathlib.Path:
+    """Write the JSON-Lines span dump; returns the path."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        for record in iter_records(tracer):
+            fh.write(json.dumps(record, default=str))
+            fh.write("\n")
+    return path
+
+
+def _track_of(span: Span) -> str:
+    domain = span.attrs.get("domain")
+    return str(domain) if domain is not None else span.category
+
+
+def chrome_trace(tracer: TracerLike) -> dict[str, t.Any]:
+    """The trace as a Chrome ``trace_event`` JSON object."""
+    events: list[dict[str, t.Any]] = []
+    tids: dict[str, int] = {}
+    named_runs: set[int] = set()
+
+    def tid_for(run: int, track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": run, "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    def name_run(run: int) -> None:
+        if run not in named_runs:
+            named_runs.add(run)
+            events.append({
+                "ph": "M", "name": "process_name", "pid": run,
+                "args": {"name": f"sim-run-{run}"},
+            })
+
+    for span in tracer.spans:
+        name_run(span.run)
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+            "pid": span.run,
+            "tid": tid_for(span.run, _track_of(span)),
+            "args": {k: _arg(v) for k, v in span.attrs.items()},
+        })
+    for event in tracer.events:
+        name_run(event.run)
+        events.append({
+            "name": event.name,
+            "cat": event.category,
+            "ph": "i",
+            "s": "t",
+            "ts": event.start * _US,
+            "pid": event.run,
+            "tid": tid_for(event.run, _track_of(event)),
+            "args": {k: _arg(v) for k, v in event.attrs.items()},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _arg(value: t.Any) -> t.Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(tracer: TracerLike,
+                       path: str | pathlib.Path) -> pathlib.Path:
+    """Write the Chrome/Perfetto trace JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer)))
+    return path
+
+
+def summary(tracer: TracerLike, top: int = 10) -> str:
+    """A top-N table of span groups by total simulated time.
+
+    Groups by ``(category, name)`` and reports count, total simulated
+    seconds, total cycles (when spans carry a ``cycles`` attribute) and
+    total self-profiled wall seconds (when enabled).
+    """
+    groups: dict[tuple[str, str], dict[str, float]] = {}
+    for span in tracer.spans:
+        g = groups.setdefault(
+            (span.category, span.name),
+            {"count": 0, "sim_s": 0.0, "cycles": 0.0, "wall_s": 0.0},
+        )
+        g["count"] += 1
+        g["sim_s"] += span.duration
+        g["cycles"] += float(span.attrs.get("cycles", 0.0) or 0.0)
+        if span.wall_s is not None and span.wall_s >= 0:
+            g["wall_s"] += span.wall_s
+    n_events = len(tracer.events)
+    if not groups:
+        return f"(no spans recorded; {n_events} events)"
+
+    ranked = sorted(
+        groups.items(), key=lambda item: item[1]["sim_s"], reverse=True
+    )[:top]
+    has_cycles = any(g["cycles"] > 0 for _, g in ranked)
+    has_wall = any(g["wall_s"] > 0 for _, g in ranked)
+
+    header = ["span", "count", "sim total"]
+    if has_cycles:
+        header.append("cycles")
+    if has_wall:
+        header.append("wall total")
+    rows = []
+    for (category, name), g in ranked:
+        row = [f"{category}:{name}", str(int(g["count"])),
+               f"{g['sim_s'] * 1e6:.1f} us"]
+        if has_cycles:
+            row.append(f"{g['cycles']:.0f}")
+        if has_wall:
+            row.append(f"{g['wall_s'] * 1e3:.2f} ms")
+        rows.append(row)
+
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        f"== trace summary: top {len(rows)} of {len(groups)} span groups "
+        f"({len(tracer.spans)} spans, {n_events} events) =="
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

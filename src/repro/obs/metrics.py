@@ -1,0 +1,267 @@
+"""Labeled counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named metrics, each
+holding one time series per label combination — queue depths, per-stage
+cycle totals, hot-plug latencies, scheduler decision counts.  The
+design follows the Prometheus client model reduced to what the
+simulator needs: get-or-create accessors, label sets as keyword
+arguments, and plain-data snapshots for exporting.
+
+Aggregation is constant-memory: histograms keep per-bucket counts (and
+sum/min/max), never raw samples, so instrumenting a million-packet run
+costs a few dicts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as t
+
+from repro.errors import ConfigurationError
+
+LabelKey = t.Tuple[t.Tuple[str, str], ...]
+
+#: Default histogram buckets: latencies from 1 us to ~1 s (seconds).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 4e-3, 1.6e-2, 6.4e-2, 2.56e-1, 1.0,
+)
+
+
+def _key(labels: t.Mapping[str, t.Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: t.Any) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount!r})"
+            )
+        key = _key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: t.Any) -> float:
+        return self._values.get(_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class Gauge:
+    """A point-in-time value per label set (may go up or down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+        self._peaks: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: t.Any) -> None:
+        key = _key(labels)
+        value = float(value)
+        self._values[key] = value
+        if value > self._peaks.get(key, float("-inf")):
+            self._peaks[key] = value
+
+    def add(self, amount: float, **labels: t.Any) -> None:
+        key = _key(labels)
+        value = self._values.get(key, 0.0) + amount
+        self._values[key] = value
+        if value > self._peaks.get(key, float("-inf")):
+            self._peaks[key] = value
+
+    def value(self, **labels: t.Any) -> float:
+        return self._values.get(_key(labels), 0.0)
+
+    def peak(self, **labels: t.Any) -> float:
+        """The largest value ever set for this label set (0.0 if none)."""
+        return self._peaks.get(_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class _HistSeries:
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.counts = [0] * (nbuckets + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram:
+    """Fixed upper-bound buckets per label set (plus an overflow).
+
+    ``quantile`` answers from bucket boundaries — exact enough for
+    "p99 hot-plug latency is under 120 ms" style assertions.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: t.Sequence[float] = DEFAULT_BUCKETS,
+                 help: str = "") -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._series: dict[LabelKey, _HistSeries] = {}
+
+    def observe(self, value: float, **labels: t.Any) -> None:
+        key = _key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistSeries(len(self.buckets))
+        value = float(value)
+        series.counts[bisect.bisect_left(self.buckets, value)] += 1
+        series.count += 1
+        series.total += value
+        series.min = min(series.min, value)
+        series.max = max(series.max, value)
+
+    def count(self, **labels: t.Any) -> int:
+        series = self._series.get(_key(labels))
+        return series.count if series else 0
+
+    def total(self, **labels: t.Any) -> float:
+        series = self._series.get(_key(labels))
+        return series.total if series else 0.0
+
+    def mean(self, **labels: t.Any) -> float:
+        series = self._series.get(_key(labels))
+        if not series or series.count == 0:
+            return 0.0
+        return series.total / series.count
+
+    def quantile(self, q: float, **labels: t.Any) -> float:
+        """The bucket upper bound covering quantile *q* in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1]: {q!r}")
+        series = self._series.get(_key(labels))
+        if not series or series.count == 0:
+            return 0.0
+        target = q * series.count
+        running = 0
+        for i, upper in enumerate(self.buckets):
+            running += series.counts[i]
+            if running >= target:
+                return upper
+        return series.max
+
+    def series(self) -> dict[LabelKey, dict[str, t.Any]]:
+        out: dict[LabelKey, dict[str, t.Any]] = {}
+        for key, s in self._series.items():
+            out[key] = {
+                "count": s.count,
+                "sum": s.total,
+                "min": s.min if s.count else 0.0,
+                "max": s.max if s.count else 0.0,
+                "buckets": dict(zip(self.buckets, s.counts)),
+                "overflow": s.counts[-1],
+            }
+        return out
+
+
+Metric = t.Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named set of metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: str) -> Metric | None:
+        metric = self._metrics.get(name)
+        if metric is not None and metric.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {metric.kind}, "
+                f"not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get(name, "counter")
+        if metric is None:
+            metric = self._metrics[name] = Counter(name, help)
+        return t.cast(Counter, metric)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get(name, "gauge")
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name, help)
+        return t.cast(Gauge, metric)
+
+    def histogram(self, name: str,
+                  buckets: t.Sequence[float] = DEFAULT_BUCKETS,
+                  help: str = "") -> Histogram:
+        metric = self._get(name, "histogram")
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, buckets, help)
+        return t.cast(Histogram, metric)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown metric {name!r}") from None
+
+    def snapshot(self) -> dict[str, t.Any]:
+        """Plain-data dump: ``{name: {kind, series: {label-text: ...}}}``."""
+        out: dict[str, t.Any] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            series = {
+                _label_text(key) or "{}": value
+                for key, value in metric.series().items()
+            }
+            out[name] = {"kind": metric.kind, "series": series}
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-flavoured plain text, one line per series."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Histogram):
+                for key, data in sorted(metric.series().items()):
+                    label = _label_text(key)
+                    lines.append(f"{name}_count{label} {data['count']}")
+                    lines.append(f"{name}_sum{label} {data['sum']:.9g}")
+                    for upper, n in data["buckets"].items():
+                        with_le = (*key, ("le", f"{upper:g}"))
+                        lines.append(f"{name}_bucket{_label_text(with_le)} {n}")
+            else:
+                for key, value in sorted(metric.series().items()):
+                    lines.append(f"{name}{_label_text(key)} {value:.9g}")
+        return "\n".join(lines) + ("\n" if lines else "")

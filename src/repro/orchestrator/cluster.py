@@ -9,6 +9,7 @@ from repro.containers.container import Container
 from repro.errors import CapacityError, ConfigurationError, SchedulingError
 from repro.net.addresses import Ipv4Address, SubnetAllocator, cidr
 from repro.net.namespace import NetworkNamespace
+from repro.obs import tracer as _active_tracer
 from repro.orchestrator.agent import VmAgent
 from repro.orchestrator.cni import CniPlugin
 from repro.orchestrator.node import Node
@@ -165,6 +166,11 @@ class Orchestrator:
                 pod=spec,
                 assignments=tuple((c.name, node) for c in spec.containers),
             )
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.event("sched.place", spec.name, policy="pinned",
+                             split=False, nodes=node,
+                             containers=len(spec.containers))
         elif allow_split:
             # §4.3 feasibility: volumes need VirtFS, shared memory needs
             # MemPipe; an infeasible pod silently degrades to whole-pod

@@ -10,6 +10,8 @@ from __future__ import annotations
 import abc
 import typing as t
 
+from repro.obs import tracer as _active_tracer
+
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.orchestrator.cluster import Deployment, Orchestrator
 
@@ -21,6 +23,16 @@ class CniPlugin(abc.ABC):
     name: str = "abstract"
     #: Whether the plugin can serve a pod split across several VMs.
     supports_split: bool = False
+
+    def note_attach(self, deployment: "Deployment", **attrs: t.Any) -> None:
+        """Record the wiring decision as a ``cni.attach`` trace event."""
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "cni.attach", deployment.name, plugin=self.name,
+                split=deployment.is_split,
+                nodes=",".join(deployment.placement.node_names), **attrs,
+            )
 
     @abc.abstractmethod
     def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:

@@ -77,6 +77,7 @@ class BrFusionPlugin(CniPlugin):
             for _proto, _host_port, cont_port in cspec.publish:
                 # No guest DNAT: the pod address is directly reachable.
                 deployment.external_endpoints[cspec.name] = (address, cont_port)
+        self.note_attach(deployment, mac=str(mac), address=str(address))
 
     def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
         nic = deployment.plugin_state.get("pod_nic")

@@ -44,6 +44,7 @@ class HostloPlugin(CniPlugin):
                 deployment.intra_addresses[cspec.name] = LOCALHOST
                 if deployment.containers[cspec.name].network_mode == "none":
                     deployment.containers[cspec.name].network_mode = "pod"
+            self.note_attach(deployment, hostlo=False)
             return
 
         # Steps 1–3: orchestrator ↔ VMM.
@@ -69,6 +70,7 @@ class HostloPlugin(CniPlugin):
             node_name = deployment.placement.node_of(cspec.name)
             deployment.intra_addresses[cspec.name] = fragment_address[node_name]
         self._wire_external(orch, deployment)
+        self.note_attach(deployment, hostlo=True, queues=len(vms))
 
     def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
         handle = deployment.plugin_state.get("hostlo")

@@ -46,3 +46,4 @@ class NatPlugin(CniPlugin):
             for proto, host_port, _cont_port in cspec.publish:
                 del proto
                 deployment.external_endpoints[cspec.name] = (vm_ip, host_port)
+        self.note_attach(deployment, published=len(union_publish(deployment)))

@@ -45,6 +45,7 @@ class OverlayPlugin(CniPlugin):
             assert vm_ip is not None
             for _proto, host_port, _cont in cspec.publish:
                 deployment.external_endpoints[cspec.name] = (vm_ip, host_port)
+        self.note_attach(deployment, vni=overlay.vni, subnet=str(subnet))
 
     @staticmethod
     def _fragment_carrier(deployment: "Deployment", node_name: str):

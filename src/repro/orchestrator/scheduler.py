@@ -12,6 +12,7 @@ import dataclasses
 import typing as t
 
 from repro.errors import CapacityError
+from repro.obs import tracer as _active_tracer
 from repro.orchestrator.node import Node
 from repro.orchestrator.pod import ContainerSpec, PodSpec
 
@@ -74,6 +75,11 @@ class MostRequestedScheduler:
                 f"pod {pod.name!r} (cpu={pod.cpu}, mem={pod.memory_gb}GB) "
                 f"fits on no node"
             )
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("sched.place", pod.name,
+                         policy=type(self).__name__, split=False,
+                         nodes=node.name, containers=len(pod.containers))
         return Placement(
             pod=pod,
             assignments=tuple((c.name, node.name) for c in pod.containers),
@@ -123,7 +129,14 @@ class MostRequestedScheduler:
 
         order = {c.name: i for i, c in enumerate(pod.containers)}
         assignments.sort(key=lambda pair: order[pair[0]])
-        return Placement(pod=pod, assignments=tuple(assignments))
+        placement = Placement(pod=pod, assignments=tuple(assignments))
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("sched.place", pod.name,
+                         policy=type(self).__name__, split=placement.is_split,
+                         nodes=",".join(placement.node_names),
+                         containers=len(pod.containers))
+        return placement
 
 
 class LeastRequestedScheduler(MostRequestedScheduler):

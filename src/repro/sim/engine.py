@@ -7,6 +7,7 @@ import typing as t
 from itertools import count
 
 from repro.errors import SimulationError
+from repro.obs import tracer as _active_tracer
 from repro.sim.events import Event, Process, Timeout
 
 # Heap entries are (time, priority, seq, event); priority 0 beats 1 so
@@ -37,6 +38,14 @@ class Environment:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Process | None = None
+        # Snapshot the active tracer once: the event loop pays one
+        # attribute load + branch per step, not a registry lookup.
+        # Install a tracer (obs.install/obs.capture) *before* building
+        # the environment for it to see this run.
+        self.tracer = _active_tracer()
+        if self.tracer.enabled:
+            self.tracer.new_run()
+            self.tracer.now = self._now
 
     # -- clock -----------------------------------------------------------
     @property
@@ -79,11 +88,18 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            tracer.now = when
+            span = tracer.begin("sim.step", type(event).__name__)
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         if callbacks:
             for callback in callbacks:
                 callback(event)
+        if span is not None:
+            tracer.end(span, callbacks=len(callbacks or ()))
         if not event._ok and not event._defused:
             # A failed event nobody handled: surface the error.
             raise event._value
@@ -128,4 +144,6 @@ class Environment:
         while self._heap and self._heap[0][0] <= horizon:
             self.step()
         self._now = horizon
+        if self.tracer.enabled:
+            self.tracer.now = horizon
         return None

@@ -19,6 +19,7 @@ import dataclasses
 import typing as t
 
 from repro.errors import HotplugError
+from repro.obs import metrics as _active_metrics
 from repro.sim import CpuResource, Environment
 
 #: (mean seconds, lognormal sigma, host cycles) per QMP command class.
@@ -28,6 +29,9 @@ COMMAND_PROFILES: dict[str, tuple[float, float, float]] = {
     "device_del": (3.0e-3, 0.45, 220_000),
     "query": (0.6e-3, 0.25, 60_000),
 }
+
+#: Buckets (seconds) for per-command QMP round-trip latencies.
+QMP_LATENCY_BUCKETS = (5e-4, 1e-3, 2e-3, 4e-3, 8e-3, 1.6e-2, 3.2e-2)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,14 +80,21 @@ class QmpChannel:
         yield self.host_cpu.execute(cycles, account="sys")
         noise = float(self.rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))
         yield self.env.timeout(mean_s * noise)
-        self.log.append(
-            QmpCommand(
-                name=name,
-                arguments=tuple(sorted(arguments.items())),
-                issued_at=issued_at,
-                completed_at=self.env.now,
-            )
+        command = QmpCommand(
+            name=name,
+            arguments=tuple(sorted(arguments.items())),
+            issued_at=issued_at,
+            completed_at=self.env.now,
         )
+        self.log.append(command)
+        _active_metrics().histogram(
+            "virt.qmp_latency_s", QMP_LATENCY_BUCKETS,
+            help="QMP command round-trip time",
+        ).observe(command.duration, command=name)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.event("virt.qmp", name, vm=self.vm_name,
+                         duration_s=command.duration)
 
     def commands(self, name: str | None = None) -> list[QmpCommand]:
         if name is None:

@@ -8,6 +8,8 @@ from repro.errors import TopologyError
 from repro.net.addresses import MacAddress
 from repro.net.devices import NetDevice, VirtioNic
 from repro.net.namespace import NetworkNamespace
+from repro.obs import MetricsRegistry
+from repro.obs import metrics as _active_metrics
 from repro.sim import CpuResource
 
 if t.TYPE_CHECKING:  # pragma: no cover
@@ -67,6 +69,25 @@ class VirtualMachine:
                 if dev.mac == mac:
                     return dev
         return None
+
+    # -- observability ----------------------------------------------------------
+    def observe_queues(self, metrics: MetricsRegistry | None = None) -> int:
+        """Record this VM's queue-depth gauges; returns the vCPU depth.
+
+        Gauges: ``vm.vcpu_queue_depth`` (jobs waiting on the vCPU
+        pool), ``vm.vcpu_busy_cores`` and ``vm.virtio_nics`` — the
+        per-VM view of the queues whose host-side counterparts (vhost
+        kthreads, softirq contexts) the transfer engine samples under
+        ``cpu.queue_depth``.
+        """
+        registry = metrics if metrics is not None else _active_metrics()
+        depth = self.cpu.queue_depth
+        registry.gauge("vm.vcpu_queue_depth").set(depth, vm=self.name)
+        registry.gauge("vm.vcpu_busy_cores").set(self.cpu.busy_cores,
+                                                 vm=self.name)
+        registry.gauge("vm.virtio_nics").set(len(self.virtio_nics()),
+                                             vm=self.name)
+        return depth
 
     def virtio_nics(self) -> list[VirtioNic]:
         nics = []

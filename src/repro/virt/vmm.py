@@ -25,6 +25,7 @@ from repro.errors import HotplugError, TopologyError
 from repro.net.addresses import MacAddress
 from repro.net.bridge import Bridge
 from repro.net.devices import HostloEndpoint, HostloTap, TapDevice, VirtioNic
+from repro.obs import metrics as _active_metrics
 from repro.virt.host import PhysicalHost
 from repro.virt.qmp import QmpChannel
 from repro.virt.vm import VirtualMachine
@@ -34,6 +35,10 @@ from repro.virt.vm import VirtualMachine
 PCI_PROBE_MEAN_S = 22.0e-3
 PCI_PROBE_SIGMA = 0.95
 PCI_PROBE_CYCLES = 480_000
+
+#: Buckets (seconds) for the hot-plug latency histogram: QMP round
+#: trips are single-digit ms; PCI probe + udev settle dominates.
+HOTPLUG_BUCKETS = (0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2, 0.5)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -123,12 +128,18 @@ class Vmm:
         """Timed NIC hot-plug through QMP (process; returns the NIC)."""
         if not vm.running:
             raise HotplugError(f"VM {vm.name} is not running")
+        tracer = self.host.env.tracer
+        started = self.host.env.now
+        span = None
+        if tracer.enabled:
+            span = tracer.begin("virt.hotplug", f"nic:{vm.name}", kind="nic")
         qmp = self.qmp[vm.name]
         yield from qmp.execute("netdev_add", id=f"net-{self._tap_seq}")
         nic = self._provision_nic(vm, bridge, guest_name)
         yield from qmp.execute("device_add", driver="virtio-net-pci",
                                mac=str(nic.mac))
         yield from self._guest_probe(vm)
+        self._record_hotplug("nic", started, span, mac=str(nic.mac))
         return nic
 
     def remove_nic(self, vm: VirtualMachine, mac: MacAddress) -> None:
@@ -188,6 +199,12 @@ class Vmm:
         for vm in vms:
             if not vm.running:
                 raise HotplugError(f"VM {vm.name} is not running")
+        tracer = self.host.env.tracer
+        started = self.host.env.now
+        span = None
+        if tracer.enabled:
+            span = tracer.begin("virt.hotplug", f"hostlo:{name}",
+                                kind="hostlo", vms=len(vms))
         # One ioctl-backed TAP creation, then a device_add per VM.
         yield from self.qmp[vms[0].name].execute("netdev_add", id=name)
         handle = self.create_hostlo(name, vms)
@@ -197,6 +214,7 @@ class Vmm:
                 mac=str(handle.endpoints[vm.name].mac),
             )
             yield from self._guest_probe(vm)
+        self._record_hotplug("hostlo", started, span, queues=len(vms))
         return handle
 
     def hostlo(self, name: str) -> HostloHandle:
@@ -215,6 +233,17 @@ class Vmm:
         del self._hostlos[name]
 
     # -- internals -----------------------------------------------------------------
+    def _record_hotplug(self, kind: str, started: float, span,
+                        **attrs) -> None:
+        """Close the hot-plug span and feed the latency histogram."""
+        elapsed = self.host.env.now - started
+        _active_metrics().histogram(
+            "virt.hotplug_latency_s", HOTPLUG_BUCKETS,
+            help="end-to-end device hot-plug latency (QMP + guest probe)",
+        ).observe(elapsed, kind=kind)
+        if span is not None:
+            self.host.env.tracer.end(span, latency_s=elapsed, **attrs)
+
     def _provision_nic(
         self, vm: VirtualMachine, bridge: str | None, guest_name: str | None
     ) -> VirtioNic:

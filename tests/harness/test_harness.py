@@ -147,3 +147,41 @@ class TestCli:
         assert (tmp_path / "j" / "table02.json").exists()
         csv_text = (tmp_path / "c" / "table02.csv").read_text()
         assert "24xlarge" in csv_text
+
+    def test_trace_export(self, tmp_path, capsys):
+        import json
+
+        from repro.harness.__main__ import main
+
+        assert main([
+            "fig02", "--preset", "quick", "--trace", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "ui.perfetto.dev" in out
+
+        # Chrome trace_event JSON: well-formed, with complete events.
+        trace = json.loads((tmp_path / "fig02.trace.json").read_text())
+        events = trace["traceEvents"]
+        assert events and any(e.get("ph") == "X" for e in events)
+        assert all({"ph", "pid"} <= set(e) for e in events)
+
+        # JSONL span dump: every line parses and has the core fields.
+        lines = (tmp_path / "fig02.spans.jsonl").read_text().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert {"kind", "cat", "name", "ts", "dur", "run"} <= set(record)
+
+        # Metrics dump: Prometheus-flavoured text.
+        metrics_text = (tmp_path / "fig02.metrics.txt").read_text()
+        assert "# TYPE" in metrics_text
+
+    def test_trace_leaves_no_active_tracer(self, tmp_path, capsys):
+        from repro import obs
+        from repro.harness.__main__ import main
+
+        assert main(["fig02", "--preset", "quick",
+                     "--trace", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert obs.tracer() is obs.NULL

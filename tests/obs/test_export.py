@@ -1,0 +1,148 @@
+"""Exporters: JSONL span dump, Chrome trace_event, text summary."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.export import (
+    chrome_trace,
+    iter_records,
+    span_record,
+    summary,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def make_tracer():
+    """A tiny two-span, one-event trace."""
+    tr = Tracer()
+    tr.new_run()
+    tr.now = 0.0
+    outer = tr.begin("datapath.transfer", "a->b", nbytes=1024)
+    stage = tr.begin("datapath.stage", "vhost_tx", parent=outer,
+                     domain="kthread:host:vhost:tap0", cycles=1200)
+    tr.now = 1e-5
+    tr.end(stage)
+    tr.event("forward.send", "a->b", delivered=True)
+    tr.now = 2e-5
+    tr.end(outer)
+    return tr
+
+
+class TestSpanRecord:
+    def test_record_shape(self):
+        tr = make_tracer()
+        outer = tr.spans[0]
+        record = span_record(outer)
+        assert record["kind"] == "span"
+        assert record["cat"] == "datapath.transfer"
+        assert record["name"] == "a->b"
+        assert record["ts"] == 0.0
+        assert record["dur"] == pytest.approx(2e-5)
+        assert record["run"] == 1
+        assert record["attrs"] == {"nbytes": 1024}
+        assert "parent" not in record
+
+    def test_parent_included(self):
+        tr = make_tracer()
+        stage = tr.spans[1]
+        record = span_record(stage)
+        assert record["parent"] == tr.spans[0].sid
+
+    def test_iter_records_sorted_and_complete(self):
+        tr = make_tracer()
+        records = list(iter_records(tr))
+        assert len(records) == 3  # 2 spans + 1 event
+        stamps = [(r["run"], r["ts"], r["sid"]) for r in records]
+        assert stamps == sorted(stamps)
+        assert {r["kind"] for r in records} == {"span", "event"}
+
+
+class TestJsonl:
+    def test_every_line_parses(self, tmp_path):
+        path = write_spans_jsonl(make_tracer(), tmp_path / "spans.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert {"kind", "cat", "name", "ts", "dur", "run"} <= set(record)
+
+    def test_non_json_attrs_coerced(self, tmp_path):
+        class Funny:
+            def __str__(self):
+                return "funny"
+
+        tr = Tracer()
+        tr.end(tr.begin("c", "x", obj=Funny()))
+        path = write_spans_jsonl(tr, tmp_path / "s.jsonl")
+        assert json.loads(path.read_text())["attrs"]["obj"] == "funny"
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = chrome_trace(make_tracer())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 2
+        assert len(instants) == 1
+        assert all("pid" in e and "tid" in e for e in complete + instants)
+
+    def test_timestamps_scaled_to_microseconds(self):
+        trace = chrome_trace(make_tracer())
+        stage = next(e for e in trace["traceEvents"]
+                     if e.get("name") == "vhost_tx")
+        assert stage["ts"] == 0.0
+        assert stage["dur"] == pytest.approx(10.0)  # 1e-5 s = 10 us
+
+    def test_domain_becomes_thread(self):
+        trace = chrome_trace(make_tracer())
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "kthread:host:vhost:tap0" in names
+        assert "datapath.transfer" in names  # no domain -> category track
+
+    def test_process_named_per_run(self):
+        trace = chrome_trace(make_tracer())
+        procs = [e for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert procs and procs[0]["args"]["name"] == "sim-run-1"
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(make_tracer(), tmp_path / "t.trace.json")
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded["traceEvents"], list)
+
+
+class TestSummary:
+    def test_groups_and_ranks_by_sim_time(self):
+        text = summary(make_tracer())
+        lines = text.splitlines()
+        assert "top 2 of 2 span groups" in lines[0]
+        assert "(2 spans, 1 events)" in lines[0]
+        # transfer (20 us) outranks the stage (10 us)
+        assert lines.index(
+            next(l for l in lines if "datapath.transfer:a->b" in l)
+        ) < lines.index(next(l for l in lines if "vhost_tx" in l))
+        assert "cycles" in lines[1]  # cycles column present when attr set
+
+    def test_top_limits_rows(self):
+        tr = Tracer()
+        for i in range(5):
+            tr.end(tr.begin("c", f"n{i}"))
+        text = summary(tr, top=2)
+        assert "top 2 of 5 span groups" in text
+
+    def test_empty_trace(self):
+        tr = Tracer()
+        tr.event("c", "x")
+        assert summary(tr) == "(no spans recorded; 1 events)"
+
+    def test_wall_column_when_profiling(self):
+        tr = Tracer(self_profile=True)
+        tr.end(tr.begin("c", "x"))
+        assert "wall total" in summary(tr)

@@ -1,0 +1,160 @@
+"""Metrics registry: counters, gauges, histograms, rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_labels_make_separate_series(self):
+        c = MetricsRegistry().counter("hops")
+        c.inc(vm="vm0")
+        c.inc(vm="vm0")
+        c.inc(vm="vm1")
+        assert c.value(vm="vm0") == 2
+        assert c.value(vm="vm1") == 1
+        assert c.value(vm="vm9") == 0
+
+    def test_label_order_is_irrelevant(self):
+        c = MetricsRegistry().counter("x")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(4, cpu="0")
+        g.add(-1, cpu="0")
+        assert g.value(cpu="0") == 3
+
+    def test_peak_tracks_maximum(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(2)
+        g.set(7)
+        g.set(1)
+        assert g.value() == 1
+        assert g.peak() == 7
+
+    def test_unset_series_reads_zero(self):
+        g = MetricsRegistry().gauge("depth")
+        assert g.value(cpu="9") == 0.0
+        assert g.peak(cpu="9") == 0.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_stats(self):
+        h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 2.0):
+            h.observe(value)
+        assert h.count() == 5
+        assert h.total() == pytest.approx(2.605)
+        assert h.mean() == pytest.approx(2.605 / 5)
+        series = h.series()[()]
+        assert series["buckets"] == {0.01: 1, 0.1: 2, 1.0: 1}
+        assert series["overflow"] == 1
+        assert series["min"] == pytest.approx(0.005)
+        assert series["max"] == pytest.approx(2.0)
+
+    def test_quantile_answers_bucket_upper_bound(self):
+        h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for _ in range(99):
+            h.observe(0.05)
+        h.observe(0.5)
+        assert h.quantile(0.5) == 0.1
+        assert h.quantile(0.99) == 0.1
+        assert h.quantile(1.0) == 1.0
+
+    def test_quantile_of_overflow_is_observed_max(self):
+        h = Histogram("lat", buckets=(0.01,))
+        h.observe(5.0)
+        assert h.quantile(1.0) == 5.0
+
+    def test_quantile_range_checked(self):
+        h = Histogram("lat")
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=(0.1, 0.1))
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=())
+
+    def test_default_buckets(self):
+        h = Histogram("lat")
+        assert h.buckets == DEFAULT_BUCKETS
+
+    def test_empty_series_reads_zero(self):
+        h = Histogram("lat")
+        assert h.count() == 0
+        assert h.mean() == 0.0
+        assert h.quantile(0.99) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("x")
+
+    def test_names_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ("a", "b")
+        assert reg.get("a").kind == "gauge"
+        with pytest.raises(ConfigurationError):
+            reg.get("zzz")
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(vm="vm0")
+        reg.gauge("g").set(3)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["series"] == {'{vm="vm0"}': 1.0}
+        assert snap["g"]["series"] == {"{}": 3.0}
+        assert snap["h"]["series"]["{}"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serialisable
+
+    def test_render_text(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="things").inc(2, vm="vm0")
+        reg.histogram("h", buckets=(0.1, 1.0)).observe(0.05, kind="nic")
+        text = reg.render_text()
+        assert "# TYPE c counter" in text
+        assert "# HELP c things" in text
+        assert 'c{vm="vm0"} 2' in text
+        assert 'h_count{kind="nic"} 1' in text
+        assert 'h_bucket{kind="nic",le="0.1"} 1' in text
+        assert 'h_bucket{kind="nic",le="1"} 0' in text
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == ""

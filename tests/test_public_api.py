@@ -30,6 +30,7 @@ def test_subpackages_import():
     import repro.harness
     import repro.metrics
     import repro.net
+    import repro.obs
     import repro.orchestrator
     import repro.sim
     import repro.traces
