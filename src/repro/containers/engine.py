@@ -90,7 +90,7 @@ class ContainerEngine:
         container = self.container(name)
         container.mark_stopped()
         if container.network_mode == "bridge":
-            self._teardown_bridge_network(container)
+            self.teardown_bridge_network(container)
         del self.containers[name]
 
     # -- docker0 bridge + NAT (the paper's "NAT" baseline) ---------------------
@@ -135,21 +135,28 @@ class ContainerEngine:
         container.network_mode = "bridge"
         return address
 
-    def _teardown_bridge_network(self, container: Container) -> None:
+    def teardown_bridge_network(self, container: Container) -> None:
+        """Undo :meth:`setup_bridge_network` (veth, bridge port, DNAT).
+
+        Idempotent: tearing down an unwired container is a no-op, so
+        CNI ``detach`` and :meth:`remove_container` can both call it.
+        """
         dev = container.netns.devices.get("eth0")
-        if dev is None or dev.peer is None:
-            return
-        peer = dev.peer
-        address = dev.primary_ip
-        if peer.bridge is not None:
-            peer.bridge.remove_port(peer)
-        if peer.namespace is not None:
-            peer.namespace.detach(peer)
-        container.netns.detach(dev)
-        # Retract publish rules that pointed at this container.
-        if address is not None:
-            nf = self.vm.ns.netfilter
-            nf.dnat_rules = [r for r in nf.dnat_rules if r.to_ip != address]
+        if dev is not None and getattr(dev, "peer", None) is not None:
+            peer = dev.peer
+            address = dev.primary_ip
+            if peer.bridge is not None:
+                peer.bridge.remove_port(peer)
+            if peer.namespace is not None:
+                peer.namespace.detach(peer)
+            container.netns.detach(dev)
+            # Retract publish rules that pointed at this container.
+            if address is not None:
+                nf = self.vm.ns.netfilter
+                nf.dnat_rules = [r for r in nf.dnat_rules
+                                 if r.to_ip != address]
+        if container.network_mode == "bridge":
+            container.network_mode = "none"
 
     # -- provided NIC (BrFusion / hostlo endpoint adoption) ----------------------
     def adopt_nic(

@@ -38,8 +38,40 @@ class CapacityError(SchedulingError):
 
 
 class HotplugError(ReproError):
-    """The VMM could not hot-plug or hot-unplug a device."""
+    """The VMM could not hot-plug or hot-unplug a device.
+
+    Carries the failing VM and device identifier when known so recovery
+    code (and humans reading traces) can tell *which* hot-plug failed.
+    ``retryable=False`` marks deterministic failures — e.g. an exhausted
+    vNIC budget — that retrying cannot fix; recovery should fall back
+    immediately instead of burning its retry budget.
+    """
+
+    def __init__(self, message: str, *, vm: str | None = None,
+                 device: str | None = None, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.vm = vm
+        self.device = device
+        self.retryable = retryable
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = ", ".join(
+            f"{key}={value}" for key, value in
+            (("vm", self.vm), ("device", self.device)) if value is not None
+        )
+        return f"{base} [{context}]" if context else base
 
 
 class ContainerError(ReproError):
     """Container engine failure (unknown image, duplicate name, ...)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or injector was misconfigured (unknown fault kind,
+    bad probability/window, malformed plan file)."""
+
+
+class RecoveryExhaustedError(ReproError):
+    """Every recovery avenue for an operation failed: retries ran out
+    and no fallback applied (or the fallback itself failed)."""

@@ -1,0 +1,98 @@
+"""Deterministic fault injection & recovery (the chaos layer).
+
+The simulator's other packages model the happy path; this one breaks
+it on purpose — reproducibly.  Three pieces:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan` /
+  :class:`FaultSpec` (kind, target glob, probability/window/schedule),
+  JSON-serialisable so a chaos scenario is a file.
+* :mod:`repro.faults.injectors` — the :class:`FaultInjector` runtime
+  that injection sites across virt/net/orchestrator query, plus the
+  :class:`ChaosController` that executes scheduled faults (VM crashes,
+  link partitions) as simulation processes.
+* :mod:`repro.faults.recovery` — :class:`RetryPolicy` /
+  :class:`RecoveryPolicy`, the bounded-retry/backoff/fallback policy
+  the orchestrator applies when wiring fails.
+
+Like :mod:`repro.obs`, one **active injector** is held as a module
+global, defaulting to the no-op :data:`NULL`; sites guard with
+``if inj.enabled:`` so an un-chaosed run pays almost nothing::
+
+    plan = FaultPlan.load("plan.json")
+    inj = FaultInjector(plan, host.rng.stream("faults"),
+                        now_fn=lambda: env.now)
+    with faults.use(inj):
+        ...deploy pods, run the experiment...
+
+Determinism contract: the injector draws only from its own named RNG
+stream, so the same seed + the same plan yields the identical fault
+sequence, and enabling chaos never changes any other component's
+draws.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing as t
+
+from repro.faults.injectors import (
+    NULL,
+    ChaosController,
+    FaultInjector,
+    InjectorLike,
+    NullInjector,
+)
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.recovery import RecoveryPolicy, RetryPolicy
+
+_INJECTOR: InjectorLike = NULL
+
+
+def injector() -> InjectorLike:
+    """The active injector (the no-op :data:`NULL` unless installed)."""
+    return _INJECTOR
+
+
+def install(injector: InjectorLike) -> None:
+    """Swap in an active fault injector."""
+    global _INJECTOR
+    _INJECTOR = injector
+
+
+def uninstall() -> None:
+    """Back to the default: the no-op injector."""
+    global _INJECTOR
+    _INJECTOR = NULL
+
+
+@contextlib.contextmanager
+def use(active: InjectorLike) -> t.Iterator[InjectorLike]:
+    """Install *active* for the enclosed block, then restore.
+
+    Nested uses restore correctly, so tests and stacked chaos runs
+    never leak an injector into later code.
+    """
+    previous = _INJECTOR
+    install(active)
+    try:
+        yield active
+    finally:
+        install(previous)
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "NULL",
+    "ChaosController",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectorLike",
+    "NullInjector",
+    "RecoveryPolicy",
+    "RetryPolicy",
+    "injector",
+    "install",
+    "uninstall",
+    "use",
+]

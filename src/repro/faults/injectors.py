@@ -1,0 +1,213 @@
+"""The fault injector: the runtime that decides "does it break *now*?".
+
+Injection sites across the stack (the QMP channel, the VMM's NIC
+provisioning, the frame forwarder, the node agent) ask the *active*
+injector — :func:`repro.faults.injector` — whether a fault of some kind
+fires against their component.  Like the observability layer, the
+default is a shared no-op :data:`NULL` injector with ``enabled =
+False``; sites guard themselves with ``if inj.enabled:`` so an
+un-chaosed run pays one attribute load and one branch per site.
+
+Determinism: the injector owns exactly one RNG stream (by convention
+``rng.stream("faults")`` of the testbed's :class:`~repro.sim.RngRegistry`)
+and draws from it only when a matching probabilistic spec is
+considered, so the same seed and the same plan replay the same faults —
+and no other stream in the simulator ever sees a different draw
+sequence because chaos was switched on.
+
+Scheduled faults (VM crashes, link partitions) cannot be queried
+inline — nobody polls a crashed VM.  The :class:`ChaosController`
+turns those specs into simulation processes that execute them at their
+``at`` times and hand recovery to the orchestrator.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from fnmatch import fnmatchcase
+
+from repro.obs import metrics as _active_metrics
+from repro.obs import tracer as _active_tracer
+from repro.faults.plan import FaultPlan, FaultSpec
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.links import PhysicalLink
+    from repro.orchestrator.cluster import Orchestrator
+    from repro.sim import Environment
+    from repro.virt.vmm import Vmm
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against injection-site queries.
+
+    Parameters
+    ----------
+    plan: the declarative fault plan.
+    rng: a dedicated ``numpy`` generator — pass a *named stream* from
+        the testbed's :class:`~repro.sim.RngRegistry` (conventionally
+        ``rng.stream("faults")``) so the chaos draws are isolated.
+    now_fn: optional clock, usually ``lambda: env.now``; sites without
+        one only match windowless specs.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan, rng: t.Any,
+                 now_fn: t.Callable[[], float] | None = None) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.now_fn = now_fn
+        self._hits: dict[int, int] = {}
+        self._by_kind: dict[str, list[tuple[int, FaultSpec]]] = {}
+        for index, spec in enumerate(plan.inline):
+            self._by_kind.setdefault(spec.kind, []).append((index, spec))
+
+    # -- core query --------------------------------------------------------
+    def fires(self, kind: str, target: str, *,
+              now: float | None = None, **attrs: t.Any) -> FaultSpec | None:
+        """Does a *kind* fault fire against *target* right now?
+
+        Returns the matched spec (its ``args`` parameterise the fault)
+        or ``None``.  A hit is recorded as a ``fault.<kind>`` trace
+        event and a ``fault.injected_total`` counter increment.
+        """
+        candidates = self._by_kind.get(kind)
+        if not candidates:
+            return None
+        if now is None and self.now_fn is not None:
+            now = self.now_fn()
+        for index, spec in candidates:
+            if not fnmatchcase(target, spec.target):
+                continue
+            if not spec.in_window(now):
+                continue
+            if (spec.max_hits is not None
+                    and self._hits.get(index, 0) >= spec.max_hits):
+                continue
+            if spec.probability < 1.0 and not (
+                    float(self.rng.random()) < spec.probability):
+                continue
+            self._hits[index] = self._hits.get(index, 0) + 1
+            self.record(kind, target, **attrs)
+            return spec
+        return None
+
+    def hit_count(self, kind: str | None = None) -> int:
+        """How many inline faults fired (optionally of one kind)."""
+        if kind is None:
+            return sum(self._hits.values())
+        inline = list(self.plan.inline)
+        return sum(n for i, n in self._hits.items() if inline[i].kind == kind)
+
+    def record(self, kind: str, target: str, **attrs: t.Any) -> None:
+        """Emit the observability record for one injected fault.
+
+        Also used by the :class:`ChaosController` for scheduled faults
+        so every injection — inline or scheduled — lands in the same
+        ``fault.*`` event namespace and counter.
+        """
+        _active_metrics().counter(
+            "fault.injected_total", help="faults injected, by kind",
+        ).inc(kind=kind, target=target)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event(f"fault.{kind}", target, **attrs)
+
+
+class NullInjector:
+    """The disabled injector: nothing ever breaks."""
+
+    enabled = False
+    plan = FaultPlan()
+
+    def fires(self, kind: str, target: str, *,
+              now: float | None = None, **attrs: t.Any) -> None:
+        return None
+
+    def hit_count(self, kind: str | None = None) -> int:
+        return 0
+
+    def record(self, kind: str, target: str, **attrs: t.Any) -> None:
+        pass
+
+
+#: The shared disabled injector installed by default.
+NULL = NullInjector()
+
+#: Anything an injection site may hold.
+InjectorLike = t.Union[FaultInjector, NullInjector]
+
+
+class ChaosController:
+    """Executes a plan's *scheduled* faults as simulation processes.
+
+    ``vm.crash`` specs crash the matching VMs at ``at`` and invoke the
+    orchestrator's crash recovery (pod re-scheduling); ``link.partition``
+    specs take matching links down at ``at`` and bring them back after
+    ``duration`` (if given).  Call :meth:`start` once the topology is
+    built, before ``env.run``.
+    """
+
+    def __init__(self, env: "Environment", vmm: "Vmm",
+                 orch: "Orchestrator | None" = None,
+                 plan: FaultPlan | None = None,
+                 injector: InjectorLike = NULL,
+                 links: t.Sequence["PhysicalLink"] = ()) -> None:
+        self.env = env
+        self.vmm = vmm
+        self.orch = orch
+        self.plan = plan if plan is not None else injector.plan
+        self.injector = injector
+        self.links = list(links)
+        self.executed: list[tuple[str, str, float]] = []
+
+    def start(self) -> int:
+        """Spawn one process per scheduled spec; returns how many."""
+        count = 0
+        for spec in self.plan.scheduled:
+            self.env.process(self._execute_at(spec))
+            count += 1
+        return count
+
+    def _execute_at(self, spec: FaultSpec) -> t.Generator:
+        assert spec.at is not None
+        if spec.at > self.env.now:
+            yield self.env.timeout(spec.at - self.env.now)
+        if spec.kind == "vm.crash":
+            crashed = self._crash_vms(spec)
+            if spec.duration is not None and crashed:
+                yield self.env.timeout(spec.duration)
+                for name in crashed:
+                    self.vmm.restart_vm(name)
+                    if self.orch is not None and name in self.orch.nodes:
+                        self.orch.mark_node_ready(name)
+                    self.executed.append(("vm.restart", name, self.env.now))
+        elif spec.kind == "link.partition":
+            yield from self._partition_links(spec)
+
+    def _crash_vms(self, spec: FaultSpec) -> list[str]:
+        crashed: list[str] = []
+        for name in sorted(self.vmm.vms):
+            vm = self.vmm.vms[name]
+            if not fnmatchcase(name, spec.target) or not vm.running:
+                continue
+            self.vmm.crash_vm(name)
+            self.injector.record("vm.crash", name, at=self.env.now)
+            self.executed.append(("vm.crash", name, self.env.now))
+            crashed.append(name)
+            if self.orch is not None and name in self.orch.nodes:
+                self.orch.handle_vm_crash(name)
+        return crashed
+
+    def _partition_links(self, spec: FaultSpec) -> t.Generator:
+        hit = [link for link in self.links
+               if fnmatchcase(link.name, spec.target) and link.up]
+        for link in hit:
+            link.set_down()
+            self.injector.record("link.partition", link.name,
+                                 at=self.env.now, duration=spec.duration)
+            self.executed.append(("link.partition", link.name, self.env.now))
+        if spec.duration is not None and hit:
+            yield self.env.timeout(spec.duration)
+            for link in hit:
+                link.set_up()

@@ -1,0 +1,224 @@
+"""Declarative fault plans: what breaks, where, when, how often.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` entries.
+Each spec names a *kind* (one of :data:`FAULT_KINDS`), a *target*
+selector (an ``fnmatch`` glob matched against the component name the
+injection site reports — a VM name, a bridge name, a link name), and a
+firing rule: a probability per opportunity, an optional simulated-time
+window (``after``/``until``), an optional one-shot time (``at``, used
+by scheduled faults like VM crashes) and an optional hit budget
+(``max_hits``).
+
+Plans are plain data — they serialise to/from JSON so a chaos run can
+be described in a file and replayed bit-identically (see
+``python -m repro.harness chaos --faults PLAN.json``).  All randomness
+lives in the :class:`~repro.faults.injectors.FaultInjector`, which
+draws from its own named stream of :class:`repro.sim.RngRegistry`, so
+adding or removing faults never perturbs any other stochastic
+component of the simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing as t
+
+from repro.errors import FaultInjectionError
+
+#: Every fault kind an injection site understands.
+FAULT_KINDS = frozenset({
+    # virt layer
+    "qmp.error",        # QMP command fails (HotplugError from the channel)
+    "qmp.latency",      # QMP command latency spike (multiplier in args)
+    "hotplug.refuse",   # VMM refuses to provision a NIC for a VM
+    "vm.crash",         # scheduled VM crash (driven by the ChaosController)
+    # net layer
+    "link.loss",        # per-frame loss on a physical link
+    "link.partition",   # scheduled link down/up (ChaosController)
+    "frame.drop",       # per-frame drop at a named bridge
+    "hostlo.drop",      # per-frame drop on a hostlo tap's queues
+    # orchestrator layer
+    "agent.stall",      # the in-VM node agent stalls during configure
+})
+
+#: Kinds the :class:`~repro.faults.injectors.ChaosController` executes
+#: on a schedule (``at`` required) rather than sites querying inline.
+SCHEDULED_KINDS = frozenset({"vm.crash", "link.partition"})
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault: kind + target selector + firing rule.
+
+    Parameters
+    ----------
+    kind: one of :data:`FAULT_KINDS`.
+    target: ``fnmatch`` glob against the component name (``"vm*"``,
+        ``"virbr0"``, ``"*"``).
+    probability: chance of firing per matching opportunity, in
+        ``[0, 1]``.  Scheduled kinds ignore it.
+    at: simulated time of a scheduled fault (required for
+        :data:`SCHEDULED_KINDS`, meaningless otherwise).
+    after / until: simulated-time window outside which the spec never
+        fires.  Sites with no clock only match windowless specs.
+    duration: for ``link.partition``: how long the link stays down
+        (``None`` = forever).
+    max_hits: total firing budget (``None`` = unlimited).
+    args: free-form knobs, e.g. ``{"multiplier": 20}`` for
+        ``qmp.latency``.
+    """
+
+    kind: str
+    target: str = "*"
+    probability: float = 1.0
+    at: float | None = None
+    after: float | None = None
+    until: float | None = None
+    duration: float | None = None
+    max_hits: int | None = None
+    args: tuple[tuple[str, t.Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r} "
+                f"(have: {sorted(FAULT_KINDS)})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultInjectionError(
+                f"{self.kind}: probability must be in [0, 1], "
+                f"got {self.probability!r}"
+            )
+        if self.kind in SCHEDULED_KINDS and self.at is None:
+            raise FaultInjectionError(
+                f"{self.kind}: scheduled faults need an 'at' time"
+            )
+        for bound in (self.at, self.after, self.until, self.duration):
+            if bound is not None and bound < 0:
+                raise FaultInjectionError(
+                    f"{self.kind}: times must be non-negative"
+                )
+        if (self.after is not None and self.until is not None
+                and self.until < self.after):
+            raise FaultInjectionError(
+                f"{self.kind}: until={self.until} precedes after={self.after}"
+            )
+        if self.max_hits is not None and self.max_hits < 1:
+            raise FaultInjectionError(
+                f"{self.kind}: max_hits must be >= 1"
+            )
+        # Normalise args to a sorted tuple so specs stay hashable and
+        # plans compare/serialise deterministically.
+        object.__setattr__(
+            self, "args",
+            tuple(sorted((str(k), v) for k, v in dict(self.args).items())),
+        )
+
+    def arg(self, name: str, default: t.Any = None) -> t.Any:
+        for key, value in self.args:
+            if key == name:
+                return value
+        return default
+
+    def in_window(self, now: float | None) -> bool:
+        """Is *now* inside this spec's firing window?
+
+        Sites without a clock pass ``None``: only windowless specs
+        match (a time-gated fault cannot fire where time is unknown).
+        """
+        if now is None:
+            return self.after is None and self.until is None
+        if self.after is not None and now < self.after:
+            return False
+        if self.until is not None and now > self.until:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, t.Any]:
+        out: dict[str, t.Any] = {"kind": self.kind, "target": self.target}
+        if self.probability != 1.0:
+            out["probability"] = self.probability
+        for field in ("at", "after", "until", "duration", "max_hits"):
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "FaultSpec":
+        if "kind" not in data:
+            raise FaultInjectionError(f"fault spec without a kind: {data!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultInjectionError(
+                f"fault spec has unknown keys {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "args" in kwargs:
+            kwargs["args"] = tuple(kwargs["args"].items())
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault specs plus an optional description."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    description: str = ""
+
+    def __iter__(self) -> t.Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def of_kind(self, *kinds: str) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind in kinds)
+
+    @property
+    def scheduled(self) -> tuple[FaultSpec, ...]:
+        """The specs the ChaosController must execute on a schedule."""
+        return tuple(s for s in self.specs if s.kind in SCHEDULED_KINDS)
+
+    @property
+    def inline(self) -> tuple[FaultSpec, ...]:
+        """The specs injection sites query inline."""
+        return tuple(s for s in self.specs if s.kind not in SCHEDULED_KINDS)
+
+    def to_dict(self) -> dict[str, t.Any]:
+        out: dict[str, t.Any] = {"faults": [s.to_dict() for s in self.specs]}
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "FaultPlan":
+        if "faults" not in data or not isinstance(data["faults"], list):
+            raise FaultInjectionError(
+                "a fault plan needs a 'faults' list of specs"
+            )
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in data["faults"]),
+            description=str(data.get("description", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultInjectionError(f"malformed fault plan JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        return cls.from_json(pathlib.Path(path).read_text())

@@ -1,0 +1,81 @@
+"""Recovery policies: bounded retry with backoff, fallback routing.
+
+The fault subsystem exposes what the happy-path orchestrator was
+missing: when a hot-plug fails, *something* has to decide how many
+times to retry, how long to wait between attempts, and what to do when
+retries run out.  That decision is policy, not mechanism, so it lives
+here as plain data the orchestrator consumes (see
+:meth:`repro.orchestrator.cluster.Orchestrator._attach_with_recovery`).
+
+Backoff jitter draws from a named RNG stream (conventionally
+``rng.stream("recovery")``), so recovery timing is reproducible and —
+like fault injection itself — never perturbs any other stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter: classic bounded retry.
+
+    ``max_attempts`` counts the first try too: 4 attempts = 1 try +
+    3 retries.  Delay before retry *i* (1-based) is
+    ``base_delay_s * multiplier**(i-1)``, scaled by a uniform jitter
+    factor in ``[1 - jitter, 1 + jitter]`` and capped at
+    ``max_delay_s``.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 2.0e-3
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    max_delay_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, rng: t.Any | None = None) -> float:
+        """Delay before retry number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1: {attempt!r}")
+        delay = min(self.base_delay_s * self.multiplier ** (attempt - 1),
+                    self.max_delay_s)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the orchestrator does when wiring a pod fails.
+
+    ``fallbacks`` maps a CNI plugin name to the plugin to degrade to
+    once retries are exhausted — the paper-shaped default degrades
+    BrFusion's fast path to the NAT slow path, which keeps the pod
+    schedulable at the cost of the duplicated guest networking layer
+    (the same operability argument ONCache makes for its fast/slow
+    path split).  An empty mapping disables fallback; retries alone
+    still apply.
+    """
+
+    retry: RetryPolicy = dataclasses.field(default_factory=RetryPolicy)
+    fallbacks: tuple[tuple[str, str], ...] = (("brfusion", "nat"),)
+
+    def fallback_for(self, plugin_name: str) -> str | None:
+        for name, fallback in self.fallbacks:
+            if plugin_name == name or plugin_name.startswith(f"{name}-"):
+                return fallback
+        return None

@@ -9,11 +9,13 @@ Usage::
     python -m repro.harness fig09 --json out/  # also write out/fig09.json
     python -m repro.harness fig04 --csv out/   # also write out/fig04.csv
     python -m repro.harness fig04 --trace out/ # Perfetto trace + span dump
+    python -m repro.harness chaos --faults examples/faults_plan.json
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 import time
@@ -45,6 +47,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace the run; write <DIR>/<experiment>"
                              ".trace.json (Chrome/Perfetto), .spans.jsonl "
                              "and .metrics.txt")
+    parser.add_argument("--faults", metavar="PLAN.json",
+                        help="fault plan for the chaos experiment "
+                             "(replaces its built-in scenarios)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -53,6 +58,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     config = ExperimentConfig.preset(args.preset)
+    if args.faults:
+        config = dataclasses.replace(config, fault_plan=args.faults)
     ids = args.experiments or sorted(EXPERIMENTS)
     for experiment in ids:
         start = time.perf_counter()

@@ -33,6 +33,9 @@ class ExperimentConfig:
     wrk2_connections: int = 100
     boot_runs: int = 100
     trace_users: int = 492
+    #: Path to a JSON fault plan for the ``chaos`` experiment
+    #: (``--faults PLAN.json``); ``None`` runs the built-in scenarios.
+    fault_plan: str | None = None
 
     def __post_init__(self) -> None:
         if self.stream_duration_s <= 0 or self.macro_duration_s <= 0:

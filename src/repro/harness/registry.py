@@ -12,6 +12,7 @@ from repro.obs.export import summary, write_chrome_trace, write_spans_jsonl
 from repro.harness import (
     ablations,
     analytic,
+    chaos,
     fig02,
     fig04,
     fig05,
@@ -53,6 +54,8 @@ EXPERIMENTS: dict[str, Runner] = {
     "ablation_scheduler_policy": ablations.run_scheduler_policy,
     "online_cost": online.run,
     "analytic_check": analytic.run,
+    # Fault injection & recovery (extension beyond the paper's figures).
+    "chaos": chaos.run,
 }
 
 

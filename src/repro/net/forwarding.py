@@ -19,6 +19,7 @@ import itertools
 import typing as t
 
 from repro.errors import TopologyError
+from repro.faults import injector as _active_injector
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.obs import tracer as _active_tracer
 from repro.net.bridge import Bridge
@@ -226,6 +227,13 @@ class ForwardingEngine:
         if link is None:
             frame.note(f"drop:uncabled:{egress.name}")
             return None
+        if not link.up:
+            frame.note(f"drop:link-partitioned:{link.name}")
+            return None
+        inj = _active_injector()
+        if inj.enabled and inj.fires("link.loss", link.name) is not None:
+            frame.note(f"drop:fault-link:{link.name}")
+            return None
         peer = link.peer_of(egress)
         frame.note(f"wire:{link.name}:{egress.name}->{peer.name}")
         if peer.bridge is not None:
@@ -238,6 +246,10 @@ class ForwardingEngine:
         """Learning-switch behaviour: learn, look up, forward or flood."""
         if ingress is not None and frame.src_mac is not None:
             bridge.learn(frame.src_mac, ingress)
+        inj = _active_injector()
+        if inj.enabled and inj.fires("frame.drop", bridge.name) is not None:
+            frame.note(f"drop:fault:{bridge.name}")
+            return None
         frame.note(f"bridge:{bridge.name}")
 
         if bridge.owns_ip(next_hop):
@@ -322,6 +334,10 @@ class ForwardingEngine:
         tap = endpoint.backend
         if not isinstance(tap, HostloTap):
             frame.note(f"drop:no-hostlo-backend:{endpoint.name}")
+            return None
+        inj = _active_injector()
+        if inj.enabled and inj.fires("hostlo.drop", tap.name) is not None:
+            frame.note(f"drop:fault-hostlo:{tap.name}")
             return None
         self.reflect_copies += tap.queue_count
         frame.note(f"hostlo:{tap.name}:x{tap.queue_count}")

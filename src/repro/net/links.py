@@ -44,8 +44,18 @@ class PhysicalLink:
         self.nic_b = nic_b
         self.bandwidth_bps = float(bandwidth_bps)
         self.propagation_s = float(propagation_s)
+        #: Administrative state; a partitioned link carries nothing.
+        self.up = True
         nic_a.link = self
         nic_b.link = self
+
+    def set_down(self) -> None:
+        """Partition the link (cable pulled / switch port down)."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Restore a partitioned link."""
+        self.up = True
 
     @property
     def domain(self) -> str:

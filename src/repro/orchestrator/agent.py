@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.containers.container import Container
 from repro.errors import HotplugError
+from repro.faults import injector as _active_injector
 from repro.net.addresses import Ipv4Address, Ipv4Network, MacAddress
 from repro.orchestrator.node import Node
 
@@ -20,6 +21,7 @@ class VmAgent:
     def __init__(self, node: Node) -> None:
         self.node = node
         self.configured: list[MacAddress] = []
+        self.stalls = 0
 
     def configure_nic(
         self,
@@ -31,10 +33,27 @@ class VmAgent:
         default_route: bool = True,
     ) -> None:
         """Find the device with *mac* and wire it into the pod."""
+        if not self.node.vm.running:
+            raise HotplugError(
+                f"agent on {self.node.name}: VM is down",
+                vm=self.node.name, device=str(mac), retryable=False,
+            )
+        inj = _active_injector()
+        if inj.enabled and inj.fires(
+                "agent.stall", self.node.name, device=str(mac)) is not None:
+            # The agent's netlink work times out; the orchestrator sees
+            # the configure step fail and may retry (the device is still
+            # there, so a retry can succeed).
+            self.stalls += 1
+            raise HotplugError(
+                f"agent on {self.node.name} stalled configuring {mac} "
+                "(injected)", vm=self.node.name, device=str(mac),
+            )
         nic = self.node.vm.find_nic_by_mac(mac)
         if nic is None:
             raise HotplugError(
-                f"agent on {self.node.name}: no device with MAC {mac}"
+                f"agent on {self.node.name}: no device with MAC {mac}",
+                vm=self.node.name, device=str(mac),
             )
         self.node.engine.adopt_nic(
             container, nic, address, network,

@@ -6,9 +6,18 @@ import dataclasses
 import typing as t
 
 from repro.containers.container import Container
-from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    HotplugError,
+    RecoveryExhaustedError,
+    ReproError,
+    SchedulingError,
+)
+from repro.faults.recovery import RecoveryPolicy
 from repro.net.addresses import Ipv4Address, SubnetAllocator, cidr
 from repro.net.namespace import NetworkNamespace
+from repro.obs import metrics as _active_metrics
 from repro.obs import tracer as _active_tracer
 from repro.orchestrator.agent import VmAgent
 from repro.orchestrator.cni import CniPlugin
@@ -76,10 +85,20 @@ class Orchestrator:
         scheduler: MostRequestedScheduler | None = None,
         virtfs_available: bool = True,
         mempipe_available: bool = True,
+        recovery: RecoveryPolicy | None = None,
     ):
         self.vmm = vmm
         self.host = vmm.host
         self.scheduler = scheduler or MostRequestedScheduler()
+        #: How attach failures are handled (bounded retry + fallback).
+        self.recovery = recovery or RecoveryPolicy()
+        # Backoff jitter draws from its own named stream so enabling
+        # recovery never perturbs any other RNG consumer.
+        self._recovery_rng = self.host.rng.stream("recovery:backoff")
+        #: Every recovery action taken, in order — the chaos experiment
+        #: derives its per-run report from this (global metrics would
+        #: bleed across same-process runs).
+        self.recovery_log: list[dict[str, t.Any]] = []
         # §4.3 substrates: cross-VM volumes and shared memory.
         self.virtfs = VirtfsManager(available=virtfs_available)
         self.mempipe = MempipeManager(available=mempipe_available)
@@ -205,7 +224,11 @@ class Orchestrator:
             )
             deployment.containers[cspec.name] = container
 
-        plugin.attach(self, deployment)
+        try:
+            self._attach_with_recovery(plugin, deployment)
+        except ReproError:
+            self._abort_deployment(deployment)
+            raise
         if deployment.is_split:
             self._provision_shared_resources(deployment)
 
@@ -213,6 +236,163 @@ class Orchestrator:
             container.mark_running(self.host.env.now)
         self.deployments[spec.name] = deployment
         return deployment
+
+    # -- recovery --------------------------------------------------------------
+    def _attach_with_recovery(self, plugin: CniPlugin,
+                              deployment: Deployment) -> None:
+        """Wire the pod, surviving hot-plug failures.
+
+        Each failed attempt is rolled back through the plugin's
+        ``detach`` (the attach/detach symmetry contract) and retried
+        after an exponential-backoff delay.  Non-retryable failures —
+        the VM is down, the vNIC budget is spent — skip the remaining
+        retries.  Once retries are exhausted the policy's fallback
+        plugin takes over (BrFusion → NAT by default); if none applies,
+        :class:`RecoveryExhaustedError` carries the last cause.
+
+        ``deploy_pod`` is synchronous, so backoff delays are accounted
+        in the recovery log and the ``recover.backoff_s`` histogram
+        rather than advancing the simulation clock.
+        """
+        retry = self.recovery.retry
+        waited = 0.0
+        attempt = 0
+        last: HotplugError | None = None
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                plugin.attach(self, deployment)
+            except HotplugError as exc:
+                last = exc
+                plugin.detach(self, deployment)  # roll back partial wiring
+                if not exc.retryable or attempt == retry.max_attempts:
+                    break
+                delay = retry.backoff_s(attempt, self._recovery_rng)
+                waited += delay
+                self._record_recovery(
+                    "retry", deployment, plugin.name,
+                    attempt=attempt, backoff_s=delay, error=str(exc))
+                _active_metrics().histogram(
+                    "recover.backoff_s",
+                    help="backoff before an attach retry (s)",
+                ).observe(delay, plugin=plugin.name)
+                continue
+            if attempt > 1:
+                self._record_recovery(
+                    "retry-success", deployment, plugin.name,
+                    attempts=attempt, waited_s=waited)
+                _active_metrics().histogram(
+                    "recover.latency_s",
+                    help="total recovery delay until attach success (s)",
+                ).observe(waited, plugin=plugin.name)
+            return
+        assert last is not None
+        fallback = self.recovery.fallback_for(plugin.name)
+        if fallback is not None and not deployment.is_split:
+            self._record_recovery(
+                "fallback", deployment, plugin.name,
+                to=fallback, attempts=attempt, error=str(last))
+            deployment.network = fallback
+            self.plugin(fallback).attach(self, deployment)
+            _active_metrics().histogram(
+                "recover.latency_s",
+                help="total recovery delay until attach success (s)",
+            ).observe(waited, plugin=fallback)
+            return
+        raise RecoveryExhaustedError(
+            f"{deployment.name}: {plugin.name} attach failed after "
+            f"{attempt} attempt(s) and no fallback applies"
+        ) from last
+
+    def _record_recovery(self, action: str, deployment: Deployment,
+                         plugin_name: str, **attrs: t.Any) -> None:
+        entry: dict[str, t.Any] = {
+            "action": action, "pod": deployment.name,
+            "plugin": plugin_name, "time": self.host.env.now, **attrs,
+        }
+        self.recovery_log.append(entry)
+        _active_metrics().counter(
+            "recover.actions_total", help="recovery actions, by kind",
+        ).inc(action=action, plugin=plugin_name)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event(f"recover.{action}", deployment.name,
+                         plugin=plugin_name, **attrs)
+
+    def _abort_deployment(self, deployment: Deployment) -> None:
+        """Undo the scheduling side of a deploy whose attach failed."""
+        for cname, node_name in deployment.placement.assignments:
+            cspec = deployment.spec.container(cname)
+            node = self.node(node_name)
+            node.release(cspec.cpu, cspec.memory_gb)
+            full_name = f"{deployment.name}/{cname}"
+            if full_name in node.engine.containers:
+                node.engine.remove_container(full_name)
+
+    def handle_vm_crash(self, vm_name: str) -> list[str]:
+        """Crash recovery: cordon the node, re-schedule its pods.
+
+        Every deployment with a fragment on *vm_name* is torn down
+        (best-effort — guest-side cleanup is moot once the VM is gone)
+        and re-deployed on the surviving nodes, splitting when its
+        plugin allows.  Returns the re-deployed pod names; pods that no
+        longer fit anywhere are logged as failed reschedules.
+        """
+        node = self.node(vm_name)
+        node.ready = False
+        affected = sorted(
+            (d for d in self.deployments.values()
+             if vm_name in d.placement.node_names),
+            key=lambda d: d.name,
+        )
+        recovered: list[str] = []
+        for deployment in affected:
+            spec, network = deployment.spec, deployment.network
+            self._teardown_crashed(deployment)
+            try:
+                self.deploy_pod(
+                    spec, network=network,
+                    allow_split=self.plugin(network).supports_split,
+                )
+            except (SchedulingError, RecoveryExhaustedError) as exc:
+                self._record_recovery("reschedule-failed", deployment,
+                                      network, error=str(exc))
+                continue
+            recovered.append(spec.name)
+            self._record_recovery("reschedule", deployment,
+                                  self.deployments[spec.name].network,
+                                  from_node=vm_name)
+        return recovered
+
+    def mark_node_ready(self, vm_name: str) -> Node:
+        """Un-cordon *vm_name*, restarting its VM if necessary."""
+        node = self.node(vm_name)
+        if not node.vm.running:
+            self.vmm.restart_vm(vm_name)
+        node.ready = True
+        return node
+
+    def _teardown_crashed(self, deployment: Deployment) -> None:
+        """Best-effort removal of a deployment whose VM died."""
+        self.deployments.pop(deployment.name, None)
+        try:
+            self.plugin(deployment.network).detach(self, deployment)
+        except ReproError:
+            pass  # the VM-side wiring died with the VM
+        for share in deployment.plugin_state.get("virtfs_shares", ()):
+            for vm_name in list(share.mounts):
+                share.unmount_from(vm_name)
+            self.virtfs.remove_share(share.name)
+        for channel in deployment.plugin_state.get("mempipe_channels", ()):
+            self.mempipe.remove_channel(channel.name)
+        for cname, node_name in deployment.placement.assignments:
+            cspec = deployment.spec.container(cname)
+            node = self.node(node_name)
+            node.release(cspec.cpu, cspec.memory_gb)
+            full_name = f"{deployment.name}/{cname}"
+            try:
+                node.engine.remove_container(full_name)
+            except ReproError:
+                node.engine.containers.pop(full_name, None)
 
     def _provision_shared_resources(self, deployment: Deployment) -> None:
         """§4.3: VirtFS mounts and MemPipe channels for a split pod."""

@@ -34,6 +34,13 @@ class CniPlugin(abc.ABC):
                 nodes=",".join(deployment.placement.node_names), **attrs,
             )
 
+    def note_detach(self, deployment: "Deployment", **attrs: t.Any) -> None:
+        """Record the unwiring as a ``cni.detach`` trace event."""
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("cni.detach", deployment.name, plugin=self.name,
+                         **attrs)
+
     @abc.abstractmethod
     def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
         """Wire the deployed pod's networking.
@@ -44,4 +51,24 @@ class CniPlugin(abc.ABC):
         """
 
     def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
-        """Undo :meth:`attach` (best effort; default: nothing)."""
+        """Undo :meth:`attach` completely.
+
+        The contract is *attach/detach symmetry*: after ``detach`` the
+        deployment's wiring state (``intra_addresses``,
+        ``external_endpoints``, plugin entries in ``plugin_state``,
+        container ``network_mode``) is back to its pre-attach values
+        and a fresh ``attach`` must succeed — crash recovery and
+        retry-with-rollback both rebuild wiring through this path.
+        Implementations must tolerate *partially attached* deployments
+        (an attach that raised midway).
+        """
+
+    def reset_wiring(self, deployment: "Deployment",
+                     *plugin_keys: str) -> None:
+        """Shared detach epilogue: clear the deployment's wiring state."""
+        deployment.intra_addresses.clear()
+        deployment.external_endpoints.clear()
+        for key in plugin_keys:
+            deployment.plugin_state.pop(key, None)
+        for container in deployment.containers.values():
+            container.network_mode = "none"

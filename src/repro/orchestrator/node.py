@@ -17,6 +17,9 @@ class Node:
         self.memory_capacity = float(vm.memory_gb)
         self.cpu_allocated = 0.0
         self.memory_allocated = 0.0
+        #: Scheduling eligibility (Kubernetes "Ready" condition): a
+        #: crashed VM's node is cordoned until the VM restarts.
+        self.ready = True
 
     @property
     def name(self) -> str:
@@ -32,6 +35,8 @@ class Node:
         return self.memory_capacity - self.memory_allocated
 
     def fits(self, cpu: float, memory_gb: float) -> bool:
+        if not self.ready:
+            return False
         return cpu <= self.cpu_free + 1e-9 and memory_gb <= self.memory_free + 1e-9
 
     def allocate(self, cpu: float, memory_gb: float) -> None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import typing as t
 
-from repro.errors import SchedulingError
+from repro.errors import HotplugError, SchedulingError
 from repro.net.addresses import Ipv4Address
 from repro.orchestrator.cni import CniPlugin
 
@@ -42,11 +42,17 @@ class BrFusionPlugin(CniPlugin):
     supports_split = False
 
     def __init__(self, bridge: str | None = None,
-                 name: str | None = None) -> None:
+                 name: str | None = None,
+                 nic_budget: int | None = None) -> None:
         #: Host-level networking domain (bridge) new NICs attach to;
         #: ``None`` means the common bridge shared by all VMs.
         self.bridge = bridge
         self.name = name or "brfusion"
+        #: Max hot-plugged pod NICs per VM (``None`` = unlimited).  Real
+        #: VMs run out of PCI slots; exhausting the budget is a
+        #: *deterministic* failure, so it is marked non-retryable and
+        #: recovery falls straight back to NAT.
+        self.nic_budget = nic_budget
 
     def attach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
         if deployment.is_split:
@@ -54,9 +60,22 @@ class BrFusionPlugin(CniPlugin):
                 f"{deployment.name}: BrFusion pods are VM-local"
             )
         node = orch.node(deployment.placement.node_names[0])
+        if self.nic_budget is not None:
+            # eth0 is the VM's primary NIC; everything beyond it is a
+            # hot-plugged pod NIC competing for the budget.
+            pod_nics = max(0, len(node.vm.virtio_nics()) - 1)
+            if pod_nics >= self.nic_budget:
+                raise HotplugError(
+                    f"{node.name}: vNIC budget exhausted "
+                    f"({pod_nics}/{self.nic_budget} pod NICs)",
+                    vm=node.name, device="nic", retryable=False,
+                )
 
         # Steps 1–2: orchestrator → VMM, VMM provisions the NIC.
         nic = orch.vmm.add_nic(node.vm, bridge=self.bridge)
+        # Record the NIC before the agent step so a failed configure
+        # can still be rolled back through detach().
+        deployment.plugin_state["pod_nic"] = nic
         # Step 3: the VMM reports an identifier — the MAC address.
         mac = nic.mac
         assert mac is not None
@@ -69,7 +88,6 @@ class BrFusionPlugin(CniPlugin):
             mac, carrier, address, network, gateway=network.host(1)
         )
 
-        deployment.plugin_state["pod_nic"] = nic
         deployment.plugin_state["pod_address"] = address
         for cspec in deployment.spec.containers:
             deployment.intra_addresses[cspec.name] = LOCALHOST
@@ -83,4 +101,7 @@ class BrFusionPlugin(CniPlugin):
         nic = deployment.plugin_state.get("pod_nic")
         if nic is not None and nic.mac is not None:
             node = orch.node(deployment.placement.node_names[0])
-            orch.vmm.remove_nic(node.vm, nic.mac)
+            if node.vm.find_nic_by_mac(nic.mac) is not None:
+                orch.vmm.remove_nic(node.vm, nic.mac)
+        self.reset_wiring(deployment, "pod_nic", "pod_address")
+        self.note_detach(deployment)

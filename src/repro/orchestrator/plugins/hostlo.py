@@ -74,8 +74,15 @@ class HostloPlugin(CniPlugin):
 
     def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
         handle = deployment.plugin_state.get("hostlo")
-        if handle is not None:
+        if handle is not None and orch.vmm.has_hostlo(handle.name):
             orch.vmm.remove_hostlo(handle.name)
+        # Fragments with published containers carry classic NAT wiring.
+        for node_name in deployment.placement.node_names:
+            node = orch.node(node_name)
+            carrier = self._fragment_carrier(deployment, node_name)
+            node.engine.teardown_bridge_network(carrier)
+        self.reset_wiring(deployment, "hostlo", "pod_subnet")
+        self.note_detach(deployment)
 
     # -- helpers --------------------------------------------------------------
     @staticmethod

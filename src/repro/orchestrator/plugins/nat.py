@@ -47,3 +47,10 @@ class NatPlugin(CniPlugin):
                 del proto
                 deployment.external_endpoints[cspec.name] = (vm_ip, host_port)
         self.note_attach(deployment, published=len(union_publish(deployment)))
+
+    def detach(self, orch: "Orchestrator", deployment: "Deployment") -> None:
+        node = orch.node(deployment.placement.node_names[0])
+        carrier = deployment.containers[deployment.spec.containers[0].name]
+        node.engine.teardown_bridge_network(carrier)
+        self.reset_wiring(deployment)
+        self.note_detach(deployment)

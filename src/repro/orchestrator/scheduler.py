@@ -110,6 +110,8 @@ class MostRequestedScheduler:
             best: Node | None = None
             best_score = -1.0
             for node in nodes:
+                if not node.ready:
+                    continue
                 cpu_free, mem_free = free(node)
                 if spec.cpu > cpu_free + 1e-9 or spec.memory_gb > mem_free + 1e-9:
                     continue

@@ -19,6 +19,7 @@ import dataclasses
 import typing as t
 
 from repro.errors import HotplugError
+from repro.faults import injector as _active_injector
 from repro.obs import metrics as _active_metrics
 from repro.sim import CpuResource, Environment
 
@@ -68,6 +69,10 @@ class QmpChannel:
     def disconnect(self) -> None:
         self.connected = False
 
+    def reconnect(self) -> None:
+        """Re-open the socket after a VM restart."""
+        self.connected = True
+
     def execute(self, name: str, **arguments: t.Any) -> t.Generator:
         """Run one QMP command (yields until completion)."""
         if not self.connected:
@@ -77,6 +82,24 @@ class QmpChannel:
         except KeyError:
             raise HotplugError(f"unknown QMP command {name!r}") from None
         issued_at = self.env.now
+        inj = _active_injector()
+        if inj.enabled:
+            # Chaos layer: a failed command costs its round trip first
+            # (QEMU parses and rejects; the socket time is real), then
+            # surfaces as the HotplugError real QMP clients see.
+            fail = inj.fires("qmp.error", self.vm_name,
+                             now=self.env.now, command=name)
+            spike = inj.fires("qmp.latency", self.vm_name,
+                              now=self.env.now, command=name)
+            if spike is not None:
+                mean_s *= float(spike.arg("multiplier", 10.0))
+            if fail is not None:
+                yield self.host_cpu.execute(cycles, account="sys")
+                yield self.env.timeout(mean_s)
+                raise HotplugError(
+                    f"QMP {name!r} failed on {self.vm_name} (injected)",
+                    vm=self.vm_name, device=str(arguments.get("id", name)),
+                )
         yield self.host_cpu.execute(cycles, account="sys")
         noise = float(self.rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))
         yield self.env.timeout(mean_s * noise)

@@ -45,6 +45,38 @@ class VirtualMachine:
         self.ns = NetworkNamespace(name, kind="guest", domain=self.domain)
         self._extra_namespaces: list[NetworkNamespace] = []
         self.running = True
+        self.crash_count = 0
+
+    # -- lifecycle --------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulated guest crash: the kernel is gone, devices go down.
+
+        Host-side state (taps, bridge ports) survives — that is exactly
+        the asymmetry crash recovery has to clean up (see
+        :meth:`repro.virt.vmm.Vmm.crash_vm` and the orchestrator's
+        :meth:`~repro.orchestrator.cluster.Orchestrator.handle_vm_crash`).
+        """
+        if not self.running:
+            return
+        self.running = False
+        self.crash_count += 1
+        for ns in self.namespaces:
+            for dev in ns.devices.values():
+                dev.up = False
+
+    def restart(self) -> None:
+        """Bring a crashed VM back up (fresh guest kernel).
+
+        Guest devices come back administratively up; container
+        namespaces and their wiring are *not* restored — pods must be
+        re-deployed, which is the orchestrator's job.
+        """
+        if self.running:
+            return
+        self.running = True
+        for ns in self.namespaces:
+            for dev in ns.devices.values():
+                dev.up = True
 
     # -- namespaces -------------------------------------------------------------
     def create_namespace(self, name: str) -> NetworkNamespace:

@@ -22,6 +22,7 @@ import dataclasses
 import typing as t
 
 from repro.errors import HotplugError, TopologyError
+from repro.faults import injector as _active_injector
 from repro.net.addresses import MacAddress
 from repro.net.bridge import Bridge
 from repro.net.devices import HostloEndpoint, HostloTap, TapDevice, VirtioNic
@@ -119,6 +120,10 @@ class Vmm:
         Returns the NIC; its MAC is the identifier handed back to the
         orchestrator.
         """
+        if not vm.running:
+            raise HotplugError(f"VM {vm.name} is not running", vm=vm.name,
+                               device="nic", retryable=False)
+        self._check_hotplug_refusal(vm)
         return self._provision_nic(vm, bridge, guest_name)
 
     def hotplug_nic(
@@ -127,7 +132,9 @@ class Vmm:
     ) -> t.Generator:
         """Timed NIC hot-plug through QMP (process; returns the NIC)."""
         if not vm.running:
-            raise HotplugError(f"VM {vm.name} is not running")
+            raise HotplugError(f"VM {vm.name} is not running", vm=vm.name,
+                               device="nic", retryable=False)
+        self._check_hotplug_refusal(vm)
         tracer = self.host.env.tracer
         started = self.host.env.now
         span = None
@@ -217,6 +224,9 @@ class Vmm:
         self._record_hotplug("hostlo", started, span, queues=len(vms))
         return handle
 
+    def has_hostlo(self, name: str) -> bool:
+        return name in self._hostlos
+
     def hostlo(self, name: str) -> HostloHandle:
         try:
             return self._hostlos[name]
@@ -232,7 +242,56 @@ class Vmm:
         self.host.ns.detach(handle.tap)
         del self._hostlos[name]
 
+    # -- crash / restart ---------------------------------------------------------
+    def crash_vm(self, name: str) -> VirtualMachine:
+        """Crash *name*: guest state dies, host-side wiring is torn down.
+
+        The VM stays registered (unlike :meth:`destroy_vm`) so it can be
+        :meth:`restart_vm`-ed; its host taps leave their bridges exactly
+        as they would when QEMU exits.
+        """
+        vm = self.vm(name)
+        vm.crash()
+        self.qmp[name].disconnect()
+        for nic in vm.virtio_nics():
+            backend = nic.backend
+            if isinstance(backend, TapDevice):
+                self._teardown_tap(backend)
+        return vm
+
+    def restart_vm(self, name: str) -> VirtualMachine:
+        """Boot a crashed VM again and re-wire its primary NIC."""
+        vm = self.vm(name)
+        if vm.running:
+            return vm
+        vm.restart()
+        self.qmp[name].reconnect()
+        # The primary NIC needs a fresh host tap; pod NICs stay gone
+        # until the orchestrator re-attaches their pods.
+        nic = vm.primary_nic
+        if not isinstance(nic.backend, TapDevice) or nic.backend.bridge is None:
+            old = nic.backend
+            if isinstance(old, TapDevice):
+                old.backs = None
+            nic.backend = None
+            tap = TapDevice(f"tap{self._tap_seq}")
+            self._tap_seq += 1
+            nic.attach_backend(tap)
+            self.host.ns.attach(tap)
+            self.host.default_bridge.add_port(tap)
+        return vm
+
     # -- internals -----------------------------------------------------------------
+    def _check_hotplug_refusal(self, vm: VirtualMachine) -> None:
+        """Chaos layer: the VMM may refuse to provision a NIC."""
+        inj = _active_injector()
+        if inj.enabled and inj.fires(
+                "hotplug.refuse", vm.name, now=self.host.env.now) is not None:
+            raise HotplugError(
+                f"VMM refused to hot-plug a NIC into {vm.name} (injected)",
+                vm=vm.name, device="nic",
+            )
+
     def _record_hotplug(self, kind: str, started: float, span,
                         **attrs) -> None:
         """Close the hot-plug span and feed the latency histogram."""

@@ -1,0 +1,193 @@
+"""The injector runtime, the injection sites, and the ChaosController."""
+
+import pytest
+
+from repro import faults, obs
+from repro.errors import HotplugError
+from repro.faults import ChaosController, FaultInjector, FaultPlan, FaultSpec
+from repro.net.devices import PhysicalNic
+from repro.net.links import PhysicalLink
+from repro.orchestrator import Orchestrator
+from repro.orchestrator.pod import simple_pod
+from repro.sim import Environment, RngRegistry
+from repro.virt import PhysicalHost, Vmm
+
+
+def injector_for(*specs, seed=7, now_fn=None):
+    rng = RngRegistry(seed)
+    return FaultInjector(FaultPlan(specs=specs), rng.stream("faults"),
+                         now_fn=now_fn)
+
+
+class TestFaultInjector:
+    def test_target_glob_matching(self):
+        inj = injector_for(FaultSpec(kind="hotplug.refuse", target="vm[01]"))
+        assert inj.fires("hotplug.refuse", "vm0") is not None
+        assert inj.fires("hotplug.refuse", "vm7") is None
+        assert inj.fires("qmp.error", "vm0") is None
+
+    def test_max_hits_budget(self):
+        inj = injector_for(FaultSpec(kind="agent.stall", max_hits=2))
+        assert inj.fires("agent.stall", "vm0") is not None
+        assert inj.fires("agent.stall", "vm0") is not None
+        assert inj.fires("agent.stall", "vm0") is None
+        assert inj.hit_count("agent.stall") == 2
+
+    def test_probability_draws_are_seed_deterministic(self):
+        def outcomes(seed):
+            inj = injector_for(
+                FaultSpec(kind="frame.drop", probability=0.5), seed=seed)
+            return [inj.fires("frame.drop", "br0") is not None
+                    for _ in range(32)]
+
+        assert outcomes(1) == outcomes(1)
+        assert outcomes(1) != outcomes(2)  # astronomically unlikely to tie
+
+    def test_window_gates_firing(self):
+        clock = {"now": 0.0}
+        inj = injector_for(
+            FaultSpec(kind="frame.drop", after=1.0, until=2.0),
+            now_fn=lambda: clock["now"])
+        assert inj.fires("frame.drop", "br0") is None
+        clock["now"] = 1.5
+        assert inj.fires("frame.drop", "br0") is not None
+
+    def test_record_emits_counter_and_event(self):
+        with obs.capture() as (tracer, metrics):
+            inj = injector_for(FaultSpec(kind="qmp.error", target="vm0"))
+            assert inj.fires("qmp.error", "vm0", command="device_add")
+            count = metrics.counter("fault.injected_total").value(
+                kind="qmp.error", target="vm0")
+            assert count == 1
+            assert len(tracer.events_in("fault.qmp.error")) == 1
+
+    def test_null_injector_never_fires(self):
+        assert faults.NULL.enabled is False
+        assert faults.NULL.fires("qmp.error", "vm0") is None
+        assert faults.NULL.hit_count() == 0
+
+    def test_use_installs_and_restores(self):
+        inj = injector_for(FaultSpec(kind="qmp.error"))
+        assert faults.injector() is faults.NULL
+        with faults.use(inj):
+            assert faults.injector() is inj
+        assert faults.injector() is faults.NULL
+
+
+@pytest.fixture
+def cluster():
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    orch = Orchestrator(vmm)
+    for i in range(3):
+        orch.enroll(vmm.create_vm(f"vm{i}", vcpus=5, memory_gb=4))
+    return host, vmm, orch
+
+
+class TestInjectionSites:
+    def test_hotplug_refusal_from_vmm(self, cluster):
+        host, vmm, orch = cluster
+        inj = injector_for(FaultSpec(kind="hotplug.refuse", target="vm0"))
+        with faults.use(inj):
+            with pytest.raises(HotplugError) as err:
+                vmm.add_nic(vmm.vm("vm0"))
+        assert err.value.vm == "vm0"
+        assert err.value.retryable
+
+    def test_qmp_error_fails_command(self, cluster):
+        host, vmm, orch = cluster
+        env = host.env
+        inj = injector_for(FaultSpec(kind="qmp.error", target="vm0"),
+                           now_fn=lambda: env.now)
+        with faults.use(inj):
+            process = env.process(
+                vmm.qmp["vm0"].execute("device_add", id="net5"))
+            with pytest.raises(HotplugError) as err:
+                env.run(until=process)
+        assert err.value.device == "net5"
+        assert env.now > 0.0  # the failed round trip cost real time
+
+    def test_qmp_latency_spike_slows_command(self, cluster):
+        host, vmm, orch = cluster
+
+        def timed(plan_specs):
+            env = host.env
+            inj = injector_for(*plan_specs, now_fn=lambda: env.now)
+            start = env.now
+            with faults.use(inj):
+                process = env.process(vmm.qmp["vm0"].execute("query"))
+                env.run(until=process)
+            return env.now - start
+
+        baseline = timed(())
+        spiked = timed((FaultSpec(kind="qmp.latency", target="vm0",
+                                  args=(("multiplier", 50.0),)),))
+        assert spiked > baseline * 5
+
+    def test_agent_stall_is_retryable(self, cluster):
+        host, vmm, orch = cluster
+        inj = injector_for(FaultSpec(kind="agent.stall", target="vm1",
+                                     max_hits=1))
+        with faults.use(inj):
+            deployment = orch.deploy_pod(simple_pod("p", "alpine"),
+                                         network="brfusion", node="vm1")
+        assert orch.agents["vm1"].stalls == 1
+        assert "p" in orch.deployments
+        assert deployment.network == "brfusion"
+        retries = [e for e in orch.recovery_log if e["action"] == "retry"]
+        assert len(retries) == 1
+
+
+class TestChaosController:
+    def test_scheduled_vm_crash_and_restart(self, cluster):
+        host, vmm, orch = cluster
+        env = host.env
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="vm.crash", target="vm1", at=0.01, duration=0.02),
+        ))
+        inj = FaultInjector(plan, host.rng.stream("faults"),
+                            now_fn=lambda: env.now)
+        controller = ChaosController(env, vmm, orch=orch, injector=inj)
+        assert controller.start() == 1
+        env.run(until=0.02)
+        assert not vmm.vm("vm1").running
+        assert not orch.node("vm1").ready
+        env.run(until=0.05)
+        assert vmm.vm("vm1").running
+        assert orch.node("vm1").ready
+        kinds = [kind for kind, _, _ in controller.executed]
+        assert kinds == ["vm.crash", "vm.restart"]
+
+    def test_crash_reschedules_pods(self, cluster):
+        host, vmm, orch = cluster
+        env = host.env
+        orch.deploy_pod(simple_pod("p", "alpine"), network="nat", node="vm1")
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="vm.crash", target="vm1", at=0.01),
+        ))
+        controller = ChaosController(env, vmm, orch=orch, plan=plan)
+        controller.start()
+        env.run(until=0.02)
+        assert "p" in orch.deployments
+        survivor = orch.deployments["p"].placement.node_names
+        assert "vm1" not in survivor
+        actions = [e["action"] for e in orch.recovery_log]
+        assert "reschedule" in actions
+
+    def test_link_partition_down_then_up(self):
+        env = Environment()
+        nic_a = PhysicalNic("eth-a")
+        nic_b = PhysicalNic("eth-b")
+        link = PhysicalLink("dc-link", nic_a, nic_b)
+        host = PhysicalHost(Environment())  # vmm only needed for crashes
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="link.partition", target="dc-*", at=0.01,
+                      duration=0.02),
+        ))
+        controller = ChaosController(env, Vmm(host), plan=plan,
+                                     links=[link])
+        controller.start()
+        env.run(until=0.02)
+        assert not link.up
+        env.run(until=0.05)
+        assert link.up

@@ -1,0 +1,82 @@
+"""Unit tests for the declarative fault plan."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import SCHEDULED_KINDS
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(kind="disk.melt")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(kind="qmp.error", probability=1.5)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(kind="qmp.error", probability=-0.1)
+
+    def test_scheduled_kinds_need_at(self):
+        for kind in SCHEDULED_KINDS:
+            with pytest.raises(FaultInjectionError):
+                FaultSpec(kind=kind)
+            FaultSpec(kind=kind, at=0.01)  # fine with a schedule
+
+    def test_window_matching(self):
+        spec = FaultSpec(kind="frame.drop", after=1.0, until=2.0)
+        assert not spec.in_window(0.5)
+        assert spec.in_window(1.5)
+        assert not spec.in_window(2.5)
+        # A site without a clock only matches windowless specs.
+        assert not spec.in_window(None)
+        assert FaultSpec(kind="frame.drop").in_window(None)
+
+    def test_args_lookup_with_default(self):
+        spec = FaultSpec(kind="qmp.latency", args=(("multiplier", 25.0),))
+        assert spec.arg("multiplier") == 25.0
+        assert spec.arg("missing", 7) == 7
+
+    def test_all_kinds_are_known(self):
+        for kind in FAULT_KINDS:
+            at = 0.0 if kind in SCHEDULED_KINDS else None
+            assert FaultSpec(kind=kind, at=at).kind == kind
+
+
+class TestFaultPlan:
+    def plan(self):
+        return FaultPlan(
+            specs=(
+                FaultSpec(kind="hotplug.refuse", target="vm*",
+                          probability=0.5),
+                FaultSpec(kind="vm.crash", target="vm1", at=0.01,
+                          duration=0.02),
+                FaultSpec(kind="agent.stall", max_hits=3),
+            ),
+            description="test plan",
+        )
+
+    def test_scheduled_inline_partition(self):
+        plan = self.plan()
+        assert [s.kind for s in plan.scheduled] == ["vm.crash"]
+        assert [s.kind for s in plan.inline] == ["hotplug.refuse",
+                                                 "agent.stall"]
+
+    def test_of_kind(self):
+        plan = self.plan()
+        assert len(plan.of_kind("vm.crash")) == 1
+        assert plan.of_kind("qmp.error") == ()
+
+    def test_json_roundtrip(self):
+        plan = self.plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec.from_dict({"kind": "qmp.error", "color": "red"})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(self.plan().to_json())
+        assert FaultPlan.load(path) == self.plan()

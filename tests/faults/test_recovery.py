@@ -1,0 +1,52 @@
+"""Retry/backoff math and fallback routing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import RecoveryPolicy, RetryPolicy
+from repro.sim import RngRegistry
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay_s=1e-3, multiplier=2.0,
+                             jitter=0.0, max_delay_s=3e-3)
+        assert policy.backoff_s(1) == pytest.approx(1e-3)
+        assert policy.backoff_s(2) == pytest.approx(2e-3)
+        assert policy.backoff_s(3) == pytest.approx(3e-3)  # capped
+        assert policy.backoff_s(9) == pytest.approx(3e-3)
+
+    def test_jitter_stays_in_band_and_is_deterministic(self):
+        policy = RetryPolicy(base_delay_s=1e-3, jitter=0.25)
+        rng_a = RngRegistry(5).stream("recovery:backoff")
+        rng_b = RngRegistry(5).stream("recovery:backoff")
+        delays_a = [policy.backoff_s(1, rng_a) for _ in range(64)]
+        delays_b = [policy.backoff_s(1, rng_b) for _ in range(64)]
+        assert delays_a == delays_b
+        assert all(0.75e-3 <= d <= 1.25e-3 for d in delays_a)
+        assert len(set(delays_a)) > 1  # jitter actually jitters
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_s(0)
+
+
+class TestRecoveryPolicy:
+    def test_default_falls_brfusion_back_to_nat(self):
+        policy = RecoveryPolicy()
+        assert policy.fallback_for("brfusion") == "nat"
+        assert policy.fallback_for("brfusion-tenant-a") == "nat"
+        assert policy.fallback_for("hostlo") is None
+        assert policy.fallback_for("nat") is None
+
+    def test_empty_mapping_disables_fallback(self):
+        policy = RecoveryPolicy(fallbacks=())
+        assert policy.fallback_for("brfusion") is None

@@ -1,0 +1,93 @@
+"""The chaos experiment: recovery works, and it is bit-reproducible."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultPlan, FaultSpec
+from repro.harness import chaos
+from repro.harness.__main__ import main
+from repro.harness.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return chaos.run(ExperimentConfig.preset("quick"))
+
+
+class TestChaosExperiment:
+    def test_no_unhandled_errors(self, result):
+        assert all(row["unhandled"] == 0 for row in result.rows)
+        assert all(row["exhausted"] == 0 for row in result.rows)
+
+    def test_brfusion_survives_hotplug_churn(self, result):
+        row = result.value("retries", scenario="hotplug", plugin="brfusion")
+        assert row > 0  # faults actually fired
+        assert result.value("success_rate", scenario="hotplug",
+                            plugin="brfusion") == 1.0
+
+    def test_refusal_storm_falls_back_to_nat(self, result):
+        assert result.value("fallbacks", scenario="refusal-storm",
+                            plugin="brfusion") > 0
+        assert result.value("success_rate", scenario="refusal-storm",
+                            plugin="brfusion") == 1.0
+
+    def test_vm_crash_reschedules_pods(self, result):
+        rescheduled = sum(row["rescheduled"] for row in result.rows
+                          if row["scenario"] == "vm-crash")
+        assert rescheduled > 0
+        assert all(row["success_rate"] == 1.0 for row in result.rows
+                   if row["scenario"] == "vm-crash")
+
+    def test_recovery_wait_accounted(self, result):
+        assert result.value("recovery_wait_ms", scenario="refusal-storm",
+                            plugin="brfusion") > 0
+
+
+class TestDeterminism:
+    def capture_run(self, scenario, plan, seed=2019):
+        config = ExperimentConfig(seed=seed)
+        with obs.capture() as (tracer, metrics):
+            rows, summary = chaos.run_scenario(scenario, plan, config)
+            events = [(s.category, s.name, s.start, s.attrs)
+                      for s in tracer.events]
+            faults_series = metrics.counter("fault.injected_total").series()
+            recover_series = metrics.counter("recover.actions_total").series()
+        return rows, summary, events, faults_series, recover_series
+
+    def test_same_seed_same_plan_is_bit_identical(self):
+        first = self.capture_run("hotplug", chaos.hotplug_plan())
+        second = self.capture_run("hotplug", chaos.hotplug_plan())
+        assert first == second
+
+    def test_crash_scenario_is_bit_identical(self):
+        first = self.capture_run("vm-crash", chaos.crash_plan())
+        second = self.capture_run("vm-crash", chaos.crash_plan())
+        assert first == second
+
+    def test_different_seed_differs(self):
+        first = self.capture_run("hotplug", chaos.hotplug_plan(), seed=1)
+        second = self.capture_run("hotplug", chaos.hotplug_plan(), seed=2)
+        assert first[2] != second[2]  # different fault event sequence
+
+
+class TestCli:
+    def test_faults_flag_runs_custom_plan(self, tmp_path, capsys):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="hotplug.refuse", target="vm*", probability=0.4),
+        ))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert main(["chaos", "--preset", "quick",
+                     "--faults", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "custom" in out
+        assert "Chaos" in out
+
+    def test_chaos_json_export(self, tmp_path, capsys):
+        assert main(["chaos", "--preset", "quick",
+                     "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "chaos.json").read_text())
+        assert data["experiment"] == "chaos"
+        assert any(row["scenario"] == "vm-crash" for row in data["rows"])

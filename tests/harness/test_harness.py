@@ -79,6 +79,7 @@ class TestRegistry:
             "ablation_no_batching", "ablation_rule_bloat",
             "ablation_scheduler_policy",
             "online_cost", "analytic_check",
+            "chaos",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,125 @@
+"""Attach/detach symmetry: every plugin restores pre-attach wiring.
+
+The contract (see :meth:`repro.orchestrator.cni.CniPlugin.detach`)
+matters beyond pod removal: the orchestrator's recovery path rolls a
+failed attach back through ``detach`` before retrying, so detach must
+tolerate partially-attached state and must not leak devices, rules or
+bridge ports.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.orchestrator import Orchestrator
+from repro.orchestrator.pod import simple_pod
+from repro.sim import Environment, RngRegistry
+from repro.virt import PhysicalHost, Vmm
+
+
+@pytest.fixture
+def cluster():
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    orch = Orchestrator(vmm)
+    for i in range(3):
+        orch.enroll(vmm.create_vm(f"vm{i}", vcpus=5, memory_gb=4))
+    for node in orch.nodes.values():
+        # Materialise docker0 (and its one masquerade rule) up front:
+        # it is per-VM infrastructure that survives pod removal, so the
+        # symmetry snapshots must not see its lazy creation as a leak.
+        node.engine.bridge
+    return host, vmm, orch
+
+
+def wiring_snapshot(host, vmm, orch):
+    """Everything attach may touch, summarised for equality checks."""
+    return {
+        "virtio_nics": {name: len(node.vm.virtio_nics())
+                        for name, node in orch.nodes.items()},
+        "iptables_rules": {name: node.engine.iptables_rule_count()
+                           for name, node in orch.nodes.items()},
+        "host_bridge_ports": len(host.default_bridge.ports),
+        "hostlos": sorted(vmm._hostlos),
+        "allocated_cpu": {name: node.cpu_allocated
+                          for name, node in orch.nodes.items()},
+    }
+
+
+SPECS = {
+    "nat": dict(containers=1, publish=(("tcp", 8080, 80),)),
+    "brfusion": dict(containers=1, publish=(("tcp", 8081, 80),)),
+    # 3 x 2 vCPU cannot fit one 5-vCPU node: forces a split.
+    "hostlo": dict(containers=3, cpu=2.0, publish=(("tcp", 8082, 80),)),
+}
+
+
+@pytest.mark.parametrize("network", sorted(SPECS))
+class TestSymmetry:
+    def deploy(self, orch, network, name="p"):
+        spec = simple_pod(name, "alpine", **SPECS[network])
+        return orch.deploy_pod(spec, network=network,
+                               allow_split=(network == "hostlo"))
+
+    def test_remove_restores_wiring(self, cluster, network):
+        host, vmm, orch = cluster
+        before = wiring_snapshot(host, vmm, orch)
+        deployment = self.deploy(orch, network)
+        if network == "hostlo":
+            assert deployment.is_split  # the spec must actually split
+        assert wiring_snapshot(host, vmm, orch) != before
+        orch.remove_pod("p")
+        assert wiring_snapshot(host, vmm, orch) == before
+
+    def test_reattach_after_detach(self, cluster, network):
+        host, vmm, orch = cluster
+        self.deploy(orch, network)
+        orch.remove_pod("p")
+        deployment = self.deploy(orch, network)
+        assert "p" in orch.deployments
+        assert deployment.intra_addresses  # wired again
+        if network != "hostlo":
+            # Split hostlo pods publish nothing (the fragment carrier
+            # already hosts the hostlo endpoint); the others must have
+            # re-created their external endpoints.
+            assert deployment.external_endpoints
+
+    def test_detach_is_idempotent(self, cluster, network):
+        host, vmm, orch = cluster
+        deployment = self.deploy(orch, network)
+        plugin = orch.plugin(network)
+        plugin.detach(orch, deployment)
+        plugin.detach(orch, deployment)  # second run must not raise
+        assert deployment.intra_addresses == {}
+        assert deployment.external_endpoints == {}
+
+    def test_detach_tolerates_unattached_deployment(self, cluster, network):
+        host, vmm, orch = cluster
+        deployment = self.deploy(orch, network)
+        # Simulate a partial attach: wipe the wiring bookkeeping first.
+        plugin = orch.plugin(network)
+        plugin.detach(orch, deployment)
+        deployment.plugin_state.clear()
+        plugin.detach(orch, deployment)
+
+
+class TestRollbackViaDetach:
+    def test_failed_attach_leaves_no_orphan_nic(self, cluster):
+        host, vmm, orch = cluster
+        baseline = {n: len(node.vm.virtio_nics())
+                    for n, node in orch.nodes.items()}
+        # The agent stalls once *after* the VMM provisioned the NIC; the
+        # retry path must roll the orphan back before re-attaching.
+        inj = FaultInjector(
+            FaultPlan(specs=(FaultSpec(kind="agent.stall", max_hits=1),)),
+            RngRegistry(3).stream("faults"))
+        with faults.use(inj):
+            orch.deploy_pod(simple_pod("p", "alpine"), network="brfusion",
+                            node="vm0")
+        after = {n: len(node.vm.virtio_nics())
+                 for n, node in orch.nodes.items()}
+        assert after["vm0"] == baseline["vm0"] + 1  # exactly one pod NIC
+        orch.remove_pod("p")
+        final = {n: len(node.vm.virtio_nics())
+                 for n, node in orch.nodes.items()}
+        assert final == baseline

@@ -302,3 +302,20 @@ def test_active_process_visible_during_resume():
     env.run()
     assert seen == [p]
     assert env.active_process is None
+
+
+def test_run_until_horizon_updates_tracer_after_heap_empties():
+    # Regression: when the schedule empties before the horizon, the
+    # clock jumps to the horizon and the installed tracer must jump
+    # with it — otherwise events recorded right after run() carry a
+    # stale timestamp.
+    from repro import obs
+
+    with obs.capture() as (tracer, _):
+        env = Environment()
+        env.timeout(1.0)  # exhausted well before the horizon
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert tracer.now == 5.0
+        span = tracer.event("test", "after-run")
+        assert span is not None and span.start == 5.0

@@ -27,6 +27,7 @@ def test_subpackages_import():
     import repro.containers
     import repro.core
     import repro.costsim
+    import repro.faults
     import repro.harness
     import repro.metrics
     import repro.net
