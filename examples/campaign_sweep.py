@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Run a seed-sweep campaign twice: cold with workers, warm from cache.
+
+Expands fig08 (hot-plug latency) x three seeds into a campaign, runs
+it cold on two workers, then reruns it against the same cache — every
+job comes back as a hit carrying the original run's wall clock, and
+the rows are bit-identical to the cold run.  Prints the per-seed
+hot-plug medians side by side and the bench totals for both passes.
+
+Run:  python examples/campaign_sweep.py [--jobs N] [--cache DIR]
+"""
+
+import argparse
+import pathlib
+import tempfile
+
+from repro.campaign import CampaignSpec, ResultCache, bench, run_campaign
+
+SEEDS = (2019, 2020, 2021)
+
+
+def sweep(jobs: int, cache: ResultCache) -> None:
+    spec = CampaignSpec(
+        experiments=("fig08",), presets=("quick",), seeds=SEEDS
+    )
+
+    print(f"== cold: {len(spec.expand())} jobs on {jobs} workers ==")
+    cold = run_campaign(spec, jobs=jobs, cache=cache, progress=print)
+    print(f"== warm: same spec, same cache ==")
+    warm = run_campaign(spec, jobs=jobs, cache=cache, progress=print)
+
+    assert warm.cache_hits == len(warm.outcomes)
+    assert warm.results() == cold.results()
+
+    print("\nseed   rows  median-ish first row")
+    for outcome in cold.outcomes:
+        first = outcome.result.rows[0]
+        print(f"{outcome.job.seed}   {len(outcome.result.rows):4d}  {first}")
+
+    for label, report in (("cold", cold), ("warm", warm)):
+        totals = bench.build_report(report)["totals"]
+        print(f"\n{label}: wall {totals['wall_s']}s, "
+              f"serial cost {totals['serial_wall_s']}s, "
+              f"speedup_vs_serial {totals['speedup_vs_serial']}x")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--cache", type=pathlib.Path, default=None,
+                        help="cache dir (default: a temp dir)")
+    args = parser.parse_args()
+    if args.cache is not None:
+        sweep(args.jobs, ResultCache(args.cache))
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            sweep(args.jobs, ResultCache(tmp))
+
+
+if __name__ == "__main__":
+    main()

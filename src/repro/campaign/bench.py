@@ -1,0 +1,157 @@
+"""Campaign benchmarking: the ``BENCH_campaign.json`` schema + gate.
+
+Every campaign run can be summarised as a benchmark report — one
+entry per job (experiment, preset, seed, wall seconds, cache hit) and
+a totals block with the whole-campaign wall clock and its speedup over
+the serial cost (the sum of per-job execution walls; for cache hits
+that is the *original* run's cost, which is exactly what the hit
+avoided).  A warm-cache rerun therefore shows ``cache_hits == jobs``
+and a large ``speedup_vs_serial``.
+
+:func:`compare` is the perf-regression gate: measured against a
+committed baseline report, any job family or the campaign total that
+got slower by more than the threshold fails the run.  Jobs below
+``min_wall_s`` in both reports are ignored — at millisecond scale the
+scheduler's noise would out-shout any real regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+from repro.campaign.runner import CampaignReport
+from repro.errors import ConfigurationError, PerfRegressionError
+
+#: Bumped when the report layout changes.
+SCHEMA = "repro.campaign.bench/v1"
+
+#: Allowed slowdown before :func:`compare` flags a regression (%).
+DEFAULT_THRESHOLD_PCT = 25.0
+
+#: Entries faster than this (seconds) in both reports are not gated.
+DEFAULT_MIN_WALL_S = 0.25
+
+
+def build_report(report: CampaignReport) -> dict[str, t.Any]:
+    """The plain-data benchmark report for one campaign run."""
+    entries = [
+        {
+            "experiment": outcome.job.experiment,
+            "preset": outcome.job.preset,
+            "seed": outcome.job.seed,
+            "wall_s": round(outcome.wall_s, 6),
+            "cache_hit": outcome.cache_hit,
+        }
+        for outcome in report.outcomes
+    ]
+    serial = report.serial_wall_s
+    return {
+        "schema": SCHEMA,
+        "jobs": len(report.outcomes),
+        "workers": report.workers,
+        "cache_hits": report.cache_hits,
+        "entries": entries,
+        "totals": {
+            "wall_s": round(report.wall_s, 6),
+            "serial_wall_s": round(serial, 6),
+            "speedup_vs_serial": round(serial / report.wall_s, 3)
+            if report.wall_s > 0 else 0.0,
+        },
+    }
+
+
+def write_report(data: t.Mapping[str, t.Any],
+                 path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def load_report(path: str | pathlib.Path) -> dict[str, t.Any]:
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read bench report {path}: {exc}")
+    if data.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"{path}: expected schema {SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    return data
+
+
+def _families(data: t.Mapping[str, t.Any]) -> dict[tuple[str, str], float]:
+    """Summed execution wall per (experiment, preset), cache hits
+    excluded — a hit's near-zero cost says nothing about the code."""
+    walls: dict[tuple[str, str], float] = {}
+    for entry in data["entries"]:
+        if entry["cache_hit"]:
+            continue
+        key = (entry["experiment"], entry["preset"])
+        walls[key] = walls.get(key, 0.0) + float(entry["wall_s"])
+    return walls
+
+
+def compare(
+    current: t.Mapping[str, t.Any],
+    baseline: t.Mapping[str, t.Any],
+    *,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> list[str]:
+    """Regressions of *current* against *baseline*, as messages.
+
+    Compares each (experiment, preset) family executed in both
+    reports, plus the serial total.  Returns an empty list when the
+    gate passes.
+    """
+    if threshold_pct <= 0:
+        raise ConfigurationError("threshold_pct must be positive")
+    limit = 1.0 + threshold_pct / 100.0
+    violations: list[str] = []
+    current_walls = _families(current)
+    baseline_walls = _families(baseline)
+    for key in sorted(set(current_walls) & set(baseline_walls)):
+        now, then = current_walls[key], baseline_walls[key]
+        if max(now, then) < min_wall_s:
+            continue
+        if now > then * limit:
+            violations.append(
+                f"{key[0]}@{key[1]}: {now:.3f}s vs baseline {then:.3f}s "
+                f"(+{(now / then - 1.0) * 100.0:.0f}%, "
+                f"limit +{threshold_pct:.0f}%)"
+            )
+    # Aggregate drift catcher: the summed execution wall of the job
+    # families present in BOTH reports (cache hits and families run in
+    # only one report would skew a totals-vs-totals comparison).
+    common = set(current_walls) & set(baseline_walls)
+    now = sum(current_walls[key] for key in common)
+    then = sum(baseline_walls[key] for key in common)
+    if max(now, then) >= min_wall_s and now > then * limit:
+        violations.append(
+            f"serial total: {now:.3f}s vs baseline {then:.3f}s "
+            f"(+{(now / then - 1.0) * 100.0:.0f}%, "
+            f"limit +{threshold_pct:.0f}%)"
+        )
+    return violations
+
+
+def assert_no_regression(
+    current: t.Mapping[str, t.Any],
+    baseline: t.Mapping[str, t.Any],
+    *,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> None:
+    """Raise :class:`PerfRegressionError` when :func:`compare` flags."""
+    violations = compare(
+        current, baseline,
+        threshold_pct=threshold_pct, min_wall_s=min_wall_s,
+    )
+    if violations:
+        raise PerfRegressionError(
+            "campaign perf regression:\n  " + "\n  ".join(violations)
+        )

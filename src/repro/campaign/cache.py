@@ -1,0 +1,161 @@
+"""Content-addressed on-disk cache of experiment results.
+
+The campaign's answer to "don't recompute what didn't change" — the
+same move ONCache makes per packet, applied per experiment.  A cache
+key is the SHA-256 of three things:
+
+* the **job key** (experiment @ preset # seed),
+* the **resolved config** (every field of
+  :class:`~repro.harness.config.ExperimentConfig`, canonical JSON),
+* a **source fingerprint** of the entire installed :mod:`repro`
+  package — the SHA-256 of every ``*.py`` file's path and contents.
+
+The fingerprint is the invalidation rule: edit *any* simulator source
+and every cached result goes stale at once, while doc/test/tooling
+edits outside ``src/repro`` invalidate nothing.  That is deliberately
+coarse — a per-module dependency graph would invalidate less, but it
+could silently under-invalidate (experiments reach every layer of the
+stack through dynamic dispatch); an always-correct coarse rule beats a
+sometimes-wrong fine one for a result cache whose entries cost seconds
+to rebuild.
+
+Entries are one JSON file each under ``<root>/<kk>/<key>.json``
+(two-hex-char fan-out so huge caches don't produce huge directories),
+written atomically via rename, so concurrent campaigns sharing a cache
+directory never observe torn entries.  Corrupt or unreadable entries
+read as misses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import typing as t
+
+import repro
+from repro.campaign.spec import JobSpec
+from repro.harness.results import ExperimentResult
+
+#: Bump when the entry layout changes; part of every cache key.
+SCHEMA = 1
+
+
+@functools.lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Cached per process: the tree is read once (~175 files, a few
+    milliseconds), then every job key derivation reuses the digest.
+    """
+    root = pathlib.Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def job_cache_key(job: JobSpec, fingerprint: str | None = None) -> str:
+    """The content address of *job*'s result under today's sources."""
+    payload = json.dumps(
+        {
+            "schema": SCHEMA,
+            "job": job.key,
+            "config": dataclasses.asdict(job.config),
+            "source": fingerprint if fingerprint is not None
+            else source_fingerprint(),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One stored result plus the provenance needed to report on it."""
+
+    key: str
+    job_key: str
+    experiment: str
+    preset: str
+    seed: int
+    wall_s: float
+    result: ExperimentResult
+
+    def to_payload(self) -> dict[str, t.Any]:
+        return {
+            "schema": SCHEMA,
+            "key": self.key,
+            "job_key": self.job_key,
+            "experiment": self.experiment,
+            "preset": self.preset,
+            "seed": self.seed,
+            "wall_s": self.wall_s,
+            "result": json.loads(self.result.to_json()),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: t.Mapping[str, t.Any]) -> "CacheEntry":
+        return cls(
+            key=payload["key"],
+            job_key=payload["job_key"],
+            experiment=payload["experiment"],
+            preset=payload["preset"],
+            seed=int(payload["seed"]),
+            wall_s=float(payload["wall_s"]),
+            result=ExperimentResult.from_json(json.dumps(payload["result"])),
+        )
+
+
+class ResultCache:
+    """The on-disk store: ``get``/``put`` by content address."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> CacheEntry | None:
+        """The stored entry, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != SCHEMA or payload.get("key") != key:
+            return None
+        try:
+            return CacheEntry.from_payload(payload)
+        except Exception:
+            return None
+
+    def put(self, entry: CacheEntry) -> pathlib.Path:
+        """Store *entry* atomically; returns its path."""
+        path = self.path_for(entry.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry.to_payload(), fh, indent=1, default=str)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))

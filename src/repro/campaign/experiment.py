@@ -1,0 +1,76 @@
+"""The ``campaign`` experiment: the campaign layer proving itself.
+
+Registered like any figure, this experiment runs a miniature campaign
+— two quick experiments × two seeds — twice against a throwaway cache:
+cold with two workers, then warm.  Each row asserts the subsystem's
+two contracts in a form the harness can print and tests can pin:
+
+* ``identical_to_serial`` — the pooled run's rows match an in-process
+  serial ``run_experiment`` bit for bit;
+* ``warm_hit`` — the second pass answered from the cache.
+
+Rows contain only deterministic values (timings go to ``meta``), so
+the campaign experiment itself caches and parallelises like any other.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult
+
+#: Small-but-real workload: one sub-second and one near-instant
+#: experiment, so the mini-campaign exercises ordering without
+#: dominating a full harness run.
+MINI_EXPERIMENTS = ("fig02", "fig08")
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Campaign self-check: parallel == serial, warm cache all hits."""
+    config = config or ExperimentConfig()
+    spec = CampaignSpec(
+        experiments=MINI_EXPERIMENTS,
+        presets=("quick",),
+        seeds=(config.seed, config.seed + 1),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as root:
+        cache = ResultCache(root)
+        cold = run_campaign(spec, jobs=2, cache=cache)
+        warm = run_campaign(spec, jobs=2, cache=cache)
+
+    from repro.harness.registry import run_experiment
+
+    rows = []
+    for cold_outcome, warm_outcome in zip(cold.outcomes, warm.outcomes):
+        job = cold_outcome.job
+        serial = run_experiment(job.experiment, job.config)
+        rows.append({
+            "job": job.key,
+            "experiment": job.experiment,
+            "preset": job.preset,
+            "seed": job.seed,
+            "rows": len(cold_outcome.result.rows),
+            "identical_to_serial": cold_outcome.result.rows == serial.rows,
+            "cold_hit": cold_outcome.cache_hit,
+            "warm_hit": warm_outcome.cache_hit,
+        })
+    notes = (
+        f"{len(rows)} jobs over {cold.workers} spawn workers; "
+        f"warm pass: {warm.cache_hits}/{len(warm.outcomes)} cache hits",
+        "identical_to_serial compares pooled rows to an in-process "
+        "serial run of the same config",
+    )
+    return ExperimentResult(
+        experiment="campaign",
+        title="Campaign: parallel runner + result cache self-check",
+        rows=tuple(rows),
+        notes=notes,
+        meta={
+            "cold_wall_s": round(cold.wall_s, 3),
+            "warm_wall_s": round(warm.wall_s, 3),
+        },
+    )

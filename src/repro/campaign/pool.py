@@ -1,0 +1,200 @@
+"""A spawn-safe multiprocessing worker pool with crash recovery.
+
+``multiprocessing.Pool`` cannot express what a campaign needs: a
+per-job wall-clock timeout, and survival of a worker that dies mid-job
+(segfault, ``os._exit``, OOM-kill).  This pool owns its processes
+directly — one inbox :class:`~multiprocessing.Queue` per worker and a
+shared outbox — so the driver always knows *which* job a dead or
+overdue worker was holding and can requeue exactly that job.
+
+Recovery reuses the :mod:`repro.faults` retry vocabulary: a
+:class:`~repro.faults.recovery.RetryPolicy` bounds attempts per job
+(the default ``max_attempts=2`` is the campaign's requeue-once
+semantics).  Crashes and timeouts are *environmental* failures and
+consume attempts; an exception raised inside the job function is
+*deterministic* — rerunning it would fail identically — so it fails
+the job immediately, whatever the budget says.
+
+The ``spawn`` start method is used unconditionally: it is the only one
+that works on every platform, never inherits a forked copy of the
+parent's simulator state, and keeps workers importable-module-clean
+(job functions must be top-level so they pickle by reference).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+import typing as t
+
+from repro.errors import ConfigurationError, JobFailedError
+from repro.faults.recovery import RetryPolicy
+
+#: The pool's requeue-once default: 1 try + 1 retry, no backoff delay
+#: (a fresh worker process is itself the cool-down).
+DEFAULT_RETRY = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One unit of pool work: a picklable top-level function + args."""
+
+    fn: t.Callable[..., t.Any]
+    args: tuple[t.Any, ...] = ()
+    label: str = ""
+
+
+def _worker_main(inbox: t.Any, outbox: t.Any) -> None:
+    """Worker loop: run tasks from *inbox* until the ``None`` sentinel."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        index, fn, args = item
+        try:
+            outbox.put((index, "ok", fn(*args)))
+        except BaseException:
+            outbox.put((index, "error", traceback.format_exc()))
+
+
+@dataclasses.dataclass
+class _Worker:
+    proc: t.Any
+    inbox: t.Any
+    index: int | None = None
+    deadline: float = 0.0
+
+
+class WorkerPool:
+    """Run tasks across *workers* processes; collect results in order."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        timeout_s: float = 300.0,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        poll_s: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"need at least one worker: {workers!r}")
+        if timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        self.workers = int(workers)
+        self.timeout_s = float(timeout_s)
+        self.retry = retry
+        self._poll_s = float(poll_s)
+        self._ctx = multiprocessing.get_context("spawn")
+
+    def run(
+        self,
+        tasks: t.Sequence[Task],
+        on_result: t.Callable[[int, t.Any], None] | None = None,
+    ) -> list[t.Any]:
+        """Execute every task; return their values in task order.
+
+        ``on_result(index, value)`` fires as each task finishes (in
+        completion order) — the campaign runner uses it to stream
+        progress.  Raises :class:`JobFailedError` on the first job
+        that fails deterministically or exhausts its attempts; the
+        pool is torn down before the exception propagates.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        results: list[t.Any] = [None] * len(tasks)
+        finished = [False] * len(tasks)
+        attempts = [0] * len(tasks)
+        pending: list[int] = list(range(len(tasks)))
+        outbox = self._ctx.Queue()
+        alive: list[_Worker] = []
+
+        def spawn() -> None:
+            inbox = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main, args=(inbox, outbox), daemon=False
+            )
+            proc.start()
+            alive.append(_Worker(proc=proc, inbox=inbox))
+
+        def label(i: int) -> str:
+            return tasks[i].label or f"task {i}"
+
+        try:
+            for _ in range(min(self.workers, len(tasks))):
+                spawn()
+            remaining = len(tasks)
+            while remaining:
+                for worker in alive:
+                    if worker.index is None and pending:
+                        i = pending.pop(0)
+                        attempts[i] += 1
+                        worker.index = i
+                        worker.deadline = time.monotonic() + self.timeout_s
+                        worker.inbox.put((i, tasks[i].fn, tuple(tasks[i].args)))
+                try:
+                    index, status, payload = outbox.get(timeout=self._poll_s)
+                except queue_mod.Empty:
+                    pass
+                else:
+                    for worker in alive:
+                        if worker.index == index:
+                            worker.index = None
+                    if not finished[index]:
+                        finished[index] = True
+                        remaining -= 1
+                        if status == "error":
+                            raise JobFailedError(
+                                f"{label(index)} raised:\n{payload}",
+                                job=label(index),
+                                reason="exception",
+                            )
+                        results[index] = payload
+                        if on_result is not None:
+                            on_result(index, payload)
+                    continue  # drain the outbox before health checks
+                now = time.monotonic()
+                for worker in list(alive):
+                    if worker.index is None:
+                        continue
+                    crashed = not worker.proc.is_alive()
+                    overdue = now > worker.deadline
+                    if not (crashed or overdue):
+                        continue
+                    i = worker.index
+                    reason = "crash" if crashed else "timeout"
+                    self._retire(worker)
+                    alive.remove(worker)
+                    if attempts[i] < self.retry.max_attempts:
+                        pending.insert(0, i)
+                    else:
+                        raise JobFailedError(
+                            f"{label(i)}: worker {reason} "
+                            f"(attempt {attempts[i]}/"
+                            f"{self.retry.max_attempts})",
+                            job=label(i),
+                            reason=reason,
+                        )
+                    spawn()
+        finally:
+            for worker in alive:
+                self._retire(worker, graceful=worker.index is None)
+            outbox.cancel_join_thread()
+        return results
+
+    @staticmethod
+    def _retire(worker: _Worker, graceful: bool = False) -> None:
+        """Stop one worker: politely when idle, forcefully otherwise."""
+        if graceful and worker.proc.is_alive():
+            try:
+                worker.inbox.put(None)
+                worker.proc.join(timeout=5.0)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
+        worker.inbox.cancel_join_thread()

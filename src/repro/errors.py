@@ -75,3 +75,27 @@ class FaultInjectionError(ReproError):
 class RecoveryExhaustedError(ReproError):
     """Every recovery avenue for an operation failed: retries ran out
     and no fallback applied (or the fallback itself failed)."""
+
+
+class CampaignError(ReproError):
+    """The campaign layer (parallel experiment runner) failed."""
+
+
+class JobFailedError(CampaignError):
+    """A campaign job exhausted its attempts (crash, timeout, or a
+    deterministic in-job exception).
+
+    Carries the job label and the failure reason so the campaign
+    report — and CI logs — can say *which* job died and why.
+    """
+
+    def __init__(self, message: str, *, job: str | None = None,
+                 reason: str | None = None) -> None:
+        super().__init__(message)
+        self.job = job
+        self.reason = reason
+
+
+class PerfRegressionError(CampaignError):
+    """A benchmark report regressed past the allowed threshold against
+    the committed baseline (see :func:`repro.campaign.bench.compare`)."""

@@ -5,11 +5,24 @@ Usage::
     python -m repro.harness                    # run everything (default preset)
     python -m repro.harness fig04 fig09        # run a subset
     python -m repro.harness --preset quick     # fast pass
-    python -m repro.harness --list             # available experiment ids
+    python -m repro.harness --list             # experiment ids + descriptions
     python -m repro.harness fig09 --json out/  # also write out/fig09.json
     python -m repro.harness fig04 --csv out/   # also write out/fig04.csv
     python -m repro.harness fig04 --trace out/ # Perfetto trace + span dump
     python -m repro.harness chaos --faults examples/faults_plan.json
+
+Campaign mode (parallel workers + content-addressed result cache)::
+
+    python -m repro.harness --jobs 4 --cache .cache/campaign
+    python -m repro.harness fig04 fig08 --preset quick --jobs 2 \\
+        --cache .cache --bench BENCH_campaign.json
+    python -m repro.harness --jobs 4 --cache .cache \\
+        --bench out.json --bench-baseline BENCH_campaign.json
+
+Any of ``--jobs N`` (N>1), ``--cache`` or ``--bench`` switches the run
+from the serial loop to :func:`repro.campaign.runner.run_campaign`;
+results are printed in the same order and are bit-identical to the
+serial path.
 """
 
 from __future__ import annotations
@@ -23,9 +36,11 @@ import time
 from repro.harness.config import ExperimentConfig
 from repro.harness.registry import (
     EXPERIMENTS,
+    describe,
     run_experiment,
     run_experiment_traced,
 )
+from repro.harness.results import ExperimentResult
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,21 +61,47 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="DIR",
                         help="trace the run; write <DIR>/<experiment>"
                              ".trace.json (Chrome/Perfetto), .spans.jsonl "
-                             "and .metrics.txt")
+                             "and .metrics.txt (campaign mode merges all "
+                             "workers into <DIR>/campaign.*)")
     parser.add_argument("--faults", metavar="PLAN.json",
                         help="fault plan for the chaos experiment "
                              "(replaces its built-in scenarios)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes; N>1 runs the campaign "
+                             "path (default: 1, serial)")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="content-addressed result cache directory "
+                             "(enables campaign mode)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache: neither read nor write it")
+    parser.add_argument("--bench", metavar="OUT.json",
+                        help="write the campaign benchmark report "
+                             "(enables campaign mode)")
+    parser.add_argument("--bench-baseline", metavar="BASE.json",
+                        help="fail (exit 1) on perf regression against "
+                             "this committed bench report")
+    parser.add_argument("--seeds", metavar="S1,S2,...",
+                        help="run every experiment under each seed "
+                             "(campaign mode; default: the preset's seed)")
     args = parser.parse_args(argv)
 
     if args.list:
+        width = max(map(len, EXPERIMENTS))
         for experiment in sorted(EXPERIMENTS):
-            print(experiment)
+            print(f"{experiment.ljust(width)}  {describe(experiment)}")
         return 0
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    ids = args.experiments or sorted(EXPERIMENTS)
+    campaign_mode = (args.jobs > 1 or args.cache or args.bench
+                     or args.bench_baseline or args.seeds)
+    if campaign_mode:
+        return _campaign_main(args, ids)
 
     config = ExperimentConfig.preset(args.preset)
     if args.faults:
         config = dataclasses.replace(config, fault_plan=args.faults)
-    ids = args.experiments or sorted(EXPERIMENTS)
     for experiment in ids:
         start = time.perf_counter()
         if args.trace:
@@ -70,6 +111,9 @@ def main(argv: list[str] | None = None) -> int:
         else:
             result, artifacts = run_experiment(experiment, config), None
         elapsed = time.perf_counter() - start
+        result = result.with_meta(
+            wall_s=round(elapsed, 6), config_fingerprint=config.fingerprint()
+        )
         print(result.render())
         if artifacts is not None:
             print(artifacts.summary)
@@ -78,15 +122,81 @@ def main(argv: list[str] | None = None) -> int:
                   f"{artifacts.event_count} events) — open in "
                   f"https://ui.perfetto.dev]")
         print(f"[{experiment} finished in {elapsed:.1f}s]\n")
-        if args.json:
-            path = pathlib.Path(args.json)
-            path.mkdir(parents=True, exist_ok=True)
-            (path / f"{experiment}.json").write_text(result.to_json())
-        if args.csv:
-            path = pathlib.Path(args.csv)
-            path.mkdir(parents=True, exist_ok=True)
-            (path / f"{experiment}.csv").write_text(result.to_csv())
+        _write_exports(result, args)
     return 0
+
+
+def _campaign_main(args: argparse.Namespace, ids: list[str]) -> int:
+    from repro.campaign import bench
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    seeds: tuple[int, ...] = ()
+    if args.seeds:
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    spec = CampaignSpec(
+        experiments=tuple(ids),
+        presets=(args.preset,),
+        seeds=seeds,
+        fault_plan=args.faults,
+    )
+    cache = None
+    if args.cache and not args.no_cache:
+        cache = ResultCache(args.cache)
+    report = run_campaign(
+        spec,
+        jobs=args.jobs,
+        cache=cache,
+        trace_dir=args.trace,
+        progress=print,
+    )
+    print()
+    multi_seed = len(seeds) > 1
+    for outcome in report.outcomes:
+        print(outcome.result.render())
+        source = "cache" if outcome.cache_hit else f"{outcome.wall_s:.1f}s"
+        print(f"[{outcome.job.key}: {source}]\n")
+        name = outcome.job.experiment
+        if multi_seed:
+            name = f"{name}-s{outcome.job.seed}"
+        _write_exports(outcome.result, args, name)
+    print(f"[campaign: {len(report.outcomes)} jobs, "
+          f"{report.cache_hits} cache hits, {report.workers} workers, "
+          f"{report.wall_s:.1f}s wall "
+          f"(serial cost {report.serial_wall_s:.1f}s)]")
+    if report.trace_files:
+        print(f"[trace: {report.trace_files[0]} — open in "
+              f"https://ui.perfetto.dev]")
+
+    bench_report = bench.build_report(report)
+    if args.bench:
+        path = bench.write_report(bench_report, args.bench)
+        print(f"[bench report: {path}]")
+    if args.bench_baseline:
+        baseline = bench.load_report(args.bench_baseline)
+        violations = bench.compare(bench_report, baseline)
+        if violations:
+            print(f"PERF REGRESSION vs {args.bench_baseline}:",
+                  file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print(f"[perf gate: no regression vs {args.bench_baseline}]")
+    return 0
+
+
+def _write_exports(result: ExperimentResult, args: argparse.Namespace,
+                   name: str | None = None) -> None:
+    name = name or result.experiment
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"{name}.json").write_text(result.to_json())
+    if args.csv:
+        path = pathlib.Path(args.csv)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"{name}.csv").write_text(result.to_csv())
 
 
 if __name__ == "__main__":

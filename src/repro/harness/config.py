@@ -10,6 +10,8 @@ sample counts.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 
 from repro.errors import ConfigurationError
 
@@ -44,6 +46,18 @@ class ExperimentConfig:
             raise ConfigurationError("need at least two samples")
         if not self.message_sizes:
             raise ConfigurationError("need at least one message size")
+
+    def fingerprint(self) -> str:
+        """A short stable hash of the resolved configuration.
+
+        Two configs fingerprint equal iff every field is equal, so the
+        value keys the campaign result cache and lets a serial run and
+        a campaign run be matched in reports.
+        """
+        payload = json.dumps(
+            dataclasses.asdict(self), sort_keys=True, default=str
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
     @classmethod
     def preset(cls, name: str) -> "ExperimentConfig":

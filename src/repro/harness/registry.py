@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import pathlib
+import sys
 import typing as t
 
 from repro import obs
@@ -29,6 +30,16 @@ from repro.harness.config import ExperimentConfig
 from repro.harness.results import ExperimentResult
 
 Runner = t.Callable[[ExperimentConfig | None], ExperimentResult]
+
+
+def _run_campaign(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Campaign self-check: parallel == serial, warm cache all hits."""
+    # Imported on first run, not at module import: the campaign layer
+    # itself imports this registry to resolve experiment ids.
+    from repro.campaign.experiment import run
+
+    return run(config)
+
 
 #: Every figure and table of the paper's evaluation, by experiment id.
 EXPERIMENTS: dict[str, Runner] = {
@@ -56,7 +67,31 @@ EXPERIMENTS: dict[str, Runner] = {
     "analytic_check": analytic.run,
     # Fault injection & recovery (extension beyond the paper's figures).
     "chaos": chaos.run,
+    # The campaign layer checking itself (see repro.campaign).
+    "campaign": _run_campaign,
 }
+
+
+def describe(experiment: str) -> str:
+    """The one-line description of a registered experiment.
+
+    The first line of the runner function's docstring, falling back to
+    the first line of its module's docstring (most figure runners
+    document the figure at module level).
+    """
+    try:
+        runner = EXPERIMENTS[experiment]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment!r} (have: {sorted(EXPERIMENTS)})"
+        ) from None
+    doc = runner.__doc__
+    if not doc:
+        module = sys.modules.get(getattr(runner, "__module__", ""), None)
+        doc = getattr(module, "__doc__", None)
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].strip()
 
 
 def run_experiment(

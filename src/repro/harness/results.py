@@ -15,12 +15,20 @@ Row = dict[str, t.Any]
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentResult:
-    """Rows for one figure/table, ready to print or assert on."""
+    """Rows for one figure/table, ready to print or assert on.
+
+    ``meta`` holds run metadata that is *about* the run rather than
+    part of it — wall-clock seconds, the config fingerprint, the
+    campaign job key.  It is rendered and serialised but deliberately
+    kept out of ``rows`` so that repeated runs of the same experiment
+    produce bit-identical rows (the campaign cache depends on that).
+    """
 
     experiment: str
     title: str
     rows: tuple[Row, ...]
     notes: tuple[str, ...] = ()
+    meta: dict[str, t.Any] = dataclasses.field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.rows:
@@ -66,21 +74,56 @@ class ExperimentResult:
             lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
         for note in self.notes:
             lines.append(f"note: {note}")
+        if self.meta:
+            pairs = "  ".join(
+                f"{k}={_fmt(self.meta[k])}" for k in sorted(self.meta)
+            )
+            lines.append(f"meta: {pairs}")
         return "\n".join(lines)
 
+    def with_meta(self, **entries: t.Any) -> "ExperimentResult":
+        """A copy with *entries* merged into ``meta``."""
+        return dataclasses.replace(self, meta={**self.meta, **entries})
 
     def to_json(self) -> str:
-        """A machine-readable dump (experiment, title, rows, notes)."""
+        """A machine-readable dump (experiment, title, rows, notes, meta)."""
         return json.dumps(
             {
                 "experiment": self.experiment,
                 "title": self.title,
                 "rows": list(self.rows),
                 "notes": list(self.notes),
+                "meta": self.meta,
             },
             indent=2,
             default=str,
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output.
+
+        The round trip is exact for JSON-native row values (str, int,
+        float, bool, None) — which is all any registered experiment
+        produces — so a result that went through the campaign cache
+        compares equal, row for row, to the freshly computed one.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"malformed result JSON: {exc}") from None
+        try:
+            return cls(
+                experiment=data["experiment"],
+                title=data["title"],
+                rows=tuple(dict(row) for row in data["rows"]),
+                notes=tuple(data.get("notes", ())),
+                meta=dict(data.get("meta", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"result JSON missing fields: {exc}"
+            ) from None
 
     def to_csv(self) -> str:
         """The rows as CSV (notes are not included)."""

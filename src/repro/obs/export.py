@@ -138,6 +138,89 @@ def write_chrome_trace(tracer: TracerLike,
     return path
 
 
+def records_chrome_trace(
+    records: t.Iterable[t.Mapping[str, t.Any]],
+    run_names: t.Mapping[int, str] | None = None,
+) -> dict[str, t.Any]:
+    """A Chrome ``trace_event`` object built from plain span records.
+
+    The records are the dicts produced by :func:`span_record` /
+    :func:`iter_records` — i.e. what a campaign worker ships back over
+    a queue, or what a ``.spans.jsonl`` file contains.  Working on
+    plain data instead of a live :class:`Tracer` is what makes traces
+    *mergeable*: the campaign runner re-numbers each worker's ``run``
+    ids into one namespace, concatenates the records, and exports the
+    union as a single file with one Perfetto "process" per run.
+
+    ``run_names`` optionally labels runs (``{run: "fig04@quick/r1"}``);
+    unlisted runs fall back to ``sim-run-<n>``.
+    """
+    names = dict(run_names or {})
+    events: list[dict[str, t.Any]] = []
+    tids: dict[str, int] = {}
+    named_runs: set[int] = set()
+
+    def tid_for(run: int, track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": run, "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    for record in records:
+        run = int(record.get("run", 0))
+        if run not in named_runs:
+            named_runs.add(run)
+            events.append({
+                "ph": "M", "name": "process_name", "pid": run,
+                "args": {"name": names.get(run, f"sim-run-{run}")},
+            })
+        attrs = record.get("attrs") or {}
+        track = str(attrs["domain"]) if "domain" in attrs else record["cat"]
+        base = {
+            "name": record["name"],
+            "cat": record["cat"],
+            "ts": float(record["ts"]) * _US,
+            "pid": run,
+            "tid": tid_for(run, track),
+            "args": {k: _arg(v) for k, v in attrs.items()},
+        }
+        if record.get("kind") == "event":
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            events.append({
+                **base, "ph": "X", "dur": float(record.get("dur", 0.0)) * _US,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_records_chrome_trace(
+    records: t.Iterable[t.Mapping[str, t.Any]],
+    path: str | pathlib.Path,
+    run_names: t.Mapping[int, str] | None = None,
+) -> pathlib.Path:
+    """Write :func:`records_chrome_trace` output; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(records_chrome_trace(records, run_names)))
+    return path
+
+
+def write_records_jsonl(
+    records: t.Iterable[t.Mapping[str, t.Any]],
+    path: str | pathlib.Path,
+) -> pathlib.Path:
+    """Write plain span records as JSON-Lines; returns the path."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, default=str))
+            fh.write("\n")
+    return path
+
+
 def summary(tracer: TracerLike, top: int = 10) -> str:
     """A top-N table of span groups by total simulated time.
 

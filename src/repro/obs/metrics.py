@@ -265,3 +265,80 @@ class MetricsRegistry:
                 for key, value in sorted(metric.series().items()):
                     lines.append(f"{name}{_label_text(key)} {value:.9g}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _merge_hist_series(into: dict[str, t.Any],
+                       data: t.Mapping[str, t.Any]) -> None:
+    into["count"] += data["count"]
+    into["sum"] += data["sum"]
+    if data["count"]:
+        have = into["count"] > data["count"]  # non-empty before this merge
+        into["min"] = min(into["min"], data["min"]) if have else data["min"]
+        into["max"] = max(into["max"], data["max"]) if have else data["max"]
+    for upper, n in data["buckets"].items():
+        into["buckets"][upper] = into["buckets"].get(upper, 0) + n
+    into["overflow"] += data["overflow"]
+
+
+def merge_snapshots(
+    snapshots: t.Iterable[t.Mapping[str, t.Any]],
+) -> dict[str, t.Any]:
+    """Combine several :meth:`MetricsRegistry.snapshot` dumps into one.
+
+    This is how the campaign runner aggregates metrics across worker
+    processes: each worker ships its registry's plain-data snapshot
+    back over the result queue, and the union is merged here without
+    ever reconstructing live metric objects.  Per series: counters add,
+    gauges keep the maximum (the campaign-wide peak — per-worker "last
+    value" has no meaning once runs interleave), histograms add their
+    bucket counts and combine sum/min/max.
+
+    Merging a name recorded with different kinds raises
+    :class:`ConfigurationError`, mirroring the registry's own check.
+    """
+    merged: dict[str, t.Any] = {}
+    for snapshot in snapshots:
+        for name, data in snapshot.items():
+            kind = data["kind"]
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = {"kind": kind, "series": {}}
+            elif target["kind"] != kind:
+                raise ConfigurationError(
+                    f"cannot merge metric {name!r}: {target['kind']} vs {kind}"
+                )
+            series = target["series"]
+            for label, value in data["series"].items():
+                if kind == "histogram":
+                    if label not in series:
+                        series[label] = {
+                            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                            "buckets": {}, "overflow": 0,
+                        }
+                    _merge_hist_series(series[label], value)
+                elif kind == "counter":
+                    series[label] = series.get(label, 0.0) + value
+                else:  # gauge
+                    prior = series.get(label)
+                    series[label] = value if prior is None else max(prior,
+                                                                    value)
+    return dict(sorted(merged.items()))
+
+
+def render_snapshot(snapshot: t.Mapping[str, t.Any]) -> str:
+    """Prometheus-flavoured text for a (possibly merged) snapshot."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data["kind"]
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            for label, series in sorted(data["series"].items()):
+                prefix = "" if label == "{}" else label
+                lines.append(f"{name}_count{prefix} {series['count']}")
+                lines.append(f"{name}_sum{prefix} {series['sum']:.9g}")
+        else:
+            for label, value in sorted(data["series"].items()):
+                prefix = "" if label == "{}" else label
+                lines.append(f"{name}{prefix} {value:.9g}")
+    return "\n".join(lines) + ("\n" if lines else "")

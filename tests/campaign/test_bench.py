@@ -1,0 +1,116 @@
+"""Benchmark reports and the perf-regression gate."""
+
+import copy
+
+import pytest
+
+from repro.campaign import bench
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigurationError, PerfRegressionError
+
+
+def make_report(walls, cache_hit=False, campaign_wall=None):
+    """A bench report with one quick-preset entry per experiment."""
+    entries = [
+        {"experiment": experiment, "preset": "quick", "seed": 1,
+         "wall_s": wall, "cache_hit": cache_hit}
+        for experiment, wall in walls.items()
+    ]
+    serial = sum(walls.values())
+    wall = campaign_wall if campaign_wall is not None else serial
+    return {
+        "schema": bench.SCHEMA,
+        "jobs": len(entries),
+        "workers": 2,
+        "cache_hits": sum(1 for e in entries if e["cache_hit"]),
+        "entries": entries,
+        "totals": {
+            "wall_s": wall,
+            "serial_wall_s": serial,
+            "speedup_vs_serial": serial / wall if wall else 0.0,
+        },
+    }
+
+
+class TestBuildReport:
+    def test_real_campaign(self):
+        report = run_campaign(
+            CampaignSpec(experiments=("table01", "table02"),
+                         presets=("quick",)),
+            jobs=1,
+        )
+        data = bench.build_report(report)
+        assert data["schema"] == bench.SCHEMA
+        assert data["jobs"] == 2 and data["cache_hits"] == 0
+        assert {e["experiment"] for e in data["entries"]} == \
+            {"table01", "table02"}
+        assert data["totals"]["wall_s"] > 0
+
+    def test_write_and_load(self, tmp_path):
+        data = make_report({"fig08": 1.0})
+        path = bench.write_report(data, tmp_path / "out" / "b.json")
+        assert bench.load_report(path) == data
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"schema": "something-else"}')
+        with pytest.raises(ConfigurationError):
+            bench.load_report(path)
+        with pytest.raises(ConfigurationError):
+            bench.load_report(tmp_path / "missing.json")
+
+
+class TestCompare:
+    def test_no_regression(self):
+        baseline = make_report({"fig04": 2.0, "fig08": 1.0})
+        current = make_report({"fig04": 2.1, "fig08": 0.9})
+        assert bench.compare(current, baseline) == []
+
+    def test_family_regression_flagged(self):
+        baseline = make_report({"fig04": 2.0, "fig08": 1.0})
+        current = make_report({"fig04": 3.0, "fig08": 1.0})
+        violations = bench.compare(current, baseline)
+        assert len(violations) >= 1
+        assert any("fig04@quick" in v for v in violations)
+
+    def test_serial_total_regression_flagged(self):
+        baseline = make_report({"a": 1.0, "b": 1.0})
+        current = make_report({"a": 1.3, "b": 1.3})
+        violations = bench.compare(current, baseline, threshold_pct=25.0)
+        assert any("serial total" in v for v in violations)
+
+    def test_improvement_never_flags(self):
+        baseline = make_report({"fig04": 3.0})
+        current = make_report({"fig04": 0.5})
+        assert bench.compare(current, baseline) == []
+
+    def test_tiny_walls_ignored(self):
+        baseline = make_report({"table01": 0.001})
+        current = make_report({"table01": 0.01})  # 10x but microscopic
+        assert bench.compare(current, baseline) == []
+
+    def test_cache_hits_not_gated(self):
+        baseline = make_report({"fig04": 1.0})
+        current = make_report({"fig04": 99.0}, cache_hit=True)
+        assert bench.compare(
+            copy.deepcopy(current), copy.deepcopy(baseline)
+        ) == []
+
+    def test_threshold_knob(self):
+        baseline = make_report({"fig04": 1.0})
+        current = make_report({"fig04": 1.4})
+        assert bench.compare(current, baseline, threshold_pct=50.0) == []
+        assert bench.compare(current, baseline, threshold_pct=20.0)
+
+    def test_bad_threshold(self):
+        report = make_report({"fig04": 1.0})
+        with pytest.raises(ConfigurationError):
+            bench.compare(report, report, threshold_pct=0)
+
+    def test_assert_no_regression_raises(self):
+        baseline = make_report({"fig04": 1.0})
+        current = make_report({"fig04": 2.0})
+        with pytest.raises(PerfRegressionError, match="fig04"):
+            bench.assert_no_regression(current, baseline)
+        bench.assert_no_regression(baseline, baseline)

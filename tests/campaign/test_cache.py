@@ -1,0 +1,149 @@
+"""Content-addressed result cache: keys, round trips, invalidation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign.cache import (
+    CacheEntry,
+    ResultCache,
+    job_cache_key,
+    source_fingerprint,
+)
+from repro.campaign.spec import JobSpec
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult
+
+
+def make_job(experiment="fig08", seed=1, **config_kwargs):
+    config = dataclasses.replace(
+        ExperimentConfig.preset("quick"), seed=seed, **config_kwargs
+    )
+    return JobSpec(experiment, "quick", seed, config)
+
+
+def make_result(experiment="fig08"):
+    return ExperimentResult(
+        experiment=experiment, title="T",
+        rows=({"mode": "a", "v": 1.25}, {"mode": "b", "v": None}),
+        notes=("n",),
+        meta={"wall_s": 0.5},
+    )
+
+
+def make_entry(key, job=None, result=None):
+    job = job or make_job()
+    return CacheEntry(
+        key=key, job_key=job.key, experiment=job.experiment,
+        preset=job.preset, seed=job.seed, wall_s=1.5,
+        result=result or make_result(job.experiment),
+    )
+
+
+class TestKeys:
+    def test_stable(self):
+        job = make_job()
+        assert job_cache_key(job, "fp") == job_cache_key(job, "fp")
+
+    def test_sensitive_to_job_identity(self):
+        assert job_cache_key(make_job("fig08"), "fp") != \
+            job_cache_key(make_job("fig04"), "fp")
+        assert job_cache_key(make_job(seed=1), "fp") != \
+            job_cache_key(make_job(seed=2), "fp")
+
+    def test_sensitive_to_any_config_field(self):
+        assert job_cache_key(make_job(), "fp") != \
+            job_cache_key(make_job(rr_transactions=61), "fp")
+
+    def test_sensitive_to_source_fingerprint(self):
+        job = make_job()
+        assert job_cache_key(job, "fp-a") != job_cache_key(job, "fp-b")
+
+    def test_default_fingerprint_is_the_source_tree(self):
+        job = make_job()
+        assert job_cache_key(job) == job_cache_key(job, source_fingerprint())
+
+
+class TestSourceFingerprint:
+    def test_stable_within_process(self):
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 64
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = job_cache_key(make_job(), "fp")
+        assert cache.get(key) is None
+        entry = make_entry(key)
+        cache.put(entry)
+        got = cache.get(key)
+        assert got == entry
+        assert got.result.rows == entry.result.rows
+        assert len(cache) == 1
+
+    def test_result_survives_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "k" * 64
+        cache.put(make_entry(key))
+        got = cache.get(key)
+        assert got.result == make_result()
+        assert type(got.result.rows[0]["v"]) is float
+        assert got.result.rows[1]["v"] is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        cache.put(make_entry(key))
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_wrong_key_inside_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, other = "a" * 64, "b" * 64
+        cache.put(make_entry(key))
+        payload = json.loads(cache.path_for(key).read_text())
+        cache.path_for(other).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(other).write_text(json.dumps(payload))
+        assert cache.get(other) is None
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "c" * 64
+        cache.put(make_entry(key))
+        newer = make_entry(key, result=ExperimentResult(
+            experiment="fig08", title="T2", rows=({"x": 1},),
+        ))
+        cache.put(newer)
+        assert cache.get(key).result.title == "T2"
+        assert len(cache) == 1
+
+    def test_no_stray_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_entry("d" * 64))
+        stray = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+        assert stray == []
+
+    def test_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "e1" + "0" * 62
+        assert cache.path_for(key).parent.name == "e1"
+
+
+class TestInvalidationStory:
+    """The rules docs/architecture.md promises."""
+
+    def test_code_edit_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        before = job_cache_key(job, "sources-before-edit")
+        cache.put(make_entry(before))
+        after = job_cache_key(job, "sources-after-edit")
+        assert cache.get(after) is None
+
+    def test_unrelated_job_unaffected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_entry(job_cache_key(make_job("fig08"), "fp")))
+        assert cache.get(job_cache_key(make_job("fig04"), "fp")) is None
+        assert cache.get(job_cache_key(make_job("fig08"), "fp")) is not None

@@ -1,0 +1,122 @@
+"""The spawn worker pool: ordering, crash requeue, timeouts.
+
+The job functions live at module top level so ``spawn`` workers can
+pickle them by reference; the ones that misbehave do so only on their
+first attempt, signalled through a sentinel file, so requeue-once
+recovery has something to succeed at.
+"""
+
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.campaign.pool import Task, WorkerPool
+from repro.errors import ConfigurationError, JobFailedError
+from repro.faults.recovery import RetryPolicy
+
+
+def _double(value):
+    return value * 2
+
+
+def _crash_on_first_attempt(sentinel_dir, value):
+    flag = pathlib.Path(sentinel_dir) / f"crashed-{value}"
+    if not flag.exists():
+        flag.write_text("1")
+        os._exit(13)
+    return value
+
+
+def _always_crash(value):
+    os._exit(13)
+
+
+def _hang_on_first_attempt(sentinel_dir, value):
+    flag = pathlib.Path(sentinel_dir) / f"hung-{value}"
+    if not flag.exists():
+        flag.write_text("1")
+        time.sleep(120)
+    return value
+
+
+def _raise(value):
+    raise ValueError(f"deterministic failure for {value}")
+
+
+class TestHappyPath:
+    def test_results_in_task_order(self):
+        pool = WorkerPool(workers=2)
+        tasks = [Task(fn=_double, args=(i,)) for i in range(5)]
+        assert pool.run(tasks) == [0, 2, 4, 6, 8]
+
+    def test_empty(self):
+        assert WorkerPool(workers=2).run([]) == []
+
+    def test_on_result_streams_every_task(self):
+        seen = []
+        pool = WorkerPool(workers=2)
+        tasks = [Task(fn=_double, args=(i,)) for i in range(4)]
+        pool.run(tasks, on_result=lambda i, v: seen.append((i, v)))
+        assert sorted(seen) == [(0, 0), (1, 2), (2, 4), (3, 6)]
+
+    def test_single_worker(self):
+        pool = WorkerPool(workers=1)
+        assert pool.run([Task(fn=_double, args=(21,))]) == [42]
+
+
+class TestRecovery:
+    def test_crashed_worker_requeues_once(self, tmp_path):
+        pool = WorkerPool(workers=2)
+        tasks = [
+            Task(fn=_crash_on_first_attempt, args=(str(tmp_path), 7),
+                 label="crasher"),
+            Task(fn=_double, args=(1,)),
+        ]
+        assert pool.run(tasks) == [7, 2]
+
+    def test_persistent_crash_fails_the_job(self, tmp_path):
+        pool = WorkerPool(workers=1)
+        with pytest.raises(JobFailedError) as excinfo:
+            pool.run([Task(fn=_always_crash, args=(1,), label="doomed")])
+        assert excinfo.value.job == "doomed"
+        assert excinfo.value.reason == "crash"
+
+    def test_hung_worker_times_out_and_requeues(self, tmp_path):
+        # Generous timeout: the first attempt's clock includes spawn +
+        # import time, and CI machines are slow.
+        pool = WorkerPool(workers=1, timeout_s=6.0)
+        tasks = [Task(fn=_hang_on_first_attempt, args=(str(tmp_path), 3),
+                      label="hanger")]
+        assert pool.run(tasks) == [3]
+
+    def test_deterministic_exception_fails_fast(self, tmp_path):
+        pool = WorkerPool(workers=1)
+        with pytest.raises(JobFailedError) as excinfo:
+            pool.run([Task(fn=_raise, args=(9,), label="raiser")])
+        assert excinfo.value.reason == "exception"
+        assert "deterministic failure for 9" in str(excinfo.value)
+        # fail-fast: no retry sentinel semantics apply to exceptions
+        assert excinfo.value.job == "raiser"
+
+    def test_retry_budget_is_the_policy(self, tmp_path):
+        # max_attempts=1: no requeue at all, first crash is fatal.
+        pool = WorkerPool(
+            workers=1,
+            retry=RetryPolicy(max_attempts=1, base_delay_s=0.0, jitter=0.0),
+        )
+        with pytest.raises(JobFailedError):
+            pool.run([
+                Task(fn=_crash_on_first_attempt, args=(str(tmp_path), 5)),
+            ])
+
+
+class TestValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(workers=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(workers=1, timeout_s=0)

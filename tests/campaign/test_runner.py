@@ -1,0 +1,153 @@
+"""Campaign orchestration: identity with serial, caching, trace merge."""
+
+import json
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.harness.registry import run_experiment
+
+#: Fast experiments that still cover simulation, analytics and tables.
+FAST = ("fig08", "table01", "table02")
+
+
+def quick_spec(experiments=FAST, seeds=()):
+    return CampaignSpec(
+        experiments=tuple(experiments), presets=("quick",), seeds=seeds
+    )
+
+
+class TestIdentity:
+    def test_parallel_rows_bit_identical_to_serial(self):
+        spec = quick_spec()
+        report = run_campaign(spec, jobs=2)
+        assert [o.job.experiment for o in report.outcomes] == list(FAST)
+        for outcome in report.outcomes:
+            serial = run_experiment(outcome.job.experiment,
+                                    outcome.job.config)
+            assert outcome.result.rows == serial.rows
+            assert outcome.result.notes == serial.notes
+            assert outcome.result.experiment == serial.experiment
+
+    def test_inline_equals_pooled(self):
+        import dataclasses
+
+        spec = quick_spec(("fig08", "table01"))
+        inline = run_campaign(spec, jobs=1)
+        pooled = run_campaign(spec, jobs=2)
+        # meta carries each run's own wall clock; everything else —
+        # rows, notes, titles — must match bit for bit.
+        strip = [dataclasses.replace(r, meta={}) for r in inline.results()]
+        assert strip == [
+            dataclasses.replace(r, meta={}) for r in pooled.results()
+        ]
+
+    def test_cached_replay_identical(self, tmp_path):
+        spec = quick_spec(("fig08", "table01"))
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(spec, jobs=1, cache=cache)
+        warm = run_campaign(spec, jobs=2, cache=cache)
+        assert warm.results() == cold.results()
+
+
+class TestCaching:
+    def test_cold_then_warm(self, tmp_path):
+        spec = quick_spec(("fig08", "table01"))
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(spec, jobs=1, cache=cache)
+        assert cold.cache_hits == 0
+        warm = run_campaign(spec, jobs=1, cache=cache)
+        assert warm.cache_hits == len(warm.outcomes) == 2
+        assert all(o.cache_hit for o in warm.outcomes)
+
+    def test_hits_report_original_wall(self, tmp_path):
+        spec = quick_spec(("fig08",))
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(spec, jobs=1, cache=cache)
+        warm = run_campaign(spec, jobs=1, cache=cache)
+        assert warm.outcomes[0].wall_s == pytest.approx(
+            cold.outcomes[0].wall_s
+        )
+
+    def test_no_cache_means_no_files(self, tmp_path):
+        run_campaign(quick_spec(("table01",)), jobs=1, cache=None)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_seed_axis_distinct_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = quick_spec(("fig08",), seeds=(1, 2))
+        cold = run_campaign(spec, jobs=1, cache=cache)
+        assert len(cold.outcomes) == 2 and len(cache) == 2
+        rows1, rows2 = (o.result.rows for o in cold.outcomes)
+        assert rows1 != rows2  # different seeds, different samples
+
+
+class TestProgressAndMeta:
+    def test_progress_lines(self, tmp_path):
+        lines = []
+        cache = ResultCache(tmp_path)
+        spec = quick_spec(("fig08", "table01"))
+        run_campaign(spec, jobs=1, cache=cache, progress=lines.append)
+        assert len(lines) == 2 and all("ran in" in l for l in lines)
+        lines.clear()
+        run_campaign(spec, jobs=1, cache=cache, progress=lines.append)
+        assert len(lines) == 2 and all("cache hit" in l for l in lines)
+        assert lines[0].startswith("[1/2]") and lines[1].startswith("[2/2]")
+
+    def test_results_carry_meta(self):
+        report = run_campaign(quick_spec(("fig08",)), jobs=1)
+        meta = report.outcomes[0].result.meta
+        assert meta["config_fingerprint"] == \
+            report.outcomes[0].job.config.fingerprint()
+        assert meta["wall_s"] >= 0
+
+    def test_report_totals(self, tmp_path):
+        report = run_campaign(quick_spec(("fig08", "table01")), jobs=1)
+        assert report.workers == 1
+        assert report.serial_wall_s == pytest.approx(
+            sum(o.wall_s for o in report.outcomes)
+        )
+        assert report.wall_s > 0
+
+
+class TestTraceMerge:
+    def test_merged_trace_files(self, tmp_path):
+        spec = quick_spec(("fig08", "fig02"))
+        report = run_campaign(spec, jobs=2, trace_dir=tmp_path / "tr")
+        chrome, spans, metrics = report.trace_files
+        trace = json.loads(chrome.read_text())
+        events = trace["traceEvents"]
+        assert any(e.get("ph") == "X" for e in events)
+
+        # Runs from different jobs live in distinct pid namespaces,
+        # and process names carry the job key.
+        names = {
+            e["args"]["name"] for e in events
+            if e.get("name") == "process_name"
+        }
+        assert any(n.startswith("fig08@quick") for n in names)
+        assert any(n.startswith("fig02@quick") for n in names)
+
+        for line in spans.read_text().splitlines():
+            record = json.loads(line)
+            assert {"kind", "cat", "name", "ts", "run"} <= set(record)
+        assert "# TYPE" in metrics.read_text()
+
+    def test_run_ids_disjoint_across_jobs(self, tmp_path):
+        spec = quick_spec(("fig08", "fig02"))
+        report = run_campaign(spec, jobs=2, trace_dir=tmp_path)
+        by_job: dict[str, set[int]] = {}
+        for run, name in report.trace.run_names.items():
+            by_job.setdefault(name.split("/")[0], set()).add(run)
+        jobs = list(by_job.values())
+        assert len(jobs) == 2 and not (jobs[0] & jobs[1])
+
+    def test_warm_campaign_has_empty_trace(self, tmp_path):
+        spec = quick_spec(("fig08",))
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(spec, jobs=1, cache=cache)
+        warm = run_campaign(spec, jobs=1, cache=cache,
+                            trace_dir=tmp_path / "tr")
+        assert warm.trace is not None and warm.trace.records == ()

@@ -1,0 +1,90 @@
+"""Campaign spec expansion: axes, ordering, keys, validation."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, JobSpec, job_index
+from repro.errors import ConfigurationError
+from repro.harness.config import ExperimentConfig
+
+
+class TestExpand:
+    def test_cross_product_order(self):
+        spec = CampaignSpec(
+            experiments=("fig04", "fig08"),
+            presets=("quick",),
+            seeds=(1, 2),
+        )
+        jobs = spec.expand()
+        assert [job.key for job in jobs] == [
+            "fig04@quick#s1", "fig08@quick#s1",
+            "fig04@quick#s2", "fig08@quick#s2",
+        ]
+
+    def test_default_seed_is_the_presets(self):
+        spec = CampaignSpec(experiments=("fig08",), presets=("quick",))
+        (job,) = spec.expand()
+        assert job.seed == ExperimentConfig.preset("quick").seed
+        assert job.config == ExperimentConfig.preset("quick")
+
+    def test_seed_resolved_into_config(self):
+        spec = CampaignSpec(
+            experiments=("fig08",), presets=("quick",), seeds=(7,)
+        )
+        (job,) = spec.expand()
+        assert job.config.seed == 7
+        assert job.config.rr_transactions == (
+            ExperimentConfig.preset("quick").rr_transactions
+        )
+
+    def test_fault_plan_threaded_into_every_job(self):
+        spec = CampaignSpec(
+            experiments=("fig08", "chaos"), presets=("quick",),
+            fault_plan="plan.json",
+        )
+        assert all(j.config.fault_plan == "plan.json" for j in spec.expand())
+
+    def test_expansion_is_deterministic(self):
+        spec = CampaignSpec(
+            experiments=("fig08", "fig04"), presets=("quick", "default"),
+            seeds=(3, 1),
+        )
+        assert spec.expand() == spec.expand()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError, match="fig99"):
+            CampaignSpec(experiments=("fig99",)).expand()
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="warp"):
+            CampaignSpec(experiments=("fig08",), presets=("warp",)).expand()
+
+
+class TestValidation:
+    def test_empty_experiments(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(experiments=())
+
+    def test_empty_presets(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(experiments=("fig08",), presets=())
+
+    def test_duplicate_axes(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(experiments=("fig08", "fig08"))
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(experiments=("fig08",), seeds=(1, 1))
+
+
+class TestJobIndex:
+    def test_by_key(self):
+        jobs = CampaignSpec(
+            experiments=("fig04", "fig08"), presets=("quick",)
+        ).expand()
+        by_key = job_index(jobs)
+        assert set(by_key) == {j.key for j in jobs}
+
+    def test_collision_rejected(self):
+        config = ExperimentConfig.preset("quick")
+        job = JobSpec("fig08", "quick", 1, config)
+        with pytest.raises(ConfigurationError):
+            job_index([job, job])

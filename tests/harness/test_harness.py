@@ -16,17 +16,51 @@ class TestConfig:
         assert full.rr_transactions > default.rr_transactions
         assert len(full.message_sizes) >= len(default.message_sizes)
 
-    def test_unknown_preset(self):
+    @pytest.mark.parametrize("name", ["warp", "", "QUICK", "quick ", None])
+    def test_unknown_preset(self, name):
         with pytest.raises(ConfigurationError):
-            ExperimentConfig.preset("warp")
+            ExperimentConfig.preset(name)
 
-    def test_validation(self):
+    @pytest.mark.parametrize("kwargs", [
+        {"stream_duration_s": 0},
+        {"stream_duration_s": -0.01},
+        {"macro_duration_s": 0},
+        {"macro_duration_s": -1.0},
+        {"rr_transactions": 1},
+        {"rr_transactions": 0},
+        {"boot_runs": 1},
+        {"message_sizes": ()},
+    ])
+    def test_validation(self, kwargs):
         with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)
+
+    def test_validation_error_messages_name_the_problem(self):
+        with pytest.raises(ConfigurationError, match="durations"):
             ExperimentConfig(stream_duration_s=0)
-        with pytest.raises(ConfigurationError):
-            ExperimentConfig(rr_transactions=1)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="two samples"):
+            ExperimentConfig(boot_runs=1)
+        with pytest.raises(ConfigurationError, match="message size"):
             ExperimentConfig(message_sizes=())
+
+    def test_fingerprint_tracks_every_field(self):
+        import dataclasses
+
+        base = ExperimentConfig()
+        assert base.fingerprint() == ExperimentConfig().fingerprint()
+        for field in dataclasses.fields(ExperimentConfig):
+            if field.name == "seed":
+                changed = dataclasses.replace(base, seed=base.seed + 1)
+            elif field.name == "fault_plan":
+                changed = dataclasses.replace(base, fault_plan="plan.json")
+            elif field.name == "message_sizes":
+                changed = dataclasses.replace(base, message_sizes=(64,))
+            else:
+                value = getattr(base, field.name)
+                changed = dataclasses.replace(
+                    base, **{field.name: type(value)(value * 2)}
+                )
+            assert changed.fingerprint() != base.fingerprint(), field.name
 
 
 class TestResults:
@@ -79,9 +113,22 @@ class TestRegistry:
             "ablation_no_batching", "ablation_rule_bloat",
             "ablation_scheduler_policy",
             "online_cost", "analytic_check",
-            "chaos",
+            "chaos", "campaign",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_describe_every_experiment(self):
+        from repro.harness.registry import describe
+
+        for experiment in EXPERIMENTS:
+            line = describe(experiment)
+            assert line and "\n" not in line, experiment
+
+    def test_describe_unknown(self):
+        from repro.harness.registry import describe
+
+        with pytest.raises(ConfigurationError):
+            describe("fig99")
 
     def test_unknown_experiment(self):
         with pytest.raises(ConfigurationError):
@@ -116,6 +163,79 @@ class TestExport:
         assert data["rows"][1]["v"] == 2.0
         assert data["notes"] == ["hello"]
 
+    def test_from_json_inverts_to_json(self):
+        original = self.make()
+        rebuilt = ExperimentResult.from_json(original.to_json())
+        assert rebuilt == original
+        assert rebuilt.rows == original.rows
+        assert type(rebuilt.rows) is tuple and type(rebuilt.notes) is tuple
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentResult.from_json("not json{")
+        with pytest.raises(ConfigurationError):
+            ExperimentResult.from_json('{"experiment": "x"}')
+
+    def test_with_meta_merges(self):
+        result = self.make().with_meta(wall_s=1.5)
+        result = result.with_meta(config_fingerprint="abc", wall_s=2.0)
+        assert result.meta == {"wall_s": 2.0, "config_fingerprint": "abc"}
+        assert "meta: " in result.render()
+        assert self.make().meta == {}
+
+    def test_roundtrip_property(self):
+        """Property-style: render/columns survive to_json → from_json
+        for arbitrary JSON-native rows, notes and meta."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        scalars = st.one_of(
+            st.none(), st.booleans(), st.integers(-2**31, 2**31),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=20),
+        )
+        keys = st.text(
+            st.characters(codec="ascii", exclude_characters="\0"),
+            min_size=1, max_size=8,
+        )
+        rows = st.lists(
+            st.dictionaries(keys, scalars, min_size=1, max_size=5),
+            min_size=1, max_size=5,
+        ).map(tuple)
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            rows=rows,
+            notes=st.lists(st.text(max_size=30), max_size=3).map(tuple),
+            meta=st.dictionaries(keys, scalars, max_size=3),
+        )
+        def check(rows, notes, meta):
+            original = ExperimentResult(
+                experiment="prop", title="P",
+                rows=rows, notes=notes, meta=meta,
+            )
+            rebuilt = ExperimentResult.from_json(original.to_json())
+            assert rebuilt == original
+            assert rebuilt.columns() == original.columns()
+            assert rebuilt.render() == original.render()
+
+        check()
+
+    def test_real_experiment_roundtrip(self):
+        """An actual registered experiment survives the round trip
+        bit for bit — the campaign cache's core assumption."""
+        result = run_experiment(
+            "fig08", ExperimentConfig.preset("quick")
+        ).with_meta(wall_s=0.5, config_fingerprint="abc")
+        rebuilt = ExperimentResult.from_json(result.to_json())
+        assert rebuilt == result
+        assert all(
+            type(new_value) is type(old_value)
+            for new_row, old_row in zip(rebuilt.rows, result.rows)
+            for new_value, old_value in zip(new_row.values(),
+                                            old_row.values())
+        )
+
     def test_to_csv(self):
         text = self.make().to_csv()
         lines = text.strip().splitlines()
@@ -137,6 +257,27 @@ class TestCli:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "fig09" in out and "ablation_no_batching" in out
+
+    def test_list_flag_describes(self, capsys):
+        from repro.harness.__main__ import main
+        from repro.harness.registry import describe
+
+        assert main(["--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == len(EXPERIMENTS)
+        by_id = {line.split()[0]: line for line in lines}
+        assert set(by_id) == set(EXPERIMENTS)
+        for experiment, line in by_id.items():
+            assert describe(experiment) in line
+
+    def test_serial_run_stamps_meta(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["table01", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "meta: " in out and "wall_s=" in out
+        fingerprint = ExperimentConfig.preset("quick").fingerprint()
+        assert f"config_fingerprint={fingerprint}" in out
 
     def test_json_and_csv_export(self, tmp_path, capsys):
         from repro.harness.__main__ import main
