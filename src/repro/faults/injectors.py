@@ -184,6 +184,8 @@ class ChaosController:
                     self.executed.append(("vm.restart", name, self.env.now))
         elif spec.kind == "link.partition":
             yield from self._partition_links(spec)
+        elif spec.kind == "hostlo.stall":
+            yield from self._stall_hostlo(spec)
 
     def _crash_vms(self, spec: FaultSpec) -> list[str]:
         crashed: list[str] = []
@@ -211,3 +213,32 @@ class ChaosController:
             yield self.env.timeout(spec.duration)
             for link in hit:
                 link.set_up()
+
+    def _stall_hostlo(self, spec: FaultSpec) -> t.Generator:
+        """Wedge matching hostlo queues (target: VM or endpoint name).
+
+        The queue's consumer stops servicing its ring; frames for it
+        pile up and drop at the tap until the health watchdog evicts
+        the queue (or ``duration`` elapses and the consumer recovers).
+        """
+        stalled = []
+        for hostlo_name in sorted(self.vmm.hostlo_names()):
+            handle = self.vmm.hostlo(hostlo_name)
+            for vm_name in sorted(handle.endpoints):
+                endpoint = handle.endpoints[vm_name]
+                if not (fnmatchcase(vm_name, spec.target)
+                        or fnmatchcase(endpoint.name, spec.target)):
+                    continue
+                if endpoint.backend is not handle.tap:
+                    continue  # already evicted
+                handle.tap.stall_queue(endpoint)
+                self.injector.record("hostlo.stall", endpoint.name,
+                                     at=self.env.now, vm=vm_name)
+                self.executed.append(
+                    ("hostlo.stall", endpoint.name, self.env.now))
+                stalled.append((handle.tap, endpoint))
+        if spec.duration is not None and stalled:
+            yield self.env.timeout(spec.duration)
+            for tap, endpoint in stalled:
+                if endpoint in tap.endpoints:
+                    endpoint.rx_queue.resume()

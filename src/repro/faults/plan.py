@@ -36,16 +36,18 @@ FAULT_KINDS = frozenset({
     "vm.crash",         # scheduled VM crash (driven by the ChaosController)
     # net layer
     "link.loss",        # per-frame loss on a physical link
+    "link.corrupt",     # per-frame corruption (dropped at the far NIC)
     "link.partition",   # scheduled link down/up (ChaosController)
     "frame.drop",       # per-frame drop at a named bridge
     "hostlo.drop",      # per-frame drop on a hostlo tap's queues
+    "hostlo.stall",     # scheduled wedge of a hostlo VM queue
     # orchestrator layer
     "agent.stall",      # the in-VM node agent stalls during configure
 })
 
 #: Kinds the :class:`~repro.faults.injectors.ChaosController` executes
 #: on a schedule (``at`` required) rather than sites querying inline.
-SCHEDULED_KINDS = frozenset({"vm.crash", "link.partition"})
+SCHEDULED_KINDS = frozenset({"vm.crash", "link.partition", "hostlo.stall"})
 
 
 @dataclasses.dataclass(frozen=True)

@@ -64,8 +64,15 @@ def main(argv: list[str] | None = None) -> int:
                              "and .metrics.txt (campaign mode merges all "
                              "workers into <DIR>/campaign.*)")
     parser.add_argument("--faults", metavar="PLAN.json",
-                        help="fault plan for the chaos experiment "
-                             "(replaces its built-in scenarios)")
+                        help="fault plan for the chaos/reliability "
+                             "experiments (replaces their built-in "
+                             "scenarios)")
+    parser.add_argument("--reliable", action="store_true",
+                        help="reliability experiment: run only the ARQ "
+                             "lane (skip the raw fail-silent baseline)")
+    parser.add_argument("--health", action="store_true",
+                        help="audit topology invariants after supporting "
+                             "experiments and report violation counts")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes; N>1 runs the campaign "
                              "path (default: 1, serial)")
@@ -102,6 +109,9 @@ def main(argv: list[str] | None = None) -> int:
     config = ExperimentConfig.preset(args.preset)
     if args.faults:
         config = dataclasses.replace(config, fault_plan=args.faults)
+    if args.reliable or args.health:
+        config = dataclasses.replace(config, reliable=args.reliable,
+                                     health=args.health)
     for experiment in ids:
         start = time.perf_counter()
         if args.trace:

@@ -40,6 +40,7 @@ from repro.errors import HotplugError, RecoveryExhaustedError, ReproError
 from repro.faults import ChaosController, FaultInjector, FaultPlan, FaultSpec
 from repro.harness.config import ExperimentConfig
 from repro.harness.results import ExperimentResult
+from repro.health import HealthScope, run_checks
 from repro.orchestrator.cluster import Orchestrator
 from repro.orchestrator.pod import ContainerSpec, PodSpec
 from repro.sim import Environment
@@ -176,6 +177,12 @@ def run_scenario(
         "recovery_actions": len(orch.recovery_log),
         "recovery_log": list(orch.recovery_log),
     }
+    if config.health:
+        # ``--health``: after the dust settles, the surviving topology
+        # must hold every wiring invariant.
+        violations = run_checks(HealthScope.of(orchestrators=(orch,)))
+        summary["health_violations"] = len(violations)
+        summary["health_details"] = [str(v) for v in violations]
     return rows, summary
 
 
@@ -200,6 +207,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
             f"{summary['scheduled_executed']} scheduled executed, "
             f"{summary['recovery_actions']} recovery actions"
         )
+        if "health_violations" in summary:
+            notes.append(
+                f"{scenario}: health violations "
+                f"{summary['health_violations']}"
+                + ("".join(f"; {d}" for d in summary["health_details"])
+                   if summary["health_violations"] else "")
+            )
     total_unhandled = sum(r["unhandled"] for r in rows)
     notes.append(
         f"unhandled attach errors: {total_unhandled} "

@@ -35,9 +35,24 @@ class ExperimentConfig:
     wrk2_connections: int = 100
     boot_runs: int = 100
     trace_users: int = 492
-    #: Path to a JSON fault plan for the ``chaos`` experiment
-    #: (``--faults PLAN.json``); ``None`` runs the built-in scenarios.
+    #: Path to a JSON fault plan for the ``chaos`` and ``reliability``
+    #: experiments (``--faults PLAN.json``); ``None`` runs the
+    #: built-in scenarios.
     fault_plan: str | None = None
+    #: ``link.loss`` probabilities swept by the ``reliability``
+    #: experiment's goodput-vs-loss curve.
+    loss_rates: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10)
+    #: Messages per reliability lane and the ARQ window size.
+    arq_messages: int = 120
+    arq_window: int = 16
+    #: ``--reliable``: restrict the reliability experiment to its
+    #: ARQ lane (skip the raw, fail-silent baseline lane).
+    reliable: bool = False
+    #: ``--health``: run the invariant checks inside supporting
+    #: experiments and report violation counts.
+    health: bool = False
+    #: Health watchdog period (simulated seconds).
+    health_interval_s: float = 2.0e-3
 
     def __post_init__(self) -> None:
         if self.stream_duration_s <= 0 or self.macro_duration_s <= 0:
@@ -46,6 +61,17 @@ class ExperimentConfig:
             raise ConfigurationError("need at least two samples")
         if not self.message_sizes:
             raise ConfigurationError("need at least one message size")
+        if not self.loss_rates or any(
+                not 0.0 <= p <= 1.0 for p in self.loss_rates):
+            raise ConfigurationError(
+                "loss_rates must be non-empty probabilities in [0, 1]"
+            )
+        if self.arq_messages < 1 or self.arq_window < 1:
+            raise ConfigurationError(
+                "arq_messages and arq_window must be >= 1"
+            )
+        if self.health_interval_s <= 0:
+            raise ConfigurationError("health_interval_s must be positive")
 
     def fingerprint(self) -> str:
         """A short stable hash of the resolved configuration.
@@ -74,6 +100,8 @@ class ExperimentConfig:
                 wrk2_connections=40,
                 boot_runs=30,
                 trace_users=120,
+                loss_rates=(0.0, 0.05),
+                arq_messages=40,
             )
         if name == "default":
             return cls()
@@ -85,5 +113,7 @@ class ExperimentConfig:
                 macro_duration_s=0.06,
                 boot_runs=100,
                 trace_users=492,
+                loss_rates=(0.0, 0.01, 0.02, 0.05, 0.10, 0.20),
+                arq_messages=400,
             )
         raise ConfigurationError(f"unknown preset {name!r}")

@@ -24,6 +24,7 @@ from repro.harness import (
     fig11_13,
     fig14_15,
     online,
+    reliability,
     tables,
 )
 from repro.harness.config import ExperimentConfig
@@ -67,6 +68,8 @@ EXPERIMENTS: dict[str, Runner] = {
     "analytic_check": analytic.run,
     # Fault injection & recovery (extension beyond the paper's figures).
     "chaos": chaos.run,
+    # Datapath reliability: ARQ under loss + health watchdog.
+    "reliability": reliability.run,
     # The campaign layer checking itself (see repro.campaign).
     "campaign": _run_campaign,
 }

@@ -1,0 +1,45 @@
+"""Runtime health: topology invariants and the watchdog process.
+
+The simulator's layers each maintain wiring invariants (a device lives
+in exactly one namespace, a bridge's FDB only references its ports, a
+hostlo queue always has a live consumer) and accounting invariants
+(every injected frame is delivered or sits in exactly one labelled
+drop bucket).  Under chaos — crashes, partitions, stalls, evictions —
+a bug in any teardown path silently violates them.
+
+* :mod:`repro.health.invariants` — pure check functions over a
+  :class:`HealthScope` (the set of namespaces/engines/reports to
+  audit), each returning :class:`Violation` records.
+* :mod:`repro.health.monitor` — :class:`HealthMonitor`, a simulation
+  process that runs the checks periodically, reports through
+  ``repro.obs`` and evicts wedged hostlo queues through the
+  orchestrator's recovery machinery.
+"""
+
+from repro.health.invariants import (
+    ALL_CHECKS,
+    HealthScope,
+    Violation,
+    check_bridge_consistency,
+    check_device_wiring,
+    check_frame_conservation,
+    check_hostlo_liveness,
+    check_leaked_devices,
+    run_checks,
+    stalled_hostlo_queues,
+)
+from repro.health.monitor import HealthMonitor
+
+__all__ = [
+    "ALL_CHECKS",
+    "HealthMonitor",
+    "HealthScope",
+    "Violation",
+    "check_bridge_consistency",
+    "check_device_wiring",
+    "check_frame_conservation",
+    "check_hostlo_liveness",
+    "check_leaked_devices",
+    "run_checks",
+    "stalled_hostlo_queues",
+]

@@ -1,0 +1,251 @@
+"""Topology and accounting invariants, as pure check functions.
+
+Each check takes a :class:`HealthScope` — the collection of namespaces,
+forwarding engines and ARQ reports under audit — and returns zero or
+more :class:`Violation` records.  Checks never mutate anything; acting
+on what they find (evicting a wedged hostlo queue, re-scheduling a pod)
+belongs to :class:`repro.health.monitor.HealthMonitor` and the
+orchestrator.
+
+A deliberately *stalled* hostlo queue is not a violation: it is a
+fault the watchdog is expected to handle, surfaced separately through
+:func:`stalled_hostlo_queues`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.net.bridge import Bridge
+from repro.net.devices import HostloEndpoint, HostloTap, TapDevice
+from repro.net.namespace import NetworkNamespace
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.arq import ArqReport
+    from repro.net.forwarding import ForwardingEngine
+    from repro.orchestrator.cluster import Orchestrator
+    from repro.virt.host import PhysicalHost
+    from repro.virt.vmm import Vmm
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which check, on what, and why."""
+
+    check: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug convenience
+        return f"[{self.check}] {self.subject}: {self.detail}"
+
+
+class HealthScope:
+    """What one health pass audits.
+
+    Build it directly from namespaces, or with :meth:`of` from the
+    higher-level owners (hosts, VMMs, orchestrators) — the usual way,
+    since those know every namespace they created.
+    """
+
+    def __init__(
+        self,
+        namespaces: t.Iterable[NetworkNamespace] = (),
+        forwarding: "ForwardingEngine | None" = None,
+        arq_reports: t.Iterable["ArqReport"] = (),
+    ) -> None:
+        deduped: dict[int, NetworkNamespace] = {}
+        for ns in namespaces:
+            deduped.setdefault(id(ns), ns)
+        self.namespaces: tuple[NetworkNamespace, ...] = tuple(deduped.values())
+        self.forwarding = forwarding
+        self.arq_reports = tuple(arq_reports)
+
+    @classmethod
+    def of(
+        cls,
+        *,
+        hosts: t.Iterable["PhysicalHost"] = (),
+        vmms: t.Iterable["Vmm"] = (),
+        orchestrators: t.Iterable["Orchestrator"] = (),
+        namespaces: t.Iterable[NetworkNamespace] = (),
+        forwarding: "ForwardingEngine | None" = None,
+        arq_reports: t.Iterable["ArqReport"] = (),
+    ) -> "HealthScope":
+        """Gather every namespace the given owners are responsible for."""
+        gathered: list[NetworkNamespace] = list(namespaces)
+        vmm_list = list(vmms)
+        for orch in orchestrators:
+            vmm_list.append(orch.vmm)
+            for deployment in orch.deployments.values():
+                gathered.extend(deployment.fragments.values())
+        host_list = list(hosts)
+        for vmm in vmm_list:
+            host_list.append(vmm.host)
+            for vm in vmm.vms.values():
+                gathered.extend(vm.namespaces)
+        for host in host_list:
+            gathered.append(host.ns)
+        return cls(gathered, forwarding=forwarding, arq_reports=arq_reports)
+
+    # -- derived views ----------------------------------------------------
+    def devices(self) -> t.Iterator[tuple[NetworkNamespace, str, t.Any]]:
+        for ns in self.namespaces:
+            for name, dev in ns.devices.items():
+                yield ns, name, dev
+
+    def bridges(self) -> tuple[Bridge, ...]:
+        return tuple(dev for _, _, dev in self.devices()
+                     if isinstance(dev, Bridge))
+
+    def hostlo_taps(self) -> tuple[HostloTap, ...]:
+        return tuple(dev for _, _, dev in self.devices()
+                     if isinstance(dev, HostloTap))
+
+
+# -- the checks -----------------------------------------------------------
+def check_device_wiring(scope: HealthScope) -> list[Violation]:
+    """Every attached device points back at its namespace, under the
+    name it is registered as; a TAP and the vNIC it backs agree."""
+    out: list[Violation] = []
+    for ns, name, dev in scope.devices():
+        if dev.namespace is not ns:
+            where = dev.namespace.name if dev.namespace else "nowhere"
+            out.append(Violation(
+                "device-wiring", f"{ns.name}/{name}",
+                f"device thinks it lives in {where}",
+            ))
+        if dev.name != name:
+            out.append(Violation(
+                "device-wiring", f"{ns.name}/{name}",
+                f"registered as {name!r} but named {dev.name!r}",
+            ))
+        if isinstance(dev, TapDevice) and dev.backs is not None \
+                and dev.backs.backend is not dev:
+            out.append(Violation(
+                "device-wiring", f"{ns.name}/{name}",
+                f"backs {dev.backs.name!r} which does not point back",
+            ))
+    return out
+
+
+def check_leaked_devices(scope: HealthScope) -> list[Violation]:
+    """Nothing survives its owner: no orphaned host-side taps, no
+    bridge ports belonging to no namespace."""
+    out: list[Violation] = []
+    for ns, name, dev in scope.devices():
+        if isinstance(dev, TapDevice) and dev.backs is None:
+            out.append(Violation(
+                "leaked-device", f"{ns.name}/{name}",
+                "host tap backs no vNIC but is still attached",
+            ))
+    for bridge in scope.bridges():
+        for port in bridge.ports:
+            if port.namespace is None:
+                out.append(Violation(
+                    "leaked-device", f"{bridge.name}/{port.name}",
+                    "bridge port belongs to no namespace",
+                ))
+    return out
+
+
+def check_bridge_consistency(scope: HealthScope) -> list[Violation]:
+    """Ports point back at their bridge and the FDB only references
+    current ports (``remove_port`` must flush stale entries)."""
+    out: list[Violation] = []
+    for bridge in scope.bridges():
+        for port in bridge.ports:
+            if port.bridge is not bridge:
+                out.append(Violation(
+                    "bridge-consistency", f"{bridge.name}/{port.name}",
+                    "port does not point back at its bridge",
+                ))
+        ports = set(map(id, bridge.ports))
+        for mac, port in bridge._fdb.items():
+            if id(port) not in ports:
+                out.append(Violation(
+                    "bridge-consistency", f"{bridge.name}",
+                    f"FDB entry {mac} -> {port.name} references a "
+                    "removed port",
+                ))
+    return out
+
+
+def check_hostlo_liveness(scope: HealthScope) -> list[Violation]:
+    """Every queue on a hostlo tap serves a live, attached endpoint."""
+    out: list[Violation] = []
+    for tap in scope.hostlo_taps():
+        for endpoint in tap.endpoints:
+            if endpoint.backend is not tap:
+                out.append(Violation(
+                    "hostlo-liveness", f"{tap.name}/{endpoint.name}",
+                    "queued endpoint does not point back at the tap",
+                ))
+            if endpoint.namespace is None:
+                out.append(Violation(
+                    "hostlo-liveness", f"{tap.name}/{endpoint.name}",
+                    "queue serves a detached endpoint "
+                    "(evict it via remove_queue)",
+                ))
+    return out
+
+
+def check_frame_conservation(scope: HealthScope) -> list[Violation]:
+    """injected == delivered + sum of labelled drops, everywhere."""
+    out: list[Violation] = []
+    engine = scope.forwarding
+    if engine is not None:
+        accounted = engine.frames_delivered + sum(engine.drops.values())
+        if engine.frames_sent != accounted:
+            out.append(Violation(
+                "frame-conservation", "forwarding",
+                f"sent {engine.frames_sent} != delivered "
+                f"{engine.frames_delivered} + drops "
+                f"{sum(engine.drops.values())}",
+            ))
+    for index, report in enumerate(scope.arq_reports):
+        if not report.conserved():
+            out.append(Violation(
+                "frame-conservation", f"arq[{index}]",
+                f"transmissions {report.transmissions} != delivered "
+                f"{report.delivered} + duplicates {report.duplicates} "
+                f"+ lost {report.lost}",
+            ))
+        if not report.exactly_once:
+            out.append(Violation(
+                "frame-conservation", f"arq[{index}]",
+                f"delivered {report.delivered} messages over "
+                f"{len(report.delivered_ids)} distinct ids "
+                "(exactly-once broken)",
+            ))
+    return out
+
+
+#: Every invariant check, in the order a health pass runs them.
+ALL_CHECKS: tuple[t.Callable[[HealthScope], list[Violation]], ...] = (
+    check_device_wiring,
+    check_leaked_devices,
+    check_bridge_consistency,
+    check_hostlo_liveness,
+    check_frame_conservation,
+)
+
+
+def run_checks(scope: HealthScope) -> list[Violation]:
+    """Run every invariant check over *scope*."""
+    out: list[Violation] = []
+    for check in ALL_CHECKS:
+        out.extend(check(scope))
+    return out
+
+
+def stalled_hostlo_queues(
+    scope: HealthScope,
+) -> list[tuple[HostloTap, HostloEndpoint]]:
+    """Wedged queues the watchdog should evict (not violations)."""
+    return [
+        (tap, endpoint)
+        for tap in scope.hostlo_taps()
+        for endpoint in tap.stalled_endpoints()
+    ]

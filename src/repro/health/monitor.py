@@ -1,0 +1,173 @@
+"""The health watchdog: periodic invariant checks + queue eviction.
+
+A :class:`HealthMonitor` is a simulation process.  Every
+``interval_s`` of simulated time it rebuilds its :class:`~repro.health.
+invariants.HealthScope` (topology changes between ticks), runs every
+invariant check, reports violations through ``repro.obs`` and an
+optional callback, and — the degraded-mode half — evicts hostlo queues
+whose consumer stalled, preferring the orchestrator's recovery
+machinery (:meth:`~repro.orchestrator.cluster.Orchestrator.
+handle_hostlo_stall`) so the eviction lands in the recovery log.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.health.invariants import (
+    HealthScope,
+    Violation,
+    run_checks,
+    stalled_hostlo_queues,
+)
+from repro.obs import metrics as _active_metrics
+from repro.obs import tracer as _active_tracer
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.devices import HostloEndpoint, HostloTap
+    from repro.orchestrator.cluster import Orchestrator
+    from repro.sim import Environment
+    from repro.virt.vmm import Vmm
+
+#: Default watchdog period (simulated seconds): two kubelet-ish probe
+#: intervals scaled to the sub-second experiment horizons.
+DEFAULT_INTERVAL_S = 2e-3
+
+
+class HealthMonitor:
+    """Periodically audits a scope and acts on what it finds.
+
+    Parameters
+    ----------
+    env: the simulation environment.
+    scope_fn: builds the :class:`HealthScope` to audit *at each tick*
+        (topology is mutable; a frozen scope would go stale).
+    interval_s: watchdog period in simulated seconds.
+    orchestrator: when given, stalled-queue evictions go through
+        :meth:`~repro.orchestrator.cluster.Orchestrator.
+        handle_hostlo_stall` (recovery log + degraded-pod marking).
+    vmm: fallback eviction path when no orchestrator manages the tap.
+    on_violation: called with each :class:`Violation` as found.
+    evict_stalled: turn the degraded-mode eviction off to only observe.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        scope_fn: t.Callable[[], HealthScope],
+        *,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        orchestrator: "Orchestrator | None" = None,
+        vmm: "Vmm | None" = None,
+        on_violation: t.Callable[[Violation], None] | None = None,
+        evict_stalled: bool = True,
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError(
+                f"watchdog interval must be positive: {interval_s!r}"
+            )
+        self.env = env
+        self.scope_fn = scope_fn
+        self.interval_s = interval_s
+        self.orchestrator = orchestrator
+        self.vmm = vmm if vmm is not None else (
+            orchestrator.vmm if orchestrator is not None else None
+        )
+        self.on_violation = on_violation
+        self.evict_stalled = evict_stalled
+        self.checks_run = 0
+        self.violations: list[tuple[float, Violation]] = []
+        #: (sim time, tap name, endpoint name, frames drained) per evict.
+        self.evictions: list[tuple[float, str, str, int]] = []
+        self._stop = False
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    # -- one pass ---------------------------------------------------------
+    def check_now(self) -> list[Violation]:
+        """Run every invariant check once; evict stalled queues."""
+        self.checks_run += 1
+        scope = self.scope_fn()
+        found = run_checks(scope)
+        metrics = _active_metrics()
+        metrics.counter(
+            "health.checks_total", help="health watchdog passes",
+        ).inc()
+        tracer = _active_tracer()
+        for violation in found:
+            self.violations.append((self.env.now, violation))
+            metrics.counter(
+                "health.violations_total",
+                help="invariant violations found, by check",
+            ).inc(check=violation.check)
+            if tracer.enabled:
+                tracer.event("health.violation", violation.subject,
+                             check=violation.check, detail=violation.detail)
+            if self.on_violation is not None:
+                self.on_violation(violation)
+        if self.evict_stalled:
+            for tap, endpoint in stalled_hostlo_queues(scope):
+                self._evict(tap, endpoint)
+        return found
+
+    def _evict(self, tap: "HostloTap", endpoint: "HostloEndpoint") -> None:
+        named = self._identify(tap, endpoint)
+        if self.orchestrator is not None and named is not None:
+            drained = self.orchestrator.handle_hostlo_stall(*named)
+        elif self.vmm is not None and named is not None:
+            drained = self.vmm.evict_hostlo_queue(*named)
+        else:
+            drained = tap.remove_queue(endpoint)
+        self.evictions.append(
+            (self.env.now, tap.name, endpoint.name, drained)
+        )
+        metrics = _active_metrics()
+        metrics.counter(
+            "health.evictions_total",
+            help="stalled hostlo queues evicted by the watchdog",
+        ).inc(hostlo=tap.name)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("health.evict", f"{tap.name}/{endpoint.name}",
+                         drained=drained)
+
+    def _identify(
+        self, tap: "HostloTap", endpoint: "HostloEndpoint"
+    ) -> tuple[str, str] | None:
+        """Reverse-map a (tap, endpoint) pair to (hostlo, vm) names."""
+        if self.vmm is None:
+            return None
+        for hostlo_name in self.vmm.hostlo_names():
+            handle = self.vmm.hostlo(hostlo_name)
+            if handle.tap is not tap:
+                continue
+            for vm_name, ep in handle.endpoints.items():
+                if ep is endpoint:
+                    return hostlo_name, vm_name
+        return None
+
+    # -- the process ------------------------------------------------------
+    def start(self, horizon_s: float | None = None) -> t.Any:
+        """Spawn the periodic watchdog; returns its Process event.
+
+        ``horizon_s`` bounds the watchdog's lifetime so an
+        ``env.run()``-to-exhaustion simulation still terminates;
+        without it, call :meth:`stop` to end the loop at the next tick.
+        """
+        return self.env.process(self._watch(horizon_s))
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def _watch(self, horizon_s: float | None) -> t.Generator:
+        while not self._stop:
+            if horizon_s is not None \
+                    and self.env.now + self.interval_s > horizon_s:
+                return
+            yield self.env.timeout(self.interval_s)
+            if self._stop:
+                return
+            self.check_now()

@@ -18,6 +18,7 @@ Two higher-level services tie it together:
 All stage costs live in :mod:`repro.net.costs`.
 """
 
+from repro.net.arq import ArqConfig, ArqReport, PathFaultModel, ReliableTransfer
 from repro.net.addresses import (
     Ipv4Address,
     Ipv4Network,
@@ -28,6 +29,7 @@ from repro.net.addresses import (
 from repro.net.bridge import Bridge
 from repro.net.costs import CostModel, StageCost
 from repro.net.devices import (
+    DeviceQueue,
     HostloEndpoint,
     HostloTap,
     Loopback,
@@ -47,10 +49,13 @@ from repro.net.routing import Route, RoutingTable
 from repro.net.transfer import StageTiming, TransferEngine
 
 __all__ = [
+    "ArqConfig",
+    "ArqReport",
     "Bridge",
     "CostModel",
     "Datapath",
     "Delivery",
+    "DeviceQueue",
     "DnatRule",
     "ForwardDropRule",
     "ForwardingEngine",
@@ -66,9 +71,11 @@ __all__ = [
     "NetDevice",
     "Netfilter",
     "NetworkNamespace",
+    "PathFaultModel",
     "PathStage",
     "PhysicalLink",
     "PhysicalNic",
+    "ReliableTransfer",
     "Route",
     "RoutingTable",
     "StageCost",

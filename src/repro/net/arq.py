@@ -1,0 +1,382 @@
+"""Reliable transfer over a lossy datapath: sliding-window ARQ.
+
+The :class:`~repro.net.transfer.TransferEngine` plays a message along a
+:class:`~repro.net.path.Datapath` and always "succeeds" — loss lives in
+the frame-level forwarding engine and in fault plans, invisible to the
+analytic datapath.  This module closes that gap: a
+:class:`ReliableTransfer` carries a batch of messages over a path while
+consulting the *active fault injector* at the same stage granularity
+the forwarding engine uses (``wire`` → ``link.loss``/``link.corrupt``,
+``bridge_fwd`` → ``frame.drop``, ``hostlo_reflect`` → ``hostlo.drop``),
+and recovers from losses the way TCP would: a bounded sliding window,
+per-message retransmission timers with exponential backoff and jitter,
+a retry budget, and duplicate suppression at the receiver.
+
+Cycle accounting stays honest under loss: a message dropped at stage
+*k* still charges stages ``0..k`` to their CPU domains (the truncated
+path), and every retransmission replays the full path — this is where
+goodput-vs-loss curves come from.
+
+Determinism: loss draws come from the active injector's ``"faults"``
+stream exactly as inline forwarding faults do; retransmission-timer
+jitter draws from a dedicated ``rng.stream("arq")`` generator, so the
+same seed and the same plan reproduce a bit-identical retransmission
+schedule (:attr:`ArqReport.schedule`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.faults import injector as _active_injector
+from repro.net.path import Datapath
+from repro.obs import metrics as _active_metrics
+from repro.sim import AllOf, Store
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.devices import DeviceQueue
+    from repro.net.links import PhysicalLink
+    from repro.net.transfer import TransferEngine
+
+#: Bytes of a bare ACK segment (TCP header + options, no payload).
+ACK_BYTES = 64
+
+#: Which inline fault kind can kill a frame at a given path stage, and
+#: which stage label is the fault target.  Mirrors the injection sites
+#: of :mod:`repro.net.forwarding`.
+_STAGE_FAULTS: dict[str, str] = {
+    "wire": "link.loss",
+    "bridge_fwd": "frame.drop",
+    "hostlo_reflect": "hostlo.drop",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ArqConfig:
+    """Knobs of the sliding-window retransmission protocol."""
+
+    window: int = 16
+    timeout_s: float = 200e-6
+    backoff: float = 2.0
+    max_retries: int = 8
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1: {self.window!r}")
+        if self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive: {self.timeout_s!r}"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"backoff must be >= 1: {self.backoff!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0: {self.max_retries!r}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1): {self.jitter!r}"
+            )
+
+    def rto_s(self, attempt: int, rng: t.Any = None) -> float:
+        """Retransmission timeout before retry *attempt* (1-based)."""
+        base = self.timeout_s * self.backoff ** (attempt - 1)
+        if rng is None or self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0))
+
+
+@dataclasses.dataclass
+class ArqReport:
+    """What one reliable transfer did, message by message."""
+
+    messages: int = 0
+    nbytes: int = 0
+    delivered: int = 0
+    exhausted: int = 0
+    transmissions: int = 0
+    retransmissions: int = 0
+    duplicates: int = 0
+    acks_lost: int = 0
+    backpressure_waits: int = 0
+    bytes_delivered: int = 0
+    elapsed_s: float = 0.0
+    #: loss reason → count (mirrors the forwarding drop vocabulary).
+    losses: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: every (message id, attempt, sim time) data transmission, in
+    #: order — the determinism acceptance criterion compares these.
+    schedule: list[tuple[int, int, float]] = dataclasses.field(
+        default_factory=list
+    )
+    delivered_ids: set[int] = dataclasses.field(default_factory=set)
+
+    @property
+    def lost(self) -> int:
+        return sum(self.losses.values())
+
+    @property
+    def complete(self) -> bool:
+        return self.delivered == self.messages and self.exhausted == 0
+
+    @property
+    def exactly_once(self) -> bool:
+        """Each message id reached the application at most once."""
+        return self.delivered == len(self.delivered_ids)
+
+    @property
+    def goodput_mbps(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.bytes_delivered * 8.0 / self.elapsed_s / 1e6
+
+    def conserved(self) -> bool:
+        """Every transmission ends delivered, duplicate, or lost."""
+        return (self.transmissions
+                == self.delivered + self.duplicates + self.lost)
+
+
+class PathFaultModel:
+    """Where along a datapath can the active fault plan kill a frame?
+
+    Precomputes the (stage index, fault kind, target label) injection
+    sites of a path; :meth:`drop_point` then consults the active
+    injector in stage order — the same order and targets the
+    frame-level forwarding engine would use, so a plan behaves
+    identically against both.
+    """
+
+    def __init__(self, path: Datapath,
+                 links: t.Sequence["PhysicalLink"] = ()) -> None:
+        self.path = path
+        self._links = {link.name: link for link in links}
+        self._sites: list[tuple[int, str, str]] = [
+            (index, _STAGE_FAULTS[stage.stage], stage.label)
+            for index, stage in enumerate(path.stages)
+            if stage.stage in _STAGE_FAULTS
+        ]
+
+    def drop_point(self) -> tuple[int, str] | None:
+        """(stages traversed before dying, loss reason) or ``None``.
+
+        A partitioned link rejects the frame before serialization (the
+        wire stage is not charged); loss and corruption consume the
+        wire; bridge and hostlo drops consume their stage.
+        """
+        inj = _active_injector()
+        for index, kind, label in self._sites:
+            if kind == "link.loss":
+                link = self._links.get(label)
+                if link is not None and not link.up:
+                    return index, "link-partitioned"
+                if inj.enabled and inj.fires(kind, label) is not None:
+                    return index + 1, "link-loss"
+                if inj.enabled and inj.fires("link.corrupt",
+                                             label) is not None:
+                    return index + 1, "corrupt"
+            elif inj.enabled and inj.fires(kind, label) is not None:
+                reason = "frame-drop" if kind == "frame.drop" else \
+                    "hostlo-drop"
+                return index + 1, reason
+        return None
+
+
+class ReliableTransfer:
+    """Carry *messages* over *path* reliably despite injected loss.
+
+    Parameters
+    ----------
+    engine: the transfer engine whose CPU domains get charged.
+    path: the resolved forward datapath.
+    nbytes: payload bytes per message.
+    messages: how many messages to deliver.
+    config: protocol knobs (:class:`ArqConfig`).
+    rng: generator for retransmission-timer jitter — pass the
+        testbed's ``rng.stream("arq")`` for determinism.
+    ack_path: optional reverse datapath the ACKs traverse (charged and
+        lossy like any path); ``None`` models free, lossless ACKs.
+    links: physical links underlying the path (partition awareness).
+    tx_queue: optional bounded :class:`~repro.net.devices.DeviceQueue`
+        at the sender NIC; a full queue drops the attempt before it
+        costs any cycles.
+    stream: batch amortisation, as in
+        :meth:`~repro.net.transfer.TransferEngine.transfer`.
+    """
+
+    def __init__(
+        self,
+        engine: "TransferEngine",
+        path: Datapath,
+        *,
+        nbytes: int,
+        messages: int,
+        config: ArqConfig | None = None,
+        rng: t.Any = None,
+        ack_path: Datapath | None = None,
+        links: t.Sequence["PhysicalLink"] = (),
+        tx_queue: "DeviceQueue | None" = None,
+        stream: bool = True,
+    ) -> None:
+        if messages < 1:
+            raise ConfigurationError(f"messages must be >= 1: {messages!r}")
+        if nbytes < 1:
+            raise ConfigurationError(f"nbytes must be >= 1: {nbytes!r}")
+        self.engine = engine
+        self.env = engine.env
+        self.path = path
+        self.nbytes = nbytes
+        self.messages = messages
+        self.config = config or ArqConfig()
+        self.rng = rng
+        self.ack_path = ack_path
+        self.tx_queue = tx_queue
+        self.stream = stream
+        self._faults = PathFaultModel(path, links)
+        self._ack_faults = (
+            PathFaultModel(ack_path, links) if ack_path is not None else None
+        )
+        self._window = Store(self.env)
+        for slot in range(self.config.window):
+            self._window.put(slot)
+        self._truncated: dict[int, Datapath] = {}
+        self.report = ArqReport(messages=messages, nbytes=nbytes)
+
+    # -- driving ---------------------------------------------------------
+    def start(self) -> t.Any:
+        """Spawn the transfer as a process; returns its Process event."""
+        return self.env.process(self._run())
+
+    def run(self) -> ArqReport:
+        """Run the simulation until the transfer completes."""
+        return self.env.run(until=self.start())
+
+    def _run(self) -> t.Generator:
+        started = self.env.now
+        workers = [
+            self.env.process(self._message(mid))
+            for mid in range(self.messages)
+        ]
+        yield AllOf(self.env, workers)
+        self.report.elapsed_s = self.env.now - started
+        return self.report
+
+    # -- the protocol ----------------------------------------------------
+    def _message(self, mid: int) -> t.Generator:
+        if len(self._window) == 0:
+            self.report.backpressure_waits += 1
+            _active_metrics().counter(
+                "net.backpressure_total",
+                help="sends that waited for an ARQ window slot",
+            ).inc()
+        slot = yield self._window.get()
+        try:
+            yield from self._deliver(mid)
+        finally:
+            self._window.put(slot)
+
+    def _deliver(self, mid: int) -> t.Generator:
+        for attempt in range(1, self.config.max_retries + 2):
+            if attempt > 1:
+                yield self.env.timeout(
+                    self.config.rto_s(attempt - 1, self.rng)
+                )
+                self.report.retransmissions += 1
+                _active_metrics().counter(
+                    "arq.retransmissions_total",
+                    help="ARQ data retransmissions",
+                ).inc()
+            outcome = yield from self._transmit(mid, attempt)
+            if outcome == "acked":
+                return
+        self.report.exhausted += 1
+        _active_metrics().counter(
+            "arq.exhausted_total",
+            help="messages abandoned after the retry budget",
+        ).inc()
+
+    def _transmit(self, mid: int, attempt: int) -> t.Generator:
+        self.report.transmissions += 1
+        self.report.schedule.append((mid, attempt, self.env.now))
+        queued = False
+        if self.tx_queue is not None:
+            queued = self.tx_queue.offer()
+            if not queued:
+                # The NIC ring is full: dropped before any cycles.
+                self._lose("txq-overflow")
+                return "lost"
+        try:
+            dropped = self._faults.drop_point()
+            if dropped is not None:
+                upto, reason = dropped
+                if upto > 0:
+                    yield from self.engine.transfer(
+                        self._upto(upto), self.nbytes, stream=self.stream
+                    )
+                self._lose(reason)
+                return "lost"
+            yield from self.engine.transfer(
+                self.path, self.nbytes, stream=self.stream
+            )
+        finally:
+            if queued:
+                self.tx_queue.take()
+        if mid in self.report.delivered_ids:
+            # The receiver already has it (a data/ACK race after a
+            # lost ACK): suppressed, but still acknowledged.
+            self.report.duplicates += 1
+            _active_metrics().counter(
+                "arq.duplicates_total",
+                help="duplicate deliveries suppressed at the receiver",
+            ).inc()
+        else:
+            self.report.delivered_ids.add(mid)
+            self.report.delivered += 1
+            self.report.bytes_delivered += self.nbytes
+        outcome = yield from self._ack()
+        return outcome
+
+    def _ack(self) -> t.Generator:
+        if self._ack_faults is None:
+            return "acked"
+        dropped = self._ack_faults.drop_point()
+        if dropped is not None:
+            upto, _reason = dropped
+            if upto > 0:
+                yield from self.engine.transfer(
+                    self._ack_upto(upto), ACK_BYTES, stream=False
+                )
+            self.report.acks_lost += 1
+            _active_metrics().counter(
+                "arq.acks_lost_total", help="ACK segments lost in flight",
+            ).inc()
+            return "ack-lost"
+        yield from self.engine.transfer(
+            self.ack_path, ACK_BYTES, stream=False
+        )
+        return "acked"
+
+    # -- internals -------------------------------------------------------
+    def _lose(self, reason: str) -> None:
+        self.report.losses[reason] = self.report.losses.get(reason, 0) + 1
+        _active_metrics().counter(
+            "arq.lost_total", help="ARQ data transmissions lost, by reason",
+        ).inc(reason=reason)
+
+    def _upto(self, count: int) -> Datapath:
+        path = self._truncated.get(count)
+        if path is None:
+            path = dataclasses.replace(
+                self.path, stages=self.path.stages[:count]
+            )
+            self._truncated[count] = path
+        return path
+
+    def _ack_upto(self, count: int) -> Datapath:
+        assert self.ack_path is not None
+        return dataclasses.replace(
+            self.ack_path, stages=self.ack_path.stages[:count]
+        )

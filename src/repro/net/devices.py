@@ -17,6 +17,71 @@ if t.TYPE_CHECKING:  # pragma: no cover
     from repro.net.bridge import Bridge
     from repro.net.namespace import NetworkNamespace
 
+#: Default per-device queue depth, in frames.  Matches the order of
+#: magnitude of a virtio-net ring (256 descriptors): deep enough that
+#: well-behaved traffic never notices, shallow enough that a stalled
+#: consumer visibly overflows.
+DEFAULT_QUEUE_CAPACITY = 256
+
+
+class DeviceQueue:
+    """A bounded frame queue on one side (RX or TX) of a device.
+
+    Queues are accounting objects, not event-driven stores: the
+    forwarding engine and the ARQ layer *offer* frames and either admit
+    them (``depth`` grows, drained by :meth:`take`) or reject them when
+    full — the overflow-drop.  A *stalled* queue models a consumer that
+    stopped servicing its ring (a wedged guest): producers keep
+    offering and frames pile up until the queue overflows.
+    """
+
+    def __init__(self, name: str,
+                 capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        if capacity < 1:
+            raise TopologyError(
+                f"queue {name!r} capacity must be >= 1: {capacity!r}"
+            )
+        self.name = name
+        self.capacity = capacity
+        self.depth = 0
+        self.accepted = 0
+        self.drops = 0
+        self.stalled = False
+
+    def offer(self, n: int = 1) -> bool:
+        """Try to enqueue *n* frames; False (and counted drops) if full."""
+        if self.depth + n > self.capacity:
+            self.drops += n
+            return False
+        self.depth += n
+        self.accepted += n
+        return True
+
+    def take(self, n: int = 1) -> None:
+        """The consumer services *n* frames off the ring."""
+        if n > self.depth:
+            raise TopologyError(
+                f"queue {self.name!r}: taking {n} of {self.depth} queued"
+            )
+        self.depth -= n
+
+    def drain(self) -> int:
+        """Discard everything queued; returns how many frames died."""
+        dead, self.depth = self.depth, 0
+        return dead
+
+    def stall(self) -> None:
+        """The consumer stops servicing the ring (wedged guest)."""
+        self.stalled = True
+
+    def resume(self) -> None:
+        self.stalled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = " stalled" if self.stalled else ""
+        return (f"<DeviceQueue {self.name!r} {self.depth}/"
+                f"{self.capacity}{state}>")
+
 
 class NetDevice:
     """Base network device.
@@ -51,6 +116,8 @@ class NetDevice:
         self.bridge: "Bridge | None" = None  # set when enslaved to a bridge
         self.addresses: list[tuple[Ipv4Address, Ipv4Network]] = []
         self.up = True
+        self.rx_queue = DeviceQueue(f"{name}:rx")
+        self.tx_queue = DeviceQueue(f"{name}:tx")
 
     # -- addressing -----------------------------------------------------
     def assign_ip(self, address: Ipv4Address, network: Ipv4Network) -> None:
@@ -198,6 +265,37 @@ class HostloTap(NetDevice):
             raise TopologyError(f"{endpoint.name} already queued on {self.name}")
         self.endpoints.append(endpoint)
         endpoint.backend = self
+
+    def remove_queue(self, endpoint: HostloEndpoint) -> int:
+        """The inverse of :meth:`add_queue`: evict one VM-facing queue.
+
+        Drains whatever the endpoint had pending and returns the count
+        of discarded frames; subsequent reflections no longer copy to
+        (or wait on) the evicted queue.  Raises
+        :class:`~repro.errors.TopologyError` for an endpoint that was
+        never queued here.
+        """
+        if endpoint not in self.endpoints:
+            raise TopologyError(
+                f"{endpoint.name} is not queued on {self.name}"
+            )
+        self.endpoints.remove(endpoint)
+        if endpoint.backend is self:
+            endpoint.backend = None
+        endpoint.rx_queue.resume()
+        return endpoint.rx_queue.drain()
+
+    def stall_queue(self, endpoint: HostloEndpoint) -> None:
+        """Mark one queue's consumer as wedged (chaos layer)."""
+        if endpoint not in self.endpoints:
+            raise TopologyError(
+                f"{endpoint.name} is not queued on {self.name}"
+            )
+        endpoint.rx_queue.stall()
+
+    def stalled_endpoints(self) -> tuple[HostloEndpoint, ...]:
+        """Queues whose consumer stopped servicing them."""
+        return tuple(ep for ep in self.endpoints if ep.rx_queue.stalled)
 
     @property
     def queue_count(self) -> int:

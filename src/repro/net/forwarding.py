@@ -21,6 +21,7 @@ import typing as t
 from repro.errors import TopologyError
 from repro.faults import injector as _active_injector
 from repro.net.addresses import Ipv4Address, MacAddress
+from repro.obs import metrics as _active_metrics
 from repro.obs import tracer as _active_tracer
 from repro.net.bridge import Bridge
 from repro.net.devices import (
@@ -52,6 +53,11 @@ class Frame:
     payload_bytes: int = 64
     origin: str = ""
     hops: list[str] = dataclasses.field(default_factory=list)
+    #: Whether this frame participates in the conservation ledger.
+    #: VXLAN *outer* frames carry an already-counted inner frame, so
+    #: they are created with ``counted=False`` — otherwise one lost
+    #: encapsulated message would be double-booked.
+    counted: bool = True
 
     def note(self, what: str) -> None:
         if len(self.hops) >= _MAX_HOPS:
@@ -82,6 +88,30 @@ class ForwardingEngine:
         self._arp_count = itertools.count()
         self.flood_events = 0
         self.reflect_copies = 0
+        # Conservation ledger, accumulated across sends: every counted
+        # frame ends up either delivered or in exactly one labelled
+        # drop bucket, so ``frames_sent == frames_delivered +
+        # sum(drops.values())`` is an invariant the health monitor
+        # checks (see repro.health.invariants).
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.drops: dict[str, int] = {}
+
+    def reset_ledger(self) -> None:
+        """Zero the conservation ledger (per-phase accounting)."""
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.drops = {}
+
+    def _drop(self, frame: Frame, note: str, reason: str) -> None:
+        """Record one dropped frame: hop note, ledger, labelled counter."""
+        frame.note(f"drop:{note}")
+        if frame.counted:
+            self.drops[reason] = self.drops.get(reason, 0) + 1
+            _active_metrics().counter(
+                "net.frames_dropped",
+                help="frames dropped by the forwarding engine, by reason",
+            ).inc(reason=reason)
 
     # -- public API ---------------------------------------------------------
     def send(
@@ -101,7 +131,17 @@ class ForwardingEngine:
             dst_ip=dst_ip, dst_port=dst_port, proto=proto,
             payload_bytes=payload_bytes, origin=src_ns.name,
         )
+        self.frames_sent += 1
+        _active_metrics().counter(
+            "net.frames_sent", help="frames injected into the data plane",
+        ).inc()
         namespace = self._route(src_ns, frame)
+        if namespace is not None:
+            self.frames_delivered += 1
+            _active_metrics().counter(
+                "net.frames_delivered",
+                help="frames delivered to a destination namespace",
+            ).inc()
         tracer = _active_tracer()
         if tracer.enabled:
             tracer.event(
@@ -144,15 +184,16 @@ class ForwardingEngine:
             if (ns.name != frame.origin
                     and ns.netfilter.forward_dropped(frame.src_ip,
                                                      frame.dst_ip)):
-                frame.note(f"drop:forward-policy:{ns.name}")
+                self._drop(frame, f"forward-policy:{ns.name}",
+                           "forward-policy")
                 return None
             route = ns.routes.lookup(frame.dst_ip)
             if route is None:
-                frame.note(f"drop:no-route:{ns.name}")
+                self._drop(frame, f"no-route:{ns.name}", "no-route")
                 return None
             egress = ns.device(route.device)
             if not egress.up:
-                frame.note(f"drop:link-down:{egress.name}")
+                self._drop(frame, f"link-down:{egress.name}", "link-down")
                 return None
             next_hop = route.gateway or frame.dst_ip
             frame.note(f"route:{ns.name}:{egress.name}")
@@ -191,7 +232,8 @@ class ForwardingEngine:
         if isinstance(egress, VethEnd):
             peer = egress.peer
             if peer is None or peer.namespace is None:
-                frame.note(f"drop:dangling-veth:{egress.name}")
+                self._drop(frame, f"dangling-veth:{egress.name}",
+                           "dangling-veth")
                 return None
             frame.note(f"veth:{egress.name}->{peer.name}")
             if peer.bridge is not None:
@@ -204,7 +246,7 @@ class ForwardingEngine:
         if isinstance(egress, VirtioNic):
             backend = egress.backend
             if not isinstance(backend, TapDevice):
-                frame.note(f"drop:no-backend:{egress.name}")
+                self._drop(frame, f"no-backend:{egress.name}", "no-backend")
                 return None
             frame.note(f"virtio:{egress.name}->tap:{backend.name}")
             if backend.bridge is not None:
@@ -218,21 +260,27 @@ class ForwardingEngine:
         if isinstance(egress, PhysicalNic):
             return self._wire(egress, next_hop, frame)
 
-        frame.note(f"drop:unsupported:{egress.kind}")
+        self._drop(frame, f"unsupported:{egress.kind}", "unsupported")
         return None
 
     def _wire(self, egress: PhysicalNic, next_hop: Ipv4Address,
               frame: Frame) -> NetworkNamespace | None:
         link = egress.link
         if link is None:
-            frame.note(f"drop:uncabled:{egress.name}")
+            self._drop(frame, f"uncabled:{egress.name}", "uncabled")
             return None
         if not link.up:
-            frame.note(f"drop:link-partitioned:{link.name}")
+            self._drop(frame, f"link-partitioned:{link.name}",
+                       "link-partitioned")
             return None
         inj = _active_injector()
         if inj.enabled and inj.fires("link.loss", link.name) is not None:
-            frame.note(f"drop:fault-link:{link.name}")
+            self._drop(frame, f"fault-link:{link.name}", "link-loss")
+            return None
+        if inj.enabled and inj.fires("link.corrupt", link.name) is not None:
+            # The frame crosses the wire but arrives with a bad FCS:
+            # the receiving NIC discards it.
+            self._drop(frame, f"fault-corrupt:{link.name}", "corrupt")
             return None
         peer = link.peer_of(egress)
         frame.note(f"wire:{link.name}:{egress.name}->{peer.name}")
@@ -248,7 +296,7 @@ class ForwardingEngine:
             bridge.learn(frame.src_mac, ingress)
         inj = _active_injector()
         if inj.enabled and inj.fires("frame.drop", bridge.name) is not None:
-            frame.note(f"drop:fault:{bridge.name}")
+            self._drop(frame, f"fault:{bridge.name}", "frame-drop")
             return None
         frame.note(f"bridge:{bridge.name}")
 
@@ -323,7 +371,8 @@ class ForwardingEngine:
         if isinstance(port, TapDevice):
             frame.note(f"tap:{port.name}->virtio:{target.name}")
             return target.namespace
-        frame.note(f"drop:unsupported-port:{port.kind}")
+        self._drop(frame, f"unsupported-port:{port.kind}",
+                   "unsupported-port")
         return None
 
     def _hostlo_reflect(self, endpoint: HostloEndpoint,
@@ -333,28 +382,53 @@ class ForwardingEngine:
         the endpoint owning the destination consumes it."""
         tap = endpoint.backend
         if not isinstance(tap, HostloTap):
-            frame.note(f"drop:no-hostlo-backend:{endpoint.name}")
+            self._drop(frame, f"no-hostlo-backend:{endpoint.name}",
+                       "no-hostlo-backend")
             return None
         inj = _active_injector()
         if inj.enabled and inj.fires("hostlo.drop", tap.name) is not None:
-            frame.note(f"drop:fault-hostlo:{tap.name}")
+            self._drop(frame, f"fault-hostlo:{tap.name}", "hostlo-drop")
             return None
         self.reflect_copies += tap.queue_count
         frame.note(f"hostlo:{tap.name}:x{tap.queue_count}")
+        # The copy lands in each queue's RX ring.  Live consumers
+        # service theirs immediately; a stalled consumer's ring fills
+        # until it overflows, at which point its copies are dropped at
+        # the tap (and any copy *for* the stalled VM dies with them).
+        owner: HostloEndpoint | None = None
+        owner_accepted = False
         for other in tap.endpoints:
+            accepted = other.rx_queue.offer()
+            if accepted and not other.rx_queue.stalled:
+                other.rx_queue.take()
             if other.owns_ip(next_hop):
-                frame.note(f"hostlo-rx:{other.name}")
-                frame.dst_mac = other.mac
-                return other.namespace
-        frame.note(f"drop:hostlo-no-owner:{next_hop}")
-        return None
+                owner = other
+                owner_accepted = accepted
+        if owner is None:
+            self._drop(frame, f"hostlo-no-owner:{next_hop}",
+                       "hostlo-no-owner")
+            return None
+        if not owner_accepted:
+            self._drop(frame, f"hostlo-overflow:{owner.name}",
+                       "hostlo-overflow")
+            return None
+        if owner.rx_queue.stalled:
+            # Queued on a wedged consumer: never serviced.  Accounted
+            # now so the ledger stays conserved; the health watchdog's
+            # eviction will drain whatever piled up.
+            self._drop(frame, f"hostlo-stalled:{owner.name}",
+                       "hostlo-stalled")
+            return None
+        frame.note(f"hostlo-rx:{owner.name}")
+        frame.dst_mac = owner.mac
+        return owner.namespace
 
     def _vxlan(self, tunnel: VxlanTunnel, next_hop: Ipv4Address,
                frame: Frame) -> NetworkNamespace | None:
         """Encapsulate, walk the underlay, decapsulate at the far VTEP."""
         vtep_ip = tunnel.vtep_for(next_hop)
         if vtep_ip is None:
-            frame.note(f"drop:no-vtep:{tunnel.name}")
+            self._drop(frame, f"no-vtep:{tunnel.name}", "no-vtep")
             return None
         assert tunnel.namespace is not None
         frame.note(f"vxlan-encap:{tunnel.name}->{vtep_ip}")
@@ -364,11 +438,13 @@ class ForwardingEngine:
             src_ip=tunnel.underlay_ip, dst_ip=vtep_ip, dst_port=4789,
             proto="udp", payload_bytes=frame.payload_bytes + 50,
             origin=tunnel.namespace.name,
+            counted=False,  # the inner frame carries the ledger entry
         )
         landing = self._route(tunnel.namespace, outer)
         frame.hops.extend(f"underlay:{hop}" for hop in outer.hops)
         if landing is None:
-            frame.note("drop:underlay-unreachable")
+            self._drop(frame, "underlay-unreachable",
+                       "underlay-unreachable")
             return None
 
         remote = next(
@@ -377,7 +453,8 @@ class ForwardingEngine:
             None,
         )
         if remote is None:
-            frame.note(f"drop:no-remote-vtep:{landing.name}")
+            self._drop(frame, f"no-remote-vtep:{landing.name}",
+                       "no-remote-vtep")
             return None
         frame.note(f"vxlan-decap:{remote.name}")
         if remote.bridge is not None:

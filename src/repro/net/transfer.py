@@ -25,6 +25,9 @@ from repro.net.path import Datapath
 from repro.obs import metrics as _active_metrics
 from repro.sim import CpuResource, Environment
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.arq import ReliableTransfer
+
 
 @dataclasses.dataclass(frozen=True)
 class StageTiming:
@@ -162,6 +165,23 @@ class TransferEngine:
                 tracer.end(span)
         if parent is not None:
             tracer.end(parent)
+
+    def reliable_transfer(
+        self, path: Datapath, nbytes: int, messages: int = 1, **kwargs: t.Any
+    ) -> "ReliableTransfer":
+        """Build an ARQ-protected transfer of *messages* over *path*.
+
+        Convenience constructor for :class:`repro.net.arq.
+        ReliableTransfer`; see that class for the keyword knobs
+        (``config``, ``rng``, ``ack_path``, ``links``, ``tx_queue``).
+        Call ``.start()`` to spawn it alongside other traffic or
+        ``.run()`` to drive the simulation until it completes.
+        """
+        from repro.net.arq import ReliableTransfer
+
+        return ReliableTransfer(
+            self, path, nbytes=nbytes, messages=messages, **kwargs
+        )
 
     def round_trip(
         self,

@@ -363,6 +363,31 @@ class Orchestrator:
                                   from_node=vm_name)
         return recovered
 
+    def handle_hostlo_stall(self, hostlo_name: str, vm_name: str) -> int:
+        """Degraded-mode recovery: evict a wedged hostlo queue.
+
+        Called by the health watchdog when *vm_name*'s queue on
+        *hostlo_name* stopped servicing its ring.  The queue is drained
+        and removed so reflections stop piling onto it; the pod keeps
+        running on its surviving fragments, and the eviction is
+        surfaced in the recovery log (action ``hostlo-evict``) and the
+        ``recover.actions_total`` counter.  Returns the number of
+        frames that died with the queue.
+        """
+        drained = self.vmm.evict_hostlo_queue(hostlo_name, vm_name)
+        for deployment in self.deployments.values():
+            handle = deployment.plugin_state.get("hostlo")
+            if getattr(handle, "name", None) != hostlo_name:
+                continue
+            degraded = deployment.plugin_state.setdefault(
+                "degraded_nodes", []
+            )
+            if vm_name not in degraded:
+                degraded.append(vm_name)
+            self._record_recovery("hostlo-evict", deployment, "hostlo",
+                                  node=vm_name, drained=drained)
+        return drained
+
     def mark_node_ready(self, vm_name: str) -> Node:
         """Un-cordon *vm_name*, restarting its VM if necessary."""
         node = self.node(vm_name)

@@ -109,7 +109,8 @@ class Vmm:
             if isinstance(backend, TapDevice):
                 self._teardown_tap(backend)
             elif isinstance(backend, HostloTap):
-                backend.endpoints.remove(nic)  # type: ignore[arg-type]
+                assert isinstance(nic, HostloEndpoint)
+                self._drop_hostlo_queue(backend, nic, cause="vm-destroy")
         del self.vms[name]
 
     # -- BrFusion: per-pod NIC provisioning ------------------------------------
@@ -233,14 +234,41 @@ class Vmm:
         except KeyError:
             raise TopologyError(f"no hostlo {name!r}") from None
 
+    def hostlo_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._hostlos))
+
     def remove_hostlo(self, name: str) -> None:
         handle = self.hostlo(name)
-        for endpoint in list(handle.tap.endpoints):
+        # The handle's endpoint map is the authoritative roster: an
+        # endpoint whose queue was already evicted (VM crash, watchdog)
+        # is no longer on the tap but must still leave its namespace.
+        roster = {id(ep): ep for ep in handle.endpoints.values()}
+        for endpoint in handle.tap.endpoints:
+            roster.setdefault(id(endpoint), endpoint)
+        for endpoint in roster.values():
+            if endpoint in handle.tap.endpoints:
+                handle.tap.remove_queue(endpoint)
             if endpoint.namespace is not None:
                 endpoint.namespace.detach(endpoint)
-        handle.tap.endpoints.clear()
         self.host.ns.detach(handle.tap)
         del self._hostlos[name]
+
+    def evict_hostlo_queue(self, hostlo_name: str, vm_name: str) -> int:
+        """Evict one VM's queue from a hostlo (watchdog degradation).
+
+        The dead endpoint's queue is drained and removed from the tap
+        and its namespace; the remaining queues keep exchanging
+        frames.  Returns how many pending frames died with the queue.
+        """
+        handle = self.hostlo(hostlo_name)
+        try:
+            endpoint = handle.endpoints.pop(vm_name)
+        except KeyError:
+            raise TopologyError(
+                f"hostlo {hostlo_name!r} has no queue for VM {vm_name!r}"
+            ) from None
+        return self._drop_hostlo_queue(handle.tap, endpoint,
+                                       cause="watchdog", detach=True)
 
     # -- crash / restart ---------------------------------------------------------
     def crash_vm(self, name: str) -> VirtualMachine:
@@ -257,6 +285,14 @@ class Vmm:
             backend = nic.backend
             if isinstance(backend, TapDevice):
                 self._teardown_tap(backend)
+            elif isinstance(backend, HostloTap):
+                # A dead VM must not keep a queue on the shared
+                # loopback: reflections would copy to (and eventually
+                # wedge on) a ring nobody services.  The handle keeps
+                # the endpoint so remove_hostlo can finish the
+                # guest-side cleanup later.
+                assert isinstance(nic, HostloEndpoint)
+                self._drop_hostlo_queue(backend, nic, cause="vm-crash")
         return vm
 
     def restart_vm(self, name: str) -> VirtualMachine:
@@ -318,6 +354,25 @@ class Vmm:
         bridge_dev.add_port(tap)
         vm.ns.attach(nic)
         return nic
+
+    def _drop_hostlo_queue(self, tap: HostloTap, endpoint: HostloEndpoint,
+                           cause: str, detach: bool = False) -> int:
+        """Remove one endpoint's queue from *tap*, draining it."""
+        if endpoint in tap.endpoints:
+            drained = tap.remove_queue(endpoint)
+        else:
+            # Already off the tap (e.g. destroy after crash): just
+            # flush whatever the dead ring still held.
+            if endpoint.backend is tap:
+                endpoint.backend = None
+            drained = endpoint.rx_queue.drain()
+        _active_metrics().counter(
+            "hostlo.queues_evicted_total",
+            help="hostlo VM queues evicted, by cause",
+        ).inc(cause=cause, hostlo=tap.name)
+        if detach and endpoint.namespace is not None:
+            endpoint.namespace.detach(endpoint)
+        return drained
 
     def _teardown_tap(self, tap: TapDevice) -> None:
         if tap.bridge is not None:

@@ -55,11 +55,18 @@ class TestConfig:
                 changed = dataclasses.replace(base, fault_plan="plan.json")
             elif field.name == "message_sizes":
                 changed = dataclasses.replace(base, message_sizes=(64,))
+            elif field.name == "loss_rates":
+                changed = dataclasses.replace(base, loss_rates=(0.33,))
             else:
                 value = getattr(base, field.name)
-                changed = dataclasses.replace(
-                    base, **{field.name: type(value)(value * 2)}
-                )
+                if isinstance(value, bool):
+                    changed = dataclasses.replace(
+                        base, **{field.name: not value}
+                    )
+                else:
+                    changed = dataclasses.replace(
+                        base, **{field.name: type(value)(value * 2)}
+                    )
             assert changed.fingerprint() != base.fingerprint(), field.name
 
 
@@ -113,7 +120,7 @@ class TestRegistry:
             "ablation_no_batching", "ablation_rule_bloat",
             "ablation_scheduler_policy",
             "online_cost", "analytic_check",
-            "chaos", "campaign",
+            "chaos", "reliability", "campaign",
         }
         assert set(EXPERIMENTS) == expected
 

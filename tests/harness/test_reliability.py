@@ -1,0 +1,111 @@
+"""The reliability experiment: goodput under loss, watchdog eviction,
+zero invariant violations, and the CLI flags driving it."""
+
+import dataclasses
+import pathlib
+
+import pytest
+
+from repro.harness import reliability
+from repro.harness.__main__ import main
+from repro.harness.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return reliability.run(ExperimentConfig.preset("quick"))
+
+
+class TestLossSweep:
+    def test_arq_converges_at_every_loss_rate(self, result):
+        for row in result.select(mode="arq", scenario="loss-sweep"):
+            assert row["delivered"] == row["messages"]
+            assert row["exactly_once"]
+            assert row["exhausted"] == 0
+
+    def test_raw_lane_loses_messages_under_loss(self, result):
+        lossy = result.value("delivered", mode="raw", loss_pct=5.0)
+        messages = result.value("messages", mode="raw", loss_pct=5.0)
+        assert lossy < messages  # fire-and-forget really is unreliable
+
+    def test_loss_costs_goodput_not_delivery(self, result):
+        clean = result.value("goodput_mbps", mode="arq", loss_pct=0.0)
+        lossy = result.value("goodput_mbps", mode="arq", loss_pct=5.0)
+        assert 0 < lossy < clean
+        assert result.value("retransmissions", mode="arq", loss_pct=5.0) > 0
+
+    def test_faultless_arq_never_retransmits(self, result):
+        assert result.value("retransmissions", mode="arq",
+                            loss_pct=0.0) == 0
+
+    def test_schedule_determinism_note(self, result):
+        assert any("deterministic: True" in note for note in result.notes)
+
+
+class TestStallScenario:
+    def stall_row(self, result):
+        (row,) = result.select(scenario="hostlo-stall")
+        return row
+
+    def test_watchdog_evicts_within_interval(self, result):
+        row = self.stall_row(result)
+        config = ExperimentConfig.preset("quick")
+        assert row["evictions"] == 1
+        assert 0 <= row["eviction_ms"] <= 1e3 * config.health_interval_s
+        assert row["drained_frames"] > 0
+
+    def test_pod_degrades_instead_of_wedging(self, result):
+        row = self.stall_row(result)
+        assert row["degraded_nodes"] != "-"
+        assert row["cross_ok_pre_stall"] > 0
+        assert row["cross_ok_post_evict"] == 0
+        assert row["loopback_ok_post_evict"] > 0  # survivors keep talking
+        assert row["recovery_actions"] >= 1
+
+
+class TestInvariants:
+    def test_zero_violations_everywhere(self, result):
+        assert all(row["violations"] == 0 for row in result.rows)
+
+
+class TestConfigKnobs:
+    def test_reliable_flag_skips_raw_lane(self):
+        config = dataclasses.replace(ExperimentConfig.preset("quick"),
+                                     reliable=True)
+        result = reliability.run(config)
+        assert not result.select(mode="raw")
+        assert result.select(mode="arq")
+
+    def test_custom_fault_plan_replaces_sweep(self):
+        plan = pathlib.Path(__file__).parents[2] / "examples" \
+            / "faults_lossy.json"
+        config = dataclasses.replace(ExperimentConfig.preset("quick"),
+                                     fault_plan=str(plan))
+        result = reliability.run(config)
+        rows = result.select(scenario="custom", mode="arq")
+        assert len(rows) == 1
+        assert rows[0]["retransmissions"] > 0
+        assert rows[0]["exactly_once"]
+        assert not result.select(scenario="loss-sweep")
+
+    def test_bad_loss_rates_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(loss_rates=(1.5,))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(health_interval_s=0.0)
+
+
+class TestCli:
+    def test_reliable_and_health_flags(self, capsys):
+        assert main(["reliability", "--preset", "quick",
+                     "--reliable", "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "raw" not in out.split("==")[-1].splitlines()[3]
+        assert "hostlo-stall" in out
+
+    def test_health_flag_audits_chaos(self, capsys):
+        assert main(["chaos", "--preset", "quick", "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "health violations 0" in out

@@ -1,0 +1,128 @@
+"""Invariant checks: clean topologies audit clean; known breakage
+classes are each caught by exactly the right check."""
+
+import pytest
+
+from repro.health import (
+    HealthScope,
+    check_bridge_consistency,
+    check_frame_conservation,
+    check_hostlo_liveness,
+    check_leaked_devices,
+    run_checks,
+    stalled_hostlo_queues,
+)
+from repro.net.arq import ArqReport
+from repro.net.devices import NetDevice, TapDevice
+from repro.net.forwarding import ForwardingEngine
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+@pytest.fixture
+def rig():
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    vms = [vmm.create_vm(f"vm{i}") for i in range(2)]
+    handle = vmm.create_hostlo("hlo", vms)
+    return host, vmm, vms, handle
+
+
+class TestCleanTopologies:
+    def test_fresh_cluster_has_zero_violations(self, rig):
+        _host, vmm, _vms, _handle = rig
+        assert run_checks(HealthScope.of(vmms=(vmm,))) == []
+
+    def test_scope_dedupes_shared_namespaces(self, rig):
+        host, vmm, _vms, _handle = rig
+        scope = HealthScope.of(vmms=(vmm,), hosts=(host, host))
+        assert len({id(ns) for ns in scope.namespaces}) \
+            == len(scope.namespaces)
+
+    def test_teardown_paths_stay_clean(self, rig):
+        _host, vmm, vms, _handle = rig
+        vmm.crash_vm("vm0")
+        assert run_checks(HealthScope.of(vmms=(vmm,))) == []
+        vmm.remove_hostlo("hlo")
+        vmm.destroy_vm("vm1")
+        assert run_checks(HealthScope.of(vmms=(vmm,))) == []
+
+
+class TestLeakedDeviceRegression:
+    def test_orphaned_host_tap_is_flagged(self, rig):
+        host, vmm, _vms, _handle = rig
+        # The regression this PR's watchdog exists to catch: a teardown
+        # path that forgets the host-side tap.
+        host.ns.attach(TapDevice("tap-leak"))
+        violations = run_checks(HealthScope.of(vmms=(vmm,)))
+        assert len(violations) >= 1
+        assert any(v.check == "leaked-device" for v in violations)
+
+    def test_check_pinpoints_the_device(self, rig):
+        host, vmm, _vms, _handle = rig
+        host.ns.attach(TapDevice("tap-leak"))
+        violation = next(
+            v for v in check_leaked_devices(HealthScope.of(vmms=(vmm,)))
+            if "tap-leak" in v.subject
+        )
+        assert "backs no vNIC" in violation.detail
+
+
+class TestBridgeConsistency:
+    def test_stale_fdb_entry_is_flagged(self, rig):
+        host, vmm, _vms, _handle = rig
+        bridge = host.default_bridge
+        bridge._fdb["de:ad:be:ef:00:01"] = NetDevice("ghost")
+        violations = check_bridge_consistency(HealthScope.of(vmms=(vmm,)))
+        assert any("removed port" in v.detail for v in violations)
+
+
+class TestHostloLiveness:
+    def test_queue_serving_detached_endpoint_is_flagged(self, rig):
+        _host, vmm, vms, handle = rig
+        # Detach the endpoint from its namespace *without* evicting the
+        # queue — exactly the bug remove_queue exists to prevent.
+        vms[0].ns.detach(handle.endpoints["vm0"])
+        violations = check_hostlo_liveness(HealthScope.of(vmms=(vmm,)))
+        assert any("detached endpoint" in v.detail for v in violations)
+
+    def test_stalled_queue_is_actionable_not_a_violation(self, rig):
+        _host, vmm, _vms, handle = rig
+        handle.tap.stall_queue(handle.endpoints["vm1"])
+        scope = HealthScope.of(vmms=(vmm,))
+        assert run_checks(scope) == []
+        assert stalled_hostlo_queues(scope) \
+            == [(handle.tap, handle.endpoints["vm1"])]
+
+
+class TestFrameConservation:
+    def test_balanced_ledger_passes(self, rig):
+        _host, vmm, vms, _handle = rig
+        engine = ForwardingEngine()
+        engine.send(vms[0].ns, vms[1].primary_nic.primary_ip, 22)
+        scope = HealthScope.of(vmms=(vmm,), forwarding=engine)
+        assert check_frame_conservation(scope) == []
+
+    def test_tampered_ledger_is_flagged(self):
+        engine = ForwardingEngine()
+        engine.frames_sent = 5  # nothing delivered, nothing dropped
+        violations = check_frame_conservation(
+            HealthScope(forwarding=engine)
+        )
+        assert len(violations) == 1
+        assert violations[0].check == "frame-conservation"
+
+    def test_unconserved_arq_report_is_flagged(self):
+        report = ArqReport(messages=2, transmissions=3, delivered=1)
+        violations = check_frame_conservation(
+            HealthScope(arq_reports=(report,))
+        )
+        assert any("transmissions" in v.detail for v in violations)
+
+    def test_double_delivery_is_flagged(self):
+        report = ArqReport(messages=2, transmissions=2, delivered=2,
+                           delivered_ids={0})
+        violations = check_frame_conservation(
+            HealthScope(arq_reports=(report,))
+        )
+        assert any("exactly-once" in v.detail for v in violations)

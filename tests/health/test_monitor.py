@@ -1,0 +1,133 @@
+"""The health watchdog: periodic audits, stalled-queue eviction through
+the orchestrator, and violation reporting."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.health import HealthMonitor, HealthScope
+from repro.net.devices import TapDevice
+from repro.orchestrator import Orchestrator
+from repro.orchestrator.pod import ContainerSpec, PodSpec
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+INTERVAL_S = 1e-3
+
+
+def split_pod(name="p"):
+    return PodSpec(name=name, containers=tuple(
+        ContainerSpec(name=f"c{i}", image="alpine", cpu=2.0, memory_gb=1.0)
+        for i in range(3)
+    ))
+
+
+@pytest.fixture
+def cluster():
+    env = Environment()
+    host = PhysicalHost(env)
+    vmm = Vmm(host)
+    orch = Orchestrator(vmm)
+    for i in range(2):
+        orch.enroll(vmm.create_vm(f"vm{i}", vcpus=5, memory_gb=4))
+    deployment = orch.deploy_pod(split_pod(), network="hostlo",
+                                 allow_split=True)
+    handle = deployment.plugin_state["hostlo"]
+    monitor = HealthMonitor(
+        env, lambda: HealthScope.of(orchestrators=(orch,)),
+        interval_s=INTERVAL_S, orchestrator=orch,
+    )
+    return env, host, orch, deployment, handle, monitor
+
+
+class TestWatchdogEviction:
+    def test_stalled_queue_evicted_within_one_interval(self, cluster):
+        env, _host, orch, deployment, handle, monitor = cluster
+        vm_name = sorted(handle.endpoints)[0]
+        handle.tap.stall_queue(handle.endpoints[vm_name])
+        stalled_at = env.now
+        monitor.start(horizon_s=10 * INTERVAL_S)
+        env.run(until=10 * INTERVAL_S)
+
+        assert len(monitor.evictions) == 1
+        evicted_at, tap_name, endpoint_name, _drained = monitor.evictions[0]
+        assert evicted_at - stalled_at <= INTERVAL_S
+        assert tap_name == handle.tap.name
+        assert vm_name in endpoint_name
+        assert handle.tap.queue_count == 1
+        assert vm_name not in handle.endpoints
+
+    def test_eviction_goes_through_recovery_machinery(self, cluster):
+        env, _host, orch, deployment, handle, monitor = cluster
+        vm_name = sorted(handle.endpoints)[0]
+        handle.tap.stall_queue(handle.endpoints[vm_name])
+        monitor.start(horizon_s=3 * INTERVAL_S)
+        env.run(until=3 * INTERVAL_S)
+
+        evictions = [e for e in orch.recovery_log
+                     if e["action"] == "hostlo-evict"]
+        assert len(evictions) == 1
+        assert evictions[0]["node"] == vm_name
+        assert deployment.plugin_state["degraded_nodes"] == [vm_name]
+
+    def test_eviction_drains_queued_frames(self, cluster):
+        env, _host, _orch, _deployment, handle, monitor = cluster
+        vm_name = sorted(handle.endpoints)[0]
+        endpoint = handle.endpoints[vm_name]
+        handle.tap.stall_queue(endpoint)
+        for _ in range(4):
+            endpoint.rx_queue.offer()
+        monitor.start(horizon_s=3 * INTERVAL_S)
+        env.run(until=3 * INTERVAL_S)
+        assert monitor.evictions[0][3] == 4
+        assert endpoint.rx_queue.depth == 0
+
+    def test_observe_only_mode_never_evicts(self, cluster):
+        env, _host, orch, _deployment, handle, _monitor = cluster
+        observer = HealthMonitor(
+            env, lambda: HealthScope.of(orchestrators=(orch,)),
+            interval_s=INTERVAL_S, orchestrator=orch, evict_stalled=False,
+        )
+        handle.tap.stall_queue(handle.endpoints[sorted(handle.endpoints)[0]])
+        observer.start(horizon_s=3 * INTERVAL_S)
+        env.run(until=3 * INTERVAL_S)
+        assert observer.evictions == []
+        assert handle.tap.stalled_endpoints() != ()
+
+
+class TestViolationReporting:
+    def test_clean_cluster_audits_clean(self, cluster):
+        env, _host, _orch, _deployment, _handle, monitor = cluster
+        monitor.start(horizon_s=5 * INTERVAL_S)
+        env.run(until=5 * INTERVAL_S)
+        assert monitor.checks_run >= 4
+        assert monitor.violation_count == 0
+
+    def test_leak_fires_callback_and_metrics(self, cluster):
+        env, host, _orch, _deployment, _handle, _monitor = cluster
+        seen = []
+        with obs.capture() as (_tracer, metrics):
+            monitor = HealthMonitor(
+                env, lambda: HealthScope.of(namespaces=(host.ns,)),
+                interval_s=INTERVAL_S, on_violation=seen.append,
+            )
+            host.ns.attach(TapDevice("tap-leak"))
+            found = monitor.check_now()
+            assert found and seen == found
+            assert monitor.violation_count >= 1
+            counter = metrics.counter("health.violations_total")
+            assert counter.value(check="leaked-device") >= 1
+
+    def test_stop_halts_the_loop(self, cluster):
+        env, _host, _orch, _deployment, _handle, monitor = cluster
+        monitor.start()
+        env.run(until=2.5 * INTERVAL_S)
+        ran = monitor.checks_run
+        monitor.stop()
+        env.run(until=10 * INTERVAL_S)
+        assert monitor.checks_run == ran
+
+    def test_bad_interval_rejected(self, cluster):
+        env, _host, _orch, _deployment, _handle, _monitor = cluster
+        with pytest.raises(ConfigurationError):
+            HealthMonitor(env, HealthScope, interval_s=0.0)

@@ -1,0 +1,176 @@
+"""Sliding-window ARQ over lossy datapaths: convergence, determinism,
+partition recovery, backpressure and exactly-once delivery."""
+
+import pytest
+
+from repro import faults
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.harness.reliability import WireRig
+from repro.net import ArqConfig
+from repro.net.devices import DeviceQueue
+
+
+def lossy(probability, kind="link.loss", **kwargs):
+    return FaultPlan(specs=(
+        FaultSpec(kind=kind, target="*", probability=probability, **kwargs),
+    ))
+
+
+def run_arq(rig, plan, *, messages=40, nbytes=1448, config=None,
+            tx_queue=None, ack=True, before_run=None):
+    transfer = rig.engine.reliable_transfer(
+        rig.path, nbytes, messages=messages,
+        config=config or ArqConfig(),
+        rng=rig.host_a.rng.stream("arq"),
+        ack_path=rig.ack_path if ack else None,
+        links=(rig.link,), tx_queue=tx_queue,
+    )
+    with faults.use(rig.injector(plan)):
+        process = transfer.start()
+        if before_run is not None:
+            before_run(rig)
+        rig.env.run(until=process)
+    return transfer.report
+
+
+class TestArqConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 0}, {"timeout_s": 0.0}, {"backoff": 0.5},
+        {"max_retries": -1}, {"jitter": 1.0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ArqConfig(**kwargs)
+
+    def test_rto_backs_off_exponentially(self):
+        config = ArqConfig(timeout_s=1e-4, backoff=2.0, jitter=0.0)
+        assert config.rto_s(1) == 1e-4
+        assert config.rto_s(3) == 4e-4
+
+
+class TestConvergence:
+    def test_faultless_baseline_is_all_first_try(self):
+        report = run_arq(WireRig(seed=7), FaultPlan())
+        assert report.complete and report.exactly_once
+        assert report.transmissions == report.messages
+        assert report.retransmissions == 0
+        assert report.goodput_mbps > 0
+        assert report.conserved()
+
+    def test_converges_under_five_percent_loss(self):
+        report = run_arq(WireRig(seed=7), lossy(0.05), messages=80)
+        assert report.complete and report.exactly_once
+        assert report.retransmissions > 0
+        assert report.losses.get("link-loss", 0) > 0
+        assert report.goodput_mbps > 0
+        assert report.conserved()
+
+    def test_corrupted_frames_are_retransmitted_too(self):
+        report = run_arq(WireRig(seed=7), lossy(0.2, kind="link.corrupt"))
+        assert report.complete
+        assert report.losses.get("corrupt", 0) > 0
+        assert report.conserved()
+
+    def test_retry_budget_exhausts_under_total_loss(self):
+        report = run_arq(
+            WireRig(seed=7), lossy(1.0), messages=3,
+            config=ArqConfig(max_retries=2),
+        )
+        assert report.delivered == 0
+        assert report.exhausted == 3
+        assert report.transmissions == 9  # 1 + 2 retries, per message
+        assert report.conserved()
+
+    def test_lost_acks_cause_duplicates_never_double_delivery(self):
+        report = run_arq(WireRig(seed=7), lossy(0.3), messages=60)
+        assert report.complete
+        assert report.acks_lost > 0
+        assert report.duplicates > 0
+        assert report.exactly_once  # suppressed at the receiver
+        assert report.conserved()
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan_bit_identical_schedule(self):
+        first = run_arq(WireRig(seed=11), lossy(0.1), messages=60)
+        second = run_arq(WireRig(seed=11), lossy(0.1), messages=60)
+        assert first.retransmissions > 0
+        assert first.schedule == second.schedule
+
+    def test_different_seed_different_schedule(self):
+        first = run_arq(WireRig(seed=11), lossy(0.1), messages=60)
+        second = run_arq(WireRig(seed=12), lossy(0.1), messages=60)
+        assert first.schedule != second.schedule
+
+
+class TestPartitionMidTransfer:
+    """Satellite: ``set_down()`` mid-transfer drops in-flight frames
+    (accounted as ``link-partitioned``); ARQ recovers after
+    ``set_up()``."""
+
+    def flap(self, down_at, up_at):
+        def start_flapping(rig):
+            def flapper():
+                yield rig.env.timeout(down_at)
+                rig.link.set_down()
+                yield rig.env.timeout(up_at - down_at)
+                rig.link.set_up()
+
+            rig.env.process(flapper())
+
+        return start_flapping
+
+    def test_arq_rides_out_a_partition(self):
+        # Measure the healthy run, then partition the middle half.
+        healthy = run_arq(WireRig(seed=3), FaultPlan(),
+                          messages=20, nbytes=65536)
+        elapsed = healthy.elapsed_s
+        assert elapsed > 0
+
+        report = run_arq(
+            WireRig(seed=3), FaultPlan(), messages=20, nbytes=65536,
+            before_run=self.flap(0.25 * elapsed, 0.75 * elapsed),
+        )
+        assert report.losses.get("link-partitioned", 0) > 0
+        assert report.retransmissions > 0
+        assert report.complete and report.exactly_once
+        assert report.conserved()
+        assert report.elapsed_s > elapsed  # the outage cost time
+
+    def test_raw_mode_loses_partitioned_frames_for_good(self):
+        healthy = run_arq(WireRig(seed=3), FaultPlan(),
+                          messages=20, nbytes=65536)
+        report = run_arq(
+            WireRig(seed=3), FaultPlan(), messages=20, nbytes=65536,
+            config=ArqConfig(max_retries=0), ack=False,
+            before_run=self.flap(0.25 * healthy.elapsed_s,
+                                 0.75 * healthy.elapsed_s),
+        )
+        assert report.exhausted == report.losses.get("link-partitioned", 0)
+        assert report.exhausted > 0
+        assert report.delivered < report.messages
+        assert report.conserved()
+
+
+class TestQueueing:
+    def test_small_window_backpressures(self):
+        report = run_arq(
+            WireRig(seed=5), FaultPlan(), messages=10,
+            config=ArqConfig(window=2),
+        )
+        assert report.complete
+        assert report.backpressure_waits > 0
+
+    def test_full_tx_ring_drops_before_spending_cycles(self):
+        queue = DeviceQueue("tx", capacity=2)
+        report = run_arq(
+            WireRig(seed=5), FaultPlan(), messages=16,
+            config=ArqConfig(max_retries=12), tx_queue=queue,
+        )
+        assert report.losses.get("txq-overflow", 0) > 0
+        assert queue.drops == report.losses["txq-overflow"]
+        assert report.exactly_once
+        assert report.conserved()
+        assert report.delivered + report.exhausted == report.messages
+        assert queue.depth == 0  # every admitted frame was serviced

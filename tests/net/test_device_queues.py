@@ -1,0 +1,94 @@
+"""Bounded device queues: overflow, stall, drain, hostlo eviction."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.devices import (
+    DEFAULT_QUEUE_CAPACITY,
+    DeviceQueue,
+    HostloEndpoint,
+    HostloTap,
+    VirtioNic,
+)
+
+
+class TestDeviceQueue:
+    def test_every_device_gets_rings(self):
+        nic = VirtioNic("eth0")
+        assert nic.rx_queue.capacity == DEFAULT_QUEUE_CAPACITY
+        assert nic.tx_queue.name == "eth0:tx"
+        assert nic.rx_queue.depth == 0
+
+    def test_offer_take_roundtrip(self):
+        queue = DeviceQueue("q", capacity=2)
+        assert queue.offer() and queue.offer()
+        assert queue.depth == 2 and queue.accepted == 2
+        queue.take()
+        assert queue.depth == 1
+
+    def test_overflow_drops_and_counts(self):
+        queue = DeviceQueue("q", capacity=1)
+        assert queue.offer()
+        assert not queue.offer()
+        assert queue.drops == 1
+        assert queue.depth == 1  # the admitted frame is untouched
+
+    def test_take_from_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            DeviceQueue("q").take()
+
+    def test_stalled_queue_admits_until_full(self):
+        queue = DeviceQueue("q", capacity=2)
+        queue.stall()
+        assert queue.stalled
+        assert queue.offer() and queue.offer()  # ring still has room
+        assert not queue.offer()                # ... until it doesn't
+        queue.resume()
+        assert not queue.stalled
+
+    def test_drain_empties_and_reports(self):
+        queue = DeviceQueue("q", capacity=8)
+        for _ in range(3):
+            queue.offer()
+        assert queue.drain() == 3
+        assert queue.depth == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(TopologyError):
+            DeviceQueue("q", capacity=0)
+
+
+class TestHostloQueueManagement:
+    def tap_with(self, names):
+        tap = HostloTap("hlo0")
+        endpoints = [HostloEndpoint(n) for n in names]
+        for endpoint in endpoints:
+            tap.add_queue(endpoint)
+        return tap, endpoints
+
+    def test_remove_queue_unlinks_and_drains(self):
+        tap, (a, b) = self.tap_with(["a", "b"])
+        a.rx_queue.offer()
+        a.rx_queue.offer()
+        assert tap.remove_queue(a) == 2
+        assert tap.queue_count == 1
+        assert a.backend is None
+        assert b.backend is tap
+
+    def test_remove_unknown_queue_rejected(self):
+        tap, _ = self.tap_with(["a"])
+        with pytest.raises(TopologyError):
+            tap.remove_queue(HostloEndpoint("stranger"))
+
+    def test_stall_surfaces_and_resumes_on_evict(self):
+        tap, (a, b) = self.tap_with(["a", "b"])
+        tap.stall_queue(a)
+        assert tap.stalled_endpoints() == (a,)
+        tap.remove_queue(a)
+        assert tap.stalled_endpoints() == ()
+        assert not a.rx_queue.stalled  # eviction clears the wedge
+
+    def test_stall_unknown_queue_rejected(self):
+        tap, _ = self.tap_with(["a"])
+        with pytest.raises(TopologyError):
+            tap.stall_queue(HostloEndpoint("stranger"))

@@ -175,3 +175,44 @@ class TestFrameGuards:
         empty = NetworkNamespace("empty", with_loopback=False)
         with pytest.raises(TopologyError):
             engine.send(empty, ip("10.0.0.1"), 80)
+
+
+class TestDropAccounting:
+    """Every ``drop:*`` note lands in the engine ledger and in the
+    ``net.frames_dropped{reason=...}`` labelled counter."""
+
+    def test_delivery_and_drop_counters(self, nocont_topo, hostlo_topo):
+        from repro import obs
+
+        with obs.capture() as (_tracer, metrics):
+            eng = ForwardingEngine()
+            eng.send(nocont_topo.client, ip("192.168.122.11"), 22)
+            eng.send(hostlo_topo.frag_a, ip("10.88.0.99"), 6379)
+            assert metrics.counter("net.frames_sent").value() == 2
+            assert metrics.counter("net.frames_delivered").value() == 1
+            dropped = metrics.counter("net.frames_dropped")
+            assert dropped.value(reason="hostlo-no-owner") == 1
+        assert eng.frames_sent == 2
+        assert eng.frames_delivered == 1
+        assert eng.drops == {"hostlo-no-owner": 1}
+
+    def test_link_down_drop_reason_labelled(self, engine, nocont_topo):
+        from repro import obs
+
+        with obs.capture() as (_tracer, metrics):
+            eng = ForwardingEngine()
+            delivery = eng.send(nocont_topo.client, ip("203.0.113.9"), 80)
+            assert not delivery.delivered
+            assert sum(eng.drops.values()) == 1
+            (reason,) = eng.drops
+            assert metrics.counter("net.frames_dropped").value(
+                reason=reason
+            ) == 1
+
+    def test_ledger_reset(self, nocont_topo):
+        eng = ForwardingEngine()
+        eng.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        eng.reset_ledger()
+        assert eng.frames_sent == 0
+        assert eng.frames_delivered == 0
+        assert eng.drops == {}

@@ -29,6 +29,7 @@ def test_subpackages_import():
     import repro.costsim
     import repro.faults
     import repro.harness
+    import repro.health
     import repro.metrics
     import repro.net
     import repro.obs
