@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Capture the NAT and BrFusion datapaths; diff their provenance.
+
+Builds one host carrying both server variants — a Docker bridge+NAT
+container nested inside the VM, and a BrFusion pod whose hot-plugged
+vNIC sits directly on the host bridge — then sends a request to each
+under a promiscuous capture session.  The per-frame provenance trails
+make the paper's Fig. 1 story measurable: the NAT delivery crosses
+the guest's extra bridge and netfilter hook, the BrFusion delivery
+does not.  The run ends with the flow table and a pcapng you can open
+in Wireshark.
+
+Run:  python examples/capture_brfusion.py [--out DIR]
+"""
+
+import argparse
+import pathlib
+
+from repro.net import (
+    Bridge,
+    CaptureSession,
+    FlowTable,
+    NetworkNamespace,
+    TapDevice,
+    VethPair,
+    VirtioNic,
+    capture,
+    flows,
+)
+from repro.net.addresses import MacAllocator, cidr, ip
+from repro.net.forwarding import ForwardingEngine
+from repro.net.inspect import trace_frame
+from repro.net.netfilter import DnatRule, MasqueradeRule
+from repro.obs.pcap import write_pcapng
+
+_macs = MacAllocator(oui=0x02AA00)
+
+
+def build_topology():
+    """Host bridge + client, one VM carrying both server variants."""
+    host = NetworkNamespace("host", kind="host")
+    bridge = Bridge("virbr0")
+    bridge.assign_ip(ip("192.168.122.1"), cidr("192.168.122.0/24"))
+    host.attach(bridge)
+    host.routes.add_on_link(cidr("192.168.122.0/24"), "virbr0")
+
+    client = NetworkNamespace("client", kind="container", domain="client")
+    pair = VethPair("eth0", "veth-client", _macs.allocate(), _macs.allocate())
+    pair.a.assign_ip(ip("192.168.122.100"), cidr("192.168.122.0/24"))
+    client.attach(pair.a)
+    host.attach(pair.b)
+    bridge.add_port(pair.b)
+    client.routes.add_on_link(cidr("192.168.122.0/24"), "eth0")
+    client.routes.add_default("eth0", ip("192.168.122.1"))
+
+    # The VM: guest namespace, virtio NIC backed by a tap on virbr0.
+    guest = NetworkNamespace("vm1", kind="guest", domain="vm:vm1")
+    nic = VirtioNic("eth0", _macs.allocate())
+    nic.assign_ip(ip("192.168.122.11"), cidr("192.168.122.0/24"))
+    guest.attach(nic)
+    tap = TapDevice("tap-vm1")
+    host.attach(tap)
+    bridge.add_port(tap)
+    nic.attach_backend(tap)
+    guest.routes.add_on_link(cidr("192.168.122.0/24"), "eth0")
+    guest.routes.add_default("eth0", ip("192.168.122.1"))
+
+    # Variant 1 — nested default: Docker bridge + NAT inside the guest,
+    # container port 80 published on guest port 8080.
+    docker0 = Bridge("docker0")
+    docker0.assign_ip(ip("172.17.0.1"), cidr("172.17.0.0/16"))
+    guest.attach(docker0)
+    guest.routes.add_on_link(cidr("172.17.0.0/16"), "docker0")
+    nat_pod = NetworkNamespace("nat-pod", kind="container", domain="vm:vm1")
+    inner = VethPair("eth0", "veth-nat-pod",
+                     _macs.allocate(), _macs.allocate())
+    inner.a.assign_ip(ip("172.17.0.2"), cidr("172.17.0.0/16"))
+    nat_pod.attach(inner.a)
+    guest.attach(inner.b)
+    docker0.add_port(inner.b)
+    nat_pod.routes.add_on_link(cidr("172.17.0.0/16"), "eth0")
+    nat_pod.routes.add_default("eth0", ip("172.17.0.1"))
+    guest.netfilter.add_dnat(DnatRule("tcp", 8080, ip("172.17.0.2"), 80))
+    guest.netfilter.add_masquerade(
+        MasqueradeRule(cidr("172.17.0.0/16"), "eth0")
+    )
+
+    # Variant 2 — BrFusion: the pod's hot-plugged vNIC is switched by
+    # the *host* bridge; no guest bridge, no netfilter hook.
+    brf_pod = NetworkNamespace("brf-pod", kind="container", domain="vm:vm1")
+    brf_nic = VirtioNic("brf-pod", _macs.allocate())
+    brf_nic.assign_ip(ip("192.168.122.50"), cidr("192.168.122.0/24"))
+    brf_pod.attach(brf_nic)
+    brf_tap = TapDevice("tap-brf-pod")
+    host.attach(brf_tap)
+    bridge.add_port(brf_tap)
+    brf_nic.attach_backend(brf_tap)
+    brf_pod.routes.add_on_link(cidr("192.168.122.0/24"), "brf-pod")
+    brf_pod.routes.add_default("brf-pod", ip("192.168.122.1"))
+
+    return client
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="out", metavar="DIR",
+                        help="directory for the pcapng (default: out/)")
+    args = parser.parse_args()
+
+    client = build_topology()
+    engine = ForwardingEngine()
+    session = CaptureSession(promiscuous=True)
+    table = FlowTable()
+
+    with capture.use(session), flows.use(table):
+        nat = engine.send(client, ip("192.168.122.11"), 8080,
+                          payload_bytes=512)
+        brf = engine.send(client, ip("192.168.122.50"), 80,
+                          payload_bytes=512)
+
+    print("== NAT (nested default): the journey ==")
+    print(trace_frame(nat, session))
+    print()
+    print("== BrFusion: the same request, fused path ==")
+    print(trace_frame(brf, session))
+    print()
+    saved = len(nat.trail) - len(brf.trail)
+    print(f"BrFusion crosses {len(brf.trail)} stages where NAT crosses "
+          f"{len(nat.trail)} — {saved} fewer provenance hops "
+          f"(no docker0, no DNAT rewrite).")
+    print()
+    print(table.top_flows())
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = write_pcapng(session, out / "capture_brfusion.pcapng")
+    print(f"\n[pcap: {path} ({session.packet_count} packets on "
+          f"{len(session.points())} taps) — open in Wireshark]")
+    mismatches = session.reconcile(engine)
+    print(f"[capture ledger reconciles with the engine: "
+          f"{'yes' if not mismatches else mismatches}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness fig09 --json out/  # also write out/fig09.json
     python -m repro.harness fig04 --csv out/   # also write out/fig04.csv
     python -m repro.harness fig04 --trace out/ # Perfetto trace + span dump
+    python -m repro.harness reliability --pcap out/ --flows
     python -m repro.harness chaos --faults examples/faults_plan.json
 
 Campaign mode (parallel workers + content-addressed result cache)::
@@ -38,6 +39,7 @@ from repro.harness.registry import (
     EXPERIMENTS,
     describe,
     run_experiment,
+    run_experiment_captured,
     run_experiment_traced,
 )
 from repro.harness.results import ExperimentResult
@@ -63,6 +65,17 @@ def main(argv: list[str] | None = None) -> int:
                              ".trace.json (Chrome/Perfetto), .spans.jsonl "
                              "and .metrics.txt (campaign mode merges all "
                              "workers into <DIR>/campaign.*)")
+    parser.add_argument("--pcap", metavar="DIR",
+                        help="capture the run's frames; write <DIR>/"
+                             "<experiment>.pcapng (opens in Wireshark) "
+                             "plus the --trace artifacts")
+    parser.add_argument("--flows", action="store_true",
+                        help="account per-flow statistics; print the "
+                             "top-flows table (with --pcap or --trace, "
+                             "also write <DIR>/<experiment>.flows.txt)")
+    parser.add_argument("--filter", metavar="EXPR",
+                        help="BPF-lite capture filter for --pcap/--flows "
+                             "(e.g. \"host 10.0.0.8 and proto udp\")")
     parser.add_argument("--faults", metavar="PLAN.json",
                         help="fault plan for the chaos/reliability "
                              "experiments (replaces their built-in "
@@ -104,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
     campaign_mode = (args.jobs > 1 or args.cache or args.bench
                      or args.bench_baseline or args.seeds)
     if campaign_mode:
+        if args.pcap or args.flows:
+            parser.error("--pcap/--flows run serially (drop the campaign "
+                         "flags: --jobs/--cache/--bench/--seeds)")
         return _campaign_main(args, ids)
 
     config = ExperimentConfig.preset(args.preset)
@@ -114,7 +130,15 @@ def main(argv: list[str] | None = None) -> int:
                                      health=args.health)
     for experiment in ids:
         start = time.perf_counter()
-        if args.trace:
+        captured = None
+        if args.pcap or args.flows:
+            result, artifacts, captured = run_experiment_captured(
+                experiment, config,
+                trace_dir=args.pcap or args.trace or "out",
+                pcap=bool(args.pcap), flows=args.flows,
+                filter=args.filter,
+            )
+        elif args.trace:
             result, artifacts = run_experiment_traced(
                 experiment, config, trace_dir=args.trace
             )
@@ -131,6 +155,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"({artifacts.span_count} spans, "
                   f"{artifacts.event_count} events) — open in "
                   f"https://ui.perfetto.dev]")
+        if captured is not None:
+            if args.flows:
+                print(captured.top_flows)
+            if captured.pcap_path is not None:
+                print(f"[pcap: {captured.pcap_path} "
+                      f"({captured.packet_count} packets on "
+                      f"{captured.point_count} taps, "
+                      f"{captured.flow_count} flows) — open in Wireshark]")
         print(f"[{experiment} finished in {elapsed:.1f}s]\n")
         _write_exports(result, args)
     return 0

@@ -9,7 +9,10 @@ import typing as t
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.net import capture as net_capture
+from repro.net import flows as net_flows
 from repro.obs.export import summary, write_chrome_trace, write_spans_jsonl
+from repro.obs.pcap import write_pcapng
 from repro.harness import (
     ablations,
     analytic,
@@ -165,7 +168,7 @@ def run_experiment_traced(
             metrics_path=_write_metrics(
                 metrics, trace_dir / f"{experiment}.metrics.txt"
             ),
-            summary=summary(tracer),
+            summary=summary(tracer, metrics=metrics),
             span_count=len(tracer.spans),
             event_count=len(tracer.events),
         )
@@ -176,3 +179,83 @@ def _write_metrics(metrics: "obs.MetricsRegistry",
                    path: pathlib.Path) -> pathlib.Path:
     path.write_text(metrics.render_text())
     return path
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureArtifacts:
+    """What one captured experiment run left on disk (and in memory)."""
+
+    pcap_path: pathlib.Path | None
+    flows_path: pathlib.Path | None
+    top_flows: str
+    packet_count: int
+    point_count: int
+    flow_count: int
+    session: "net_capture.CaptureSession"
+    flow_table: "net_flows.FlowTable"
+
+
+def run_experiment_captured(
+    experiment: str,
+    config: ExperimentConfig | None = None,
+    trace_dir: str | pathlib.Path = "out",
+    pcap: bool = True,
+    flows: bool = True,
+    sampling: t.Mapping[str, float] | None = None,
+    filter: str | None = None,
+) -> tuple[ExperimentResult, TraceArtifacts, CaptureArtifacts]:
+    """Run one experiment traced *and* packet-captured.
+
+    On top of :func:`run_experiment_traced`'s artifacts this installs a
+    promiscuous :class:`~repro.net.capture.CaptureSession` (every device
+    a frame touches becomes a tap) and a
+    :class:`~repro.net.flows.FlowTable` for the duration of the run,
+    then writes ``<trace_dir>/<experiment>.pcapng`` (open it in
+    Wireshark) and ``<experiment>.flows.txt`` (the top-flows table).
+    Flow aggregates are folded into the metrics registry before it is
+    exported, so ``.metrics.txt`` carries the per-flow counters too.
+    """
+    trace_dir = pathlib.Path(trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    effective = dict(DEFAULT_TRACE_SAMPLING if sampling is None else sampling)
+    session = net_capture.CaptureSession(promiscuous=True, filter=filter)
+    table = net_flows.FlowTable()
+    with obs.capture(sampling=effective) as (tracer, metrics):
+        with net_capture.use(session), net_flows.use(table):
+            result = run_experiment(experiment, config)
+        table.export_metrics(metrics)
+        top_flows = table.top_flows()
+        pcap_path = None
+        if pcap:
+            pcap_path = write_pcapng(
+                session, trace_dir / f"{experiment}.pcapng"
+            )
+        flows_path = None
+        if flows:
+            flows_path = trace_dir / f"{experiment}.flows.txt"
+            flows_path.write_text(top_flows + "\n")
+        trace_artifacts = TraceArtifacts(
+            chrome_path=write_chrome_trace(
+                tracer, trace_dir / f"{experiment}.trace.json"
+            ),
+            spans_path=write_spans_jsonl(
+                tracer, trace_dir / f"{experiment}.spans.jsonl"
+            ),
+            metrics_path=_write_metrics(
+                metrics, trace_dir / f"{experiment}.metrics.txt"
+            ),
+            summary=summary(tracer, metrics=metrics),
+            span_count=len(tracer.spans),
+            event_count=len(tracer.events),
+        )
+    capture_artifacts = CaptureArtifacts(
+        pcap_path=pcap_path,
+        flows_path=flows_path,
+        top_flows=top_flows,
+        packet_count=session.packet_count,
+        point_count=len(session.points()),
+        flow_count=len(table),
+        session=session,
+        flow_table=table,
+    )
+    return result, trace_artifacts, capture_artifacts

@@ -21,6 +21,7 @@ from repro.health.invariants import (
     HealthScope,
     Violation,
     check_bridge_consistency,
+    check_capture_conservation,
     check_device_wiring,
     check_frame_conservation,
     check_hostlo_liveness,
@@ -36,6 +37,7 @@ __all__ = [
     "HealthScope",
     "Violation",
     "check_bridge_consistency",
+    "check_capture_conservation",
     "check_device_wiring",
     "check_frame_conservation",
     "check_hostlo_liveness",

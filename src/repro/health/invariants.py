@@ -23,6 +23,7 @@ from repro.net.namespace import NetworkNamespace
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.net.arq import ArqReport
+    from repro.net.capture import CaptureSession
     from repro.net.forwarding import ForwardingEngine
     from repro.orchestrator.cluster import Orchestrator
     from repro.virt.host import PhysicalHost
@@ -54,6 +55,7 @@ class HealthScope:
         namespaces: t.Iterable[NetworkNamespace] = (),
         forwarding: "ForwardingEngine | None" = None,
         arq_reports: t.Iterable["ArqReport"] = (),
+        capture: "CaptureSession | None" = None,
     ) -> None:
         deduped: dict[int, NetworkNamespace] = {}
         for ns in namespaces:
@@ -61,6 +63,7 @@ class HealthScope:
         self.namespaces: tuple[NetworkNamespace, ...] = tuple(deduped.values())
         self.forwarding = forwarding
         self.arq_reports = tuple(arq_reports)
+        self.capture = capture
 
     @classmethod
     def of(
@@ -72,6 +75,7 @@ class HealthScope:
         namespaces: t.Iterable[NetworkNamespace] = (),
         forwarding: "ForwardingEngine | None" = None,
         arq_reports: t.Iterable["ArqReport"] = (),
+        capture: "CaptureSession | None" = None,
     ) -> "HealthScope":
         """Gather every namespace the given owners are responsible for."""
         gathered: list[NetworkNamespace] = list(namespaces)
@@ -87,7 +91,8 @@ class HealthScope:
                 gathered.extend(vm.namespaces)
         for host in host_list:
             gathered.append(host.ns)
-        return cls(gathered, forwarding=forwarding, arq_reports=arq_reports)
+        return cls(gathered, forwarding=forwarding,
+                   arq_reports=arq_reports, capture=capture)
 
     # -- derived views ----------------------------------------------------
     def devices(self) -> t.Iterator[tuple[NetworkNamespace, str, t.Any]]:
@@ -222,6 +227,22 @@ def check_frame_conservation(scope: HealthScope) -> list[Violation]:
     return out
 
 
+def check_capture_conservation(scope: HealthScope) -> list[Violation]:
+    """The capture session's per-frame ledger agrees with the
+    forwarding engine's: every counted frame the engine sent appears in
+    the capture with the same terminal verdict.  Only meaningful when
+    the scope carries both (a session active for the engine's whole
+    accounting period)."""
+    out: list[Violation] = []
+    session = scope.capture
+    engine = scope.forwarding
+    if session is None or engine is None:
+        return out
+    for problem in session.reconcile(engine):
+        out.append(Violation("capture-conservation", "capture", problem))
+    return out
+
+
 #: Every invariant check, in the order a health pass runs them.
 ALL_CHECKS: tuple[t.Callable[[HealthScope], list[Violation]], ...] = (
     check_device_wiring,
@@ -229,6 +250,7 @@ ALL_CHECKS: tuple[t.Callable[[HealthScope], list[Violation]], ...] = (
     check_bridge_consistency,
     check_hostlo_liveness,
     check_frame_conservation,
+    check_capture_conservation,
 )
 
 

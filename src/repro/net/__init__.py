@@ -27,6 +27,12 @@ from repro.net.addresses import (
     SubnetAllocator,
 )
 from repro.net.bridge import Bridge
+from repro.net.capture import (
+    CaptureFilter,
+    CapturePoint,
+    CaptureSession,
+    Hop,
+)
 from repro.net.costs import CostModel, StageCost
 from repro.net.devices import (
     DeviceQueue,
@@ -40,6 +46,7 @@ from repro.net.devices import (
     VirtioNic,
     VxlanTunnel,
 )
+from repro.net.flows import FlowKey, FlowStats, FlowTable
 from repro.net.forwarding import Delivery, ForwardingEngine, Frame
 from repro.net.links import PhysicalLink, connect_hosts
 from repro.net.namespace import NetworkNamespace
@@ -52,14 +59,21 @@ __all__ = [
     "ArqConfig",
     "ArqReport",
     "Bridge",
+    "CaptureFilter",
+    "CapturePoint",
+    "CaptureSession",
     "CostModel",
     "Datapath",
     "Delivery",
     "DeviceQueue",
     "DnatRule",
+    "FlowKey",
+    "FlowStats",
+    "FlowTable",
     "ForwardDropRule",
     "ForwardingEngine",
     "Frame",
+    "Hop",
     "HostloEndpoint",
     "HostloTap",
     "Ipv4Address",

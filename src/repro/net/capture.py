@@ -1,0 +1,507 @@
+"""Packet capture taps and frame provenance (the ``tcpdump`` layer).
+
+The forwarding engine (:mod:`repro.net.forwarding`) has always known
+*where* a frame went — the free-text ``Frame.note`` strings that tests
+grep with ``Delivery.visited`` — but free text is neither filterable
+nor exportable.  This module formalizes it:
+
+* :class:`Hop` — one machine-readable provenance record: which device,
+  in which namespace, at which stage, with which verdict (forwarded /
+  delivered / dropped{reason} / reflected / encapped / decapped).
+* :class:`CapturePoint` — a tap on one :class:`~repro.net.devices
+  .NetDevice`, bridge port or netfilter hook, holding the packets that
+  matched its filter; one point becomes one interface block in the
+  pcapng export (:mod:`repro.obs.pcap`).
+* :class:`CaptureFilter` — a BPF-lite expression language (``host``,
+  ``net``, ``proto``, ``dev``, ``port``, combined with ``and`` / ``or``
+  / ``not`` and parentheses) for selective capture.
+* :class:`CaptureSession` — the unit the engine talks to: it assigns
+  frame ids, collects per-frame hop trails (deduplicated per
+  ``(frame, device, stage)`` so a hostlo reflection to N queues is one
+  provenance hop, not N), stamps strictly monotonic simulated
+  timestamps, and keeps its own conservation ledger so the health
+  layer can reconcile capture against the forwarding engine's.
+
+Like :mod:`repro.obs` and :mod:`repro.faults`, one **active session**
+may be held as a module global (``capture.use(session)``); the engine
+checks it once per ``send`` — an untapped run never allocates a hop,
+a trail or a packet record.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import fnmatch
+import itertools
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.net.addresses import Ipv4Address, Ipv4Network
+from repro.obs import tracer as _active_tracer
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.devices import NetDevice
+    from repro.net.forwarding import ForwardingEngine, Frame
+
+#: Minimum spacing between two capture timestamps (simulated seconds).
+#: The simulation clock does not advance inside one frame walk, so the
+#: session nudges each stamp forward by one tick — exactly the pcapng
+#: export's nanosecond resolution — to keep packet records strictly
+#: monotonic.
+_TICK_S = 1e-9
+
+#: Terminal verdicts a hop can carry.
+VERDICTS = ("forwarded", "delivered", "dropped", "reflected",
+            "encapped", "decapped")
+
+
+@dataclasses.dataclass(frozen=True)
+class Hop:
+    """One provenance record: a frame touching one device or hook."""
+
+    seq: int
+    frame_id: int
+    ts: float
+    stage: str
+    device: str
+    kind: str
+    namespace: str
+    verdict: str
+    reason: str | None = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        what = self.verdict if self.reason is None \
+            else f"{self.verdict}:{self.reason}"
+        where = f"{self.namespace}/{self.device}" if self.namespace \
+            else self.device
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.stage} {where} {what}{extra}"
+
+
+class CapturedPacket(t.NamedTuple):
+    """One packet snapshot at a capture point (pre-synthesis).
+
+    Addresses are snapshotted at capture time — a frame captured before
+    a DNAT hop carries the pre-translation destination, matching what a
+    real tap on that device would have seen.
+    """
+
+    ts: float
+    frame_id: int
+    src_mac: int | None
+    dst_mac: int | None
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: str
+    payload_bytes: int
+
+
+class _PacketView(t.NamedTuple):
+    """What a filter expression sees."""
+
+    src_ip: Ipv4Address
+    dst_ip: Ipv4Address
+    proto: str
+    src_port: int
+    dst_port: int
+    device: str
+
+
+# -- the BPF-lite filter language ------------------------------------------
+_Predicate = t.Callable[[_PacketView], bool]
+
+
+class CaptureFilter:
+    """A compiled BPF-lite expression.
+
+    Grammar (familiar from tcpdump, reduced to the simulator's frame
+    model)::
+
+        expr    := term ("or" term)*
+        term    := factor ("and" factor)*
+        factor  := "not" factor | "(" expr ")" | primary
+        primary := "host" IPV4 | "net" CIDR | "proto" NAME
+                 | "dev" GLOB   | "port" NUMBER
+
+    ``host`` and ``net`` match either direction; ``port`` matches
+    source or destination; ``dev`` accepts fnmatch globs
+    (``dev 'tap-*'``).  The empty expression matches everything.
+    """
+
+    def __init__(self, expression: str = "") -> None:
+        self.expression = expression.strip()
+        self._predicate = self._compile(self.expression)
+
+    def matches(self, view: _PacketView) -> bool:
+        return self._predicate(view)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<CaptureFilter {self.expression!r}>"
+
+    # -- compilation -------------------------------------------------------
+    @classmethod
+    def _compile(cls, expression: str) -> _Predicate:
+        if not expression:
+            return lambda view: True
+        tokens = expression.replace("(", " ( ").replace(")", " ) ").split()
+        predicate, rest = cls._parse_or(tokens)
+        if rest:
+            raise ConfigurationError(
+                f"capture filter: trailing tokens {' '.join(rest)!r}"
+            )
+        return predicate
+
+    @classmethod
+    def _parse_or(cls, tokens: list[str]) -> tuple[_Predicate, list[str]]:
+        left, tokens = cls._parse_and(tokens)
+        terms = [left]
+        while tokens and tokens[0] == "or":
+            right, tokens = cls._parse_and(tokens[1:])
+            terms.append(right)
+        if len(terms) == 1:
+            return left, tokens
+        return (lambda view: any(p(view) for p in terms)), tokens
+
+    @classmethod
+    def _parse_and(cls, tokens: list[str]) -> tuple[_Predicate, list[str]]:
+        left, tokens = cls._parse_factor(tokens)
+        factors = [left]
+        while tokens and tokens[0] == "and":
+            right, tokens = cls._parse_factor(tokens[1:])
+            factors.append(right)
+        if len(factors) == 1:
+            return left, tokens
+        return (lambda view: all(p(view) for p in factors)), tokens
+
+    @classmethod
+    def _parse_factor(cls, tokens: list[str]) -> tuple[_Predicate, list[str]]:
+        if not tokens:
+            raise ConfigurationError("capture filter: unexpected end")
+        if tokens[0] == "not":
+            inner, rest = cls._parse_factor(tokens[1:])
+            return (lambda view: not inner(view)), rest
+        if tokens[0] == "(":
+            inner, rest = cls._parse_or(tokens[1:])
+            if not rest or rest[0] != ")":
+                raise ConfigurationError("capture filter: unbalanced '('")
+            return inner, rest[1:]
+        return cls._parse_primary(tokens)
+
+    @staticmethod
+    def _parse_primary(tokens: list[str]) -> tuple[_Predicate, list[str]]:
+        keyword = tokens[0]
+        if keyword not in ("host", "net", "proto", "dev", "port"):
+            raise ConfigurationError(
+                f"capture filter: unknown keyword {keyword!r}"
+            )
+        if len(tokens) < 2:
+            raise ConfigurationError(
+                f"capture filter: {keyword!r} needs an operand"
+            )
+        operand, rest = tokens[1].strip("'\""), tokens[2:]
+        if keyword == "host":
+            address = Ipv4Address.parse(operand)
+            return (lambda v: address in (v.src_ip, v.dst_ip)), rest
+        if keyword == "net":
+            network = Ipv4Network.parse(operand)
+            return (lambda v: v.src_ip in network or v.dst_ip in network), rest
+        if keyword == "proto":
+            proto = operand.lower()
+            return (lambda v: v.proto == proto), rest
+        if keyword == "port":
+            try:
+                port = int(operand)
+            except ValueError:
+                raise ConfigurationError(
+                    f"capture filter: bad port {operand!r}"
+                ) from None
+            return (lambda v: port in (v.src_port, v.dst_port)), rest
+        # dev GLOB
+        return (lambda v: fnmatch.fnmatchcase(v.device, operand)), rest
+
+
+class CapturePoint:
+    """A tap on one device (or netfilter hook): matched packets land
+    here, and the pcapng export writes one interface block per point."""
+
+    def __init__(self, name: str, kind: str = "generic",
+                 filter: CaptureFilter | str | None = None) -> None:
+        self.name = name
+        self.kind = kind
+        if isinstance(filter, str):
+            filter = CaptureFilter(filter)
+        self.filter = filter
+        self.packets: list[CapturedPacket] = []
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<CapturePoint {self.name!r} ({len(self.packets)} packets)>"
+
+
+class _Trail:
+    """Mutable per-frame provenance under construction."""
+
+    __slots__ = ("fid", "parent", "counted", "origin", "hops",
+                 "_hop_seen", "_pkt_seen", "terminal")
+
+    def __init__(self, fid: int, parent: int | None, counted: bool,
+                 origin: str) -> None:
+        self.fid = fid
+        self.parent = parent
+        self.counted = counted
+        self.origin = origin
+        self.hops: list[Hop] = []
+        self._hop_seen: set[tuple[str, str]] = set()
+        self._pkt_seen: set[str] = set()
+        self.terminal: tuple[str, str | None] | None = None
+
+
+class CaptureSession:
+    """One capture run: taps, trails, packets, and a ledger.
+
+    Parameters
+    ----------
+    promiscuous:
+        Auto-create a :class:`CapturePoint` for every device a frame
+        touches (the ``--pcap`` harness mode).  Otherwise only
+        explicitly tapped devices capture packets — but hop *trails*
+        are always recorded while the session is active.
+    filter:
+        A session-wide :class:`CaptureFilter` (or expression string)
+        every packet must pass in addition to any per-point filter.
+    clock:
+        Simulated-time source; defaults to the active tracer's clock
+        (0.0 when tracing is off — stamps then advance by the tick
+        alone, staying strictly monotonic either way).
+    """
+
+    def __init__(self, promiscuous: bool = False,
+                 filter: CaptureFilter | str | None = None,
+                 clock: t.Callable[[], float] | None = None) -> None:
+        self.promiscuous = promiscuous
+        if isinstance(filter, str):
+            filter = CaptureFilter(filter)
+        self.filter = filter
+        self._clock = clock
+        self._points: dict[str, CapturePoint] = {}
+        self._trails: dict[int, _Trail] = {}
+        self._fids = itertools.count(1)
+        self._last_ts = 0.0
+        self._seq = itertools.count(1)
+        # The session's own conservation ledger over *counted* frames,
+        # reconciled against the forwarding engine's by the health
+        # layer (see repro.health.invariants.check_capture_conservation).
+        self.frames_seen = 0
+        self.frames_delivered = 0
+        self.drops: dict[str, int] = {}
+
+    # -- tap management ----------------------------------------------------
+    def tap(self, device: "NetDevice | str",
+            filter: CaptureFilter | str | None = None) -> CapturePoint:
+        """Install a capture point on *device* (object or name)."""
+        name = device if isinstance(device, str) else device.name
+        kind = "generic" if isinstance(device, str) else device.kind
+        point = self._points.get(name)
+        if point is None:
+            point = self._points[name] = CapturePoint(name, kind, filter)
+        elif filter is not None:
+            point.filter = (CaptureFilter(filter)
+                            if isinstance(filter, str) else filter)
+        return point
+
+    def tap_hook(self, namespace: str, hook: str = "dnat",
+                 filter: CaptureFilter | str | None = None) -> CapturePoint:
+        """Install a capture point on a netfilter hook of *namespace*."""
+        return self.tap(f"nf:{namespace}:{hook}", filter)
+
+    def points(self) -> tuple[CapturePoint, ...]:
+        """Every capture point, sorted by name (stable export order)."""
+        return tuple(self._points[name] for name in sorted(self._points))
+
+    @property
+    def packet_count(self) -> int:
+        return sum(len(p.packets) for p in self._points.values())
+
+    # -- engine-facing recording -------------------------------------------
+    def _stamp(self) -> float:
+        now = self._clock() if self._clock is not None \
+            else _active_tracer().now
+        if now <= self._last_ts:
+            now = self._last_ts + _TICK_S
+        self._last_ts = now
+        return now
+
+    def begin_frame(self, frame: "Frame", origin: str = "",
+                    parent: int | None = None) -> int:
+        """Assign a frame id and open its provenance trail."""
+        fid = next(self._fids)
+        frame.fid = fid
+        self._trails[fid] = _Trail(fid, parent, frame.counted,
+                                   origin or frame.origin)
+        if frame.counted:
+            self.frames_seen += 1
+        return fid
+
+    def hop(self, frame: "Frame", stage: str, device: "NetDevice | str",
+            namespace: str = "", verdict: str = "forwarded",
+            reason: str | None = None, detail: str = "") -> Hop | None:
+        """Record one provenance hop (and capture the packet if tapped).
+
+        Hops are deduplicated per ``(frame, device, stage)``: a hostlo
+        tap reflecting one frame into N RX queues contributes exactly
+        one ``reflected`` hop, not N — the regression the 3-queue test
+        pins.  Returns the recorded hop, or ``None`` when deduplicated
+        or the frame has no open trail.
+        """
+        trail = self._trails.get(frame.fid)
+        if trail is None:
+            return None
+        dev_name = device if isinstance(device, str) else device.name
+        dev_kind = "" if isinstance(device, str) else device.kind
+        key = (dev_name, stage)
+        if key in trail._hop_seen:
+            return None
+        trail._hop_seen.add(key)
+        record = Hop(
+            seq=next(self._seq), frame_id=frame.fid, ts=self._stamp(),
+            stage=stage, device=dev_name, kind=dev_kind,
+            namespace=namespace, verdict=verdict, reason=reason,
+            detail=detail,
+        )
+        trail.hops.append(record)
+        if verdict == "delivered":
+            trail.terminal = ("delivered", None)
+            if trail.counted:
+                self.frames_delivered += 1
+        elif verdict == "dropped" and trail.terminal is None:
+            trail.terminal = ("dropped", reason)
+            if trail.counted and reason is not None:
+                self.drops[reason] = self.drops.get(reason, 0) + 1
+        self._capture_packet(trail, frame, dev_name, dev_kind, record.ts)
+        return record
+
+    def _capture_packet(self, trail: _Trail, frame: "Frame",
+                        dev_name: str, dev_kind: str, ts: float) -> None:
+        point = self._points.get(dev_name)
+        if point is None:
+            if not self.promiscuous or dev_name.startswith("nf:"):
+                return
+            point = self._points[dev_name] = CapturePoint(dev_name, dev_kind)
+        if dev_name in trail._pkt_seen:
+            return
+        view = _PacketView(
+            src_ip=frame.src_ip, dst_ip=frame.dst_ip, proto=frame.proto,
+            src_port=self.source_port(frame.fid), dst_port=frame.dst_port,
+            device=dev_name,
+        )
+        if self.filter is not None and not self.filter.matches(view):
+            return
+        if point.filter is not None and not point.filter.matches(view):
+            return
+        trail._pkt_seen.add(dev_name)
+        point.packets.append(CapturedPacket(
+            ts=ts, frame_id=frame.fid,
+            src_mac=frame.src_mac.value if frame.src_mac else None,
+            dst_mac=frame.dst_mac.value if frame.dst_mac else None,
+            src_ip=frame.src_ip.value, dst_ip=frame.dst_ip.value,
+            src_port=view.src_port, dst_port=frame.dst_port,
+            proto=frame.proto, payload_bytes=frame.payload_bytes,
+        ))
+
+    def finish_frame(self, frame: "Frame") -> tuple[Hop, ...]:
+        """Close the frame's trail and return it as an immutable chain."""
+        trail = self._trails.get(frame.fid)
+        if trail is None:
+            return ()
+        return tuple(trail.hops)
+
+    # -- inspection --------------------------------------------------------
+    @staticmethod
+    def source_port(fid: int) -> int:
+        """The deterministic ephemeral source port synthesized for a
+        frame (the frame model carries only the destination port)."""
+        return 33000 + (fid % 28000)
+
+    def trail_of(self, fid: int) -> tuple[Hop, ...]:
+        trail = self._trails.get(fid)
+        return tuple(trail.hops) if trail is not None else ()
+
+    def trails(self) -> dict[int, tuple[Hop, ...]]:
+        """Every recorded trail, ``{frame_id: hop chain}``."""
+        return {fid: tuple(tr.hops) for fid, tr in self._trails.items()}
+
+    def children_of(self, fid: int) -> tuple[int, ...]:
+        """Frame ids encapsulated under *fid* (VXLAN outer frames)."""
+        return tuple(sorted(
+            tr.fid for tr in self._trails.values() if tr.parent == fid
+        ))
+
+    def ledger(self) -> tuple[int, int, dict[str, int]]:
+        """``(seen, delivered, drops-by-reason)`` over counted frames."""
+        return self.frames_seen, self.frames_delivered, dict(self.drops)
+
+    def reconcile(self, engine: "ForwardingEngine") -> list[str]:
+        """Mismatches between this session's ledger and the engine's.
+
+        Meaningful when the session was active for the same accounting
+        period as the engine's ledger (reset both together); every
+        counted frame the engine sent must then appear here with the
+        same terminal verdict.
+        """
+        problems: list[str] = []
+        if self.frames_seen != engine.frames_sent:
+            problems.append(
+                f"capture saw {self.frames_seen} frames, "
+                f"engine sent {engine.frames_sent}"
+            )
+        if self.frames_delivered != engine.frames_delivered:
+            problems.append(
+                f"capture delivered {self.frames_delivered}, "
+                f"engine delivered {engine.frames_delivered}"
+            )
+        if self.drops != engine.drops:
+            problems.append(
+                f"capture drops {self.drops!r} != engine drops "
+                f"{engine.drops!r}"
+            )
+        return problems
+
+
+# -- the active session (module global, like obs/faults) -------------------
+_ACTIVE: CaptureSession | None = None
+
+
+def active_session() -> CaptureSession | None:
+    """The installed session, or ``None`` (the zero-overhead default)."""
+    return _ACTIVE
+
+
+def install(session: CaptureSession) -> None:
+    """Make *session* the one forwarding engines emit into."""
+    global _ACTIVE
+    _ACTIVE = session
+
+
+def uninstall() -> None:
+    """Back to the default: no capture, no per-frame work."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def use(session: CaptureSession) -> t.Iterator[CaptureSession]:
+    """Install *session* for the enclosed block, then restore."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,240 @@
+"""Per-flow accounting over the frame-level data plane.
+
+A :class:`FlowTable` aggregates every frame the forwarding engine
+injects into per-flow statistics — frames, bytes, deliveries, drops
+attributed by the conservation ledger's reason labels, hop counts and
+per-hop latencies — keyed by what the *sender* asked for: source and
+destination address, protocol, destination port, and the source
+namespace's pod/VM label (its CPU-billing domain).  DNAT rewrites on
+the way do not split a flow, and VXLAN *outer* frames are never
+recorded (the engine only accounts the inner frame it was asked to
+send, matching the ledger rule from the reliability layer).
+
+The table is constant-memory per flow (counters plus fixed-bucket
+histograms, never raw samples) and exports through the existing
+:class:`repro.obs.MetricsRegistry`; :func:`FlowTable.top_flows`
+renders the quick who-is-talking-to-whom answer as text.
+
+Like :mod:`repro.net.capture`, one **active table** may be installed
+as a module global (``flows.use(table)``) — the harness ``--flows``
+flag does exactly that — and an uninstrumented run pays one ``None``
+check per send.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import typing as t
+
+from repro.obs import metrics as _active_metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.capture import Hop
+
+#: Hop-latency buckets (simulated seconds): the capture tick (1 ns)
+#: up to a leisurely millisecond per hop.
+HOP_LATENCY_BUCKETS = (
+    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3,
+)
+
+#: Hop-count buckets: BrFusion-short chains to overlay-long ones.
+HOP_COUNT_BUCKETS = (2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class FlowKey:
+    """What identifies a flow: the 4-tuple the sender dialled, plus
+    the sending pod/VM label."""
+
+    src_ip: str
+    dst_ip: str
+    proto: str
+    dst_port: int
+    src_label: str
+
+    def __str__(self) -> str:
+        return (f"{self.src_ip}->{self.dst_ip}:{self.dst_port}/"
+                f"{self.proto} [{self.src_label}]")
+
+
+class FlowStats:
+    """Aggregates for one flow (constant memory)."""
+
+    __slots__ = ("frames", "bytes", "delivered", "drops", "dst_label",
+                 "hop_counts", "hop_latency")
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.bytes = 0
+        self.delivered = 0
+        #: Drops attributed by the forwarding ledger's reason labels.
+        self.drops: dict[str, int] = {}
+        #: The destination's pod/VM label, learned on first delivery.
+        self.dst_label = "-"
+        self.hop_counts = Histogram("flow.hops", HOP_COUNT_BUCKETS)
+        self.hop_latency = Histogram("flow.hop_latency_s",
+                                     HOP_LATENCY_BUCKETS)
+
+    @property
+    def dropped(self) -> int:
+        return sum(self.drops.values())
+
+    def top_drop_reason(self) -> str:
+        if not self.drops:
+            return "-"
+        reason = max(self.drops, key=lambda r: (self.drops[r], r))
+        return f"{reason}:{self.drops[reason]}"
+
+
+class FlowTable:
+    """The flow accounting table the forwarding engine records into."""
+
+    def __init__(self) -> None:
+        self._flows: dict[FlowKey, FlowStats] = {}
+
+    # -- recording (called by ForwardingEngine.send) -----------------------
+    def record(
+        self,
+        key: FlowKey,
+        payload_bytes: int,
+        delivered: bool,
+        drop_reason: str | None = None,
+        dst_label: str | None = None,
+        trail: t.Sequence["Hop"] = (),
+        hop_count: int | None = None,
+    ) -> FlowStats:
+        """Account one frame walk under *key*."""
+        stats = self._flows.get(key)
+        if stats is None:
+            stats = self._flows[key] = FlowStats()
+        stats.frames += 1
+        stats.bytes += payload_bytes
+        if delivered:
+            stats.delivered += 1
+            if dst_label:
+                stats.dst_label = dst_label
+        elif drop_reason is not None:
+            stats.drops[drop_reason] = stats.drops.get(drop_reason, 0) + 1
+        hops = hop_count if hop_count is not None else len(trail)
+        if hops:
+            stats.hop_counts.observe(float(hops))
+        for earlier, later in zip(trail, trail[1:]):
+            stats.hop_latency.observe(later.ts - earlier.ts)
+        return stats
+
+    # -- reading -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def get(self, key: FlowKey) -> FlowStats | None:
+        return self._flows.get(key)
+
+    def items(self) -> tuple[tuple[FlowKey, FlowStats], ...]:
+        return tuple(sorted(self._flows.items()))
+
+    def total_frames(self) -> int:
+        return sum(s.frames for s in self._flows.values())
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes for s in self._flows.values())
+
+    def drop_totals(self) -> dict[str, int]:
+        """Drops by reason across every flow — must equal the
+        forwarding engine's conservation ledger for the same period."""
+        totals: dict[str, int] = {}
+        for stats in self._flows.values():
+            for reason, n in stats.drops.items():
+                totals[reason] = totals.get(reason, 0) + n
+        return totals
+
+    # -- export ------------------------------------------------------------
+    def export_metrics(self, registry: MetricsRegistry | None = None) -> None:
+        """Fold the table into a :class:`MetricsRegistry` (the active
+        one by default): labelled counters per flow, drop reasons
+        attributed, a gauge for table size."""
+        registry = registry if registry is not None else _active_metrics()
+        frames = registry.counter(
+            "flows.frames_total", help="frames accounted per flow")
+        octets = registry.counter(
+            "flows.bytes_total", help="payload bytes accounted per flow")
+        dropped = registry.counter(
+            "flows.frames_dropped",
+            help="per-flow drops, attributed by ledger reason")
+        for key, stats in self._flows.items():
+            labels = dict(src=key.src_ip, dst=key.dst_ip, proto=key.proto,
+                          port=key.dst_port, pod=key.src_label)
+            frames.inc(stats.frames, **labels)
+            octets.inc(stats.bytes, **labels)
+            for reason, n in stats.drops.items():
+                dropped.inc(n, reason=reason, **labels)
+        registry.gauge(
+            "flows.active", help="distinct flows in the flow table",
+        ).set(float(len(self._flows)))
+
+    def top_flows(self, top: int = 10) -> str:
+        """A text table of the heaviest flows by bytes."""
+        if not self._flows:
+            return "(no flows recorded)"
+        ranked = sorted(
+            self._flows.items(),
+            key=lambda item: (-item[1].bytes, item[0]),
+        )[:top]
+        header = ["flow", "dst pod/vm", "frames", "bytes", "delivered",
+                  "drops", "top drop", "hops p50"]
+        rows: list[list[str]] = []
+        for key, stats in ranked:
+            rows.append([
+                str(key), stats.dst_label, str(stats.frames),
+                str(stats.bytes), str(stats.delivered), str(stats.dropped),
+                stats.top_drop_reason(),
+                f"{stats.hop_counts.quantile(0.5):g}"
+                if stats.hop_counts.count() else "-",
+            ])
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows))
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== flow table: top {len(rows)} of {len(self._flows)} flows "
+            f"({self.total_frames()} frames, {self.total_bytes()} bytes) =="
+        ]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+# -- the active table (module global, like capture) ------------------------
+_ACTIVE: FlowTable | None = None
+
+
+def active_table() -> FlowTable | None:
+    """The installed flow table, or ``None`` (the default)."""
+    return _ACTIVE
+
+
+def install(table: FlowTable) -> None:
+    """Make *table* the one forwarding engines record into."""
+    global _ACTIVE
+    _ACTIVE = table
+
+
+def uninstall() -> None:
+    """Back to the default: no flow accounting."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def use(table: FlowTable) -> t.Iterator[FlowTable]:
+    """Install *table* for the enclosed block, then restore."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = table
+    try:
+        yield table
+    finally:
+        _ACTIVE = previous

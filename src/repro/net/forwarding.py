@@ -7,6 +7,17 @@ through the same topology using the mechanisms Linux actually uses —
 ARP resolution, bridge FDB learning, flooding on miss, per-queue hostlo
 reflection, VXLAN encapsulation — and records every hop.
 
+Hops are recorded twice, at two fidelities.  The free-text
+``Frame.note`` strings (greppable through ``Delivery.visited``) are
+always kept — they are cheap and the integration tests read them.  When
+a :class:`repro.net.capture.CaptureSession` is active, the engine
+additionally emits structured :class:`~repro.net.capture.Hop` records
+at every ``_ingress`` / ``_transmit`` / ``_bridge_forward`` /
+``_hostlo_reflect`` / ``_vxlan`` transition — machine-readable
+provenance that feeds the pcapng export, the flow table and the
+``trace_frame`` pretty-printer.  Without a session the per-frame cost
+is one module-global load and one ``None`` check per send.
+
 Integration tests assert that what the frames traverse agrees with
 what the resolver predicted, and the learning behaviour (second frame
 is switched, not flooded) is observable through the bridge FDBs.
@@ -20,6 +31,8 @@ import typing as t
 
 from repro.errors import TopologyError
 from repro.faults import injector as _active_injector
+from repro.net import capture as _capture
+from repro.net import flows as _flows
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.obs import metrics as _active_metrics
 from repro.obs import tracer as _active_tracer
@@ -35,7 +48,12 @@ from repro.net.devices import (
     VirtioNic,
     VxlanTunnel,
 )
+from repro.net.flows import FlowKey
 from repro.net.namespace import NetworkNamespace
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.capture import CaptureSession, Hop
+    from repro.net.flows import FlowTable
 
 _MAX_HOPS = 128
 
@@ -58,6 +76,10 @@ class Frame:
     #: they are created with ``counted=False`` — otherwise one lost
     #: encapsulated message would be double-booked.
     counted: bool = True
+    #: Capture-session frame id (0 while no session is active).
+    fid: int = 0
+    #: The ledger reason this frame was dropped under, if it was.
+    drop_reason: str | None = None
 
     def note(self, what: str) -> None:
         if len(self.hops) >= _MAX_HOPS:
@@ -76,6 +98,10 @@ class Delivery:
     hops: tuple[str, ...]
     flooded_ports: int
     reflected_copies: int
+    #: Capture-session frame id (0 when no session was active).
+    frame_id: int = 0
+    #: Structured provenance chain (empty when no session was active).
+    trail: tuple["Hop", ...] = ()
 
     def visited(self, what: str) -> bool:
         return any(what in hop for hop in self.hops)
@@ -96,6 +122,11 @@ class ForwardingEngine:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.drops: dict[str, int] = {}
+        #: Pinned capture session / flow table; when ``None`` the
+        #: module-global active ones (if any) are used per send.
+        self.capture: "CaptureSession | None" = None
+        self.flows: "FlowTable | None" = None
+        self._cap: "CaptureSession | None" = None
 
     def reset_ledger(self) -> None:
         """Zero the conservation ledger (per-phase accounting)."""
@@ -103,9 +134,23 @@ class ForwardingEngine:
         self.frames_delivered = 0
         self.drops = {}
 
-    def _drop(self, frame: Frame, note: str, reason: str) -> None:
+    def _hop(self, frame: Frame, stage: str, device: "NetDevice | str",
+             namespace: str = "", verdict: str = "forwarded",
+             reason: str | None = None, detail: str = "") -> None:
+        """Emit one structured provenance hop (no-op when untapped)."""
+        cap = self._cap
+        if cap is not None:
+            cap.hop(frame, stage, device, namespace=namespace,
+                    verdict=verdict, reason=reason, detail=detail)
+
+    def _drop(self, frame: Frame, note: str, reason: str,
+              device: "NetDevice | str" = "", namespace: str = "",
+              stage: str = "drop") -> None:
         """Record one dropped frame: hop note, ledger, labelled counter."""
         frame.note(f"drop:{note}")
+        frame.drop_reason = reason
+        self._hop(frame, stage, device, namespace=namespace,
+                  verdict="dropped", reason=reason, detail=note)
         if frame.counted:
             self.drops[reason] = self.drops.get(reason, 0) + 1
             _active_metrics().counter(
@@ -131,6 +176,11 @@ class ForwardingEngine:
             dst_ip=dst_ip, dst_port=dst_port, proto=proto,
             payload_bytes=payload_bytes, origin=src_ns.name,
         )
+        cap = self.capture if self.capture is not None \
+            else _capture.active_session()
+        self._cap = cap
+        if cap is not None:
+            cap.begin_frame(frame, origin=src_ns.name)
         self.frames_sent += 1
         _active_metrics().counter(
             "net.frames_sent", help="frames injected into the data plane",
@@ -142,6 +192,29 @@ class ForwardingEngine:
                 "net.frames_delivered",
                 help="frames delivered to a destination namespace",
             ).inc()
+        trail: tuple["Hop", ...] = ()
+        if cap is not None:
+            trail = cap.finish_frame(frame)
+            self._cap = None
+        table = self.flows if self.flows is not None \
+            else _flows.active_table()
+        if table is not None:
+            # Keyed by what the sender dialled (pre-DNAT), labelled by
+            # the origin's pod/VM domain.  VXLAN outer frames never get
+            # here: only the injected (counted) frame is accounted.
+            table.record(
+                FlowKey(
+                    src_ip=str(frame.src_ip), dst_ip=str(dst_ip),
+                    proto=proto, dst_port=dst_port,
+                    src_label=src_ns.domain,
+                ),
+                payload_bytes=payload_bytes,
+                delivered=namespace is not None,
+                drop_reason=frame.drop_reason,
+                dst_label=namespace.domain if namespace else None,
+                trail=trail,
+                hop_count=len(trail) if trail else len(frame.hops),
+            )
         tracer = _active_tracer()
         if tracer.enabled:
             tracer.event(
@@ -161,6 +234,8 @@ class ForwardingEngine:
             hops=tuple(frame.hops),
             flooded_ports=self.flood_events,
             reflected_copies=self.reflect_copies,
+            frame_id=frame.fid,
+            trail=trail,
         )
 
     # -- routing ---------------------------------------------------------------
@@ -180,23 +255,30 @@ class ForwardingEngine:
             local = ns.find_device_owning(frame.dst_ip)
             if local is not None:
                 frame.note(f"deliver:{ns.name}")
+                self._hop(frame, "deliver", local, namespace=ns.name,
+                          verdict="delivered")
                 return ns
             if (ns.name != frame.origin
                     and ns.netfilter.forward_dropped(frame.src_ip,
                                                      frame.dst_ip)):
                 self._drop(frame, f"forward-policy:{ns.name}",
-                           "forward-policy")
+                           "forward-policy", device=f"nf:{ns.name}:forward",
+                           namespace=ns.name, stage="netfilter")
                 return None
             route = ns.routes.lookup(frame.dst_ip)
             if route is None:
-                self._drop(frame, f"no-route:{ns.name}", "no-route")
+                self._drop(frame, f"no-route:{ns.name}", "no-route",
+                           namespace=ns.name, stage="route")
                 return None
             egress = ns.device(route.device)
             if not egress.up:
-                self._drop(frame, f"link-down:{egress.name}", "link-down")
+                self._drop(frame, f"link-down:{egress.name}", "link-down",
+                           device=egress, namespace=ns.name, stage="route")
                 return None
             next_hop = route.gateway or frame.dst_ip
             frame.note(f"route:{ns.name}:{egress.name}")
+            self._hop(frame, "route", egress, namespace=ns.name,
+                      detail=str(next_hop))
             landing = self._transmit(ns, egress, next_hop, frame)
             if landing is None:
                 return None
@@ -211,6 +293,8 @@ class ForwardingEngine:
         )
         if hit:
             frame.note(f"dnat:{ns.name}:{new_ip}:{new_port}")
+            self._hop(frame, "dnat", f"nf:{ns.name}:dnat",
+                      namespace=ns.name, detail=f"{new_ip}:{new_port}")
             frame.dst_ip, frame.dst_port = new_ip, new_port
         return ns
 
@@ -223,6 +307,7 @@ class ForwardingEngine:
 
         if isinstance(egress, Loopback):
             frame.note(f"lo:{ns.name}")
+            self._hop(frame, "loopback", egress, namespace=ns.name)
             return ns
 
         if isinstance(egress, Bridge):
@@ -233,9 +318,12 @@ class ForwardingEngine:
             peer = egress.peer
             if peer is None or peer.namespace is None:
                 self._drop(frame, f"dangling-veth:{egress.name}",
-                           "dangling-veth")
+                           "dangling-veth", device=egress,
+                           namespace=ns.name, stage="veth")
                 return None
             frame.note(f"veth:{egress.name}->{peer.name}")
+            self._hop(frame, "veth", egress, namespace=ns.name,
+                      detail=f"->{peer.name}")
             if peer.bridge is not None:
                 return self._bridge_forward(peer.bridge, peer, next_hop, frame)
             return peer.namespace
@@ -246,9 +334,12 @@ class ForwardingEngine:
         if isinstance(egress, VirtioNic):
             backend = egress.backend
             if not isinstance(backend, TapDevice):
-                self._drop(frame, f"no-backend:{egress.name}", "no-backend")
+                self._drop(frame, f"no-backend:{egress.name}", "no-backend",
+                           device=egress, namespace=ns.name, stage="virtio")
                 return None
             frame.note(f"virtio:{egress.name}->tap:{backend.name}")
+            self._hop(frame, "virtio", egress, namespace=ns.name,
+                      detail=f"->tap:{backend.name}")
             if backend.bridge is not None:
                 return self._bridge_forward(backend.bridge, backend,
                                             next_hop, frame)
@@ -260,30 +351,39 @@ class ForwardingEngine:
         if isinstance(egress, PhysicalNic):
             return self._wire(egress, next_hop, frame)
 
-        self._drop(frame, f"unsupported:{egress.kind}", "unsupported")
+        self._drop(frame, f"unsupported:{egress.kind}", "unsupported",
+                   device=egress, namespace=ns.name, stage="transmit")
         return None
 
     def _wire(self, egress: PhysicalNic, next_hop: Ipv4Address,
               frame: Frame) -> NetworkNamespace | None:
+        ns_name = egress.namespace.name if egress.namespace else ""
         link = egress.link
         if link is None:
-            self._drop(frame, f"uncabled:{egress.name}", "uncabled")
+            self._drop(frame, f"uncabled:{egress.name}", "uncabled",
+                       device=egress, namespace=ns_name, stage="wire")
             return None
         if not link.up:
             self._drop(frame, f"link-partitioned:{link.name}",
-                       "link-partitioned")
+                       "link-partitioned", device=egress,
+                       namespace=ns_name, stage="wire")
             return None
         inj = _active_injector()
         if inj.enabled and inj.fires("link.loss", link.name) is not None:
-            self._drop(frame, f"fault-link:{link.name}", "link-loss")
+            self._drop(frame, f"fault-link:{link.name}", "link-loss",
+                       device=egress, namespace=ns_name, stage="wire")
             return None
         if inj.enabled and inj.fires("link.corrupt", link.name) is not None:
             # The frame crosses the wire but arrives with a bad FCS:
             # the receiving NIC discards it.
-            self._drop(frame, f"fault-corrupt:{link.name}", "corrupt")
+            self._drop(frame, f"fault-corrupt:{link.name}", "corrupt",
+                       device=link.peer_of(egress), namespace=ns_name,
+                       stage="wire")
             return None
         peer = link.peer_of(egress)
         frame.note(f"wire:{link.name}:{egress.name}->{peer.name}")
+        self._hop(frame, "wire", egress, namespace=ns_name,
+                  detail=f"{link.name}->{peer.name}")
         if peer.bridge is not None:
             return self._bridge_forward(peer.bridge, peer, next_hop, frame)
         return peer.namespace
@@ -292,13 +392,16 @@ class ForwardingEngine:
                         next_hop: Ipv4Address,
                         frame: Frame) -> NetworkNamespace | None:
         """Learning-switch behaviour: learn, look up, forward or flood."""
+        ns_name = bridge.namespace.name if bridge.namespace else ""
         if ingress is not None and frame.src_mac is not None:
             bridge.learn(frame.src_mac, ingress)
         inj = _active_injector()
         if inj.enabled and inj.fires("frame.drop", bridge.name) is not None:
-            self._drop(frame, f"fault:{bridge.name}", "frame-drop")
+            self._drop(frame, f"fault:{bridge.name}", "frame-drop",
+                       device=bridge, namespace=ns_name, stage="bridge")
             return None
         frame.note(f"bridge:{bridge.name}")
+        self._hop(frame, "bridge", bridge, namespace=ns_name)
 
         if bridge.owns_ip(next_hop):
             # Frame for the bridge's own stack (it is the gateway).
@@ -336,6 +439,8 @@ class ForwardingEngine:
             # Destination unknown to the FDB: flood all other ports.
             self.flood_events += max(0, len(bridge.ports) - 1)
             frame.note(f"flood:{bridge.name}")
+            self._hop(frame, "flood", bridge, namespace=ns_name,
+                      detail=f"{max(0, len(bridge.ports) - 1)} ports")
             if dst_mac is not None:
                 bridge.learn(dst_mac, target_port)
         frame.dst_mac = dst_mac
@@ -365,14 +470,19 @@ class ForwardingEngine:
                     next_hop: Ipv4Address,
                     frame: Frame) -> NetworkNamespace | None:
         del next_hop
+        target_ns = target.namespace.name if target.namespace else ""
         if isinstance(port, VethEnd):
             frame.note(f"veth:{port.name}->{target.name}")
+            self._hop(frame, "veth", port, namespace=target_ns,
+                      detail=f"->{target.name}")
             return target.namespace
         if isinstance(port, TapDevice):
             frame.note(f"tap:{port.name}->virtio:{target.name}")
+            self._hop(frame, "tap", port, namespace=target_ns,
+                      detail=f"->virtio:{target.name}")
             return target.namespace
         self._drop(frame, f"unsupported-port:{port.kind}",
-                   "unsupported-port")
+                   "unsupported-port", device=port, stage="bridge")
         return None
 
     def _hostlo_reflect(self, endpoint: HostloEndpoint,
@@ -380,14 +490,17 @@ class ForwardingEngine:
                         frame: Frame) -> NetworkNamespace | None:
         """§4.2 semantics: the frame is copied to *every* queue; only
         the endpoint owning the destination consumes it."""
+        ns_name = endpoint.namespace.name if endpoint.namespace else ""
         tap = endpoint.backend
         if not isinstance(tap, HostloTap):
             self._drop(frame, f"no-hostlo-backend:{endpoint.name}",
-                       "no-hostlo-backend")
+                       "no-hostlo-backend", device=endpoint,
+                       namespace=ns_name, stage="hostlo")
             return None
         inj = _active_injector()
         if inj.enabled and inj.fires("hostlo.drop", tap.name) is not None:
-            self._drop(frame, f"fault-hostlo:{tap.name}", "hostlo-drop")
+            self._drop(frame, f"fault-hostlo:{tap.name}", "hostlo-drop",
+                       device=tap, namespace=ns_name, stage="hostlo")
             return None
         self.reflect_copies += tap.queue_count
         frame.note(f"hostlo:{tap.name}:x{tap.queue_count}")
@@ -395,9 +508,15 @@ class ForwardingEngine:
         # service theirs immediately; a stalled consumer's ring fills
         # until it overflows, at which point its copies are dropped at
         # the tap (and any copy *for* the stalled VM dies with them).
+        # Provenance note: the per-queue loop below offers the *same*
+        # frame once per RX queue — the capture session deduplicates
+        # the reflect hop per (frame, device), so the trail carries one
+        # ``reflected`` hop for the tap, not one per queue.
         owner: HostloEndpoint | None = None
         owner_accepted = False
         for other in tap.endpoints:
+            self._hop(frame, "hostlo-reflect", tap, namespace=ns_name,
+                      verdict="reflected", detail=f"x{tap.queue_count}")
             accepted = other.rx_queue.offer()
             if accepted and not other.rx_queue.stalled:
                 other.rx_queue.take()
@@ -406,20 +525,23 @@ class ForwardingEngine:
                 owner_accepted = accepted
         if owner is None:
             self._drop(frame, f"hostlo-no-owner:{next_hop}",
-                       "hostlo-no-owner")
+                       "hostlo-no-owner", device=tap, namespace=ns_name,
+                       stage="hostlo")
             return None
         if not owner_accepted:
             self._drop(frame, f"hostlo-overflow:{owner.name}",
-                       "hostlo-overflow")
+                       "hostlo-overflow", device=owner, stage="hostlo")
             return None
         if owner.rx_queue.stalled:
             # Queued on a wedged consumer: never serviced.  Accounted
             # now so the ledger stays conserved; the health watchdog's
             # eviction will drain whatever piled up.
             self._drop(frame, f"hostlo-stalled:{owner.name}",
-                       "hostlo-stalled")
+                       "hostlo-stalled", device=owner, stage="hostlo")
             return None
         frame.note(f"hostlo-rx:{owner.name}")
+        owner_ns = owner.namespace.name if owner.namespace else ""
+        self._hop(frame, "hostlo-rx", owner, namespace=owner_ns)
         frame.dst_mac = owner.mac
         return owner.namespace
 
@@ -427,11 +549,15 @@ class ForwardingEngine:
                frame: Frame) -> NetworkNamespace | None:
         """Encapsulate, walk the underlay, decapsulate at the far VTEP."""
         vtep_ip = tunnel.vtep_for(next_hop)
+        tunnel_ns = tunnel.namespace.name if tunnel.namespace else ""
         if vtep_ip is None:
-            self._drop(frame, f"no-vtep:{tunnel.name}", "no-vtep")
+            self._drop(frame, f"no-vtep:{tunnel.name}", "no-vtep",
+                       device=tunnel, namespace=tunnel_ns, stage="vxlan")
             return None
         assert tunnel.namespace is not None
         frame.note(f"vxlan-encap:{tunnel.name}->{vtep_ip}")
+        self._hop(frame, "vxlan-encap", tunnel, namespace=tunnel_ns,
+                  verdict="encapped", detail=f"->{vtep_ip}")
 
         outer = Frame(
             src_mac=None, dst_mac=None,
@@ -440,11 +566,18 @@ class ForwardingEngine:
             origin=tunnel.namespace.name,
             counted=False,  # the inner frame carries the ledger entry
         )
+        if self._cap is not None:
+            # The outer frame gets its own provenance trail, linked to
+            # the inner frame it carries; it stays outside the ledger
+            # (and the flow table) exactly like its counted flag says.
+            self._cap.begin_frame(outer, origin=outer.origin,
+                                  parent=frame.fid)
         landing = self._route(tunnel.namespace, outer)
         frame.hops.extend(f"underlay:{hop}" for hop in outer.hops)
         if landing is None:
             self._drop(frame, "underlay-unreachable",
-                       "underlay-unreachable")
+                       "underlay-unreachable", device=tunnel,
+                       namespace=tunnel_ns, stage="vxlan")
             return None
 
         remote = next(
@@ -454,9 +587,12 @@ class ForwardingEngine:
         )
         if remote is None:
             self._drop(frame, f"no-remote-vtep:{landing.name}",
-                       "no-remote-vtep")
+                       "no-remote-vtep", device=tunnel,
+                       namespace=landing.name, stage="vxlan")
             return None
         frame.note(f"vxlan-decap:{remote.name}")
+        self._hop(frame, "vxlan-decap", remote, namespace=landing.name,
+                  verdict="decapped")
         if remote.bridge is not None:
             return self._bridge_forward(remote.bridge, remote, next_hop, frame)
         return landing

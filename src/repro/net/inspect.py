@@ -103,3 +103,35 @@ def testbed_namespaces(testbed) -> list[NetworkNamespace]:
 def describe_testbed(testbed) -> str:
     """The whole testbed as text (see ``examples/topology_tour.py``)."""
     return describe_topology(testbed_namespaces(testbed))
+
+
+def trace_frame(delivery, session=None) -> str:
+    """Render one delivery's frame journey as a numbered hop chain.
+
+    Prefers the structured provenance trail a capture session recorded
+    (:class:`~repro.net.capture.Hop` records, with timestamps, stages
+    and verdicts); when the delivery was made without an active session
+    it falls back to the free-text ``Frame.note`` hops, so the printer
+    always has something to show.  Pass the *session* to also render
+    encapsulated child frames (VXLAN outer frames) under their parent.
+    """
+    status = "delivered" if delivery.delivered else "DROPPED"
+    where = f" -> {delivery.namespace}" if delivery.namespace else ""
+    lines = [
+        f"frame #{delivery.frame_id or '?'} to "
+        f"{delivery.dst_ip}:{delivery.dst_port} — {status}{where}"
+    ]
+    if delivery.trail:
+        for index, hop in enumerate(delivery.trail, start=1):
+            lines.append(f"  {index:>2}. [{hop.ts * 1e9:>6.0f} ns] {hop}")
+    else:
+        for index, note in enumerate(delivery.hops, start=1):
+            lines.append(f"  {index:>2}. {note}")
+    if session is not None and delivery.frame_id:
+        for child in session.children_of(delivery.frame_id):
+            lines.append(f"  encapsulated frame #{child}:")
+            for index, hop in enumerate(session.trail_of(child), start=1):
+                lines.append(
+                    f"    {index:>2}. [{hop.ts * 1e9:>6.0f} ns] {hop}"
+                )
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ import json
 import pathlib
 import typing as t
 
+from repro.obs.metrics import Counter, MetricsRegistry, _label_text
 from repro.obs.trace import NullTracer, Span, Tracer
 
 TracerLike = t.Union[Tracer, NullTracer]
@@ -221,12 +222,17 @@ def write_records_jsonl(
     return path
 
 
-def summary(tracer: TracerLike, top: int = 10) -> str:
+def summary(tracer: TracerLike, top: int = 10,
+            metrics: MetricsRegistry | None = None) -> str:
     """A top-N table of span groups by total simulated time.
 
     Groups by ``(category, name)`` and reports count, total simulated
     seconds, total cycles (when spans carry a ``cycles`` attribute) and
     total self-profiled wall seconds (when enabled).
+
+    When a *metrics* registry is given, a counter table follows —
+    including every labelled series (``net.frames_dropped{reason=...}``
+    and friends), which the span table alone can never show.
     """
     groups: dict[tuple[str, str], dict[str, float]] = {}
     for span in tracer.spans:
@@ -241,7 +247,9 @@ def summary(tracer: TracerLike, top: int = 10) -> str:
             g["wall_s"] += span.wall_s
     n_events = len(tracer.events)
     if not groups:
-        return f"(no spans recorded; {n_events} events)"
+        lines = [f"(no spans recorded; {n_events} events)"]
+        lines.extend(_counter_lines(metrics, top))
+        return "\n".join(lines)
 
     ranked = sorted(
         groups.items(), key=lambda item: item[1]["sim_s"], reverse=True
@@ -276,4 +284,36 @@ def summary(tracer: TracerLike, top: int = 10) -> str:
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
         lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    lines.extend(_counter_lines(metrics, top))
     return "\n".join(lines)
+
+
+def _counter_lines(metrics: MetricsRegistry | None, top: int) -> list[str]:
+    """A top-N counter table, one row per (possibly labelled) series.
+
+    Labelled series are first-class rows — ``net.frames_dropped``
+    incremented with ``reason=...`` labels shows up as one row per
+    reason, not zero rows (the bug this fixes).
+    """
+    if metrics is None:
+        return []
+    series: list[tuple[str, float]] = []
+    for name in metrics.names():
+        metric = metrics.get(name)
+        if not isinstance(metric, Counter):
+            continue
+        for key, value in metric.series().items():
+            series.append((f"{name}{_label_text(key)}", value))
+    if not series:
+        return []
+    ranked = sorted(series, key=lambda item: (-item[1], item[0]))[:top]
+    width = max(len("counter"), *(len(name) for name, _ in ranked))
+    lines = [
+        "",
+        f"== counters: top {len(ranked)} of {len(series)} series ==",
+        f"{'counter'.ljust(width)}  value",
+        f"{'-' * width}  -----",
+    ]
+    for name, value in ranked:
+        lines.append(f"{name.ljust(width)}  {value:g}")
+    return lines

@@ -1,0 +1,293 @@
+"""pcapng export for captured frames — files Wireshark opens.
+
+The simulator's frame model carries addresses, ports, protocol and a
+payload size; this module synthesizes standards-shaped bytes from it
+(Ethernet II / IPv4 / UDP-or-TCP with a correct IP header checksum)
+and writes them as a pcapng *capture file*:
+
+* one Section Header Block,
+* one Interface Description Block per :class:`~repro.net.capture
+  .CapturePoint` (``if_name`` = the tapped device, nanosecond
+  ``if_tsresol`` so sub-microsecond simulated timestamps survive),
+* one Enhanced Packet Block per captured packet, in globally
+  monotonic simulated-time order.
+
+A minimal in-repo *parser* (:func:`read_pcapng`) round-trips the
+writer's files so CI can assert structure without external tooling —
+and incidentally reads any little-endian pcapng produced elsewhere.
+
+Timestamps are simulated seconds; the capture session guarantees they
+are strictly monotonic, and the nanosecond resolution here is exactly
+the session's tick, so no two packets collapse onto one timestamp.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import struct
+import typing as t
+
+from repro.errors import ConfigurationError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.capture import CapturedPacket, CapturePoint, CaptureSession
+
+#: pcapng block types.
+SHB_TYPE = 0x0A0D0D0A
+IDB_TYPE = 0x00000001
+EPB_TYPE = 0x00000006
+
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+LINKTYPE_ETHERNET = 1
+
+#: ``if_tsresol`` = 9: timestamps are counts of 1e-9 s.
+_TSRESOL = 9
+_TS_PER_S = 10 ** _TSRESOL
+
+#: Default captured-length cap (bytes of synthesized packet kept).
+DEFAULT_SNAPLEN = 65535
+
+_ETHERTYPE_IPV4 = 0x0800
+_IP_PROTO = {"tcp": 6, "udp": 17}
+_ETH_HEADER = 14
+_IP_HEADER = 20
+_UDP_HEADER = 8
+_TCP_HEADER = 20
+
+
+# -- byte synthesis --------------------------------------------------------
+def _checksum(header: bytes) -> int:
+    """RFC 1071 ones-complement sum over *header* (even length)."""
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def synthesize(packet: "CapturedPacket") -> bytes:
+    """Ethernet/IPv4/L4 bytes for one captured packet.
+
+    The payload is zero bytes of the frame's recorded size — the
+    simulator never modelled payload *content*, only its length, and
+    Wireshark cares about the headers.
+    """
+    src_mac = packet.src_mac if packet.src_mac is not None else 0x020000000001
+    dst_mac = packet.dst_mac if packet.dst_mac is not None else 0xFFFFFFFFFFFF
+    payload = bytes(packet.payload_bytes)
+
+    if packet.proto == "udp":
+        l4_len = _UDP_HEADER + len(payload)
+        l4 = struct.pack(">HHHH", packet.src_port, packet.dst_port,
+                         l4_len, 0) + payload
+    else:
+        # TCP (and anything else the frame model labels): a minimal
+        # PSH|ACK segment.
+        l4_len = _TCP_HEADER + len(payload)
+        l4 = struct.pack(
+            ">HHIIBBHHH", packet.src_port, packet.dst_port,
+            packet.frame_id & 0xFFFFFFFF, 0, (_TCP_HEADER // 4) << 4,
+            0x18, 65535, 0, 0,
+        ) + payload
+
+    total_len = _IP_HEADER + l4_len
+    proto = _IP_PROTO.get(packet.proto, 253)
+    ip_header = struct.pack(
+        ">BBHHHBBHII", 0x45, 0, total_len, packet.frame_id & 0xFFFF,
+        0, 64, proto, 0, packet.src_ip, packet.dst_ip,
+    )
+    ip_header = ip_header[:10] + struct.pack(
+        ">H", _checksum(ip_header)) + ip_header[12:]
+
+    eth_header = struct.pack(
+        ">6s6sH",
+        dst_mac.to_bytes(6, "big"), src_mac.to_bytes(6, "big"),
+        _ETHERTYPE_IPV4,
+    )
+    return eth_header + ip_header + l4
+
+
+# -- block plumbing --------------------------------------------------------
+def _pad32(data: bytes) -> bytes:
+    return data + b"\x00" * (-len(data) % 4)
+
+
+def _option(code: int, value: bytes) -> bytes:
+    return struct.pack("<HH", code, len(value)) + _pad32(value)
+
+
+_END_OF_OPTIONS = struct.pack("<HH", 0, 0)
+
+
+def _block(block_type: int, body: bytes) -> bytes:
+    total = 12 + len(body)
+    return (struct.pack("<II", block_type, total) + body
+            + struct.pack("<I", total))
+
+
+def _shb() -> bytes:
+    body = struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+    body += _option(4, b"repro.obs.pcap")  # shb_userappl
+    body += _END_OF_OPTIONS
+    return _block(SHB_TYPE, body)
+
+
+def _idb(name: str, snaplen: int) -> bytes:
+    body = struct.pack("<HHI", LINKTYPE_ETHERNET, 0, snaplen)
+    body += _option(2, name.encode("utf-8"))       # if_name
+    body += _option(9, bytes([_TSRESOL]))          # if_tsresol
+    body += _END_OF_OPTIONS
+    return _block(IDB_TYPE, body)
+
+
+def _epb(interface_id: int, ts: float, data: bytes, snaplen: int) -> bytes:
+    units = round(ts * _TS_PER_S)
+    captured = data[:snaplen] if snaplen else data
+    body = struct.pack(
+        "<IIIII", interface_id, (units >> 32) & 0xFFFFFFFF,
+        units & 0xFFFFFFFF, len(captured), len(data),
+    )
+    body += _pad32(captured)
+    return _block(EPB_TYPE, body)
+
+
+# -- writing ---------------------------------------------------------------
+def write_pcapng(
+    capture: "CaptureSession | t.Iterable[CapturePoint]",
+    path: str | pathlib.Path,
+    snaplen: int = DEFAULT_SNAPLEN,
+) -> pathlib.Path:
+    """Write one pcapng file for a capture session (or bare points).
+
+    Every capture point becomes an interface block (even if it matched
+    no packets — an installed tap is part of the capture's shape);
+    packet blocks are merged across points and written in simulated-
+    time order, which the session guarantees is strictly monotonic.
+    """
+    points = (capture.points() if hasattr(capture, "points")
+              else tuple(capture))
+    path = pathlib.Path(path)
+    chunks = [_shb()]
+    merged: list[tuple[float, int, "CapturedPacket"]] = []
+    for index, point in enumerate(points):
+        chunks.append(_idb(point.name, snaplen))
+        merged.extend((pkt.ts, index, pkt) for pkt in point.packets)
+    merged.sort(key=lambda item: (item[0], item[1]))
+    for ts, index, pkt in merged:
+        chunks.append(_epb(index, ts, synthesize(pkt), snaplen))
+    path.write_bytes(b"".join(chunks))
+    return path
+
+
+# -- reading ---------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class PcapInterface:
+    """One parsed Interface Description Block."""
+
+    name: str
+    linktype: int
+    snaplen: int
+    tsresol: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PcapPacket:
+    """One parsed Enhanced Packet Block."""
+
+    interface_id: int
+    ts: float
+    captured_len: int
+    original_len: int
+    data: bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class PcapFile:
+    """A parsed pcapng section."""
+
+    interfaces: tuple[PcapInterface, ...]
+    packets: tuple[PcapPacket, ...]
+
+    def interface(self, name: str) -> PcapInterface:
+        for iface in self.interfaces:
+            if iface.name == name:
+                return iface
+        raise ConfigurationError(f"no interface {name!r} in capture")
+
+    def packets_on(self, name: str) -> tuple[PcapPacket, ...]:
+        index = [i.name for i in self.interfaces].index(name)
+        return tuple(p for p in self.packets if p.interface_id == index)
+
+
+def _parse_options(data: bytes) -> dict[int, bytes]:
+    options: dict[int, bytes] = {}
+    offset = 0
+    while offset + 4 <= len(data):
+        code, length = struct.unpack_from("<HH", data, offset)
+        offset += 4
+        if code == 0:
+            break
+        options[code] = data[offset:offset + length]
+        offset += length + (-length % 4)
+    return options
+
+
+def read_pcapng(path: str | pathlib.Path) -> PcapFile:
+    """Parse a (little-endian) pcapng file written by :func:`write_pcapng`.
+
+    Raises :class:`~repro.errors.ConfigurationError` on anything that
+    is not a well-formed single-section little-endian pcapng — the CI
+    smoke test's whole point.
+    """
+    raw = pathlib.Path(path).read_bytes()
+    if len(raw) < 28 or struct.unpack_from("<I", raw, 0)[0] != SHB_TYPE:
+        raise ConfigurationError(f"{path}: not a pcapng file (bad magic)")
+    if struct.unpack_from("<I", raw, 8)[0] != BYTE_ORDER_MAGIC:
+        raise ConfigurationError(
+            f"{path}: unsupported byte order (expected little-endian)"
+        )
+
+    interfaces: list[PcapInterface] = []
+    packets: list[PcapPacket] = []
+    offset = 0
+    while offset + 12 <= len(raw):
+        block_type, total = struct.unpack_from("<II", raw, offset)
+        if total < 12 or total % 4 or offset + total > len(raw):
+            raise ConfigurationError(
+                f"{path}: corrupt block length {total} at offset {offset}"
+            )
+        trailer = struct.unpack_from("<I", raw, offset + total - 4)[0]
+        if trailer != total:
+            raise ConfigurationError(
+                f"{path}: block length mismatch at offset {offset}"
+            )
+        body = raw[offset + 8:offset + total - 4]
+        if block_type == IDB_TYPE:
+            linktype, _, snaplen = struct.unpack_from("<HHI", body, 0)
+            options = _parse_options(body[8:])
+            name = options.get(2, b"").decode("utf-8", "replace")
+            tsresol = options.get(9, bytes([6]))[0]
+            interfaces.append(
+                PcapInterface(name, linktype, snaplen, tsresol)
+            )
+        elif block_type == EPB_TYPE:
+            iface_id, ts_high, ts_low, cap_len, orig_len = \
+                struct.unpack_from("<IIIII", body, 0)
+            if iface_id >= len(interfaces):
+                raise ConfigurationError(
+                    f"{path}: packet references unknown interface "
+                    f"{iface_id}"
+                )
+            tsresol = interfaces[iface_id].tsresol
+            units = (ts_high << 32) | ts_low
+            packets.append(PcapPacket(
+                interface_id=iface_id,
+                ts=units / (10 ** tsresol),
+                captured_len=cap_len,
+                original_len=orig_len,
+                data=body[20:20 + cap_len],
+            ))
+        offset += total
+    return PcapFile(tuple(interfaces), tuple(packets))

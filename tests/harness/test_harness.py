@@ -334,3 +334,75 @@ class TestCli:
                      "--trace", str(tmp_path)]) == 0
         capsys.readouterr()
         assert obs.tracer() is obs.NULL
+
+
+class TestCaptureCli:
+    """The --pcap/--flows surfacing (the CI capture smoke runs this
+    same path from the command line)."""
+
+    def test_pcap_and_flows_export(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+        from repro.obs.pcap import read_pcapng
+
+        assert main([
+            "reliability", "--preset", "quick",
+            "--pcap", str(tmp_path), "--flows",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flow table" in out
+        assert "open in Wireshark" in out
+        pcap = tmp_path / "reliability.pcapng"
+        parsed = read_pcapng(pcap)
+        assert parsed.interfaces  # one block per tapped device
+        assert parsed.packets
+        stamps = [p.ts for p in parsed.packets]
+        assert stamps == sorted(stamps)
+        assert (tmp_path / "reliability.flows.txt").read_text()
+
+    def test_flows_without_pcap(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        assert main([
+            "reliability", "--preset", "quick", "--flows",
+            "--trace", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flow table" in out
+        assert not (tmp_path / "reliability.pcapng").exists()
+        assert (tmp_path / "reliability.flows.txt").exists()
+
+    def test_capture_filter_flag(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+        from repro.obs.pcap import read_pcapng
+
+        assert main([
+            "reliability", "--preset", "quick",
+            "--pcap", str(tmp_path), "--filter", "host 203.0.113.1",
+        ]) == 0
+        parsed = read_pcapng(tmp_path / "reliability.pcapng")
+        assert parsed.packets == ()  # nothing talks to that host
+
+    def test_pcap_refused_in_campaign_mode(self, tmp_path):
+        import pytest
+
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table01", "--jobs", "2", "--pcap", str(tmp_path)])
+
+    def test_captured_runner_reconciles_with_health(self, tmp_path):
+        from repro.harness.registry import run_experiment_captured
+        from repro.harness import ExperimentConfig
+
+        config = ExperimentConfig.preset("quick")
+        _result, trace_art, cap_art = run_experiment_captured(
+            "reliability", config, trace_dir=tmp_path,
+        )
+        assert cap_art.pcap_path is not None and cap_art.pcap_path.exists()
+        assert cap_art.packet_count > 0
+        assert cap_art.flow_count > 0
+        assert "counters" in trace_art.summary  # labelled drops folded in
+        session = cap_art.session
+        assert session.frames_seen == (
+            session.frames_delivered + sum(session.drops.values())
+        )

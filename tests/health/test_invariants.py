@@ -126,3 +126,44 @@ class TestFrameConservation:
             HealthScope(arq_reports=(report,))
         )
         assert any("exactly-once" in v.detail for v in violations)
+
+
+class TestCaptureConservation:
+    def test_session_covering_whole_period_passes(self, rig):
+        from repro.health import check_capture_conservation
+        from repro.net import capture
+
+        _host, vmm, vms, _handle = rig
+        engine = ForwardingEngine()
+        with capture.use(capture.CaptureSession()) as session:
+            engine.send(vms[0].ns, vms[1].primary_nic.primary_ip, 22)
+            from repro.net.addresses import ip
+
+            engine.send(vms[0].ns, ip("203.0.113.9"), 80)
+        scope = HealthScope.of(vmms=(vmm,), forwarding=engine,
+                               capture=session)
+        assert check_capture_conservation(scope) == []
+        assert run_checks(scope) == []
+
+    def test_partial_session_is_flagged(self, rig):
+        from repro.health import check_capture_conservation
+        from repro.net import capture
+
+        _host, _vmm, vms, _handle = rig
+        engine = ForwardingEngine()
+        engine.send(vms[0].ns, vms[1].primary_nic.primary_ip, 22)
+        with capture.use(capture.CaptureSession()) as session:
+            engine.send(vms[0].ns, vms[1].primary_nic.primary_ip, 22)
+        violations = check_capture_conservation(
+            HealthScope(forwarding=engine, capture=session)
+        )
+        assert violations
+        assert all(v.check == "capture-conservation" for v in violations)
+
+    def test_scope_without_capture_is_silent(self):
+        from repro.health import check_capture_conservation
+
+        assert check_capture_conservation(
+            HealthScope(forwarding=ForwardingEngine())
+        ) == []
+        assert check_capture_conservation(HealthScope()) == []

@@ -1,0 +1,280 @@
+"""Capture taps and frame provenance: trails, filters, reconciliation.
+
+The headline assertions live here: a NAT-path delivery and a
+BrFusion-path delivery of the same pod flow produce provenance chains
+with strictly fewer hops for BrFusion (the paper's Fig. 1 story), a
+3-queue hostlo reflection is one provenance hop (not three), and an
+untapped run never enters the capture path at all.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import capture
+from repro.net.addresses import cidr, ip
+from repro.net.capture import (
+    CaptureFilter,
+    CaptureSession,
+    _PacketView,
+)
+from repro.net.devices import HostloEndpoint
+from repro.net.forwarding import ForwardingEngine
+from repro.net.inspect import trace_frame
+from repro.net.namespace import NetworkNamespace
+
+from .conftest import mac
+
+
+@pytest.fixture
+def engine():
+    return ForwardingEngine()
+
+
+def view(src="192.168.122.100", dst="192.168.122.11", proto="tcp",
+         sport=33001, dport=8080, device="eth0"):
+    return _PacketView(
+        src_ip=ip(src), dst_ip=ip(dst), proto=proto,
+        src_port=sport, dst_port=dport, device=device,
+    )
+
+
+class TestCaptureFilter:
+    def test_empty_matches_everything(self):
+        assert CaptureFilter("").matches(view())
+
+    def test_host_matches_either_direction(self):
+        f = CaptureFilter("host 192.168.122.11")
+        assert f.matches(view(dst="192.168.122.11"))
+        assert f.matches(view(src="192.168.122.11", dst="10.0.0.1"))
+        assert not f.matches(view(src="10.0.0.1", dst="10.0.0.2"))
+
+    def test_net_matches_cidr(self):
+        f = CaptureFilter("net 172.17.0.0/16")
+        assert f.matches(view(dst="172.17.0.2"))
+        assert not f.matches(view())
+
+    def test_proto_and_port(self):
+        f = CaptureFilter("proto udp and port 53")
+        assert f.matches(view(proto="udp", dport=53))
+        assert not f.matches(view(proto="tcp", dport=53))
+        assert not f.matches(view(proto="udp", dport=80))
+
+    def test_dev_glob(self):
+        f = CaptureFilter("dev 'tap-*'")
+        assert f.matches(view(device="tap-vm1"))
+        assert not f.matches(view(device="eth0"))
+
+    def test_or_not_and_parens(self):
+        f = CaptureFilter(
+            "(host 10.0.0.1 or host 10.0.0.2) and not proto udp"
+        )
+        assert f.matches(view(dst="10.0.0.1", proto="tcp"))
+        assert not f.matches(view(dst="10.0.0.1", proto="udp"))
+        assert not f.matches(view(dst="10.0.0.9", proto="tcp"))
+
+    @pytest.mark.parametrize("expr", [
+        "bogus 1", "host", "port nine", "(host 10.0.0.1",
+        "host 10.0.0.1 extra",
+    ])
+    def test_bad_expressions_rejected(self, expr):
+        with pytest.raises(ConfigurationError):
+            CaptureFilter(expr)
+
+
+class TestUntappedFastPath:
+    def test_no_session_means_no_trail(self, engine, nocont_topo):
+        delivery = engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert delivery.delivered
+        assert delivery.trail == ()
+        assert delivery.frame_id == 0
+
+    def test_capture_path_never_entered(self, engine, nocont_topo,
+                                        monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("capture path entered without a session")
+
+        monkeypatch.setattr(CaptureSession, "begin_frame", boom)
+        monkeypatch.setattr(CaptureSession, "hop", boom)
+        delivery = engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert delivery.delivered
+
+
+class TestProvenanceTrails:
+    def test_trail_formalizes_the_notes(self, engine, nat_topo):
+        with capture.use(CaptureSession()):
+            delivery = engine.send(nat_topo.client,
+                                   ip("192.168.122.11"), 8080)
+        assert delivery.delivered
+        assert delivery.frame_id == 1
+        stages = [hop.stage for hop in delivery.trail]
+        assert "dnat" in stages
+        assert stages[-1] == "deliver"
+        assert delivery.trail[-1].verdict == "delivered"
+        devices = [hop.device for hop in delivery.trail]
+        assert "docker0" in devices
+        assert "nf:vm1:dnat" in devices
+
+    def test_timestamps_strictly_monotonic(self, engine, nat_topo):
+        with capture.use(CaptureSession()) as session:
+            engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+            engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        stamps = [hop.ts for trail in session.trails().values()
+                  for hop in trail]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_drop_hop_carries_reason(self, engine, nocont_topo):
+        with capture.use(CaptureSession()):
+            delivery = engine.send(nocont_topo.client, ip("203.0.113.9"), 80)
+        assert not delivery.delivered
+        last = delivery.trail[-1]
+        assert last.verdict == "dropped"
+        assert last.reason == "no-route"
+
+    def test_nat_vs_brfusion_hop_counts(self, engine, nat_topo,
+                                        brfusion_topo):
+        with capture.use(CaptureSession()):
+            nat = engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+            brf = engine.send(brfusion_topo.client, ip("192.168.122.50"), 80)
+        assert nat.delivered and brf.delivered
+        # The paper's Fig. 1 story, now measurable: the NAT path crosses
+        # the guest's extra bridge and netfilter hook, BrFusion does not.
+        assert len(brf.trail) < len(nat.trail)
+
+    def test_trace_frame_renders_trail(self, engine, nat_topo):
+        with capture.use(CaptureSession()) as session:
+            delivery = engine.send(nat_topo.client,
+                                   ip("192.168.122.11"), 8080)
+        text = trace_frame(delivery, session)
+        assert "frame #1" in text
+        assert "delivered" in text
+        assert "dnat" in text
+
+    def test_trace_frame_falls_back_to_notes(self, engine, nocont_topo):
+        delivery = engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        text = trace_frame(delivery)
+        assert "bridge:virbr0" in text
+        assert "delivered" in text
+
+
+class TestHostloDedupe:
+    @pytest.fixture
+    def three_queue_topo(self, hostlo_topo):
+        """The fixture's 2-queue hostlo tap, grown to 3 queues."""
+        frag_c = NetworkNamespace("pod1-c", kind="container",
+                                  domain=hostlo_topo.guest_b.domain)
+        ep_c = HostloEndpoint("hlo0c", mac())
+        ep_c.assign_ip(ip("10.88.0.4"), cidr("10.88.0.0/24"))
+        hostlo_topo.hostlo.add_queue(ep_c)
+        frag_c.attach(ep_c)
+        frag_c.routes.add_on_link(cidr("10.88.0.0/24"), "hlo0c")
+        hostlo_topo.frag_c = frag_c
+        return hostlo_topo
+
+    def test_reflection_is_one_hop_not_three(self, engine, three_queue_topo):
+        with capture.use(CaptureSession()):
+            delivery = engine.send(three_queue_topo.frag_a,
+                                   ip("10.88.0.3"), 6379)
+        assert delivery.delivered
+        assert delivery.reflected_copies == 3  # the copies are real...
+        reflects = [hop for hop in delivery.trail
+                    if hop.stage == "hostlo-reflect"]
+        assert len(reflects) == 1  # ...the provenance hop is deduped
+        assert reflects[0].verdict == "reflected"
+        assert reflects[0].device == "hostlo0"
+
+    def test_tapped_hostlo_captures_frame_once(self, engine,
+                                               three_queue_topo):
+        with capture.use(CaptureSession()) as session:
+            point = session.tap(three_queue_topo.hostlo)
+            engine.send(three_queue_topo.frag_a, ip("10.88.0.3"), 6379)
+        assert point.packet_count == 1
+
+
+class TestVxlanCapture:
+    def test_encap_decap_paired_on_tunnel_devices(self, engine,
+                                                  overlay_topo):
+        with capture.use(CaptureSession()) as session:
+            delivery = engine.send(overlay_topo.cont_a, ip("10.0.9.3"),
+                                   9000, proto="udp", payload_bytes=200)
+        assert delivery.delivered
+        encaps = [h for h in delivery.trail if h.verdict == "encapped"]
+        decaps = [h for h in delivery.trail if h.verdict == "decapped"]
+        assert len(encaps) == len(decaps) == 1
+        assert encaps[0].device == "vx-vm1"
+        assert decaps[0].device == "vx-vm2"
+        # The outer frame got its own trail, parented to the inner one.
+        children = session.children_of(delivery.frame_id)
+        assert len(children) == 1
+        outer_trail = session.trail_of(children[0])
+        assert outer_trail  # walked the underlay
+        assert any(h.device == "virbr0" for h in outer_trail)
+
+    def test_trace_frame_shows_encapsulated_child(self, engine,
+                                                  overlay_topo):
+        with capture.use(CaptureSession()) as session:
+            delivery = engine.send(overlay_topo.cont_a, ip("10.0.9.3"), 9000)
+        text = trace_frame(delivery, session)
+        assert "encapsulated frame #" in text
+
+
+class TestTapsAndPackets:
+    def test_only_tapped_devices_capture(self, engine, nat_topo):
+        with capture.use(CaptureSession()) as session:
+            tapped = session.tap("docker0")
+            engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        assert tapped.packet_count == 1
+        assert len(session.points()) == 1
+
+    def test_promiscuous_taps_every_device(self, engine, nat_topo):
+        with capture.use(CaptureSession(promiscuous=True)) as session:
+            engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        names = [p.name for p in session.points()]
+        assert "virbr0" in names
+        assert "docker0" in names
+        assert not any(name.startswith("nf:") for name in names)
+
+    def test_point_filter_is_selective(self, engine, nat_topo):
+        with capture.use(CaptureSession()) as session:
+            hit = session.tap("virbr0", filter="port 8080")
+            miss = session.tap("docker0", filter="proto udp")
+            engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        assert hit.packet_count == 1
+        assert miss.packet_count == 0
+
+    def test_hook_tap_sees_pre_dnat_address(self, engine, nat_topo):
+        with capture.use(CaptureSession()) as session:
+            point = session.tap_hook("vm1", "dnat")
+            engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        assert point.packet_count == 1
+        # The hook snapshot precedes the rewrite — like a PREROUTING
+        # tap, it sees the address the client dialled.
+        assert point.packets[0].dst_ip == ip("192.168.122.11").value
+        assert point.packets[0].dst_port == 8080
+
+
+class TestLedgerReconciliation:
+    def test_session_agrees_with_engine(self, engine, nocont_topo):
+        with capture.use(CaptureSession()) as session:
+            engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+            engine.send(nocont_topo.client, ip("203.0.113.9"), 80)  # no route
+        assert session.ledger() == (2, 1, {"no-route": 1})
+        assert session.reconcile(engine) == []
+
+    def test_partial_session_is_flagged(self, engine, nocont_topo):
+        engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        with capture.use(CaptureSession()) as session:
+            engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        problems = session.reconcile(engine)
+        assert any("1 frames" in p and "2" in p for p in problems)
+
+    def test_engine_pinned_session_wins_over_global(self, engine,
+                                                    nocont_topo):
+        pinned = CaptureSession()
+        engine.capture = pinned
+        with capture.use(CaptureSession()) as ambient:
+            delivery = engine.send(nocont_topo.client,
+                                   ip("192.168.122.11"), 22)
+        assert delivery.trail
+        assert pinned.frames_seen == 1
+        assert ambient.frames_seen == 0

@@ -1,0 +1,154 @@
+"""Flow accounting: aggregation, drop attribution, metrics export.
+
+The acceptance-level assertion lives here: under the lossy fault plan
+(``examples/faults_lossy.json``), the flow table's drop totals equal
+the forwarding engine's conservation-ledger drops, reason for reason.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjector, FaultPlan
+from repro.net import capture, flows
+from repro.net.addresses import ip
+from repro.net.capture import CaptureSession
+from repro.net.flows import FlowKey, FlowTable
+from repro.net.forwarding import ForwardingEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+LOSSY_PLAN = pathlib.Path(__file__).parents[2] / "examples" / "faults_lossy.json"
+
+
+@pytest.fixture
+def engine():
+    return ForwardingEngine()
+
+
+class TestFlowAggregation:
+    def test_frames_and_bytes_accumulate(self, engine, nocont_topo):
+        with flows.use(FlowTable()) as table:
+            for _ in range(3):
+                engine.send(nocont_topo.client, ip("192.168.122.11"), 22,
+                            payload_bytes=100)
+        assert len(table) == 1
+        (key, stats), = table.items()
+        assert key == FlowKey("192.168.122.100", "192.168.122.11",
+                              "tcp", 22, "client")
+        assert stats.frames == 3
+        assert stats.bytes == 300
+        assert stats.delivered == 3
+        assert stats.dst_label == "vm:vm1"
+
+    def test_flow_keyed_by_dialled_address_not_dnat(self, engine, nat_topo):
+        with flows.use(FlowTable()) as table:
+            engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        (key, stats), = table.items()
+        # DNAT rewrote the frame to 172.17.0.2:80 mid-walk; the flow
+        # stays keyed by what the sender dialled.
+        assert key.dst_ip == "192.168.122.11"
+        assert key.dst_port == 8080
+        assert stats.dst_label == "vm:vm1"  # the pod's billing domain
+
+    def test_hop_count_recorded_without_capture(self, engine,
+                                                brfusion_topo):
+        with flows.use(FlowTable()) as table:
+            engine.send(brfusion_topo.client, ip("192.168.122.50"), 80)
+        (_, stats), = table.items()
+        assert stats.hop_counts.count() == 1
+
+    def test_hop_latency_needs_a_capture_trail(self, engine, nat_topo):
+        with flows.use(FlowTable()) as table:
+            with capture.use(CaptureSession()):
+                engine.send(nat_topo.client, ip("192.168.122.11"), 8080)
+        (_, stats), = table.items()
+        assert stats.hop_latency.count() > 0
+
+    def test_vxlan_outer_frames_excluded_from_byte_counts(
+            self, engine, overlay_topo):
+        with flows.use(FlowTable()) as table:
+            engine.send(overlay_topo.cont_a, ip("10.0.9.3"), 9000,
+                        proto="udp", payload_bytes=200)
+        assert len(table) == 1  # the outer 4789/udp frame is not a flow
+        assert table.total_bytes() == 200  # not 200 + 50 encap overhead
+        assert table.total_frames() == 1
+
+
+class TestDropAttribution:
+    def test_drop_reason_lands_in_the_flow(self, engine, nocont_topo):
+        with flows.use(FlowTable()) as table:
+            engine.send(nocont_topo.client, ip("203.0.113.9"), 80)
+        (_, stats), = table.items()
+        assert stats.drops == {"no-route": 1}
+        assert stats.delivered == 0
+        assert stats.top_drop_reason() == "no-route:1"
+
+    def test_lossy_run_reconciles_with_engine_ledger(self, engine):
+        """Flow drop totals == forwarding ledger drops, reason by
+        reason, under examples/faults_lossy.json."""
+        env = Environment()
+        host_a = PhysicalHost(env, name="alpha", seed=7)
+        host_b = PhysicalHost(env, name="beta", seed=8)
+        vmm_a, vmm_b = Vmm(host_a), Vmm(host_b)
+        vm_a = vmm_a.create_vm("vm-a")
+        host_b._host_allocators["virbr0"]._next = 100
+        vm_b = vmm_b.create_vm("vm-b")
+        from repro.net.links import connect_hosts
+
+        connect_hosts("lossy-wire", host_a, host_b)
+
+        plan = FaultPlan.load(LOSSY_PLAN)
+        injector = FaultInjector(plan, host_a.rng.stream("faults"),
+                                 now_fn=lambda: env.now)
+        table = FlowTable()
+        with faults.use(injector), flows.use(table):
+            for _ in range(200):
+                engine.send(vm_a.ns, vm_b.primary_nic.primary_ip, 9000)
+        assert engine.drops  # the lossy plan actually bit
+        assert table.drop_totals() == engine.drops
+        assert (table.total_frames()
+                == engine.frames_delivered + sum(engine.drops.values()))
+
+
+class TestExportAndRendering:
+    def test_export_metrics_carries_labels(self, engine, nocont_topo):
+        registry = MetricsRegistry()
+        with flows.use(FlowTable()) as table:
+            engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+            engine.send(nocont_topo.client, ip("203.0.113.9"), 80)
+        table.export_metrics(registry)
+        frames = registry.get("flows.frames_total")
+        assert frames.value(src="192.168.122.100", dst="192.168.122.11",
+                            proto="tcp", port=22, pod="client") == 1
+        dropped = registry.get("flows.frames_dropped")
+        assert dropped.value(src="192.168.122.100", dst="203.0.113.9",
+                             proto="tcp", port=80, pod="client",
+                             reason="no-route") == 1
+        assert registry.get("flows.active").value() == 2.0
+
+    def test_top_flows_ranks_by_bytes(self, engine, nocont_topo):
+        with flows.use(FlowTable()) as table:
+            engine.send(nocont_topo.client, ip("192.168.122.11"), 22,
+                        payload_bytes=1000)
+            engine.send(nocont_topo.client, ip("192.168.122.11"), 80,
+                        payload_bytes=10)
+        text = table.top_flows()
+        assert "top 2 of 2 flows" in text
+        lines = text.splitlines()
+        assert ":22/" in lines[3]  # heaviest flow first
+        assert ":80/" in lines[4]
+
+    def test_top_flows_empty(self):
+        assert FlowTable().top_flows() == "(no flows recorded)"
+
+    def test_engine_pinned_table_wins_over_global(self, engine,
+                                                  nocont_topo):
+        pinned = FlowTable()
+        engine.flows = pinned
+        with flows.use(FlowTable()) as ambient:
+            engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
+        assert len(pinned) == 1
+        assert len(ambient) == 0

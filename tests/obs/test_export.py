@@ -146,3 +146,49 @@ class TestSummary:
         tr = Tracer(self_profile=True)
         tr.end(tr.begin("c", "x"))
         assert "wall total" in summary(tr)
+
+
+class TestSummaryCounters:
+    """The satellite fix: labelled counter series appear in the summary."""
+
+    def make_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        dropped = registry.counter("net.frames_dropped")
+        dropped.inc(14, reason="link-loss")
+        dropped.inc(3, reason="corrupt")
+        registry.counter("net.frames_sent").inc(100)
+        registry.gauge("queue.depth").set(5)  # gauges stay out
+        return registry
+
+    def test_labelled_series_are_rows(self):
+        text = summary(make_tracer(), metrics=self.make_metrics())
+        assert 'net.frames_dropped{reason="link-loss"}  14' in text
+        assert 'net.frames_dropped{reason="corrupt"}' in text
+        assert "net.frames_sent" in text
+        assert "queue.depth" not in text
+
+    def test_counters_ranked_by_value(self):
+        text = summary(make_tracer(), metrics=self.make_metrics())
+        lines = text.splitlines()
+        sent = next(i for i, l in enumerate(lines) if "frames_sent" in l)
+        loss = next(i for i, l in enumerate(lines) if "link-loss" in l)
+        corrupt = next(i for i, l in enumerate(lines) if "corrupt" in l)
+        assert sent < loss < corrupt
+
+    def test_counter_table_without_spans(self):
+        from repro.obs import Tracer
+
+        text = summary(Tracer(), metrics=self.make_metrics())
+        assert text.startswith("(no spans recorded")
+        assert "net.frames_dropped" in text
+
+    def test_no_metrics_keeps_old_shape(self):
+        assert "counters" not in summary(make_tracer())
+
+    def test_empty_registry_adds_nothing(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        assert "counters" not in summary(make_tracer(),
+                                         metrics=MetricsRegistry())

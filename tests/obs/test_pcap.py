@@ -1,0 +1,164 @@
+"""pcapng writer/parser round-trips and byte synthesis."""
+
+import struct
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.pcap import (
+    BYTE_ORDER_MAGIC,
+    LINKTYPE_ETHERNET,
+    SHB_TYPE,
+    read_pcapng,
+    synthesize,
+    write_pcapng,
+)
+from repro.net.capture import CapturedPacket, CapturePoint
+
+
+def packet(ts=1e-6, fid=1, proto="udp", payload=64,
+           src="0a000001", dst="0a000002", sport=33001, dport=4789):
+    return CapturedPacket(
+        ts=ts, frame_id=fid,
+        src_mac=0x02AA00000001, dst_mac=0x02AA00000002,
+        src_ip=int(src, 16), dst_ip=int(dst, 16),
+        src_port=sport, dst_port=dport,
+        proto=proto, payload_bytes=payload,
+    )
+
+
+def ip_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+class TestSynthesize:
+    def test_ethernet_header(self):
+        data = synthesize(packet())
+        assert data[12:14] == b"\x08\x00"  # EtherType IPv4
+        assert data[0:6] == (0x02AA00000002).to_bytes(6, "big")
+        assert data[6:12] == (0x02AA00000001).to_bytes(6, "big")
+
+    def test_ipv4_checksum_validates(self):
+        data = synthesize(packet())
+        ip_header = data[14:34]
+        # Recomputing over the checksummed header must give zero.
+        assert ip_checksum(ip_header) == 0
+
+    def test_udp_lengths_consistent(self):
+        data = synthesize(packet(proto="udp", payload=100))
+        total_len = struct.unpack_from(">H", data, 16)[0]
+        assert total_len == 20 + 8 + 100
+        assert len(data) == 14 + total_len
+        udp_len = struct.unpack_from(">H", data, 14 + 20 + 4)[0]
+        assert udp_len == 8 + 100
+
+    def test_tcp_segment_shape(self):
+        data = synthesize(packet(proto="tcp", payload=10))
+        assert data[23] == 6  # IP protocol
+        assert len(data) == 14 + 20 + 20 + 10
+        offset_flags = data[14 + 20 + 12]
+        assert offset_flags >> 4 == 5  # 20-byte header, no options
+
+    def test_missing_macs_get_placeholders(self):
+        pkt = packet()._replace(src_mac=None, dst_mac=None)
+        data = synthesize(pkt)
+        assert data[0:6] == b"\xff" * 6  # broadcast destination
+
+
+class TestRoundTrip:
+    def test_writer_output_parses_back(self, tmp_path):
+        a = CapturePoint("virbr0", "bridge")
+        b = CapturePoint("tap-vm1", "tap")
+        a.packets.append(packet(ts=1e-6, fid=1))
+        a.packets.append(packet(ts=3e-6, fid=2))
+        b.packets.append(packet(ts=2e-6, fid=1, proto="tcp"))
+        path = write_pcapng([a, b], tmp_path / "x.pcapng")
+
+        parsed = read_pcapng(path)
+        assert [i.name for i in parsed.interfaces] == ["virbr0", "tap-vm1"]
+        assert all(i.linktype == LINKTYPE_ETHERNET
+                   for i in parsed.interfaces)
+        assert all(i.tsresol == 9 for i in parsed.interfaces)
+        assert len(parsed.packets) == 3
+        stamps = [p.ts for p in parsed.packets]
+        assert stamps == sorted(stamps)  # merged in time order
+        assert len(parsed.packets_on("virbr0")) == 2
+        assert len(parsed.packets_on("tap-vm1")) == 1
+
+    def test_magic_bytes_and_section_header(self, tmp_path):
+        path = write_pcapng([CapturePoint("lo", "loopback")],
+                            tmp_path / "x.pcapng")
+        raw = path.read_bytes()
+        assert struct.unpack_from("<I", raw, 0)[0] == SHB_TYPE
+        assert struct.unpack_from("<I", raw, 8)[0] == BYTE_ORDER_MAGIC
+
+    def test_empty_point_still_gets_interface_block(self, tmp_path):
+        path = write_pcapng([CapturePoint("idle0", "nic")],
+                            tmp_path / "x.pcapng")
+        parsed = read_pcapng(path)
+        assert parsed.interface("idle0").name == "idle0"
+        assert parsed.packets == ()
+
+    def test_sub_microsecond_timestamps_survive(self, tmp_path):
+        point = CapturePoint("dev0")
+        point.packets.append(packet(ts=3e-9, fid=1))
+        point.packets.append(packet(ts=4e-9, fid=2))
+        parsed = read_pcapng(write_pcapng([point], tmp_path / "x.pcapng"))
+        assert [p.ts for p in parsed.packets] == [3e-9, 4e-9]
+
+    def test_snaplen_caps_captured_length(self, tmp_path):
+        point = CapturePoint("dev0")
+        point.packets.append(packet(payload=1000))
+        parsed = read_pcapng(
+            write_pcapng([point], tmp_path / "x.pcapng", snaplen=64)
+        )
+        pkt = parsed.packets[0]
+        assert pkt.captured_len == 64
+        assert pkt.original_len == 14 + 20 + 8 + 1000
+        assert len(pkt.data) == 64
+
+    def test_unknown_interface_lookup_rejected(self, tmp_path):
+        parsed = read_pcapng(
+            write_pcapng([CapturePoint("a")], tmp_path / "x.pcapng")
+        )
+        with pytest.raises(ConfigurationError):
+            parsed.interface("nope")
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcapng"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ConfigurationError, match="magic"):
+            read_pcapng(path)
+
+    def test_big_endian_rejected(self, tmp_path):
+        path = tmp_path / "be.pcapng"
+        body = struct.pack(">IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+        block = struct.pack("<II", SHB_TYPE, 12 + len(body)) + body \
+            + struct.pack("<I", 12 + len(body))
+        path.write_bytes(block)
+        with pytest.raises(ConfigurationError, match="byte order"):
+            read_pcapng(path)
+
+    def test_truncated_block_rejected(self, tmp_path):
+        point = CapturePoint("dev0")
+        point.packets.append(packet())
+        path = write_pcapng([point], tmp_path / "x.pcapng")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-6])  # chop the last block's trailer
+        with pytest.raises(ConfigurationError):
+            read_pcapng(path)
+
+    def test_mismatched_trailer_rejected(self, tmp_path):
+        path = write_pcapng([CapturePoint("a")], tmp_path / "x.pcapng")
+        raw = bytearray(path.read_bytes())
+        raw[-4:] = struct.pack("<I", 9999)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ConfigurationError, match="mismatch"):
+            read_pcapng(path)
