@@ -32,9 +32,24 @@ _MAX_PASSES = 8
 MIN_WORTHWHILE_SAVING = 0.025
 
 
-def improve_assignment(vms: t.Sequence[BoughtVm]) -> list[BoughtVm]:
-    """Return an improved (never worse) copy of the assignment."""
-    baseline_cost = total_cost(vms)
+def improve_assignment(
+    vms: t.Sequence[BoughtVm],
+    cost_fn: t.Callable[[t.Sequence[BoughtVm]], float] | None = None,
+) -> list[BoughtVm]:
+    """Return an improved (never worse) copy of the assignment.
+
+    *cost_fn* is the objective used to compare candidate placements
+    and to apply the worthwhile-saving threshold; it defaults to the
+    pure dollar cost :func:`~repro.costsim.packing.total_cost`.  Pass
+    e.g. :meth:`repro.fabric.costs.TopologyCostModel.cost` to also
+    price the hostlo reflection penalty of splitting a pod across
+    topologically distant hosts.  The inner repacking heuristics keep
+    optimising raw VM spend regardless — the objective only decides
+    which resulting placement wins.
+    """
+    if cost_fn is None:
+        cost_fn = total_cost
+    baseline_cost = cost_fn(vms)
     working = [vm.clone() for vm in vms]
 
     # Strategy 1: consolidating moves, then drop/shrink/split VMs.
@@ -51,8 +66,8 @@ def improve_assignment(vms: t.Sequence[BoughtVm]) -> list[BoughtVm]:
     # resplit, so the orchestrator evaluates both and keeps the better.
     resplit_only = _resplit_all([vm.clone() for vm in vms])
 
-    best = min((working, resplit_only), key=total_cost)
-    if total_cost(best) >= baseline_cost * (1.0 - MIN_WORTHWHILE_SAVING):
+    best = min((working, resplit_only), key=cost_fn)
+    if cost_fn(best) >= baseline_cost * (1.0 - MIN_WORTHWHILE_SAVING):
         # The crude greedy can fail to help (or helps marginally):
         # keep the original placement.
         return [vm.clone() for vm in vms]

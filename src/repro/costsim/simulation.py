@@ -37,10 +37,19 @@ class UserOutcome:
         return self.absolute_saving > 1e-9
 
 
-def simulate_user(user: TraceUser) -> UserOutcome:
-    """Run the §5.3.1 comparison for one user."""
+def simulate_user(
+    user: TraceUser,
+    cost_fn: t.Callable[[t.Sequence[t.Any]], float] | None = None,
+) -> UserOutcome:
+    """Run the §5.3.1 comparison for one user.
+
+    *cost_fn* overrides the improvement pass's objective (default:
+    dollar cost); see :func:`repro.costsim.hostlo.improve_assignment`.
+    The reported ``*_cost`` fields stay in dollars either way, so
+    outcomes remain comparable across objectives.
+    """
     baseline = schedule_user(user.pods)
-    improved = improve_assignment(baseline)
+    improved = improve_assignment(baseline, cost_fn=cost_fn)
     return UserOutcome(
         user=user.name,
         kubernetes_cost=total_cost(baseline),
@@ -51,6 +60,9 @@ def simulate_user(user: TraceUser) -> UserOutcome:
     )
 
 
-def simulate_costs(users: t.Sequence[TraceUser]) -> list[UserOutcome]:
+def simulate_costs(
+    users: t.Sequence[TraceUser],
+    cost_fn: t.Callable[[t.Sequence[t.Any]], float] | None = None,
+) -> list[UserOutcome]:
     """Run the comparison for every user."""
-    return [simulate_user(user) for user in users]
+    return [simulate_user(user, cost_fn=cost_fn) for user in users]

@@ -1,0 +1,44 @@
+"""The datacenter fabric subsystem: fat-trees, ECMP, rack awareness.
+
+What the single-host paper testbed lacks: real topology distance.  This
+package builds k-ary fat-trees of :class:`FabricSwitch` nodes cabled
+with the existing :class:`~repro.net.links.PhysicalLink` wires, racks
+of :class:`~repro.virt.host.PhysicalHost`s under the edges, and layers
+on top of them deterministic per-flow ECMP (:mod:`repro.fabric.ecmp`),
+traffic-aware elephant re-pinning (:mod:`repro.fabric.flowsched`),
+rack-aware pod placement (:mod:`repro.fabric.scheduler`) and a
+topology-priced hostlo reflection cost (:mod:`repro.fabric.costs`).
+
+The forwarding engine walks fabric hops natively (frames land on switch
+ports and follow down-routes/ECMP decisions), so conservation ledgers,
+capture provenance, flow accounting and fault injection all apply to
+fabric traffic unchanged.
+"""
+
+from repro.fabric.costs import TopologyCostModel
+from repro.fabric.ecmp import ecmp_index, flow_signature
+from repro.fabric.flowsched import Repin, TrafficAwareFlowScheduler
+from repro.fabric.scheduler import TopologyAwareScheduler
+from repro.fabric.topology import (
+    DISTANCE_CROSS_POD,
+    DISTANCE_SAME_HOST,
+    DISTANCE_SAME_POD,
+    DISTANCE_SAME_RACK,
+    FabricSwitch,
+    FatTree,
+)
+
+__all__ = [
+    "DISTANCE_CROSS_POD",
+    "DISTANCE_SAME_HOST",
+    "DISTANCE_SAME_POD",
+    "DISTANCE_SAME_RACK",
+    "FabricSwitch",
+    "FatTree",
+    "Repin",
+    "TopologyAwareScheduler",
+    "TopologyCostModel",
+    "TrafficAwareFlowScheduler",
+    "ecmp_index",
+    "flow_signature",
+]

@@ -1,0 +1,80 @@
+"""Topology-aware hostlo reflection cost for the §5.3.1 simulation.
+
+The paper's cost model treats a split pod's cross-VM reflection as
+free: both fragments share one physical host, so hostlo's copies stay
+in one kernel.  On a fabric that assumption breaks — VMs land on racked
+hosts, and a split whose fragments sit pods apart pays the fabric
+round-trip on every exchange.  :class:`TopologyCostModel` prices that:
+the assignment's dollar cost plus a reflection tax per split pod
+proportional to the worst pairwise hop distance between the hosts
+carrying its fragments.
+
+Plugged into :func:`repro.costsim.hostlo.improve_assignment` via its
+``cost_fn`` hook, the tax changes *decisions*, not just reports: a
+split that only pays off ignoring distance is rejected once its
+fragments would land far apart, which is exactly the fig9 claim made
+rack-aware.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.costsim.packing import BoughtVm, total_cost
+from repro.fabric.topology import FatTree
+from repro.sim.rng import stable_hash
+
+
+class TopologyCostModel:
+    """Prices a bought-VM assignment on a fat-tree.
+
+    Parameters
+    ----------
+    tree: the fabric the VMs are placed on.
+    reflection_rate: $/hour per hop of the worst fragment separation of
+        each split pod (0 reproduces the paper's distance-blind model).
+    host_of_vm: optional explicit VM-name → racked-host-name placement;
+        unmapped (and all, by default) VMs land deterministically by
+        ``stable_hash(name)`` over the tree's hosts.
+    """
+
+    def __init__(self, tree: FatTree, reflection_rate: float = 0.004,
+                 host_of_vm: t.Mapping[str, str] | None = None) -> None:
+        self.tree = tree
+        self.reflection_rate = reflection_rate
+        self.host_of_vm = dict(host_of_vm or {})
+        self._host_names = sorted(tree.hosts)
+
+    def host_of(self, vm_name: str) -> str:
+        """The racked host carrying *vm_name*."""
+        mapped = self.host_of_vm.get(vm_name)
+        if mapped is not None:
+            return mapped
+        return self._host_names[stable_hash(vm_name)
+                                % len(self._host_names)]
+
+    def reflection_cost(self, vms: t.Sequence[BoughtVm]) -> float:
+        """The distance tax: worst pairwise fragment distance per split
+        pod, priced at :attr:`reflection_rate` per hop."""
+        locations: dict[str, set[str]] = {}
+        for vm in vms:
+            host = self.host_of(vm.name)
+            for item in vm.placed:
+                locations.setdefault(item.pod_name, set()).add(host)
+        tax = 0.0
+        for hosts in locations.values():
+            if len(hosts) < 2:
+                continue
+            spread = sorted(hosts)
+            worst = max(
+                self.tree.host_distance(spread[i], spread[j])
+                for i in range(len(spread))
+                for j in range(i + 1, len(spread))
+            )
+            tax += self.reflection_rate * worst
+        return tax
+
+    def cost(self, vms: t.Sequence[BoughtVm]) -> float:
+        """Dollar cost plus the reflection tax — pass this as
+        ``cost_fn`` to the improvement pass."""
+        return total_cost(vms) + self.reflection_cost(vms)

@@ -1,0 +1,33 @@
+"""Deterministic per-flow ECMP hashing.
+
+Real switches hash the 5-tuple into one of N equal-cost next hops so a
+flow's packets never reorder across paths.  The simulator does the same
+with :func:`repro.sim.rng.stable_hash` (CRC32 — platform- and
+process-stable), salted by the switch name so consecutive tiers make
+*independent* choices: without the salt every switch would pick the
+same index and half the fabric would never carry traffic.
+
+The hash is pure: same flow signature + same switch + same candidate
+count → same index, on every run, under every seed.  All load-dependent
+behaviour (elephant re-pinning) lives in
+:mod:`repro.fabric.flowsched`, which overrides the hash via explicit
+pins rather than perturbing it.
+"""
+
+from __future__ import annotations
+
+from repro.net.flows import flow_signature  # re-export: the hash key
+from repro.sim.rng import stable_hash
+
+__all__ = ["ecmp_index", "flow_signature"]
+
+
+def ecmp_index(signature: str, salt: str, n: int) -> int:
+    """Which of *n* equal-cost candidates carries this flow here.
+
+    *salt* is the deciding switch's name; *signature* comes from
+    :func:`repro.net.flows.flow_signature`.
+    """
+    if n <= 0:
+        raise ValueError("ecmp_index needs at least one candidate")
+    return stable_hash(f"{salt}|{signature}") % n

@@ -1,0 +1,124 @@
+"""Traffic-aware flow scheduling: elephants off the hash, onto air.
+
+Hash ECMP is oblivious: two heavy flows that collide on one uplink stay
+collided forever, even while an equal-cost sibling idles (the classic
+Hedera observation).  This scheduler closes the loop using what the
+stack already measures: it reads live :class:`~repro.net.flows.
+FlowTable` statistics, classifies flows by bytes carried into
+*elephants* and *mice*, and re-pins each elephant — heaviest first — at
+every ECMP decision switch along its path onto the least-loaded live
+uplink (actual link bytes plus the load this rebalance round has
+already planned onto it).  Mice keep the plain hash: they are many,
+small and well spread by it.
+
+Pins live on the switches (:attr:`FabricSwitch.pins`), survive link
+flaps by falling back to the hash when the pinned port dies, and are
+honoured by the forwarding engine through the same
+:meth:`~repro.fabric.topology.FabricSwitch.select_port` the hash path
+uses — re-pinning changes the decision, never the mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.fabric.topology import FabricSwitch, FatTree
+from repro.net.addresses import Ipv4Address
+from repro.net.devices import PhysicalNic
+from repro.net.flows import FlowKey, FlowStats, FlowTable
+
+#: A flow that carried this much payload is an elephant.  Tuned to the
+#: harness scale (tens of frames of a few KiB each), overridable.
+DEFAULT_ELEPHANT_BYTES = 50_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Repin:
+    """One pinning decision at one switch for one elephant."""
+
+    signature: str
+    switch: str
+    port: str
+    #: Whether the pin differs from what the hash would have chosen.
+    moved: bool
+
+
+class TrafficAwareFlowScheduler:
+    """Classifies flows from live stats and re-pins the elephants."""
+
+    def __init__(self, tree: FatTree,
+                 elephant_bytes: int = DEFAULT_ELEPHANT_BYTES) -> None:
+        self.tree = tree
+        self.elephant_bytes = elephant_bytes
+
+    def classify(
+        self, table: FlowTable
+    ) -> tuple[list[tuple[FlowKey, FlowStats]],
+               list[tuple[FlowKey, FlowStats]]]:
+        """(elephants, mice), elephants heaviest-first."""
+        elephants: list[tuple[FlowKey, FlowStats]] = []
+        mice: list[tuple[FlowKey, FlowStats]] = []
+        for key, stats in table.items():
+            bucket = elephants if stats.bytes >= self.elephant_bytes else mice
+            bucket.append((key, stats))
+        elephants.sort(key=lambda item: (-item[1].bytes, item[0]))
+        return elephants, mice
+
+    def rebalance(self, table: FlowTable) -> list[Repin]:
+        """Re-pin every elephant onto least-loaded equal-cost paths.
+
+        Returns the pinning decisions made (``moved`` marks the ones
+        that actually changed the hash's choice).  Safe to call
+        repeatedly as stats evolve; later calls overwrite earlier pins.
+        """
+        elephants, _mice = self.classify(table)
+        #: Planned bytes per link this round: measured so far, plus the
+        #: elephants already assigned (each expected to keep its rate).
+        planned: dict[str, int] = {}
+        decisions: list[Repin] = []
+        for key, stats in elephants:
+            decisions.extend(self._pin_flow(key, stats, planned))
+        return decisions
+
+    # -- internals ---------------------------------------------------------
+    def _load(self, planned: dict[str, int], port: PhysicalNic) -> int:
+        assert port.link is not None  # live_uplinks filtered uncabled
+        name = port.link.name
+        if name not in planned:
+            planned[name] = port.link.bytes_carried
+        return planned[name]
+
+    def _pin_flow(self, key: FlowKey, stats: FlowStats,
+                  planned: dict[str, int]) -> list[Repin]:
+        src = Ipv4Address.parse(key.src_ip)
+        dst = Ipv4Address.parse(key.dst_ip)
+        src_host = self.tree.host_of_ip(src)
+        if src_host is None or self.tree.host_of_ip(dst) is None:
+            return []  # not fabric traffic
+        signature = key.signature
+        switch: FabricSwitch | None = self.tree.switch(
+            self.tree.rack_of(src_host)
+        )
+        out: list[Repin] = []
+        while switch is not None and switch.up:
+            if switch.down_route(dst) is not None:
+                break  # descending from here: no more ECMP choices
+            live = switch.live_uplinks(dst)
+            if not live:
+                break
+            hashed = switch.select_port(signature, dst)
+            best = min(
+                live,
+                key=lambda port: (self._load(planned, port), port.name),
+            )
+            switch.pin(signature, best.name)
+            assert best.link is not None
+            planned[best.link.name] = (
+                self._load(planned, best) + stats.bytes
+            )
+            out.append(Repin(signature=signature, switch=switch.name,
+                             port=best.name, moved=best is not hashed))
+            peer = best.link.peer_of(best)
+            switch = peer.fabric_switch
+        return out

@@ -1,0 +1,439 @@
+"""k-ary fat-tree fabrics: switches, racks, cabling.
+
+The classic three-tier Clos (Al-Fares et al.): ``k`` pods of ``k/2``
+edge and ``k/2`` aggregation switches, ``(k/2)²`` cores, every edge
+fronting a rack of :class:`~repro.virt.host.PhysicalHost`s.  All
+cabling is real :class:`~repro.net.links.PhysicalLink` objects between
+:class:`~repro.net.devices.PhysicalNic` ports, so the forwarding
+engine's wire semantics (carrier checks, loss faults, per-link
+accounting) apply to every fabric hop unchanged.
+
+Addressing follows the paper's scheme shape: the host under edge ``e``
+at index ``n`` of pod ``p`` owns the ``10.p.(e·hpe+n).0/24`` subnet on
+its default bridge, so prefixes aggregate cleanly — edges route /24s to
+their hosts, aggs route their pod's /24s to edges, cores route whole
+``10.p.0.0/16`` pods to aggs — and everything else ECMP-hashes upward
+over the equal-cost uplinks.
+
+Forwarding itself lives in
+:meth:`repro.net.forwarding.ForwardingEngine._fabric_forward`; a switch
+only answers *which port* (:meth:`FabricSwitch.select_port`), which is
+where down-routes, liveness-filtered ECMP and elephant pins compose.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing as t
+
+from repro.errors import TopologyError
+from repro.fabric.ecmp import ecmp_index
+from repro.net.addresses import Ipv4Address, Ipv4Network, cidr
+from repro.net.devices import DeviceQueue, PhysicalNic
+from repro.net.links import PhysicalLink
+from repro.net.namespace import NetworkNamespace
+from repro.sim import Environment
+from repro.virt.host import PhysicalHost
+
+#: The supernet every fabric host lives under; host namespaces route it
+#: out of their fabric uplink.
+FABRIC_SUPERNET = "10.0.0.0/8"
+
+TIERS = ("edge", "agg", "core")
+
+#: Hop-count distances between hosts, used by the rack-aware scheduler
+#: and the topology cost model: same host, same rack (via one edge),
+#: same pod (via an agg), cross-pod (via a core).
+DISTANCE_SAME_HOST = 0
+DISTANCE_SAME_RACK = 2
+DISTANCE_SAME_POD = 4
+DISTANCE_CROSS_POD = 6
+
+
+class FabricSwitch:
+    """One fat-tree switch: a namespace full of ports plus forwarding
+    state (down-routes, ECMP uplinks, elephant pins)."""
+
+    def __init__(self, name: str, tier: str, pod: int | None = None) -> None:
+        if tier not in TIERS:
+            raise TopologyError(f"bad switch tier {tier!r} (have: {TIERS})")
+        self.name = name
+        self.tier = tier
+        self.pod = pod
+        self.up = True
+        self.ns = NetworkNamespace(name, kind="host",
+                                   domain=f"switch:{name}")
+        self.ports: list[PhysicalNic] = []
+        self.uplinks: list[PhysicalNic] = []
+        #: Longest-prefix-first routes toward hosts this switch fronts
+        #: (downward); anything unmatched hashes over :attr:`uplinks`.
+        self.down_routes: list[tuple[Ipv4Network, PhysicalNic]] = []
+        #: Flow-signature → port-name overrides (elephant re-pinning).
+        self.pins: dict[str, str] = {}
+        #: Back-reference set by :class:`FatTree` (congestion window).
+        self.tree: "FatTree | None" = None
+
+    # -- construction ------------------------------------------------------
+    def add_port(self, name: str, uplink: bool = False,
+                 queue_capacity: int | None = None) -> PhysicalNic:
+        nic = PhysicalNic(name)
+        nic.fabric_switch = self
+        if queue_capacity is not None:
+            nic.tx_queue = DeviceQueue(f"{name}:tx", queue_capacity)
+        self.ns.attach(nic)
+        self.ports.append(nic)
+        if uplink:
+            self.uplinks.append(nic)
+        return nic
+
+    def add_down_route(self, network: Ipv4Network,
+                       port: PhysicalNic) -> None:
+        if port not in self.ports:
+            raise TopologyError(
+                f"{self.name}: down-route via foreign port {port.name!r}"
+            )
+        self.down_routes.append((network, port))
+
+    # -- administrative state ----------------------------------------------
+    def set_down(self) -> None:
+        """Kill the switch (power/fabric-manager failure)."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def congested(self) -> bool:
+        """Inside the owning tree's congestion window?"""
+        return self.tree is not None and self.tree.congested
+
+    # -- forwarding decisions ----------------------------------------------
+    def down_route(self, dst: Ipv4Address) -> PhysicalNic | None:
+        """The longest-prefix downward port for *dst*, if any."""
+        best: tuple[int, PhysicalNic] | None = None
+        for network, port in self.down_routes:
+            if dst in network and (best is None
+                                   or network.prefix_len > best[0]):
+                best = (network.prefix_len, port)
+        return best[1] if best else None
+
+    def _viable(self, port: PhysicalNic, dst: Ipv4Address) -> bool:
+        """Can traffic for *dst* leave this port and keep progressing?"""
+        link = port.link
+        if link is None or not link.up:
+            return False
+        peer = link.peer_of(port)
+        next_switch = peer.fabric_switch
+        if next_switch is None:
+            return True  # lands on a host NIC
+        return next_switch.up and next_switch.can_reach(dst)
+
+    def can_reach(self, dst: Ipv4Address) -> bool:
+        """Is there a live path from this switch down (or up) to *dst*?
+
+        Down-routes are authoritative: a switch fronting *dst*'s subnet
+        never detours upward, so a dead rack link is a dead end (and a
+        labelled drop), while upward ECMP candidates are filtered to
+        live ones — which is exactly what makes reroute-on-fault
+        automatic.
+        """
+        if not self.up:
+            return False
+        port = self.down_route(dst)
+        if port is not None:
+            return self._viable(port, dst)
+        return any(self._viable(port, dst) for port in self.uplinks)
+
+    def live_uplinks(self, dst: Ipv4Address) -> list[PhysicalNic]:
+        """The equal-cost uplinks that can currently progress *dst*,
+        in name order (the ECMP hash space)."""
+        return sorted(
+            (port for port in self.uplinks if self._viable(port, dst)),
+            key=lambda port: port.name,
+        )
+
+    def select_port(self, signature: str,
+                    dst: Ipv4Address) -> PhysicalNic | None:
+        """Which port carries this flow's frames toward *dst* here."""
+        port = self.down_route(dst)
+        if port is not None:
+            return port
+        live = self.live_uplinks(dst)
+        if not live:
+            return None
+        pinned = self.pins.get(signature)
+        if pinned is not None:
+            for candidate in live:
+                if candidate.name == pinned:
+                    return candidate
+            # The pinned port died: fall back to the hash over what
+            # still lives rather than blackholing the elephant.
+        return live[ecmp_index(signature, self.name, len(live))]
+
+    def pin(self, signature: str, port_name: str) -> None:
+        """Override the ECMP hash for one flow at this switch."""
+        if all(port.name != port_name for port in self.uplinks):
+            raise TopologyError(
+                f"{self.name}: cannot pin {signature!r} to unknown "
+                f"uplink {port_name!r}"
+            )
+        self.pins[signature] = port_name
+
+    def unpin_all(self) -> None:
+        self.pins.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "" if self.up else " down"
+        return (f"<FabricSwitch {self.name!r} {self.tier}"
+                f" ports={len(self.ports)}{state}>")
+
+
+class FatTree:
+    """A fully cabled k-ary fat-tree of switches and racked hosts.
+
+    Parameters
+    ----------
+    env: the simulation environment the hosts run in.
+    k: pod count / switch radix (even, >= 4).
+    hosts_per_edge: rack size (1..k/2; default k/2, the full tree).
+    bandwidth_bps: line rate of every fabric link.
+    queue_capacity: switch-port TX ring depth (``None`` keeps the
+        device default, deep enough that only an incast burst inside a
+        :meth:`congestion` window overflows it).
+    seed: base RNG seed; host ``i`` gets ``seed + i``.
+    host_cores: cores per racked host.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        k: int = 4,
+        hosts_per_edge: int | None = None,
+        bandwidth_bps: float = 10e9,
+        queue_capacity: int | None = None,
+        seed: int = 0,
+        host_cores: int = 12,
+    ) -> None:
+        if k < 4 or k % 2:
+            raise TopologyError(f"fat-tree k must be even and >= 4: {k!r}")
+        if k > 16:
+            raise TopologyError(f"fat-tree k={k} is past simulation scale")
+        half = k // 2
+        hosts_per_edge = half if hosts_per_edge is None else hosts_per_edge
+        if not 1 <= hosts_per_edge <= half:
+            raise TopologyError(
+                f"hosts_per_edge must be in 1..{half}: {hosts_per_edge!r}"
+            )
+        self.env = env
+        self.k = k
+        self.hosts_per_edge = hosts_per_edge
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.queue_capacity = queue_capacity
+        self.switches: dict[str, FabricSwitch] = {}
+        self.hosts: dict[str, PhysicalHost] = {}
+        self.links: dict[str, PhysicalLink] = {}
+        #: rack id (the edge switch name) → host names, build order.
+        self.racks: dict[str, list[str]] = {}
+        self._rack_of: dict[str, str] = {}
+        self._pod_of: dict[str, int] = {}
+        self._host_subnet: dict[str, Ipv4Network] = {}
+        #: While True, switch ports accumulate TX depth instead of
+        #: draining at line rate — the incast model.
+        self.congested = False
+        self._build(seed, host_cores)
+
+    # -- construction ------------------------------------------------------
+    def _switch(self, name: str, tier: str,
+                pod: int | None = None) -> FabricSwitch:
+        switch = FabricSwitch(name, tier, pod=pod)
+        switch.tree = self
+        self.switches[name] = switch
+        return switch
+
+    def _cable(self, name: str, nic_a: PhysicalNic,
+               nic_b: PhysicalNic) -> PhysicalLink:
+        link = PhysicalLink(name, nic_a, nic_b,
+                            bandwidth_bps=self.bandwidth_bps)
+        self.links[name] = link
+        return link
+
+    def _build(self, seed: int, host_cores: int) -> None:
+        half = self.k // 2
+        cores = [
+            [self._switch(f"core-g{g}c{c}", "core") for c in range(half)]
+            for g in range(half)
+        ]
+        host_index = 0
+        for p in range(self.k):
+            edges = [self._switch(f"edge-p{p}e{e}", "edge", pod=p)
+                     for e in range(half)]
+            aggs = [self._switch(f"agg-p{p}a{a}", "agg", pod=p)
+                    for a in range(half)]
+            pod_net = cidr(f"10.{p}.0.0/16")
+            # Full edge<->agg bipartite mesh within the pod.
+            for e, edge in enumerate(edges):
+                for a, agg in enumerate(aggs):
+                    up = edge.add_port(f"{edge.name}-up{a}", uplink=True,
+                                       queue_capacity=self.queue_capacity)
+                    down = agg.add_port(f"{agg.name}-dn{e}",
+                                        queue_capacity=self.queue_capacity)
+                    self._cable(f"{edge.name}--{agg.name}", up, down)
+            # Agg a uplinks to every core of group a.
+            for a, agg in enumerate(aggs):
+                for c, core in enumerate(cores[a]):
+                    up = agg.add_port(f"{agg.name}-up{c}", uplink=True,
+                                      queue_capacity=self.queue_capacity)
+                    down = core.add_port(f"{core.name}-dn{p}",
+                                         queue_capacity=self.queue_capacity)
+                    self._cable(f"{agg.name}--{core.name}", up, down)
+                    core.add_down_route(pod_net, down)
+            # Racks: hosts under each edge, one /24 each.
+            for e, edge in enumerate(edges):
+                self.racks[edge.name] = []
+                for n in range(self.hosts_per_edge):
+                    subnet_index = e * self.hosts_per_edge + n
+                    subnet = cidr(f"10.{p}.{subnet_index}.0/24")
+                    name = f"h-p{p}e{e}n{n}"
+                    host = PhysicalHost(
+                        self.env, name=name, cores=host_cores,
+                        seed=seed + host_index,
+                        bridge_cidr=f"10.{p}.{subnet_index}.0/24",
+                    )
+                    host_index += 1
+                    uplink = PhysicalNic(
+                        "fab0", host.mac_allocator.allocate(),
+                        bandwidth_bps=self.bandwidth_bps,
+                    )
+                    host.ns.attach(uplink)
+                    host.ns.routes.add_on_link(cidr(FABRIC_SUPERNET),
+                                               "fab0")
+                    port = edge.add_port(
+                        f"{edge.name}-dn{n}",
+                        queue_capacity=self.queue_capacity,
+                    )
+                    self._cable(f"{edge.name}--{name}", port, uplink)
+                    edge.add_down_route(subnet, port)
+                    for agg in aggs:
+                        agg.add_down_route(
+                            subnet,
+                            agg.ns.device(f"{agg.name}-dn{e}"),
+                        )
+                    self.hosts[name] = host
+                    self.racks[edge.name].append(name)
+                    self._rack_of[name] = edge.name
+                    self._pod_of[name] = p
+                    self._host_subnet[name] = subnet
+
+    # -- lookups -----------------------------------------------------------
+    def switch(self, name: str) -> FabricSwitch:
+        try:
+            return self.switches[name]
+        except KeyError:
+            raise TopologyError(f"no switch {name!r} in the tree") from None
+
+    def host(self, name: str) -> PhysicalHost:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise TopologyError(f"no host {name!r} in the tree") from None
+
+    def link(self, name: str) -> PhysicalLink:
+        try:
+            return self.links[name]
+        except KeyError:
+            raise TopologyError(f"no link {name!r} in the tree") from None
+
+    def rack_of(self, host_name: str) -> str:
+        try:
+            return self._rack_of[host_name]
+        except KeyError:
+            raise TopologyError(f"no host {host_name!r} in the tree") from None
+
+    def pod_of(self, host_name: str) -> int:
+        return self._pod_of[self.host(host_name).name]
+
+    def host_subnet(self, host_name: str) -> Ipv4Network:
+        return self._host_subnet[self.host(host_name).name]
+
+    def host_of_ip(self, address: Ipv4Address) -> str | None:
+        """Which racked host's subnet owns *address* (its bridge/VMs)."""
+        for name, subnet in self._host_subnet.items():
+            if address in subnet:
+                return name
+        return None
+
+    def host_distance(self, a: str, b: str) -> int:
+        """Hop distance between two racked hosts."""
+        if self.host(a) is self.host(b):
+            return DISTANCE_SAME_HOST
+        if self.rack_of(a) == self.rack_of(b):
+            return DISTANCE_SAME_RACK
+        if self.pod_of(a) == self.pod_of(b):
+            return DISTANCE_SAME_POD
+        return DISTANCE_CROSS_POD
+
+    def rack_distance(self, rack_a: str, rack_b: str) -> int:
+        """Hop distance between two racks (edge switch names)."""
+        if rack_a == rack_b:
+            return DISTANCE_SAME_RACK
+        if self.switch(rack_a).pod == self.switch(rack_b).pod:
+            return DISTANCE_SAME_POD
+        return DISTANCE_CROSS_POD
+
+    def namespaces(self) -> list[NetworkNamespace]:
+        """Every switch namespace (hosts audit via their own owners)."""
+        return [switch.ns for switch in self.switches.values()]
+
+    # -- link accounting ----------------------------------------------------
+    def link_loads(self, contains: str = "") -> dict[str, int]:
+        """``bytes_carried`` per link, optionally name-filtered."""
+        return {
+            name: link.bytes_carried
+            for name, link in sorted(self.links.items())
+            if contains in name
+        }
+
+    def uplink_links(self, switch_name: str) -> dict[str, PhysicalLink]:
+        """The links hanging off *switch_name*'s ECMP uplinks."""
+        switch = self.switch(switch_name)
+        return {
+            port.link.name: port.link
+            for port in switch.uplinks
+            if port.link is not None
+        }
+
+    def reset_link_counters(self) -> None:
+        for link in self.links.values():
+            link.reset_counters()
+
+    def unpin_all(self) -> None:
+        for switch in self.switches.values():
+            switch.unpin_all()
+
+    # -- congestion window ---------------------------------------------------
+    @contextlib.contextmanager
+    def congestion(self) -> t.Iterator["FatTree"]:
+        """A window during which switch ports stop draining: offered
+        frames pile depth onto the bounded TX rings, and whatever
+        exceeds capacity becomes labelled ``fabric-overflow`` drops —
+        the incast microburst model."""
+        self.congested = True
+        try:
+            yield self
+        finally:
+            self.congested = False
+
+    def service_all(self) -> int:
+        """Drain every switch port ring (the burst subsides); returns
+        how many queued frames were serviced."""
+        serviced = 0
+        for switch in self.switches.values():
+            for port in switch.ports:
+                depth = port.tx_queue.depth
+                if depth:
+                    port.tx_queue.take(depth)
+                    serviced += depth
+        return serviced
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<FatTree k={self.k} switches={len(self.switches)} "
+                f"hosts={len(self.hosts)} links={len(self.links)}>")

@@ -144,21 +144,26 @@ class ChaosController:
     ``vm.crash`` specs crash the matching VMs at ``at`` and invoke the
     orchestrator's crash recovery (pod re-scheduling); ``link.partition``
     specs take matching links down at ``at`` and bring them back after
-    ``duration`` (if given).  Call :meth:`start` once the topology is
-    built, before ``env.run``.
+    ``duration`` (if given); ``fabric.link_down``/``fabric.switch_down``
+    do the same against a :class:`~repro.fabric.topology.FatTree`
+    (pass ``fabric=``), with ECMP rerouting around the hole as the
+    recovery story.  Call :meth:`start` once the topology is built,
+    before ``env.run``.
     """
 
-    def __init__(self, env: "Environment", vmm: "Vmm",
+    def __init__(self, env: "Environment", vmm: "Vmm | None" = None,
                  orch: "Orchestrator | None" = None,
                  plan: FaultPlan | None = None,
                  injector: InjectorLike = NULL,
-                 links: t.Sequence["PhysicalLink"] = ()) -> None:
+                 links: t.Sequence["PhysicalLink"] = (),
+                 fabric: t.Any = None) -> None:
         self.env = env
         self.vmm = vmm
         self.orch = orch
         self.plan = plan if plan is not None else injector.plan
         self.injector = injector
         self.links = list(links)
+        self.fabric = fabric
         self.executed: list[tuple[str, str, float]] = []
 
     def start(self) -> int:
@@ -186,9 +191,55 @@ class ChaosController:
             yield from self._partition_links(spec)
         elif spec.kind == "hostlo.stall":
             yield from self._stall_hostlo(spec)
+        elif spec.kind == "fabric.link_down":
+            yield from self._fabric_link_down(spec)
+        elif spec.kind == "fabric.switch_down":
+            yield from self._fabric_switch_down(spec)
+
+    def _fabric_link_down(self, spec: FaultSpec) -> t.Generator:
+        """Pull matching fabric cables; live equal-cost siblings absorb
+        the flows (in-flight queued frames die labelled ``link.down``)."""
+        if self.fabric is None:
+            return
+        hit = [link for name, link in sorted(self.fabric.links.items())
+               if fnmatchcase(name, spec.target) and link.up]
+        for link in hit:
+            drained = link.set_down()
+            self.injector.record("fabric.link_down", link.name,
+                                 at=self.env.now, duration=spec.duration,
+                                 drained=drained)
+            self.executed.append(("fabric.link_down", link.name,
+                                  self.env.now))
+        if spec.duration is not None and hit:
+            yield self.env.timeout(spec.duration)
+            for link in hit:
+                link.set_up()
+                self.executed.append(("fabric.link_up", link.name,
+                                      self.env.now))
+
+    def _fabric_switch_down(self, spec: FaultSpec) -> t.Generator:
+        """Kill matching fabric switches outright (power loss)."""
+        if self.fabric is None:
+            return
+        hit = [sw for name, sw in sorted(self.fabric.switches.items())
+               if fnmatchcase(name, spec.target) and sw.up]
+        for switch in hit:
+            switch.set_down()
+            self.injector.record("fabric.switch_down", switch.name,
+                                 at=self.env.now, duration=spec.duration)
+            self.executed.append(("fabric.switch_down", switch.name,
+                                  self.env.now))
+        if spec.duration is not None and hit:
+            yield self.env.timeout(spec.duration)
+            for switch in hit:
+                switch.set_up()
+                self.executed.append(("fabric.switch_up", switch.name,
+                                      self.env.now))
 
     def _crash_vms(self, spec: FaultSpec) -> list[str]:
         crashed: list[str] = []
+        if self.vmm is None:
+            return crashed
         for name in sorted(self.vmm.vms):
             vm = self.vmm.vms[name]
             if not fnmatchcase(name, spec.target) or not vm.running:
@@ -221,6 +272,8 @@ class ChaosController:
         pile up and drop at the tap until the health watchdog evicts
         the queue (or ``duration`` elapses and the consumer recovers).
         """
+        if self.vmm is None:
+            return
         stalled = []
         for hostlo_name in sorted(self.vmm.hostlo_names()):
             handle = self.vmm.hostlo(hostlo_name)

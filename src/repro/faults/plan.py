@@ -41,13 +41,19 @@ FAULT_KINDS = frozenset({
     "frame.drop",       # per-frame drop at a named bridge
     "hostlo.drop",      # per-frame drop on a hostlo tap's queues
     "hostlo.stall",     # scheduled wedge of a hostlo VM queue
+    # fabric layer
+    "fabric.link_down",    # scheduled fat-tree link down/up (ECMP reroutes)
+    "fabric.switch_down",  # scheduled fat-tree switch down/up
     # orchestrator layer
     "agent.stall",      # the in-VM node agent stalls during configure
 })
 
 #: Kinds the :class:`~repro.faults.injectors.ChaosController` executes
 #: on a schedule (``at`` required) rather than sites querying inline.
-SCHEDULED_KINDS = frozenset({"vm.crash", "link.partition", "hostlo.stall"})
+SCHEDULED_KINDS = frozenset({
+    "vm.crash", "link.partition", "hostlo.stall",
+    "fabric.link_down", "fabric.switch_down",
+})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,8 +71,8 @@ class FaultSpec:
         :data:`SCHEDULED_KINDS`, meaningless otherwise).
     after / until: simulated-time window outside which the spec never
         fires.  Sites with no clock only match windowless specs.
-    duration: for ``link.partition``: how long the link stays down
-        (``None`` = forever).
+    duration: for ``link.partition`` and the scheduled ``fabric.*``
+        kinds: how long the component stays down (``None`` = forever).
     max_hits: total firing budget (``None`` = unlimited).
     args: free-form knobs, e.g. ``{"multiplier": 20}`` for
         ``qmp.latency``.

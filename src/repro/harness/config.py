@@ -53,6 +53,16 @@ class ExperimentConfig:
     health: bool = False
     #: Health watchdog period (simulated seconds).
     health_interval_s: float = 2.0e-3
+    #: Fat-tree arity for the ``fabric`` experiment (even, >= 4).
+    fabric_k: int = 4
+    #: Hosts cabled under each edge switch (1 .. k/2).
+    fabric_hosts_per_edge: int = 2
+    #: Distinct flows driven per fabric lane.
+    fabric_flows: int = 24
+    #: Frames sent per flow.
+    fabric_frames: int = 30
+    #: Switch uplink tx-queue capacity for the incast lane.
+    fabric_queue_capacity: int = 24
 
     def __post_init__(self) -> None:
         if self.stream_duration_s <= 0 or self.macro_duration_s <= 0:
@@ -72,6 +82,18 @@ class ExperimentConfig:
             )
         if self.health_interval_s <= 0:
             raise ConfigurationError("health_interval_s must be positive")
+        if self.fabric_k < 4 or self.fabric_k % 2:
+            raise ConfigurationError("fabric_k must be even and >= 4")
+        if not 1 <= self.fabric_hosts_per_edge <= self.fabric_k // 2:
+            raise ConfigurationError(
+                "fabric_hosts_per_edge must be in [1, fabric_k/2]"
+            )
+        if self.fabric_flows < 1 or self.fabric_frames < 1:
+            raise ConfigurationError(
+                "fabric_flows and fabric_frames must be >= 1"
+            )
+        if self.fabric_queue_capacity < 1:
+            raise ConfigurationError("fabric_queue_capacity must be >= 1")
 
     def fingerprint(self) -> str:
         """A short stable hash of the resolved configuration.
@@ -102,6 +124,8 @@ class ExperimentConfig:
                 trace_users=120,
                 loss_rates=(0.0, 0.05),
                 arq_messages=40,
+                fabric_flows=12,
+                fabric_frames=12,
             )
         if name == "default":
             return cls()
@@ -115,5 +139,7 @@ class ExperimentConfig:
                 trace_users=492,
                 loss_rates=(0.0, 0.01, 0.02, 0.05, 0.10, 0.20),
                 arq_messages=400,
+                fabric_flows=64,
+                fabric_frames=60,
             )
         raise ConfigurationError(f"unknown preset {name!r}")

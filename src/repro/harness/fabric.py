@@ -1,0 +1,489 @@
+"""Fabric — ECMP spread, incast, elephant re-pinning, rack awareness.
+
+Not a paper figure: the paper's testbed is one physical host.  This
+experiment exercises the :mod:`repro.fabric` subsystem end-to-end on a
+k-ary fat-tree and reports six lanes:
+
+``ecmp-spread``
+    Many distinct flows from one rack to the rest of the tree; the
+    per-link byte counters must show the source edge's equal-cost
+    uplinks all carrying traffic (the hash actually spreads).
+
+``incast``
+    Every other host bursts frames at one victim host inside a
+    :meth:`~repro.fabric.topology.FatTree.congestion` window with
+    bounded switch rings: the converging edge port overflows
+    deterministically, and every lost frame sits in the conservation
+    ledger as a labelled ``fabric-overflow`` drop.
+
+``elephant-mice``
+    Two elephance flows engineered to hash-collide on one uplink amid
+    a crowd of mice, run twice: hash-only versus after one
+    :meth:`~repro.fabric.flowsched.TrafficAwareFlowScheduler.rebalance`
+    round.  Re-pinning must measurably reduce the max uplink bytes.
+
+``link-down``
+    A scheduled ``fabric.link_down`` pulls one edge uplink mid-run
+    (and restores it later); liveness-filtered ECMP reroutes onto the
+    surviving sibling, so every frame still delivers.
+
+``rack-sched``
+    The same split pod placed by the plain most-requested policy and by
+    :class:`~repro.fabric.scheduler.TopologyAwareScheduler` over nodes
+    pre-loaded to bait the former into scattering cross-pod; the
+    rack-aware placement must shrink the mean fragment distance.
+
+``reflection-cost``
+    The §5.3.1 cost pipeline rerun with
+    :class:`~repro.fabric.costs.TopologyCostModel` as the improvement
+    objective: splits that only pay off ignoring topology distance get
+    rejected, shrinking the reflection tax.
+
+Every datapath lane ends with a :func:`repro.health.run_checks` audit
+(``fabrics=(tree,)`` wires in the fabric wiring invariants); the
+``violations`` column must be zero everywhere.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro import faults
+from repro.faults import ChaosController, FaultInjector, FaultPlan, FaultSpec
+from repro.fabric import (
+    FatTree,
+    TopologyAwareScheduler,
+    TopologyCostModel,
+    TrafficAwareFlowScheduler,
+    ecmp_index,
+    flow_signature,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult
+from repro.health import HealthScope, run_checks
+from repro.net import flows as net_flows
+from repro.net.forwarding import ForwardingEngine
+from repro.orchestrator.node import Node
+from repro.orchestrator.pod import ContainerSpec, PodSpec
+from repro.orchestrator.scheduler import MostRequestedScheduler
+from repro.sim import Environment
+from repro.virt import Vmm
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.addresses import Ipv4Address
+    from repro.net.namespace import NetworkNamespace
+    from repro.health.invariants import Violation
+
+#: Payload sizes: an elephant frame, a mouse frame, everything else.
+ELEPHANT_BYTES = 8192
+MOUSE_BYTES = 64
+FRAME_BYTES = 1024
+
+#: The link-down lane's timeline (simulated seconds).
+FAULT_AT_S = 0.005
+FAULT_DURATION_S = 0.004
+LINKDOWN_HORIZON_S = 0.012
+TRAFFIC_TICK_S = 1e-3
+
+#: The incast lane drains the switch rings every this many burst rounds
+#: — rarely enough that the converging port's bounded ring overflows.
+SERVICE_EVERY_ROUNDS = 3
+
+
+class FabricRig:
+    """One fat-tree plus a forwarding engine and per-host clients.
+
+    Built fresh per lane (the :class:`~repro.harness.reliability.
+    WireRig` idiom) so lane order cannot perturb determinism.  Clients
+    are container namespaces veth-attached to their host's default
+    bridge, so a fabric frame crosses the full stack: veth → bridge →
+    host route → rack link → edge/agg/core hops → the far bridge.
+    """
+
+    def __init__(self, config: ExperimentConfig,
+                 queue_capacity: int | None = None) -> None:
+        self.env = Environment()
+        self.tree = FatTree(
+            self.env,
+            k=config.fabric_k,
+            hosts_per_edge=config.fabric_hosts_per_edge,
+            queue_capacity=queue_capacity,
+            seed=config.seed,
+        )
+        self.fwd = ForwardingEngine()
+        self._clients: dict[str, "NetworkNamespace"] = {}
+
+    def client(self, host_name: str) -> "NetworkNamespace":
+        if host_name not in self._clients:
+            host = self.tree.host(host_name)
+            self._clients[host_name] = host.create_attached_namespace(
+                f"cl-{host_name}", domain=f"client:{host_name}"
+            )
+        return self._clients[host_name]
+
+    def addr(self, host_name: str) -> "Ipv4Address":
+        address = self.client(host_name).device("eth0").primary_ip
+        assert address is not None
+        return address
+
+    def rack0_hosts(self) -> list[str]:
+        """The hosts of the first-built rack (the traffic sources)."""
+        return next(iter(self.tree.racks.values()))
+
+    def cross_pod_hosts(self, not_pod: int = 0) -> list[str]:
+        """Build-ordered hosts outside *not_pod* (the far targets)."""
+        return [
+            name
+            for rack in self.tree.racks.values()
+            for name in rack
+            if self.tree.pod_of(name) != not_pod
+        ]
+
+    def audit(self) -> list["Violation"]:
+        scope = HealthScope.of(
+            fabrics=(self.tree,),
+            namespaces=self._clients.values(),
+            forwarding=self.fwd,
+        )
+        return run_checks(scope)
+
+
+def run_ecmp_spread(config: ExperimentConfig) -> tuple[list[dict], list[str]]:
+    """Distinct flows out of one rack must use every live edge uplink."""
+    rig = FabricRig(config)
+    src = rig.rack0_hosts()[0]
+    edge = rig.tree.rack_of(src)
+    targets = rig.cross_pod_hosts()
+    for index in range(config.fabric_flows):
+        dst = rig.addr(targets[index % len(targets)])
+        for _ in range(config.fabric_frames):
+            rig.fwd.send(rig.client(src), dst, 20_000 + index,
+                         payload_bytes=FRAME_BYTES)
+    uplinks = rig.tree.uplink_links(edge)
+    used = sum(1 for link in uplinks.values() if link.frames_carried)
+    violations = rig.audit()
+    rows = [{
+        "scenario": "ecmp-spread",
+        "mode": "hash",
+        "flows": config.fabric_flows,
+        "sent": rig.fwd.frames_sent,
+        "delivered": rig.fwd.frames_delivered,
+        "uplinks_total": len(uplinks),
+        "uplinks_used": used,
+        "violations": len(violations),
+    }]
+    notes = [
+        f"ecmp-spread: {config.fabric_flows} flows from {src} used "
+        f"{used}/{len(uplinks)} equal-cost uplinks of {edge}",
+    ]
+    return rows, notes
+
+
+def run_incast(config: ExperimentConfig) -> tuple[list[dict], list[str]]:
+    """An incast microburst against bounded rings overflows — audibly."""
+    rig = FabricRig(config, queue_capacity=config.fabric_queue_capacity)
+    victim = rig.rack0_hosts()[0]
+    dst = rig.addr(victim)
+    senders = [name for name in rig.tree.hosts if name != victim]
+    serviced = 0
+    with rig.tree.congestion():
+        for burst in range(config.fabric_frames):
+            for index, sender in enumerate(senders):
+                rig.fwd.send(rig.client(sender), dst, 30_000 + index,
+                             payload_bytes=FRAME_BYTES)
+            if (burst + 1) % SERVICE_EVERY_ROUNDS == 0:
+                serviced += rig.tree.service_all()
+    serviced += rig.tree.service_all()
+    overflow = rig.fwd.drops.get("fabric-overflow", 0)
+    violations = rig.audit()
+    rows = [{
+        "scenario": "incast",
+        "mode": "burst",
+        "senders": len(senders),
+        "rounds": config.fabric_frames,
+        "sent": rig.fwd.frames_sent,
+        "delivered": rig.fwd.frames_delivered,
+        "overflow_drops": overflow,
+        "serviced_frames": serviced,
+        "violations": len(violations),
+    }]
+    notes = [
+        f"incast: {len(senders)} senders x {config.fabric_frames} rounds "
+        f"into {victim} (ring depth {config.fabric_queue_capacity}): "
+        f"{overflow} labelled fabric-overflow drops, ledger conserved",
+    ]
+    return rows, notes
+
+
+def _colliding_ports(rig: FabricRig, src: str,
+                     dsts: t.Sequence[str]) -> list[int]:
+    """Destination ports making every elephant hash onto ONE uplink at
+    the source edge — the pathological collision re-pinning must fix."""
+    edge = rig.tree.switch(rig.tree.rack_of(src))
+    fan_out = len(edge.uplinks)
+    src_ip = str(rig.addr(src))
+
+    def index_of(dst: str, port: int) -> int:
+        signature = flow_signature(src_ip, str(rig.addr(dst)), "tcp", port)
+        return ecmp_index(signature, edge.name, fan_out)
+
+    ports = [18_000]
+    want = index_of(dsts[0], ports[0])
+    for dst in dsts[1:]:
+        port = ports[-1] + 1
+        while index_of(dst, port) != want:
+            port += 1
+        ports.append(port)
+    return ports
+
+
+def run_elephant_lane(config: ExperimentConfig,
+                      repin: bool) -> tuple[dict, int]:
+    """One elephant/mice lane; returns (row, max uplink bytes)."""
+    rig = FabricRig(config)
+    src = rig.rack0_hosts()[0]
+    edge_name = rig.tree.rack_of(src)
+    targets = rig.cross_pod_hosts()
+    elephant_dsts = [targets[0], targets[len(targets) // 2]]
+    ports = _colliding_ports(rig, src, elephant_dsts)
+
+    def drive() -> None:
+        for dst, port in zip(elephant_dsts, ports):
+            for _ in range(config.fabric_frames):
+                rig.fwd.send(rig.client(src), rig.addr(dst), port,
+                             payload_bytes=ELEPHANT_BYTES)
+        for index in range(config.fabric_flows):
+            dst = rig.addr(targets[index % len(targets)])
+            for _ in range(2):
+                rig.fwd.send(rig.client(src), dst, 21_000 + index,
+                             payload_bytes=MOUSE_BYTES)
+
+    # Warm phase: accumulate live per-flow stats for the classifier.
+    table = net_flows.FlowTable()
+    with net_flows.use(table):
+        drive()
+    moved = 0
+    if repin:
+        scheduler = TrafficAwareFlowScheduler(
+            rig.tree,
+            elephant_bytes=config.fabric_frames * ELEPHANT_BYTES // 2,
+        )
+        # Plan over demand, not the stale warm counters: the collided
+        # uplink's history would otherwise pin both elephants to the
+        # idle sibling (the same collision, mirrored).
+        rig.tree.reset_link_counters()
+        decisions = scheduler.rebalance(table)
+        moved = sum(1 for d in decisions if d.moved)
+    rig.tree.reset_link_counters()
+    drive()
+    max_bytes = max(
+        link.bytes_carried
+        for link in rig.tree.uplink_links(edge_name).values()
+    )
+    violations = rig.audit()
+    row = {
+        "scenario": "elephant-mice",
+        "mode": "repinned" if repin else "hash",
+        "elephants": len(elephant_dsts),
+        "mice": config.fabric_flows,
+        "max_uplink_bytes": max_bytes,
+        "repins_moved": moved,
+        "violations": len(violations),
+    }
+    return row, max_bytes
+
+
+def run_elephant_mice(
+    config: ExperimentConfig,
+) -> tuple[list[dict], list[str]]:
+    """Hash-only vs re-pinned, on identical traffic and trees."""
+    hash_row, hash_max = run_elephant_lane(config, repin=False)
+    repin_row, repin_max = run_elephant_lane(config, repin=True)
+    reduction = 100.0 * (1.0 - repin_max / hash_max) if hash_max else 0.0
+    repin_row["max_reduction_pct"] = round(reduction, 1)
+    notes = [
+        "elephant-mice: re-pinning cut the hottest edge uplink from "
+        f"{hash_max} to {repin_max} bytes ({reduction:.1f}% lower)",
+    ]
+    return [hash_row, repin_row], notes
+
+
+def run_link_down(config: ExperimentConfig) -> tuple[list[dict], list[str]]:
+    """Pull one edge uplink mid-run; ECMP must reroute every flow."""
+    rig = FabricRig(config)
+    src = rig.rack0_hosts()[0]
+    edge_name = rig.tree.rack_of(src)
+    targets = rig.cross_pod_hosts()
+    flows = [
+        (rig.addr(targets[index % len(targets)]), 25_000 + index)
+        for index in range(min(config.fabric_flows, 8))
+    ]
+    target_link = sorted(rig.tree.uplink_links(edge_name))[0]
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(kind="fabric.link_down", target=target_link,
+                      at=FAULT_AT_S, duration=FAULT_DURATION_S),
+        ),
+        description=f"{target_link} down at {FAULT_AT_S * 1e3:g}ms",
+    )
+    injector = FaultInjector(
+        plan, rig.tree.host(src).rng.stream("faults"),
+        now_fn=lambda: rig.env.now,
+    )
+
+    def traffic() -> t.Generator:
+        while rig.env.now < LINKDOWN_HORIZON_S:
+            yield rig.env.timeout(TRAFFIC_TICK_S)
+            for dst, port in flows:
+                rig.fwd.send(rig.client(src), dst, port,
+                             payload_bytes=FRAME_BYTES)
+
+    with faults.use(injector):
+        controller = ChaosController(rig.env, plan=plan, injector=injector,
+                                     fabric=rig.tree)
+        controller.start()
+        rig.env.process(traffic())
+        rig.env.run(until=LINKDOWN_HORIZON_S)
+    events = [kind for kind, _, _ in controller.executed]
+    violations = rig.audit()
+    rows = [{
+        "scenario": "link-down",
+        "mode": "chaos",
+        "flows": len(flows),
+        "sent": rig.fwd.frames_sent,
+        "delivered": rig.fwd.frames_delivered,
+        "downed_link": target_link,
+        "fault_events": len(controller.executed),
+        "reroute_ok": rig.fwd.frames_sent == rig.fwd.frames_delivered,
+        "violations": len(violations),
+    }]
+    notes = [
+        f"link-down: {target_link} down "
+        f"[{FAULT_AT_S * 1e3:g}, {(FAULT_AT_S + FAULT_DURATION_S) * 1e3:g}]"
+        f"ms, events {events}; every frame delivered via the surviving "
+        "uplink",
+    ]
+    return rows, notes
+
+
+def run_rack_sched(config: ExperimentConfig) -> tuple[list[dict], list[str]]:
+    """Split-pod placement: fullness-only vs rack-distance-aware."""
+    rig = FabricRig(config)
+    hosts_in_order = [
+        name for rack in rig.tree.racks.values() for name in rack
+    ]
+    per_pod_seen: dict[int, int] = {}
+    nodes: list[Node] = []
+    host_of_node: dict[str, str] = {}
+    for index, host_name in enumerate(hosts_in_order):
+        vmm = Vmm(rig.tree.host(host_name))
+        vm = vmm.create_vm(f"node-{index:02d}", vcpus=4, memory_gb=4.0)
+        node = Node(vm)
+        # Bait: the fullest node of every pod is equally full, so the
+        # fullness-only policy scatters the fragments pod by pod, while
+        # slightly-emptier rack mates reward the distance term.
+        pod = rig.tree.pod_of(host_name)
+        rank = per_pod_seen.get(pod, 0)
+        per_pod_seen[pod] = rank + 1
+        preload = 2.0 - 0.08 * rank
+        node.allocate(preload, preload)
+        nodes.append(node)
+        host_of_node[vm.name] = host_name
+
+    spec = PodSpec(name="fab-pod", containers=tuple(
+        ContainerSpec(name=f"frag-{i}", image="alpine", cpu=2.0,
+                      memory_gb=1.0)
+        for i in range(3)
+    ))
+    aware = TopologyAwareScheduler(rig.tree, host_of_node)
+    rows = []
+    distances: dict[str, float] = {}
+    for policy, scheduler in (("most-requested", MostRequestedScheduler()),
+                              ("rack-aware", aware)):
+        placement = scheduler.place_split(nodes, spec)
+        mean = aware.mean_distance(
+            [node for _, node in placement.assignments]
+        )
+        distances[policy] = mean
+        rows.append({
+            "scenario": "rack-sched",
+            "mode": policy,
+            "fragments": len(placement.assignments),
+            "nodes_used": len(placement.node_names),
+            "mean_distance": round(mean, 2),
+            "violations": 0,
+        })
+    notes = [
+        "rack-sched: mean fragment distance "
+        f"{distances['most-requested']:.2f} -> "
+        f"{distances['rack-aware']:.2f} hops with the rack-aware policy",
+    ]
+    return rows, notes
+
+
+def run_reflection_cost(
+    config: ExperimentConfig,
+) -> tuple[list[dict], list[str]]:
+    """The fig9 pipeline priced with and without topology distance."""
+    from repro.costsim.hostlo import improve_assignment, split_pod_names
+    from repro.costsim.kubernetes import schedule_user
+    from repro.costsim.packing import total_cost
+    from repro.traces import TraceConfig, generate_trace
+
+    rig = FabricRig(config)
+    model = TopologyCostModel(rig.tree)
+    users = generate_trace(TraceConfig(users=min(config.trace_users, 48),
+                                       seed=config.seed))
+    rows = []
+    taxes: dict[str, float] = {}
+    for objective, cost_fn in (("dollars", None),
+                               ("topology", model.cost)):
+        dollars = tax = 0.0
+        splits = 0
+        for user in users:
+            baseline = schedule_user(user.pods)
+            improved = improve_assignment(baseline, cost_fn=cost_fn)
+            dollars += total_cost(improved)
+            tax += model.reflection_cost(improved)
+            splits += len(split_pod_names(improved))
+        taxes[objective] = tax
+        rows.append({
+            "scenario": "reflection-cost",
+            "mode": objective,
+            "users": len(users),
+            "hostlo_cost_per_h": round(dollars, 4),
+            "reflection_tax_per_h": round(tax, 4),
+            "effective_cost_per_h": round(dollars + tax, 4),
+            "split_pods": splits,
+            "violations": 0,
+        })
+    notes = [
+        "reflection-cost: pricing distance into the objective moved the "
+        f"reflection tax {taxes['dollars']:.4f} -> "
+        f"{taxes['topology']:.4f} $/h over {len(users)} users",
+    ]
+    return rows, notes
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Fabric: ECMP spread, incast, elephants, faults, rack awareness."""
+    config = config or ExperimentConfig()
+    rows: list[dict] = []
+    notes: list[str] = []
+    for lane in (run_ecmp_spread, run_incast, run_elephant_mice,
+                 run_link_down, run_rack_sched, run_reflection_cost):
+        lane_rows, lane_notes = lane(config)
+        rows.extend(lane_rows)
+        notes.extend(lane_notes)
+    total_violations = sum(r.get("violations", 0) for r in rows)
+    notes.append(
+        f"invariant violations across all lanes: {total_violations} "
+        "(must be zero)"
+    )
+    return ExperimentResult(
+        experiment="fabric",
+        title="Fabric: fat-tree ECMP, congestion, faults and rack "
+              "awareness",
+        rows=tuple(rows),
+        notes=tuple(notes),
+    )

@@ -17,6 +17,7 @@ from repro.harness import (
     ablations,
     analytic,
     chaos,
+    fabric,
     fig02,
     fig04,
     fig05,
@@ -73,6 +74,8 @@ EXPERIMENTS: dict[str, Runner] = {
     "chaos": chaos.run,
     # Datapath reliability: ARQ under loss + health watchdog.
     "reliability": reliability.run,
+    # The fat-tree fabric subsystem end-to-end (see repro.fabric).
+    "fabric": fabric.run,
     # The campaign layer checking itself (see repro.campaign).
     "campaign": _run_campaign,
 }

@@ -23,6 +23,7 @@ from repro.health.invariants import (
     check_bridge_consistency,
     check_capture_conservation,
     check_device_wiring,
+    check_fabric_consistency,
     check_frame_conservation,
     check_hostlo_liveness,
     check_leaked_devices,
@@ -39,6 +40,7 @@ __all__ = [
     "check_bridge_consistency",
     "check_capture_conservation",
     "check_device_wiring",
+    "check_fabric_consistency",
     "check_frame_conservation",
     "check_hostlo_liveness",
     "check_leaked_devices",

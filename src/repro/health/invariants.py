@@ -56,6 +56,7 @@ class HealthScope:
         forwarding: "ForwardingEngine | None" = None,
         arq_reports: t.Iterable["ArqReport"] = (),
         capture: "CaptureSession | None" = None,
+        fabrics: t.Iterable[t.Any] = (),
     ) -> None:
         deduped: dict[int, NetworkNamespace] = {}
         for ns in namespaces:
@@ -64,6 +65,7 @@ class HealthScope:
         self.forwarding = forwarding
         self.arq_reports = tuple(arq_reports)
         self.capture = capture
+        self.fabrics = tuple(fabrics)
 
     @classmethod
     def of(
@@ -76,6 +78,7 @@ class HealthScope:
         forwarding: "ForwardingEngine | None" = None,
         arq_reports: t.Iterable["ArqReport"] = (),
         capture: "CaptureSession | None" = None,
+        fabrics: t.Iterable[t.Any] = (),
     ) -> "HealthScope":
         """Gather every namespace the given owners are responsible for."""
         gathered: list[NetworkNamespace] = list(namespaces)
@@ -85,6 +88,12 @@ class HealthScope:
             for deployment in orch.deployments.values():
                 gathered.extend(deployment.fragments.values())
         host_list = list(hosts)
+        fabric_list = list(fabrics)
+        for tree in fabric_list:
+            # A fat-tree owns its switch namespaces *and* its racked
+            # hosts: auditing the tree audits both.
+            gathered.extend(tree.namespaces())
+            host_list.extend(tree.hosts.values())
         for vmm in vmm_list:
             host_list.append(vmm.host)
             for vm in vmm.vms.values():
@@ -92,7 +101,8 @@ class HealthScope:
         for host in host_list:
             gathered.append(host.ns)
         return cls(gathered, forwarding=forwarding,
-                   arq_reports=arq_reports, capture=capture)
+                   arq_reports=arq_reports, capture=capture,
+                   fabrics=fabric_list)
 
     # -- derived views ----------------------------------------------------
     def devices(self) -> t.Iterator[tuple[NetworkNamespace, str, t.Any]]:
@@ -243,12 +253,58 @@ def check_capture_conservation(scope: HealthScope) -> list[Violation]:
     return out
 
 
+def check_fabric_consistency(scope: HealthScope) -> list[Violation]:
+    """Fat-tree wiring is coherent: every switch port points back at
+    its switch and lives in the switch namespace, is an end of the link
+    it claims, and down-routes/uplinks only reference own ports."""
+    out: list[Violation] = []
+    for tree in scope.fabrics:
+        for switch in tree.switches.values():
+            ports = set(map(id, switch.ports))
+            for port in switch.ports:
+                if port.fabric_switch is not switch:
+                    out.append(Violation(
+                        "fabric-consistency", f"{switch.name}/{port.name}",
+                        "port does not point back at its switch",
+                    ))
+                if port.namespace is not switch.ns:
+                    where = (port.namespace.name if port.namespace
+                             else "nowhere")
+                    out.append(Violation(
+                        "fabric-consistency", f"{switch.name}/{port.name}",
+                        f"port lives in {where}, not the switch namespace",
+                    ))
+                link = port.link
+                if link is not None and port is not link.nic_a \
+                        and port is not link.nic_b:
+                    out.append(Violation(
+                        "fabric-consistency", f"{switch.name}/{port.name}",
+                        f"port claims link {link.name!r} but is not "
+                        "an end of it",
+                    ))
+            for network, port in switch.down_routes:
+                if id(port) not in ports:
+                    out.append(Violation(
+                        "fabric-consistency", switch.name,
+                        f"down-route {network} via foreign port "
+                        f"{port.name!r}",
+                    ))
+            for port in switch.uplinks:
+                if id(port) not in ports:
+                    out.append(Violation(
+                        "fabric-consistency", switch.name,
+                        f"uplink {port.name!r} is not an attached port",
+                    ))
+    return out
+
+
 #: Every invariant check, in the order a health pass runs them.
 ALL_CHECKS: tuple[t.Callable[[HealthScope], list[Violation]], ...] = (
     check_device_wiring,
     check_leaked_devices,
     check_bridge_consistency,
     check_hostlo_liveness,
+    check_fabric_consistency,
     check_frame_conservation,
     check_capture_conservation,
 )

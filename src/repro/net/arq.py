@@ -172,7 +172,7 @@ class PathFaultModel:
             if kind == "link.loss":
                 link = self._links.get(label)
                 if link is not None and not link.up:
-                    return index, "link-partitioned"
+                    return index, "link.down"
                 if inj.enabled and inj.fires(kind, label) is not None:
                     return index + 1, "link-loss"
                 if inj.enabled and inj.fires("link.corrupt",

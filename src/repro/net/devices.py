@@ -160,6 +160,10 @@ class PhysicalNic(NetDevice):
             raise TopologyError(f"bandwidth must be positive: {bandwidth_bps!r}")
         self.bandwidth_bps = float(bandwidth_bps)
         self.link = None  # set by repro.net.links.PhysicalLink
+        #: Back-reference set by repro.fabric when this NIC is a switch
+        #: port; the forwarding engine hands frames landing on such a
+        #: NIC to the fabric walker instead of a host namespace.
+        self.fabric_switch = None
 
 
 class Loopback(NetDevice):

@@ -43,6 +43,15 @@ HOP_LATENCY_BUCKETS = (
 HOP_COUNT_BUCKETS = (2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
 
 
+def flow_signature(src_ip: t.Any, dst_ip: t.Any, proto: str,
+                   dst_port: int) -> str:
+    """The canonical textual flow identity (the 4-tuple the sender
+    dialled).  This is the string ECMP hashing and elephant pinning key
+    on, so every layer that needs "same flow, same decision" must build
+    it here and nowhere else."""
+    return f"{src_ip}>{dst_ip}/{proto}:{dst_port}"
+
+
 @dataclasses.dataclass(frozen=True, order=True)
 class FlowKey:
     """What identifies a flow: the 4-tuple the sender dialled, plus
@@ -57,6 +66,12 @@ class FlowKey:
     def __str__(self) -> str:
         return (f"{self.src_ip}->{self.dst_ip}:{self.dst_port}/"
                 f"{self.proto} [{self.src_label}]")
+
+    @property
+    def signature(self) -> str:
+        """The ECMP hash key for this flow (label-independent)."""
+        return flow_signature(self.src_ip, self.dst_ip, self.proto,
+                              self.dst_port)
 
 
 class FlowStats:
@@ -76,6 +91,37 @@ class FlowStats:
         self.hop_counts = Histogram("flow.hops", HOP_COUNT_BUCKETS)
         self.hop_latency = Histogram("flow.hop_latency_s",
                                      HOP_LATENCY_BUCKETS)
+
+    @property
+    def dropped(self) -> int:
+        return sum(self.drops.values())
+
+    def top_drop_reason(self) -> str:
+        if not self.drops:
+            return "-"
+        reason = max(self.drops, key=lambda r: (self.drops[r], r))
+        return f"{reason}:{self.drops[reason]}"
+
+
+class RollupStats:
+    """Aggregates for one rollup group (node, rack, pod label...)."""
+
+    __slots__ = ("flows", "frames", "bytes", "delivered", "drops")
+
+    def __init__(self) -> None:
+        self.flows = 0
+        self.frames = 0
+        self.bytes = 0
+        self.delivered = 0
+        self.drops: dict[str, int] = {}
+
+    def absorb(self, stats: FlowStats) -> None:
+        self.flows += 1
+        self.frames += stats.frames
+        self.bytes += stats.bytes
+        self.delivered += stats.delivered
+        for reason, n in stats.drops.items():
+            self.drops[reason] = self.drops.get(reason, 0) + n
 
     @property
     def dropped(self) -> int:
@@ -148,6 +194,68 @@ class FlowTable:
             for reason, n in stats.drops.items():
                 totals[reason] = totals.get(reason, 0) + n
         return totals
+
+    def rollup(
+        self,
+        group: "str | t.Callable[[FlowKey, FlowStats], str]" = "src_label",
+    ) -> dict[str, "RollupStats"]:
+        """Aggregate the table by a coarser grain than the flow.
+
+        *group* is either a :class:`FlowKey` attribute name
+        (``"src_label"``, ``"dst_ip"``, ...), the string
+        ``"dst_label"`` (learned per delivery, lives on the stats), or
+        a callable ``(key, stats) -> group name`` — the fabric
+        experiments pass the tree's host→rack mapping to report
+        per-rack traffic.
+        """
+        if callable(group):
+            grouper = group
+        elif group == "dst_label":
+            def grouper(key: FlowKey, stats: FlowStats) -> str:
+                del key
+                return stats.dst_label
+        else:
+            def grouper(key: FlowKey, stats: FlowStats) -> str:
+                del stats
+                return str(getattr(key, group))  # type: ignore[arg-type]
+        out: dict[str, RollupStats] = {}
+        for key, stats in self._flows.items():
+            name = grouper(key, stats)
+            bucket = out.get(name)
+            if bucket is None:
+                bucket = out[name] = RollupStats()
+            bucket.absorb(stats)
+        return out
+
+    def render_rollup(
+        self,
+        group: "str | t.Callable[[FlowKey, FlowStats], str]" = "src_label",
+        title: str = "rollup",
+    ) -> str:
+        """A text table of :meth:`rollup`, heaviest group first."""
+        grouped = self.rollup(group)
+        if not grouped:
+            return "(no flows recorded)"
+        ranked = sorted(grouped.items(),
+                        key=lambda item: (-item[1].bytes, item[0]))
+        header = ["group", "flows", "frames", "bytes", "delivered",
+                  "drops", "top drop"]
+        rows = [
+            [name, str(agg.flows), str(agg.frames), str(agg.bytes),
+             str(agg.delivered), str(agg.dropped), agg.top_drop_reason()]
+            for name, agg in ranked
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows))
+            for i in range(len(header))
+        ]
+        lines = [f"== flow {title}: {len(rows)} groups, "
+                 f"{len(self._flows)} flows =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
 
     # -- export ------------------------------------------------------------
     def export_metrics(self, registry: MetricsRegistry | None = None) -> None:

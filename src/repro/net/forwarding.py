@@ -364,29 +364,113 @@ class ForwardingEngine:
                        device=egress, namespace=ns_name, stage="wire")
             return None
         if not link.up:
-            self._drop(frame, f"link-partitioned:{link.name}",
-                       "link-partitioned", device=egress,
+            # Labelled, not silent: the link keeps its own account of
+            # frames that died against the downed carrier, and the
+            # engine ledger carries the same ``link.down`` reason.
+            link.drop("link.down")
+            self._drop(frame, f"link-down:{link.name}",
+                       "link.down", device=egress,
                        namespace=ns_name, stage="wire")
             return None
         inj = _active_injector()
         if inj.enabled and inj.fires("link.loss", link.name) is not None:
+            link.drop("link-loss")
             self._drop(frame, f"fault-link:{link.name}", "link-loss",
                        device=egress, namespace=ns_name, stage="wire")
             return None
         if inj.enabled and inj.fires("link.corrupt", link.name) is not None:
             # The frame crosses the wire but arrives with a bad FCS:
             # the receiving NIC discards it.
+            link.drop("corrupt")
             self._drop(frame, f"fault-corrupt:{link.name}", "corrupt",
                        device=link.peer_of(egress), namespace=ns_name,
                        stage="wire")
             return None
         peer = link.peer_of(egress)
+        link.carry(frame.payload_bytes)
         frame.note(f"wire:{link.name}:{egress.name}->{peer.name}")
         self._hop(frame, "wire", egress, namespace=ns_name,
                   detail=f"{link.name}->{peer.name}")
+        switch = peer.fabric_switch
+        if switch is not None:
+            return self._fabric_forward(switch, next_hop, frame)
         if peer.bridge is not None:
             return self._bridge_forward(peer.bridge, peer, next_hop, frame)
         return peer.namespace
+
+    def _fabric_forward(self, switch: t.Any, next_hop: Ipv4Address,
+                        frame: Frame) -> NetworkNamespace | None:
+        """Walk the frame hop by hop across fat-tree switches.
+
+        Each switch forwards by longest-prefix down-route toward hosts
+        it fronts, or hashes the flow signature over its live equal-cost
+        uplinks (see :mod:`repro.fabric`).  Every crossing re-checks the
+        carrier, offers the frame to the egress port's bounded TX ring,
+        and accounts the link — so congestion overflows, downed links
+        and dead switches all end in labelled ledger buckets and the
+        conservation invariant keeps holding fabric-wide.
+        """
+        signature = _flows.flow_signature(
+            frame.src_ip, frame.dst_ip, frame.proto, frame.dst_port
+        )
+        while True:
+            ns_name = switch.ns.name
+            if not switch.up:
+                self._drop(frame, f"switch-down:{switch.name}",
+                           "fabric.switch-down", device=f"sw:{switch.name}",
+                           namespace=ns_name, stage="fabric")
+                return None
+            port = switch.select_port(signature, next_hop)
+            if port is None:
+                self._drop(frame, f"fabric-no-route:{switch.name}",
+                           "fabric-no-route", device=f"sw:{switch.name}",
+                           namespace=ns_name, stage="fabric")
+                return None
+            if not port.tx_queue.offer():
+                self._drop(frame, f"fabric-overflow:{port.name}",
+                           "fabric-overflow", device=port,
+                           namespace=ns_name, stage="fabric")
+                return None
+            if not switch.congested():
+                # The port drains at line rate; inside a congestion
+                # window (incast) depth accumulates until service_all.
+                port.tx_queue.take()
+            link = port.link
+            if link is None:
+                self._drop(frame, f"uncabled:{port.name}", "uncabled",
+                           device=port, namespace=ns_name, stage="fabric")
+                return None
+            if not link.up:
+                link.drop("link.down")
+                self._drop(frame, f"link-down:{link.name}", "link.down",
+                           device=port, namespace=ns_name, stage="fabric")
+                return None
+            inj = _active_injector()
+            if inj.enabled and inj.fires("link.loss", link.name) is not None:
+                link.drop("link-loss")
+                self._drop(frame, f"fault-link:{link.name}", "link-loss",
+                           device=port, namespace=ns_name, stage="fabric")
+                return None
+            if inj.enabled and inj.fires("link.corrupt",
+                                         link.name) is not None:
+                link.drop("corrupt")
+                self._drop(frame, f"fault-corrupt:{link.name}", "corrupt",
+                           device=link.peer_of(port), namespace=ns_name,
+                           stage="fabric")
+                return None
+            peer = link.peer_of(port)
+            link.carry(frame.payload_bytes)
+            frame.note(f"fabric:{switch.name}:{port.name}->{peer.name}")
+            self._hop(frame, "fabric", port, namespace=ns_name,
+                      detail=f"{switch.tier}:{link.name}->{peer.name}")
+            next_switch = getattr(peer, "fabric_switch", None)
+            if next_switch is not None:
+                switch = next_switch
+                continue
+            if peer.bridge is not None:
+                return self._bridge_forward(peer.bridge, peer, next_hop,
+                                            frame)
+            return peer.namespace
 
     def _bridge_forward(self, bridge: Bridge, ingress: NetDevice | None,
                         next_hop: Ipv4Address,

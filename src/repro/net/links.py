@@ -46,12 +46,46 @@ class PhysicalLink:
         self.propagation_s = float(propagation_s)
         #: Administrative state; a partitioned link carries nothing.
         self.up = True
+        #: Frame-level accounting (filled by the forwarding engine and
+        #: by :meth:`set_down` draining in-flight queues): the fabric
+        #: layer reads these to measure per-link utilisation, and the
+        #: flow scheduler to find the least-loaded equal-cost path.
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.drops: dict[str, int] = {}
         nic_a.link = self
         nic_b.link = self
 
-    def set_down(self) -> None:
-        """Partition the link (cable pulled / switch port down)."""
+    def carry(self, payload_bytes: int) -> None:
+        """Account one frame crossing the wire."""
+        self.frames_carried += 1
+        self.bytes_carried += payload_bytes
+
+    def drop(self, reason: str, n: int = 1) -> None:
+        """Account *n* frames dying on (or at the edge of) this wire."""
+        self.drops[reason] = self.drops.get(reason, 0) + n
+
+    def reset_counters(self) -> None:
+        """Zero the carry/drop accounting (per-phase measurement)."""
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.drops = {}
+
+    def set_down(self) -> int:
+        """Partition the link (cable pulled / switch port down).
+
+        Frames sitting in either endpoint's device queues die with the
+        carrier: they are drained and accounted under the ``link.down``
+        reason rather than silently vanishing, so the fabric ledger
+        stays explainable.  Returns how many queued frames died.
+        """
         self.up = False
+        dead = 0
+        for nic in (self.nic_a, self.nic_b):
+            dead += nic.tx_queue.drain() + nic.rx_queue.drain()
+        if dead:
+            self.drop("link.down", dead)
+        return dead
 
     def set_up(self) -> None:
         """Restore a partitioned link."""

@@ -54,6 +54,18 @@ class MostRequestedScheduler:
     #: +1: prefer the fullest feasible node; -1: prefer the emptiest.
     direction = 1.0
 
+    def _split_score(self, node: Node, cpu_frac: float, mem_frac: float,
+                     chosen: t.Sequence[str]) -> float:
+        """Score one feasible node for the next container of a split.
+
+        *cpu_frac*/*mem_frac* include this pass's tentative placements;
+        *chosen* is the node names already assigned fragments (in
+        order).  The base policy ignores *chosen* — subclasses (the
+        fabric's rack-aware scheduler) use it to keep fragments close.
+        """
+        del chosen
+        return self.direction * 0.5 * (cpu_frac + mem_frac)
+
     def pick_node(self, nodes: t.Sequence[Node], cpu: float,
                   memory_gb: float) -> Node | None:
         """The feasible node with the best score, or None."""
@@ -108,7 +120,9 @@ class MostRequestedScheduler:
 
         for spec in ordered:
             best: Node | None = None
-            best_score = -1.0
+            # -inf, not -1: subclass scores (rack-distance penalties)
+            # may be legitimately below the base policy's range.
+            best_score = -float("inf")
             for node in nodes:
                 if not node.ready:
                     continue
@@ -118,7 +132,10 @@ class MostRequestedScheduler:
                 used_cpu, used_mem = tentative.get(node.name, (0.0, 0.0))
                 cpu_frac = (node.cpu_allocated + used_cpu) / node.cpu_capacity
                 mem_frac = (node.memory_allocated + used_mem) / node.memory_capacity
-                score = self.direction * 0.5 * (cpu_frac + mem_frac)
+                score = self._split_score(
+                    node, cpu_frac, mem_frac,
+                    [node_name for _, node_name in assignments],
+                )
                 if score > best_score:
                     best, best_score = node, score
             if best is None:

@@ -34,6 +34,7 @@ class PhysicalHost:
         freq_hz: float = 2.2e9,
         seed: int = 0,
         domain: str | None = None,
+        bridge_cidr: str = DEFAULT_BRIDGE_CIDR,
     ) -> None:
         self.env = env
         self.name = name
@@ -49,7 +50,9 @@ class PhysicalHost:
         )
         self._bridges: dict[str, Bridge] = {}
         self._host_allocators: dict[str, HostAllocator] = {}
-        self.default_bridge = self.add_bridge("virbr0", cidr(DEFAULT_BRIDGE_CIDR))
+        # Fat-tree racks give each host a distinct subnet; standalone
+        # hosts keep the libvirt default.
+        self.default_bridge = self.add_bridge("virbr0", cidr(bridge_cidr))
 
     # -- bridges --------------------------------------------------------------
     def add_bridge(self, name: str, network: Ipv4Network) -> Bridge:

@@ -1,0 +1,61 @@
+"""ECMP hashing: determinism, range, salt independence."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric import ecmp_index, flow_signature
+from repro.net import flows as net_flows
+
+
+class TestFlowSignature:
+    def test_canonical_shape(self):
+        assert flow_signature("10.0.0.1", "10.3.2.1", "tcp", 80) == \
+            "10.0.0.1>10.3.2.1/tcp:80"
+
+    def test_fabric_reexports_the_net_definition(self):
+        # One definition, everywhere: hashing and flow accounting must
+        # agree on the identity string or pinning silently misses.
+        assert flow_signature is net_flows.flow_signature
+
+    def test_flow_key_signature_matches(self):
+        key = net_flows.FlowKey("10.0.0.1", "10.3.2.1", "tcp", 80, "podX")
+        assert key.signature == flow_signature("10.0.0.1", "10.3.2.1",
+                                               "tcp", 80)
+
+
+class TestEcmpIndex:
+    def test_deterministic_and_in_range(self):
+        for n in (1, 2, 3, 8):
+            for port in range(50):
+                signature = flow_signature("10.0.0.1", "10.1.0.1",
+                                           "tcp", port)
+                first = ecmp_index(signature, "edge-p0e0", n)
+                assert 0 <= first < n
+                assert ecmp_index(signature, "edge-p0e0", n) == first
+
+    def test_salts_decorrelate_tiers(self):
+        # Different switches must not all make the same choice for the
+        # same flow, or one flow would monopolise one core column.
+        signatures = [
+            flow_signature("10.0.0.1", "10.1.0.1", "tcp", port)
+            for port in range(64)
+        ]
+        pairs = [
+            (ecmp_index(s, "edge-p0e0", 2), ecmp_index(s, "agg-p0a0", 2))
+            for s in signatures
+        ]
+        assert any(a != b for a, b in pairs)
+        assert any(a == b for a, b in pairs)
+
+    def test_spreads_over_candidates(self):
+        indexes = {
+            ecmp_index(flow_signature("10.0.0.1", "10.1.0.1", "tcp", port),
+                       "edge-p0e0", 2)
+            for port in range(32)
+        }
+        assert indexes == {0, 1}
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_empty_candidate_set_rejected(self, n):
+        with pytest.raises((ValueError, TopologyError)):
+            ecmp_index("sig", "salt", n)

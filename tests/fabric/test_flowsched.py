@@ -1,0 +1,132 @@
+"""Traffic-aware flow scheduling: classification and elephant pinning."""
+
+import pytest
+
+from repro.fabric import (
+    FatTree,
+    TrafficAwareFlowScheduler,
+    ecmp_index,
+    flow_signature,
+)
+from repro.net import flows as net_flows
+from repro.net.flows import FlowTable
+from repro.net.forwarding import ForwardingEngine
+from repro.sim import Environment
+
+ELEPHANT = 8192
+FRAMES = 8
+
+
+@pytest.fixture
+def tree():
+    return FatTree(Environment(), k=4, hosts_per_edge=2, seed=5)
+
+
+def client_of(tree, host_name):
+    host = tree.host(host_name)
+    return host.create_attached_namespace(
+        f"cl-{host_name}", domain=f"client:{host_name}"
+    )
+
+
+def colliding_ports(tree, src_ip, dst_ips, edge_name, start=18_000):
+    """Ports that make every (src, dst) flow hash onto one uplink."""
+    fan_out = len(tree.switch(edge_name).uplinks)
+    ports = [start]
+    want = ecmp_index(
+        flow_signature(src_ip, dst_ips[0], "tcp", ports[0]),
+        edge_name, fan_out,
+    )
+    for dst_ip in dst_ips[1:]:
+        port = ports[-1] + 1
+        while ecmp_index(flow_signature(src_ip, dst_ip, "tcp", port),
+                         edge_name, fan_out) != want:
+            port += 1
+        ports.append(port)
+    return ports
+
+
+class TestClassification:
+    def test_split_by_bytes_heaviest_first(self, tree):
+        table = FlowTable()
+        for port, n_bytes in ((1, 100), (2, 9000), (3, 12_000)):
+            table.record(
+                net_flows.FlowKey("10.0.0.5", "10.1.0.5", "tcp", port, "c"),
+                payload_bytes=n_bytes, delivered=True, drop_reason=None,
+                dst_label="d", trail=(), hop_count=4,
+            )
+        scheduler = TrafficAwareFlowScheduler(tree, elephant_bytes=5000)
+        elephants, mice = scheduler.classify(table)
+        assert [key.dst_port for key, _ in elephants] == [3, 2]
+        assert [key.dst_port for key, _ in mice] == [1]
+
+
+class TestRebalance:
+    def drive(self, tree, fwd, src, dsts, ports):
+        table = FlowTable()
+        with net_flows.use(table):
+            for dst, port in zip(dsts, ports):
+                address = dst.device("eth0").primary_ip
+                for _ in range(FRAMES):
+                    fwd.send(src, address, port, payload_bytes=ELEPHANT)
+        return table
+
+    def test_colliding_elephants_spread_over_uplinks(self, tree):
+        fwd = ForwardingEngine()
+        src = client_of(tree, "h-p0e0n0")
+        dsts = [client_of(tree, "h-p1e0n0"), client_of(tree, "h-p2e0n0")]
+        src_ip = str(src.device("eth0").primary_ip)
+        dst_ips = [str(d.device("eth0").primary_ip) for d in dsts]
+        ports = colliding_ports(tree, src_ip, dst_ips, "edge-p0e0")
+
+        table = self.drive(tree, fwd, src, dsts, ports)
+        # The engineered collision: one uplink carried everything.
+        loaded = [link for link in tree.uplink_links("edge-p0e0").values()
+                  if link.frames_carried]
+        assert len(loaded) == 1
+
+        scheduler = TrafficAwareFlowScheduler(
+            tree, elephant_bytes=FRAMES * ELEPHANT // 2
+        )
+        tree.reset_link_counters()
+        decisions = scheduler.rebalance(table)
+        assert decisions  # every elephant pinned at every choice tier
+        assert any(d.moved for d in decisions)
+        edge_pins = {d.port for d in decisions if d.switch == "edge-p0e0"}
+        assert len(edge_pins) == 2  # one elephant per uplink
+
+        self.drive(tree, fwd, src, dsts, ports)
+        loads = [link.bytes_carried
+                 for link in tree.uplink_links("edge-p0e0").values()]
+        assert min(loads) > 0  # both uplinks now carry an elephant
+        assert max(loads) < sum(loads)
+
+    def test_non_fabric_flows_ignored(self, tree):
+        table = FlowTable()
+        table.record(
+            net_flows.FlowKey("192.168.1.2", "192.168.1.3", "tcp", 80, "x"),
+            payload_bytes=10**6, delivered=True, drop_reason=None,
+            dst_label="y", trail=(), hop_count=2,
+        )
+        scheduler = TrafficAwareFlowScheduler(tree, elephant_bytes=1)
+        assert scheduler.rebalance(table) == []
+        assert all(not s.pins for s in tree.switches.values())
+
+    def test_rebalance_is_idempotent_on_the_same_stats(self, tree):
+        fwd = ForwardingEngine()
+        src = client_of(tree, "h-p0e0n0")
+        dsts = [client_of(tree, "h-p1e0n0"), client_of(tree, "h-p2e0n0")]
+        src_ip = str(src.device("eth0").primary_ip)
+        dst_ips = [str(d.device("eth0").primary_ip) for d in dsts]
+        ports = colliding_ports(tree, src_ip, dst_ips, "edge-p0e0")
+        table = self.drive(tree, fwd, src, dsts, ports)
+        scheduler = TrafficAwareFlowScheduler(
+            tree, elephant_bytes=FRAMES * ELEPHANT // 2
+        )
+        tree.reset_link_counters()
+        first = {(d.signature, d.switch): d.port
+                 for d in scheduler.rebalance(table)}
+        tree.reset_link_counters()
+        second = {(d.signature, d.switch): d.port
+                  for d in scheduler.rebalance(table)}
+        assert first == second

@@ -1,0 +1,108 @@
+"""Property tests: ECMP stability and fabric-wide frame conservation."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import FabricSwitch, FatTree, ecmp_index, flow_signature
+from repro.health import HealthScope, run_checks
+from repro.net.addresses import ip
+from repro.net.devices import PhysicalNic
+from repro.net.forwarding import ForwardingEngine
+from repro.net.links import PhysicalLink
+from repro.sim import Environment
+
+port_numbers = st.integers(min_value=1, max_value=65_535)
+octets = st.integers(min_value=0, max_value=255)
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+
+
+def addresses(draw):
+    a, b, c, d = (draw(octets) for _ in range(4))
+    return f"{a}.{b}.{c}.{d}"
+
+
+@st.composite
+def signatures(draw):
+    src = addresses(draw)
+    dst = addresses(draw)
+    proto = draw(st.sampled_from(["tcp", "udp"]))
+    return flow_signature(src, dst, proto, draw(port_numbers))
+
+
+class TestEcmpProperties:
+    @given(signature=signatures(), salt=names,
+           n=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_and_in_range(self, signature, salt, n):
+        index = ecmp_index(signature, salt, n)
+        assert 0 <= index < n
+        assert ecmp_index(signature, salt, n) == index
+
+    @given(signature=signatures(),
+           permutation=st.permutations(list(range(4))))
+    @settings(max_examples=25, deadline=None)
+    def test_selection_survives_port_insertion_order(self, signature,
+                                                     permutation):
+        """The chosen uplink depends on the flow and the switch — never
+        on the order the cables happened to be plugged in."""
+        dst = ip("172.16.0.9")
+
+        def build(order):
+            switch = FabricSwitch("sw-under-test", "edge")
+            for index in order:
+                port = switch.add_port(f"sw-up{index}", uplink=True)
+                # A bare peer NIC reads as a host: always viable.
+                PhysicalLink(f"cable-{index}", port,
+                             PhysicalNic(f"peer-{index}"))
+            return switch
+
+        canonical = build(range(4))
+        shuffled = build(permutation)
+        expected = canonical.select_port(signature, dst)
+        got = shuffled.select_port(signature, dst)
+        assert expected is not None and got is not None
+        assert got.name == expected.name
+
+
+class TestConservationProperties:
+    @given(
+        flows=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3),
+                      st.integers(min_value=0, max_value=3),
+                      port_numbers),
+            min_size=1, max_size=24,
+        ),
+        dead_links=st.sets(st.integers(min_value=0, max_value=31),
+                           max_size=6),
+        cut_at=st.integers(min_value=0, max_value=23),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_frame_is_accounted_under_random_faults(
+            self, flows, dead_links, cut_at):
+        """sent == delivered + labelled drops, whatever dies whenever."""
+        tree = FatTree(Environment(), k=4, hosts_per_edge=1, seed=1)
+        fwd = ForwardingEngine()
+        clients = {}
+        for name in tree.hosts:
+            clients[name] = tree.host(name).create_attached_namespace(
+                f"cl-{name}", domain=f"client:{name}"
+            )
+        host_names = sorted(tree.hosts)
+        link_names = sorted(tree.links)
+        for step, (src_index, dst_index, port) in enumerate(flows):
+            if step == cut_at:
+                for dead in dead_links:
+                    tree.link(link_names[dead % len(link_names)]).set_down()
+            src = clients[host_names[src_index * 4 % len(host_names)]]
+            dst = clients[host_names[dst_index]]
+            fwd.send(src, dst.device("eth0").primary_ip, port)
+        assert fwd.frames_sent == len(flows)
+        assert fwd.frames_sent == fwd.frames_delivered + sum(
+            fwd.drops.values()
+        )
+        assert not run_checks(HealthScope.of(
+            fabrics=(tree,), forwarding=fwd,
+            namespaces=tuple(clients.values()),
+        ))

@@ -1,0 +1,129 @@
+"""Rack-aware split placement and the topology cost model."""
+
+import pytest
+
+from repro.costsim.hostlo import improve_assignment
+from repro.costsim.kubernetes import schedule_user
+from repro.costsim.packing import total_cost
+from repro.fabric import FatTree, TopologyAwareScheduler, TopologyCostModel
+from repro.orchestrator.node import Node
+from repro.orchestrator.pod import ContainerSpec, PodSpec
+from repro.orchestrator.scheduler import MostRequestedScheduler
+from repro.sim import Environment
+from repro.traces import TraceConfig, generate_trace
+from repro.virt import Vmm
+
+
+@pytest.fixture
+def tree():
+    return FatTree(Environment(), k=4, hosts_per_edge=2, seed=9)
+
+
+def baited_nodes(tree):
+    """One VM per racked host, pre-loaded so every pod's fullest node
+    ties: fullness-only placement scatters cross-pod, rack-aware
+    placement keeps fragments inside the pod."""
+    nodes, host_of_node = [], {}
+    per_pod_seen = {}
+    hosts_in_order = [n for rack in tree.racks.values() for n in rack]
+    for index, host_name in enumerate(hosts_in_order):
+        vm = Vmm(tree.host(host_name)).create_vm(
+            f"node-{index:02d}", vcpus=4, memory_gb=4.0
+        )
+        node = Node(vm)
+        pod = tree.pod_of(host_name)
+        rank = per_pod_seen.get(pod, 0)
+        per_pod_seen[pod] = rank + 1
+        preload = 2.0 - 0.08 * rank
+        node.allocate(preload, preload)
+        nodes.append(node)
+        host_of_node[vm.name] = host_name
+    return nodes, host_of_node
+
+
+def three_fragment_pod():
+    return PodSpec(name="p", containers=tuple(
+        ContainerSpec(name=f"c{i}", image="alpine", cpu=2.0, memory_gb=1.0)
+        for i in range(3)
+    ))
+
+
+class TestTopologyAwareScheduler:
+    def test_keeps_fragments_closer_than_fullness_only(self, tree):
+        nodes, host_of_node = baited_nodes(tree)
+        spec = three_fragment_pod()
+        aware = TopologyAwareScheduler(tree, host_of_node)
+        baseline = MostRequestedScheduler().place_split(nodes, spec)
+        improved = aware.place_split(nodes, spec)
+        base_mean = aware.mean_distance(
+            [n for _, n in baseline.assignments]
+        )
+        aware_mean = aware.mean_distance(
+            [n for _, n in improved.assignments]
+        )
+        assert base_mean > aware_mean
+        # The bait worked as designed: cross-pod vs mostly-same-rack.
+        assert base_mean == 6.0
+        assert aware_mean < 4.0
+
+    def test_capacity_still_wins_over_distance(self, tree):
+        # Only far nodes have room: the penalty must not blackhole.
+        nodes, host_of_node = baited_nodes(tree)
+        for node in nodes[:4]:  # pod 0 entirely full
+            node.allocate(node.cpu_free, node.memory_free)
+        aware = TopologyAwareScheduler(tree, host_of_node)
+        placement = aware.place_split(nodes, three_fragment_pod())
+        pods = {tree.pod_of(host_of_node[n])
+                for n in placement.node_names}
+        assert 0 not in pods
+
+    def test_unmapped_nodes_score_like_the_base_policy(self, tree):
+        nodes, _ = baited_nodes(tree)
+        aware = TopologyAwareScheduler(tree, host_of_node={})
+        baseline = MostRequestedScheduler().place_split(
+            nodes, three_fragment_pod()
+        )
+        same = aware.place_split(nodes, three_fragment_pod())
+        assert baseline.assignments == same.assignments
+
+    def test_mean_distance_reporting(self, tree):
+        aware = TopologyAwareScheduler(tree, {
+            "a": "h-p0e0n0", "b": "h-p0e0n1", "c": "h-p2e0n0",
+        })
+        assert aware.mean_distance(["a"]) == 0.0
+        assert aware.mean_distance(["a", "b"]) == 2.0
+        assert aware.mean_distance(["a", "b", "c"]) == pytest.approx(
+            (2 + 6 + 6) / 3
+        )
+
+
+class TestTopologyCostModel:
+    def test_zero_rate_reproduces_the_paper_objective(self, tree):
+        users = generate_trace(TraceConfig(users=6, seed=3))
+        blind = TopologyCostModel(tree, reflection_rate=0.0)
+        for user in users:
+            vms = schedule_user(user.pods)
+            assert blind.cost(vms) == total_cost(vms)
+            assert blind.reflection_cost(vms) == 0.0
+
+    def test_explicit_placement_overrides_the_hash(self, tree):
+        model = TopologyCostModel(tree, host_of_vm={"vm-x": "h-p1e0n0"})
+        assert model.host_of("vm-x") == "h-p1e0n0"
+        assert model.host_of("vm-y") in tree.hosts
+
+    def test_cost_fn_changes_improvement_decisions(self, tree):
+        """A large enough distance tax vetoes otherwise-worthwhile
+        splits: the improved assignment degenerates to the baseline."""
+        users = generate_trace(TraceConfig(users=24, seed=2))
+        punitive = TopologyCostModel(tree, reflection_rate=1e6)
+        split_free, split_taxed = 0, 0
+        for user in users:
+            baseline = schedule_user(user.pods)
+            from repro.costsim.hostlo import split_pod_names
+            free = improve_assignment(baseline)
+            taxed = improve_assignment(baseline, cost_fn=punitive.cost)
+            split_free += len(split_pod_names(free))
+            split_taxed += len(split_pod_names(taxed))
+            assert total_cost(taxed) >= total_cost(free) - 1e-9
+        assert split_free > 0
+        assert split_taxed <= split_free

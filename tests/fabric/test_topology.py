@@ -1,0 +1,226 @@
+"""Fat-tree construction, addressing, distances and forwarding."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric import (
+    DISTANCE_CROSS_POD,
+    DISTANCE_SAME_HOST,
+    DISTANCE_SAME_POD,
+    DISTANCE_SAME_RACK,
+    FabricSwitch,
+    FatTree,
+)
+from repro.health import HealthScope, run_checks
+from repro.net.addresses import ip
+from repro.net.forwarding import ForwardingEngine
+from repro.sim import Environment
+
+
+@pytest.fixture
+def tree():
+    return FatTree(Environment(), k=4, hosts_per_edge=2, seed=11)
+
+
+def client_of(tree, host_name):
+    host = tree.host(host_name)
+    return host.create_attached_namespace(
+        f"cl-{host_name}", domain=f"client:{host_name}"
+    )
+
+
+def addr_of(ns):
+    return ns.device("eth0").primary_ip
+
+
+class TestConstruction:
+    def test_k4_shape(self, tree):
+        # (k/2)^2 cores + k * (k/2 edge + k/2 agg) switches.
+        assert len(tree.switches) == 4 + 4 * 4
+        assert len(tree.hosts) == 4 * 2 * 2
+        # edge-agg mesh + agg-core + one rack cable per host.
+        assert len(tree.links) == 16 + 16 + 16
+        assert len(tree.racks) == 8
+        assert all(len(hosts) == 2 for hosts in tree.racks.values())
+
+    def test_every_edge_and_agg_has_equal_cost_uplinks(self, tree):
+        for switch in tree.switches.values():
+            if switch.tier == "core":
+                assert not switch.uplinks
+            else:
+                assert len(switch.uplinks) == 2
+
+    @pytest.mark.parametrize("k", [3, 2, 0, 17, 18])
+    def test_bad_arity_rejected(self, k):
+        with pytest.raises(TopologyError):
+            FatTree(Environment(), k=k)
+
+    @pytest.mark.parametrize("hpe", [0, 3])
+    def test_bad_rack_size_rejected(self, hpe):
+        with pytest.raises(TopologyError):
+            FatTree(Environment(), k=4, hosts_per_edge=hpe)
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(TopologyError):
+            FabricSwitch("x", "spine")
+
+    def test_host_subnets_disjoint_and_resolvable(self, tree):
+        subnets = [tree.host_subnet(name) for name in tree.hosts]
+        assert len({str(s) for s in subnets}) == len(subnets)
+        for name in tree.hosts:
+            probe = tree.host_subnet(name).host(5)
+            assert tree.host_of_ip(probe) == name
+        assert tree.host_of_ip(ip("192.168.0.1")) is None
+
+    def test_wiring_invariants_hold(self, tree):
+        assert not run_checks(HealthScope.of(fabrics=(tree,)))
+        assert len(tree.namespaces()) == len(tree.switches)
+
+
+class TestDistances:
+    def test_host_distance_ladder(self, tree):
+        assert tree.host_distance("h-p0e0n0", "h-p0e0n0") == \
+            DISTANCE_SAME_HOST
+        assert tree.host_distance("h-p0e0n0", "h-p0e0n1") == \
+            DISTANCE_SAME_RACK
+        assert tree.host_distance("h-p0e0n0", "h-p0e1n0") == \
+            DISTANCE_SAME_POD
+        assert tree.host_distance("h-p0e0n0", "h-p3e1n1") == \
+            DISTANCE_CROSS_POD
+
+    def test_rack_distance(self, tree):
+        assert tree.rack_distance("edge-p0e0", "edge-p0e0") == \
+            DISTANCE_SAME_RACK
+        assert tree.rack_distance("edge-p0e0", "edge-p0e1") == \
+            DISTANCE_SAME_POD
+        assert tree.rack_distance("edge-p0e0", "edge-p2e0") == \
+            DISTANCE_CROSS_POD
+
+    def test_unknown_names_raise(self, tree):
+        with pytest.raises(TopologyError):
+            tree.host_distance("h-p0e0n0", "nope")
+        with pytest.raises(TopologyError):
+            tree.switch("nope")
+        with pytest.raises(TopologyError):
+            tree.link("nope")
+
+
+class TestForwarding:
+    def test_cross_pod_delivery_walks_all_three_tiers(self, tree):
+        fwd = ForwardingEngine()
+        src = client_of(tree, "h-p0e0n0")
+        dst = client_of(tree, "h-p3e1n1")
+        delivery = fwd.send(src, addr_of(dst), 80)
+        assert delivery.delivered
+        tiers = [hop.split(":")[1] for hop in delivery.hops
+                 if hop.startswith("fabric:")]
+        assert any(name.startswith("edge-p0") for name in tiers)
+        assert any(name.startswith("agg-") for name in tiers)
+        assert any(name.startswith("core-") for name in tiers)
+        assert fwd.frames_delivered == 1
+
+    def test_same_rack_stays_at_the_edge(self, tree):
+        fwd = ForwardingEngine()
+        src = client_of(tree, "h-p0e0n0")
+        dst = client_of(tree, "h-p0e0n1")
+        delivery = fwd.send(src, addr_of(dst), 80)
+        assert delivery.delivered
+        fabric_hops = [hop for hop in delivery.hops
+                       if hop.startswith("fabric:")]
+        assert len(fabric_hops) == 1
+        assert fabric_hops[0].split(":")[1] == "edge-p0e0"
+
+    def test_dead_uplinks_drop_labelled_no_route(self, tree):
+        fwd = ForwardingEngine()
+        src = client_of(tree, "h-p0e0n0")
+        dst = client_of(tree, "h-p1e0n0")
+        for link in tree.uplink_links("edge-p0e0").values():
+            link.set_down()
+        delivery = fwd.send(src, addr_of(dst), 80)
+        assert not delivery.delivered
+        assert fwd.drops == {"fabric-no-route": 1}
+        assert not run_checks(HealthScope.of(fabrics=(tree,),
+                                             forwarding=fwd))
+
+    def test_downed_switch_drops_labelled(self, tree):
+        fwd = ForwardingEngine()
+        src = client_of(tree, "h-p0e0n0")
+        dst = client_of(tree, "h-p0e0n1")
+        tree.switch("edge-p0e0").set_down()
+        delivery = fwd.send(src, addr_of(dst), 80)
+        assert not delivery.delivered
+        assert fwd.drops == {"fabric.switch-down": 1}
+
+    def test_single_link_failure_reroutes(self, tree):
+        fwd = ForwardingEngine()
+        src = client_of(tree, "h-p0e0n0")
+        dst = client_of(tree, "h-p2e0n0")
+        address = addr_of(dst)
+        for port_index in range(20):
+            fwd.send(src, address, 10_000 + port_index)
+        assert fwd.frames_delivered == 20
+        name, link = sorted(tree.uplink_links("edge-p0e0").items())[0]
+        link.set_down()
+        for port_index in range(20):
+            fwd.send(src, address, 10_000 + port_index)
+        assert fwd.frames_delivered == 40  # every flow found the sibling
+        assert not run_checks(HealthScope.of(fabrics=(tree,),
+                                             forwarding=fwd))
+
+
+class TestSwitchDecisions:
+    def test_down_route_wins_over_ecmp(self, tree):
+        edge = tree.switch("edge-p0e0")
+        local = tree.host_subnet("h-p0e0n0").host(9)
+        port = edge.select_port("whatever", local)
+        assert port is not None and port not in edge.uplinks
+
+    def test_pin_overrides_hash_and_falls_back_when_dead(self, tree):
+        edge = tree.switch("edge-p0e0")
+        remote = tree.host_subnet("h-p2e0n0").host(9)
+        live = edge.live_uplinks(remote)
+        assert len(live) == 2
+        hashed = edge.select_port("sig", remote)
+        other = next(p for p in live if p is not hashed)
+        edge.pin("sig", other.name)
+        assert edge.select_port("sig", remote) is other
+        assert other.link is not None
+        other.link.set_down()
+        assert edge.select_port("sig", remote) is hashed
+        edge.unpin_all()
+        assert not edge.pins
+
+    def test_pin_unknown_uplink_rejected(self, tree):
+        with pytest.raises(TopologyError):
+            tree.switch("edge-p0e0").pin("sig", "not-a-port")
+
+    def test_foreign_down_route_rejected(self, tree):
+        edge = tree.switch("edge-p0e0")
+        foreign = tree.switch("edge-p0e1").ports[0]
+        with pytest.raises(TopologyError):
+            edge.add_down_route(tree.host_subnet("h-p0e0n0"), foreign)
+
+
+class TestCongestion:
+    def test_bounded_rings_overflow_inside_the_window(self):
+        tree = FatTree(Environment(), k=4, hosts_per_edge=2, seed=3,
+                       queue_capacity=4)
+        fwd = ForwardingEngine()
+        victim = "h-p0e0n0"
+        dst = addr_of(client_of(tree, victim))
+        senders = [client_of(tree, name) for name in tree.hosts
+                   if name != victim]
+        with tree.congestion():
+            for round_index in range(3):
+                for index, sender in enumerate(senders):
+                    fwd.send(sender, dst, 7000 + index)
+        assert fwd.drops.get("fabric-overflow", 0) > 0
+        serviced = tree.service_all()
+        assert serviced > 0
+        assert not run_checks(HealthScope.of(fabrics=(tree,),
+                                             forwarding=fwd))
+        # Outside the window the same traffic flows drop-free.
+        before = fwd.drops.get("fabric-overflow", 0)
+        for index, sender in enumerate(senders):
+            fwd.send(sender, dst, 7000 + index)
+        assert fwd.drops.get("fabric-overflow", 0) == before

@@ -57,6 +57,10 @@ class TestConfig:
                 changed = dataclasses.replace(base, message_sizes=(64,))
             elif field.name == "loss_rates":
                 changed = dataclasses.replace(base, loss_rates=(0.33,))
+            elif field.name == "fabric_hosts_per_edge":
+                # Doubling would break the <= k/2 bound; shrink instead.
+                changed = dataclasses.replace(base,
+                                              fabric_hosts_per_edge=1)
             else:
                 value = getattr(base, field.name)
                 if isinstance(value, bool):
@@ -120,7 +124,7 @@ class TestRegistry:
             "ablation_no_batching", "ablation_rule_bloat",
             "ablation_scheduler_policy",
             "online_cost", "analytic_check",
-            "chaos", "reliability", "campaign",
+            "chaos", "reliability", "campaign", "fabric",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -106,7 +106,7 @@ class TestDeterminism:
 
 class TestPartitionMidTransfer:
     """Satellite: ``set_down()`` mid-transfer drops in-flight frames
-    (accounted as ``link-partitioned``); ARQ recovers after
+    (accounted as ``link.down``); ARQ recovers after
     ``set_up()``."""
 
     def flap(self, down_at, up_at):
@@ -132,7 +132,7 @@ class TestPartitionMidTransfer:
             WireRig(seed=3), FaultPlan(), messages=20, nbytes=65536,
             before_run=self.flap(0.25 * elapsed, 0.75 * elapsed),
         )
-        assert report.losses.get("link-partitioned", 0) > 0
+        assert report.losses.get("link.down", 0) > 0
         assert report.retransmissions > 0
         assert report.complete and report.exactly_once
         assert report.conserved()
@@ -147,7 +147,7 @@ class TestPartitionMidTransfer:
             before_run=self.flap(0.25 * healthy.elapsed_s,
                                  0.75 * healthy.elapsed_s),
         )
-        assert report.exhausted == report.losses.get("link-partitioned", 0)
+        assert report.exhausted == report.losses.get("link.down", 0)
         assert report.exhausted > 0
         assert report.delivered < report.messages
         assert report.conserved()

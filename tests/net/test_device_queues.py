@@ -92,3 +92,31 @@ class TestHostloQueueManagement:
         tap, _ = self.tap_with(["a"])
         with pytest.raises(TopologyError):
             tap.stall_queue(HostloEndpoint("stranger"))
+
+
+class TestLinkDownDrain:
+    def test_queued_frames_die_labelled_when_the_cable_is_pulled(self):
+        from repro.net.devices import PhysicalNic
+        from repro.net.links import PhysicalLink
+
+        nic_a, nic_b = PhysicalNic("a0"), PhysicalNic("b0")
+        link = PhysicalLink("wire", nic_a, nic_b)
+        for _ in range(3):
+            assert nic_a.tx_queue.offer()
+        assert nic_b.rx_queue.offer()
+        assert link.set_down() == 4
+        assert link.drops == {"link.down": 4}
+        assert nic_a.tx_queue.depth == 0
+        assert nic_b.rx_queue.depth == 0
+        # Restoring the carrier does not forget the casualties.
+        link.set_up()
+        assert link.up
+        assert link.drops == {"link.down": 4}
+
+    def test_empty_queues_drain_nothing(self):
+        from repro.net.devices import PhysicalNic
+        from repro.net.links import PhysicalLink
+
+        link = PhysicalLink("wire", PhysicalNic("a0"), PhysicalNic("b0"))
+        assert link.set_down() == 0
+        assert link.drops == {}

@@ -152,3 +152,59 @@ class TestExportAndRendering:
             engine.send(nocont_topo.client, ip("192.168.122.11"), 22)
         assert len(pinned) == 1
         assert len(ambient) == 0
+
+
+class TestRollup:
+    def fill(self, table):
+        rows = [
+            ("10.0.0.1", "10.1.0.1", 1, "cl-a", "cl-x", True, None),
+            ("10.0.0.1", "10.1.0.2", 2, "cl-a", "cl-y", True, None),
+            ("10.0.1.1", "10.1.0.1", 3, "cl-b", None, False, "link-loss"),
+            ("10.0.1.1", "10.1.0.1", 3, "cl-b", None, False, "corrupt"),
+            ("10.0.1.1", "10.1.0.1", 3, "cl-b", None, False, "corrupt"),
+        ]
+        for src, dst, port, src_label, dst_label, ok, reason in rows:
+            table.record(
+                FlowKey(src, dst, "tcp", port, src_label),
+                payload_bytes=100, delivered=ok, drop_reason=reason,
+                dst_label=dst_label, trail=(), hop_count=3,
+            )
+        return table
+
+    def test_rollup_by_source_label(self):
+        grouped = self.fill(FlowTable()).rollup("src_label")
+        assert set(grouped) == {"cl-a", "cl-b"}
+        assert grouped["cl-a"].flows == 2
+        assert grouped["cl-a"].delivered == 2
+        assert grouped["cl-a"].dropped == 0
+        assert grouped["cl-a"].top_drop_reason() == "-"
+        assert grouped["cl-b"].flows == 1
+        assert grouped["cl-b"].frames == 3
+        assert grouped["cl-b"].bytes == 300
+        assert grouped["cl-b"].drops == {"link-loss": 1, "corrupt": 2}
+        assert grouped["cl-b"].top_drop_reason() == "corrupt:2"
+
+    def test_rollup_by_learned_destination_label(self):
+        grouped = self.fill(FlowTable()).rollup("dst_label")
+        assert grouped["cl-x"].delivered == 1
+        assert grouped["cl-y"].delivered == 1
+
+    def test_rollup_by_callable_rack_mapping(self):
+        rack_of = {"10.0.0.1": "rack-0", "10.0.1.1": "rack-1"}
+        grouped = self.fill(FlowTable()).rollup(
+            lambda key, stats: rack_of[key.src_ip]
+        )
+        assert grouped["rack-0"].flows == 2
+        assert grouped["rack-1"].dropped == 3
+
+    def test_render_rollup_ranks_heaviest_first(self):
+        text = self.fill(FlowTable()).render_rollup("src_label",
+                                                    title="by client")
+        lines = text.splitlines()
+        assert "by client" in lines[0] and "2 groups" in lines[0]
+        assert lines[3].startswith("cl-b")  # 300 bytes > 200
+        assert lines[4].startswith("cl-a")
+        assert "corrupt:2" in lines[3]
+
+    def test_render_rollup_empty(self):
+        assert FlowTable().render_rollup() == "(no flows recorded)"
