@@ -41,6 +41,7 @@ FAULT_KINDS = frozenset({
     "frame.drop",       # per-frame drop at a named bridge
     "hostlo.drop",      # per-frame drop on a hostlo tap's queues
     "hostlo.stall",     # scheduled wedge of a hostlo VM queue
+    "nsm.drop",         # per-frame drop at an offloaded-NSM boundary
     # fabric layer
     "fabric.link_down",    # scheduled fat-tree link down/up (ECMP reroutes)
     "fabric.switch_down",  # scheduled fat-tree switch down/up

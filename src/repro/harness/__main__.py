@@ -80,6 +80,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="fault plan for the chaos/reliability "
                              "experiments (replaces their built-in "
                              "scenarios)")
+    parser.add_argument("--backend", metavar="NAME",
+                        help="netstack experiment: sweep only this "
+                             "network-stack backend (default: all "
+                             "registered backends; unknown names list "
+                             "the registry)")
     parser.add_argument("--reliable", action="store_true",
                         help="reliability experiment: run only the ARQ "
                              "lane (skip the raw fail-silent baseline)")
@@ -120,11 +125,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.pcap or args.flows:
             parser.error("--pcap/--flows run serially (drop the campaign "
                          "flags: --jobs/--cache/--bench/--seeds)")
+        if args.backend:
+            parser.error("--backend runs serially (drop the campaign "
+                         "flags: --jobs/--cache/--bench/--seeds)")
         return _campaign_main(args, ids)
 
     config = ExperimentConfig.preset(args.preset)
     if args.faults:
         config = dataclasses.replace(config, fault_plan=args.faults)
+    if args.backend:
+        # replace() re-runs __post_init__, so an unknown name fails
+        # here with the registry's name-listing ConfigurationError.
+        config = dataclasses.replace(config, netstack_backend=args.backend)
     if args.reliable or args.health:
         config = dataclasses.replace(config, reliable=args.reliable,
                                      health=args.health)

@@ -63,6 +63,14 @@ class ExperimentConfig:
     fabric_frames: int = 30
     #: Switch uplink tx-queue capacity for the incast lane.
     fabric_queue_capacity: int = 24
+    #: ``--backend``: which network-stack backend the ``netstack``
+    #: experiment sweeps — a ``repro.netstack`` registry name, or
+    #: ``"all"`` for the full comparison matrix.
+    netstack_backend: str = "all"
+    #: Frames driven per netstack frame-fidelity lane.
+    netstack_frames: int = 40
+    #: Loss probability for the netstack faulted and ARQ lanes.
+    netstack_loss: float = 0.08
 
     def __post_init__(self) -> None:
         if self.stream_duration_s <= 0 or self.macro_duration_s <= 0:
@@ -94,6 +102,19 @@ class ExperimentConfig:
             )
         if self.fabric_queue_capacity < 1:
             raise ConfigurationError("fabric_queue_capacity must be >= 1")
+        if self.netstack_frames < 1:
+            raise ConfigurationError("netstack_frames must be >= 1")
+        if not 0.0 <= self.netstack_loss <= 1.0:
+            raise ConfigurationError(
+                "netstack_loss must be a probability in [0, 1]"
+            )
+        if self.netstack_backend != "all":
+            # Imported lazily so building a config never pays for the
+            # backend registry; unknown names raise the registry's
+            # ConfigurationError listing every registered backend.
+            from repro.netstack import backend
+
+            backend(self.netstack_backend)
 
     def fingerprint(self) -> str:
         """A short stable hash of the resolved configuration.
@@ -126,6 +147,7 @@ class ExperimentConfig:
                 arq_messages=40,
                 fabric_flows=12,
                 fabric_frames=12,
+                netstack_frames=16,
             )
         if name == "default":
             return cls()
@@ -141,5 +163,6 @@ class ExperimentConfig:
                 arq_messages=400,
                 fabric_flows=64,
                 fabric_frames=60,
+                netstack_frames=120,
             )
         raise ConfigurationError(f"unknown preset {name!r}")

@@ -27,6 +27,7 @@ from repro.harness import (
     fig10,
     fig11_13,
     fig14_15,
+    netstack,
     online,
     reliability,
     tables,
@@ -76,6 +77,8 @@ EXPERIMENTS: dict[str, Runner] = {
     "reliability": reliability.run,
     # The fat-tree fabric subsystem end-to-end (see repro.fabric).
     "fabric": fabric.run,
+    # The network-stack backend comparison matrix (see repro.netstack).
+    "netstack": netstack.run,
     # The campaign layer checking itself (see repro.campaign).
     "campaign": _run_campaign,
 }

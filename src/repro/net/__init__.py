@@ -40,6 +40,8 @@ from repro.net.devices import (
     HostloTap,
     Loopback,
     NetDevice,
+    NsmHostStack,
+    NsmPort,
     PhysicalNic,
     TapDevice,
     VethPair,
@@ -85,6 +87,8 @@ __all__ = [
     "NetDevice",
     "Netfilter",
     "NetworkNamespace",
+    "NsmHostStack",
+    "NsmPort",
     "PathFaultModel",
     "PathStage",
     "PhysicalLink",

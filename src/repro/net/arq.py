@@ -36,6 +36,7 @@ from repro.obs import metrics as _active_metrics
 from repro.sim import AllOf, Store
 
 if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.costs import CostModel
     from repro.net.devices import DeviceQueue
     from repro.net.links import PhysicalLink
     from repro.net.transfer import TransferEngine
@@ -50,6 +51,7 @@ _STAGE_FAULTS: dict[str, str] = {
     "wire": "link.loss",
     "bridge_fwd": "frame.drop",
     "hostlo_reflect": "hostlo.drop",
+    "nsm_copy": "nsm.drop",
 }
 
 
@@ -179,9 +181,9 @@ class PathFaultModel:
                                              label) is not None:
                     return index + 1, "corrupt"
             elif inj.enabled and inj.fires(kind, label) is not None:
-                reason = "frame-drop" if kind == "frame.drop" else \
-                    "hostlo-drop"
-                return index + 1, reason
+                # "frame.drop" → "frame-drop" etc., matching the
+                # forwarding engine's ledger reason for the same site.
+                return index + 1, kind.replace(".", "-")
         return None
 
 
@@ -220,6 +222,7 @@ class ReliableTransfer:
         links: t.Sequence["PhysicalLink"] = (),
         tx_queue: "DeviceQueue | None" = None,
         stream: bool = True,
+        cost_model: "CostModel | None" = None,
     ) -> None:
         if messages < 1:
             raise ConfigurationError(f"messages must be >= 1: {messages!r}")
@@ -235,6 +238,9 @@ class ReliableTransfer:
         self.ack_path = ack_path
         self.tx_queue = tx_queue
         self.stream = stream
+        # None falls through to the engine's model; backends pass their
+        # repriced model so retransmissions cost what their stack costs.
+        self.cost_model = cost_model
         self._faults = PathFaultModel(path, links)
         self._ack_faults = (
             PathFaultModel(ack_path, links) if ack_path is not None else None
@@ -314,12 +320,14 @@ class ReliableTransfer:
                 upto, reason = dropped
                 if upto > 0:
                     yield from self.engine.transfer(
-                        self._upto(upto), self.nbytes, stream=self.stream
+                        self._upto(upto), self.nbytes, stream=self.stream,
+                        cost_model=self.cost_model,
                     )
                 self._lose(reason)
                 return "lost"
             yield from self.engine.transfer(
-                self.path, self.nbytes, stream=self.stream
+                self.path, self.nbytes, stream=self.stream,
+                cost_model=self.cost_model,
             )
         finally:
             if queued:
@@ -347,7 +355,8 @@ class ReliableTransfer:
             upto, _reason = dropped
             if upto > 0:
                 yield from self.engine.transfer(
-                    self._ack_upto(upto), ACK_BYTES, stream=False
+                    self._ack_upto(upto), ACK_BYTES, stream=False,
+                    cost_model=self.cost_model,
                 )
             self.report.acks_lost += 1
             _active_metrics().counter(
@@ -355,7 +364,8 @@ class ReliableTransfer:
             ).inc()
             return "ack-lost"
         yield from self.engine.transfer(
-            self.ack_path, ACK_BYTES, stream=False
+            self.ack_path, ACK_BYTES, stream=False,
+            cost_model=self.cost_model,
         )
         return "acked"
 

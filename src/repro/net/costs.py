@@ -182,6 +182,19 @@ class CostModel:
             # flows sharing a wire queue against each other.
             StageCost("nic_xmit", "sys", 600, 0.0, batch_factor=3.0),
             StageCost("wire", "sys", 0, 8.0, wakeup_s=2.0e-6),
+            # -- offloaded NSM (NetKernel-style host-owned stack) -----------
+            # The guest runs no protocol stack: a doorbell + copy cross
+            # the bounded shared queue (constants match
+            # repro.virt.mempipe: 1400 cycles/msg, 0.5 cycles/byte,
+            # 2 µs doorbell), then the host kernel thread runs the whole
+            # TX/RX stack once — no duplicated guest layer, but every
+            # message pays the copy's per-byte cost at the boundary.
+            StageCost("nsm_doorbell", "sys", 700, 0.0, wakeup_s=2.0e-6,
+                      batch_factor=4.0),
+            StageCost("nsm_copy", "sys", 1400, 0.5, batch_factor=2.0),
+            StageCost("nsm_host_stack", "sys", 2000, 0.05, batch_factor=2.0),
+            StageCost("nsm_rx", "usr", 600, 0.0, wakeup_s=3.0e-6,
+                      batch_factor=4.0),
             # -- overlay (VXLAN encap/decap in the guest) -------------------
             # Tunnel offloads (GRO over UDP) batch well — overlay streams
             # fast — but each encap/decap adds a long deferral chain, so
@@ -216,6 +229,7 @@ class JitterModel:
 JITTER = {
     "clean": JitterModel(0.20),      # loopback / SameNode
     "hostlo": JitterModel(0.27),     # stable, slightly above loopback
+    "nsm": JitterModel(0.24),        # host-owned stack, one queue crossing
     "virt": JitterModel(0.30),       # single-level virtualization
     "nat": JitterModel(0.55),        # conntrack paths
     "overlay": JitterModel(0.75),    # vxlan paths

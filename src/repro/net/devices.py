@@ -1,4 +1,5 @@
-"""Network devices: NICs, veth pairs, TAPs, loopbacks, hostlo, VXLAN.
+"""Network devices: NICs, veth pairs, TAPs, loopbacks, hostlo, VXLAN,
+and the offloaded-NSM boundary pair.
 
 Devices are data holders plus wiring invariants; traversal logic lives
 in :mod:`repro.net.path`.  A device belongs to exactly one
@@ -217,14 +218,14 @@ class TapDevice(NetDevice):
 
 class VirtioNic(NetDevice):
     """A guest-side virtio-net device, backed in the host by a TAP (via
-    vhost) or by a hostlo queue."""
+    vhost), by a hostlo queue, or by an offloaded host network stack."""
 
     kind = "virtio"
 
     def __init__(self, name: str, mac: MacAddress | None = None,
                  gso: bool = True) -> None:
         super().__init__(name, mac, mtu=ETH_MTU, gso=gso)
-        self.backend: "TapDevice | HostloTap | None" = None
+        self.backend: "TapDevice | HostloTap | NsmHostStack | None" = None
 
     def attach_backend(self, backend: "TapDevice | HostloTap") -> None:
         if self.backend is not None:
@@ -304,6 +305,65 @@ class HostloTap(NetDevice):
     @property
     def queue_count(self) -> int:
         return len(self.endpoints)
+
+
+class NsmPort(VirtioNic):
+    """The guest half of an offloaded network-stack module (NSM).
+
+    NetKernel-style: the guest does *not* run a protocol stack for this
+    interface.  Application messages cross a bounded shared-memory
+    queue (the :attr:`NsmHostStack.boundary`) to a host-owned stack
+    that does the real TX/RX work.  To the guest it still looks like a
+    hot-pluggable virtio device (address, routes, up/down), which is
+    what keeps the orchestrator and health checks oblivious.
+    """
+
+    kind = "nsm_port"
+
+    def __init__(self, name: str, mac: MacAddress | None = None) -> None:
+        super().__init__(name, mac, gso=True)
+
+
+class NsmHostStack(NetDevice):
+    """The host-resident network stack serving one guest's NSM port.
+
+    Lives in the host namespace (typically enslaved to a bridge) and
+    owns the protocol processing the guest delegated.  Frames cross
+    between guest and host through :attr:`boundary`, a bounded
+    :class:`DeviceQueue` with mempipe semantics (doorbell + copy, see
+    ``repro.virt.mempipe``): a wedged or crashed guest shows up as a
+    stalled boundary, not as a broken host stack.
+    """
+
+    kind = "nsm_stack"
+
+    def __init__(self, name: str, mac: MacAddress | None = None,
+                 queue_capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        super().__init__(name, mac, mtu=ETH_MTU, gso=True)
+        self.port: "NsmPort | None" = None
+        self.boundary = DeviceQueue(f"{name}:boundary", queue_capacity)
+
+    def bind(self, port: NsmPort) -> None:
+        """Wire *port* as the guest side of this stack."""
+        if self.port is not None:
+            raise TopologyError(f"{self.name} already serves {self.port.name}")
+        if port.backend is not None:
+            raise TopologyError(f"{port.name} already has a backend")
+        self.port = port
+        port.backend = self
+
+    def unbind(self) -> int:
+        """Detach the guest port; returns frames dropped from queues."""
+        port = self.port
+        if port is None:
+            raise TopologyError(f"{self.name} serves no port")
+        self.port = None
+        if port.backend is self:
+            port.backend = None
+        self.boundary.resume()
+        dead = self.boundary.drain()
+        port.rx_queue.resume()
+        return dead + port.rx_queue.drain()
 
 
 class VxlanTunnel(NetDevice):

@@ -42,6 +42,8 @@ from repro.net.devices import (
     HostloTap,
     Loopback,
     NetDevice,
+    NsmHostStack,
+    NsmPort,
     PhysicalNic,
     TapDevice,
     VethEnd,
@@ -331,6 +333,11 @@ class ForwardingEngine:
         if isinstance(egress, HostloEndpoint):
             return self._hostlo_reflect(egress, next_hop, frame)
 
+        # NsmPort subclasses VirtioNic; its crossing is the bounded
+        # shared-queue boundary, not a vhost TAP, so dispatch first.
+        if isinstance(egress, NsmPort):
+            return self._nsm_tx(ns, egress, next_hop, frame)
+
         if isinstance(egress, VirtioNic):
             backend = egress.backend
             if not isinstance(backend, TapDevice):
@@ -565,9 +572,79 @@ class ForwardingEngine:
             self._hop(frame, "tap", port, namespace=target_ns,
                       detail=f"->virtio:{target.name}")
             return target.namespace
+        if isinstance(port, NsmHostStack):
+            return self._nsm_rx(port, frame)
         self._drop(frame, f"unsupported-port:{port.kind}",
                    "unsupported-port", device=port, stage="bridge")
         return None
+
+    def _nsm_tx(self, ns: NetworkNamespace, port: NsmPort,
+                next_hop: Ipv4Address,
+                frame: Frame) -> NetworkNamespace | None:
+        """Guest → host-owned stack across the bounded NSM boundary."""
+        stack = port.backend
+        if not isinstance(stack, NsmHostStack):
+            self._drop(frame, f"no-nsm-backend:{port.name}",
+                       "no-nsm-backend", device=port, namespace=ns.name,
+                       stage="nsm")
+            return None
+        inj = _active_injector()
+        if inj.enabled and inj.fires("nsm.drop", stack.name) is not None:
+            self._drop(frame, f"fault-nsm:{stack.name}", "nsm-drop",
+                       device=stack, namespace=ns.name, stage="nsm")
+            return None
+        # The message lands in the shared boundary ring.  A live host
+        # stack services it immediately; a stalled boundary (wedged
+        # stack thread, crashed guest mid-handoff) fills until overflow.
+        accepted = stack.boundary.offer()
+        if accepted and not stack.boundary.stalled:
+            stack.boundary.take()
+        if not accepted:
+            self._drop(frame, f"nsm-overflow:{stack.boundary.name}",
+                       "nsm-overflow", device=stack, namespace=ns.name,
+                       stage="nsm")
+            return None
+        if stack.boundary.stalled:
+            self._drop(frame, f"nsm-stalled:{stack.boundary.name}",
+                       "nsm-stalled", device=stack, namespace=ns.name,
+                       stage="nsm")
+            return None
+        frame.note(f"nsm:{port.name}->stack:{stack.name}")
+        self._hop(frame, "nsm", port, namespace=ns.name,
+                  detail=f"->stack:{stack.name}")
+        if stack.bridge is not None:
+            return self._bridge_forward(stack.bridge, stack, next_hop, frame)
+        return stack.namespace
+
+    def _nsm_rx(self, stack: NsmHostStack,
+                frame: Frame) -> NetworkNamespace | None:
+        """Host-owned stack → guest port: one copy into the guest ring."""
+        guest = stack.port
+        ns_name = stack.namespace.name if stack.namespace else ""
+        if guest is None or not guest.up or guest.namespace is None:
+            self._drop(frame, f"nsm-guest-down:{stack.name}",
+                       "nsm-guest-down", device=stack, namespace=ns_name,
+                       stage="nsm")
+            return None
+        accepted = guest.rx_queue.offer()
+        if accepted and not guest.rx_queue.stalled:
+            guest.rx_queue.take()
+        if not accepted:
+            self._drop(frame, f"nsm-overflow:{guest.name}",
+                       "nsm-overflow", device=guest, namespace=ns_name,
+                       stage="nsm")
+            return None
+        if guest.rx_queue.stalled:
+            self._drop(frame, f"nsm-stalled:{guest.name}",
+                       "nsm-stalled", device=guest, namespace=ns_name,
+                       stage="nsm")
+            return None
+        frame.note(f"nsm-rx:{stack.name}->{guest.name}")
+        self._hop(frame, "nsm-rx", stack,
+                  namespace=guest.namespace.name,
+                  detail=f"->{guest.name}")
+        frame.dst_mac = guest.mac
+        return guest.namespace
 
     def _hostlo_reflect(self, endpoint: HostloEndpoint,
                         next_hop: Ipv4Address,

@@ -23,6 +23,8 @@ from repro.net.devices import (
     HostloTap,
     Loopback,
     NetDevice,
+    NsmHostStack,
+    NsmPort,
     PhysicalNic,
     TapDevice,
     VethEnd,
@@ -217,6 +219,8 @@ def _jitter_class(walk: _Walk) -> str:
         return "hostlo"
     if "nat" in walk.flavors:
         return "nat"
+    if "nsm" in walk.flavors:
+        return "nsm"
     if walk.flavors == {"loopback"} or not walk.flavors:
         return "clean"
     return "virt"
@@ -339,6 +343,11 @@ def _cross(
     if isinstance(egress, HostloEndpoint):
         return _hostlo_cross(ns, egress, dst_ip, dst_port, proto, walk)
 
+    # NsmPort subclasses VirtioNic: its crossing is a queue boundary,
+    # not a vhost hop, so dispatch on it first.
+    if isinstance(egress, NsmPort):
+        return _nsm_cross(ns, egress, dst_ip, dst_port, proto, walk)
+
     if isinstance(egress, VirtioNic):
         return _virtio_tx(ns, egress, dst_ip, dst_port, proto, walk)
 
@@ -437,6 +446,8 @@ def _bridge_recv(
             walk.add("tap_xmit", _host_domain_of(port), port.name)
             assert isinstance(target, VirtioNic)
             return _virtio_rx(target, dst_ip, dst_port, proto, walk)
+        if isinstance(port, NsmHostStack):
+            return _nsm_rx(port, dst_ip, dst_port, proto, walk)
         raise TopologyError(
             f"bridge {bridge.name}: unsupported port kind {port.kind!r}"
         )
@@ -572,6 +583,61 @@ def _hostlo_cross(
     walk.add("hostlo_rx", target.namespace, target.name)
     walk.see_device(target)
     return _ingress(target.namespace, dst_ip, dst_port, proto, walk)
+
+
+def _nsm_cross(
+    ns: NetworkNamespace,
+    port: NsmPort,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Guest → host-owned stack across the bounded NSM boundary.
+
+    The guest rings a doorbell and the message is copied once over the
+    shared queue; everything after that — the whole protocol stack —
+    runs in the host kernel thread owning the stack (NetKernel's NSM
+    split).  There is no vhost hop and no interrupt injection.
+    """
+    stack = port.backend
+    if not isinstance(stack, NsmHostStack):
+        raise TopologyError(f"{port.name} is not backed by an NSM host stack")
+    walk.flavors.add("nsm")
+    walk.see_device(port)
+    walk.see_device(stack)
+    kthread = f"kthread:{_host_domain_of(stack)}:{stack.name}"
+    walk.add("nsm_doorbell", ns, port.name)
+    # The copy stage's label is the stack name: it is the "nsm.drop"
+    # fault target, matching the forwarding engine's injection site.
+    walk.add("nsm_copy", kthread, stack.name)
+    walk.add("nsm_host_stack", kthread, stack.name)
+    if stack.bridge is not None:
+        return _bridge_recv(stack.bridge, stack, dst_ip, dst_port, proto, walk)
+    if stack.namespace is None:
+        raise TopologyError(f"NSM stack {stack.name} is detached")
+    return _ingress(stack.namespace, dst_ip, dst_port, proto, walk)
+
+
+def _nsm_rx(
+    stack: NsmHostStack,
+    dst_ip: Ipv4Address,
+    dst_port: int,
+    proto: str,
+    walk: _Walk,
+) -> tuple[NetworkNamespace, Ipv4Address, int, bool]:
+    """Host-owned stack → guest: RX processing host-side, one copy in."""
+    port = stack.port
+    if port is None or port.namespace is None:
+        raise TopologyError(f"NSM stack {stack.name} serves no attached port")
+    walk.flavors.add("nsm")
+    walk.see_device(stack)
+    walk.see_device(port)
+    kthread = f"kthread:{_host_domain_of(stack)}:{stack.name}"
+    walk.add("nsm_host_stack", kthread, stack.name)
+    walk.add("nsm_copy", kthread, stack.name)
+    walk.add("nsm_rx", port.namespace, port.name)
+    return _ingress(port.namespace, dst_ip, dst_port, proto, walk)
 
 
 def _vxlan_encap(

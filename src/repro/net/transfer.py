@@ -116,14 +116,18 @@ class TransferEngine:
 
     # -- execution -----------------------------------------------------------
     def transfer(
-        self, path: Datapath, nbytes: int, stream: bool = False
+        self, path: Datapath, nbytes: int, stream: bool = False,
+        cost_model: CostModel | None = None,
     ) -> t.Generator:
         """Process generator: carry one *nbytes* message along *path*.
 
         ``stream=True`` enables the batch amortisation of batchable
         stages (back-to-back frames, NAPI polling/GRO); request/response
-        traffic must leave it off.
+        traffic must leave it off.  *cost_model* overrides the engine's
+        model for this one message — the hook network-stack backends
+        use to reprice their stages without a private engine.
         """
+        model = cost_model or self.cost_model
         tracer = self.env.tracer
         parent = None
         queue_depth = None
@@ -139,7 +143,7 @@ class TransferEngine:
             )
         segments = path.segments_for(nbytes)
         for st in path.stages:
-            cost = self.cost_model[st.stage]
+            cost = model[st.stage]
             packets = 1 if cost.per_message else segments
             cycles = cost.cycles(packets, nbytes, batched=stream) * st.multiplier
             span = None
@@ -196,18 +200,21 @@ class TransferEngine:
 
     # -- tracing ----------------------------------------------------------------
     def trace(self, path: Datapath, nbytes: int,
-              stream: bool = False) -> list["StageTiming"]:
+              stream: bool = False,
+              cost_model: CostModel | None = None) -> list["StageTiming"]:
         """Run one message *now* and return its per-stage timeline.
 
         Advances the simulation until the message completes; queueing
         against concurrent traffic shows up as per-stage wait time.
+        *cost_model* overrides the engine's model for this trace.
         """
+        model = cost_model or self.cost_model
         timings: list[StageTiming] = []
         segments = path.segments_for(nbytes)
 
         def traced() -> t.Generator:
             for st in path.stages:
-                cost = self.cost_model[st.stage]
+                cost = model[st.stage]
                 packets = 1 if cost.per_message else segments
                 cycles = (
                     cost.cycles(packets, nbytes, batched=stream)
@@ -235,31 +242,35 @@ class TransferEngine:
         return timings
 
     # -- analytics -------------------------------------------------------------
-    def latency_estimate(self, path: Datapath, nbytes: int) -> float:
+    def latency_estimate(self, path: Datapath, nbytes: int,
+                         cost_model: CostModel | None = None) -> float:
         """Uncontended one-way latency (seconds): pure service + wakeups.
 
         Useful for sanity checks and fast parameter sweeps; the DES adds
         queueing on top of this.
         """
+        model = cost_model or self.cost_model
         segments = path.segments_for(nbytes)
         total = 0.0
         for st in path.stages:
-            cost = self.cost_model[st.stage]
+            cost = model[st.stage]
             packets = 1 if cost.per_message else segments
             cycles = cost.cycles(packets, nbytes, batched=False) * st.multiplier
-            total += cycles / self.cost_model.freq_hz + cost.wakeup_s
+            total += cycles / model.freq_hz + cost.wakeup_s
         return total
 
-    def bottleneck_rate(self, path: Datapath, nbytes: int) -> float:
+    def bottleneck_rate(self, path: Datapath, nbytes: int,
+                        cost_model: CostModel | None = None) -> float:
         """Upper-bound streaming rate (messages/s) from per-domain work.
 
         The busiest CPU domain bounds throughput; batchable stages are
         amortised as they would be under streaming.
         """
+        model = cost_model or self.cost_model
         per_domain: dict[str, float] = {}
         segments = path.segments_for(nbytes)
         for st in path.stages:
-            cost = self.cost_model[st.stage]
+            cost = model[st.stage]
             packets = 1 if cost.per_message else segments
             cycles = cost.cycles(packets, nbytes, batched=True) * st.multiplier
             per_domain[st.domain] = per_domain.get(st.domain, 0.0) + cycles
@@ -270,4 +281,4 @@ class TransferEngine:
         # A single flow rarely spreads one direction across cores; be
         # conservative and assume the bottleneck stage set runs on one core.
         del cpu_cores
-        return self.cost_model.freq_hz / worst
+        return model.freq_hz / worst

@@ -1,0 +1,60 @@
+"""Pluggable network-stack backends (NSMs) behind one interface.
+
+``repro.netstack`` treats a VM's network stack as a swappable module:
+:class:`NetworkStackModule` is the contract, the registry maps names to
+backends, and five built-ins cover the paper's deployment modes plus a
+NetKernel-style offloaded stack.  See ``docs/architecture.md``
+("Network-stack backends") and the ``netstack`` harness experiment for
+the backend comparison matrix.
+"""
+
+from repro.netstack.backends import (
+    BRFUSION,
+    HOSTLO,
+    IN_VM_NAT,
+    OFFLOADED_NSM,
+    VXLAN_OVERLAY,
+    BrFusion,
+    Hostlo,
+    InVmNat,
+    OffloadedNsm,
+    VxlanOverlay,
+)
+from repro.netstack.module import NetworkStackModule, StackEndpoints
+from repro.netstack.offload import (
+    NSM_BRIDGE,
+    NSM_SUBNET,
+    ensure_nsm_bridge,
+    provision_offload,
+)
+from repro.netstack.registry import (
+    backend,
+    backend_names,
+    backends,
+    cni_fallbacks,
+    register,
+)
+
+__all__ = [
+    "BRFUSION",
+    "HOSTLO",
+    "IN_VM_NAT",
+    "NSM_BRIDGE",
+    "NSM_SUBNET",
+    "OFFLOADED_NSM",
+    "VXLAN_OVERLAY",
+    "BrFusion",
+    "Hostlo",
+    "InVmNat",
+    "NetworkStackModule",
+    "OffloadedNsm",
+    "StackEndpoints",
+    "VxlanOverlay",
+    "backend",
+    "backend_names",
+    "backends",
+    "cni_fallbacks",
+    "ensure_nsm_bridge",
+    "provision_offload",
+    "register",
+]

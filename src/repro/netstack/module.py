@@ -1,0 +1,196 @@
+"""The network-stack-module interface: one choke point per backend.
+
+NetKernel's argument (PAPERS.md) is that a VM's network stack should be
+a swappable module of the virtualized infrastructure, not a property
+baked into the guest image.  This module is that boundary for the
+simulator: a :class:`NetworkStackModule` owns how a VM pair's stacks
+are provisioned (``attach``/``detach``), how a flow's datapath is
+resolved (``resolve``/``ack_path`` plus the ``refine`` per-stage hook),
+how frames are carried (``send`` at frame fidelity,
+``reliable`` for ARQ-protected analytic transfers), which fault kind
+can kill a frame inside the stack (``fault_plan``) and where capture
+taps belong (``capture_taps``).
+
+Everything downstream — the conservation ledger, ARQ, capture/flows,
+fault injection, health invariants — works against the interface, so a
+backend choice is a config knob (``--backend``), not a code path.
+
+Import discipline: this module may import ``repro.net`` freely but must
+not import ``repro.core`` or ``repro.virt`` at module level — backends
+that provision topology do so lazily inside ``attach`` (the registry is
+imported by the orchestrator, which sits below ``repro.core``).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing as t
+
+from repro.net.path import Datapath, resolve_path
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.testbed import Testbed
+    from repro.faults.plan import FaultPlan
+    from repro.net.addresses import Ipv4Address
+    from repro.net.arq import ReliableTransfer
+    from repro.net.costs import CostModel
+    from repro.net.devices import DeviceQueue, NetDevice
+    from repro.net.forwarding import Delivery, ForwardingEngine
+    from repro.net.links import PhysicalLink
+    from repro.net.namespace import NetworkNamespace
+    from repro.net.transfer import TransferEngine
+
+
+@dataclasses.dataclass
+class StackEndpoints:
+    """One attached flow: who talks to whom through a backend's stacks.
+
+    Returned by :meth:`NetworkStackModule.attach` and consumed by every
+    other interface method; ``detail`` carries backend-specific state
+    (the offloaded backend stores its NSM handles there) and ``taps``
+    names the devices a capture session should tap to observe the
+    backend's characteristic crossing.
+    """
+
+    backend: str
+    src_ns: "NetworkNamespace"
+    src_addr: "Ipv4Address"
+    dst_ns: "NetworkNamespace"
+    dst_addr: "Ipv4Address"
+    dst_port: int
+    src_port: int = 40000
+    #: Bounded sender-side ring charged by the ARQ layer (overflow
+    #: drops before any cycles); the offloaded backend wires its
+    #: boundary queue here.
+    tx_queue: "DeviceQueue | None" = None
+    #: Physical links under the path (ARQ partition awareness).
+    links: tuple["PhysicalLink", ...] = ()
+    #: Devices worth tapping to watch this backend's crossing.
+    taps: tuple["NetDevice", ...] = ()
+    #: Backend-specific provisioning state.
+    detail: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+
+class NetworkStackModule(abc.ABC):
+    """One pluggable network-stack backend.
+
+    Subclasses set the class attributes and implement :meth:`attach`;
+    everything else has a default built on the resolved topology, with
+    :meth:`refine` and :meth:`cost_model` as the per-stage cost hooks
+    backends override to express *where their stack runs*.
+    """
+
+    #: Registry key (``--backend`` value).
+    name: str = ""
+    #: Human-readable row label for comparison tables.
+    title: str = ""
+    #: The CNI network this backend rides for pod wiring, or ``None``
+    #: for VM-level backends that bypass the orchestrator.
+    cni_network: str | None = None
+    #: Backend to degrade to when attach fails terminally (drives the
+    #: orchestrator's RecoveryPolicy fallback mapping).
+    fallback: str | None = None
+    #: The inline fault kind that can kill a frame inside this stack.
+    fault_kind: str = "frame.drop"
+
+    # -- lifecycle -------------------------------------------------------
+    @abc.abstractmethod
+    def attach(self, tb: "Testbed") -> StackEndpoints:
+        """Provision this backend's stacks on *tb* and return the flow."""
+
+    def detach(self, tb: "Testbed", endpoints: StackEndpoints) -> None:
+        """Tear down what :meth:`attach` provisioned (default: no-op —
+        scenario rigs are per-lane and die with their testbed)."""
+
+    # -- path resolution (analytic fidelity) -----------------------------
+    def resolve(self, endpoints: StackEndpoints, reverse: bool = False,
+                proto: str = "tcp") -> Datapath:
+        """The (refined) datapath of this flow in one direction."""
+        if reverse:
+            raw = resolve_path(endpoints.dst_ns, endpoints.src_addr,
+                               endpoints.src_port, proto)
+        else:
+            raw = resolve_path(endpoints.src_ns, endpoints.dst_addr,
+                               endpoints.dst_port, proto)
+        return self.refine(raw)
+
+    def ack_path(self, endpoints: StackEndpoints,
+                 proto: str = "tcp") -> Datapath:
+        """The kernel-level reverse path ACKs ride (no app endpoints)."""
+        raw = resolve_path(
+            endpoints.dst_ns, endpoints.src_addr, endpoints.src_port,
+            proto, include_endpoints=False,
+        )
+        return self.refine(raw)
+
+    def refine(self, path: Datapath) -> Datapath:
+        """Per-stage hook: reshape the resolved path.
+
+        The resolver walks the topology as wired; a backend that moves
+        work between domains (the offloaded NSM moves the whole
+        protocol stack host-side) drops or rewrites stages here.
+        """
+        return path
+
+    def cost_model(self, base: "CostModel") -> "CostModel":
+        """Per-stage hook: the cost model this backend's stages use.
+
+        Defaults to *base* (the engine's calibrated model); a backend
+        may scale or replace stages (ablation-style) without touching
+        the shared engine.
+        """
+        return base
+
+    # -- carrying traffic ------------------------------------------------
+    def send(self, engine: "ForwardingEngine", endpoints: StackEndpoints,
+             payload_bytes: int = 64, reverse: bool = False) -> "Delivery":
+        """Walk one concrete frame through the backend's topology."""
+        if reverse:
+            return engine.send(endpoints.dst_ns, endpoints.src_addr,
+                               endpoints.src_port,
+                               payload_bytes=payload_bytes)
+        return engine.send(endpoints.src_ns, endpoints.dst_addr,
+                           endpoints.dst_port, payload_bytes=payload_bytes)
+
+    def reliable(self, engine: "TransferEngine", endpoints: StackEndpoints,
+                 *, nbytes: int, messages: int,
+                 **kwargs: t.Any) -> "ReliableTransfer":
+        """An ARQ-protected transfer over this backend's path.
+
+        Wires the backend's forward path, ACK path, sender ring and
+        links into :class:`~repro.net.arq.ReliableTransfer`; the caller
+        supplies protocol knobs (``config``, ``rng``, ``stream``).
+        """
+        return engine.reliable_transfer(
+            self.resolve(endpoints), nbytes, messages=messages,
+            ack_path=self.ack_path(endpoints), links=endpoints.links,
+            tx_queue=endpoints.tx_queue,
+            cost_model=self.cost_model(engine.cost_model),
+            **kwargs,
+        )
+
+    # -- faults and observability ----------------------------------------
+    def fault_plan(self, loss: float) -> "FaultPlan":
+        """A plan dropping frames inside this backend's stack.
+
+        The drop site is the backend's characteristic crossing (bridge
+        for switched backends, hostlo tap for reflection, the NSM
+        boundary for the offloaded stack) so the same loss probability
+        exercises each backend's own recovery path.
+        """
+        from repro.faults.plan import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            specs=(FaultSpec(kind=self.fault_kind, target="*",
+                             probability=loss),),
+            description=f"{self.name}: {loss:.0%} loss at {self.fault_kind}",
+        )
+
+    def capture_taps(self, endpoints: StackEndpoints
+                     ) -> tuple["NetDevice", ...]:
+        """Devices a capture session should tap for this backend."""
+        return endpoints.taps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,63 @@
+"""Provisioning for the offloaded network-stack module.
+
+The offloaded NSM is the one backend that is genuinely *not* one of the
+paper's deployment modes: the host owns the guest's entire protocol
+stack (:class:`~repro.net.devices.NsmHostStack`) and the guest keeps
+only a thin port whose frames cross a bounded shared-memory boundary —
+the same single-copy + doorbell discipline as
+:mod:`repro.virt.mempipe`, which is where the ``nsm_doorbell`` /
+``nsm_copy`` stage constants come from (see
+:meth:`repro.net.costs.CostModel.default`).
+
+This module owns the testbed-level wiring: a dedicated bridge segment
+for the host-side stacks and one
+:class:`~repro.virt.vmm.NsmHandle` per participating VM.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import TopologyError
+from repro.net.addresses import cidr
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.testbed import Testbed
+    from repro.virt.vm import VirtualMachine
+    from repro.virt.vmm import NsmHandle
+
+#: Bridge segment the host-side NSM stacks peer over.
+NSM_BRIDGE = "nsmbr0"
+#: Its subnet — distinct from virbr0 so NSM traffic never NATs.
+NSM_SUBNET = "192.168.150.0/24"
+
+
+def ensure_nsm_bridge(tb: "Testbed", name: str = NSM_BRIDGE) -> str:
+    """Create the NSM bridge segment on *tb*'s host if missing."""
+    if name not in tb.host.bridges():
+        tb.host.add_bridge(name, cidr(NSM_SUBNET))
+    return name
+
+
+def provision_offload(
+    tb: "Testbed",
+    vms: t.Sequence["VirtualMachine"] | None = None,
+    bridge: str = NSM_BRIDGE,
+) -> list["NsmHandle"]:
+    """Give each VM in *vms* an offloaded host stack on *bridge*.
+
+    Idempotent per VM: a VM that already has an NSM keeps its handle
+    (one offloaded stack per guest — the VMM enforces this).  Defaults
+    to every VM on the testbed.
+    """
+    ensure_nsm_bridge(tb, bridge)
+    targets = list(vms) if vms is not None else list(tb.vmm.vms.values())
+    if not targets:
+        raise TopologyError("no VMs to provision offloaded stacks for")
+    handles = []
+    for vm in targets:
+        if tb.vmm.has_nsm(vm.name):
+            handles.append(tb.vmm.nsm(vm.name))
+        else:
+            handles.append(tb.vmm.create_nsm(vm, bridge=bridge))
+    return handles

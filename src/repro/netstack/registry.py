@@ -1,0 +1,70 @@
+"""Registry of network-stack backends.
+
+Backends self-register at import time (``repro.netstack.backends``);
+consumers look them up by name.  The orchestrator derives its default
+CNI fallback chain from here so "BrFusion degrades to NAT" is a
+property declared by the BrFusion *backend*, not hard-coded policy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.netstack.module import NetworkStackModule
+
+_REGISTRY: dict[str, NetworkStackModule] = {}
+
+
+def register(module: NetworkStackModule) -> NetworkStackModule:
+    """Add *module* under its ``name``; replacing a name is an error."""
+    if not module.name:
+        raise ConfigurationError("netstack backend has no name")
+    if module.name in _REGISTRY:
+        raise ConfigurationError(
+            f"netstack backend {module.name!r} already registered"
+        )
+    _REGISTRY[module.name] = module
+    return module
+
+
+def backend(name: str) -> NetworkStackModule:
+    """The registered backend called *name*.
+
+    Raises :class:`ConfigurationError` listing the registered names —
+    this is the error surfaced by ``--backend`` validation.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown netstack backend {name!r} "
+            f"(registered: {', '.join(backend_names())})"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def backends() -> tuple[NetworkStackModule, ...]:
+    """All registered backends, in sorted-name order."""
+    return tuple(_REGISTRY[name] for name in backend_names())
+
+
+def cni_fallbacks() -> tuple[tuple[str, str], ...]:
+    """CNI-level fallback pairs declared by the registered backends.
+
+    Each backend naming a ``fallback`` contributes one
+    ``(its cni_network, the fallback's cni_network)`` pair — the format
+    :class:`repro.faults.recovery.RecoveryPolicy` consumes.  Backends
+    without a CNI network (the offloaded NSM bypasses pod wiring)
+    contribute nothing.
+    """
+    pairs: list[tuple[str, str]] = []
+    for module in backends():
+        if module.fallback is None or module.cni_network is None:
+            continue
+        target = backend(module.fallback)
+        if target.cni_network is None:
+            continue
+        pairs.append((module.cni_network, target.cni_network))
+    return tuple(pairs)

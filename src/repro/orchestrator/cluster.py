@@ -76,6 +76,17 @@ class Deployment:
             ) from None
 
 
+def _default_cni_fallbacks() -> tuple[tuple[str, str], ...]:
+    """CNI fallback pairs declared by the registered netstack backends.
+
+    Imported lazily: ``repro.netstack`` is above this module in the
+    layering (its backends build scenarios through the orchestrator).
+    """
+    from repro.netstack.registry import cni_fallbacks
+
+    return cni_fallbacks()
+
+
 class Orchestrator:
     """Datacenter-global controller with one agent per enrolled VM."""
 
@@ -91,7 +102,11 @@ class Orchestrator:
         self.host = vmm.host
         self.scheduler = scheduler or MostRequestedScheduler()
         #: How attach failures are handled (bounded retry + fallback).
-        self.recovery = recovery or RecoveryPolicy()
+        #: The default fallback chain is declared by the network-stack
+        #: backends themselves (BrFusion names in_vm_nat), not here.
+        self.recovery = recovery or RecoveryPolicy(
+            fallbacks=_default_cni_fallbacks()
+        )
         # Backoff jitter draws from its own named stream so enabling
         # recovery never perturbs any other RNG consumer.
         self._recovery_rng = self.host.rng.stream("recovery:backoff")

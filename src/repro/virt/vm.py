@@ -6,7 +6,7 @@ import typing as t
 
 from repro.errors import TopologyError
 from repro.net.addresses import MacAddress
-from repro.net.devices import NetDevice, VirtioNic
+from repro.net.devices import NetDevice, NsmPort, VirtioNic
 from repro.net.namespace import NetworkNamespace
 from repro.obs import MetricsRegistry
 from repro.obs import metrics as _active_metrics
@@ -128,6 +128,13 @@ class VirtualMachine:
                 if isinstance(dev, VirtioNic):
                     nics.append(dev)
         return nics
+
+    def nsm_port(self) -> NsmPort | None:
+        """This VM's offloaded-NSM port, if one is provisioned."""
+        for nic in self.virtio_nics():
+            if isinstance(nic, NsmPort):
+                return nic
+        return None
 
     @property
     def primary_nic(self) -> VirtioNic:

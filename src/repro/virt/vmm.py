@@ -25,7 +25,14 @@ from repro.errors import HotplugError, TopologyError
 from repro.faults import injector as _active_injector
 from repro.net.addresses import MacAddress
 from repro.net.bridge import Bridge
-from repro.net.devices import HostloEndpoint, HostloTap, TapDevice, VirtioNic
+from repro.net.devices import (
+    HostloEndpoint,
+    HostloTap,
+    NsmHostStack,
+    NsmPort,
+    TapDevice,
+    VirtioNic,
+)
 from repro.obs import metrics as _active_metrics
 from repro.virt.host import PhysicalHost
 from repro.virt.qmp import QmpChannel
@@ -57,6 +64,20 @@ class HostloHandle:
         }
 
 
+@dataclasses.dataclass(frozen=True)
+class NsmHandle:
+    """Result of provisioning one offloaded network-stack module.
+
+    The host-resident stack and the guest-side port are bound through
+    the stack's bounded boundary queue; the handle is what the
+    ``offloaded_nsm`` netstack backend holds onto.
+    """
+
+    vm: str
+    stack: NsmHostStack
+    port: NsmPort
+
+
 class Vmm:
     """Manages VMs on one physical host."""
 
@@ -66,6 +87,7 @@ class Vmm:
         self.qmp: dict[str, QmpChannel] = {}
         self._tap_seq = 0
         self._hostlos: dict[str, HostloHandle] = {}
+        self._nsms: dict[str, NsmHandle] = {}
 
     # -- VM lifecycle --------------------------------------------------------
     def create_vm(
@@ -106,7 +128,9 @@ class Vmm:
         # Unplug every NIC so host-side taps disappear too.
         for nic in vm.virtio_nics():
             backend = nic.backend
-            if isinstance(backend, TapDevice):
+            if isinstance(backend, NsmHostStack):
+                self.remove_nsm(name)
+            elif isinstance(backend, TapDevice):
                 self._teardown_tap(backend)
             elif isinstance(backend, HostloTap):
                 assert isinstance(nic, HostloEndpoint)
@@ -270,6 +294,77 @@ class Vmm:
         return self._drop_hostlo_queue(handle.tap, endpoint,
                                        cause="watchdog", detach=True)
 
+    # -- offloaded NSM: host-owned stack provisioning ----------------------------
+    def create_nsm(self, vm: VirtualMachine,
+                   bridge: str | None = None) -> NsmHandle:
+        """Provision an offloaded network-stack module for *vm*.
+
+        NetKernel-style: the host kernel runs the guest's network stack
+        (an :class:`~repro.net.devices.NsmHostStack` enslaved to
+        *bridge*) and the guest gets a thin
+        :class:`~repro.net.devices.NsmPort` whose only job is to cross
+        the bounded shared-queue boundary.  Both sides carry the same
+        address — the stack answers ARP on the bridge segment, the port
+        delivers to guest sockets.
+        """
+        if not vm.running:
+            raise HotplugError(f"VM {vm.name} is not running", vm=vm.name,
+                               device="nsm", retryable=False)
+        if vm.name in self._nsms:
+            raise TopologyError(f"VM {vm.name!r} already has an NSM")
+        bridge_name = bridge or self.host.default_bridge.name
+        bridge_dev: Bridge = self.host.bridge(bridge_name)
+        network = self.host.bridge_network(bridge_name)
+        address = self.host.allocate_address(bridge_name)
+        stack = NsmHostStack(
+            f"nsm-{vm.name}", self.host.mac_allocator.allocate()
+        )
+        port = NsmPort("nsm0", self.host.mac_allocator.allocate())
+        stack.bind(port)
+        self.host.ns.attach(stack)
+        bridge_dev.add_port(stack)
+        stack.assign_ip(address, network)
+        vm.ns.attach(port)
+        port.assign_ip(address, network)
+        vm.ns.routes.add_on_link(network, port.name)
+        handle = NsmHandle(vm=vm.name, stack=stack, port=port)
+        self._nsms[vm.name] = handle
+        return handle
+
+    def has_nsm(self, vm_name: str) -> bool:
+        return vm_name in self._nsms
+
+    def nsm(self, vm_name: str) -> NsmHandle:
+        try:
+            return self._nsms[vm_name]
+        except KeyError:
+            raise TopologyError(f"no NSM for VM {vm_name!r}") from None
+
+    def remove_nsm(self, vm_name: str) -> int:
+        """Tear one VM's NSM down; returns frames drained from queues."""
+        handle = self.nsm(vm_name)
+        stack, port = handle.stack, handle.port
+        drained = stack.unbind() if stack.port is not None else 0
+        if stack.bridge is not None:
+            stack.bridge.remove_port(stack)
+        if stack.namespace is not None:
+            stack.namespace.detach(stack)
+        if port.namespace is not None:
+            port.namespace.detach(port)
+        del self._nsms[vm_name]
+        return drained
+
+    def _stall_nsm(self, stack: NsmHostStack, cause: str) -> None:
+        """A dead guest stops servicing its side of the boundary; the
+        host-owned stack itself survives (the NetKernel payoff)."""
+        stack.boundary.stall()
+        if stack.port is not None:
+            stack.port.rx_queue.stall()
+        _active_metrics().counter(
+            "nsm.boundaries_stalled_total",
+            help="NSM boundaries stalled by guest death, by cause",
+        ).inc(cause=cause, nsm=stack.name)
+
     # -- crash / restart ---------------------------------------------------------
     def crash_vm(self, name: str) -> VirtualMachine:
         """Crash *name*: guest state dies, host-side wiring is torn down.
@@ -283,7 +378,12 @@ class Vmm:
         self.qmp[name].disconnect()
         for nic in vm.virtio_nics():
             backend = nic.backend
-            if isinstance(backend, TapDevice):
+            if isinstance(backend, NsmHostStack):
+                # Unlike a vhost tap, the host-owned stack survives the
+                # guest: only the boundary stalls, and a restart resumes
+                # it without re-provisioning anything.
+                self._stall_nsm(backend, cause="vm-crash")
+            elif isinstance(backend, TapDevice):
                 self._teardown_tap(backend)
             elif isinstance(backend, HostloTap):
                 # A dead VM must not keep a queue on the shared
@@ -315,6 +415,10 @@ class Vmm:
             nic.attach_backend(tap)
             self.host.ns.attach(tap)
             self.host.default_bridge.add_port(tap)
+        handle = self._nsms.get(name)
+        if handle is not None:
+            handle.stack.boundary.resume()
+            handle.port.rx_queue.resume()
         return vm
 
     # -- internals -----------------------------------------------------------------

@@ -61,6 +61,10 @@ class TestConfig:
                 # Doubling would break the <= k/2 bound; shrink instead.
                 changed = dataclasses.replace(base,
                                               fabric_hosts_per_edge=1)
+            elif field.name == "netstack_backend":
+                # Doubling "all" is not a registered backend name.
+                changed = dataclasses.replace(base,
+                                              netstack_backend="hostlo")
             else:
                 value = getattr(base, field.name)
                 if isinstance(value, bool):
@@ -124,7 +128,7 @@ class TestRegistry:
             "ablation_no_batching", "ablation_rule_bloat",
             "ablation_scheduler_policy",
             "online_cost", "analytic_check",
-            "chaos", "reliability", "campaign", "fabric",
+            "chaos", "reliability", "campaign", "fabric", "netstack",
         }
         assert set(EXPERIMENTS) == expected
 

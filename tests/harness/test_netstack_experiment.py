@@ -1,0 +1,110 @@
+"""The netstack experiment: matrix shape, the config knob, the CLI
+``--backend`` flag and its error path."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.__main__ import main
+
+BACKENDS = (
+    "brfusion", "hostlo", "in_vm_nat", "offloaded_nsm", "vxlan_overlay",
+)
+
+
+def quick(**overrides):
+    return dataclasses.replace(
+        ExperimentConfig.preset("quick"), **overrides
+    )
+
+
+class TestConfigKnob:
+    def test_unknown_backend_lists_registered(self):
+        with pytest.raises(ConfigurationError) as err:
+            ExperimentConfig(netstack_backend="smoke-signals")
+        message = str(err.value)
+        assert "smoke-signals" in message
+        for name in BACKENDS:
+            assert name in message
+
+    def test_known_backend_accepted(self):
+        config = ExperimentConfig(netstack_backend="offloaded_nsm")
+        assert config.netstack_backend == "offloaded_nsm"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"netstack_frames": 0},
+        {"netstack_loss": -0.1},
+        {"netstack_loss": 1.5},
+    ])
+    def test_scale_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)
+
+    def test_fingerprint_tracks_backend(self):
+        assert (ExperimentConfig().fingerprint()
+                != ExperimentConfig(netstack_backend="hostlo").fingerprint())
+
+
+class TestExperiment:
+    def test_matrix_covers_every_backend(self):
+        result = run_experiment("netstack", quick())
+        summaries = [r for r in result.rows if r["scenario"] == "summary"]
+        assert [r["backend"] for r in summaries] == list(BACKENDS)
+        # The acceptance criteria: identical delivered bytes, balanced
+        # ledgers, exactly-once recovery, zero violations — per backend.
+        assert len({r["delivered_bytes"] for r in summaries}) == 1
+        assert all(r["clean_conserved"] for r in summaries)
+        assert all(r["faulted_conserved"] for r in summaries)
+        assert all(r["arq_exactly_once"] for r in summaries)
+        assert all(r["violations"] == 0 for r in summaries)
+
+    def test_stage_matrix_has_offloaded_column(self):
+        result = run_experiment("netstack", quick())
+        stage_rows = [
+            r for r in result.rows if r["scenario"] == "stage-cycles"
+        ]
+        assert stage_rows
+        assert all("offloaded_nsm" in r for r in stage_rows)
+        by_stage = {r["stage"]: r for r in stage_rows}
+        # The offloaded column is genuinely distinct: it pays the NSM
+        # boundary where in-VM backends pay the guest stack.
+        assert by_stage["nsm_copy"]["offloaded_nsm"] > 0
+        assert by_stage["nsm_copy"]["in_vm_nat"] == 0
+        assert by_stage["stack_tx"]["offloaded_nsm"] == 0
+        assert by_stage["stack_tx"]["in_vm_nat"] > 0
+
+    def test_single_backend_config(self):
+        result = run_experiment(
+            "netstack", quick(netstack_backend="offloaded_nsm")
+        )
+        summaries = [r for r in result.rows if r["scenario"] == "summary"]
+        assert [r["backend"] for r in summaries] == ["offloaded_nsm"]
+
+    def test_deterministic(self):
+        assert (run_experiment("netstack", quick()).rows
+                == run_experiment("netstack", quick()).rows)
+
+    def test_violations_note_present(self):
+        result = run_experiment("netstack", quick())
+        assert any("must be zero" in note for note in result.notes)
+        assert any("identical delivered bytes" in note
+                   for note in result.notes)
+
+
+class TestCli:
+    def test_backend_flag_restricts_the_sweep(self, capsys):
+        assert main(["netstack", "--preset", "quick",
+                     "--backend", "hostlo"]) == 0
+        out = capsys.readouterr().out
+        assert "hostlo" in out
+        assert "in_vm_nat" not in out
+
+    def test_backend_flag_unknown_lists_registry(self):
+        with pytest.raises(ConfigurationError, match="registered:"):
+            main(["netstack", "--preset", "quick", "--backend", "nope"])
+
+    def test_backend_refused_in_campaign_mode(self):
+        with pytest.raises(SystemExit):
+            main(["netstack", "--backend", "hostlo", "--jobs", "2"])

@@ -1,0 +1,148 @@
+"""The NetworkStackModule contract: registry, built-ins, orchestrator
+tie-in, and the offloaded backend's refine hook."""
+
+import pytest
+
+from repro.core.testbed import default_testbed
+from repro.errors import ConfigurationError
+from repro.net.forwarding import ForwardingEngine
+from repro.netstack import (
+    InVmNat,
+    NetworkStackModule,
+    backend,
+    backend_names,
+    backends,
+    cni_fallbacks,
+    register,
+)
+
+EXPECTED = (
+    "brfusion", "hostlo", "in_vm_nat", "offloaded_nsm", "vxlan_overlay",
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert backend_names() == EXPECTED
+        assert tuple(m.name for m in backends()) == EXPECTED
+
+    def test_unknown_backend_lists_registered_names(self):
+        with pytest.raises(ConfigurationError) as err:
+            backend("tcp_over_carrier_pigeon")
+        message = str(err.value)
+        assert "tcp_over_carrier_pigeon" in message
+        for name in EXPECTED:
+            assert name in message
+
+    def test_duplicate_name_rejected(self):
+        class Dup(InVmNat):
+            pass
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register(Dup())
+
+    def test_unnamed_rejected(self):
+        class Anon(NetworkStackModule):
+            def attach(self, tb):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError, match="no name"):
+            register(Anon())
+
+    def test_cni_fallbacks_declared_by_backends(self):
+        assert cni_fallbacks() == (("brfusion", "nat"),)
+
+    def test_orchestrator_default_recovery_uses_registry(self):
+        tb = default_testbed(vms=1)
+        assert tb.orchestrator.recovery.fallback_for("brfusion") == "nat"
+        assert tb.orchestrator.recovery.fallback_for("nat") is None
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_attach_resolve_send(self, name):
+        module = backend(name)
+        tb = default_testbed(seed=7, vms=2)
+        ep = module.attach(tb)
+        assert ep.backend == name
+
+        forward = module.resolve(ep)
+        reverse = module.resolve(ep, reverse=True)
+        assert forward.stages and reverse.stages
+        ack = module.ack_path(ep)
+        assert "app_recv" not in ack.stage_names()
+
+        fwd = ForwardingEngine()
+        delivery = module.send(fwd, ep, payload_bytes=256)
+        assert delivery.delivered
+        assert fwd.frames_sent == (
+            fwd.frames_delivered + sum(fwd.drops.values())
+        )
+        assert module.capture_taps(ep)
+        module.detach(tb, ep)
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_reliable_transfer_exactly_once(self, name):
+        module = backend(name)
+        tb = default_testbed(seed=11, vms=2)
+        ep = module.attach(tb)
+        report = module.reliable(
+            tb.engine, ep, nbytes=1024, messages=6,
+            rng=tb.rng.stream("arq"),
+        ).run()
+        assert report.delivered == 6
+        assert report.conserved() and report.exactly_once
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_fault_plan_uses_backend_kind(self, name):
+        module = backend(name)
+        plan = module.fault_plan(0.25)
+        (spec,) = tuple(plan)
+        assert spec.kind == module.fault_kind
+        assert spec.probability == 0.25
+
+    def test_cost_model_hook_defaults_to_base(self):
+        tb = default_testbed(vms=1)
+        module = backend("in_vm_nat")
+        assert module.cost_model(tb.engine.cost_model) is tb.engine.cost_model
+
+
+class TestOffloadedNsm:
+    def test_guest_stack_stages_stripped(self):
+        module = backend("offloaded_nsm")
+        tb = default_testbed(seed=5, vms=2)
+        ep = module.attach(tb)
+        path = module.resolve(ep)
+        names = path.stage_names()
+        assert "stack_tx" not in names and "stack_rx" not in names
+        for stage in ("nsm_doorbell", "nsm_copy", "nsm_host_stack", "nsm_rx"):
+            assert stage in names
+        assert path.jitter_class == "nsm"
+        # No guest softirq context either: the host kthread owns RX.
+        assert not any(
+            d.startswith("softirq:vm:") for d in path.domains()
+        )
+        assert any(d.startswith("kthread:") for d in path.domains())
+
+    def test_tx_queue_is_the_boundary(self):
+        module = backend("offloaded_nsm")
+        tb = default_testbed(seed=5, vms=2)
+        ep = module.attach(tb)
+        src, _dst = ep.detail["handles"]
+        assert ep.tx_queue is src.stack.boundary
+
+    def test_attach_reuses_existing_nsms(self):
+        module = backend("offloaded_nsm")
+        tb = default_testbed(seed=5, vms=2)
+        first = module.attach(tb)
+        second = module.attach(tb)
+        assert (first.detail["handles"][0].stack
+                is second.detail["handles"][0].stack)
+
+    def test_detach_removes_the_nsms(self):
+        module = backend("offloaded_nsm")
+        tb = default_testbed(seed=5, vms=2)
+        ep = module.attach(tb)
+        module.detach(tb, ep)
+        for handle in ep.detail["handles"]:
+            assert not tb.vmm.has_nsm(handle.vm)

@@ -1,0 +1,201 @@
+"""The offloaded-NSM boundary: device pair, VMM lifecycle, datapaths
+at both fidelities, and the ``nsm.drop`` fault vocabulary."""
+
+import pytest
+
+from repro import faults
+from repro.core.testbed import default_testbed
+from repro.errors import TopologyError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.net import ArqConfig
+from repro.net.addresses import cidr
+from repro.net.devices import NsmHostStack, NsmPort
+from repro.net.forwarding import ForwardingEngine
+from repro.net.path import resolve_path
+from repro.netstack.offload import (
+    NSM_BRIDGE,
+    ensure_nsm_bridge,
+    provision_offload,
+)
+from repro.sim import Environment
+from repro.virt import PhysicalHost, Vmm
+
+
+def nsm_rig():
+    """Two VMs with offloaded stacks on a dedicated bridge segment."""
+    host = PhysicalHost(Environment())
+    vmm = Vmm(host)
+    host.add_bridge("nsmbr0", cidr("192.168.150.0/24"))
+    vms = [vmm.create_vm(f"vm{i}") for i in range(2)]
+    handles = [vmm.create_nsm(vm, bridge="nsmbr0") for vm in vms]
+    return host, vmm, vms, handles
+
+
+class TestDevices:
+    def test_bind_is_exclusive(self):
+        stack = NsmHostStack("nsm-x")
+        port = NsmPort("nsm0")
+        stack.bind(port)
+        assert stack.port is port and port.backend is stack
+        with pytest.raises(TopologyError):
+            stack.bind(NsmPort("nsm1"))
+        with pytest.raises(TopologyError):
+            NsmHostStack("nsm-y").bind(port)
+
+    def test_unbind_drains_both_queues(self):
+        stack = NsmHostStack("nsm-x")
+        port = NsmPort("nsm0")
+        stack.bind(port)
+        stack.boundary.offer()
+        port.rx_queue.offer()
+        assert stack.unbind() == 2
+        assert stack.port is None and port.backend is None
+
+
+class TestVmmLifecycle:
+    def test_create_nsm_wires_both_sides(self):
+        host, vmm, vms, handles = nsm_rig()
+        src, dst = handles
+        # Host side: the stack sits on the bridge segment with the VM's
+        # address (it answers ARP for the guest).
+        assert src.stack.bridge is host.bridge("nsmbr0")
+        assert src.stack.primary_ip == src.port.primary_ip
+        # Guest side: a thin port, no taps, no vhost.
+        assert vms[0].nsm_port() is src.port
+        assert vmm.has_nsm("vm0") and vmm.nsm("vm0") is src
+        assert src.port.namespace is vms[0].ns
+
+    def test_duplicate_nsm_rejected(self):
+        _host, vmm, vms, _handles = nsm_rig()
+        with pytest.raises(TopologyError):
+            vmm.create_nsm(vms[0], bridge="nsmbr0")
+
+    def test_nsm_lookup_unknown_vm(self):
+        _host, vmm, _vms, _handles = nsm_rig()
+        assert not vmm.has_nsm("ghost")
+        with pytest.raises(TopologyError, match="no NSM"):
+            vmm.nsm("ghost")
+
+    def test_remove_nsm_detaches_everything(self):
+        host, vmm, vms, handles = nsm_rig()
+        vmm.remove_nsm("vm0")
+        assert not vmm.has_nsm("vm0")
+        assert vms[0].nsm_port() is None
+        assert handles[0].stack.name not in host.ns.devices
+
+    def test_destroy_vm_removes_its_nsm(self):
+        _host, vmm, _vms, _handles = nsm_rig()
+        vmm.destroy_vm("vm0")
+        assert not vmm.has_nsm("vm0")
+
+
+class TestDatapaths:
+    def test_frame_walk_crosses_the_boundary(self):
+        _host, _vmm, vms, handles = nsm_rig()
+        fwd = ForwardingEngine()
+        delivery = fwd.send(
+            vms[0].ns, handles[1].port.primary_ip, 5001, payload_bytes=512
+        )
+        assert delivery.delivered and delivery.namespace == "vm1"
+        assert delivery.visited("nsm:")
+        assert delivery.visited("nsm-rx:")
+        assert fwd.frames_sent == fwd.frames_delivered
+
+    def test_analytic_path_runs_host_side(self):
+        _host, _vmm, vms, handles = nsm_rig()
+        path = resolve_path(vms[0].ns, handles[1].port.primary_ip, 5001)
+        names = path.stage_names()
+        for stage in ("nsm_doorbell", "nsm_copy", "nsm_host_stack",
+                      "nsm_rx"):
+            assert stage in names
+        assert path.jitter_class == "nsm"
+        assert any(d.startswith("kthread:") for d in path.domains())
+
+    def test_crash_stalls_then_restart_resumes(self):
+        _host, vmm, vms, handles = nsm_rig()
+        fwd = ForwardingEngine()
+        dst = handles[1].port.primary_ip
+        vmm.crash_vm("vm1")
+        # The host-owned stack survives the guest; the guest-down drop
+        # is labelled, and the boundary is stalled against new frames.
+        assert handles[1].stack.boundary.stalled
+        delivery = fwd.send(vms[0].ns, dst, 5001)
+        assert not delivery.delivered
+        assert fwd.drops.get("nsm-guest-down", 0) == 1
+        vmm.restart_vm("vm1")
+        assert not handles[1].stack.boundary.stalled
+        assert fwd.send(vms[0].ns, dst, 5001).delivered
+
+    def test_boundary_overflow_is_labelled(self):
+        host = PhysicalHost(Environment())
+        vmm = Vmm(host)
+        host.add_bridge("nsmbr0", cidr("192.168.150.0/24"))
+        vms = [vmm.create_vm(f"vm{i}") for i in range(2)]
+        handles = [vmm.create_nsm(vm, bridge="nsmbr0") for vm in vms]
+        fwd = ForwardingEngine()
+        boundary = handles[0].stack.boundary
+        while boundary.offer():
+            pass  # fill the bounded ring
+        delivery = fwd.send(vms[0].ns, handles[1].port.primary_ip, 5001)
+        assert not delivery.delivered
+        assert fwd.drops.get("nsm-overflow") == 1
+
+
+class TestFaults:
+    def test_nsm_drop_targets_the_stack_at_both_fidelities(self):
+        _host, vmm, vms, handles = nsm_rig()
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="nsm.drop", target=handles[0].stack.name,
+                      probability=1.0),
+        ))
+        injector = FaultInjector(plan, vmm.host.rng.stream("faults"))
+        fwd = ForwardingEngine()
+        with faults.use(injector):
+            delivery = fwd.send(
+                vms[0].ns, handles[1].port.primary_ip, 5001
+            )
+        assert not delivery.delivered
+        assert fwd.drops == {"nsm-drop": 1}
+
+    def test_arq_labels_nsm_losses(self):
+        tb = default_testbed(seed=1, vms=2)
+        handles = provision_offload(tb)
+        vms = list(tb.vmm.vms.values())
+        path = resolve_path(
+            vms[0].ns, handles[1].port.primary_ip, 5001
+        )
+        transfer = tb.engine.reliable_transfer(
+            path, 1024, messages=4,
+            config=ArqConfig(max_retries=0),
+            rng=tb.rng.stream("arq"),
+        )
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="nsm.drop", target="*", probability=1.0),
+        ))
+        injector = FaultInjector(
+            plan, tb.rng.stream("faults"), now_fn=lambda: tb.env.now
+        )
+        with faults.use(injector):
+            report = transfer.run()
+        assert report.delivered == 0
+        assert set(report.losses) == {"nsm-drop"}
+        assert report.conserved()
+
+
+class TestProvisioning:
+    def test_ensure_bridge_is_idempotent(self):
+        tb = default_testbed(vms=1)
+        assert ensure_nsm_bridge(tb) == NSM_BRIDGE
+        assert ensure_nsm_bridge(tb) == NSM_BRIDGE
+        assert NSM_BRIDGE in tb.host.bridges()
+
+    def test_provision_is_idempotent_per_vm(self):
+        tb = default_testbed(vms=2)
+        first = provision_offload(tb)
+        second = provision_offload(tb)
+        assert [h.stack for h in first] == [h.stack for h in second]
+
+    def test_provision_needs_vms(self):
+        tb = default_testbed(vms=1)
+        with pytest.raises(TopologyError, match="no VMs"):
+            provision_offload(tb, vms=())

@@ -22,6 +22,22 @@ def test_thirty_second_workflow():
     assert result.throughput_mbps > 100
 
 
+def test_netstack_exports_resolve():
+    import repro.netstack
+
+    for name in repro.netstack.__all__:
+        assert getattr(repro.netstack, name) is not None
+    assert "offloaded_nsm" in repro.netstack.backend_names()
+
+
+def test_net_exports_nsm_devices():
+    import repro.net
+
+    for name in repro.net.__all__:
+        assert getattr(repro.net, name) is not None
+    assert repro.net.NsmPort and repro.net.NsmHostStack
+
+
 def test_subpackages_import():
     import repro.analysis
     import repro.containers
@@ -32,6 +48,7 @@ def test_subpackages_import():
     import repro.health
     import repro.metrics
     import repro.net
+    import repro.netstack
     import repro.obs
     import repro.orchestrator
     import repro.sim
