@@ -24,6 +24,16 @@ Entries are one JSON file each under ``<root>/<kk>/<key>.json``
 written atomically via rename, so concurrent campaigns sharing a cache
 directory never observe torn entries.  Corrupt or unreadable entries
 read as misses.
+
+**Concurrent submitters.**  The write path is additionally guarded by
+an ``O_EXCL`` lockfile (``<key>.json.lock``): whichever process
+creates the lock writes the entry; a loser simply skips, because two
+writers of the same content address are by construction writing the
+same payload.  Combined with the rename-only publish this makes
+``put`` idempotent and race-free across any number of service shards
+or campaign workers sharing a cache directory — the same key is never
+corrupted, torn, or double-counted.  A lock left behind by a crashed
+writer is broken after :data:`STALE_LOCK_S`.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 import typing as t
 
 import repro
@@ -44,6 +55,10 @@ from repro.harness.results import ExperimentResult
 
 #: Bump when the entry layout changes; part of every cache key.
 SCHEMA = 1
+
+#: A write lock older than this (seconds) is presumed abandoned by a
+#: crashed writer and is broken by the next one.
+STALE_LOCK_S = 60.0
 
 
 @functools.lru_cache(maxsize=1)
@@ -141,21 +156,67 @@ class ResultCache:
             return None
 
     def put(self, entry: CacheEntry) -> pathlib.Path:
-        """Store *entry* atomically; returns its path."""
+        """Store *entry* atomically and idempotently; returns its path.
+
+        Safe against concurrent writers of the same key (see the
+        module docstring): exactly one of them publishes, the rest
+        return immediately — the payload is identical either way.
+        """
         path = self.path_for(entry.key)
+        if path.exists():
+            return path
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
+        lock_fd = self._acquire_lock(path)
+        if lock_fd is None:
+            return path  # a concurrent writer owns this key
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(entry.to_payload(), fh, indent=1, default=str)
-            os.replace(tmp, path)
-        except BaseException:
+            if path.exists():  # it published while we took the lock
+                return path
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(entry.to_payload(), fh, indent=1, default=str)
+                os.replace(tmp, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        finally:
+            os.close(lock_fd)
             with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+                os.unlink(self._lock_path(path))
         return path
+
+    @staticmethod
+    def _lock_path(path: pathlib.Path) -> pathlib.Path:
+        return path.with_name(path.name + ".lock")
+
+    @classmethod
+    def _acquire_lock(cls, path: pathlib.Path) -> int | None:
+        """Create ``<path>.lock`` with ``O_EXCL``; ``None`` if held.
+
+        A lock older than :data:`STALE_LOCK_S` belongs to a writer
+        that died between locking and publishing; it is broken and the
+        acquisition retried once.
+        """
+        lock = cls._lock_path(path)
+        for attempt in range(2):
+            try:
+                return os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt:
+                    return None
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # released just now; retry the open
+                if age <= STALE_LOCK_S:
+                    return None
+                with contextlib.suppress(OSError):
+                    os.unlink(lock)
+        return None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("??/*.json"))

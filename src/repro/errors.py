@@ -99,3 +99,24 @@ class JobFailedError(CampaignError):
 class PerfRegressionError(CampaignError):
     """A benchmark report regressed past the allowed threshold against
     the committed baseline (see :func:`repro.campaign.bench.compare`)."""
+
+
+class ServiceError(ReproError):
+    """The long-lived trace service was used incorrectly (unknown job,
+    bad submission payload, operation on a closed service)."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused a submission: the queue is at capacity or
+    the client is over quota.
+
+    Maps to HTTP 429; ``retry_after_s`` is the server's backoff hint
+    (the ``Retry-After`` header) and ``reason`` says which limit hit —
+    ``"capacity"`` (global backlog bound) or ``"quota"`` (per-client).
+    """
+
+    def __init__(self, message: str, *, reason: str = "capacity",
+                 retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s

@@ -24,6 +24,10 @@ Any of ``--jobs N`` (N>1), ``--cache`` or ``--bench`` switches the run
 from the serial loop to :func:`repro.campaign.runner.run_campaign`;
 results are printed in the same order and are bit-identical to the
 serial path.
+
+Service mode (long-lived HTTP/SSE job service, see ``repro.service``)::
+
+    python -m repro.harness --serve --port 8700 --cache .cache
 """
 
 from __future__ import annotations
@@ -108,7 +112,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", metavar="S1,S2,...",
                         help="run every experiment under each seed "
                              "(campaign mode; default: the preset's seed)")
+    parser.add_argument("--serve", action="store_true",
+                        help="boot the long-lived job service instead of "
+                             "running experiments (see repro.service; "
+                             "--cache shares its result cache)")
+    parser.add_argument("--port", type=int, default=8700, metavar="N",
+                        help="--serve listen port (default: 8700; "
+                             "0 picks a free one)")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        if args.experiments or args.jobs > 1 or args.bench or args.seeds:
+            parser.error("--serve takes no experiments and no campaign "
+                         "flags (it accepts jobs over HTTP instead)")
+        from repro.service.__main__ import main as serve_main
+
+        serve_argv = ["--port", str(args.port)]
+        if args.cache and not args.no_cache:
+            serve_argv += ["--cache", args.cache]
+        return serve_main(serve_argv)
 
     if args.list:
         width = max(map(len, EXPERIMENTS))

@@ -71,6 +71,17 @@ class ExperimentConfig:
     netstack_frames: int = 40
     #: Loss probability for the netstack faulted and ARQ lanes.
     netstack_loss: float = 0.08
+    #: Worker shards for the ``service`` experiment's live instance.
+    service_shards: int = 2
+    #: Concurrent HTTP clients driven against the live service.
+    service_clients: int = 8
+    #: Jobs each client submits during the mixed-load lane.
+    service_jobs_per_client: int = 3
+    #: Users per streaming-trace job the service lanes submit.
+    service_trace_users: int = 50_000
+    #: Executor for the mixed-load lane (``thread`` or ``spawn``; the
+    #: crash-recovery lane always exercises ``spawn`` regardless).
+    service_executor: str = "thread"
 
     def __post_init__(self) -> None:
         if self.stream_duration_s <= 0 or self.macro_duration_s <= 0:
@@ -107,6 +118,18 @@ class ExperimentConfig:
         if not 0.0 <= self.netstack_loss <= 1.0:
             raise ConfigurationError(
                 "netstack_loss must be a probability in [0, 1]"
+            )
+        if (self.service_shards < 1 or self.service_clients < 1
+                or self.service_jobs_per_client < 1
+                or self.service_trace_users < 1):
+            raise ConfigurationError(
+                "service_shards, service_clients, service_jobs_per_client "
+                "and service_trace_users must be >= 1"
+            )
+        if self.service_executor not in ("thread", "spawn"):
+            raise ConfigurationError(
+                f"service_executor must be 'thread' or 'spawn': "
+                f"{self.service_executor!r}"
             )
         if self.netstack_backend != "all":
             # Imported lazily so building a config never pays for the
@@ -148,6 +171,8 @@ class ExperimentConfig:
                 fabric_flows=12,
                 fabric_frames=12,
                 netstack_frames=16,
+                service_jobs_per_client=3,
+                service_trace_users=10_000,
             )
         if name == "default":
             return cls()
@@ -164,5 +189,8 @@ class ExperimentConfig:
                 fabric_flows=64,
                 fabric_frames=60,
                 netstack_frames=120,
+                service_clients=12,
+                service_jobs_per_client=4,
+                service_trace_users=1_000_000,
             )
         raise ConfigurationError(f"unknown preset {name!r}")

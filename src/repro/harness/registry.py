@@ -47,6 +47,15 @@ def _run_campaign(config: ExperimentConfig | None = None) -> ExperimentResult:
     return run(config)
 
 
+def _run_service(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Service self-check: admission, mixed load, warm cache, recovery."""
+    # Lazy for the same reason as the campaign: service workers import
+    # this registry to resolve experiment jobs.
+    from repro.service.experiment import run
+
+    return run(config)
+
+
 #: Every figure and table of the paper's evaluation, by experiment id.
 EXPERIMENTS: dict[str, Runner] = {
     "fig02": fig02.run,
@@ -81,6 +90,8 @@ EXPERIMENTS: dict[str, Runner] = {
     "netstack": netstack.run,
     # The campaign layer checking itself (see repro.campaign).
     "campaign": _run_campaign,
+    # The long-lived job service checking itself (see repro.service).
+    "service": _run_service,
 }
 
 

@@ -1,0 +1,49 @@
+"""A long-lived async campaign/trace service: queue → shards → SSE.
+
+The ROADMAP's "millions of users" north star turned into standing
+infrastructure: instead of one-shot CLI runs, a :class:`TraceService`
+accepts experiment, streaming-trace, and calibration jobs over HTTP,
+runs them on sharded workers that share the campaign's content-
+addressed result cache, and streams lifecycle events back over SSE.
+
+* :mod:`repro.service.core` — the service itself (admission, dedupe,
+  cache probe, shard loops, event fan-out).
+* :mod:`repro.service.queue` — admission policy (capacity + quota →
+  429 with Retry-After).
+* :mod:`repro.service.shards` — key-hash shard routing and the thread
+  / spawn-process executors with crash requeue.
+* :mod:`repro.service.jobs` — job vocabulary and the one picklable
+  worker function.
+* :mod:`repro.service.http` — hand-rolled asyncio HTTP/1.1 + SSE.
+* :mod:`repro.service.client` — blocking stdlib client (tests, load
+  generators, humans).
+* :mod:`repro.service.health` — standing invariants behind /healthz.
+* :mod:`repro.service.thread` — a live instance on a background loop.
+
+Boot one with ``python -m repro.service --port 8700`` or embed it via
+:class:`~repro.service.thread.ServiceThread`.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.core import ServiceConfig, TraceService
+from repro.service.health import check_service
+from repro.service.http import HttpServer
+from repro.service.jobs import Job, JobEvent, job_key, run_payload
+from repro.service.queue import AdmissionController
+from repro.service.shards import ShardRouter
+from repro.service.thread import ServiceThread
+
+__all__ = [
+    "AdmissionController",
+    "HttpServer",
+    "Job",
+    "JobEvent",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceThread",
+    "ShardRouter",
+    "TraceService",
+    "check_service",
+    "job_key",
+    "run_payload",
+]

@@ -1,0 +1,87 @@
+"""``python -m repro.service``: boot a live trace service.
+
+The operational entry point the README quickstart documents::
+
+    python -m repro.service --port 8700 --cache .cache &
+    curl -s localhost:8700/jobs -d '{"kind": "experiment",
+        "payload": {"experiment": "fig08", "preset": "quick"}}'
+    curl -N localhost:8700/jobs/j00000/stream
+
+Runs until interrupted; ``--shards``/``--executor`` size the worker
+side, ``--capacity``/``--quota`` bound admission, ``--cache`` points
+at (and shares) a campaign result-cache directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+import typing as t
+
+from repro.service.core import ServiceConfig, TraceService
+from repro.service.http import HttpServer
+from repro.service.shards import EXECUTORS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-lived campaign/trace job service (HTTP + SSE).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8700,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker shards (default: 2)")
+    parser.add_argument("--executor", choices=sorted(EXECUTORS),
+                        default="spawn",
+                        help="per-shard executor (default: spawn)")
+    parser.add_argument("--capacity", type=int, default=64,
+                        help="max queued+running jobs before 429s")
+    parser.add_argument("--quota", type=int, default=16,
+                        help="max active jobs per client")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed result cache directory "
+                             "(shared with campaign --cache)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-job wall-clock timeout seconds")
+    return parser
+
+
+async def serve(config: ServiceConfig, host: str, port: int,
+                announce: t.Callable[[str], None] = print) -> None:
+    service = TraceService(config)
+    server = HttpServer(service, host=host, port=port)
+    await service.start()
+    bound = await server.start()
+    announce(
+        f"repro.service listening on http://{host}:{bound} "
+        f"({config.shards} {config.executor} shards, "
+        f"capacity {config.capacity}, quota {config.per_client_quota})"
+    )
+    try:
+        await asyncio.Event().wait()  # until cancelled
+    finally:
+        await server.aclose()
+        await service.aclose()
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServiceConfig(
+        shards=args.shards,
+        capacity=args.capacity,
+        per_client_quota=args.quota,
+        executor=args.executor,
+        cache_dir=args.cache,
+        job_timeout_s=args.timeout,
+    )
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(serve(config, args.host, args.port))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""A blocking stdlib client for the trace service.
+
+``http.client`` only — usable from tests, the harness experiment's
+load-generator threads, and interactive sessions without any third-
+party HTTP stack.  One method per route; SSE streaming is a generator
+of parsed ``(event, data)`` pairs.
+
+429 responses raise the same :class:`~repro.errors.AdmissionError`
+the server raised, with ``retry_after_s`` recovered from the
+``Retry-After`` header — so a polite load generator can implement
+backoff with the exact vocabulary the admission controller speaks.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import typing as t
+
+from repro.errors import AdmissionError, ServiceError
+
+
+class ServiceClient:
+    """Talk to one ``repro.service`` instance at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8700,
+                 *, timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = float(timeout_s)
+
+    # -- plumbing -----------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, t.Any] | None = None) -> dict[str, t.Any]:
+        conn = self._connect()
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            doc = json.loads(raw) if raw else {}
+            if response.status == 429:
+                raise AdmissionError(
+                    doc.get("error", "service refused the submission"),
+                    reason=doc.get("reason", "capacity"),
+                    retry_after_s=float(
+                        response.getheader("Retry-After")
+                        or doc.get("retry_after_s", 1.0)
+                    ),
+                )
+            if response.status >= 400:
+                detail = doc.get("error") or repr(raw[:200])
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: {detail}"
+                )
+            return doc
+        finally:
+            conn.close()
+
+    # -- routes -------------------------------------------------------
+
+    def submit(self, kind: str, payload: dict[str, t.Any] | None = None,
+               *, client: str = "anonymous",
+               priority: int = 0) -> dict[str, t.Any]:
+        return self._request("POST", "/jobs", {
+            "kind": kind, "payload": payload or {},
+            "client": client, "priority": priority,
+        })
+
+    def submit_with_backoff(
+        self, kind: str, payload: dict[str, t.Any] | None = None,
+        *, client: str = "anonymous", priority: int = 0,
+        max_wait_s: float = 30.0,
+    ) -> dict[str, t.Any]:
+        """Submit, honouring 429 Retry-After until *max_wait_s* is up."""
+        deadline = time.monotonic() + max_wait_s
+        while True:
+            try:
+                return self.submit(
+                    kind, payload, client=client, priority=priority
+                )
+            except AdmissionError as exc:
+                if time.monotonic() + exc.retry_after_s > deadline:
+                    raise
+                time.sleep(exc.retry_after_s)
+
+    def status(self, job_id: str) -> dict[str, t.Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict[str, t.Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def overview(self) -> dict[str, t.Any]:
+        return self._request("GET", "/jobs")
+
+    def healthz(self) -> dict[str, t.Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(f"/metrics -> {response.status}")
+            return response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    # -- SSE ----------------------------------------------------------
+
+    def stream(self, job_id: str) -> t.Iterator[tuple[str, dict[str, t.Any]]]:
+        """Yield ``(event, data)`` pairs until the job's terminal event
+        (after which the server closes the stream)."""
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    f"stream {job_id} -> {response.status}: "
+                    f"{response.read()[:200]!r}"
+                )
+            event_name, data = "", None
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    return
+                line = line.decode("utf-8").rstrip("\n")
+                if line.startswith("event:"):
+                    event_name = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data = json.loads(line.split(":", 1)[1].strip())
+                elif not line and data is not None:
+                    yield event_name, data
+                    if event_name in ("done", "failed", "cancelled"):
+                        return
+                    event_name, data = "", None
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str,
+             timeout_s: float = 120.0) -> dict[str, t.Any]:
+        """Stream until terminal; returns the final status document."""
+        deadline = time.monotonic() + timeout_s
+        for _event, _data in self.stream(job_id):
+            if time.monotonic() > deadline:
+                raise ServiceError(f"job {job_id} not terminal "
+                                   f"after {timeout_s}s")
+        doc = self.status(job_id)
+        if doc["state"] not in ("done", "failed", "cancelled"):
+            raise ServiceError(
+                f"stream for {job_id} ended in state {doc['state']}"
+            )
+        return doc

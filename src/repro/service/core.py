@@ -1,0 +1,468 @@
+"""The long-lived trace service: queue → shards → cache → events.
+
+:class:`TraceService` is the asyncio heart of :mod:`repro.service`.
+One instance owns N shard loops (each an ``asyncio.Task`` draining a
+priority queue into an executor), the shared content-addressed result
+cache, the dedupe map, and the per-job event logs that SSE subscribers
+replay.  The HTTP layer (:mod:`repro.service.http`) is a thin
+translation onto this class; everything here is directly usable
+in-process, which is how the unit tests and the harness experiment
+drive it.
+
+The submission path, in order:
+
+1. **validate** the payload (bad requests never reach a worker),
+2. **dedupe** by job key — an identical in-flight or completed job is
+   returned as-is (a completed one counts as a cache hit),
+3. **probe the disk cache** — a warm entry completes the job without
+   queueing (this is what a fresh service instance pointed at a warm
+   cache directory does for ≥95% of resubmitted work),
+4. **admission** — capacity/quota bounds, 429 on the HTTP side,
+5. **enqueue** on the key's shard, highest priority first.
+
+Exactly-once: a job key maps to at most one live job; the shard loop
+is the only writer of terminal states; ``Job.completions`` counts
+terminal transitions and the health check flags any job where it is
+not exactly 1.  Crashed or overdue workers requeue under the
+:mod:`repro.faults` retry policy; in-job exceptions fail immediately
+(the campaign pool's deterministic-failure rule).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import pathlib
+import time
+import typing as t
+
+from repro.campaign.cache import CacheEntry, ResultCache
+from repro.campaign.pool import DEFAULT_RETRY
+from repro.errors import ConfigurationError, ServiceError
+from repro.faults.recovery import RetryPolicy
+from repro.harness.results import ExperimentResult
+from repro.obs.metrics import MetricsRegistry
+from repro.service import jobs as jobs_mod
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL,
+    Job,
+    JobEvent,
+    run_payload,
+)
+from repro.service.queue import AdmissionController
+from repro.service.shards import (
+    JobAbortedError,
+    JobExecutionError,
+    ShardRouter,
+    WorkerCrashError,
+    make_executor,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`TraceService` instance is built from."""
+
+    shards: int = 2
+    capacity: int = 64
+    per_client_quota: int = 16
+    #: ``spawn`` (real worker processes, crash isolation — the
+    #: production default) or ``thread`` (in-process, fast startup).
+    executor: str = "spawn"
+    cache_dir: str | pathlib.Path | None = None
+    job_timeout_s: float = 300.0
+    retry: RetryPolicy = DEFAULT_RETRY
+    retry_after_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.job_timeout_s <= 0:
+            raise ConfigurationError("job_timeout_s must be positive")
+
+
+class TraceService:
+    """Accept jobs, run them on sharded workers, stream their events."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.router = ShardRouter(self.config.shards)
+        self.admission = AdmissionController(
+            capacity=self.config.capacity,
+            per_client_quota=self.config.per_client_quota,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.cache: ResultCache | None = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir is not None else None
+        )
+        self.metrics = MetricsRegistry()
+        self._submitted = self.metrics.counter(
+            "service_jobs_submitted_total", "Jobs accepted, by kind")
+        self._rejected = self.metrics.counter(
+            "service_admission_rejected_total", "429s, by reason")
+        self._finished = self.metrics.counter(
+            "service_jobs_finished_total", "Terminal transitions, by state")
+        self._hits = self.metrics.counter(
+            "service_cache_hits_total",
+            "Submissions answered without running (dedupe or disk cache)")
+        self._requeues = self.metrics.counter(
+            "service_requeues_total", "Crash/timeout retries")
+        self._depth = self.metrics.gauge(
+            "service_queue_depth", "Queued jobs right now")
+        self._running = self.metrics.gauge(
+            "service_jobs_running", "Jobs executing right now")
+        self._wall = self.metrics.histogram(
+            "service_job_wall_s", help="Fresh job execution seconds")
+
+        self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, str] = {}
+        self._queues: list[asyncio.PriorityQueue] = []
+        self._executors: list[t.Any] = []
+        self._loops: list[asyncio.Task] = []
+        self._cancel_events: dict[str, asyncio.Event] = {}
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._next_id = 0
+        self._enqueue_seq = 0
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._loops:
+            raise ServiceError("service already started")
+        for shard in range(self.config.shards):
+            self._queues.append(asyncio.PriorityQueue())
+            self._executors.append(make_executor(
+                self.config.executor, timeout_s=self.config.job_timeout_s,
+            ))
+            self._loops.append(asyncio.create_task(
+                self._shard_loop(shard), name=f"service-shard-{shard}",
+            ))
+
+    async def aclose(self) -> None:
+        self._closed = True
+        for task in self._loops:
+            task.cancel()
+        if self._loops:
+            # Bounded: a shard loop that mishandles its cancellation
+            # must not wedge teardown (asyncio.wait never re-raises
+            # the tasks' exceptions, and abandons them on timeout).
+            await asyncio.wait(self._loops, timeout=5.0)
+        for executor in self._executors:
+            await executor.aclose()
+        self._loops.clear()
+
+    # -- submission ---------------------------------------------------
+
+    def submit(self, kind: str, payload: t.Mapping[str, t.Any] | None = None,
+               *, client: str = "anonymous", priority: int = 0) -> Job:
+        """Admit one job (or attach to its twin); returns its record."""
+        if self._closed:
+            raise ServiceError("service is shutting down")
+        payload = dict(payload or {})
+        jobs_mod.validate_payload(kind, payload)
+        key = jobs_mod.job_key(kind, payload)
+
+        twin_id = self._by_key.get(key)
+        if twin_id is not None:
+            twin = self._jobs[twin_id]
+            if twin.state not in (FAILED, CANCELLED):
+                if twin.state == DONE:
+                    self._hits.inc(source="dedupe")
+                return twin
+            # failed/cancelled twins may be resubmitted fresh
+
+        job = Job(
+            id=f"j{self._next_id:05d}",
+            key=key,
+            kind=kind,
+            payload=payload,
+            client=client,
+            priority=int(priority),
+            shard=self.router.shard_for(key),
+            submitted_at=time.monotonic(),
+        )
+        self._next_id += 1
+
+        cached = self._probe_cache(kind, payload)
+        if cached is not None:
+            self._register(job)
+            job.cache_hit = True
+            job.result = cached
+            self._emit(job, "queued", {"cache": "probing"})
+            self._complete(job, DONE)
+            self._hits.inc(source="disk")
+            return job
+
+        backlog = sum(
+            1 for other in self._jobs.values()
+            if other.state in (QUEUED, RUNNING)
+        )
+        client_active = sum(
+            1 for other in self._jobs.values()
+            if other.client == client and other.state in (QUEUED, RUNNING)
+        )
+        try:
+            self.admission.admit(client, backlog, client_active)
+        except Exception as exc:
+            self._rejected.inc(reason=getattr(exc, "reason", "capacity"))
+            raise
+
+        self._register(job)
+        self._submitted.inc(kind=kind)
+        self._cancel_events[job.id] = asyncio.Event()
+        self._enqueue_seq += 1
+        self._queues[job.shard].put_nowait(
+            (-job.priority, self._enqueue_seq, job.id)
+        )
+        self._depth.add(1.0)
+        self._emit(job, "queued", {"shard": job.shard})
+        return job
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._by_key[job.key] = job.id
+
+    def _probe_cache(
+        self, kind: str, payload: dict[str, t.Any]
+    ) -> dict[str, t.Any] | None:
+        if self.cache is None:
+            return None
+        cache_key = jobs_mod.cache_key_for(kind, payload)
+        if cache_key is None:
+            return None
+        entry = self.cache.get(cache_key)
+        if entry is None:
+            return None
+        return {
+            "result_json": entry.result.to_json(),
+            "wall_s": entry.wall_s,
+        }
+
+    def _store(self, job: Job) -> None:
+        if self.cache is None or job.result is None:
+            return
+        cache_key = jobs_mod.cache_key_for(job.kind, job.payload)
+        if cache_key is None:
+            return
+        result = ExperimentResult.from_json(job.result["result_json"])
+        self.cache.put(CacheEntry(
+            key=cache_key,
+            job_key=job.key,
+            experiment=(job.payload.get("experiment", job.kind)
+                        if job.kind == "experiment" else job.kind),
+            preset=job.payload.get("preset", "-"),
+            seed=int(job.payload.get("seed", 0)),
+            wall_s=job.result["wall_s"],
+            result=result,
+        ))
+
+    # -- queries ------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job: {job_id!r}") from None
+
+    def jobs(self) -> tuple[Job, ...]:
+        return tuple(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        counts = {state: 0 for state in
+                  (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    # -- cancel -------------------------------------------------------
+
+    async def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job; terminal jobs are left be."""
+        job = self.job(job_id)
+        if job.state in TERMINAL:
+            return job
+        if job.state == QUEUED:
+            self._complete(job, CANCELLED)
+            self._depth.add(-1.0)
+            return job
+        # Running: flag it and kill the in-flight execution; the shard
+        # loop owns the terminal transition.
+        event = self._cancel_events.get(job.id)
+        if event is not None:
+            event.set()
+        await self._executors[job.shard].abort()
+        return job
+
+    # -- events and streaming -----------------------------------------
+
+    def _emit(self, job: Job, event: str,
+              data: dict[str, t.Any] | None = None) -> None:
+        payload = {"id": job.id, "key": job.key, "state": job.state}
+        payload.update(data or {})
+        record = JobEvent(seq=len(job.events) + 1, event=event, data=payload)
+        job.events.append(record)
+        for queue in self._subscribers.get(job.id, ()):  # fan out live
+            queue.put_nowait(record)
+
+    def subscribe(self, job_id: str) -> tuple[list[JobEvent], asyncio.Queue]:
+        """Replay history + a live queue; always subscribe-then-replay
+        so a reconnecting client can dedupe on ``seq`` and never miss
+        an event between snapshot and subscription."""
+        job = self.job(job_id)
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return list(job.events), queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        listeners = self._subscribers.get(job_id)
+        if listeners and queue in listeners:
+            listeners.remove(queue)
+        if listeners is not None and not listeners:
+            del self._subscribers[job_id]
+
+    def subscriber_count(self, job_id: str) -> int:
+        return len(self._subscribers.get(job_id, ()))
+
+    # -- the shard loop ----------------------------------------------
+
+    def _complete(self, job: Job, state: str,
+                  *, error: str | None = None) -> None:
+        job.state = state
+        job.error = error
+        job.finished_at = time.monotonic()
+        job.completions += 1
+        self._finished.inc(state=state)
+        event = {DONE: "done", FAILED: "failed", CANCELLED: "cancelled"}
+        data: dict[str, t.Any] = {}
+        if error is not None:
+            data["error"] = error
+        if state == DONE and job.result is not None:
+            data["wall_s"] = job.result["wall_s"]
+            data["cache_hit"] = job.cache_hit
+        self._emit(job, event[state], data)
+        self._cancel_events.pop(job.id, None)
+
+    async def _shard_loop(self, shard: int) -> None:
+        queue = self._queues[shard]
+        executor = self._executors[shard]
+        while True:
+            _, _, job_id = await queue.get()
+            job = self._jobs[job_id]
+            if job.state != QUEUED:  # cancelled while waiting
+                continue
+            self._depth.add(-1.0)
+            cancel = self._cancel_events[job.id]
+            job.state = RUNNING
+            self._running.add(1.0)
+            self._emit(job, "started", {"shard": shard})
+            try:
+                await self._run_with_retry(job, executor, cancel)
+            finally:
+                self._running.add(-1.0)
+
+    async def _run_with_retry(self, job: Job, executor: t.Any,
+                              cancel: asyncio.Event) -> None:
+        retry = self.config.retry
+        while True:
+            job.attempts += 1
+            run = asyncio.ensure_future(
+                executor.run(run_payload, (job.kind, job.payload))
+            )
+            stop = asyncio.ensure_future(cancel.wait())
+            try:
+                await asyncio.wait({run, stop},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            except asyncio.CancelledError:
+                # Service shutdown with this job still in flight: tidy
+                # the helper tasks (one loop turn to let their
+                # cancellations land), then let the shard loop die.
+                stop.cancel()
+                run.cancel()
+                await asyncio.wait({run, stop}, timeout=1.0)
+                raise
+            if not run.done():
+                # Cancelled mid-flight.  The executor was already told
+                # to abort (see cancel()); abandon the awaitable — a
+                # spawn worker is already dead, a thread finishes into
+                # the void and its result is discarded either way.
+                run.cancel()
+                try:
+                    await run
+                except asyncio.CancelledError:
+                    # Two cancellations look identical here: the one we
+                    # just injected into ``run``, and the shard loop
+                    # *itself* being cancelled by aclose().  Swallowing
+                    # the latter would leave a zombie loop that aclose
+                    # awaits forever, so re-raise when it is ours.
+                    current = asyncio.current_task()
+                    if current is not None and current.cancelling():
+                        self._complete(job, CANCELLED)
+                        raise
+                except Exception:
+                    pass
+                self._complete(job, CANCELLED)
+                stop.cancel()
+                return
+            stop.cancel()
+            try:
+                payload = run.result()
+            except JobAbortedError:
+                self._complete(job, CANCELLED)
+                return
+            except JobExecutionError as exc:
+                self._complete(job, FAILED, error=str(exc))
+                return
+            except WorkerCrashError as exc:
+                if cancel.is_set():
+                    self._complete(job, CANCELLED)
+                    return
+                if job.attempts < retry.max_attempts:
+                    self._requeues.inc(reason=exc.reason)
+                    self._emit(job, "requeued", {
+                        "reason": exc.reason, "attempt": job.attempts,
+                    })
+                    continue
+                self._complete(
+                    job, FAILED,
+                    error=f"{exc.reason} after {job.attempts} attempts",
+                )
+                return
+            if cancel.is_set():
+                # Completion raced the cancel; cancel wins — the
+                # client was already told the job was going away.
+                self._complete(job, CANCELLED)
+                return
+            job.result = payload
+            self._wall.observe(payload["wall_s"])
+            self._store(job)
+            self._complete(job, DONE)
+            return
+
+    # -- introspection for /healthz ----------------------------------
+
+    def shard_tasks(self) -> tuple[asyncio.Task, ...]:
+        return tuple(self._loops)
+
+    def queue_depths(self) -> tuple[int, ...]:
+        return tuple(q.qsize() for q in self._queues)
+
+    def describe(self) -> dict[str, t.Any]:
+        """One JSON-able status document (the ``GET /jobs`` body)."""
+        return {
+            "config": {
+                "shards": self.config.shards,
+                "capacity": self.config.capacity,
+                "per_client_quota": self.config.per_client_quota,
+                "executor": self.config.executor,
+            },
+            "counts": self.counts(),
+            "queue_depths": list(self.queue_depths()),
+            "jobs": [job.summary() | {"result": None}
+                     for job in self._jobs.values()],
+        }

@@ -1,0 +1,289 @@
+"""The ``service`` experiment: the live service proving itself.
+
+Registered like any figure, this boots real :class:`~repro.service.
+thread.ServiceThread` instances on loopback sockets and drives them the
+way production traffic would — concurrent HTTP clients, SSE streams,
+resubmits against a shared cache directory — then reports one row per
+scenario lane:
+
+* ``admission``   — a capacity-2, quota-1 instance refuses the right
+  submissions with 429 + Retry-After (capacity and quota separately).
+* ``mixed-load``  — ``service_clients`` threads submit a mixed bag of
+  experiment/trace/sleep jobs over HTTP and stream each to completion;
+  exactly-once is asserted per job key (duplicate submissions across
+  clients attach to one job; nothing is lost, nothing runs twice).
+* ``warm-resubmit`` — a *fresh* instance pointed at the same cache
+  directory answers the identical cacheable submissions from disk;
+  the hit-rate must clear 95%.
+* ``crash-requeue`` — a one-shard ``spawn`` instance loses its worker
+  mid-job and requeues onto a fresh one (attempt 2 succeeds).
+* ``health``      — ``/healthz`` is green and the exactly-once ledger
+  balances after all of the above.
+
+Rows carry only deterministic values; measured rates (sustained
+jobs/sec, p50/p99 submit→terminal stream latency) go to ``meta``,
+which is how ``BENCH_service.json`` feeds the perf-regression gate
+without poisoning the result cache.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import statistics
+import tempfile
+import time
+import typing as t
+
+from repro.errors import AdmissionError
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult
+from repro.service.client import ServiceClient
+from repro.service.core import ServiceConfig
+from repro.service.thread import ServiceThread
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Service self-check: admission, mixed load, warm cache, recovery."""
+    config = config or ExperimentConfig()
+    rows: list[dict[str, t.Any]] = []
+    meta: dict[str, t.Any] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as root:
+        cache_dir = os.path.join(root, "cache")
+        rows.append(_admission_lane())
+        mixed_row, submissions = _mixed_load_lane(config, cache_dir, meta)
+        rows.append(mixed_row)
+        rows.append(_warm_resubmit_lane(config, cache_dir, submissions))
+        rows.append(_crash_requeue_lane(root))
+    notes = (
+        f'{config.service_clients} concurrent HTTP clients, '
+        f'{mixed_row["jobs_submitted"]} submissions over '
+        f'{mixed_row["unique_keys"]} distinct job keys; '
+        f'warm resubmit hit-rate '
+        f'{rows[2]["hit_rate"]:.2f}',
+        "rows are deterministic; sustained jobs/sec and stream "
+        "latencies live in meta (BENCH_service.json gates the wall)",
+    )
+    return ExperimentResult(
+        experiment="service",
+        title="Trace service: admission, mixed load, cache, recovery",
+        rows=tuple(rows),
+        notes=notes,
+        meta=meta,
+    )
+
+
+def _admission_lane() -> dict[str, t.Any]:
+    service_config = ServiceConfig(
+        shards=1, capacity=2, per_client_quota=1,
+        executor="thread", retry_after_s=0.1,
+    )
+    rejected_capacity = rejected_quota = 0
+    retry_after_ok = True
+    with ServiceThread(service_config) as live:
+        client = ServiceClient(port=live.port)
+        held = []
+        # Two distinct clients fill the backlog (quota is 1 each).
+        # 5s holds: cancelled thread jobs are *abandoned*, and their
+        # threads must not outlive the whole experiment (non-daemon
+        # pool threads delay interpreter exit); 5s still dwarfs the
+        # few loopback round-trips the lane makes while they run.
+        for i in range(2):
+            held.append(client.submit(
+                "sleep", {"duration_s": 5.0, "label": f"hold{i}"},
+                client=f"filler-{i}",
+            ))
+        # ...so a third client hits the capacity wall...
+        try:
+            client.submit("sleep", {"duration_s": 1.0, "label": "over"},
+                          client="late")
+        except AdmissionError as exc:
+            rejected_capacity += 1
+            retry_after_ok &= exc.retry_after_s > 0
+            retry_after_ok &= exc.reason == "capacity"
+        for job in held:
+            client.cancel(job["id"])
+        # ...and with the backlog drained, one client over-asking
+        # trips its per-client quota instead.
+        first = client.submit(
+            "sleep", {"duration_s": 5.0, "label": "mine"}, client="greedy"
+        )
+        try:
+            client.submit("sleep", {"duration_s": 1.0, "label": "more"},
+                          client="greedy")
+        except AdmissionError as exc:
+            rejected_quota += 1
+            retry_after_ok &= exc.reason == "quota"
+        client.cancel(first["id"])
+    return {
+        "scenario": "admission",
+        "capacity": service_config.capacity,
+        "quota": service_config.per_client_quota,
+        "rejected_capacity": rejected_capacity,
+        "rejected_quota": rejected_quota,
+        "retry_after_ok": retry_after_ok,
+    }
+
+
+def _client_submissions(
+    config: ExperimentConfig, client_index: int
+) -> list[tuple[str, dict[str, t.Any]]]:
+    """The mixed bag one load-generator client submits.
+
+    Deliberately overlapping across clients: every client asks for the
+    shared fig08 job and the shared trace, so dedupe and exactly-once
+    are exercised by construction, while per-client seeds keep some
+    work unique.
+    """
+    jobs: list[tuple[str, dict[str, t.Any]]] = [
+        ("experiment", {"experiment": "fig08", "preset": "quick",
+                        "seed": config.seed}),
+        ("trace", {"seed": config.seed,
+                   "users": config.service_trace_users}),
+        ("experiment", {"experiment": "fig02", "preset": "quick",
+                        "seed": config.seed + client_index}),
+        ("sleep", {"duration_s": 0.01, "label": f"c{client_index}"}),
+    ]
+    return jobs[:config.service_jobs_per_client]
+
+
+def _mixed_load_lane(
+    config: ExperimentConfig, cache_dir: str, meta: dict[str, t.Any],
+) -> tuple[dict[str, t.Any], list[tuple[str, dict[str, t.Any]]]]:
+    service_config = ServiceConfig(
+        shards=config.service_shards,
+        capacity=max(64, config.service_clients
+                     * config.service_jobs_per_client * 2),
+        per_client_quota=max(16, config.service_jobs_per_client * 2),
+        executor=config.service_executor,
+        cache_dir=cache_dir,
+    )
+    latencies: list[float] = []
+    submissions: list[tuple[str, dict[str, t.Any]]] = []
+    started = time.perf_counter()
+    with ServiceThread(service_config) as live:
+
+        def drive(client_index: int) -> list[dict[str, t.Any]]:
+            client = ServiceClient(port=live.port, timeout_s=300.0)
+            finals = []
+            for kind, payload in _client_submissions(config, client_index):
+                t0 = time.perf_counter()
+                doc = client.submit_with_backoff(
+                    kind, payload, client=f"load-{client_index}",
+                    max_wait_s=120.0,
+                )
+                final = client.wait(doc["id"], timeout_s=300.0)
+                elapsed = time.perf_counter() - t0
+                # Submit→terminal latency net of the job's own run
+                # time: what the queue + shards + SSE pipeline added.
+                latencies.append(max(0.0, elapsed - (final.get("wall_s")
+                                                     or 0.0)))
+                finals.append(final)
+            return finals
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=config.service_clients
+        ) as pool:
+            all_finals = [
+                final
+                for finals in pool.map(drive,
+                                       range(config.service_clients))
+                for final in finals
+            ]
+        client = ServiceClient(port=live.port)
+        overview = client.overview()
+        health = client.healthz()
+        wall_s = time.perf_counter() - started
+
+        for client_index in range(config.service_clients):
+            submissions.extend(_client_submissions(config, client_index))
+
+        ids_by_key: dict[str, set[str]] = {}
+        for final in all_finals:
+            ids_by_key.setdefault(final["key"], set()).add(final["id"])
+        unique_keys = len(ids_by_key)
+        exactly_once = all(len(ids) == 1 for ids in ids_by_key.values())
+        done = sum(1 for final in all_finals if final["state"] == "done")
+        meta.update({
+            "mixed_wall_s": round(wall_s, 3),
+            "jobs_per_s": round(len(all_finals) / wall_s, 3),
+            "stream_p50_ms": round(
+                statistics.median(latencies) * 1e3, 3),
+            "stream_p99_ms": round(
+                sorted(latencies)[int(0.99 * (len(latencies) - 1))] * 1e3,
+                3),
+        })
+        return {
+            "scenario": "mixed-load",
+            "clients": config.service_clients,
+            "shards": config.service_shards,
+            "executor": config.service_executor,
+            "jobs_submitted": len(all_finals),
+            "unique_keys": unique_keys,
+            "done": done,
+            "failed": sum(1 for f in all_finals if f["state"] == "failed"),
+            "jobs_on_server": len(overview["jobs"]),
+            "exactly_once": exactly_once
+            and len(overview["jobs"]) == unique_keys,
+            "healthz": health["status"],
+            "violations": len(health["violations"]),
+        }, submissions
+
+
+def _warm_resubmit_lane(
+    config: ExperimentConfig, cache_dir: str,
+    submissions: list[tuple[str, dict[str, t.Any]]],
+) -> dict[str, t.Any]:
+    service_config = ServiceConfig(
+        shards=config.service_shards,
+        executor="thread",
+        cache_dir=cache_dir,
+    )
+    cacheable = [(kind, payload) for kind, payload in submissions
+                 if kind in ("experiment", "trace")]
+    hits = 0
+    with ServiceThread(service_config) as live:
+        client = ServiceClient(port=live.port, timeout_s=300.0)
+        for kind, payload in cacheable:
+            doc = client.submit(kind, payload, client="resubmitter")
+            if doc["state"] != "done":
+                doc = client.wait(doc["id"], timeout_s=300.0)
+            # A disk hit completes before submit() returns; a repeat
+            # key later in this loop attaches to that same job and
+            # inherits its cache_hit flag.
+            if doc["cache_hit"]:
+                hits += 1
+        # Deduped resubmissions of the same key only touch disk once;
+        # count distinct keys for the honest denominator.
+        distinct = {
+            (kind, tuple(sorted(payload.items(), key=str)))
+            for kind, payload in cacheable
+        }
+    return {
+        "scenario": "warm-resubmit",
+        "resubmitted": len(cacheable),
+        "distinct_keys": len(distinct),
+        "hits": hits,
+        "hit_rate": round(hits / len(cacheable), 4) if cacheable else 1.0,
+    }
+
+
+def _crash_requeue_lane(root: str) -> dict[str, t.Any]:
+    service_config = ServiceConfig(
+        shards=1, executor="spawn", job_timeout_s=120.0,
+    )
+    marker = os.path.join(root, "crash-once")
+    with ServiceThread(service_config) as live:
+        client = ServiceClient(port=live.port, timeout_s=180.0)
+        doc = client.submit("sleep", {
+            "duration_s": 0.0, "crash_unless": marker, "label": "crashy",
+        })
+        events = [event for event, _data in client.stream(doc["id"])]
+        final = client.status(doc["id"])
+    return {
+        "scenario": "crash-requeue",
+        "state": final["state"],
+        "attempts": final["attempts"],
+        "requeued": "requeued" in events,
+        "marker_left": os.path.exists(marker),
+    }

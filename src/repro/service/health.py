@@ -1,0 +1,107 @@
+"""Service health: standing invariants behind ``GET /healthz``.
+
+The same move :mod:`repro.health.invariants` makes for the network —
+pure check functions returning :class:`~repro.health.invariants.
+Violation` records — applied to the service's own accounting.  Checks
+never mutate; the HTTP layer turns a non-empty list into a 503.
+
+What must always hold on a live service:
+
+* every shard loop task is alive (a crashed loop strands its queue),
+* job accounting conserves: every job is in exactly one state, and
+  every terminal job completed exactly once (the exactly-once ledger),
+* the backlog respects the admission bound it was admitted under,
+* terminal jobs carry what their state promises (a result when done,
+  an error when failed).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.health.invariants import Violation
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, TERMINAL
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.service.core import TraceService
+
+
+def shard_loops_alive(service: "TraceService") -> list[Violation]:
+    violations = []
+    for task in service.shard_tasks():
+        if task.done() and not task.cancelled():
+            exc = task.exception()
+            violations.append(Violation(
+                check="service.shard_alive",
+                subject=task.get_name(),
+                detail=f"shard loop exited: {exc!r}",
+            ))
+    return violations
+
+
+def accounting_conserved(service: "TraceService") -> list[Violation]:
+    violations = []
+    counts = service.counts()
+    if sum(counts.values()) != len(service.jobs()):
+        violations.append(Violation(
+            check="service.accounting",
+            subject="jobs",
+            detail=f"state counts {counts} do not cover every job",
+        ))
+    for job in service.jobs():
+        expected = 1 if job.state in TERMINAL else 0
+        if job.completions != expected:
+            violations.append(Violation(
+                check="service.exactly_once",
+                subject=job.id,
+                detail=(f"{job.state} job completed {job.completions} "
+                        f"times (expected {expected})"),
+            ))
+    return violations
+
+
+def backlog_bounded(service: "TraceService") -> list[Violation]:
+    counts = service.counts()
+    backlog = counts[QUEUED] + counts[RUNNING]
+    if backlog > service.admission.capacity:
+        return [Violation(
+            check="service.backlog",
+            subject="queue",
+            detail=(f"backlog {backlog} exceeds admitted capacity "
+                    f"{service.admission.capacity}"),
+        )]
+    return []
+
+
+def terminal_jobs_complete(service: "TraceService") -> list[Violation]:
+    violations = []
+    for job in service.jobs():
+        if job.state == DONE and job.result is None:
+            violations.append(Violation(
+                check="service.result_present",
+                subject=job.id,
+                detail="done job carries no result",
+            ))
+        if job.state == FAILED and job.error is None:
+            violations.append(Violation(
+                check="service.error_present",
+                subject=job.id,
+                detail="failed job carries no error",
+            ))
+    return violations
+
+
+ALL_CHECKS = (
+    shard_loops_alive,
+    accounting_conserved,
+    backlog_bounded,
+    terminal_jobs_complete,
+)
+
+
+def check_service(service: "TraceService") -> list[Violation]:
+    """Run every standing invariant; empty list means healthy."""
+    violations: list[Violation] = []
+    for check in ALL_CHECKS:
+        violations.extend(check(service))
+    return violations

@@ -1,0 +1,297 @@
+"""A hand-rolled asyncio HTTP/1.1 + SSE front end for the service.
+
+No third-party web framework: the dependency budget is the stdlib, and
+the API surface is small enough that ``asyncio.start_server`` plus a
+~hundred-line request parser is the honest cost.  One connection = one
+request (``Connection: close``), which keeps the parser trivial and is
+plenty for a campaign driver; SSE streams hold their connection open
+until the job's terminal event, exactly as the protocol intends.
+
+Routes:
+
+====== ========================== =======================================
+POST   /jobs                      submit ``{"kind", "payload",
+                                  "client", "priority"}`` → job summary
+                                  (429 + Retry-After when refused)
+GET    /jobs                      service status + job listing
+GET    /jobs/<id>                 one job's status document
+POST   /jobs/<id>/cancel          cancel queued/running work
+GET    /jobs/<id>/stream          SSE: replayed + live lifecycle events
+GET    /healthz                   200/503 from repro.service.health
+GET    /metrics                   text exposition of the obs registry
+====== ========================== =======================================
+
+SSE framing is ``id: <seq>`` / ``event: <name>`` / ``data: <json>``
+per event; the ``id`` is the job-local sequence number so a client
+reconnecting mid-stream dedupes replayed history.  A client that goes
+away mid-stream is noticed by awaiting its half of the socket for EOF
+concurrently with the event queue — the handler unsubscribes and the
+job keeps running (disconnection is not cancellation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import typing as t
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service.health import check_service
+from repro.service.jobs import TERMINAL, JobEvent
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.service.core import TraceService
+
+MAX_BODY = 1 << 20  # 1 MiB of JSON is already an abuse of this API
+
+REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(ServiceError):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class HttpServer:
+    """The asyncio server owning one :class:`TraceService` front end."""
+
+    def __init__(self, service: "TraceService", *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port (for ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, headers = await self._read_head(reader)
+            body = await self._read_body(reader, headers)
+            await self._route(method, path, body, reader, writer)
+        except HttpError as exc:
+            await self._respond(writer, exc.status, {"error": str(exc)})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            try:
+                await self._respond(writer, 500, {"error": repr(exc)})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_head(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, dict[str, str]]:
+        line = await reader.readline()
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise HttpError(400, f"malformed request line: {line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    @staticmethod
+    async def _read_body(reader: asyncio.StreamReader,
+                         headers: dict[str, str]) -> bytes:
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            raise HttpError(400, f"body too large: {length} bytes")
+        return await reader.readexactly(length) if length else b""
+
+    # -- routing ------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        parts = path.strip("/").split("/")
+
+        if path == "/healthz":
+            self._expect(method, "GET")
+            return await self._healthz(writer)
+        if path == "/metrics":
+            self._expect(method, "GET")
+            return await self._respond_text(
+                writer, 200, self.service.metrics.render_text()
+            )
+        if path == "/jobs":
+            if method == "POST":
+                return await self._submit(body, writer)
+            self._expect(method, "GET")
+            return await self._respond(writer, 200, self.service.describe())
+        if parts[0] == "jobs" and len(parts) == 2:
+            self._expect(method, "GET")
+            return await self._respond(
+                writer, 200, self._job(parts[1]).summary()
+            )
+        if parts[0] == "jobs" and len(parts) == 3 and parts[2] == "cancel":
+            self._expect(method, "POST")
+            job = await self.service.cancel(self._job(parts[1]).id)
+            return await self._respond(writer, 200, job.summary())
+        if parts[0] == "jobs" and len(parts) == 3 and parts[2] == "stream":
+            self._expect(method, "GET")
+            return await self._stream(parts[1], reader, writer)
+        raise HttpError(404, f"no such route: {path}")
+
+    @staticmethod
+    def _expect(method: str, allowed: str) -> None:
+        if method != allowed:
+            raise HttpError(405, f"{method} not allowed (use {allowed})")
+
+    def _job(self, job_id: str) -> t.Any:
+        try:
+            return self.service.job(job_id)
+        except ServiceError as exc:
+            raise HttpError(404, str(exc)) from None
+
+    # -- handlers -----------------------------------------------------
+
+    async def _submit(self, body: bytes,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"body is not JSON: {exc}") from None
+        if not isinstance(doc, dict) or "kind" not in doc:
+            raise HttpError(400, 'body must be {"kind": ..., "payload": ...}')
+        try:
+            job = self.service.submit(
+                doc["kind"],
+                doc.get("payload") or {},
+                client=str(doc.get("client", "anonymous")),
+                priority=int(doc.get("priority", 0)),
+            )
+        except AdmissionError as exc:
+            await self._respond(
+                writer, 429,
+                {"error": str(exc), "reason": exc.reason,
+                 "retry_after_s": exc.retry_after_s},
+                extra_headers={"Retry-After": f"{exc.retry_after_s:g}"},
+            )
+            return
+        except ServiceError as exc:
+            raise HttpError(400, str(exc)) from None
+        await self._respond(writer, 200, job.summary())
+
+    async def _healthz(self, writer: asyncio.StreamWriter) -> None:
+        violations = check_service(self.service)
+        status = 200 if not violations else 503
+        await self._respond(writer, status, {
+            "status": "ok" if not violations else "unhealthy",
+            "counts": self.service.counts(),
+            "violations": [
+                {"check": v.check, "subject": v.subject, "detail": v.detail}
+                for v in violations
+            ],
+        })
+
+    async def _stream(self, job_id: str, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        job = self._job(job_id)
+        history, queue = self.service.subscribe(job.id)
+        eof = asyncio.ensure_future(reader.read(1))  # EOF = client gone
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-cache\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await writer.drain()
+            seen = 0
+            for event in history:
+                self._write_event(writer, event)
+                seen = event.seq
+            await writer.drain()
+            terminal = any(e.event in ("done", "failed", "cancelled")
+                           for e in history)
+            while not terminal:
+                getter = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {getter, eof}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if eof in done:  # client disconnected mid-stream
+                    getter.cancel()
+                    break
+                event = getter.result()
+                if event.seq <= seen:  # replay raced the live feed
+                    continue
+                seen = event.seq
+                self._write_event(writer, event)
+                await writer.drain()
+                terminal = event.event in ("done", "failed", "cancelled")
+        finally:
+            self.service.unsubscribe(job.id, queue)
+            eof.cancel()
+
+    @staticmethod
+    def _write_event(writer: asyncio.StreamWriter, event: JobEvent) -> None:
+        data = json.dumps(event.data, default=str)
+        writer.write(
+            f"id: {event.seq}\nevent: {event.event}\n"
+            f"data: {data}\n\n".encode("utf-8")
+        )
+
+    # -- response plumbing --------------------------------------------
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, doc: dict[str, t.Any],
+        *, extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(doc, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+        )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    @staticmethod
+    async def _respond_text(writer: asyncio.StreamWriter, status: int,
+                            text: str) -> None:
+        body = text.encode("utf-8")
+        writer.write((
+            f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: text/plain; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1") + body)
+        await writer.drain()

@@ -1,0 +1,76 @@
+"""Admission control: the service's front door.
+
+The queue itself is plain ``asyncio.PriorityQueue`` machinery inside
+:class:`~repro.service.core.TraceService`; what deserves its own module
+is the *policy* of what gets in.  Two bounds apply, checked in order:
+
+* **capacity** — total backlog (queued + running jobs) across all
+  shards.  A full service answers 429 rather than queueing unboundedly;
+  the bound is what makes memory use and tail latency predictable under
+  overload (the same argument the fabric's bounded switch queues make).
+* **quota** — active jobs per client, so one chatty client cannot
+  occupy the whole backlog and starve the other seven.
+
+Rejections carry a ``Retry-After`` hint scaled by how overloaded the
+queue is: a barely-full queue says "come right back", a deeply backed
+up one (every slot taken by running work) says to wait for roughly a
+job's worth of time.  Duplicate submissions and cache hits are *not*
+admissions — they attach to existing results and bypass these bounds
+entirely, which is what makes warm resubmits cheap under load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import AdmissionError, ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionController:
+    """Bounded-backlog, per-client-quota admission policy."""
+
+    capacity: int = 64
+    per_client_quota: int = 16
+    retry_after_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1: {self.capacity!r}"
+            )
+        if self.per_client_quota < 1:
+            raise ConfigurationError(
+                f"per_client_quota must be >= 1: {self.per_client_quota!r}"
+            )
+        if self.retry_after_s <= 0:
+            raise ConfigurationError("retry_after_s must be positive")
+
+    def admit(self, client: str, backlog: int, client_active: int) -> None:
+        """Raise :class:`AdmissionError` if this submission may not
+        join the queue; return silently if it may.
+
+        *backlog* is the service-wide queued+running count and
+        *client_active* the submitting client's share of it, both
+        measured **before** this job joins.
+        """
+        if backlog >= self.capacity:
+            raise AdmissionError(
+                f"queue at capacity ({backlog}/{self.capacity} jobs)",
+                reason="capacity",
+                retry_after_s=self._hint(backlog),
+            )
+        if client_active >= self.per_client_quota:
+            raise AdmissionError(
+                f"client {client!r} over quota "
+                f"({client_active}/{self.per_client_quota} active jobs)",
+                reason="quota",
+                retry_after_s=self._hint(backlog),
+            )
+
+    def _hint(self, backlog: int) -> float:
+        """Back off harder the deeper the backlog: 1x the base hint at
+        the capacity line, up to 4x when far past it."""
+        over = max(0, backlog - self.capacity)
+        scale = min(4.0, 1.0 + over / max(1, self.capacity))
+        return round(self.retry_after_s * scale, 3)

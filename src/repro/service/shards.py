@@ -1,0 +1,249 @@
+"""Shard routing and per-shard job executors.
+
+The service's parallelism model is N independent *shards*, each owning
+one executor and one priority queue.  A job's shard is a pure function
+of its key (:class:`ShardRouter`), which gives two properties for free:
+
+* two submissions of the same key land on the same shard, so the
+  dedupe map in :class:`~repro.service.core.TraceService` never races
+  a twin running elsewhere, and
+* load spreads statistically without any coordination between shards
+  (the ECMP argument from the fabric, applied to compute).
+
+Two executors implement the same small async surface:
+
+* :class:`ThreadExecutor` — runs jobs on the default thread pool.
+  Fast to start, shares the interpreter; a cancelled job is
+  *abandoned* (its thread finishes into the void) because threads
+  cannot be killed.  The default for tests and in-process embedding.
+* :class:`SpawnExecutor` — one persistent ``spawn`` worker process per
+  shard, reusing the campaign pool's ``_worker_main`` loop.  Crashes
+  and timeouts surface as :class:`WorkerCrashError` so the shard loop
+  can requeue under the :mod:`repro.faults` retry policy, and cancel
+  is real: terminate + respawn.
+
+Executor methods are called only from the service's event loop; the
+blocking pieces run via ``asyncio.to_thread``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import multiprocessing
+import queue as queue_mod
+import threading
+import time
+import typing as t
+
+from repro.campaign.pool import _worker_main
+from repro.errors import ConfigurationError, ServiceError
+
+
+class WorkerCrashError(ServiceError):
+    """The worker executing a job died or went overdue — an
+    *environmental* failure, retryable under the shard's RetryPolicy."""
+
+    def __init__(self, message: str, *, reason: str = "crash") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class JobExecutionError(ServiceError):
+    """The job function itself raised — deterministic, never retried
+    (rerunning identical code on identical input fails identically)."""
+
+
+class JobAbortedError(ServiceError):
+    """The in-flight job was cancelled out from under its executor."""
+
+
+class ShardRouter:
+    """``key -> shard`` by stable hash; no coordination, no state."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard: {shards!r}")
+        self.shards = int(shards)
+
+    def shard_for(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.shards
+
+
+class ThreadExecutor:
+    """Run jobs on the event loop's thread pool; cancel by abandonment."""
+
+    kind = "thread"
+
+    def __init__(self, *, timeout_s: float = 300.0) -> None:
+        self.timeout_s = float(timeout_s)
+
+    async def run(self, fn: t.Callable[..., t.Any],
+                  args: tuple[t.Any, ...]) -> t.Any:
+        def call() -> t.Any:
+            try:
+                return ("ok", fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - ferried across
+                return ("error", f"{type(exc).__name__}: {exc}")
+
+        # Not wait_for(): cancelling wait_for() around a *running*
+        # thread blocks until the thread finishes, which would make
+        # cancel-while-running wait out the whole job.  asyncio.wait
+        # never cancels its children, so a cancelled run() (or a
+        # timeout) abandons the thread and returns immediately.
+        task = asyncio.ensure_future(asyncio.to_thread(call))
+        try:
+            done, _pending = await asyncio.wait(
+                {task}, timeout=self.timeout_s
+            )
+        except asyncio.CancelledError:
+            self._abandon(task)
+            raise
+        if not done:
+            self._abandon(task)
+            raise WorkerCrashError(
+                f"job exceeded {self.timeout_s}s on the thread executor",
+                reason="timeout",
+            )
+        status, payload = task.result()
+        if status == "error":
+            raise JobExecutionError(payload)
+        return payload
+
+    @staticmethod
+    def _abandon(task: asyncio.Task) -> None:
+        """Walk away from a task whose thread we cannot stop.
+
+        The cancel is best-effort (a running thread-pool future will
+        not cancel); silencing ``_log_destroy_pending`` keeps asyncio
+        from warning about the deliberately-orphaned task if the loop
+        closes before the thread drains.
+        """
+        task.cancel()
+        task._log_destroy_pending = False  # noqa: SLF001 - by design
+
+    async def abort(self) -> None:
+        """Nothing to kill: the thread finishes into the void and the
+        shard loop discards whatever it returns."""
+
+    async def aclose(self) -> None:
+        pass
+
+
+class SpawnExecutor:
+    """One persistent ``spawn`` worker process; real crash recovery."""
+
+    kind = "spawn"
+
+    def __init__(self, *, timeout_s: float = 300.0,
+                 poll_s: float = 0.05) -> None:
+        if timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        self.timeout_s = float(timeout_s)
+        self._poll_s = float(poll_s)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._proc: t.Any = None
+        self._inbox: t.Any = None
+        self._outbox: t.Any = None
+
+    def _ensure_worker(self) -> None:
+        with self._lock:
+            if self._proc is not None and self._proc.is_alive():
+                return
+            self._respawn_locked()
+
+    def _respawn_locked(self) -> None:
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        if self._inbox is not None:
+            self._inbox.cancel_join_thread()
+            self._outbox.cancel_join_thread()
+        self._inbox = self._ctx.Queue()
+        self._outbox = self._ctx.Queue()
+        self._proc = self._ctx.Process(
+            target=_worker_main, args=(self._inbox, self._outbox),
+            daemon=True,
+        )
+        self._proc.start()
+        self._generation += 1
+
+    async def run(self, fn: t.Callable[..., t.Any],
+                  args: tuple[t.Any, ...]) -> t.Any:
+        return await asyncio.to_thread(self._run_blocking, fn, args)
+
+    def _run_blocking(self, fn: t.Callable[..., t.Any],
+                      args: tuple[t.Any, ...]) -> t.Any:
+        self._ensure_worker()
+        with self._lock:
+            generation = self._generation
+            proc, outbox = self._proc, self._outbox
+            self._inbox.put((0, fn, tuple(args)))
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                _, status, payload = outbox.get(timeout=self._poll_s)
+            except queue_mod.Empty:
+                with self._lock:
+                    if self._generation != generation:
+                        raise JobAbortedError(
+                            "job aborted: worker replaced mid-flight"
+                        ) from None
+                if not proc.is_alive():
+                    raise WorkerCrashError(
+                        f"shard worker died (exitcode "
+                        f"{proc.exitcode})", reason="crash",
+                    )
+                if time.monotonic() > deadline:
+                    self._kill_and_respawn()
+                    raise WorkerCrashError(
+                        f"job exceeded {self.timeout_s}s; worker "
+                        "replaced", reason="timeout",
+                    )
+                continue
+            if status == "error":
+                raise JobExecutionError(payload)
+            return payload
+
+    def _kill_and_respawn(self) -> None:
+        with self._lock:
+            self._respawn_locked()
+
+    async def abort(self) -> None:
+        """Kill whatever runs now; the waiting ``run`` call sees the
+        generation bump and raises :class:`JobAbortedError`."""
+        await asyncio.to_thread(self._kill_and_respawn)
+
+    async def aclose(self) -> None:
+        def close() -> None:
+            with self._lock:
+                if self._proc is None:
+                    return
+                if self._proc.is_alive():
+                    self._proc.terminate()
+                    self._proc.join(timeout=5.0)
+                self._inbox.cancel_join_thread()
+                self._outbox.cancel_join_thread()
+                self._proc = None
+
+        await asyncio.to_thread(close)
+
+
+EXECUTORS: dict[str, type] = {
+    "thread": ThreadExecutor,
+    "spawn": SpawnExecutor,
+}
+
+
+def make_executor(kind: str, *, timeout_s: float) -> t.Any:
+    try:
+        cls = EXECUTORS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {kind!r}; expected one of "
+            f"{sorted(EXECUTORS)}"
+        ) from None
+    return cls(timeout_s=timeout_s)

@@ -1,0 +1,100 @@
+"""Run a live service + HTTP server on a background event loop.
+
+Tests, the harness experiment, and ``--serve`` all need the same
+thing: a real socket-listening service while the caller stays
+synchronous.  :class:`ServiceThread` owns a daemon thread running its
+own event loop, starts the :class:`~repro.service.core.TraceService`
+and :class:`~repro.service.http.HttpServer` on it, and exposes the
+bound port.  Use it as a context manager; exit tears down the HTTP
+listener, the shard loops, and the loop itself, in that order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import typing as t
+
+from repro.errors import ServiceError
+from repro.service.core import ServiceConfig, TraceService
+from repro.service.http import HttpServer
+
+
+class ServiceThread:
+    """A live service instance on its own daemon thread."""
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.config = config or ServiceConfig()
+        self.host = host
+        self.port = port
+        self.service: TraceService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise ServiceError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise ServiceError("service thread failed to come up")
+        if self._failure is not None:
+            raise ServiceError(
+                f"service thread died on startup: {self._failure!r}"
+            )
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        service = TraceService(self.config)
+        server = HttpServer(service, host=self.host, port=self.port)
+
+        async def up() -> None:
+            await service.start()
+            self.port = await server.start()
+            self.service = service
+
+        try:
+            loop.run_until_complete(up())
+        except BaseException as exc:  # noqa: BLE001 - ferried to caller
+            self._failure = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.aclose())
+            loop.run_until_complete(service.aclose())
+            loop.close()
+
+    def call(self, coro_fn: t.Callable[[TraceService], t.Any]) -> t.Any:
+        """Run ``await coro_fn(service)`` on the service's loop."""
+        if self._loop is None or self.service is None:
+            raise ServiceError("service thread is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            coro_fn(self.service), self._loop
+        )
+        return future.result(timeout=60.0)
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: t.Any) -> None:
+        self.stop()

@@ -11,9 +11,20 @@
 """
 
 from repro.traces.aws import M5_CATALOG, VmModel, cheapest_fitting
-from repro.traces.google import TraceConfig, TraceUser, TracePod, TraceContainer, generate_trace
+from repro.traces.google import (
+    BoundedWindow,
+    TraceConfig,
+    TraceContainer,
+    TracePod,
+    TraceUser,
+    generate_trace,
+    iter_pods,
+    iter_users,
+    stream_statistics,
+)
 
 __all__ = [
+    "BoundedWindow",
     "M5_CATALOG",
     "TraceConfig",
     "TraceContainer",
@@ -22,4 +33,7 @@ __all__ = [
     "VmModel",
     "cheapest_fitting",
     "generate_trace",
+    "iter_pods",
+    "iter_users",
+    "stream_statistics",
 ]

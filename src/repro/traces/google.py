@@ -16,12 +16,28 @@ seeded synthetic population with the relevant structure:
 Only the *distribution shape* is claimed, not the real traces' values;
 the packing and improvement algorithms consume exactly the same
 per-pod (cpu, mem) tuples either way.
+
+Two generation paths share the samplers:
+
+* :func:`generate_trace` — the **eager compatibility path**: one
+  sequential RNG stream, materializing the full population as a list.
+  Fine at the paper's 492 users; deprecated on any hot path that
+  scales beyond :data:`EAGER_LIMIT` users (it would hold millions of
+  pods in memory at once).
+* :func:`iter_users` / :func:`iter_pods` — the **streaming path**: a
+  lazy iterator in deterministic per-seed chunks.  Chunk *i* draws
+  from its own named stream (``google-trace.c<i>``), so any chunk is
+  reproducible in isolation — a sharded service can generate chunk 7
+  of a ten-million-user population without touching chunks 0–6, and
+  consuming the iterator never materializes more than one chunk.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import typing as t
+import warnings
+import weakref
 
 import numpy as np
 
@@ -29,9 +45,13 @@ from repro.errors import ConfigurationError
 from repro.sim.rng import RngRegistry
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True, weakref_slot=True)
 class TraceContainer:
-    """One container request, in relative units (1.0 = biggest machine)."""
+    """One container request, in relative units (1.0 = biggest machine).
+
+    Slotted: a million-user population holds tens of millions of these,
+    so per-object memory (and construction cost) is sized accordingly.
+    """
 
     cpu: float
     memory: float
@@ -43,7 +63,7 @@ class TraceContainer:
             )
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True, weakref_slot=True)
 class TracePod:
     """A pod: logically coupled containers deployed together."""
 
@@ -65,7 +85,7 @@ class TracePod:
         return max(self.cpu, self.memory)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True, weakref_slot=True)
 class TraceUser:
     """One cloud user and their pod population."""
 
@@ -149,6 +169,25 @@ def _straddler_pod(rng: np.random.Generator,
     return containers
 
 
+def _fit_largest_machine(
+    containers: list[TraceContainer],
+) -> list[TraceContainer]:
+    """Rescale a pod that exceeds the largest machine.
+
+    The Kubernetes baseline must host every pod whole on one VM, so
+    (like the real traces) no pod may exceed the largest machine.
+    """
+    total = max(sum(c.cpu for c in containers),
+                sum(c.memory for c in containers))
+    if total > 0.85:
+        factor = 0.85 / total
+        containers = [
+            TraceContainer(cpu=c.cpu * factor, memory=c.memory * factor)
+            for c in containers
+        ]
+    return containers
+
+
 def _pod(rng: np.random.Generator, name: str, kind: str,
          straddler_p: float, unsplittable_fraction: float) -> TracePod:
     """Sample one pod of the given user class."""
@@ -160,15 +199,7 @@ def _pod(rng: np.random.Generator, name: str, kind: str,
         containers = _regular_pod(rng, 0.012, 1, 6)
     else:  # large/whale users run chunkier multi-container pods
         containers = _regular_pod(rng, 0.05, 2, 9)
-    # The Kubernetes baseline must host every pod whole on one VM, so
-    # (like the real traces) no pod may exceed the largest machine.
-    total = max(sum(c.cpu for c in containers), sum(c.memory for c in containers))
-    if total > 0.85:
-        factor = 0.85 / total
-        containers = [
-            TraceContainer(cpu=c.cpu * factor, memory=c.memory * factor)
-            for c in containers
-        ]
+    containers = _fit_largest_machine(containers)
     return TracePod(
         name=name,
         containers=tuple(containers),
@@ -176,40 +207,264 @@ def _pod(rng: np.random.Generator, name: str, kind: str,
     )
 
 
+def _classify(config: TraceConfig, draw: float) -> tuple[str, float, float]:
+    """Map one uniform draw to ``(kind, mean_pods, straddler_p)``."""
+    if draw < config.small_user_fraction:
+        return "small", config.mean_pods_small, 0.0
+    if draw < config.small_user_fraction + config.medium_user_fraction:
+        return ("medium", config.mean_pods_medium,
+                config.straddler_fraction_medium)
+    if draw < (config.small_user_fraction + config.medium_user_fraction
+               + config.whale_user_fraction):
+        return ("whale", config.mean_pods_whale,
+                config.straddler_fraction_whale)
+    return ("large", config.mean_pods_large,
+            config.straddler_fraction_large)
+
+
+def _user(rng: np.random.Generator, config: TraceConfig, index: int,
+          kind: str, straddler_p: float, n_pods: int) -> TraceUser:
+    """Sample one user's pod population (``n_pods`` already drawn)."""
+    pods = tuple(
+        _pod(rng, f"u{index}-p{j}", kind, straddler_p,
+             config.unsplittable_fraction)
+        for j in range(n_pods)
+    )
+    return TraceUser(name=f"user-{index}", pods=pods)
+
+
+#: Users per chunk on the streaming path.  Each chunk is generated
+#: from its own named stream and freed before the next one starts, so
+#: peak memory is one chunk regardless of population size.
+DEFAULT_CHUNK = 4096
+
+# Trusted constructors for the vectorized assembly loop.  A million
+# users means tens of millions of containers, and the frozen-dataclass
+# __init__ + __post_init__ round trip (~2µs each) dominates the whole
+# generation at that scale.  Every number reaching these has already
+# been clipped into the valid range by the vector draws, so the
+# validation is provably redundant here — the public constructors stay
+# strict for everyone else.
+_new = object.__new__
+_set = object.__setattr__
+
+
+def _fast_container(cpu: float, memory: float) -> TraceContainer:
+    c = _new(TraceContainer)
+    _set(c, "cpu", cpu)
+    _set(c, "memory", memory)
+    return c
+
+
+def _fast_pod(name: str, containers: tuple[TraceContainer, ...],
+              splittable: bool) -> TracePod:
+    p = _new(TracePod)
+    _set(p, "name", name)
+    _set(p, "containers", containers)
+    _set(p, "splittable", splittable)
+    return p
+
+#: Populations beyond this warn when materialized eagerly — the
+#: streaming path exists precisely so nobody holds a million users'
+#: pods in one list.
+EAGER_LIMIT = 100_000
+
+
 def generate_trace(config: TraceConfig | None = None) -> list[TraceUser]:
-    """Generate the synthetic user population."""
+    """Generate the synthetic user population, eagerly, as a list.
+
+    This is the compatibility path (bit-identical to every published
+    figure): one sequential ``google-trace`` stream.  Populations past
+    :data:`EAGER_LIMIT` users warn — use :func:`iter_users` /
+    :func:`iter_pods` on any path that scales, and
+    :func:`stream_statistics` instead of :func:`trace_statistics`.
+    """
     config = config or TraceConfig()
-    registry = RngRegistry(config.seed)
-    rng = registry.stream("google-trace")
+    if config.users > EAGER_LIMIT:
+        warnings.warn(
+            f"generate_trace materializes all {config.users} users; "
+            "use iter_users()/iter_pods() to stream large populations",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    rng = RngRegistry(config.seed).stream("google-trace")
     users: list[TraceUser] = []
     for index in range(config.users):
-        draw = rng.random()
-        if draw < config.small_user_fraction:
-            kind, mean_pods, straddler_p = "small", config.mean_pods_small, 0.0
-        elif draw < config.small_user_fraction + config.medium_user_fraction:
-            kind, mean_pods, straddler_p = (
-                "medium", config.mean_pods_medium,
-                config.straddler_fraction_medium,
-            )
-        elif draw < (config.small_user_fraction + config.medium_user_fraction
-                     + config.whale_user_fraction):
-            kind, mean_pods, straddler_p = (
-                "whale", config.mean_pods_whale,
-                config.straddler_fraction_whale,
-            )
-        else:
-            kind, mean_pods, straddler_p = (
-                "large", config.mean_pods_large,
-                config.straddler_fraction_large,
-            )
+        kind, mean_pods, straddler_p = _classify(config, rng.random())
         n_pods = max(1, int(rng.poisson(mean_pods)))
-        pods = tuple(
-            _pod(rng, f"u{index}-p{j}", kind, straddler_p,
-                 config.unsplittable_fraction)
-            for j in range(n_pods)
-        )
-        users.append(TraceUser(name=f"user-{index}", pods=pods))
+        users.append(_user(rng, config, index, kind, straddler_p, n_pods))
     return users
+
+
+def _generate_chunk(config: TraceConfig, chunk_index: int, start: int,
+                    size: int) -> list[TraceUser]:
+    """Generate users ``start .. start+size`` from the chunk's stream.
+
+    Every draw is vectorized — class draws, pod counts,
+    straddler/splittable coins, container counts and container sizes
+    are ~a dozen generator calls *per chunk* instead of several per
+    pod (straddler shares come from per-segment-normalised gamma
+    draws, the standard Dirichlet construction).  The draw schedule is
+    fixed, so a chunk is one deterministic sequence keyed by
+    ``(seed, chunk_index)`` alone.
+    """
+    rng = RngRegistry(config.seed).stream(f"google-trace.c{chunk_index}")
+    thresholds = np.cumsum([
+        config.small_user_fraction,
+        config.medium_user_fraction,
+        config.whale_user_fraction,
+    ])
+    # Class index per user: 0=small 1=medium 2=whale 3=large (the
+    # same draw→class mapping _classify applies scalar).
+    cls = np.searchsorted(thresholds, rng.random(size), side="right")
+    class_means = np.array([
+        config.mean_pods_small, config.mean_pods_medium,
+        config.mean_pods_whale, config.mean_pods_large,
+    ])
+    class_straddler_p = np.array([
+        0.0, config.straddler_fraction_medium,
+        config.straddler_fraction_whale, config.straddler_fraction_large,
+    ])
+    counts = np.maximum(1, rng.poisson(class_means[cls]))
+
+    # Flatten to per-pod arrays: which class, straddler, splittable?
+    pod_cls = np.repeat(cls, counts)
+    total_pods = len(pod_cls)
+    straddle = rng.random(total_pods) < class_straddler_p[pod_cls]
+    splittable = rng.random(total_pods) >= config.unsplittable_fraction
+
+    # Bulk-draw every regular pod's containers in four vector calls
+    # (_POD_SHAPE in class-index order; whales share the large shape).
+    scale_of = np.array([0.003, 0.012, 0.05, 0.05])
+    lo_of = np.array([1, 1, 2, 2])
+    hi_of = np.array([4, 6, 9, 9])
+    n_containers = rng.integers(lo_of[pod_cls], hi_of[pod_cls])
+    n_containers[straddle] = 0  # straddlers draw theirs below
+    total_containers = int(n_containers.sum())
+    means = np.repeat(np.log(scale_of[pod_cls]), n_containers)
+    cpus = np.clip(rng.lognormal(mean=means, sigma=0.9), 1e-4, 0.5)
+    ratios = np.clip(rng.lognormal(mean=0.0, sigma=0.4,
+                                   size=total_containers), 0.3, 3.0)
+    memories = np.clip(cpus * ratios, 1e-4, 0.5)
+
+    # Bulk-draw the straddler pods (the same shape _straddler_pod
+    # samples scalar: a boundary, a total just above it, Dirichlet
+    # shares via normalised gammas, a near-1 memory ratio each).
+    big = pod_cls[straddle] == 2
+    b_draw = rng.random(int(straddle.sum()))
+    boundary_of = np.where(
+        big, _BOUNDARIES[0],
+        np.choose((b_draw > 0.3).astype(int) + (b_draw > 0.7).astype(int),
+                  _BOUNDARIES),
+    )
+    s_totals = boundary_of * rng.uniform(1.05, 1.35, len(b_draw))
+    s_counts = rng.integers(2, 7, len(b_draw))
+    s_total_containers = int(s_counts.sum())
+    gammas = rng.gamma(1.5, size=s_total_containers)
+    s_mem_ratio = rng.uniform(0.8, 1.2, s_total_containers)
+    s_segments = np.concatenate(([0], np.cumsum(s_counts)))[:-1]
+    sums = np.add.reduceat(gammas, s_segments) if len(b_draw) else gammas
+    s_cpus = np.clip(
+        gammas / np.repeat(sums, s_counts) * np.repeat(s_totals, s_counts),
+        1e-4, 0.5,
+    )
+    s_memories = np.clip(s_cpus * s_mem_ratio, 1e-4, 0.5)
+
+    # Vectorized largest-machine fit (what _fit_largest_machine does
+    # per pod): scale any pod whose cpu or memory total exceeds 0.85.
+    def _apply_fit(values: np.ndarray, others: np.ndarray,
+                   seg_counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if not len(values):
+            return values, others
+        starts = np.concatenate(([0], np.cumsum(seg_counts)))[:-1]
+        totals = np.maximum(np.add.reduceat(values, starts),
+                            np.add.reduceat(others, starts))
+        factors = np.where(totals > 0.85, 0.85 / totals, 1.0)
+        per_item = np.repeat(factors, seg_counts)
+        return values * per_item, others * per_item
+
+    cpus, memories = _apply_fit(cpus, memories,
+                                n_containers[~straddle])
+    s_cpus, s_memories = _apply_fit(s_cpus, s_memories, s_counts)
+
+    # Assemble the objects; every number above is already final.
+    all_counts = n_containers.copy()
+    all_counts[straddle] = s_counts
+    cpu_list = cpus.tolist()
+    mem_list = memories.tolist()
+    s_cpu_list = s_cpus.tolist()
+    s_mem_list = s_memories.tolist()
+    straddle_list = straddle.tolist()
+    splittable_list = splittable.tolist()
+    count_list = all_counts.tolist()
+
+    users: list[TraceUser] = []
+    pod_at = 0
+    container_at = 0
+    s_container_at = 0
+    for offset, n_pods in enumerate(counts.tolist()):
+        pods = []
+        for j in range(n_pods):
+            n = count_list[pod_at]
+            if straddle_list[pod_at]:
+                end = s_container_at + n
+                containers = tuple(map(
+                    _fast_container,
+                    s_cpu_list[s_container_at:end],
+                    s_mem_list[s_container_at:end],
+                ))
+                s_container_at = end
+            else:
+                end = container_at + n
+                containers = tuple(map(
+                    _fast_container,
+                    cpu_list[container_at:end],
+                    mem_list[container_at:end],
+                ))
+                container_at = end
+            pods.append(_fast_pod(
+                f"u{start + offset}-p{j}", containers,
+                splittable_list[pod_at],
+            ))
+            pod_at += 1
+        users.append(TraceUser(name=f"user-{start + offset}",
+                               pods=tuple(pods)))
+    return users
+
+
+def iter_users(config: TraceConfig | None = None, *,
+               chunk: int = DEFAULT_CHUNK) -> t.Iterator[TraceUser]:
+    """Lazily yield the population in deterministic per-seed chunks.
+
+    Never materializes more than *chunk* users at once, so a
+    million-user population streams in constant memory.  The chunk
+    size is part of the draw schedule: the same ``(seed, chunk)``
+    always yields the identical sequence, but different chunk sizes
+    are different (equally valid) populations.
+    """
+    config = config or TraceConfig()
+    if chunk < 1:
+        raise ConfigurationError(f"chunk must be >= 1: {chunk!r}")
+    for start in range(0, config.users, chunk):
+        block = _generate_chunk(config, start // chunk, start,
+                                min(chunk, config.users - start))
+        yield from block
+
+
+def iter_pods(seed: int = 2019, n_users: int = 492, *,
+              config: TraceConfig | None = None,
+              chunk: int = DEFAULT_CHUNK) -> t.Iterator[TracePod]:
+    """Stream every pod of an *n_users* population, lazily.
+
+    The service's million-user feed: ``iter_pods(seed=7, n_users=10**6)``
+    walks tens of millions of pods without ever holding more than one
+    chunk of users.  *config* overrides the distribution knobs; its
+    ``seed``/``users`` fields are replaced by the arguments.
+    """
+    base = config or TraceConfig()
+    base = dataclasses.replace(base, seed=seed, users=n_users)
+    for user in iter_users(base, chunk=chunk):
+        yield from user.pods
 
 
 def trace_statistics(users: t.Sequence[TraceUser]) -> dict[str, float]:
@@ -224,3 +479,76 @@ def trace_statistics(users: t.Sequence[TraceUser]) -> dict[str, float]:
         "mean_pod_cpu": float(np.mean(pod_cpus)),
         "max_pod_cpu": float(np.max(pod_cpus)),
     }
+
+
+def stream_statistics(users: t.Iterable[TraceUser]) -> dict[str, float]:
+    """:func:`trace_statistics` in constant memory, from any iterator.
+
+    Running sums and maxima only — consuming a million-user
+    :func:`iter_users` costs a handful of floats, and the keys match
+    :func:`trace_statistics` exactly.
+    """
+    n_users = 0
+    n_pods = 0
+    max_pods = 0
+    cpu_total = 0.0
+    cpu_max = 0.0
+    for user in users:
+        n_users += 1
+        n_pods += len(user.pods)
+        max_pods = max(max_pods, len(user.pods))
+        for pod in user.pods:
+            cpu = pod.cpu
+            cpu_total += cpu
+            if cpu > cpu_max:
+                cpu_max = cpu
+    if n_users == 0 or n_pods == 0:
+        raise ConfigurationError("stream_statistics needs at least one user")
+    return {
+        "users": float(n_users),
+        "pods": float(n_pods),
+        "mean_pods_per_user": n_pods / n_users,
+        "max_pods_per_user": float(max_pods),
+        "mean_pod_cpu": cpu_total / n_pods,
+        "max_pod_cpu": cpu_max,
+    }
+
+
+class BoundedWindow:
+    """An iterator audit: no more than *window* yielded items alive.
+
+    Wraps any iterator of weakref-able items and tracks what it has
+    yielded with weak references; if the consumer (or the producer)
+    ever keeps more than *window* of them reachable at once, the next
+    step raises.  This is how the bounded-memory contract of
+    :func:`iter_users` is *asserted* rather than assumed: stream a
+    million users through a ``BoundedWindow`` and the iteration itself
+    proves no list was built.
+    """
+
+    def __init__(self, source: t.Iterable[t.Any], window: int) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1: {window!r}")
+        self._source = iter(source)
+        self.window = int(window)
+        self._alive: weakref.WeakSet[t.Any] = weakref.WeakSet()
+        self.peak = 0
+        self.count = 0
+
+    def __iter__(self) -> "BoundedWindow":
+        return self
+
+    def __next__(self) -> t.Any:
+        alive = len(self._alive)
+        if alive > self.peak:
+            self.peak = alive
+        if alive > self.window:
+            raise MemoryError(
+                f"bounded-window sentinel: {alive} items alive after "
+                f"{self.count} yields (window {self.window}) — the "
+                "stream is being materialized"
+            )
+        item = next(self._source)
+        self._alive.add(item)
+        self.count += 1
+        return item

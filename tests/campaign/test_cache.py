@@ -2,6 +2,8 @@
 
 import dataclasses
 import json
+import os
+import pathlib
 
 import pytest
 
@@ -108,16 +110,19 @@ class TestResultCache:
         cache.path_for(other).write_text(json.dumps(payload))
         assert cache.get(other) is None
 
-    def test_put_overwrites(self, tmp_path):
+    def test_put_is_idempotent(self, tmp_path):
+        # Same content address ⇒ same payload by construction, so a
+        # second put is a no-op: the first published entry stands.
         cache = ResultCache(tmp_path)
         key = "c" * 64
         cache.put(make_entry(key))
         newer = make_entry(key, result=ExperimentResult(
             experiment="fig08", title="T2", rows=({"x": 1},),
         ))
-        cache.put(newer)
-        assert cache.get(key).result.title == "T2"
+        assert cache.put(newer) == cache.path_for(key)
+        assert cache.get(key).result.title == "T"
         assert len(cache) == 1
+        assert not cache._lock_path(cache.path_for(key)).exists()
 
     def test_no_stray_temp_files(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -129,6 +134,88 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         key = "e1" + "0" * 62
         assert cache.path_for(key).parent.name == "e1"
+
+
+class TestConcurrentSubmitters:
+    """Two processes hammering one job key never corrupt or double it."""
+
+    WRITER = """
+import json, sys
+sys.path.insert(0, {src!r})
+from tests.campaign.test_cache import make_entry
+from repro.campaign.cache import ResultCache
+
+cache = ResultCache(sys.argv[1])
+key = sys.argv[2]
+for _ in range(40):
+    path = cache.put(make_entry(key))
+print(json.dumps(str(path)))
+"""
+
+    def test_two_process_put_race(self, tmp_path):
+        import subprocess
+        import sys
+
+        key = "f" * 64
+        src = str(pathlib.Path(__file__).resolve().parents[2])
+        script = self.WRITER.format(src=src)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src + "/src", env.get("PYTHONPATH")) if p
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), key],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            )
+            for _ in range(2)
+        ]
+        cache = ResultCache(tmp_path)
+        # Read concurrently: a hit must always be a whole valid entry.
+        while any(p.poll() is None for p in procs):
+            got = cache.get(key)
+            assert got is None or got == make_entry(key)
+        for p in procs:
+            out, err = p.communicate(timeout=30)
+            assert p.returncode == 0, err.decode()
+            assert json.loads(out) == str(cache.path_for(key))
+        # Exactly one entry, no leftover locks or temp files.
+        assert cache.get(key) == make_entry(key)
+        assert len(cache) == 1
+        stray = [p.name for p in tmp_path.rglob("*")
+                 if p.name.endswith(".lock") or p.name.startswith(".tmp-")]
+        assert stray == []
+
+    def test_stale_lock_is_broken(self, tmp_path, monkeypatch):
+        from repro.campaign import cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        key = "9" * 64
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock = cache._lock_path(path)
+        lock.touch()
+        # A fresh lock defers to its owner …
+        assert cache._acquire_lock(path) is None
+        # … but an abandoned one is broken and acquired.
+        monkeypatch.setattr(cache_mod, "STALE_LOCK_S", -1.0)
+        fd = cache._acquire_lock(path)
+        assert fd is not None
+        os.close(fd)
+
+    def test_loser_still_sees_the_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "8" * 64
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        winner_fd = cache._acquire_lock(path)  # simulate a live writer
+        try:
+            assert cache.put(make_entry(key)) == path  # loser skips
+        finally:
+            os.close(winner_fd)
+            cache._lock_path(path).unlink()
+        cache.put(make_entry(key))
+        assert cache.get(key) == make_entry(key)
 
 
 class TestInvalidationStory:

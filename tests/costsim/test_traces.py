@@ -5,8 +5,18 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import CapacityError, ConfigurationError
-from repro.traces import M5_CATALOG, TraceConfig, cheapest_fitting, generate_trace
+from repro.traces import (
+    BoundedWindow,
+    M5_CATALOG,
+    TraceConfig,
+    cheapest_fitting,
+    generate_trace,
+    iter_pods,
+    iter_users,
+    stream_statistics,
+)
 from repro.traces.aws import BASE_MEMORY_GB, BASE_VCPUS, VmModel, model
+from repro.traces import google
 from repro.traces.google import TraceContainer, TracePod, trace_statistics
 
 
@@ -111,3 +121,77 @@ class TestGenerator:
         users = generate_trace(TraceConfig(users=200, seed=5))
         flags = [p.splittable for u in users for p in u.pods]
         assert any(flags) and not all(flags)
+
+
+class TestStreamingGenerator:
+    def test_deterministic_per_seed_and_chunk(self):
+        config = TraceConfig(seed=11, users=900)
+        a = list(iter_users(config, chunk=256))
+        b = list(iter_users(config, chunk=256))
+        assert [u.name for u in a] == [f"user-{i}" for i in range(900)]
+        assert [u.pods for u in a] == [u.pods for u in b]
+
+    def test_different_seeds_differ(self):
+        a = list(iter_users(TraceConfig(seed=1, users=300), chunk=128))
+        b = list(iter_users(TraceConfig(seed=2, users=300), chunk=128))
+        assert [u.pods for u in a] != [u.pods for u in b]
+
+    def test_chunks_are_independent(self):
+        """Any chunk regenerates in isolation — a sharded service can
+        produce chunk 2 without paying for chunks 0 and 1."""
+        config = TraceConfig(seed=3, users=1000)
+        full = list(iter_users(config, chunk=300))
+        third = google._generate_chunk(config, 2, 600, 300)
+        assert [u.pods for u in third] == [u.pods for u in full[600:900]]
+
+    def test_iter_pods_flattens_the_population(self):
+        config = TraceConfig(seed=4, users=200)
+        expected = [p for u in iter_users(config, chunk=64) for p in u.pods]
+        got = list(iter_pods(seed=4, n_users=200, chunk=64))
+        assert got == expected
+        assert all(p.cpu <= 1.0 and p.memory <= 1.0 for p in got)
+
+    def test_stream_statistics_matches_eager_statistics(self):
+        config = TraceConfig(seed=6, users=400)
+        users = list(iter_users(config, chunk=128))
+        eager = trace_statistics(users)
+        streamed = stream_statistics(iter_users(config, chunk=128))
+        assert set(streamed) == set(eager)
+        for key, value in eager.items():
+            assert streamed[key] == pytest.approx(value)
+
+    def test_stream_statistics_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            stream_statistics(iter([]))
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ConfigurationError):
+            next(iter_users(TraceConfig(users=10), chunk=0))
+
+    def test_eager_generation_past_limit_warns(self, monkeypatch):
+        monkeypatch.setattr(google, "EAGER_LIMIT", 16)
+        with pytest.warns(DeprecationWarning, match="iter_users"):
+            generate_trace(TraceConfig(seed=1, users=17))
+
+    def test_streaming_never_materializes(self):
+        """Multi-chunk population through a BoundedWindow sentinel: the
+        iteration itself proves no list of users is ever built."""
+        chunk = 4096
+        config = TraceConfig(seed=9, users=3 * chunk + 500)
+        window = BoundedWindow(iter_users(config, chunk=chunk),
+                               window=2 * chunk)
+        stats = stream_statistics(window)
+        assert stats["users"] == 3 * chunk + 500
+        assert window.count == 3 * chunk + 500
+        # Peak liveness is one chunk, not the population.
+        assert window.peak <= chunk + 1
+
+    def test_bounded_window_trips_on_materialization(self):
+        window = BoundedWindow(iter_users(TraceConfig(seed=9, users=600),
+                                          chunk=100), window=50)
+        with pytest.raises(MemoryError, match="materialized"):
+            list(window)
+
+    def test_bounded_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoundedWindow(iter([]), window=0)

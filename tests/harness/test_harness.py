@@ -65,6 +65,10 @@ class TestConfig:
                 # Doubling "all" is not a registered backend name.
                 changed = dataclasses.replace(base,
                                               netstack_backend="hostlo")
+            elif field.name == "service_executor":
+                # Doubling "thread" is not a registered executor.
+                changed = dataclasses.replace(base,
+                                              service_executor="spawn")
             else:
                 value = getattr(base, field.name)
                 if isinstance(value, bool):
@@ -129,6 +133,7 @@ class TestRegistry:
             "ablation_scheduler_policy",
             "online_cost", "analytic_check",
             "chaos", "reliability", "campaign", "fabric", "netstack",
+            "service",
         }
         assert set(EXPERIMENTS) == expected
 

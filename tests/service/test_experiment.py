@@ -1,0 +1,18 @@
+"""The ``service`` harness experiment's fast lanes, as regressions."""
+
+import time
+
+from repro.service.experiment import _admission_lane
+
+
+def test_admission_lane_rejects_both_ways_and_tears_down_fast():
+    """The lane cancels running holds and stops the instance in the
+    same breath — the exact sequence that once wedged teardown for the
+    full 30s join timeout."""
+    start = time.perf_counter()
+    row = _admission_lane()
+    elapsed = time.perf_counter() - start
+    assert row["rejected_capacity"] == 1
+    assert row["rejected_quota"] == 1
+    assert row["retry_after_ok"] is True
+    assert elapsed < 10.0

@@ -1,0 +1,208 @@
+"""The HTTP/SSE front end, driven over real loopback sockets."""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service.client import ServiceClient
+from repro.service.core import ServiceConfig
+from repro.service.thread import ServiceThread
+
+
+def thread_config(**overrides) -> ServiceConfig:
+    return ServiceConfig(**{"shards": 1, "executor": "thread",
+                            **overrides})
+
+
+@pytest.fixture()
+def live():
+    with ServiceThread(thread_config()) as instance:
+        yield instance
+
+
+class TestRoundtrip:
+    def test_submit_wait_status(self, live):
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"duration_s": 0.01, "label": "rt"})
+        assert doc["state"] in ("queued", "running")
+        final = client.wait(doc["id"], timeout_s=30.0)
+        assert final["state"] == "done"
+        assert final["wall_s"] >= 0.01
+        assert final["result"]["rows"][0]["label"] == "rt"
+
+    def test_duplicate_submit_returns_the_same_job(self, live):
+        client = ServiceClient(port=live.port)
+        payload = {"duration_s": 0.01, "label": "dup"}
+        a = client.submit("sleep", payload, client="one")
+        b = client.submit("sleep", payload, client="two")
+        assert b["id"] == a["id"]
+        final = client.wait(a["id"], timeout_s=30.0)
+        # Resubmitting a finished key attaches to the cached result.
+        c = client.submit("sleep", payload, client="three")
+        assert c["id"] == a["id"] and c["state"] == "done"
+        assert final["state"] == "done"
+
+    def test_overview_lists_jobs(self, live):
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"label": "listed"})
+        client.wait(doc["id"], timeout_s=30.0)
+        overview = client.overview()
+        assert overview["config"]["executor"] == "thread"
+        assert any(job["id"] == doc["id"] for job in overview["jobs"])
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, live):
+        client = ServiceClient(port=live.port)
+        with pytest.raises(ServiceError, match="404"):
+            client.status("j99999")
+
+    def test_wrong_method_is_405(self, live):
+        conn = http.client.HTTPConnection("127.0.0.1", live.port, timeout=10)
+        try:
+            conn.request("DELETE", "/jobs")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+    def test_bad_body_is_400(self, live):
+        conn = http.client.HTTPConnection("127.0.0.1", live.port, timeout=10)
+        try:
+            conn.request("POST", "/jobs", body=b"not json",
+                         headers={"Content-Type": "application/json"})
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_bad_kind_is_400(self, live):
+        client = ServiceClient(port=live.port)
+        with pytest.raises(ServiceError, match="400"):
+            client.submit("bogus", {})
+
+    def test_unknown_route_is_404(self, live):
+        conn = http.client.HTTPConnection("127.0.0.1", live.port, timeout=10)
+        try:
+            conn.request("GET", "/nope")
+            assert conn.getresponse().status == 404
+        finally:
+            conn.close()
+
+
+class TestAdmissionOverHttp:
+    def test_429_carries_retry_after(self):
+        config = thread_config(capacity=1, per_client_quota=1,
+                               retry_after_s=0.2)
+        with ServiceThread(config) as live:
+            client = ServiceClient(port=live.port)
+            hold = client.submit("sleep", {"duration_s": 5.0,
+                                           "label": "hold"},
+                                 client="filler")
+            with pytest.raises(AdmissionError) as excinfo:
+                client.submit("sleep", {"label": "over"}, client="late")
+            assert excinfo.value.reason == "capacity"
+            assert excinfo.value.retry_after_s == pytest.approx(0.2)
+            # The raw header is present too, not just the JSON body.
+            conn = http.client.HTTPConnection("127.0.0.1", live.port,
+                                              timeout=10)
+            try:
+                conn.request("POST", "/jobs", body=json.dumps({
+                    "kind": "sleep", "payload": {"label": "again"},
+                    "client": "late2",
+                }).encode(), headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                assert response.status == 429
+                assert float(response.getheader("Retry-After")) > 0
+            finally:
+                conn.close()
+            client.cancel(hold["id"])
+
+
+class TestStreaming:
+    def test_sse_lifecycle_to_terminal(self, live):
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"duration_s": 0.05, "label": "sse"})
+        events = list(client.stream(doc["id"]))
+        names = [name for name, _data in events]
+        assert names[0] == "queued" and names[-1] == "done"
+        assert "started" in names
+        # Every event carries the job identity and a state.
+        assert all(data["id"] == doc["id"] for _name, data in events)
+
+    def test_late_subscriber_replays_history(self, live):
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"duration_s": 0.0, "label": "late"})
+        client.wait(doc["id"], timeout_s=30.0)
+        # Job already terminal: the stream replays and closes.
+        names = [name for name, _data in client.stream(doc["id"])]
+        assert names == ["queued", "started", "done"]
+
+    def test_disconnect_mid_stream_leaks_nothing(self, live):
+        """A client that vanishes mid-stream is unsubscribed, and its
+        job keeps running (disconnection is not cancellation)."""
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"duration_s": 4.0, "label": "gone"})
+
+        conn = http.client.HTTPConnection("127.0.0.1", live.port,
+                                          timeout=10)
+        conn.request("GET", f"/jobs/{doc['id']}/stream")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.fp.readline().startswith(b"id:")
+        # Vanish without reading to the end.  Close the response too:
+        # it duplicates the socket fd, and while it lives no FIN ever
+        # reaches the server.
+        response.close()
+        conn.close()
+
+        def subscribers(svc):
+            async def go(svc):
+                return svc.subscriber_count(doc["id"])
+            return go(svc)
+
+        deadline = time.monotonic() + 10.0
+        while live.call(subscribers) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert live.call(subscribers) == 0
+        assert client.status(doc["id"])["state"] in ("queued", "running")
+        client.cancel(doc["id"])
+        final = client.wait(doc["id"], timeout_s=10.0)
+        assert final["state"] == "cancelled"
+
+
+class TestOps:
+    def test_healthz_green(self, live):
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"label": "hz"})
+        client.wait(doc["id"], timeout_s=30.0)
+        health = client.healthz()
+        assert health["status"] == "ok" and health["violations"] == []
+
+    def test_metrics_exposition(self, live):
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"label": "m"})
+        client.wait(doc["id"], timeout_s=30.0)
+        text = client.metrics_text()
+        assert "service_jobs_submitted_total" in text
+        assert "service_jobs_finished_total" in text
+
+    def test_teardown_races_a_fresh_cancel(self):
+        """Regression: cancelling a running job and stopping the
+        service in the same breath must not wedge teardown (the shard
+        loop once swallowed its own shutdown cancellation here and
+        aclose waited on a zombie for the full join timeout)."""
+        start = time.perf_counter()
+        with ServiceThread(thread_config()) as live:
+            client = ServiceClient(port=live.port)
+            doc = client.submit("sleep", {"duration_s": 3.0,
+                                          "label": "racing"})
+            deadline = time.monotonic() + 10.0
+            while (client.status(doc["id"])["state"] != "running"
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            client.cancel(doc["id"])
+            # exit immediately: stop() races the cancel's shard-side
+            # completion, exactly the admission-lane shape
+        assert time.perf_counter() - start < 10.0

@@ -38,6 +38,21 @@ def test_net_exports_nsm_devices():
     assert repro.net.NsmPort and repro.net.NsmHostStack
 
 
+def test_service_exports_resolve():
+    import repro.service
+
+    for name in repro.service.__all__:
+        assert getattr(repro.service, name) is not None
+
+
+def test_traces_streaming_exports_resolve():
+    import repro.traces
+
+    for name in ("iter_users", "iter_pods", "stream_statistics",
+                 "BoundedWindow"):
+        assert getattr(repro.traces, name) is not None
+
+
 def test_subpackages_import():
     import repro.analysis
     import repro.containers
@@ -51,6 +66,7 @@ def test_subpackages_import():
     import repro.netstack
     import repro.obs
     import repro.orchestrator
+    import repro.service
     import repro.sim
     import repro.traces
     import repro.virt
