@@ -107,16 +107,33 @@ class ServiceError(ReproError):
 
 
 class AdmissionError(ServiceError):
-    """The service refused a submission: the queue is at capacity or
-    the client is over quota.
+    """The service refused a submission: the queue is at capacity, the
+    client is over quota, or load shedding kicked in.
 
     Maps to HTTP 429; ``retry_after_s`` is the server's backoff hint
     (the ``Retry-After`` header) and ``reason`` says which limit hit —
-    ``"capacity"`` (global backlog bound) or ``"quota"`` (per-client).
+    ``"capacity"`` (global backlog bound), ``"quota"`` (per-client),
+    ``"deadline"`` (the client's deadline cannot be met at current
+    queue depth) or ``"breaker"`` (the target shard's circuit breaker
+    is open).
     """
 
     def __init__(self, message: str, *, reason: str = "capacity",
                  retry_after_s: float = 1.0) -> None:
         super().__init__(message)
         self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining (graceful shutdown): no new work is
+    admitted, in-flight jobs are finishing.
+
+    Maps to HTTP 503 + ``Retry-After``; unlike :class:`AdmissionError`
+    this is not load-dependent — the instance is going away and the
+    client should retry against whatever replaces it.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
         self.retry_after_s = retry_after_s

@@ -47,6 +47,9 @@ FAULT_KINDS = frozenset({
     "fabric.switch_down",  # scheduled fat-tree switch down/up
     # orchestrator layer
     "agent.stall",      # the in-VM node agent stalls during configure
+    # trace-service layer (real-process chaos, no sim clock)
+    "service.crash",      # kill the service process at a dispatch point
+    "service.disk_full",  # journal appends fail with ENOSPC semantics
 })
 
 #: Kinds the :class:`~repro.faults.injectors.ChaosController` executes

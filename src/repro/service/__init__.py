@@ -19,28 +19,40 @@ addressed result cache, and streams lifecycle events back over SSE.
   generators, humans).
 * :mod:`repro.service.health` — standing invariants behind /healthz.
 * :mod:`repro.service.thread` — a live instance on a background loop.
+* :mod:`repro.service.journal` — write-ahead job journal (crash
+  recovery, clean-shutdown markers).
+* :mod:`repro.service.breaker` — per-shard circuit breakers.
 
 Boot one with ``python -m repro.service --port 8700`` or embed it via
 :class:`~repro.service.thread.ServiceThread`.
 """
 
+from repro.errors import ServiceUnavailableError
+from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service.client import ServiceClient
 from repro.service.core import ServiceConfig, TraceService
 from repro.service.health import check_service
 from repro.service.http import HttpServer
 from repro.service.jobs import Job, JobEvent, job_key, run_payload
+from repro.service.journal import JobJournal, JournalConfig, ReplayState
 from repro.service.queue import AdmissionController
 from repro.service.shards import ShardRouter
 from repro.service.thread import ServiceThread
 
 __all__ = [
     "AdmissionController",
+    "BreakerConfig",
+    "CircuitBreaker",
     "HttpServer",
     "Job",
     "JobEvent",
+    "JobJournal",
+    "JournalConfig",
+    "ReplayState",
     "ServiceClient",
     "ServiceConfig",
     "ServiceThread",
+    "ServiceUnavailableError",
     "ShardRouter",
     "TraceService",
     "check_service",

@@ -9,7 +9,15 @@ The operational entry point the README quickstart documents::
 
 Runs until interrupted; ``--shards``/``--executor`` size the worker
 side, ``--capacity``/``--quota`` bound admission, ``--cache`` points
-at (and shares) a campaign result-cache directory.
+at (and shares) a campaign result-cache directory, and ``--journal``
+turns on the write-ahead job journal: a killed service replays it on
+the next boot and finishes what it had accepted.
+
+SIGTERM is the graceful exit: admission flips to 503 + Retry-After,
+in-flight jobs finish (up to ``--drain-timeout``), the journal gets
+its clean-shutdown marker, and the process leaves 0.  SIGINT (^C)
+stays abrupt — on a journaled service that is exactly the crash the
+journal exists for.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import signal
 import sys
 import typing as t
 
@@ -47,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(shared with campaign --cache)")
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="per-job wall-clock timeout seconds")
+    parser.add_argument("--journal", metavar="DIR", default=None,
+                        help="write-ahead job journal directory; a "
+                             "restarted service replays it and finishes "
+                             "accepted work (default: no journal)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds SIGTERM waits for in-flight jobs "
+                             "before giving up (default: 30)")
     return parser
 
 
@@ -61,11 +77,23 @@ async def serve(config: ServiceConfig, host: str, port: int,
         f"({config.shards} {config.executor} shards, "
         f"capacity {config.capacity}, quota {config.per_client_quota})"
     )
+    drain = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    with contextlib.suppress(NotImplementedError):  # non-Unix loops
+        loop.add_signal_handler(signal.SIGTERM, drain.set)
+    drained = False
     try:
-        await asyncio.Event().wait()  # until cancelled
+        await drain.wait()  # SIGTERM, or cancelled from outside
+        announce("repro.service draining (SIGTERM): finishing "
+                 "in-flight jobs, refusing new work with 503")
+        await service.aclose(drain=True)
+        drained = True
     finally:
+        with contextlib.suppress(NotImplementedError):
+            loop.remove_signal_handler(signal.SIGTERM)
         await server.aclose()
-        await service.aclose()
+        if not drained:
+            await service.aclose()
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
@@ -77,6 +105,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         executor=args.executor,
         cache_dir=args.cache,
         job_timeout_s=args.timeout,
+        journal_dir=args.journal,
+        drain_timeout_s=args.drain_timeout,
     )
     with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(serve(config, args.host, args.port))

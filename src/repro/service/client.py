@@ -6,29 +6,52 @@ party HTTP stack.  One method per route; SSE streaming is a generator
 of parsed ``(event, data)`` pairs.
 
 429 responses raise the same :class:`~repro.errors.AdmissionError`
-the server raised, with ``retry_after_s`` recovered from the
-``Retry-After`` header — so a polite load generator can implement
-backoff with the exact vocabulary the admission controller speaks.
+the server raised, and 503 (a draining instance) raises
+:class:`~repro.errors.ServiceUnavailableError`, both with
+``retry_after_s`` recovered from the ``Retry-After`` header — so a
+polite load generator can implement backoff with the exact vocabulary
+the admission controller speaks.  With ``max_retries > 0``,
+:meth:`ServiceClient.submit` does the polite thing itself: it sleeps
+the server's hint (jittered, capped at ``backoff_cap_s``) and
+resubmits, up to the retry budget.  The default budget is 0 — an
+unconfigured client surfaces every refusal, which is what tests and
+admission experiments want.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import typing as t
 
-from repro.errors import AdmissionError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 
 
 class ServiceClient:
     """Talk to one ``repro.service`` instance at ``host:port``."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8700,
-                 *, timeout_s: float = 60.0) -> None:
+                 *, timeout_s: float = 60.0, max_retries: int = 0,
+                 backoff_cap_s: float = 5.0) -> None:
         self.host = host
         self.port = port
         self.timeout_s = float(timeout_s)
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0: {max_retries!r}")
+        if backoff_cap_s <= 0:
+            raise ServiceError(
+                f"backoff_cap_s must be positive: {backoff_cap_s!r}")
+        self.max_retries = int(max_retries)
+        self.backoff_cap_s = float(backoff_cap_s)
+        #: Injection points so tests drive the backoff deterministically.
+        self._sleep: t.Callable[[float], None] = time.sleep
+        self._rng = random.Random()
 
     # -- plumbing -----------------------------------------------------
 
@@ -56,6 +79,14 @@ class ServiceClient:
                         or doc.get("retry_after_s", 1.0)
                     ),
                 )
+            if response.status == 503:
+                raise ServiceUnavailableError(
+                    doc.get("error", "service unavailable"),
+                    retry_after_s=float(
+                        response.getheader("Retry-After")
+                        or doc.get("retry_after_s", 1.0)
+                    ),
+                )
             if response.status >= 400:
                 detail = doc.get("error") or repr(raw[:200])
                 raise ServiceError(
@@ -68,29 +99,51 @@ class ServiceClient:
     # -- routes -------------------------------------------------------
 
     def submit(self, kind: str, payload: dict[str, t.Any] | None = None,
-               *, client: str = "anonymous",
-               priority: int = 0) -> dict[str, t.Any]:
-        return self._request("POST", "/jobs", {
+               *, client: str = "anonymous", priority: int = 0,
+               deadline_s: float | None = None) -> dict[str, t.Any]:
+        """Submit one job; retries 429/503 up to ``max_retries`` times,
+        sleeping the server's Retry-After hint (jittered, capped)."""
+        body: dict[str, t.Any] = {
             "kind": kind, "payload": payload or {},
             "client": client, "priority": priority,
-        })
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body)
+            except (AdmissionError, ServiceUnavailableError) as exc:
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self._sleep(self._backoff_s(exc.retry_after_s, attempt))
+
+    def _backoff_s(self, hint_s: float, attempt: int) -> float:
+        """The server's hint, doubled per attempt, capped, then
+        jittered to 50–100% so a herd of refused clients decorrelates
+        instead of returning in lockstep."""
+        base = min(self.backoff_cap_s,
+                   max(0.0, hint_s) * (2 ** (attempt - 1)))
+        return base * self._rng.uniform(0.5, 1.0)
 
     def submit_with_backoff(
         self, kind: str, payload: dict[str, t.Any] | None = None,
         *, client: str = "anonymous", priority: int = 0,
         max_wait_s: float = 30.0,
     ) -> dict[str, t.Any]:
-        """Submit, honouring 429 Retry-After until *max_wait_s* is up."""
+        """Submit, honouring 429/503 Retry-After until *max_wait_s*."""
         deadline = time.monotonic() + max_wait_s
         while True:
             try:
-                return self.submit(
-                    kind, payload, client=client, priority=priority
-                )
-            except AdmissionError as exc:
+                return self._request("POST", "/jobs", {
+                    "kind": kind, "payload": payload or {},
+                    "client": client, "priority": priority,
+                })
+            except (AdmissionError, ServiceUnavailableError) as exc:
                 if time.monotonic() + exc.retry_after_s > deadline:
                     raise
-                time.sleep(exc.retry_after_s)
+                self._sleep(exc.retry_after_s)
 
     def status(self, job_id: str) -> dict[str, t.Any]:
         return self._request("GET", f"/jobs/{job_id}")

@@ -26,6 +26,28 @@ terminal transitions and the health check flags any job where it is
 not exactly 1.  Crashed or overdue workers requeue under the
 :mod:`repro.faults` retry policy; in-job exceptions fail immediately
 (the campaign pool's deterministic-failure rule).
+
+Durability (``journal_dir`` set): every transition is written ahead to
+the :class:`~repro.service.journal.JobJournal` — ``accepted`` before a
+job joins its queue, ``dispatched`` before it reaches a worker, the
+terminal record before subscribers hear about it.  A crashed instance
+replays the journal on :meth:`TraceService.start` and re-admits every
+in-flight job through the normal dedupe → cache-probe → admission
+path, so work whose result landed in the content-addressed cache
+before the crash completes at the door and only genuinely unfinished
+work runs again.  ``aclose(drain=True)`` is the graceful exit: new
+submissions get 503 + Retry-After, in-flight jobs finish up to the
+drain deadline, and a clean-shutdown marker lets the next boot skip
+replay.  Journal write failures (disk full) are counted and survived —
+the service prefers staying up to staying durable, and says so in
+``service_journal_errors_total``.
+
+Overload (always on): each shard owns a
+:class:`~repro.service.breaker.CircuitBreaker` fed by the same
+crash/timeout verdicts the retry policy sees; a tripped shard stops
+being fed and recovers through half-open probing.  Admission sheds
+jobs bound for an open shard and jobs whose client deadline cannot be
+met at current queue depth (``service_shed_total{reason}``).
 """
 
 from __future__ import annotations
@@ -33,17 +55,32 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import os
 import pathlib
 import time
 import typing as t
 
+from repro import faults
 from repro.campaign.cache import CacheEntry, ResultCache
 from repro.campaign.pool import DEFAULT_RETRY
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.faults.recovery import RetryPolicy
 from repro.harness.results import ExperimentResult
 from repro.obs.metrics import MetricsRegistry
 from repro.service import jobs as jobs_mod
+from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service import journal as journal_mod
+from repro.service.journal import (
+    JobJournal,
+    JournalConfig,
+    JournalWriteError,
+    ReplayState,
+)
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -65,6 +102,15 @@ from repro.service.shards import (
 )
 
 
+def _crash_process() -> None:  # pragma: no cover - by definition
+    """Die like SIGKILL: no atexit, no finally, no flushing.
+
+    Module-level so chaos tests can monkeypatch it into something
+    observable instead of actually losing the interpreter.
+    """
+    os._exit(137)
+
+
 @dataclasses.dataclass(frozen=True)
 class ServiceConfig:
     """Everything a :class:`TraceService` instance is built from."""
@@ -79,10 +125,38 @@ class ServiceConfig:
     job_timeout_s: float = 300.0
     retry: RetryPolicy = DEFAULT_RETRY
     retry_after_s: float = 0.5
+    #: Write-ahead journal directory; ``None`` disables durability.
+    journal_dir: str | pathlib.Path | None = None
+    #: Journal fsync policy: ``always`` / ``batch`` / ``never``.
+    journal_fsync: str = "batch"
+    #: Compact the journal once a segment holds this many records.
+    journal_rotate_records: int = 4096
+    #: How long ``aclose(drain=True)`` waits for in-flight jobs.
+    drain_timeout_s: float = 30.0
+    #: Consecutive worker crashes/timeouts that trip a shard breaker.
+    breaker_failures: int = 3
+    #: Seconds a tripped breaker cools before its half-open probe.
+    breaker_cooldown_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.job_timeout_s <= 0:
             raise ConfigurationError("job_timeout_s must be positive")
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError("drain_timeout_s must be positive")
+        # Validate eagerly so a bad config dies at construction, not
+        # at first journal append / breaker trip.
+        JournalConfig(fsync=self.journal_fsync,
+                      rotate_records=self.journal_rotate_records)
+        BreakerConfig(failure_threshold=self.breaker_failures,
+                      cooldown_s=self.breaker_cooldown_s)
+
+    def journal_config(self) -> JournalConfig:
+        return JournalConfig(fsync=self.journal_fsync,
+                             rotate_records=self.journal_rotate_records)
+
+    def breaker_config(self) -> BreakerConfig:
+        return BreakerConfig(failure_threshold=self.breaker_failures,
+                             cooldown_s=self.breaker_cooldown_s)
 
 
 class TraceService:
@@ -112,6 +186,21 @@ class TraceService:
             "Submissions answered without running (dedupe or disk cache)")
         self._requeues = self.metrics.counter(
             "service_requeues_total", "Crash/timeout retries")
+        self._shed = self.metrics.counter(
+            "service_shed_total",
+            "Submissions shed, by reason (deadline/breaker/draining)")
+        self._recovered = self.metrics.counter(
+            "service_recovered_total",
+            "Journal-replayed jobs re-admitted at boot, by outcome")
+        self._journal_errors = self.metrics.counter(
+            "service_journal_errors_total",
+            "Journal appends that failed (service kept running)")
+        self._journal_bad = self.metrics.counter(
+            "service_journal_bad_records_total",
+            "Torn/corrupt journal records found at replay, by kind")
+        self._breaker_events = self.metrics.counter(
+            "service_breaker_transitions_total",
+            "Circuit-breaker state transitions, by shard and new state")
         self._depth = self.metrics.gauge(
             "service_queue_depth", "Queued jobs right now")
         self._running = self.metrics.gauge(
@@ -129,6 +218,15 @@ class TraceService:
         self._next_id = 0
         self._enqueue_seq = 0
         self._closed = False
+        self._draining = False
+        self._ewma_wall_s = 0.0
+        self.breakers: list[CircuitBreaker] = []
+        self.journal: JobJournal | None = (
+            JobJournal(self.config.journal_dir, self.config.journal_config())
+            if self.config.journal_dir is not None else None
+        )
+        #: What the last :meth:`start` recovered (``None`` before it).
+        self.last_recovery: ReplayState | None = None
 
     # -- lifecycle ----------------------------------------------------
 
@@ -140,12 +238,101 @@ class TraceService:
             self._executors.append(make_executor(
                 self.config.executor, timeout_s=self.config.job_timeout_s,
             ))
+            self.breakers.append(CircuitBreaker(
+                self.config.breaker_config(), name=f"shard-{shard}",
+                on_transition=self._make_breaker_observer(shard),
+            ))
             self._loops.append(asyncio.create_task(
                 self._shard_loop(shard), name=f"service-shard-{shard}",
             ))
+        if self.journal is not None:
+            self._recover()
 
-    async def aclose(self) -> None:
+    def _make_breaker_observer(
+        self, shard: int
+    ) -> t.Callable[[str, str], None]:
+        def observe(_old: str, new: str) -> None:
+            self._breaker_events.inc(shard=str(shard), state=new)
+        return observe
+
+    def _recover(self) -> None:
+        """Replay the journal and re-admit every in-flight job.
+
+        Runs synchronously inside :meth:`start`, before any traffic:
+        recovered jobs go through the ordinary ``submit`` path (dedupe,
+        cache probe, admission), so a job whose result reached the
+        disk cache before the crash completes at the door, and the
+        rest requeue under their original keys, clients, priorities
+        and deadlines.  A clean-shutdown marker makes all of this a
+        no-op.  Nothing here is fatal: torn and corrupt records are
+        counted, and a recovered job the admission bounds refuse
+        (which cannot happen unless the capacity was lowered between
+        boots) is counted as shed and dropped.
+        """
+        assert self.journal is not None
+        state = self.journal.replay()
+        self.last_recovery = state
+        if state.torn_records:
+            self._journal_bad.inc(state.torn_records, kind="torn")
+        if state.corrupt_records:
+            self._journal_bad.inc(state.corrupt_records, kind="corrupt")
+        # Start a fresh segment either way: re-admissions journal fresh
+        # ``accepted`` records below, and terminal history lives on in
+        # the result cache, not the journal.
+        try:
+            self.journal.rotate(live=[])
+        except (OSError, JournalWriteError):
+            self._journal_errors.inc(op="rotate")
+        if state.clean or not state.live:
+            return
+        for envelope in sorted(state.live.values(),
+                               key=lambda e: str(e.get("id", ""))):
+            try:
+                job = self.submit(
+                    envelope["kind"], envelope.get("payload") or {},
+                    client=str(envelope.get("client", "anonymous")),
+                    priority=int(envelope.get("priority", 0)),
+                    deadline_s=envelope.get("deadline_s"),
+                )
+            except AdmissionError as exc:
+                self._shed.inc(reason=f"recovery-{exc.reason}")
+                self._recovered.inc(outcome="shed")
+                continue
+            except ServiceError:
+                # e.g. an experiment renamed away between boots; the
+                # journal must never be able to wedge a boot.
+                self._recovered.inc(outcome="invalid")
+                continue
+            self._recovered.inc(
+                outcome="cache_hit" if job.cache_hit else "requeued")
+
+    async def aclose(self, *, drain: bool = False,
+                     drain_timeout_s: float | None = None) -> None:
+        """Stop the service.
+
+        ``drain=False`` (the default) is the abrupt path the tests and
+        embedders use: shard loops are cancelled, the in-flight job
+        (if any) is marked cancelled, queued jobs stay queued — on a
+        journaled service they replay at the next boot, exactly like a
+        crash.  ``drain=True`` is the operational path: admission
+        flips to 503 + Retry-After immediately, in-flight and queued
+        jobs run to completion (up to *drain_timeout_s*, default
+        :attr:`ServiceConfig.drain_timeout_s`), and — when everything
+        landed — the journal gets its clean-shutdown marker so the
+        next boot skips replay.
+        """
+        if drain and not self._closed:
+            self._draining = True
+            deadline = time.monotonic() + (
+                self.config.drain_timeout_s if drain_timeout_s is None
+                else drain_timeout_s
+            )
+            while time.monotonic() < deadline and any(
+                    job.state not in TERMINAL
+                    for job in self._jobs.values()):
+                await asyncio.sleep(0.02)
         self._closed = True
+        self._draining = False
         for task in self._loops:
             task.cancel()
         if self._loops:
@@ -156,14 +343,37 @@ class TraceService:
         for executor in self._executors:
             await executor.aclose()
         self._loops.clear()
+        if self.journal is not None:
+            clean = all(job.state in TERMINAL
+                        for job in self._jobs.values())
+            try:
+                self.journal.close(mark_clean=clean)
+            except JournalWriteError:
+                self._journal_errors.inc(op="close")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     # -- submission ---------------------------------------------------
 
     def submit(self, kind: str, payload: t.Mapping[str, t.Any] | None = None,
-               *, client: str = "anonymous", priority: int = 0) -> Job:
-        """Admit one job (or attach to its twin); returns its record."""
+               *, client: str = "anonymous", priority: int = 0,
+               deadline_s: float | None = None) -> Job:
+        """Admit one job (or attach to its twin); returns its record.
+
+        *deadline_s* is the client's completion budget in seconds; a
+        submission whose estimated wait already exceeds it is shed
+        with ``reason="deadline"`` instead of admitted.
+        """
         if self._closed:
             raise ServiceError("service is shutting down")
+        if self._draining:
+            self._shed.inc(reason="draining")
+            raise ServiceUnavailableError(
+                "service is draining; retry against the next instance",
+                retry_after_s=self.config.retry_after_s,
+            )
         payload = dict(payload or {})
         jobs_mod.validate_payload(kind, payload)
         key = jobs_mod.job_key(kind, payload)
@@ -185,13 +395,17 @@ class TraceService:
             client=client,
             priority=int(priority),
             shard=self.router.shard_for(key),
+            deadline_s=None if deadline_s is None else float(deadline_s),
             submitted_at=time.monotonic(),
         )
         self._next_id += 1
 
         cached = self._probe_cache(kind, payload)
         if cached is not None:
+            # Completing at the door bypasses admission, the breaker
+            # and the deadline check: the answer is already on disk.
             self._register(job)
+            self._journal(journal_mod.ACCEPTED, **job.envelope())
             job.cache_hit = True
             job.result = cached
             self._emit(job, "queued", {"cache": "probing"})
@@ -207,13 +421,31 @@ class TraceService:
             1 for other in self._jobs.values()
             if other.client == client and other.state in (QUEUED, RUNNING)
         )
+        breaker = (self.breakers[job.shard]
+                   if job.shard < len(self.breakers) else None)
         try:
+            if breaker is not None and breaker.shedding:
+                self._shed.inc(reason="breaker")
+                raise AdmissionError(
+                    f"shard {job.shard} circuit breaker is open "
+                    f"({breaker.consecutive_failures} consecutive "
+                    f"worker failures)",
+                    reason="breaker",
+                    retry_after_s=round(
+                        max(self.config.retry_after_s,
+                            breaker.cooldown_remaining()), 3),
+                )
+            self.admission.check_deadline(
+                job.deadline_s, self._estimated_wait_s(job.shard), backlog)
             self.admission.admit(client, backlog, client_active)
-        except Exception as exc:
-            self._rejected.inc(reason=getattr(exc, "reason", "capacity"))
+        except AdmissionError as exc:
+            if exc.reason == "deadline":
+                self._shed.inc(reason="deadline")
+            self._rejected.inc(reason=exc.reason)
             raise
 
         self._register(job)
+        self._journal(journal_mod.ACCEPTED, **job.envelope())
         self._submitted.inc(kind=kind)
         self._cancel_events[job.id] = asyncio.Event()
         self._enqueue_seq += 1
@@ -223,6 +455,36 @@ class TraceService:
         self._depth.add(1.0)
         self._emit(job, "queued", {"shard": job.shard})
         return job
+
+    def _estimated_wait_s(self, shard: int) -> float:
+        """Projected submit→done wait for a new job on *shard*: the
+        shard's backlog (plus the newcomer) times the EWMA of recent
+        job walls.  Zero until the first completion — the estimator
+        never sheds without evidence."""
+        if self._ewma_wall_s <= 0.0 or shard >= len(self._queues):
+            return 0.0
+        shard_backlog = self._queues[shard].qsize() + sum(
+            1 for job in self._jobs.values()
+            if job.shard == shard and job.state == RUNNING
+        )
+        return (shard_backlog + 1) * self._ewma_wall_s
+
+    def _note_wall(self, wall_s: float) -> None:
+        if wall_s <= 0:
+            return
+        if self._ewma_wall_s <= 0.0:
+            self._ewma_wall_s = wall_s
+        else:
+            self._ewma_wall_s = 0.2 * wall_s + 0.8 * self._ewma_wall_s
+
+    def _journal(self, record_type: str, **fields: t.Any) -> None:
+        """Best-effort durable append; failures counted, never raised."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(record_type, **fields)
+        except JournalWriteError:
+            self._journal_errors.inc(op=record_type)
 
     def _register(self, job: Job) -> None:
         self._jobs[job.id] = job
@@ -333,6 +595,13 @@ class TraceService:
 
     def _complete(self, job: Job, state: str,
                   *, error: str | None = None) -> None:
+        # WAL rule: the terminal record is durable before any
+        # subscriber hears the terminal event.
+        self._journal(
+            {DONE: journal_mod.DONE, FAILED: journal_mod.FAILED,
+             CANCELLED: journal_mod.CANCELLED}[state],
+            id=job.id, key=job.key, cache_hit=job.cache_hit,
+        )
         job.state = state
         job.error = error
         job.finished_at = time.monotonic()
@@ -348,26 +617,50 @@ class TraceService:
         self._emit(job, event[state], data)
         self._cancel_events.pop(job.id, None)
 
+    async def _breaker_gate(self, breaker: CircuitBreaker) -> None:
+        """Park the shard loop until its breaker admits a dispatch —
+        either closed, or open-gone-half-open offering a probe slot."""
+        while not breaker.allow():
+            await asyncio.sleep(
+                min(0.05, max(0.005, breaker.cooldown_remaining()))
+            )
+
     async def _shard_loop(self, shard: int) -> None:
         queue = self._queues[shard]
         executor = self._executors[shard]
+        breaker = self.breakers[shard]
         while True:
             _, _, job_id = await queue.get()
             job = self._jobs[job_id]
             if job.state != QUEUED:  # cancelled while waiting
                 continue
+            await self._breaker_gate(breaker)
+            self._maybe_crash(shard)
             self._depth.add(-1.0)
             cancel = self._cancel_events[job.id]
             job.state = RUNNING
             self._running.add(1.0)
+            self._journal(journal_mod.DISPATCHED, id=job.id,
+                          attempt=job.attempts + 1, shard=shard)
             self._emit(job, "started", {"shard": shard})
             try:
-                await self._run_with_retry(job, executor, cancel)
+                await self._run_with_retry(job, executor, cancel, breaker)
             finally:
                 self._running.add(-1.0)
 
+    @staticmethod
+    def _maybe_crash(shard: int) -> None:
+        """The ``service.crash`` fault kind: chaos plans kill the
+        whole service process at a dispatch point, exactly what a
+        SIGKILL mid-campaign does — the journal is the only survivor."""
+        inj = faults.injector()
+        if inj.enabled and inj.fires(
+                "service.crash", f"service-shard-{shard}"):
+            _crash_process()
+
     async def _run_with_retry(self, job: Job, executor: t.Any,
-                              cancel: asyncio.Event) -> None:
+                              cancel: asyncio.Event,
+                              breaker: CircuitBreaker) -> None:
         retry = self.config.retry
         while True:
             job.attempts += 1
@@ -416,9 +709,13 @@ class TraceService:
                 self._complete(job, CANCELLED)
                 return
             except JobExecutionError as exc:
+                # Deterministic in-job failure: the *worker* is fine,
+                # so the breaker hears success, not failure.
+                breaker.record_success()
                 self._complete(job, FAILED, error=str(exc))
                 return
             except WorkerCrashError as exc:
+                breaker.record_failure()
                 if cancel.is_set():
                     self._complete(job, CANCELLED)
                     return
@@ -427,12 +724,17 @@ class TraceService:
                     self._emit(job, "requeued", {
                         "reason": exc.reason, "attempt": job.attempts,
                     })
+                    # A tripped breaker pauses the retry too: hammering
+                    # a sick shard with the same job is how one crashy
+                    # submission burns a whole retry budget in <1s.
+                    await self._breaker_gate(breaker)
                     continue
                 self._complete(
                     job, FAILED,
                     error=f"{exc.reason} after {job.attempts} attempts",
                 )
                 return
+            breaker.record_success()
             if cancel.is_set():
                 # Completion raced the cancel; cancel wins — the
                 # client was already told the job was going away.
@@ -440,6 +742,7 @@ class TraceService:
                 return
             job.result = payload
             self._wall.observe(payload["wall_s"])
+            self._note_wall(payload["wall_s"])
             self._store(job)
             self._complete(job, DONE)
             return
@@ -454,7 +757,7 @@ class TraceService:
 
     def describe(self) -> dict[str, t.Any]:
         """One JSON-able status document (the ``GET /jobs`` body)."""
-        return {
+        doc: dict[str, t.Any] = {
             "config": {
                 "shards": self.config.shards,
                 "capacity": self.config.capacity,
@@ -463,6 +766,23 @@ class TraceService:
             },
             "counts": self.counts(),
             "queue_depths": list(self.queue_depths()),
+            "draining": self._draining,
+            "breakers": [b.describe() for b in self.breakers],
             "jobs": [job.summary() | {"result": None}
                      for job in self._jobs.values()],
         }
+        if self.journal is not None:
+            doc["journal"] = {
+                "dir": str(self.journal.root),
+                "records": self.journal.records_written,
+                "write_errors": self.journal.write_errors,
+            }
+            if self.last_recovery is not None:
+                state = self.last_recovery
+                doc["journal"]["recovery"] = {
+                    "clean": state.clean,
+                    "replayed": len(state.live),
+                    "torn": state.torn_records,
+                    "corrupt": state.corrupt_records,
+                }
+        return doc

@@ -17,6 +17,15 @@ scenario lane:
   the hit-rate must clear 95%.
 * ``crash-requeue`` — a one-shard ``spawn`` instance loses its worker
   mid-job and requeues onto a fresh one (attempt 2 succeeds).
+* ``recovery``    — a journaled instance is killed abruptly with one
+  job running and three queued; the next boot replays all four from
+  the write-ahead journal and finishes each exactly once.
+* ``drain``       — SIGTERM semantics over HTTP: mid-drain submits get
+  503 + Retry-After, the in-flight job still finishes, and the clean-
+  shutdown marker makes the next boot skip replay entirely.
+* ``breaker``     — a worker hard-exit trips the one-failure breaker;
+  admission sheds while it cools, the half-open probe re-runs the job
+  and closes the breaker again.
 * ``health``      — ``/healthz`` is green and the exactly-once ledger
   balances after all of the above.
 
@@ -32,14 +41,19 @@ import concurrent.futures
 import os
 import statistics
 import tempfile
+import threading
 import time
 import typing as t
 
-from repro.errors import AdmissionError
+from repro.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.harness.config import ExperimentConfig
 from repro.harness.results import ExperimentResult
 from repro.service.client import ServiceClient
-from repro.service.core import ServiceConfig
+from repro.service.core import ServiceConfig, TraceService
 from repro.service.thread import ServiceThread
 
 
@@ -55,18 +69,24 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         rows.append(mixed_row)
         rows.append(_warm_resubmit_lane(config, cache_dir, submissions))
         rows.append(_crash_requeue_lane(root))
+        rows.append(_recovery_lane(root))
+        rows.append(_drain_lane(root))
+        rows.append(_breaker_lane(root))
     notes = (
         f'{config.service_clients} concurrent HTTP clients, '
         f'{mixed_row["jobs_submitted"]} submissions over '
         f'{mixed_row["unique_keys"]} distinct job keys; '
         f'warm resubmit hit-rate '
         f'{rows[2]["hit_rate"]:.2f}',
+        f'durability: {rows[4]["replayed"]} journaled jobs replayed '
+        f'after an abrupt kill, drain refused mid-shutdown submits '
+        f'with 503, breaker reclosed after its half-open probe',
         "rows are deterministic; sustained jobs/sec and stream "
         "latencies live in meta (BENCH_service.json gates the wall)",
     )
     return ExperimentResult(
         experiment="service",
-        title="Trace service: admission, mixed load, cache, recovery",
+        title="Trace service: admission, mixed load, cache, durability",
         rows=tuple(rows),
         notes=notes,
         meta=meta,
@@ -286,4 +306,151 @@ def _crash_requeue_lane(root: str) -> dict[str, t.Any]:
         "attempts": final["attempts"],
         "requeued": "requeued" in events,
         "marker_left": os.path.exists(marker),
+    }
+
+
+def _poll(predicate: t.Callable[[], bool], *, timeout_s: float = 60.0,
+          interval_s: float = 0.02, what: str = "condition") -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise ServiceError(f"timed out waiting for {what}")
+
+
+async def _read_recovery(service: TraceService) -> t.Any:
+    return service.last_recovery
+
+
+async def _jobs_snapshot(service: TraceService) -> list[dict[str, t.Any]]:
+    return [
+        {"state": job.state, "completions": job.completions}
+        for job in service.jobs()
+    ]
+
+
+async def _breaker_doc(service: TraceService) -> dict[str, t.Any]:
+    return service.breakers[0].describe()
+
+
+async def _probe_breaker_shed(service: TraceService) -> bool:
+    """While the shard breaker is cooling, admission must shed with the
+    ``breaker`` reason.  Checked on the service loop so the shedding
+    test and the submit are one atomic step — no HTTP race with the
+    half-open probe.  Vacuously true once the breaker stops shedding.
+    """
+    breaker = service.breakers[0]
+    if not breaker.shedding:
+        return True
+    try:
+        service.submit("sleep", {"label": "shed-me"}, client="impatient")
+    except AdmissionError as exc:
+        return exc.reason == "breaker"
+    return False
+
+
+def _recovery_lane(root: str) -> dict[str, t.Any]:
+    """Kill a journaled instance mid-flight; the next boot replays."""
+    journal_dir = os.path.join(root, "journal-recovery")
+
+    def instance() -> ServiceThread:
+        return ServiceThread(ServiceConfig(
+            shards=1, executor="thread", journal_dir=journal_dir,
+        ))
+
+    with instance() as live:
+        client = ServiceClient(port=live.port)
+        # One running + three queued at the kill.  The hold is long
+        # enough that abrupt teardown beats its completion, short
+        # enough that the reboot's full re-run stays cheap.
+        hold = client.submit("sleep", {"duration_s": 2.0, "label": "hold"})
+        for i in range(3):
+            client.submit("sleep", {"duration_s": 0.0, "label": f"q{i}"},
+                          client=f"survivor-{i}")
+        _poll(lambda: client.status(hold["id"])["state"] == "running",
+              what="hold job to start")
+        # Context exit stops the loop abruptly — no drain, no clean
+        # marker: the in-process stand-in for SIGKILL.
+    with instance() as live:
+        recovery = live.call(_read_recovery)
+        client = ServiceClient(port=live.port, timeout_s=120.0)
+        for doc in client.overview()["jobs"]:
+            client.wait(doc["id"], timeout_s=120.0)
+        snapshot = live.call(_jobs_snapshot)
+        live.drain()
+    return {
+        "scenario": "recovery",
+        "clean_boot": recovery.clean,  # False: the kill left it dirty
+        "replayed": len(recovery.live),
+        "completed": sum(1 for job in snapshot if job["state"] == "done"),
+        "exactly_once": all(job["completions"] == 1 for job in snapshot),
+        "torn_records": recovery.torn_records,
+    }
+
+
+def _drain_lane(root: str) -> dict[str, t.Any]:
+    """SIGTERM semantics over HTTP, then a clean-marker reboot."""
+    journal_dir = os.path.join(root, "journal-drain")
+    refused_503 = retry_after_ok = False
+    live = ServiceThread(ServiceConfig(
+        shards=1, executor="thread", journal_dir=journal_dir,
+    )).start()
+    try:
+        client = ServiceClient(port=live.port)
+        inflight = client.submit("sleep", {"duration_s": 2.0,
+                                           "label": "inflight"})
+        _poll(lambda: client.status(inflight["id"])["state"] == "running",
+              what="in-flight job to start")
+        drainer = threading.Thread(target=live.drain, daemon=True)
+        drainer.start()
+        _poll(lambda: bool(client.healthz().get("draining")),
+              what="drain to begin")
+        try:
+            client.submit("sleep", {"duration_s": 0.0, "label": "late"})
+        except ServiceUnavailableError as exc:
+            refused_503 = True
+            retry_after_ok = exc.retry_after_s > 0
+        drainer.join(timeout=60.0)
+    finally:
+        live.stop()
+    with ServiceThread(ServiceConfig(
+        shards=1, executor="thread", journal_dir=journal_dir,
+    )) as live:
+        recovery = live.call(_read_recovery)
+    return {
+        "scenario": "drain",
+        "refused_503": refused_503,
+        "retry_after_ok": retry_after_ok,
+        # The clean marker proves the in-flight job finished before
+        # shutdown; replay on the next boot had nothing to do.
+        "clean_boot": recovery.clean,
+        "replayed": len(recovery.live),
+    }
+
+
+def _breaker_lane(root: str) -> dict[str, t.Any]:
+    """A worker hard-exit trips the breaker; the probe re-closes it."""
+    service_config = ServiceConfig(
+        shards=1, executor="spawn", job_timeout_s=120.0,
+        breaker_failures=1, breaker_cooldown_s=0.5,
+    )
+    marker = os.path.join(root, "breaker-crash-once")
+    with ServiceThread(service_config) as live:
+        client = ServiceClient(port=live.port, timeout_s=180.0)
+        doc = client.submit("sleep", {
+            "duration_s": 0.0, "crash_unless": marker, "label": "tripper",
+        })
+        _poll(lambda: live.call(_breaker_doc)["state"] != "closed",
+              timeout_s=120.0, what="breaker to trip")
+        shed_enforced = live.call(_probe_breaker_shed)
+        final = client.wait(doc["id"], timeout_s=180.0)
+        end = live.call(_breaker_doc)
+    return {
+        "scenario": "breaker",
+        "state": final["state"],
+        "attempts": final["attempts"],
+        "tripped": end["trips"] >= 1,
+        "reclosed": end["state"] == "closed",
+        "shed_enforced": shed_enforced,
     }

@@ -12,7 +12,9 @@ What must always hold on a live service:
   every terminal job completed exactly once (the exactly-once ledger),
 * the backlog respects the admission bound it was admitted under,
 * terminal jobs carry what their state promises (a result when done,
-  an error when failed).
+  an error when failed),
+* every shard breaker is internally consistent (an open breaker knows
+  when it opened; a closed one is under its failure threshold).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from __future__ import annotations
 import typing as t
 
 from repro.health.invariants import Violation
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
 from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, TERMINAL
 
 if t.TYPE_CHECKING:  # pragma: no cover
@@ -91,11 +94,41 @@ def terminal_jobs_complete(service: "TraceService") -> list[Violation]:
     return violations
 
 
+def breakers_consistent(service: "TraceService") -> list[Violation]:
+    violations = []
+    for breaker in service.breakers:
+        if breaker.state not in (CLOSED, OPEN, HALF_OPEN):
+            violations.append(Violation(
+                check="service.breaker",
+                subject=breaker.name,
+                detail=f"unknown breaker state {breaker.state!r}",
+            ))
+            continue
+        if breaker.state == OPEN and breaker.opened_at is None:
+            violations.append(Violation(
+                check="service.breaker",
+                subject=breaker.name,
+                detail="open breaker has no opened_at timestamp",
+            ))
+        if (breaker.state == CLOSED and breaker.consecutive_failures
+                >= breaker.config.failure_threshold):
+            violations.append(Violation(
+                check="service.breaker",
+                subject=breaker.name,
+                detail=(f"closed breaker holds "
+                        f"{breaker.consecutive_failures} consecutive "
+                        f"failures (threshold "
+                        f"{breaker.config.failure_threshold})"),
+            ))
+    return violations
+
+
 ALL_CHECKS = (
     shard_loops_alive,
     accounting_conserved,
     backlog_bounded,
     terminal_jobs_complete,
+    breakers_consistent,
 )
 
 

@@ -11,8 +11,10 @@ Routes:
 
 ====== ========================== =======================================
 POST   /jobs                      submit ``{"kind", "payload",
-                                  "client", "priority"}`` → job summary
-                                  (429 + Retry-After when refused)
+                                  "client", "priority", "deadline_s"}``
+                                  → job summary (429 + Retry-After when
+                                  refused, 503 + Retry-After while the
+                                  service drains)
 GET    /jobs                      service status + job listing
 GET    /jobs/<id>                 one job's status document
 POST   /jobs/<id>/cancel          cancel queued/running work
@@ -35,7 +37,11 @@ import asyncio
 import json
 import typing as t
 
-from repro.errors import AdmissionError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.service.health import check_service
 from repro.service.jobs import TERMINAL, JobEvent
 
@@ -187,12 +193,14 @@ class HttpServer:
             raise HttpError(400, f"body is not JSON: {exc}") from None
         if not isinstance(doc, dict) or "kind" not in doc:
             raise HttpError(400, 'body must be {"kind": ..., "payload": ...}')
+        deadline = doc.get("deadline_s")
         try:
             job = self.service.submit(
                 doc["kind"],
                 doc.get("payload") or {},
                 client=str(doc.get("client", "anonymous")),
                 priority=int(doc.get("priority", 0)),
+                deadline_s=None if deadline is None else float(deadline),
             )
         except AdmissionError as exc:
             await self._respond(
@@ -202,6 +210,19 @@ class HttpServer:
                 extra_headers={"Retry-After": f"{exc.retry_after_s:g}"},
             )
             return
+        except ServiceUnavailableError as exc:
+            # Draining: the go-away answer is load-independent, so it
+            # gets its own status — clients should try the next
+            # instance, not just back off.
+            await self._respond(
+                writer, 503,
+                {"error": str(exc), "reason": "draining",
+                 "retry_after_s": exc.retry_after_s},
+                extra_headers={"Retry-After": f"{exc.retry_after_s:g}"},
+            )
+            return
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad deadline_s: {exc}") from None
         except ServiceError as exc:
             raise HttpError(400, str(exc)) from None
         await self._respond(writer, 200, job.summary())
@@ -211,6 +232,7 @@ class HttpServer:
         status = 200 if not violations else 503
         await self._respond(writer, status, {
             "status": "ok" if not violations else "unhealthy",
+            "draining": self.service.draining,
             "counts": self.service.counts(),
             "violations": [
                 {"check": v.check, "subject": v.subject, "detail": v.detail}

@@ -243,6 +243,7 @@ class Job:
     client: str
     priority: int
     shard: int
+    deadline_s: float | None = None
     state: str = QUEUED
     attempts: int = 0
     cache_hit: bool = False
@@ -252,6 +253,22 @@ class Job:
     finished_at: float | None = None
     events: list[JobEvent] = dataclasses.field(default_factory=list)
     completions: int = 0  # exactly-once guard: must never exceed 1
+
+    def envelope(self) -> dict[str, t.Any]:
+        """The journal's ``accepted`` record body — everything a
+        restarted service needs to re-admit this job as its old self
+        (key, client, priority and deadline all restored)."""
+        doc: dict[str, t.Any] = {
+            "id": self.id,
+            "key": self.key,
+            "kind": self.kind,
+            "payload": self.payload,
+            "client": self.client,
+            "priority": self.priority,
+        }
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        return doc
 
     def summary(self) -> dict[str, t.Any]:
         """The status document the HTTP API serves."""
@@ -266,6 +283,8 @@ class Job:
             "attempts": self.attempts,
             "cache_hit": self.cache_hit,
         }
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
         if self.error is not None:
             doc["error"] = self.error
         if self.result is not None:

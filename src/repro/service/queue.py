@@ -11,6 +11,13 @@ is the *policy* of what gets in.  Two bounds apply, checked in order:
 * **quota** — active jobs per client, so one chatty client cannot
   occupy the whole backlog and starve the other seven.
 
+A third, *load-shedding* bound applies when the client names a
+deadline: if the estimated wait at the target shard's current queue
+depth already exceeds the deadline, admitting the job would only burn
+a worker on an answer nobody will read — it is refused up front with
+``reason="deadline"`` (the service feeds the estimate from its EWMA of
+recent job wall times; with no history yet, nothing is shed).
+
 Rejections carry a ``Retry-After`` hint scaled by how overloaded the
 queue is: a barely-full queue says "come right back", a deeply backed
 up one (every slot taken by running work) says to wait for roughly a
@@ -65,6 +72,28 @@ class AdmissionController:
                 f"client {client!r} over quota "
                 f"({client_active}/{self.per_client_quota} active jobs)",
                 reason="quota",
+                retry_after_s=self._hint(backlog),
+            )
+
+    def check_deadline(self, deadline_s: float | None,
+                       estimated_wait_s: float, backlog: int) -> None:
+        """Shed a job whose deadline cannot be met at current depth.
+
+        *estimated_wait_s* is the service's projection of how long the
+        job would sit before completing (shard queue depth times the
+        EWMA job wall); zero means "no history yet" and never sheds.
+        """
+        if deadline_s is None:
+            return
+        if deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive: {deadline_s!r}"
+            )
+        if estimated_wait_s > deadline_s:
+            raise AdmissionError(
+                f"deadline {deadline_s:g}s cannot be met: estimated "
+                f"wait is {estimated_wait_s:.3f}s at current depth",
+                reason="deadline",
                 retry_after_s=self._hint(backlog),
             )
 

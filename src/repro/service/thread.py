@@ -85,6 +85,18 @@ class ServiceThread:
         )
         return future.result(timeout=60.0)
 
+    def drain(self, timeout_s: float | None = None) -> None:
+        """Gracefully drain the service (503s + in-flight completion)
+        before stopping the loop; the journaled clean-shutdown path."""
+        if self._loop is None or self.service is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.aclose(drain=True, drain_timeout_s=timeout_s),
+            self._loop,
+        )
+        future.result(timeout=(timeout_s or 60.0) + 30.0)
+        self.stop()
+
     def stop(self) -> None:
         if self._loop is None or self._thread is None:
             return

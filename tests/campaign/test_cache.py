@@ -234,3 +234,87 @@ class TestInvalidationStory:
         cache.put(make_entry(job_cache_key(make_job("fig08"), "fp")))
         assert cache.get(job_cache_key(make_job("fig04"), "fp")) is None
         assert cache.get(job_cache_key(make_job("fig08"), "fp")) is not None
+
+
+class TestDeadHolderLocks:
+    """PID-aware lock reclaim: a crashed writer's lock is broken
+    immediately, not after the STALE_LOCK_S minute."""
+
+    def test_dead_holder_lock_is_reclaimed_immediately(self, tmp_path):
+        import subprocess
+        import sys
+
+        cache = ResultCache(tmp_path)
+        key = "a1" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A process that exits right away: its PID is certainly dead.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait(timeout=30)
+        dead_pid = proc.pid
+        lock = cache._lock_path(path)
+        lock.write_text(f"{dead_pid}\n")  # fresh mtime, dead holder
+
+        fd = cache._acquire_lock(path)  # no STALE_LOCK_S wait
+        assert fd is not None
+        os.close(fd)
+        lock.unlink()
+
+    def test_killed_locker_does_not_block_publication(self, tmp_path):
+        """Regression: a writer SIGKILLed between locking and
+        publishing used to stall every other writer of that key for
+        STALE_LOCK_S; now the next put() reclaims and publishes."""
+        import signal
+        import subprocess
+        import sys
+
+        cache = ResultCache(tmp_path)
+        key = "b2" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        src = str(pathlib.Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src + "/src", env.get("PYTHONPATH")) if p
+        )
+        # The locker takes the lock exactly as put() would (its own
+        # PID inside), announces, then hangs until killed.
+        locker = subprocess.Popen(
+            [sys.executable, "-c", (
+                "import sys, time\n"
+                "from repro.campaign.cache import ResultCache\n"
+                "cache = ResultCache(sys.argv[1])\n"
+                "path = cache.path_for(sys.argv[2])\n"
+                "path.parent.mkdir(parents=True, exist_ok=True)\n"
+                "assert cache._acquire_lock(path) is not None\n"
+                "print('locked', flush=True)\n"
+                "time.sleep(300)\n"
+            ), str(tmp_path), key],
+            stdout=subprocess.PIPE, env=env,
+        )
+        try:
+            assert locker.stdout.readline().strip() == b"locked"
+            locker.send_signal(signal.SIGKILL)
+            locker.wait(timeout=30)
+            # The holder is dead; put() must win without waiting out
+            # the age-based staleness rule.
+            assert cache.put(make_entry(key)) == path
+            assert cache.get(key) == make_entry(key)
+            assert not cache._lock_path(path).exists()
+        finally:
+            if locker.poll() is None:
+                locker.kill()
+
+    def test_live_holder_lock_is_respected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "c3" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = cache._acquire_lock(path)  # this process: very much alive
+        try:
+            assert cache._acquire_lock(path) is None
+            assert cache.put(make_entry(key)) == path  # loser skips
+            assert cache.get(key) is None  # nothing was published
+        finally:
+            os.close(fd)
+            cache._lock_path(path).unlink()

@@ -80,3 +80,24 @@ class TestFaultPlan:
         path = tmp_path / "plan.json"
         path.write_text(self.plan().to_json())
         assert FaultPlan.load(path) == self.plan()
+
+
+class TestServiceFaultKinds:
+    """The trace-service chaos kinds ride the same plan grammar."""
+
+    def test_service_kinds_are_known_and_inline(self):
+        assert "service.crash" in FAULT_KINDS
+        assert "service.disk_full" in FAULT_KINDS
+        # Inline, not scheduled: the service has no simulated clock —
+        # its sites query at dispatch/append time.
+        assert "service.crash" not in SCHEDULED_KINDS
+        assert "service.disk_full" not in SCHEDULED_KINDS
+
+    def test_service_plan_roundtrips_through_json(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="service.crash", target="service-shard-1",
+                      max_hits=1),
+            FaultSpec(kind="service.disk_full", target="seg-*",
+                      probability=0.25),
+        ), description="durable-service chaos")
+        assert FaultPlan.from_json(plan.to_json()) == plan

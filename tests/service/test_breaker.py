@@ -1,0 +1,122 @@
+"""The per-shard circuit breaker state machine, on an injected clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def breaker(threshold=3, cooldown=5.0, clock=None, **kwargs):
+    return CircuitBreaker(
+        BreakerConfig(failure_threshold=threshold, cooldown_s=cooldown),
+        clock=clock or Clock(), **kwargs,
+    )
+
+
+class TestConfig:
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(cooldown_s=0.0)
+
+
+class TestTripping:
+    def test_trips_at_threshold_consecutive_failures(self):
+        b = breaker(threshold=3)
+        assert not b.record_failure()
+        assert not b.record_failure()
+        assert b.record_failure()  # the third trips
+        assert b.state == OPEN and b.shedding
+
+    def test_success_resets_the_streak(self):
+        b = breaker(threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED  # streak restarted, not accumulated
+
+    def test_closed_breaker_always_allows(self):
+        b = breaker()
+        assert all(b.allow() for _ in range(10))
+
+
+class TestHalfOpenProbe:
+    def test_cooldown_then_single_probe(self):
+        clock = Clock()
+        b = breaker(threshold=1, cooldown=5.0, clock=clock)
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()  # still cooling
+        assert b.cooldown_remaining() == pytest.approx(5.0)
+
+        clock.now = 5.1
+        assert b.allow()  # the probe slot
+        assert b.state == HALF_OPEN
+        assert not b.allow()  # exactly one probe at a time
+        assert not b.shedding  # half-open accepts work again
+
+    def test_probe_success_closes(self):
+        clock = Clock()
+        b = breaker(threshold=1, cooldown=1.0, clock=clock)
+        b.record_failure()
+        clock.now = 1.5
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.consecutive_failures == 0
+        assert b.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = Clock()
+        b = breaker(threshold=1, cooldown=2.0, clock=clock)
+        b.record_failure()
+        clock.now = 2.5
+        assert b.allow()
+        assert b.record_failure()  # the probe died
+        assert b.state == OPEN
+        assert b.cooldown_remaining() == pytest.approx(2.0)
+        assert not b.allow()
+        clock.now = 5.0
+        assert b.allow()  # second probe after the fresh cooldown
+
+
+class TestReporting:
+    def test_transitions_and_observer(self):
+        seen = []
+        clock = Clock()
+        b = breaker(threshold=1, cooldown=1.0, clock=clock,
+                    on_transition=lambda old, new: seen.append((old, new)))
+        b.record_failure()
+        clock.now = 1.5
+        b.allow()
+        b.record_success()
+        assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                        (HALF_OPEN, CLOSED)]
+        assert b.transitions == seen
+
+    def test_describe_counts_trips(self):
+        clock = Clock()
+        b = breaker(threshold=1, cooldown=1.0, clock=clock, name="shard-7")
+        b.record_failure()
+        clock.now = 1.5
+        b.allow()
+        b.record_failure()
+        doc = b.describe()
+        assert doc["name"] == "shard-7"
+        assert doc["state"] == OPEN
+        assert doc["trips"] == 2

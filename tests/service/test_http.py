@@ -2,11 +2,18 @@
 
 import http.client
 import json
+import socket
+import struct
+import threading
 import time
 
 import pytest
 
-from repro.errors import AdmissionError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.service.client import ServiceClient
 from repro.service.core import ServiceConfig
 from repro.service.thread import ServiceThread
@@ -21,6 +28,10 @@ def thread_config(**overrides) -> ServiceConfig:
 def live():
     with ServiceThread(thread_config()) as instance:
         yield instance
+
+
+async def _count(svc, job_id):
+    return svc.subscriber_count(job_id)
 
 
 class TestRoundtrip:
@@ -171,6 +182,41 @@ class TestStreaming:
         final = client.wait(doc["id"], timeout_s=10.0)
         assert final["state"] == "cancelled"
 
+    def test_abrupt_disconnect_mid_event_frame(self, live):
+        """A subscriber that RSTs its socket after reading only half a
+        frame (not even a full SSE event) must not take the service
+        down — the write side absorbs the connection reset and the
+        job's remaining events go to nobody."""
+        client = ServiceClient(port=live.port)
+        doc = client.submit("sleep", {"duration_s": 1.0, "label": "rst"})
+
+        sock = socket.create_connection(("127.0.0.1", live.port),
+                                        timeout=10)
+        try:
+            sock.sendall(
+                f"GET /jobs/{doc['id']}/stream HTTP/1.1\r\n"
+                f"Host: x\r\n\r\n".encode()
+            )
+            # Read a handful of bytes: headers + the first few bytes of
+            # the first event frame, then vanish with an RST (SO_LINGER
+            # zero) instead of a polite FIN.
+            assert sock.recv(64)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+        finally:
+            sock.close()
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if live.call(lambda svc: _count(svc, doc["id"])) == 0:
+                break
+            time.sleep(0.05)
+        assert live.call(lambda svc: _count(svc, doc["id"])) == 0
+        # The service shrugged: the job finishes and health is green.
+        final = client.wait(doc["id"], timeout_s=30.0)
+        assert final["state"] == "done"
+        assert client.healthz()["status"] == "ok"
+
 
 class TestOps:
     def test_healthz_green(self, live):
@@ -187,6 +233,43 @@ class TestOps:
         text = client.metrics_text()
         assert "service_jobs_submitted_total" in text
         assert "service_jobs_finished_total" in text
+
+    def test_metrics_survive_concurrent_scrape_and_shutdown(self):
+        """Scrape /metrics from several threads while the service goes
+        down mid-flight: every scrape either returns a full exposition
+        or a clean connection error — never a hung thread or a torn
+        half-response that parses as metrics."""
+        live = ServiceThread(thread_config()).start()
+        client = ServiceClient(port=live.port, timeout_s=5.0)
+        doc = client.submit("sleep", {"duration_s": 0.5, "label": "mx"})
+        stop = threading.Event()
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    text = client.metrics_text()
+                except (ServiceError, OSError):
+                    with lock:
+                        outcomes.append("refused")
+                    continue
+                assert "service_jobs_submitted_total" in text
+                with lock:
+                    outcomes.append("ok")
+
+        scrapers = [threading.Thread(target=scrape) for _ in range(4)]
+        for thread in scrapers:
+            thread.start()
+        time.sleep(0.2)  # let scrapes overlap live traffic …
+        live.stop()      # … then yank the service out from under them
+        time.sleep(0.2)
+        stop.set()
+        for thread in scrapers:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in scrapers)
+        assert "ok" in outcomes  # scrapes really ran before the stop
+        del doc
 
     def test_teardown_races_a_fresh_cancel(self):
         """Regression: cancelling a running job and stopping the
@@ -206,3 +289,102 @@ class TestOps:
             # exit immediately: stop() races the cancel's shard-side
             # completion, exactly the admission-lane shape
         assert time.perf_counter() - start < 10.0
+
+
+async def _start_drain(svc):
+    """Kick off the drain without waiting for it: the 503 window only
+    exists while in-flight work holds the drain open."""
+    import asyncio
+
+    asyncio.ensure_future(svc.aclose(drain=True, drain_timeout_s=30.0))
+    while not svc.draining:
+        await asyncio.sleep(0.005)
+
+
+class TestDrainOverHttp:
+    def test_503_with_retry_after_while_draining(self, tmp_path):
+        config = thread_config(journal_dir=tmp_path / "journal",
+                               journal_fsync="never", retry_after_s=0.25)
+        with ServiceThread(config) as live:
+            client = ServiceClient(port=live.port)
+            doc = client.submit("sleep", {"duration_s": 2.0, "label": "d"})
+            live.call(_start_drain)
+            with pytest.raises(ServiceUnavailableError) as excinfo:
+                client.submit("sleep", {"label": "late"})
+            assert excinfo.value.retry_after_s == pytest.approx(0.25)
+            # The raw response is a real 503 with the header set.
+            conn = http.client.HTTPConnection("127.0.0.1", live.port,
+                                              timeout=10)
+            try:
+                conn.request("POST", "/jobs", body=json.dumps({
+                    "kind": "sleep", "payload": {"label": "raw"},
+                }).encode(), headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                assert response.status == 503
+                assert float(response.getheader("Retry-After")) > 0
+                assert json.loads(response.read())["reason"] == "draining"
+            finally:
+                conn.close()
+            # The in-flight job still finishes: drain means finish,
+            # not abandon.
+            deadline = time.monotonic() + 30.0
+            while (client.status(doc["id"])["state"] != "done"
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert client.status(doc["id"])["state"] == "done"
+
+
+class TestClientRetries:
+    def test_default_client_surfaces_the_refusal(self):
+        config = thread_config(capacity=1)
+        with ServiceThread(config) as live:
+            client = ServiceClient(port=live.port)
+            hold = client.submit("sleep", {"duration_s": 5.0,
+                                           "label": "hold"})
+            with pytest.raises(AdmissionError):
+                client.submit("sleep", {"label": "over"}, client="late")
+            client.cancel(hold["id"])
+
+    def test_max_retries_resubmits_after_the_hint(self):
+        config = thread_config(capacity=1, retry_after_s=0.1)
+        with ServiceThread(config) as live:
+            client = ServiceClient(port=live.port, max_retries=3)
+            slept: list[float] = []
+            hold = client.submit("sleep", {"duration_s": 30.0,
+                                           "label": "hold"})
+
+            def free_then_note(seconds: float) -> None:
+                # First refusal: free the slot instead of sleeping, so
+                # the retry deterministically succeeds.
+                slept.append(seconds)
+                client_b = ServiceClient(port=live.port)
+                client_b.cancel(hold["id"])
+
+            client._sleep = free_then_note
+            doc = client.submit("sleep", {"label": "retried"},
+                                client="late")
+            assert doc["state"] in ("queued", "running", "done")
+            assert len(slept) == 1
+            assert 0 < slept[0] <= client.backoff_cap_s
+
+    def test_backoff_is_capped_and_jittered(self):
+        client = ServiceClient(max_retries=5, backoff_cap_s=2.0)
+        client._rng.seed(42)
+        delays = [client._backoff_s(10.0, attempt)
+                  for attempt in range(1, 6)]
+        assert all(d <= 2.0 for d in delays)  # hint 10s, capped at 2
+        assert all(d >= 1.0 for d in delays)  # jitter floor is 50%
+        assert len(set(delays)) > 1  # actually jittered
+
+    def test_retry_budget_exhausts(self):
+        config = thread_config(capacity=1, retry_after_s=0.02)
+        with ServiceThread(config) as live:
+            client = ServiceClient(port=live.port, max_retries=2)
+            naps: list[float] = []
+            client._sleep = naps.append
+            hold = client.submit("sleep", {"duration_s": 30.0,
+                                           "label": "hold"})
+            with pytest.raises(AdmissionError):
+                client.submit("sleep", {"label": "doomed"}, client="late")
+            assert len(naps) == 2  # retried exactly max_retries times
+            client.cancel(hold["id"])

@@ -1,0 +1,372 @@
+"""Crash recovery, graceful drain, deadline shedding, breakers —
+the durable-service story end to end, in-process."""
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ServiceUnavailableError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.service import journal as journal_mod
+from repro.service.core import ServiceConfig, TraceService
+from repro.service.core import _crash_process  # noqa: F401 - patched
+from repro.service.health import check_service
+from repro.service.journal import JobJournal, JournalConfig
+from repro.sim import RngRegistry
+from tests.service.test_service import run_async, started, wait_terminal
+
+
+def durable_service(tmp_path, **overrides) -> TraceService:
+    config = ServiceConfig(**{
+        "shards": 1, "executor": "thread",
+        "journal_dir": tmp_path / "journal", "journal_fsync": "never",
+        **overrides,
+    })
+    return TraceService(config)
+
+
+class TestCrashRecovery:
+    def test_queued_jobs_replay_and_finish_exactly_once(self, tmp_path):
+        """Abrupt aclose() is the in-process stand-in for SIGKILL:
+        queued jobs stay journaled in-flight and the next boot
+        re-admits and finishes each exactly once."""
+        async def crash():
+            service = durable_service(tmp_path)
+            await service.start()
+            hold = service.submit("sleep", {"duration_s": 30.0,
+                                            "label": "hold"})
+            queued = [
+                service.submit("sleep", {"duration_s": 0.0,
+                                         "label": f"q{i}"},
+                               client=f"c{i}")
+                for i in range(3)
+            ]
+            await started(service, hold)
+            await service.aclose()  # no drain: crash-like
+            return [job.key for job in [hold, *queued]]
+
+        async def reboot(keys):
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                recovery = service.last_recovery
+                assert recovery is not None and not recovery.clean
+                assert len(recovery.live) == 4  # hold + 3 queued
+                for job in service.jobs():
+                    await wait_terminal(service, job, timeout_s=60.0)
+                assert {job.key for job in service.jobs()} == set(keys)
+                assert all(job.state == "done" and job.completions == 1
+                           for job in service.jobs())
+                assert check_service(service) == []
+            finally:
+                await service.aclose(drain=True)
+
+        keys = run_async(crash())
+        run_async(reboot(keys))
+
+    def test_recovered_job_keeps_client_and_priority(self, tmp_path):
+        async def crash():
+            service = durable_service(tmp_path)
+            await service.start()
+            service.submit("sleep", {"duration_s": 30.0, "label": "hold"})
+            # Long enough to still be in flight at the crash (its
+            # priority puts it at the head of the shard queue).
+            vip = service.submit("sleep", {"duration_s": 30.0,
+                                           "label": "vip"},
+                                 client="alice", priority=7,
+                                 deadline_s=120.0)
+            await started(service, vip)
+            await service.aclose()
+
+        async def reboot():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                vip = next(job for job in service.jobs()
+                           if job.payload.get("label") == "vip")
+                assert vip.client == "alice"
+                assert vip.priority == 7
+                assert vip.deadline_s == 120.0
+            finally:
+                await service.aclose()
+
+        run_async(crash())
+        run_async(reboot())
+
+    def test_cache_complete_job_finishes_at_the_door(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        payload = {"seed": 5, "users": 300, "chunk": 64}
+
+        async def warm():
+            service = TraceService(ServiceConfig(
+                shards=1, executor="thread", cache_dir=cache_dir,
+            ))
+            await service.start()
+            try:
+                job = service.submit("trace", payload)
+                await wait_terminal(service, job)
+                assert job.state == "done"
+                return job.key
+            finally:
+                await service.aclose()
+
+        key = run_async(warm())
+
+        # Forge the journal a crashed instance would have left: the
+        # trace job accepted but never finished.
+        j = JobJournal(tmp_path / "journal", JournalConfig(fsync="never"))
+        j.append(journal_mod.ACCEPTED, id="j00000", key=key, kind="trace",
+                 payload=payload, client="crashed", priority=0)
+        j.close()
+
+        async def reboot():
+            service = durable_service(tmp_path, cache_dir=cache_dir)
+            await service.start()
+            try:
+                job = next(iter(service.jobs()))
+                # Recovered through the cache probe: done before any
+                # worker ran, exactly the warm-restart promise.
+                assert job.state == "done" and job.cache_hit
+                assert job.completions == 1
+            finally:
+                await service.aclose(drain=True)
+
+        run_async(reboot())
+
+    def test_torn_tail_never_wedges_a_boot(self, tmp_path):
+        j = JobJournal(tmp_path / "journal", JournalConfig(fsync="never"))
+        j.append(journal_mod.ACCEPTED, id="j00000", key="sleep:0.0:t",
+                 kind="sleep", payload={"label": "t"}, client="c",
+                 priority=0)
+        j.close()
+        segment = j.active_segment
+        segment.write_bytes(segment.read_bytes() + b"5c5c5c5c {\"torn")
+
+        async def reboot():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                assert service.last_recovery.torn_records == 1
+                assert len(service.jobs()) == 1  # the good record lives
+                for job in service.jobs():
+                    await wait_terminal(service, job)
+            finally:
+                await service.aclose(drain=True)
+
+        run_async(reboot())
+
+    def test_unknown_experiment_in_journal_is_skipped(self, tmp_path):
+        j = JobJournal(tmp_path / "journal", JournalConfig(fsync="never"))
+        j.append(journal_mod.ACCEPTED, id="j00000", key="gone@quick#s0",
+                 kind="experiment",
+                 payload={"experiment": "renamed-away"},
+                 client="c", priority=0)
+        j.close()
+
+        async def reboot():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                assert service.jobs() == ()  # dropped, not fatal
+            finally:
+                await service.aclose(drain=True)
+
+        run_async(reboot())
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_and_refuses_new(self, tmp_path):
+        async def go():
+            service = durable_service(tmp_path)
+            await service.start()
+            job = service.submit("sleep", {"duration_s": 0.3,
+                                           "label": "inflight"})
+            await started(service, job)
+            closer = asyncio.ensure_future(service.aclose(drain=True))
+            await asyncio.sleep(0.05)
+            assert service.draining
+            with pytest.raises(ServiceUnavailableError,
+                               match="draining") as excinfo:
+                service.submit("sleep", {"label": "late"})
+            assert excinfo.value.retry_after_s > 0
+            await closer
+            assert job.state == "done" and job.completions == 1
+
+        run_async(go())
+
+    def test_clean_shutdown_skips_replay(self, tmp_path):
+        async def drain():
+            service = durable_service(tmp_path)
+            await service.start()
+            job = service.submit("sleep", {"duration_s": 0.0,
+                                           "label": "clean"})
+            await wait_terminal(service, job)
+            await service.aclose(drain=True)
+
+        async def reboot():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                assert service.last_recovery.clean
+                assert service.jobs() == ()  # nothing replayed
+            finally:
+                await service.aclose(drain=True)
+
+        run_async(drain())
+        run_async(reboot())
+
+    def test_drain_deadline_caps_the_wait(self, tmp_path):
+        async def go():
+            service = durable_service(tmp_path)
+            await service.start()
+            job = service.submit("sleep", {"duration_s": 30.0,
+                                           "label": "slow"})
+            await started(service, job)
+            async with asyncio.timeout(10.0):
+                await service.aclose(drain=True, drain_timeout_s=0.2)
+            # The job did not finish; the journal is dirty on purpose.
+            assert job.state != "done"
+
+        run_async(go())
+
+        async def reboot():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                assert not service.last_recovery.clean
+                assert len(service.last_recovery.live) == 1
+                await service.cancel(next(iter(service.jobs())).id)
+            finally:
+                await service.aclose()
+
+        run_async(reboot())
+
+
+class TestDeadlineShedding:
+    def test_unmeetable_deadline_is_shed(self, tmp_path):
+        async def go():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                service._note_wall(2.0)  # EWMA evidence: jobs take ~2s
+                hold = service.submit("sleep", {"duration_s": 30.0,
+                                                "label": "hold"})
+                await started(service, hold)
+                with pytest.raises(AdmissionError) as excinfo:
+                    service.submit("sleep", {"duration_s": 0.0,
+                                             "label": "urgent"},
+                                   client="b", deadline_s=0.5)
+                assert excinfo.value.reason == "deadline"
+                assert excinfo.value.retry_after_s > 0
+                # A generous deadline still gets in.
+                ok = service.submit("sleep", {"duration_s": 0.0,
+                                              "label": "patient"},
+                                    client="b", deadline_s=120.0)
+                assert ok.state == "queued"
+            finally:
+                await service.aclose()
+
+        run_async(go())
+
+    def test_no_history_never_sheds(self, tmp_path):
+        async def go():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                job = service.submit("sleep", {"label": "first"},
+                                     deadline_s=0.001)
+                await wait_terminal(service, job)
+                assert job.state == "done"
+            finally:
+                await service.aclose(drain=True)
+
+        run_async(go())
+
+    def test_nonpositive_deadline_is_a_config_error(self, tmp_path):
+        async def go():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                with pytest.raises(ConfigurationError, match="deadline"):
+                    service.submit("sleep", {"label": "x"}, deadline_s=-1)
+            finally:
+                await service.aclose()
+
+        run_async(go())
+
+
+class TestBreakerIntegration:
+    def test_crashy_shard_trips_then_probes_back(self, tmp_path):
+        """A spawn worker that hard-exits trips the 1-failure breaker;
+        admission sheds during the cooldown; the half-open probe (the
+        requeued attempt, marker now present) closes it again."""
+        marker = tmp_path / "crash-once"
+
+        async def go():
+            service = TraceService(ServiceConfig(
+                shards=1, executor="spawn", job_timeout_s=120.0,
+                breaker_failures=1, breaker_cooldown_s=0.4,
+            ))
+            await service.start()
+            breaker = service.breakers[0]
+            try:
+                job = service.submit("sleep", {
+                    "duration_s": 0.0, "label": "crashy",
+                    "crash_unless": str(marker),
+                })
+                # Wait for the crash to trip the breaker.
+                async with asyncio.timeout(60.0):
+                    while breaker.state == "closed":
+                        await asyncio.sleep(0.01)
+                if breaker.shedding:
+                    with pytest.raises(AdmissionError) as excinfo:
+                        service.submit("sleep", {"label": "shed"},
+                                       client="other")
+                    assert excinfo.value.reason == "breaker"
+                await wait_terminal(service, job, timeout_s=120.0)
+                assert job.state == "done"
+                assert breaker.state == "closed"  # probe succeeded
+                assert any(new == "open" for _o, new in breaker.transitions)
+                assert check_service(service) == []
+            finally:
+                await service.aclose()
+
+        run_async(go())
+
+
+class TestCrashFault:
+    def test_service_crash_fault_fires_at_dispatch(self, tmp_path,
+                                                   monkeypatch):
+        """The ``service.crash`` chaos kind calls the process-killer at
+        a dispatch point; patched here to something observable."""
+        from repro.service import core as core_mod
+
+        crashes = []
+        monkeypatch.setattr(core_mod, "_crash_process",
+                            lambda: crashes.append(True))
+        rng = RngRegistry(11)
+        inj = FaultInjector(
+            FaultPlan(specs=(
+                FaultSpec(kind="service.crash", target="service-shard-*",
+                          max_hits=1),
+            )),
+            rng.stream("faults"),
+        )
+
+        async def go():
+            service = durable_service(tmp_path)
+            await service.start()
+            try:
+                with faults.use(inj):
+                    job = service.submit("sleep", {"label": "doomed"})
+                    await wait_terminal(service, job, timeout_s=30.0)
+                assert crashes == [True]
+            finally:
+                await service.aclose()
+
+        run_async(go())
