@@ -134,6 +134,13 @@ class CircuitBreaker:
             return True
         return False
 
+    def release_probe(self) -> None:
+        """The dispatch slot :meth:`allow` granted was never used (the
+        dequeued job turned out cancelled before launch): hand the
+        probe back so the next queued job can take it, reading nothing
+        into the shard's health either way."""
+        self.probe_in_flight = False
+
     def record_success(self) -> None:
         """A job ran to a verdict on a live worker; the shard is fine."""
         self.probe_in_flight = False

@@ -276,14 +276,13 @@ class TraceService:
             self._journal_bad.inc(state.torn_records, kind="torn")
         if state.corrupt_records:
             self._journal_bad.inc(state.corrupt_records, kind="corrupt")
-        # Start a fresh segment either way: re-admissions journal fresh
-        # ``accepted`` records below, and terminal history lives on in
-        # the result cache, not the journal.
-        try:
-            self.journal.rotate(live=[])
-        except (OSError, JournalWriteError):
-            self._journal_errors.inc(op="rotate")
         if state.clean or not state.live:
+            # Nothing to re-admit; compact the (fully terminal) history
+            # away and start a fresh segment.
+            try:
+                self.journal.rotate(live=[])
+            except (OSError, JournalWriteError):
+                self._journal_errors.inc(op="rotate")
             return
         for envelope in sorted(state.live.values(),
                                key=lambda e: str(e.get("id", ""))):
@@ -305,6 +304,20 @@ class TraceService:
                 continue
             self._recovered.inc(
                 outcome="cache_hit" if job.cache_hit else "requeued")
+        # Compact only now that every live envelope has been re-journaled
+        # under its new id: until the rotate's atomic rename lands, the
+        # old segments still hold the full recovered state, so a kill at
+        # any instant during re-admission replays the same live set again
+        # (submit's key dedupe makes that idempotent).  The compacted
+        # segment carries exactly the jobs still in flight; terminal
+        # history lives on in the result cache, not the journal.
+        try:
+            self.journal.rotate(live=[
+                job.envelope() for job in self._jobs.values()
+                if job.state not in TERMINAL
+            ])
+        except (OSError, JournalWriteError):
+            self._journal_errors.inc(op="rotate")
 
     async def aclose(self, *, drain: bool = False,
                      drain_timeout_s: float | None = None) -> None:
@@ -635,9 +648,21 @@ class TraceService:
             if job.state != QUEUED:  # cancelled while waiting
                 continue
             await self._breaker_gate(breaker)
+            if job.state != QUEUED:
+                # Cancelled while parked at an open breaker: cancel()
+                # already completed it and settled the depth gauge.
+                # The gate may have granted the half-open probe slot —
+                # hand it back or the gate never opens again.
+                breaker.release_probe()
+                continue
+            cancel = self._cancel_events.get(job.id)
+            if cancel is None:
+                # Defensive: a terminal transition raced the dequeue;
+                # _complete already popped the event.
+                breaker.release_probe()
+                continue
             self._maybe_crash(shard)
             self._depth.add(-1.0)
-            cancel = self._cancel_events[job.id]
             job.state = RUNNING
             self._running.add(1.0)
             self._journal(journal_mod.DISPATCHED, id=job.id,

@@ -194,13 +194,26 @@ class HttpServer:
         if not isinstance(doc, dict) or "kind" not in doc:
             raise HttpError(400, 'body must be {"kind": ..., "payload": ...}')
         deadline = doc.get("deadline_s")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"bad deadline_s: {exc}") from None
+            if deadline <= 0:
+                raise HttpError(
+                    400, f"bad deadline_s: must be positive, "
+                         f"got {deadline:g}")
+        try:
+            priority = int(doc.get("priority", 0))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad priority: {exc}") from None
         try:
             job = self.service.submit(
                 doc["kind"],
                 doc.get("payload") or {},
                 client=str(doc.get("client", "anonymous")),
-                priority=int(doc.get("priority", 0)),
-                deadline_s=None if deadline is None else float(deadline),
+                priority=priority,
+                deadline_s=deadline,
             )
         except AdmissionError as exc:
             await self._respond(
@@ -221,8 +234,6 @@ class HttpServer:
                 extra_headers={"Retry-After": f"{exc.retry_after_s:g}"},
             )
             return
-        except (TypeError, ValueError) as exc:
-            raise HttpError(400, f"bad deadline_s: {exc}") from None
         except ServiceError as exc:
             raise HttpError(400, str(exc)) from None
         await self._respond(writer, 200, job.summary())

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.errors import AdmissionError, ConfigurationError
+from repro.errors import AdmissionError, ConfigurationError, ServiceError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,7 +86,9 @@ class AdmissionController:
         if deadline_s is None:
             return
         if deadline_s <= 0:
-            raise ConfigurationError(
+            # A ServiceError (not ConfigurationError) so the HTTP layer
+            # maps it to a 400 client error rather than a 500.
+            raise ServiceError(
                 f"deadline_s must be positive: {deadline_s!r}"
             )
         if estimated_wait_s > deadline_s:

@@ -81,6 +81,26 @@ class TestHalfOpenProbe:
         assert b.consecutive_failures == 0
         assert b.allow()
 
+    def test_released_probe_slot_goes_to_the_next_job(self):
+        """A granted probe whose job never launched (cancelled before
+        dispatch) is handed back without changing the verdict."""
+        clock = Clock()
+        b = breaker(threshold=1, cooldown=1.0, clock=clock)
+        b.record_failure()
+        clock.now = 1.5
+        assert b.allow()  # probe granted ...
+        b.release_probe()  # ... but the job was cancelled pre-launch
+        assert b.state == HALF_OPEN  # no health verdict either way
+        assert b.allow()  # the next queued job gets the slot
+        b.record_success()
+        assert b.state == CLOSED
+
+    def test_release_probe_on_closed_breaker_is_a_noop(self):
+        b = breaker()
+        assert b.allow()
+        b.release_probe()
+        assert b.state == CLOSED and b.allow()
+
     def test_probe_failure_reopens_with_fresh_cooldown(self):
         clock = Clock()
         b = breaker(threshold=1, cooldown=2.0, clock=clock)

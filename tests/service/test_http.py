@@ -93,6 +93,41 @@ class TestErrors:
         with pytest.raises(ServiceError, match="400"):
             client.submit("bogus", {})
 
+    def _post_jobs(self, live, doc):
+        conn = http.client.HTTPConnection("127.0.0.1", live.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/jobs", body=json.dumps(doc).encode(),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        finally:
+            conn.close()
+
+    def test_nonpositive_deadline_is_400(self, live):
+        status, body = self._post_jobs(
+            live, {"kind": "sleep", "payload": {"label": "d"},
+                   "deadline_s": -1})
+        assert status == 400
+        assert "deadline_s" in body["error"]
+
+    def test_non_numeric_deadline_is_400(self, live):
+        status, body = self._post_jobs(
+            live, {"kind": "sleep", "payload": {"label": "d"},
+                   "deadline_s": "soon"})
+        assert status == 400
+        assert "deadline_s" in body["error"]
+
+    def test_non_numeric_priority_is_400_with_its_own_message(self, live):
+        """Regression: a bad priority used to surface as a misleading
+        'bad deadline_s' 400."""
+        status, body = self._post_jobs(
+            live, {"kind": "sleep", "payload": {"label": "p"},
+                   "priority": "high"})
+        assert status == 400
+        assert "priority" in body["error"]
+        assert "deadline" not in body["error"]
+
     def test_unknown_route_is_404(self, live):
         conn = http.client.HTTPConnection("127.0.0.1", live.port, timeout=10)
         try:

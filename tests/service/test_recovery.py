@@ -8,7 +8,7 @@ import pytest
 from repro import faults
 from repro.errors import (
     AdmissionError,
-    ConfigurationError,
+    ServiceError,
     ServiceUnavailableError,
 )
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
@@ -160,6 +160,39 @@ class TestCrashRecovery:
 
         run_async(reboot())
 
+    def test_kill_between_replay_and_readmission_loses_nothing(
+            self, tmp_path, monkeypatch):
+        """Regression: recovery must not compact the old segments away
+        before the live jobs are re-journaled under their new ids — a
+        kill inside that window used to lose every accepted in-flight
+        job.  Simulated by dying on the first re-admission."""
+        j = JobJournal(tmp_path / "journal", JournalConfig(fsync="never"))
+        for i in range(2):
+            j.append(journal_mod.ACCEPTED, id=f"j0000{i}",
+                     key=f"sleep:0.0:k{i}", kind="sleep",
+                     payload={"label": f"k{i}"}, client="c", priority=0)
+        j.close()
+
+        def killed(self, *args, **kwargs):
+            raise KeyboardInterrupt  # stand-in for SIGKILL mid-recovery
+
+        monkeypatch.setattr(TraceService, "submit", killed)
+
+        async def boot_and_die():
+            service = durable_service(tmp_path)
+            with pytest.raises(KeyboardInterrupt):
+                await service.start()
+            for task in service.shard_tasks():
+                task.cancel()
+            await asyncio.gather(*service.shard_tasks(),
+                                 return_exceptions=True)
+
+        run_async(boot_and_die())
+
+        state = JobJournal(tmp_path / "journal",
+                           JournalConfig(fsync="never")).replay()
+        assert len(state.live) == 2  # both envelopes still on disk
+
     def test_unknown_experiment_in_journal_is_skipped(self, tmp_path):
         j = JobJournal(tmp_path / "journal", JournalConfig(fsync="never"))
         j.append(journal_mod.ACCEPTED, id="j00000", key="gone@quick#s0",
@@ -287,12 +320,12 @@ class TestDeadlineShedding:
 
         run_async(go())
 
-    def test_nonpositive_deadline_is_a_config_error(self, tmp_path):
+    def test_nonpositive_deadline_is_a_client_error(self, tmp_path):
         async def go():
             service = durable_service(tmp_path)
             await service.start()
             try:
-                with pytest.raises(ConfigurationError, match="deadline"):
+                with pytest.raises(ServiceError, match="deadline"):
                     service.submit("sleep", {"label": "x"}, deadline_s=-1)
             finally:
                 await service.aclose()
@@ -335,6 +368,44 @@ class TestBreakerIntegration:
                 assert check_service(service) == []
             finally:
                 await service.aclose()
+
+        run_async(go())
+
+
+class TestCancelAtOpenBreaker:
+    def test_cancel_while_parked_at_open_breaker(self, tmp_path):
+        """Regression: cancelling a job the shard loop had dequeued and
+        parked behind an open breaker used to kill the loop (the
+        popped cancel event raised KeyError) and could complete the
+        job a second time; now the loop skips it, hands the probe slot
+        back, and keeps serving."""
+        async def go():
+            service = durable_service(
+                tmp_path, breaker_failures=1, breaker_cooldown_s=0.3)
+            await service.start()
+            breaker = service.breakers[0]
+            try:
+                # Submit, then trip the breaker before yielding to the
+                # event loop: the shard loop dequeues the job and
+                # parks at the gate.
+                job = service.submit("sleep", {"duration_s": 0.0,
+                                               "label": "parked"})
+                breaker.record_failure()
+                assert breaker.state == "open"
+                await asyncio.sleep(0.05)  # loop dequeues, parks
+                await service.cancel(job.id)
+                assert job.state == "cancelled"
+                await asyncio.sleep(0.4)  # cooldown elapses, gate opens
+                assert not service.shard_tasks()[0].done()
+                assert job.state == "cancelled" and job.completions == 1
+                after = service.submit("sleep", {"duration_s": 0.0,
+                                                 "label": "after"})
+                await wait_terminal(service, after)
+                assert after.state == "done"
+                assert breaker.state == "closed"
+                assert check_service(service) == []
+            finally:
+                await service.aclose(drain=True)
 
         run_async(go())
 
