@@ -47,6 +47,15 @@ class Task:
     label: str = ""
 
 
+def worker_identity() -> dict[str, t.Any]:
+    """Who is executing right now — stamped into distributed-trace
+    docs so a span can name the worker process it ran in.  Works in a
+    spawn worker and in the parent (thread executors) alike."""
+    import os
+
+    return {"pid": os.getpid()}
+
+
 def _worker_main(inbox: t.Any, outbox: t.Any) -> None:
     """Worker loop: run tasks from *inbox* until the ``None`` sentinel."""
     while True:

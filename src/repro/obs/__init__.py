@@ -28,6 +28,16 @@ from __future__ import annotations
 import contextlib
 import typing as t
 
+from repro.obs.distributed import (
+    TRACE_HEADER,
+    SpanRecord,
+    TraceContext,
+    TraceStore,
+    connected,
+    critical_path,
+    new_span_id,
+    new_trace_id,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -95,11 +105,19 @@ __all__ = [
     "NULL",
     "NullTracer",
     "Span",
+    "SpanRecord",
+    "TRACE_HEADER",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
     "TracerLike",
     "capture",
+    "connected",
+    "critical_path",
     "install",
     "metrics",
+    "new_span_id",
+    "new_trace_id",
     "tracer",
     "uninstall",
 ]

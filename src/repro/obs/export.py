@@ -8,6 +8,12 @@
   "process"; each CPU domain (or category, for spans without a domain
   attribute) becomes a "thread", so concurrent transfers render as
   parallel tracks.
+* :func:`distributed_chrome_trace` — the service's merged distributed
+  trace (``GET /jobs/<id>/trace``) as trace_event JSON: one Perfetto
+  "process" row per participant (``http``, ``service``, each shard,
+  each worker pid), the wall-clock phase spans on one track and the
+  worker's sim-time spans on a sibling track, offset to nest inside
+  the worker span that produced them.
 * :func:`summary` — a plain-text top-N table by total simulated time,
   the quick where-did-the-cycles-go answer.
 
@@ -206,6 +212,108 @@ def write_records_chrome_trace(
     """Write :func:`records_chrome_trace` output; returns the path."""
     path = pathlib.Path(path)
     path.write_text(json.dumps(records_chrome_trace(records, run_names)))
+    return path
+
+
+def distributed_chrome_trace(
+    trace_doc: t.Mapping[str, t.Any],
+) -> dict[str, t.Any]:
+    """A service distributed trace as a Chrome ``trace_event`` object.
+
+    *trace_doc* is what ``TraceService.trace(job_id)`` (and therefore
+    ``GET /jobs/<id>/trace``) returns: plain span docs with wall-clock
+    ``start_s``/``end_s`` for ``kind="service"`` spans and sim-time
+    seconds for ``kind="sim"`` spans.
+
+    Layout: one "process" per distinct ``worker`` (``http``/``service``
+    wall phases, ``shard-N`` queue/gate spans, ``pid-NNNN`` sim spans),
+    so the cross-process story reads as parallel rows exactly like the
+    real deployment.  Wall timestamps are re-based to the trace's first
+    span; sim spans are offset by their worker span's wall start so the
+    engine's timeline renders *inside* the worker execution that
+    produced it, sharing one clock axis.
+    """
+    spans = [dict(span) for span in trace_doc.get("spans", [])]
+    events: list[dict[str, t.Any]] = []
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    wall_starts = [s["start_s"] for s in spans if s.get("kind") != "sim"]
+    t0 = min(wall_starts) if wall_starts else 0.0
+    by_id = {s["span_id"]: s for s in spans}
+
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+
+    def pid_for(worker: str) -> int:
+        pid = pids.get(worker)
+        if pid is None:
+            pid = pids[worker] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid,
+                "args": {"name": worker},
+            })
+            events.append({
+                "ph": "M", "name": "process_sort_index", "pid": pid,
+                "args": {"sort_index": pid},
+            })
+        return pid
+
+    def tid_for(pid: int, track: str) -> int:
+        tid = tids.get((pid, track))
+        if tid is None:
+            tid = tids[(pid, track)] = (
+                len([k for k in tids if k[0] == pid]) + 1
+            )
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    def wall_offset_s(span: t.Mapping[str, t.Any]) -> float:
+        # Sim span ids are namespaced "<workerspan>.r<run>s<sid>"; the
+        # prefix names the wall-clock worker span they nest under.
+        anchor = by_id.get(str(span["span_id"]).split(".", 1)[0])
+        return float(anchor["start_s"]) if anchor else t0
+
+    for span in spans:
+        sim = span.get("kind") == "sim"
+        worker = str(span.get("worker", "service"))
+        pid = pid_for(worker)
+        tid = tid_for(pid, "sim-time" if sim else "wall")
+        start = float(span["start_s"])
+        ts = (start - t0 if not sim
+              else wall_offset_s(span) - t0 + start)
+        duration = max(0.0, float(span["end_s"]) - start)
+        args: dict[str, t.Any] = {
+            k: _arg(v) for k, v in (span.get("tags") or {}).items()
+        }
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id") is not None:
+            args["parent_id"] = span["parent_id"]
+        base = {
+            "name": span["name"],
+            "cat": "sim" if sim else "service",
+            "ts": ts * _US,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        if duration <= 0.0 and not sim:
+            events.append({**base, "ph": "i", "s": "p"})
+        else:
+            events.append({**base, "ph": "X", "dur": duration * _US})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_distributed_chrome_trace(
+    trace_doc: t.Mapping[str, t.Any],
+    path: str | pathlib.Path,
+) -> pathlib.Path:
+    """Write :func:`distributed_chrome_trace` output; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(distributed_chrome_trace(trace_doc)))
     return path
 
 

@@ -31,10 +31,40 @@ def _key(labels: t.Mapping[str, t.Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format escaping: backslash, quote, newline.
+
+    Order matters — escape the backslash first or the other two
+    escapes get double-escaped.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` (the round-trip guarantee)."""
+    out: list[str] = []
+    it = iter(value)
+    for c in it:
+        if c != "\\":
+            out.append(c)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
 def _label_text(key: LabelKey) -> str:
+    """Render a (sorted) label key as ``{a="x",b="y"}``.
+
+    ``_key`` already sorted the pairs, so the rendered order is stable
+    for any insertion order; values are escaped so a hostile label
+    (embedded quote, backslash, newline) cannot break the line format.
+    """
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -246,7 +276,12 @@ class MetricsRegistry:
         return out
 
     def render_text(self) -> str:
-        """Prometheus-flavoured plain text, one line per series."""
+        """Prometheus-flavoured plain text, one line per series.
+
+        Histograms follow the real exposition format: ``_bucket``
+        counts are *cumulative* in ``le`` order, closed by the
+        mandatory ``le="+Inf"`` bucket that equals ``_count``.
+        """
         lines: list[str] = []
         for name in self.names():
             metric = self._metrics[name]
@@ -258,9 +293,16 @@ class MetricsRegistry:
                     label = _label_text(key)
                     lines.append(f"{name}_count{label} {data['count']}")
                     lines.append(f"{name}_sum{label} {data['sum']:.9g}")
+                    running = 0
                     for upper, n in data["buckets"].items():
-                        with_le = (*key, ("le", f"{upper:g}"))
-                        lines.append(f"{name}_bucket{_label_text(with_le)} {n}")
+                        running += n
+                        with_le = tuple(sorted((*key, ("le", f"{upper:g}"))))
+                        lines.append(
+                            f"{name}_bucket{_label_text(with_le)} {running}")
+                    with_inf = tuple(sorted((*key, ("le", "+Inf"))))
+                    lines.append(
+                        f"{name}_bucket{_label_text(with_inf)} "
+                        f"{data['count']}")
             else:
                 for key, value in sorted(metric.series().items()):
                     lines.append(f"{name}{_label_text(key)} {value:.9g}")

@@ -22,6 +22,8 @@ addressed result cache, and streams lifecycle events back over SSE.
 * :mod:`repro.service.journal` — write-ahead job journal (crash
   recovery, clean-shutdown markers).
 * :mod:`repro.service.breaker` — per-shard circuit breakers.
+* :mod:`repro.service.slo` — rolling-window SLOs and multi-window
+  burn-rate alerts behind the ``service.slo`` health check.
 
 Boot one with ``python -m repro.service --port 8700`` or embed it via
 :class:`~repro.service.thread.ServiceThread`.
@@ -37,6 +39,7 @@ from repro.service.jobs import Job, JobEvent, job_key, run_payload
 from repro.service.journal import JobJournal, JournalConfig, ReplayState
 from repro.service.queue import AdmissionController
 from repro.service.shards import ShardRouter
+from repro.service.slo import SloConfig, SloTracker
 from repro.service.thread import ServiceThread
 
 __all__ = [
@@ -54,6 +57,8 @@ __all__ = [
     "ServiceThread",
     "ServiceUnavailableError",
     "ShardRouter",
+    "SloConfig",
+    "SloTracker",
     "TraceService",
     "check_service",
     "job_key",

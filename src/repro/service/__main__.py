@@ -11,7 +11,11 @@ Runs until interrupted; ``--shards``/``--executor`` size the worker
 side, ``--capacity``/``--quota`` bound admission, ``--cache`` points
 at (and shares) a campaign result-cache directory, and ``--journal``
 turns on the write-ahead job journal: a killed service replays it on
-the next boot and finishes what it had accepted.
+the next boot and finishes what it had accepted.  ``--slo-*`` tune
+the rolling availability/latency objectives behind the
+``service.slo`` health check and the ``service_slo_burn`` gauge;
+``--trace-keep`` sizes the in-memory distributed-trace store behind
+``GET /jobs/<id>/trace``.
 
 SIGTERM is the graceful exit: admission flips to 503 + Retry-After,
 in-flight jobs finish (up to ``--drain-timeout``), the journal gets
@@ -32,6 +36,7 @@ import typing as t
 from repro.service.core import ServiceConfig, TraceService
 from repro.service.http import HttpServer
 from repro.service.shards import EXECUTORS
+from repro.service.slo import SloConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,7 +68,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drain-timeout", type=float, default=30.0,
                         help="seconds SIGTERM waits for in-flight jobs "
                              "before giving up (default: 30)")
+    parser.add_argument("--slo-availability", type=float, default=0.99,
+                        help="availability objective: fraction of "
+                             "completions that must succeed "
+                             "(default: 0.99)")
+    parser.add_argument("--slo-latency-target", type=float, default=60.0,
+                        help="latency objective threshold: seconds a "
+                             "successful job may take end-to-end "
+                             "(default: 60)")
+    parser.add_argument("--slo-windows", metavar="SHORT,LONG",
+                        default="300,3600",
+                        help="burn-rate windows in seconds, short,long "
+                             "(default: 300,3600)")
+    parser.add_argument("--trace-keep", type=int, default=256,
+                        help="distributed traces retained in memory "
+                             "for GET /jobs/<id>/trace (default: 256)")
     return parser
+
+
+def _parse_windows(raw: str) -> tuple[float, float]:
+    try:
+        short_s, long_s = (float(part) for part in raw.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"--slo-windows wants SHORT,LONG seconds, got {raw!r}"
+        ) from None
+    return short_s, long_s
 
 
 async def serve(config: ServiceConfig, host: str, port: int,
@@ -98,6 +128,7 @@ async def serve(config: ServiceConfig, host: str, port: int,
 
 def main(argv: t.Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    short_s, long_s = _parse_windows(args.slo_windows)
     config = ServiceConfig(
         shards=args.shards,
         capacity=args.capacity,
@@ -107,6 +138,13 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         job_timeout_s=args.timeout,
         journal_dir=args.journal,
         drain_timeout_s=args.drain_timeout,
+        slo=SloConfig(
+            availability_target=args.slo_availability,
+            latency_target_s=args.slo_latency_target,
+            short_window_s=short_s,
+            long_window_s=long_s,
+        ),
+        trace_keep=args.trace_keep,
     )
     with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(serve(config, args.host, args.port))

@@ -6,8 +6,8 @@ party HTTP stack.  One method per route; SSE streaming is a generator
 of parsed ``(event, data)`` pairs.
 
 429 responses raise the same :class:`~repro.errors.AdmissionError`
-the server raised, and 503 (a draining instance) raises
-:class:`~repro.errors.ServiceUnavailableError`, both with
+the server raised, and 503 from job routes (a draining instance)
+raises :class:`~repro.errors.ServiceUnavailableError`, both with
 ``retry_after_s`` recovered from the ``Retry-After`` header — so a
 polite load generator can implement backoff with the exact vocabulary
 the admission controller speaks.  With ``max_retries > 0``,
@@ -16,6 +16,15 @@ the server's hint (jittered, capped at ``backoff_cap_s``) and
 resubmits, up to the retry budget.  The default budget is 0 — an
 unconfigured client surfaces every refusal, which is what tests and
 admission experiments want.
+
+Tracing: every response's ``X-Trace-Id`` header lands in
+:attr:`ServiceClient.last_trace_id`, :meth:`ServiceClient.submit` can
+carry a caller-minted ``trace_id`` so client-side spans join the
+service's trace, and :meth:`ServiceClient.trace` fetches the merged
+distributed trace with its critical-path breakdown.
+:meth:`ServiceClient.healthz` never raises on 503 — an unhealthy
+verdict *is* the answer, not a transport failure — so probes and
+chaos lanes can read the violation list straight off the document.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.errors import (
     ServiceError,
     ServiceUnavailableError,
 )
+from repro.obs.distributed import TRACE_HEADER
 
 
 class ServiceClient:
@@ -52,6 +62,8 @@ class ServiceClient:
         #: Injection points so tests drive the backoff deterministically.
         self._sleep: t.Callable[[float], None] = time.sleep
         self._rng = random.Random()
+        #: ``X-Trace-Id`` from the most recent response (any route).
+        self.last_trace_id: str = ""
 
     # -- plumbing -----------------------------------------------------
 
@@ -61,15 +73,19 @@ class ServiceClient:
         )
 
     def _request(self, method: str, path: str,
-                 body: dict[str, t.Any] | None = None) -> dict[str, t.Any]:
+                 body: dict[str, t.Any] | None = None,
+                 *, trace_id: str | None = None) -> dict[str, t.Any]:
         conn = self._connect()
         try:
             payload = json.dumps(body).encode() if body is not None else None
             headers = {"Content-Type": "application/json"} if payload else {}
+            if trace_id:
+                headers[TRACE_HEADER] = trace_id
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
             doc = json.loads(raw) if raw else {}
+            self.last_trace_id = response.getheader(TRACE_HEADER) or ""
             if response.status == 429:
                 raise AdmissionError(
                     doc.get("error", "service refused the submission"),
@@ -100,9 +116,15 @@ class ServiceClient:
 
     def submit(self, kind: str, payload: dict[str, t.Any] | None = None,
                *, client: str = "anonymous", priority: int = 0,
-               deadline_s: float | None = None) -> dict[str, t.Any]:
+               deadline_s: float | None = None,
+               trace_id: str | None = None) -> dict[str, t.Any]:
         """Submit one job; retries 429/503 up to ``max_retries`` times,
-        sleeping the server's Retry-After hint (jittered, capped)."""
+        sleeping the server's Retry-After hint (jittered, capped).
+
+        The returned summary carries ``trace_id`` — the server's if it
+        minted one, or the caller's *trace_id* when supplied (so the
+        client can pre-correlate its own spans before submitting).
+        """
         body: dict[str, t.Any] = {
             "kind": kind, "payload": payload or {},
             "client": client, "priority": priority,
@@ -112,7 +134,8 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
-                return self._request("POST", "/jobs", body)
+                return self._request("POST", "/jobs", body,
+                                     trace_id=trace_id)
             except (AdmissionError, ServiceUnavailableError) as exc:
                 if attempt >= self.max_retries:
                     raise
@@ -148,6 +171,15 @@ class ServiceClient:
     def status(self, job_id: str) -> dict[str, t.Any]:
         return self._request("GET", f"/jobs/{job_id}")
 
+    def trace(self, job_id: str, *,
+              fmt: str | None = None) -> dict[str, t.Any]:
+        """The job's merged distributed trace (spans + critical path);
+        ``fmt="chrome"`` returns the Perfetto/Chrome trace_event form."""
+        path = f"/jobs/{job_id}/trace"
+        if fmt:
+            path += f"?format={fmt}"
+        return self._request("GET", path)
+
     def cancel(self, job_id: str) -> dict[str, t.Any]:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
@@ -155,7 +187,25 @@ class ServiceClient:
         return self._request("GET", "/jobs")
 
     def healthz(self) -> dict[str, t.Any]:
-        return self._request("GET", "/healthz")
+        """The health document, whatever the verdict.
+
+        Deliberately does **not** go through :meth:`_request`: a 503
+        here means "unhealthy" (a perfectly good probe answer), not
+        "go away", so raising ``ServiceUnavailableError`` would hide
+        exactly the violations the caller asked for.  The document's
+        ``status``/``violations`` fields carry the verdict instead.
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            raw = response.read()
+            self.last_trace_id = response.getheader(TRACE_HEADER) or ""
+            if response.status not in (200, 503):
+                raise ServiceError(f"/healthz -> {response.status}")
+            return json.loads(raw) if raw else {}
+        finally:
+            conn.close()
 
     def metrics_text(self) -> str:
         conn = self._connect()

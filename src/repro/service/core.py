@@ -42,6 +42,20 @@ replay.  Journal write failures (disk full) are counted and survived —
 the service prefers staying up to staying durable, and says so in
 ``service_journal_errors_total``.
 
+Telemetry (always on): every admitted job carries a distributed trace
+context (:mod:`repro.obs.distributed`) — minted at the HTTP door or by
+``submit`` itself, journaled in the envelope so recovery re-admits the
+job under its original trace id, and handed across the spawn boundary
+to the worker.  The service records contiguous wall-clock phase spans
+(cache probe → admission → queue wait → breaker gate → worker →
+publish) into a bounded :class:`~repro.obs.distributed.TraceStore`,
+the worker ships back its sim-clock spans as children of its attempt
+span, and ``GET /jobs/<id>/trace`` serves the joined tree plus the
+critical-path breakdown.  The same phase timings feed explicit-bucket
+latency histograms on ``/metrics`` and a rolling-window SLO tracker
+(:mod:`repro.service.slo`) whose multi-window burn-rate alert backs
+the ``service.slo`` health check and ``service_slo_burn`` gauge.
+
 Overload (always on): each shard owns a
 :class:`~repro.service.breaker.CircuitBreaker` fed by the same
 crash/timeout verdicts the retry policy sees; a tripped shard stops
@@ -71,8 +85,11 @@ from repro.errors import (
 )
 from repro.faults.recovery import RetryPolicy
 from repro.harness.results import ExperimentResult
+from repro.obs import distributed as dist
+from repro.obs.distributed import SpanRecord, TraceContext, TraceStore
 from repro.obs.metrics import MetricsRegistry
 from repro.service import jobs as jobs_mod
+from repro.service.slo import SloConfig, SloTracker
 from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service import journal as journal_mod
 from repro.service.journal import (
@@ -100,6 +117,28 @@ from repro.service.shards import (
     WorkerCrashError,
     make_executor,
 )
+
+
+#: Explicit buckets for the service latency histograms: 1 ms to 60 s.
+#: /metrics renders these as cumulative ``_bucket{le=...}`` series.
+LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Sim-span sampling used when a spawn worker captures its engine
+#: timeline (mirrors the harness's traced-run defaults; fetched
+#: lazily because the registry imports this module's experiment).
+_WORKER_SAMPLING: dict[str, float] | None = None
+
+
+def _worker_sampling() -> dict[str, float]:
+    global _WORKER_SAMPLING
+    if _WORKER_SAMPLING is None:
+        from repro.harness.registry import DEFAULT_TRACE_SAMPLING
+
+        _WORKER_SAMPLING = dict(DEFAULT_TRACE_SAMPLING)
+    return _WORKER_SAMPLING
 
 
 def _crash_process() -> None:  # pragma: no cover - by definition
@@ -137,12 +176,18 @@ class ServiceConfig:
     breaker_failures: int = 3
     #: Seconds a tripped breaker cools before its half-open probe.
     breaker_cooldown_s: float = 5.0
+    #: SLO objectives and burn-rate alert windows (``service.slo``).
+    slo: SloConfig = dataclasses.field(default_factory=SloConfig)
+    #: Distinct distributed traces held for ``GET /jobs/<id>/trace``.
+    trace_keep: int = 256
 
     def __post_init__(self) -> None:
         if self.job_timeout_s <= 0:
             raise ConfigurationError("job_timeout_s must be positive")
         if self.drain_timeout_s <= 0:
             raise ConfigurationError("drain_timeout_s must be positive")
+        if self.trace_keep < 1:
+            raise ConfigurationError("trace_keep must be >= 1")
         # Validate eagerly so a bad config dies at construction, not
         # at first journal append / breaker trip.
         JournalConfig(fsync=self.journal_fsync,
@@ -207,6 +252,24 @@ class TraceService:
             "service_jobs_running", "Jobs executing right now")
         self._wall = self.metrics.histogram(
             "service_job_wall_s", help="Fresh job execution seconds")
+        self._admission_latency = self.metrics.histogram(
+            "service_admission_latency_s", buckets=LATENCY_BUCKETS,
+            help="Submit entry to enqueue seconds")
+        self._queue_wait = self.metrics.histogram(
+            "service_queue_wait_s", buckets=LATENCY_BUCKETS,
+            help="Enqueue to shard dequeue seconds")
+        self._worker_wall = self.metrics.histogram(
+            "service_worker_wall_s", buckets=LATENCY_BUCKETS,
+            help="Per-attempt worker execution seconds")
+        self._e2e = self.metrics.histogram(
+            "service_e2e_latency_s", buckets=LATENCY_BUCKETS,
+            help="Accept to publish seconds, end to end")
+        self._slo_burn = self.metrics.gauge(
+            "service_slo_burn",
+            "SLO burn rate, by objective and window")
+        self.slo = SloTracker(self.config.slo)
+        #: Distributed wall-clock spans, by trace id (bounded).
+        self.traces = TraceStore(keep=self.config.trace_keep)
 
         self._jobs: dict[str, Job] = {}
         self._by_key: dict[str, str] = {}
@@ -286,12 +349,18 @@ class TraceService:
             return
         for envelope in sorted(state.live.values(),
                                key=lambda e: str(e.get("id", ""))):
+            recovered_trace = (
+                TraceContext.root(str(envelope["trace_id"]),
+                                  recovered="true")
+                if envelope.get("trace_id") else None
+            )
             try:
                 job = self.submit(
                     envelope["kind"], envelope.get("payload") or {},
                     client=str(envelope.get("client", "anonymous")),
                     priority=int(envelope.get("priority", 0)),
                     deadline_s=envelope.get("deadline_s"),
+                    trace=recovered_trace,
                 )
             except AdmissionError as exc:
                 self._shed.inc(reason=f"recovery-{exc.reason}")
@@ -372,12 +441,20 @@ class TraceService:
 
     def submit(self, kind: str, payload: t.Mapping[str, t.Any] | None = None,
                *, client: str = "anonymous", priority: int = 0,
-               deadline_s: float | None = None) -> Job:
+               deadline_s: float | None = None,
+               trace: TraceContext | None = None) -> Job:
         """Admit one job (or attach to its twin); returns its record.
 
         *deadline_s* is the client's completion budget in seconds; a
         submission whose estimated wait already exceeds it is shed
         with ``reason="deadline"`` instead of admitted.
+
+        *trace* is the distributed trace context this submission
+        continues (the HTTP layer passes the request's, parented
+        under its parse span); omitted, a fresh root trace is minted —
+        every admitted job has a trace id.  A submission that attaches
+        to a twin keeps the *twin's* trace: the work only ran once,
+        so there is only one trace to tell.
         """
         if self._closed:
             raise ServiceError("service is shutting down")
@@ -400,6 +477,8 @@ class TraceService:
                 return twin
             # failed/cancelled twins may be resubmitted fresh
 
+        ctx = trace or TraceContext.root()
+        t0 = time.time()
         job = Job(
             id=f"j{self._next_id:05d}",
             key=key,
@@ -410,17 +489,27 @@ class TraceService:
             shard=self.router.shard_for(key),
             deadline_s=None if deadline_s is None else float(deadline_s),
             submitted_at=time.monotonic(),
+            trace_id=ctx.trace_id,
+            trace_marks={
+                "t0": t0,
+                "job_span": dist.new_span_id(),
+                "parent": ctx.parent_span_id,
+            },
         )
         self._next_id += 1
 
         cached = self._probe_cache(kind, payload)
+        t_probe = time.time()
         if cached is not None:
+            self._span(job, "cache.probe", t0, t_probe, hit=True)
             # Completing at the door bypasses admission, the breaker
             # and the deadline check: the answer is already on disk.
             self._register(job)
             self._journal(journal_mod.ACCEPTED, **job.envelope())
             job.cache_hit = True
             job.result = cached
+            self._span(job, "admission", t_probe, time.time(),
+                       outcome="cache-hit")
             self._emit(job, "queued", {"cache": "probing"})
             self._complete(job, DONE)
             self._hits.inc(source="disk")
@@ -454,6 +543,11 @@ class TraceService:
         except AdmissionError as exc:
             if exc.reason == "deadline":
                 self._shed.inc(reason="deadline")
+            if exc.reason in ("breaker", "deadline"):
+                # Shed work is an availability miss the SLO must see:
+                # the client asked and the service turned them away.
+                self.slo.record_shed()
+                self._update_slo_gauge()
             self._rejected.inc(reason=exc.reason)
             raise
 
@@ -466,6 +560,13 @@ class TraceService:
             (-job.priority, self._enqueue_seq, job.id)
         )
         self._depth.add(1.0)
+        t_enqueue = time.time()
+        job.trace_marks["enqueued"] = t_enqueue
+        self._span(job, "cache.probe", t0, t_probe, hit=False)
+        self._span(job, "admission", t_probe, t_enqueue,
+                   backlog=backlog, shard=job.shard)
+        self._admission_latency.observe(
+            t_enqueue - t0, **self._metric_labels(job))
         self._emit(job, "queued", {"shard": job.shard})
         return job
 
@@ -502,6 +603,77 @@ class TraceService:
     def _register(self, job: Job) -> None:
         self._jobs[job.id] = job
         self._by_key[job.key] = job.id
+
+    # -- distributed tracing ------------------------------------------
+
+    def _span(self, job: Job, name: str, start_s: float, end_s: float,
+              *, parent: str | None = "job", worker: str = "service",
+              span_id: str | None = None, **tags: t.Any) -> None:
+        """Record one service phase span under *job*'s trace.
+
+        *span_id* is normally minted here; the worker span passes its
+        pre-allocated id (the one sim child spans already reference).
+        """
+        if not job.trace_id:
+            return
+        parent_id = (job.trace_marks.get("job_span")
+                     if parent == "job" else parent)
+        self.traces.add(SpanRecord(
+            trace_id=job.trace_id,
+            span_id=span_id or dist.new_span_id(),
+            name=name,
+            start_s=start_s,
+            end_s=end_s,
+            parent_id=parent_id,
+            worker=worker,
+            tags={k: v for k, v in tags.items() if v is not None},
+        ))
+
+    def record_span(self, *, trace_id: str, span_id: str, name: str,
+                    start_s: float, end_s: float,
+                    parent_id: str | None = None, worker: str = "service",
+                    tags: dict[str, t.Any] | None = None) -> None:
+        """Public span intake for co-located layers (the HTTP front
+        end records its ``http.parse`` span through this)."""
+        self.traces.add(SpanRecord(
+            trace_id=trace_id, span_id=span_id, name=name,
+            start_s=start_s, end_s=end_s, parent_id=parent_id,
+            worker=worker, tags=dict(tags or {}),
+        ))
+
+    def trace(self, job_id: str) -> dict[str, t.Any]:
+        """The ``GET /jobs/<id>/trace`` document: every span recorded
+        under the job's trace id, connectivity, and the critical-path
+        breakdown."""
+        job = self.job(job_id)
+        spans = self.traces.spans(job.trace_id)
+        return {
+            "job_id": job.id,
+            "trace_id": job.trace_id,
+            "state": job.state,
+            "connected": dist.connected(spans),
+            "critical_path": dist.critical_path(spans),
+            "dropped_spans": self.traces.dropped(job.trace_id),
+            "spans": [span.to_doc() for span in spans],
+        }
+
+    def _metric_labels(self, job: Job) -> dict[str, str]:
+        """Low-cardinality labels for the latency histograms."""
+        return {
+            "kind": job.kind,
+            "backend": self.config.executor,
+            "experiment": (str(job.payload.get("experiment", "-"))
+                           if job.kind == "experiment" else "-"),
+        }
+
+    def _update_slo_gauge(self) -> None:
+        for objective in self.slo.objectives():
+            for window in ("short", "long"):
+                self._slo_burn.set(
+                    self.slo.burn_rate(
+                        objective, self.config.slo.window_s(window)),
+                    objective=objective, window=window,
+                )
 
     def _probe_cache(
         self, kind: str, payload: dict[str, t.Any]
@@ -610,6 +782,7 @@ class TraceService:
                   *, error: str | None = None) -> None:
         # WAL rule: the terminal record is durable before any
         # subscriber hears the terminal event.
+        t_publish = time.time()
         self._journal(
             {DONE: journal_mod.DONE, FAILED: journal_mod.FAILED,
              CANCELLED: journal_mod.CANCELLED}[state],
@@ -627,7 +800,47 @@ class TraceService:
         if state == DONE and job.result is not None:
             data["wall_s"] = job.result["wall_s"]
             data["cache_hit"] = job.cache_hit
+        marks = job.trace_marks
+        traced = bool(job.trace_id) and "t0" in marks
+        if traced:
+            # The publish phase covers the WAL append and result
+            # bookkeeping; the root span closes *before* the emit so
+            # the critical path shipped in the terminal event already
+            # covers the whole job.
+            t_end = time.time()
+            self._span(job, "publish", t_publish, t_end, state=state)
+            self.traces.add(SpanRecord(
+                trace_id=job.trace_id,
+                span_id=marks["job_span"],
+                name="job",
+                start_s=marks["t0"],
+                end_s=t_end,
+                parent_id=marks.get("parent"),
+                worker="service",
+                tags={"job_id": job.id, "kind": job.kind, "state": state,
+                      "client": job.client, "cache_hit": job.cache_hit,
+                      "attempts": job.attempts},
+            ))
+            e2e_s = t_end - marks["t0"]
+            self._e2e.observe(e2e_s, **self._metric_labels(job))
+            data["trace_id"] = job.trace_id
+            if state in (DONE, FAILED):
+                path = dist.critical_path(self.traces.spans(job.trace_id))
+                data["critical_path"] = {
+                    "e2e_s": round(path["e2e_s"], 6),
+                    "components": path["components"],
+                    "coverage": path["coverage"],
+                }
+            if state == DONE:
+                self.slo.record_completion(ok=True, latency_s=e2e_s)
+            elif state == FAILED:
+                self.slo.record_completion(ok=False)
+            self._update_slo_gauge()
         self._emit(job, event[state], data)
+        if traced:
+            t_notify = time.time()
+            self._span(job, "sse.notify", t_notify, t_notify,
+                       subscribers=len(self._subscribers.get(job.id, ())))
         self._cancel_events.pop(job.id, None)
 
     async def _breaker_gate(self, breaker: CircuitBreaker) -> None:
@@ -644,6 +857,7 @@ class TraceService:
         breaker = self.breakers[shard]
         while True:
             _, _, job_id = await queue.get()
+            t_dequeue = time.time()
             job = self._jobs[job_id]
             if job.state != QUEUED:  # cancelled while waiting
                 continue
@@ -665,6 +879,14 @@ class TraceService:
             self._depth.add(-1.0)
             job.state = RUNNING
             self._running.add(1.0)
+            t_gate = time.time()
+            t_enqueued = job.trace_marks.get("enqueued", t_dequeue)
+            self._span(job, "queue.wait", t_enqueued, t_dequeue,
+                       worker=f"shard-{shard}", shard=shard)
+            self._span(job, "breaker.gate", t_dequeue, t_gate,
+                       worker=f"shard-{shard}", state=breaker.state)
+            self._queue_wait.observe(
+                t_dequeue - t_enqueued, **self._metric_labels(job))
             self._journal(journal_mod.DISPATCHED, id=job.id,
                           attempt=job.attempts + 1, shard=shard)
             self._emit(job, "started", {"shard": shard})
@@ -687,10 +909,20 @@ class TraceService:
                               cancel: asyncio.Event,
                               breaker: CircuitBreaker) -> None:
         retry = self.config.retry
+        capture_sim = self.config.executor == "spawn"
         while True:
             job.attempts += 1
+            attempt_start = time.time()
+            worker_span = dist.new_span_id()
+            trace_arg = {
+                "trace_id": job.trace_id,
+                "span_id": worker_span,
+                "capture_sim": capture_sim,
+                "sampling": _worker_sampling() if capture_sim else None,
+            }
             run = asyncio.ensure_future(
-                executor.run(run_payload, (job.kind, job.payload))
+                executor.run(run_payload,
+                             (job.kind, job.payload, trace_arg))
             )
             stop = asyncio.ensure_future(cancel.wait())
             try:
@@ -728,6 +960,7 @@ class TraceService:
                 stop.cancel()
                 return
             stop.cancel()
+            shard_row = f"shard-{job.shard}"
             try:
                 payload = run.result()
             except JobAbortedError:
@@ -737,10 +970,20 @@ class TraceService:
                 # Deterministic in-job failure: the *worker* is fine,
                 # so the breaker hears success, not failure.
                 breaker.record_success()
+                self._span(job, "worker", attempt_start, time.time(),
+                           span_id=worker_span, worker=shard_row,
+                           outcome="error", attempt=job.attempts,
+                           retry=job.attempts - 1, shard=job.shard,
+                           pid=executor.worker_pid())
                 self._complete(job, FAILED, error=str(exc))
                 return
             except WorkerCrashError as exc:
                 breaker.record_failure()
+                t_crash = time.time()
+                self._span(job, "worker", attempt_start, t_crash,
+                           span_id=worker_span, worker=shard_row,
+                           outcome=exc.reason, attempt=job.attempts,
+                           retry=job.attempts - 1, shard=job.shard)
                 if cancel.is_set():
                     self._complete(job, CANCELLED)
                     return
@@ -753,6 +996,8 @@ class TraceService:
                     # a sick shard with the same job is how one crashy
                     # submission burns a whole retry budget in <1s.
                     await self._breaker_gate(breaker)
+                    self._span(job, "retry.wait", t_crash, time.time(),
+                               worker=shard_row, attempt=job.attempts)
                     continue
                 self._complete(
                     job, FAILED,
@@ -765,6 +1010,24 @@ class TraceService:
                 # client was already told the job was going away.
                 self._complete(job, CANCELLED)
                 return
+            trace_doc = payload.pop("trace", None) or {}
+            t_done = time.time()
+            self._span(job, "worker", attempt_start, t_done,
+                       span_id=worker_span, worker=shard_row,
+                       outcome="ok", attempt=job.attempts,
+                       retry=job.attempts - 1, shard=job.shard,
+                       pid=trace_doc.get("pid"),
+                       sim_truncated=trace_doc.get("truncated") or None)
+            if trace_doc.get("records") and job.trace_id:
+                sim_spans, _truncated = dist.sim_records_to_spans(
+                    trace_doc["records"],
+                    trace_id=job.trace_id,
+                    parent_span_id=worker_span,
+                    worker=f"pid-{trace_doc.get('pid', '?')}",
+                )
+                self.traces.extend(sim_spans)
+            self._worker_wall.observe(
+                payload["wall_s"], **self._metric_labels(job))
             job.result = payload
             self._wall.observe(payload["wall_s"])
             self._note_wall(payload["wall_s"])
@@ -793,6 +1056,8 @@ class TraceService:
             "queue_depths": list(self.queue_depths()),
             "draining": self._draining,
             "breakers": [b.describe() for b in self.breakers],
+            "slo": self.slo.describe(),
+            "traces_held": len(self.traces),
             "jobs": [job.summary() | {"result": None}
                      for job in self._jobs.values()],
         }

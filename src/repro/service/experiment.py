@@ -26,6 +26,14 @@ scenario lane:
 * ``breaker``     — a worker hard-exit trips the one-failure breaker;
   admission sheds while it cools, the half-open probe re-runs the job
   and closes the breaker again.
+* ``telemetry``   — one HTTP job on a ``spawn`` shard yields one
+  connected distributed trace (submit → admission → queue → worker →
+  publish, with the engine's sim-time spans as children) whose
+  critical-path components sum to the end-to-end latency within 5 %.
+* ``slo``         — a burst of deterministic failures drives the
+  multi-window burn rate over threshold (``service.slo`` turns
+  ``/healthz`` red, ``service_slo_burn`` spikes); a run of good jobs
+  slides the short window clean and the alert clears.
 * ``health``      — ``/healthz`` is green and the exactly-once ledger
   balances after all of the above.
 
@@ -72,6 +80,8 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         rows.append(_recovery_lane(root))
         rows.append(_drain_lane(root))
         rows.append(_breaker_lane(root))
+        rows.append(_telemetry_lane(config))
+        rows.append(_slo_lane())
     notes = (
         f'{config.service_clients} concurrent HTTP clients, '
         f'{mixed_row["jobs_submitted"]} submissions over '
@@ -81,6 +91,10 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         f'durability: {rows[4]["replayed"]} journaled jobs replayed '
         f'after an abrupt kill, drain refused mid-shutdown submits '
         f'with 503, breaker reclosed after its half-open probe',
+        f'telemetry: one connected trace of {rows[7]["spans"]} spans '
+        f'({rows[7]["sim_spans"]} sim-time children), critical path '
+        f'covers {rows[7]["coverage"]:.3f} of e2e; SLO burn alert '
+        f'fired and cleared in the fault lane',
         "rows are deterministic; sustained jobs/sec and stream "
         "latencies live in meta (BENCH_service.json gates the wall)",
     )
@@ -426,6 +440,113 @@ def _drain_lane(root: str) -> dict[str, t.Any]:
         # shutdown; replay on the next boot had nothing to do.
         "clean_boot": recovery.clean,
         "replayed": len(recovery.live),
+    }
+
+
+def _telemetry_lane(config: ExperimentConfig) -> dict[str, t.Any]:
+    """One HTTP job = one connected distributed trace.
+
+    A ``spawn`` shard so the trace genuinely crosses a process
+    boundary: the worker's sim-clock spans come back over the queue
+    and hang off the worker span.  The critical-path breakdown must
+    tile the end-to-end wall time (the ±5 % acceptance bound).
+    """
+    service_config = ServiceConfig(
+        shards=1, executor="spawn", job_timeout_s=300.0,
+    )
+    with ServiceThread(service_config) as live:
+        client = ServiceClient(port=live.port, timeout_s=300.0)
+        doc = client.submit(
+            "experiment",
+            {"experiment": "fig02", "preset": "quick", "seed": config.seed},
+            client="telemetry",
+        )
+        header_on_submit = client.last_trace_id
+        final = client.wait(doc["id"], timeout_s=300.0)
+        trace = client.trace(doc["id"])
+        chrome = client.trace(doc["id"], fmt="chrome")
+    spans = trace["spans"]
+    sim_spans = sum(1 for span in spans if span.get("kind") == "sim")
+    path = trace["critical_path"]
+    components_sum = sum(path["components"].values())
+    e2e = path["e2e_s"]
+    return {
+        "scenario": "telemetry",
+        "state": final["state"],
+        "spans": len(spans),
+        "sim_spans": sim_spans,
+        "connected": trace["connected"],
+        "coverage": round(path["coverage"], 4),
+        "components_sum_ok": (
+            e2e > 0 and abs(components_sum - e2e) <= 0.05 * e2e
+        ),
+        "trace_id_consistent": (
+            bool(trace["trace_id"])
+            and trace["trace_id"] == final.get("trace_id")
+            and trace["trace_id"] == header_on_submit
+        ),
+        "chrome_events": len(chrome["traceEvents"]),
+    }
+
+
+def _slo_lane() -> dict[str, t.Any]:
+    """Drive the burn-rate alert over threshold, then clear it.
+
+    Windows are shrunk to seconds so the lane runs in wall time a test
+    can afford: a burst of deterministic failures (the ``fail`` knob)
+    pushes the short *and* long availability burn past the threshold —
+    ``/healthz`` goes red with a ``service.slo`` violation and the
+    ``service_slo_burn`` gauge spikes — then a run of good jobs plus
+    the sliding short window brings the alert back down.
+    """
+    from repro.service.slo import SloConfig
+
+    slo = SloConfig(
+        availability_target=0.9, latency_target_s=60.0,
+        short_window_s=1.5, long_window_s=6.0,
+        burn_threshold=2.0, min_samples=5,
+    )
+    service_config = ServiceConfig(shards=1, executor="thread", slo=slo)
+    burn_peak = 0.0
+    with ServiceThread(service_config) as live:
+        client = ServiceClient(port=live.port, timeout_s=60.0)
+
+        def slo_alerting() -> bool:
+            return any(v["check"] == "service.slo"
+                       for v in client.healthz()["violations"])
+
+        for i in range(8):
+            doc = client.submit("sleep", {"fail": True, "label": f"bad{i}"},
+                                client="chaos")
+            client.wait(doc["id"], timeout_s=60.0)
+        _poll(slo_alerting, timeout_s=30.0, what="SLO burn alert to fire")
+        alert_fired = True
+        for line in client.metrics_text().splitlines():
+            if line.startswith("service_slo_burn{"):
+                burn_peak = max(burn_peak, float(line.rsplit(" ", 1)[1]))
+
+        good = 0
+
+        def recovered() -> bool:
+            nonlocal good
+            if slo_alerting():
+                doc = client.submit(
+                    "sleep", {"duration_s": 0.0, "label": f"good{good}"},
+                    client="steady",
+                )
+                client.wait(doc["id"], timeout_s=60.0)
+                good += 1
+                return False
+            return True
+
+        _poll(recovered, timeout_s=60.0, interval_s=0.1,
+              what="SLO burn alert to clear")
+    return {
+        "scenario": "slo",
+        "alert_fired": alert_fired,
+        "alert_cleared": True,  # _poll raised otherwise
+        "burn_over_threshold": burn_peak > slo.burn_threshold,
+        "good_jobs_to_clear": good,
     }
 
 

@@ -14,7 +14,10 @@ What must always hold on a live service:
 * terminal jobs carry what their state promises (a result when done,
   an error when failed),
 * every shard breaker is internally consistent (an open breaker knows
-  when it opened; a closed one is under its failure threshold).
+  when it opened; a closed one is under its failure threshold),
+* no SLO burn-rate alert is firing (``service.slo`` — the one *soft*
+  check here: it clears itself as the windows roll; see
+  :mod:`repro.service.slo`).
 """
 
 from __future__ import annotations
@@ -123,12 +126,40 @@ def breakers_consistent(service: "TraceService") -> list[Violation]:
     return violations
 
 
+def slo_within_budget(service: "TraceService") -> list[Violation]:
+    """The ``service.slo`` check: no objective's multi-window burn
+    alert may be firing.  Unlike the hard invariants above this one is
+    *operational* — it turns ``/healthz`` red while the error budget
+    is burning faster than the alert threshold in both windows, and
+    clears itself as the windows roll past the bad period."""
+    slo = getattr(service, "slo", None)
+    if slo is None:
+        return []
+    violations = []
+    for objective in slo.objectives():
+        if slo.alerting(objective):
+            config = slo.config
+            violations.append(Violation(
+                check="service.slo",
+                subject=objective,
+                detail=(
+                    f"burn rate over {config.burn_threshold:g}x in both "
+                    f"windows ({config.short_window_s:g}s short / "
+                    f"{config.long_window_s:g}s long): "
+                    f"short={slo.burn_rate(objective, config.short_window_s):.2f} "
+                    f"long={slo.burn_rate(objective, config.long_window_s):.2f}"
+                ),
+            ))
+    return violations
+
+
 ALL_CHECKS = (
     shard_loops_alive,
     accounting_conserved,
     backlog_bounded,
     terminal_jobs_complete,
     breakers_consistent,
+    slo_within_budget,
 )
 
 

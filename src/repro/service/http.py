@@ -19,9 +19,18 @@ GET    /jobs                      service status + job listing
 GET    /jobs/<id>                 one job's status document
 POST   /jobs/<id>/cancel          cancel queued/running work
 GET    /jobs/<id>/stream          SSE: replayed + live lifecycle events
+GET    /jobs/<id>/trace           the job's distributed trace: spans,
+                                  connectivity, critical path
+                                  (``?format=chrome`` → Perfetto JSON)
 GET    /healthz                   200/503 from repro.service.health
 GET    /metrics                   text exposition of the obs registry
 ====== ========================== =======================================
+
+Every response carries an ``X-Trace-Id`` header: the job's trace id on
+job-scoped routes, the request's (inbound header honoured, else fresh)
+everywhere else — so a client can grep journals, traces and logs by
+one id.  ``POST /jobs`` also records the ``http.parse`` span that
+roots a freshly admitted job's trace.
 
 SSE framing is ``id: <seq>`` / ``event: <name>`` / ``data: <json>``
 per event; the ``id`` is the job-local sequence number so a client
@@ -35,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 import typing as t
 
 from repro.errors import (
@@ -42,6 +52,8 @@ from repro.errors import (
     ServiceError,
     ServiceUnavailableError,
 )
+from repro.obs import distributed as dist
+from repro.obs.distributed import TRACE_HEADER, TraceContext
 from repro.service.health import check_service
 from repro.service.jobs import TERMINAL, JobEvent
 
@@ -91,17 +103,33 @@ class HttpServer:
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        t_start = time.time()
+        trace_id = dist.new_trace_id()
         try:
             method, path, headers = await self._read_head(reader)
-            body = await self._read_body(reader, headers)
-            await self._route(method, path, body, reader, writer)
+            # Honour a caller-minted id so one trace spans client and
+            # service; mint locally when absent or malformed.
+            inbound = dist.sanitize_trace_id(
+                headers.get(TRACE_HEADER.lower(), "")
+            )
+            if inbound:
+                trace_id = inbound
+            await self._route(
+                method, path, body=await self._read_body(reader, headers),
+                reader=reader, writer=writer,
+                trace_id=trace_id, t_start=t_start,
+            )
         except HttpError as exc:
-            await self._respond(writer, exc.status, {"error": str(exc)})
+            await self._respond(
+                writer, exc.status, {"error": str(exc)}, trace_id=trace_id
+            )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             try:
-                await self._respond(writer, 500, {"error": repr(exc)})
+                await self._respond(
+                    writer, 500, {"error": repr(exc)}, trace_id=trace_id
+                )
             except ConnectionError:
                 pass
         finally:
@@ -139,37 +167,50 @@ class HttpServer:
 
     # -- routing ------------------------------------------------------
 
-    async def _route(self, method: str, path: str, body: bytes,
+    async def _route(self, method: str, path: str, *, body: bytes,
                      reader: asyncio.StreamReader,
-                     writer: asyncio.StreamWriter) -> None:
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+                     writer: asyncio.StreamWriter,
+                     trace_id: str, t_start: float) -> None:
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         parts = path.strip("/").split("/")
 
         if path == "/healthz":
             self._expect(method, "GET")
-            return await self._healthz(writer)
+            return await self._healthz(writer, trace_id)
         if path == "/metrics":
             self._expect(method, "GET")
             return await self._respond_text(
-                writer, 200, self.service.metrics.render_text()
+                writer, 200, self.service.metrics.render_text(),
+                trace_id=trace_id,
             )
         if path == "/jobs":
             if method == "POST":
-                return await self._submit(body, writer)
-            self._expect(method, "GET")
-            return await self._respond(writer, 200, self.service.describe())
-        if parts[0] == "jobs" and len(parts) == 2:
+                return await self._submit(body, writer, trace_id, t_start)
             self._expect(method, "GET")
             return await self._respond(
-                writer, 200, self._job(parts[1]).summary()
+                writer, 200, self.service.describe(), trace_id=trace_id
+            )
+        if parts[0] == "jobs" and len(parts) == 2:
+            self._expect(method, "GET")
+            job = self._job(parts[1])
+            return await self._respond(
+                writer, 200, job.summary(),
+                trace_id=job.trace_id or trace_id,
             )
         if parts[0] == "jobs" and len(parts) == 3 and parts[2] == "cancel":
             self._expect(method, "POST")
             job = await self.service.cancel(self._job(parts[1]).id)
-            return await self._respond(writer, 200, job.summary())
+            return await self._respond(
+                writer, 200, job.summary(),
+                trace_id=job.trace_id or trace_id,
+            )
         if parts[0] == "jobs" and len(parts) == 3 and parts[2] == "stream":
             self._expect(method, "GET")
             return await self._stream(parts[1], reader, writer)
+        if parts[0] == "jobs" and len(parts) == 3 and parts[2] == "trace":
+            self._expect(method, "GET")
+            return await self._trace(parts[1], query, writer, trace_id)
         raise HttpError(404, f"no such route: {path}")
 
     @staticmethod
@@ -185,8 +226,8 @@ class HttpServer:
 
     # -- handlers -----------------------------------------------------
 
-    async def _submit(self, body: bytes,
-                      writer: asyncio.StreamWriter) -> None:
+    async def _submit(self, body: bytes, writer: asyncio.StreamWriter,
+                      trace_id: str, t_start: float) -> None:
         try:
             doc = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -207,6 +248,8 @@ class HttpServer:
             priority = int(doc.get("priority", 0))
         except (TypeError, ValueError) as exc:
             raise HttpError(400, f"bad priority: {exc}") from None
+        parse_span = dist.new_span_id()
+        t_parsed = time.time()
         try:
             job = self.service.submit(
                 doc["kind"],
@@ -214,6 +257,9 @@ class HttpServer:
                 client=str(doc.get("client", "anonymous")),
                 priority=priority,
                 deadline_s=deadline,
+                trace=TraceContext(
+                    trace_id=trace_id, parent_span_id=parse_span
+                ),
             )
         except AdmissionError as exc:
             await self._respond(
@@ -221,6 +267,7 @@ class HttpServer:
                 {"error": str(exc), "reason": exc.reason,
                  "retry_after_s": exc.retry_after_s},
                 extra_headers={"Retry-After": f"{exc.retry_after_s:g}"},
+                trace_id=trace_id,
             )
             return
         except ServiceUnavailableError as exc:
@@ -232,13 +279,39 @@ class HttpServer:
                 {"error": str(exc), "reason": "draining",
                  "retry_after_s": exc.retry_after_s},
                 extra_headers={"Retry-After": f"{exc.retry_after_s:g}"},
+                trace_id=trace_id,
             )
             return
         except ServiceError as exc:
             raise HttpError(400, str(exc)) from None
-        await self._respond(writer, 200, job.summary())
+        if job.trace_id == trace_id:
+            # Fresh admission (not a dedupe twin riding an older
+            # trace): the HTTP parse becomes the trace's true root and
+            # the job span's parent.
+            self.service.record_span(
+                trace_id=trace_id, span_id=parse_span, name="http.parse",
+                start_s=t_start, end_s=t_parsed,
+                tags={"kind": str(doc["kind"]),
+                      "client": str(doc.get("client", "anonymous"))},
+            )
+        await self._respond(
+            writer, 200, job.summary(), trace_id=job.trace_id or trace_id
+        )
 
-    async def _healthz(self, writer: asyncio.StreamWriter) -> None:
+    async def _trace(self, job_id: str, query: str,
+                     writer: asyncio.StreamWriter, trace_id: str) -> None:
+        job = self._job(job_id)
+        doc = self.service.trace(job.id)
+        if "format=chrome" in query:
+            from repro.obs.export import distributed_chrome_trace
+
+            doc = distributed_chrome_trace(doc)
+        await self._respond(
+            writer, 200, doc, trace_id=job.trace_id or trace_id
+        )
+
+    async def _healthz(self, writer: asyncio.StreamWriter,
+                       trace_id: str) -> None:
         violations = check_service(self.service)
         status = 200 if not violations else 503
         await self._respond(writer, status, {
@@ -249,7 +322,7 @@ class HttpServer:
                 {"check": v.check, "subject": v.subject, "detail": v.detail}
                 for v in violations
             ],
-        })
+        }, trace_id=trace_id)
 
     async def _stream(self, job_id: str, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
@@ -257,12 +330,13 @@ class HttpServer:
         history, queue = self.service.subscribe(job.id)
         eof = asyncio.ensure_future(reader.read(1))  # EOF = client gone
         try:
-            writer.write(
-                b"HTTP/1.1 200 OK\r\n"
-                b"Content-Type: text/event-stream\r\n"
-                b"Cache-Control: no-cache\r\n"
-                b"Connection: close\r\n\r\n"
-            )
+            writer.write((
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                f"{TRACE_HEADER}: {job.trace_id or 'untraced'}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1"))
             await writer.drain()
             seen = 0
             for event in history:
@@ -304,6 +378,7 @@ class HttpServer:
     async def _respond(
         writer: asyncio.StreamWriter, status: int, doc: dict[str, t.Any],
         *, extra_headers: dict[str, str] | None = None,
+        trace_id: str | None = None,
     ) -> None:
         body = json.dumps(doc, default=str).encode("utf-8")
         head = (
@@ -311,6 +386,8 @@ class HttpServer:
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
         )
+        if trace_id:
+            head += f"{TRACE_HEADER}: {trace_id}\r\n"
         for name, value in (extra_headers or {}).items():
             head += f"{name}: {value}\r\n"
         head += "Connection: close\r\n\r\n"
@@ -319,12 +396,16 @@ class HttpServer:
 
     @staticmethod
     async def _respond_text(writer: asyncio.StreamWriter, status: int,
-                            text: str) -> None:
+                            text: str, *,
+                            trace_id: str | None = None) -> None:
         body = text.encode("utf-8")
-        writer.write((
+        head = (
             f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: text/plain; charset=utf-8\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("latin-1") + body)
+        )
+        if trace_id:
+            head += f"{TRACE_HEADER}: {trace_id}\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
         await writer.drain()

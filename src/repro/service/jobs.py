@@ -155,8 +155,29 @@ def cache_key_for(kind: str, payload: t.Mapping[str, t.Any]) -> str | None:
 # pickle it by reference (the same rule the campaign pool enforces).
 # --------------------------------------------------------------------
 
-def run_payload(kind: str, payload: dict[str, t.Any]) -> dict[str, t.Any]:
-    """Execute one job; the only function service workers ever run."""
+#: Sim-tracer records shipped back per attempt; more get truncated
+#: (flagged in the trace doc) rather than flooding the spawn queue.
+TRACE_RECORD_LIMIT = 2048
+
+
+def run_payload(kind: str, payload: dict[str, t.Any],
+                trace: dict[str, t.Any] | None = None) -> dict[str, t.Any]:
+    """Execute one job; the only function service workers ever run.
+
+    *trace* is the distributed-trace context crossing the spawn
+    boundary: ``{"trace_id", "span_id", "capture_sim", "sampling"}``.
+    When present, the returned envelope grows a ``"trace"`` doc — the
+    worker's pid plus (under ``capture_sim``) the sim-clock tracer's
+    span records as plain data, exactly how the campaign pool ships
+    traces home.  The service strips the doc back out before caching,
+    so the cache schema never sees it.
+    """
+    if trace is None:
+        return _execute(kind, payload)
+    return _execute_traced(kind, payload, dict(trace))
+
+
+def _execute(kind: str, payload: dict[str, t.Any]) -> dict[str, t.Any]:
     start = time.perf_counter()
     if kind == "experiment":
         result = _run_experiment(payload)
@@ -169,6 +190,45 @@ def run_payload(kind: str, payload: dict[str, t.Any]) -> dict[str, t.Any]:
     wall_s = time.perf_counter() - start
     result = result.with_meta(wall_s=round(wall_s, 6))
     return {"result_json": result.to_json(), "wall_s": wall_s}
+
+
+def _execute_traced(kind: str, payload: dict[str, t.Any],
+                    trace: dict[str, t.Any]) -> dict[str, t.Any]:
+    """Run under the worker's own sim-span capture when asked.
+
+    ``capture_sim`` installs a process-global tracer, which is only
+    safe when this worker owns the whole process — the service sets it
+    for ``spawn`` executors and never for threads (two thread jobs
+    capturing concurrently would interleave their spans).
+    """
+    from repro.campaign.pool import worker_identity
+
+    trace_doc: dict[str, t.Any] = {
+        "trace_id": trace.get("trace_id", ""),
+        "span_id": trace.get("span_id", ""),
+        **worker_identity(),
+    }
+    if not trace.get("capture_sim"):
+        envelope = _execute(kind, payload)
+        envelope["trace"] = trace_doc
+        return envelope
+
+    from repro import obs
+    from repro.obs import export
+
+    with obs.capture(sampling=trace.get("sampling")) as (tracer, _metrics):
+        envelope = _execute(kind, payload)
+    records = []
+    truncated = False
+    for record in export.iter_records(tracer):
+        if len(records) >= TRACE_RECORD_LIMIT:
+            truncated = True
+            break
+        records.append(record)
+    trace_doc["records"] = records
+    trace_doc["truncated"] = truncated
+    envelope["trace"] = trace_doc
+    return envelope
 
 
 def _run_experiment(payload: dict[str, t.Any]) -> t.Any:
@@ -253,6 +313,12 @@ class Job:
     finished_at: float | None = None
     events: list[JobEvent] = dataclasses.field(default_factory=list)
     completions: int = 0  # exactly-once guard: must never exceed 1
+    #: Distributed trace identity; journaled so recovery re-admits the
+    #: job under its original trace.
+    trace_id: str = ""
+    #: Wall-clock phase marks and open span ids, service-internal —
+    #: the raw material GET /jobs/<id>/trace's spans are cut from.
+    trace_marks: dict[str, t.Any] = dataclasses.field(default_factory=dict)
 
     def envelope(self) -> dict[str, t.Any]:
         """The journal's ``accepted`` record body — everything a
@@ -268,6 +334,8 @@ class Job:
         }
         if self.deadline_s is not None:
             doc["deadline_s"] = self.deadline_s
+        if self.trace_id:
+            doc["trace_id"] = self.trace_id
         return doc
 
     def summary(self) -> dict[str, t.Any]:
@@ -282,6 +350,7 @@ class Job:
             "state": self.state,
             "attempts": self.attempts,
             "cache_hit": self.cache_hit,
+            "trace_id": self.trace_id,
         }
         if self.deadline_s is not None:
             doc["deadline_s"] = self.deadline_s

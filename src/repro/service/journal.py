@@ -38,6 +38,12 @@ the order they matter:
 Failed appends (disk full — see the ``service.disk_full`` fault kind)
 raise :class:`JournalWriteError`; the service counts them and keeps
 serving (availability over durability, loudly).
+
+The ``accepted`` envelope is folded back into resubmission keyword-for-
+keyword, so fields the journal never interprets ride along for free —
+notably ``trace_id``: a job re-admitted by crash recovery keeps its
+original distributed-trace id (with a ``recovered`` baggage tag), and
+a trace that straddles a crash stays one trace.
 """
 
 from __future__ import annotations

@@ -123,6 +123,12 @@ class ThreadExecutor:
         task.cancel()
         task._log_destroy_pending = False  # noqa: SLF001 - by design
 
+    def worker_pid(self) -> int | None:
+        """Thread jobs run in-process; the pid is our own."""
+        import os
+
+        return os.getpid()
+
     async def abort(self) -> None:
         """Nothing to kill: the thread finishes into the void and the
         shard loop discards whatever it returns."""
@@ -207,6 +213,15 @@ class SpawnExecutor:
             if status == "error":
                 raise JobExecutionError(payload)
             return payload
+
+    def worker_pid(self) -> int | None:
+        """The current worker process's pid (None before first use or
+        after a crash) — lets a worker span name its process even when
+        the attempt died and no trace doc came back."""
+        with self._lock:
+            if self._proc is not None and self._proc.is_alive():
+                return self._proc.pid
+            return None
 
     def _kill_and_respawn(self) -> None:
         with self._lock:

@@ -192,3 +192,83 @@ class TestSummaryCounters:
 
         assert "counters" not in summary(make_tracer(),
                                          metrics=MetricsRegistry())
+
+
+class TestDistributedChromeTrace:
+    @staticmethod
+    def make_trace_doc():
+        """A small but representative service trace document."""
+        t0 = 1000.0
+        spans = [
+            {"trace_id": "tr1", "span_id": "parse", "name": "http.parse",
+             "start_s": t0, "end_s": t0 + 0.01, "kind": "service",
+             "worker": "http"},
+            {"trace_id": "tr1", "span_id": "job", "name": "job",
+             "start_s": t0, "end_s": t0 + 1.0, "parent_id": "parse",
+             "kind": "service", "worker": "service"},
+            {"trace_id": "tr1", "span_id": "w1", "name": "worker",
+             "start_s": t0 + 0.2, "end_s": t0 + 0.9, "parent_id": "job",
+             "kind": "service", "worker": "shard-0",
+             "tags": {"outcome": "ok"}},
+            {"trace_id": "tr1", "span_id": "w1.r0s1", "name": "engine",
+             "start_s": 0.0, "end_s": 1e-5, "parent_id": "w1",
+             "kind": "sim", "worker": "pid-42"},
+            {"trace_id": "tr1", "span_id": "notify", "name": "sse.notify",
+             "start_s": t0 + 1.0, "end_s": t0 + 1.0, "parent_id": "job",
+             "kind": "service", "worker": "service"},
+        ]
+        return {"job_id": "j00000", "trace_id": "tr1", "spans": spans}
+
+    def test_one_process_row_per_worker(self):
+        from repro.obs.export import distributed_chrome_trace
+
+        doc = distributed_chrome_trace(self.make_trace_doc())
+        rows = {e["args"]["name"] for e in doc["traceEvents"]
+                if e.get("name") == "process_name"}
+        assert rows == {"http", "service", "shard-0", "pid-42"}
+
+    def test_wall_time_rebased_to_trace_start(self):
+        from repro.obs.export import distributed_chrome_trace
+
+        doc = distributed_chrome_trace(self.make_trace_doc())
+        parse = next(e for e in doc["traceEvents"]
+                     if e.get("name") == "http.parse")
+        assert parse["ts"] == pytest.approx(0.0)
+        worker = next(e for e in doc["traceEvents"]
+                      if e.get("name") == "worker")
+        assert worker["ts"] == pytest.approx(0.2 * 1e6)
+
+    def test_sim_spans_nest_inside_their_worker_span(self):
+        from repro.obs.export import distributed_chrome_trace
+
+        doc = distributed_chrome_trace(self.make_trace_doc())
+        engine = next(e for e in doc["traceEvents"]
+                      if e.get("name") == "engine")
+        worker = next(e for e in doc["traceEvents"]
+                      if e.get("name") == "worker")
+        assert engine["cat"] == "sim"
+        # Offset by the worker span's wall start: renders inside it.
+        assert engine["ts"] >= worker["ts"]
+        assert engine["ts"] + engine["dur"] <= (
+            worker["ts"] + worker["dur"])
+
+    def test_instant_service_spans_become_instants(self):
+        from repro.obs.export import distributed_chrome_trace
+
+        doc = distributed_chrome_trace(self.make_trace_doc())
+        notify = next(e for e in doc["traceEvents"]
+                      if e.get("name") == "sse.notify")
+        assert notify["ph"] == "i"
+
+    def test_empty_trace_is_valid_and_writable(self, tmp_path):
+        from repro.obs.export import (
+            distributed_chrome_trace,
+            write_distributed_chrome_trace,
+        )
+
+        assert distributed_chrome_trace({"spans": []})["traceEvents"] == []
+        path = write_distributed_chrome_trace(
+            self.make_trace_doc(), tmp_path / "dist.trace.json")
+        parsed = json.loads(path.read_text())
+        assert parsed["displayTimeUnit"] == "ms"
+        assert parsed["traceEvents"]

@@ -153,8 +153,47 @@ class TestRegistry:
         assert "# HELP c things" in text
         assert 'c{vm="vm0"} 2' in text
         assert 'h_count{kind="nic"} 1' in text
+        # Buckets are cumulative in le order, closed by +Inf == count.
         assert 'h_bucket{kind="nic",le="0.1"} 1' in text
-        assert 'h_bucket{kind="nic",le="1"} 0' in text
+        assert 'h_bucket{kind="nic",le="1"} 1' in text
+        assert 'h_bucket{kind="nic",le="+Inf"} 1' in text
+
+    def test_render_text_buckets_accumulate(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        text = reg.render_text()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+
+    def test_render_text_escapes_hostile_labels(self):
+        """A label value with quotes, backslashes and newlines must
+        round-trip the renderer intact (the /metrics escaping rule)."""
+        from repro.obs.metrics import (
+            _escape_label_value,
+            _unescape_label_value,
+        )
+
+        hostile = 'say "hi"\\\n twice'
+        reg = MetricsRegistry()
+        reg.counter("evil").inc(3, reason=hostile)
+        text = reg.render_text()
+        line = next(l for l in text.splitlines()
+                    if l.startswith("evil{"))
+        assert "\n" not in line  # the newline was escaped, not emitted
+        rendered = line[len('evil{reason="'):line.rindex('"')]
+        assert _unescape_label_value(rendered) == hostile
+        assert _escape_label_value(hostile) == rendered
+
+    def test_render_text_label_order_is_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("s").inc(1, zebra="z", alpha="a")
+        reg.counter("s").inc(1, alpha="a", zebra="z")
+        assert 's{alpha="a",zebra="z"} 2' in reg.render_text()
 
     def test_render_text_empty(self):
         assert MetricsRegistry().render_text() == ""

@@ -1,0 +1,175 @@
+"""The rolling-window SLO tracker and its multi-window burn alert."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.slo import (
+    AVAILABILITY,
+    LATENCY,
+    SloConfig,
+    SloTracker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def tracker(clock, **overrides) -> SloTracker:
+    config = SloConfig(**{
+        "availability_target": 0.9, "latency_target": 0.9,
+        "latency_target_s": 1.0, "short_window_s": 10.0,
+        "long_window_s": 100.0, "burn_threshold": 2.0, "min_samples": 4,
+        **overrides,
+    })
+    return SloTracker(config, clock=clock)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("bad", [
+        {"availability_target": 0.0}, {"availability_target": 1.0},
+        {"latency_target": 1.5}, {"latency_target_s": 0.0},
+        {"short_window_s": 0.0}, {"short_window_s": 20.0,
+                                  "long_window_s": 10.0},
+        {"burn_threshold": 0.0}, {"min_samples": 0},
+    ])
+    def test_rejects_nonsense(self, bad):
+        with pytest.raises(ConfigurationError):
+            SloConfig(**bad)
+
+    def test_window_and_target_lookups(self):
+        config = SloConfig(short_window_s=5.0, long_window_s=50.0)
+        assert config.window_s("short") == 5.0
+        assert config.window_s("long") == 50.0
+        assert config.target(AVAILABILITY) == config.availability_target
+        assert config.target(LATENCY) == config.latency_target
+        with pytest.raises(ConfigurationError):
+            config.window_s("medium")
+        with pytest.raises(ConfigurationError):
+            config.target("durability")
+
+
+class TestBurnRate:
+    def test_no_events_burns_nothing(self, clock):
+        slo = tracker(clock)
+        assert slo.burn_rate(AVAILABILITY, 10.0) == 0.0
+        assert not slo.alerting(AVAILABILITY)
+
+    def test_burn_is_error_rate_over_budget(self, clock):
+        slo = tracker(clock)  # budget = 0.1
+        for ok in (True, True, False, False):
+            slo.record_completion(ok=ok)
+        # Error rate 0.5 over a 0.1 budget: burning 5x schedule.
+        assert slo.burn_rate(AVAILABILITY, 10.0) == pytest.approx(5.0)
+
+    def test_shed_counts_against_availability_only(self, clock):
+        slo = tracker(clock)
+        slo.record_shed()
+        assert slo.burn_rate(AVAILABILITY, 10.0) == pytest.approx(10.0)
+        assert slo.burn_rate(LATENCY, 10.0) == 0.0
+
+    def test_latency_verdict_only_for_timed_successes(self, clock):
+        slo = tracker(clock)
+        slo.record_completion(ok=True, latency_s=0.5)   # good
+        slo.record_completion(ok=True, latency_s=2.0)   # over budget
+        slo.record_completion(ok=False)                 # no latency verdict
+        slo.record_completion(ok=True)                  # untimed: skipped
+        assert slo.burn_rate(LATENCY, 10.0) == pytest.approx(5.0)
+
+    def test_events_age_out_of_the_window(self, clock):
+        slo = tracker(clock)
+        slo.record_completion(ok=False)
+        clock.tick(11.0)
+        slo.record_completion(ok=True)
+        assert slo.burn_rate(AVAILABILITY, 10.0) == 0.0
+        # ...but the long window still remembers the failure.
+        assert slo.burn_rate(AVAILABILITY, 100.0) == pytest.approx(5.0)
+
+    def test_pruning_beyond_the_long_window(self, clock):
+        slo = tracker(clock)
+        slo.record_completion(ok=False)
+        clock.tick(101.0)
+        slo.record_completion(ok=True)
+        assert len(slo._events) == 1
+        assert slo.recorded == 2  # the lifetime counter never forgets
+
+
+class TestAlerting:
+    def test_fires_only_past_min_samples(self, clock):
+        slo = tracker(clock)
+        for _ in range(3):
+            slo.record_completion(ok=False)
+        assert not slo.alerting(AVAILABILITY)  # 3 < min_samples=4
+        slo.record_completion(ok=False)
+        assert slo.alerting(AVAILABILITY)
+
+    def test_needs_both_windows_over_threshold(self, clock):
+        slo = tracker(clock)
+        # A long-ago burst: long window remembers, short window clean.
+        for _ in range(6):
+            slo.record_completion(ok=False)
+        clock.tick(50.0)
+        for _ in range(6):
+            slo.record_completion(ok=True)
+        assert slo.burn_rate(AVAILABILITY, 100.0) > slo.config.burn_threshold
+        assert not slo.alerting(AVAILABILITY)
+
+    def test_fires_then_clears_as_the_window_slides(self, clock):
+        slo = tracker(clock)
+        for _ in range(6):
+            slo.record_completion(ok=False)
+        assert slo.alerting(AVAILABILITY)
+        clock.tick(11.0)  # failures leave the short window
+        for _ in range(6):
+            slo.record_completion(ok=True)
+        assert not slo.alerting(AVAILABILITY)
+
+    def test_describe_is_json_shaped(self, clock):
+        slo = tracker(clock)
+        slo.record_completion(ok=False)
+        slo.record_completion(ok=True, latency_s=0.1)
+        doc = slo.describe()
+        assert doc["recorded"] == 2
+        availability = doc["objectives"][AVAILABILITY]
+        assert availability["events"] == 2 and availability["bad"] == 1
+        assert set(availability["burn"]) == {"short", "long"}
+        assert isinstance(availability["alerting"], bool)
+
+
+class TestHealthCheck:
+    def test_service_slo_violation_surfaces_objective_and_burns(self, clock):
+        from repro.service.health import slo_within_budget
+
+        slo = tracker(clock)
+        for _ in range(6):
+            slo.record_completion(ok=False)
+
+        class FakeService:
+            pass
+
+        service = FakeService()
+        service.slo = slo
+        violations = slo_within_budget(service)
+        assert [v.subject for v in violations] == [AVAILABILITY]
+        assert violations[0].check == "service.slo"
+        assert "burn" in violations[0].detail
+
+    def test_service_without_tracker_is_vacuously_healthy(self):
+        from repro.service.health import slo_within_budget
+
+        class Bare:
+            pass
+
+        assert slo_within_budget(Bare()) == []
